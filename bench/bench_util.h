@@ -1,0 +1,73 @@
+// Shared utilities for the figure-reproduction benches: flag parsing and
+// paper-style table printing. Every bench prints a human-readable table (one
+// row per x-value) followed by machine-readable CSV lines prefixed "CSV,".
+#ifndef FLOCK_BENCH_BENCH_UTIL_H_
+#define FLOCK_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace flock::bench {
+
+// --key=value flags; unknown flags abort so typos are loud.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        std::fprintf(stderr, "unknown argument: %s\n", arg);
+        std::exit(2);
+      }
+      const char* eq = std::strchr(arg, '=');
+      if (eq == nullptr) {
+        pairs_.emplace_back(arg + 2, "1");
+      } else {
+        pairs_.emplace_back(std::string(arg + 2, static_cast<size_t>(eq - arg - 2)),
+                            eq + 1);
+      }
+    }
+  }
+
+  int64_t Int(const std::string& name, int64_t fallback) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? fallback : std::strtoll(v->c_str(), nullptr, 10);
+  }
+
+  double Double(const std::string& name, double fallback) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? fallback : std::strtod(v->c_str(), nullptr);
+  }
+
+  bool Bool(const std::string& name, bool fallback) const {
+    const std::string* v = Find(name);
+    if (v == nullptr) {
+      return fallback;
+    }
+    return *v == "1" || *v == "true" || *v == "yes";
+  }
+
+ private:
+  const std::string* Find(const std::string& name) const {
+    for (const auto& [k, v] : pairs_) {
+      if (k == name) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+inline void PrintBanner(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+}  // namespace flock::bench
+
+#endif  // FLOCK_BENCH_BENCH_UTIL_H_

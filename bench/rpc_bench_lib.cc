@@ -1,0 +1,320 @@
+#include "bench/rpc_bench_lib.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/rcrpc.h"
+#include "src/baselines/udrpc.h"
+#include "src/flock/flock.h"
+
+namespace flock::bench {
+
+namespace {
+
+constexpr uint16_t kEchoRpc = 1;
+
+struct Shared {
+  bool measuring = false;
+  uint64_t completed = 0;
+  uint64_t timeouts = 0;
+  Histogram latency;
+};
+
+RpcHandler MakeEchoHandler(uint32_t resp_bytes, Nanos handler_cpu) {
+  return [resp_bytes, handler_cpu](const uint8_t* req, uint32_t len, uint8_t* resp,
+                                   uint32_t cap, Nanos* cpu) -> uint32_t {
+    (void)req;
+    (void)len;
+    *cpu = handler_cpu;
+    std::memset(resp, 0xab, std::min(resp_bytes, cap));
+    return std::min(resp_bytes, cap);
+  };
+}
+
+uint32_t ThreadReqBytes(const RpcBenchConfig& config, int thread_index) {
+  if (config.large_thread_fraction <= 0.0 || config.large_req_bytes == 0) {
+    return config.req_bytes;
+  }
+  const double position = (static_cast<double>(thread_index) + 0.5) /
+                          static_cast<double>(config.threads_per_client);
+  return position < config.large_thread_fraction ? config.large_req_bytes
+                                                 : config.req_bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Flock
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::Proc FlockWorker(verbs::Cluster& cluster, Connection* conn, FlockThread* thread,
+                      uint32_t req_bytes, int outstanding, Shared* shared,
+                      Nanos start_delay) {
+  co_await sim::Delay(cluster.sim(), start_delay);  // de-synchronized start
+  std::vector<uint8_t> payload(req_bytes, 0x5a);
+  std::vector<PendingRpc*> batch(static_cast<size_t>(outstanding));
+  for (;;) {
+    for (int i = 0; i < outstanding; ++i) {
+      batch[static_cast<size_t>(i)] =
+          co_await conn->SendRpc(*thread, kEchoRpc, payload.data(), req_bytes);
+    }
+    for (int i = 0; i < outstanding; ++i) {
+      PendingRpc* rpc = batch[static_cast<size_t>(i)];
+      co_await conn->AwaitResponse(*thread, rpc);
+      if (shared->measuring) {
+        shared->completed += 1;
+        shared->latency.Record(rpc->completed_at - rpc->submitted_at);
+      }
+      delete rpc;
+    }
+  }
+}
+
+}  // namespace
+
+RpcBenchResult RunFlockRpc(const RpcBenchConfig& config) {
+  const int cores = std::max(config.server_cores, config.client_cores);
+  verbs::Cluster cluster(verbs::Cluster::Config{
+      .num_nodes = 1 + config.num_clients, .cores_per_node = cores,
+      .cost = config.cost});
+
+  FlockRuntime server(cluster, 0, config.flock);
+  server.RegisterHandler(kEchoRpc, MakeEchoHandler(config.resp_bytes, config.handler_cpu));
+  server.StartServer(config.server_cores - 1);  // core 0 runs the QP scheduler
+
+  Shared shared;
+  FlockConfig client_config = config.flock;
+  client_config.response_dispatchers = config.threads_per_client >= 32 ? 2 : 1;
+
+  std::vector<std::unique_ptr<FlockRuntime>> clients;
+  std::vector<Connection*> connections;
+  const int worker_cores = std::max(2, config.client_cores - 2);
+  for (int c = 0; c < config.num_clients; ++c) {
+    for (int p = 0; p < config.processes_per_client; ++p) {
+      clients.push_back(
+          std::make_unique<FlockRuntime>(cluster, 1 + c, client_config));
+      FlockRuntime& runtime = *clients.back();
+      runtime.StartClient();
+      const uint32_t lanes = config.lanes_per_connection > 0
+                                 ? config.lanes_per_connection
+                                 : static_cast<uint32_t>(config.threads_per_client);
+      Connection* conn = runtime.Connect(server, lanes);
+      connections.push_back(conn);
+      for (int t = 0; t < config.threads_per_client; ++t) {
+        FlockThread* thread = runtime.CreateThread(
+            (p * config.threads_per_client + t) % worker_cores);
+        cluster.sim().Spawn(FlockWorker(cluster, conn, thread,
+                                        ThreadReqBytes(config, t),
+                                        config.outstanding, &shared,
+                                        (static_cast<Nanos>(connections.size()) * 7919 +
+                                         t * 977) %
+                                            (200 * kMicrosecond)));
+      }
+    }
+  }
+
+  cluster.sim().RunFor(config.warmup);
+  const Nanos busy0 = cluster.cpu(0).TotalBusyTime();
+  uint64_t messages0 = 0, requests0 = 0;
+  for (Connection* conn : connections) {
+    messages0 += conn->messages_sent();
+    requests0 += conn->requests_sent();
+  }
+  shared.measuring = true;
+  cluster.sim().RunFor(config.measure);
+  shared.measuring = false;
+
+  RpcBenchResult result;
+  result.completed = shared.completed;
+  result.mops = static_cast<double>(shared.completed) /
+                (static_cast<double>(config.measure) / 1e9) / 1e6;
+  result.p50_ns = shared.latency.Median();
+  result.p99_ns = shared.latency.P99();
+  uint64_t messages = 0, requests = 0;
+  for (Connection* conn : connections) {
+    messages += conn->messages_sent();
+    requests += conn->requests_sent();
+  }
+  result.coalescing = (messages - messages0) == 0
+                          ? 0.0
+                          : static_cast<double>(requests - requests0) /
+                                static_cast<double>(messages - messages0);
+  result.server_cpu = static_cast<double>(cluster.cpu(0).TotalBusyTime() - busy0) /
+                      (static_cast<double>(config.measure) * config.server_cores);
+  result.active_qps = server.ActiveServerLanes();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// eRPC-like UD baseline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::Proc UdWorker(verbs::Cluster& cluster, baselines::UdRpcClient::Thread* thread,
+                   baselines::UdEndpoint server, uint32_t req_bytes, int outstanding,
+                   Shared* shared, Nanos start_delay) {
+  co_await sim::Delay(cluster.sim(), start_delay);  // de-synchronized start
+  std::vector<uint8_t> payload(req_bytes, 0x5a);
+  std::vector<baselines::UdRpcClient::Pending*> batch(
+      static_cast<size_t>(outstanding));
+  for (;;) {
+    for (int i = 0; i < outstanding; ++i) {
+      batch[static_cast<size_t>(i)] =
+          co_await thread->Send(server, kEchoRpc, payload.data(), req_bytes);
+    }
+    for (int i = 0; i < outstanding; ++i) {
+      baselines::UdRpcClient::Pending* pending = batch[static_cast<size_t>(i)];
+      const bool ok = co_await thread->Await(pending, 2 * kMillisecond);
+      if (shared->measuring) {
+        if (ok) {
+          shared->completed += 1;
+          shared->latency.Record(pending->completed_at - pending->submitted_at);
+        } else {
+          shared->timeouts += 1;
+        }
+      }
+      delete pending;
+    }
+  }
+}
+
+}  // namespace
+
+RpcBenchResult RunUdRpc(const RpcBenchConfig& config) {
+  const int cores = std::max(config.server_cores, config.client_cores);
+  verbs::Cluster cluster(verbs::Cluster::Config{
+      .num_nodes = 1 + config.num_clients, .cores_per_node = cores,
+      .cost = config.cost});
+
+  baselines::UdRpcServer server(
+      cluster, 0,
+      baselines::UdRpcServer::Config{.worker_threads = config.ud_server_workers,
+                                     .recv_pool = config.ud_recv_pool});
+  server.RegisterHandler(kEchoRpc, MakeEchoHandler(config.resp_bytes, config.handler_cpu));
+  server.Start();
+
+  Shared shared;
+  std::vector<std::unique_ptr<baselines::UdRpcClient>> clients;
+  int global_thread = 0;
+  for (int c = 0; c < config.num_clients; ++c) {
+    clients.push_back(std::make_unique<baselines::UdRpcClient>(cluster, 1 + c));
+    for (int t = 0; t < config.threads_per_client; ++t) {
+      baselines::UdRpcClient::Thread* thread = clients.back()->CreateThread(
+          t % config.client_cores,
+          /*recv_pool=*/static_cast<uint32_t>(config.outstanding) + 8);
+      const baselines::UdEndpoint endpoint =
+          server.endpoint(global_thread++ % server.num_workers());
+      cluster.sim().Spawn(UdWorker(cluster, thread, endpoint,
+                                   ThreadReqBytes(config, t), config.outstanding,
+                                   &shared,
+                                   (static_cast<Nanos>(global_thread) * 977) %
+                                       (200 * kMicrosecond)));
+    }
+  }
+
+  cluster.sim().RunFor(config.warmup);
+  const Nanos busy0 = cluster.cpu(0).TotalBusyTime();
+  shared.measuring = true;
+  cluster.sim().RunFor(config.measure);
+  shared.measuring = false;
+
+  RpcBenchResult result;
+  result.completed = shared.completed;
+  result.timeouts = shared.timeouts;
+  result.mops = static_cast<double>(shared.completed) /
+                (static_cast<double>(config.measure) / 1e9) / 1e6;
+  result.p50_ns = shared.latency.Median();
+  result.p99_ns = shared.latency.P99();
+  result.server_cpu = static_cast<double>(cluster.cpu(0).TotalBusyTime() - busy0) /
+                      (static_cast<double>(config.measure) * config.server_cores);
+  result.drops = cluster.device(0).stats().ud_drops;
+  for (int c = 0; c < config.num_clients; ++c) {
+    result.drops += cluster.device(1 + c).stats().ud_drops;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// RC baselines (no sharing / FaRM-like lock sharing)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::Proc RcWorker(verbs::Cluster& cluster, baselines::RcRpcClient* client,
+                   baselines::RcRpcClient::Lane* lane, FlockThread* thread,
+                   uint32_t req_bytes, Shared* shared, Nanos start_delay) {
+  co_await sim::Delay(cluster.sim(), start_delay);  // de-synchronized start
+  std::vector<uint8_t> payload(req_bytes, 0x5a);
+  std::vector<uint8_t> response;
+  for (;;) {
+    const Nanos start = cluster.sim().Now();
+    co_await client->Call(*thread, *lane, kEchoRpc, payload.data(), req_bytes,
+                          &response);
+    if (shared->measuring) {
+      shared->completed += 1;
+      shared->latency.Record(cluster.sim().Now() - start);
+    }
+  }
+}
+
+}  // namespace
+
+RpcBenchResult RunRcRpc(const RpcBenchConfig& config) {
+  const int cores = std::max(config.server_cores, config.client_cores);
+  verbs::Cluster cluster(verbs::Cluster::Config{
+      .num_nodes = 1 + config.num_clients, .cores_per_node = cores,
+      .cost = config.cost});
+
+  baselines::RcRpcServer server(cluster, 0, config.server_cores);
+  server.RegisterHandler(kEchoRpc, MakeEchoHandler(config.resp_bytes, config.handler_cpu));
+  server.Start();
+
+  Shared shared;
+  std::vector<std::unique_ptr<baselines::RcRpcClient>> clients;
+  const int share = std::max(1, config.threads_per_qp);
+  const int worker_cores = std::max(2, config.client_cores - 1);
+  for (int c = 0; c < config.num_clients; ++c) {
+    clients.push_back(std::make_unique<baselines::RcRpcClient>(cluster, 1 + c, server));
+    baselines::RcRpcClient& client = *clients.back();
+    client.Start();
+    std::vector<baselines::RcRpcClient::Lane*> lanes;
+    const int lane_count = (config.threads_per_client + share - 1) / share;
+    for (int l = 0; l < lane_count; ++l) {
+      lanes.push_back(client.CreateLane());
+    }
+    for (int t = 0; t < config.threads_per_client; ++t) {
+      FlockThread* thread = client.CreateThread(t % worker_cores);
+      baselines::RcRpcClient::Lane* lane = lanes[static_cast<size_t>(t / share)];
+      // `outstanding` is modeled as that many closed-loop workers per thread.
+      for (int o = 0; o < config.outstanding; ++o) {
+        cluster.sim().Spawn(RcWorker(cluster, &client, lane, thread,
+                                     ThreadReqBytes(config, t), &shared,
+                                     (static_cast<Nanos>(c) * 7919 + t * 977 + o * 331) %
+                                         (200 * kMicrosecond)));
+      }
+    }
+  }
+
+  cluster.sim().RunFor(config.warmup);
+  const Nanos busy0 = cluster.cpu(0).TotalBusyTime();
+  shared.measuring = true;
+  cluster.sim().RunFor(config.measure);
+  shared.measuring = false;
+
+  RpcBenchResult result;
+  result.completed = shared.completed;
+  result.mops = static_cast<double>(shared.completed) /
+                (static_cast<double>(config.measure) / 1e9) / 1e6;
+  result.p50_ns = shared.latency.Median();
+  result.p99_ns = shared.latency.P99();
+  result.server_cpu = static_cast<double>(cluster.cpu(0).TotalBusyTime() - busy0) /
+                      (static_cast<double>(config.measure) * config.server_cores);
+  return result;
+}
+
+}  // namespace flock::bench

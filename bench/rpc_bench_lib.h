@@ -1,0 +1,75 @@
+// Reusable cluster-scale RPC benchmark worlds (the §8.1 testbed: one server,
+// many 32-core clients, 100 Gbps fabric), parameterized to regenerate
+// Figs. 6–12. Each Run* function builds a fresh simulated cluster, drives a
+// closed-loop echo workload (each thread keeps `outstanding` requests in
+// flight), and reports throughput, median/p99 latency, coalescing and server
+// CPU utilization after a warmup.
+#ifndef FLOCK_BENCH_RPC_BENCH_LIB_H_
+#define FLOCK_BENCH_RPC_BENCH_LIB_H_
+
+#include <cstdint>
+
+#include "src/common/histogram.h"
+#include "src/common/units.h"
+#include "src/flock/config.h"
+#include "src/sim/cost_model.h"
+
+namespace flock::bench {
+
+struct RpcBenchConfig {
+  int num_clients = 23;
+  int threads_per_client = 8;
+  int outstanding = 1;
+  uint32_t req_bytes = 64;
+  uint32_t resp_bytes = 64;
+  Nanos handler_cpu = 50;
+
+  // Payload mix for Fig. 11: this fraction of threads sends large requests.
+  double large_thread_fraction = 0.0;
+  uint32_t large_req_bytes = 0;
+
+  int server_cores = 32;
+  int client_cores = 32;
+  // Simulated-hardware constants (perturbed by the sensitivity ablation).
+  sim::CostModel cost;
+  Nanos warmup = 1 * kMillisecond;
+  Nanos measure = 3 * kMillisecond;
+
+  // Flock-specific.
+  FlockConfig flock;
+  uint32_t lanes_per_connection = 0;  // 0 → one per thread
+
+  // Fig. 12: split each client node into this many independent processes
+  // (each its own runtime) with `threads_per_client` threads per process.
+  int processes_per_client = 1;
+
+  // RC baselines: threads per shared QP (1 = no sharing).
+  int threads_per_qp = 1;
+
+  // UD baseline.
+  int ud_server_workers = 32;
+  // Per-worker posted receives. eRPC's credit-based sessions keep clients
+  // from overrunning the server (use a deep pool); FaSST-style setups drop
+  // and retransmit (use a shallow one).
+  uint32_t ud_recv_pool = 2048;
+};
+
+struct RpcBenchResult {
+  double mops = 0;            // completed requests per second / 1e6
+  int64_t p50_ns = 0;
+  int64_t p99_ns = 0;
+  double coalescing = 0;      // requests per message (client side)
+  double server_cpu = 0;      // utilization of the server cores [0,1]
+  uint64_t timeouts = 0;      // UD only: requests declared lost
+  uint64_t drops = 0;         // UD only: datagrams dropped (no posted receive)
+  uint64_t completed = 0;
+  uint32_t active_qps = 0;    // Flock: server-side active lanes at end
+};
+
+RpcBenchResult RunFlockRpc(const RpcBenchConfig& config);
+RpcBenchResult RunUdRpc(const RpcBenchConfig& config);
+RpcBenchResult RunRcRpc(const RpcBenchConfig& config);  // threads_per_qp applies
+
+}  // namespace flock::bench
+
+#endif  // FLOCK_BENCH_RPC_BENCH_LIB_H_

@@ -1,0 +1,177 @@
+#include "bench/txn_bench_lib.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/udrpc.h"
+#include "src/common/histogram.h"
+#include "src/flock/flock.h"
+#include "src/txn/server.h"
+#include "src/txn/transport.h"
+
+namespace flock::bench {
+
+namespace {
+
+constexpr int kServers = 3;
+constexpr int kReplication = 3;
+
+struct Shared {
+  bool measuring = false;
+  uint64_t committed = 0;
+  uint64_t aborts = 0;
+  uint64_t failed = 0;
+  Histogram latency;
+};
+
+// One submitting coroutine: closed-loop transactions with retry-on-abort.
+sim::Proc TxnWorker(verbs::Cluster* cluster, txn::TxCoordinator* coordinator,
+                    const TxnBenchConfig* config, uint64_t seed, Shared* shared) {
+  Rng rng(seed);
+  for (;;) {
+    const txn::TxRequest request = config->next(rng);
+    const Nanos start = cluster->sim().Now();
+    int attempts = 0;
+    bool committed = false;
+    while (attempts < 64) {
+      ++attempts;
+      if (co_await coordinator->ExecuteOnce(request)) {
+        committed = true;
+        break;
+      }
+      if (coordinator->last_failure_was_transport()) {
+        break;  // packet loss: outcome unknown, abandon (FaSST-style)
+      }
+    }
+    if (shared->measuring) {
+      if (committed) {
+        shared->committed += 1;
+        shared->aborts += static_cast<uint64_t>(attempts - 1);
+        shared->latency.Record(cluster->sim().Now() - start);
+      } else {
+        shared->failed += 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TxnBenchResult RunTxnBench(const TxnBenchConfig& config) {
+  verbs::Cluster cluster(verbs::Cluster::Config{
+      .num_nodes = kServers + config.num_clients, .cores_per_node = 32});
+
+  // KV substrate: per-server primary + replica stores.
+  std::vector<std::unique_ptr<txn::TxServer>> servers;
+  std::vector<txn::TxServer*> server_ptrs;
+  for (int s = 0; s < kServers; ++s) {
+    servers.push_back(std::make_unique<txn::TxServer>(
+        cluster.mem(s), s, kServers, kReplication, config.keys_per_partition,
+        config.value_size));
+    server_ptrs.push_back(servers.back().get());
+  }
+  uint8_t zero_value[txn::kTxMaxValue] = {};
+  config.populate(
+      [&](uint64_t key) { txn::PopulateKey(server_ptrs, key, zero_value); });
+
+  Shared shared;
+  std::vector<std::unique_ptr<FlockRuntime>> flock_servers;
+  std::vector<std::unique_ptr<FlockRuntime>> flock_clients;
+  std::vector<std::unique_ptr<baselines::UdRpcServer>> ud_servers;
+  std::vector<std::unique_ptr<baselines::UdRpcClient>> ud_clients;
+  std::vector<std::unique_ptr<txn::TxTransport>> transports;
+  std::vector<std::unique_ptr<txn::TxCoordinator>> coordinators;
+  uint64_t seed = 0x2545f4914f6cdd1dULL;
+
+  if (config.system == TxnSystem::kFlockTx) {
+    FlockConfig flock_config;
+    for (int s = 0; s < kServers; ++s) {
+      flock_servers.push_back(
+          std::make_unique<FlockRuntime>(cluster, s, flock_config));
+      servers[static_cast<size_t>(s)]->RegisterAll([&](uint16_t id, RpcHandler h) {
+        flock_servers.back()->RegisterHandler(id, h);
+      });
+      flock_servers.back()->StartServer(31);
+    }
+    for (int c = 0; c < config.num_clients; ++c) {
+      flock_clients.push_back(
+          std::make_unique<FlockRuntime>(cluster, kServers + c, flock_config));
+      FlockRuntime& runtime = *flock_clients.back();
+      runtime.StartClient();
+      std::vector<Connection*> conns;
+      std::vector<std::vector<RemoteMr>> mrs(kServers);
+      for (int s = 0; s < kServers; ++s) {
+        conns.push_back(runtime.Connect(
+            *flock_servers[static_cast<size_t>(s)],
+            static_cast<uint32_t>(config.threads_per_client)));
+        for (const auto& span : servers[static_cast<size_t>(s)]->primary()->spans()) {
+          mrs[static_cast<size_t>(s)].push_back(
+              conns.back()->AttachMreg(span.addr, span.length));
+        }
+      }
+      for (int t = 0; t < config.threads_per_client; ++t) {
+        FlockThread* thread = runtime.CreateThread(t % 30);
+        for (int w = 0; w < config.coroutines_per_thread; ++w) {
+          transports.push_back(std::make_unique<txn::FlockTxTransport>(
+              runtime, *thread, conns, mrs));
+          coordinators.push_back(std::make_unique<txn::TxCoordinator>(
+              *transports.back(), kServers, kReplication));
+          cluster.sim().Spawn(TxnWorker(&cluster, coordinators.back().get(), &config,
+                                        SplitMix64(seed), &shared));
+        }
+      }
+    }
+  } else {
+    // FaSST-like: UD RPC, one server worker per client thread ("a client only
+    // communicates with its peer thread at the server").
+    for (int s = 0; s < kServers; ++s) {
+      ud_servers.push_back(std::make_unique<baselines::UdRpcServer>(
+          cluster, s,
+          baselines::UdRpcServer::Config{
+              .worker_threads = config.threads_per_client,
+              .recv_pool = 512}));
+      servers[static_cast<size_t>(s)]->RegisterAll([&](uint16_t id, RpcHandler h) {
+        ud_servers.back()->RegisterHandler(id, h);
+      });
+      ud_servers.back()->Start();
+    }
+    for (int c = 0; c < config.num_clients; ++c) {
+      ud_clients.push_back(
+          std::make_unique<baselines::UdRpcClient>(cluster, kServers + c));
+      for (int t = 0; t < config.threads_per_client; ++t) {
+        baselines::UdRpcClient::Thread* thread = ud_clients.back()->CreateThread(
+            t % 30, /*recv_pool=*/256);
+        thread->StartPoller();  // FaSST's dedicated response coroutine
+        std::vector<baselines::UdEndpoint> peers;
+        for (int s = 0; s < kServers; ++s) {
+          peers.push_back(ud_servers[static_cast<size_t>(s)]->endpoint(t));
+        }
+        for (int w = 0; w < config.coroutines_per_thread; ++w) {
+          transports.push_back(std::make_unique<txn::FasstTxTransport>(
+              *thread, peers, 2 * kMillisecond));
+          coordinators.push_back(std::make_unique<txn::TxCoordinator>(
+              *transports.back(), kServers, kReplication));
+          cluster.sim().Spawn(TxnWorker(&cluster, coordinators.back().get(), &config,
+                                        SplitMix64(seed), &shared));
+        }
+      }
+    }
+  }
+
+  cluster.sim().RunFor(config.warmup);
+  shared.measuring = true;
+  cluster.sim().RunFor(config.measure);
+  shared.measuring = false;
+
+  TxnBenchResult result;
+  result.committed = shared.committed;
+  result.aborts = shared.aborts;
+  result.failed = shared.failed;
+  result.mtps = static_cast<double>(shared.committed) /
+                (static_cast<double>(config.measure) / 1e9) / 1e6;
+  result.p50_ns = shared.latency.Median();
+  result.p99_ns = shared.latency.P99();
+  return result;
+}
+
+}  // namespace flock::bench

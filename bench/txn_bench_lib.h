@@ -1,0 +1,48 @@
+// Distributed-transaction benchmark world for Figs. 14 and 15 (§8.5.2):
+// 3 servers (3-way replication) + 20 client nodes; each client thread runs
+// 19 submitting coroutines (the paper's 20th processes responses). Runs the
+// same OCC + 2PC + primary-backup protocol over FlockTX or the FaSST-like
+// UD baseline.
+#ifndef FLOCK_BENCH_TXN_BENCH_LIB_H_
+#define FLOCK_BENCH_TXN_BENCH_LIB_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rand.h"
+#include "src/common/units.h"
+#include "src/txn/coordinator.h"
+
+namespace flock::bench {
+
+enum class TxnSystem { kFlockTx, kFasst };
+
+struct TxnBenchConfig {
+  TxnSystem system = TxnSystem::kFlockTx;
+  int num_clients = 20;
+  int threads_per_client = 4;
+  int coroutines_per_thread = 19;
+  size_t keys_per_partition = 1 << 20;
+  uint32_t value_size = 40;
+  Nanos warmup = 2 * kMillisecond;
+  Nanos measure = 3 * kMillisecond;
+
+  // Workload hooks: populate all keys; generate one transaction.
+  std::function<void(const std::function<void(uint64_t)>&)> populate;
+  std::function<txn::TxRequest(Rng&)> next;
+};
+
+struct TxnBenchResult {
+  double mtps = 0;  // committed transactions per second / 1e6
+  int64_t p50_ns = 0;
+  int64_t p99_ns = 0;
+  uint64_t committed = 0;
+  uint64_t aborts = 0;
+  uint64_t failed = 0;  // transactions abandoned (e.g. UD packet loss)
+};
+
+TxnBenchResult RunTxnBench(const TxnBenchConfig& config);
+
+}  // namespace flock::bench
+
+#endif  // FLOCK_BENCH_TXN_BENCH_LIB_H_

@@ -1,0 +1,124 @@
+// Deterministic pseudo-random generators for workloads and the simulator.
+//
+// We deliberately avoid std::mt19937 in hot paths: workload generation runs
+// once per simulated operation, so the generator must be a handful of
+// instructions. SplitMix64 seeds xoshiro-style state; Zipf uses the
+// Gray/Jim-Gray-style approximation used by YCSB.
+#ifndef FLOCK_COMMON_RAND_H_
+#define FLOCK_COMMON_RAND_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/logging.h"
+
+namespace flock {
+
+// SplitMix64: used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xorshift128+ — fast, good-enough statistical quality for workload draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t s = seed;
+    s0_ = SplitMix64(s);
+    s1_ = SplitMix64(s);
+    if (s0_ == 0 && s1_ == 0) {
+      s1_ = 1;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, bound).
+  uint64_t NextBelow(uint64_t bound) {
+    FLOCK_CHECK_GT(bound, 0u);
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    FLOCK_CHECK_LE(lo, hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Zipfian generator over [0, n) following the YCSB / Gray et al. rejection-free
+// formulation. theta in (0, 1); theta ~ 0.99 is the YCSB default.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 1)
+      : rng_(seed), n_(n), theta_(theta) {
+    FLOCK_CHECK_GT(n, 0u);
+    FLOCK_CHECK_GT(theta, 0.0);
+    FLOCK_CHECK_LT(theta, 1.0);
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const double v =
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t item = static_cast<uint64_t>(v);
+    if (item >= n_) {
+      item = n_ - 1;
+    }
+    return item;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  Rng rng_;
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_RAND_H_

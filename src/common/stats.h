@@ -1,0 +1,72 @@
+// Small streaming statistics helpers used by the Flock schedulers.
+//
+// The paper's schedulers consume *medians* (median coalescing degree per
+// credit-renew interval, median request size per thread per scheduling
+// interval). Intervals are short, so an exact bounded sample window is both
+// cheap and faithful: we keep the most recent kWindow observations and take
+// the exact median of those.
+#ifndef FLOCK_COMMON_STATS_H_
+#define FLOCK_COMMON_STATS_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace flock {
+
+// Exact median over a sliding window of the last kWindow samples.
+template <typename T, size_t kWindow = 64>
+class WindowedMedian {
+ public:
+  void Record(T value) {
+    window_[next_ % kWindow] = value;
+    ++next_;
+  }
+
+  size_t count() const { return next_ < kWindow ? next_ : kWindow; }
+  bool empty() const { return next_ == 0; }
+
+  // Median of the current window; `fallback` when no samples were recorded.
+  T Median(T fallback = T{}) const {
+    const size_t n = count();
+    if (n == 0) {
+      return fallback;
+    }
+    std::array<T, kWindow> scratch;
+    std::copy(window_.begin(), window_.begin() + n, scratch.begin());
+    auto mid = scratch.begin() + n / 2;
+    std::nth_element(scratch.begin(), mid, scratch.begin() + n);
+    return *mid;
+  }
+
+  void Reset() { next_ = 0; }
+
+ private:
+  std::array<T, kWindow> window_{};
+  size_t next_ = 0;
+};
+
+// Monotonic counters with interval snapshots: Delta() returns the growth since
+// the previous Delta() call. Used for per-interval scheduler statistics.
+class IntervalCounter {
+ public:
+  void Add(uint64_t v) { total_ += v; }
+
+  uint64_t total() const { return total_; }
+
+  uint64_t Delta() {
+    const uint64_t d = total_ - last_snapshot_;
+    last_snapshot_ = total_;
+    return d;
+  }
+
+  uint64_t PeekDelta() const { return total_ - last_snapshot_; }
+
+ private:
+  uint64_t total_ = 0;
+  uint64_t last_snapshot_ = 0;
+};
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_STATS_H_

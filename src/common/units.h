@@ -1,0 +1,38 @@
+// Simulation time and size units.
+//
+// All simulated time is carried as integer nanoseconds (Nanos) to keep the
+// event queue total-ordering exact; floating point creeps in only at the edges
+// (bandwidth division) and is rounded up so a byte never travels faster than
+// the link allows.
+#ifndef FLOCK_COMMON_UNITS_H_
+#define FLOCK_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace flock {
+
+using Nanos = int64_t;
+
+constexpr Nanos kNanosecond = 1;
+constexpr Nanos kMicrosecond = 1000;
+constexpr Nanos kMillisecond = 1000 * 1000;
+constexpr Nanos kSecond = 1000 * 1000 * 1000;
+
+constexpr uint64_t KiB(uint64_t n) { return n << 10; }
+constexpr uint64_t MiB(uint64_t n) { return n << 20; }
+constexpr uint64_t GiB(uint64_t n) { return n << 30; }
+
+// Gigabits-per-second to bytes-per-nanosecond.
+constexpr double GbpsToBytesPerNano(double gbps) { return gbps / 8.0; }
+
+// Time to serialize `bytes` onto a link of `bytes_per_nano` capacity, rounded
+// up so that serialization time is never optimistic.
+inline Nanos SerializationDelay(uint64_t bytes, double bytes_per_nano) {
+  const double t = static_cast<double>(bytes) / bytes_per_nano;
+  const Nanos whole = static_cast<Nanos>(t);
+  return (static_cast<double>(whole) < t) ? whole + 1 : whole;
+}
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_UNITS_H_

@@ -1,0 +1,71 @@
+// The switched fabric: one full-duplex link per node to a single switch.
+//
+// Each direction of each link is a FIFO-served resource with serialization
+// delay at the configured line rate; the switch adds a fixed forwarding
+// latency. The shared *downlink into the server* is where high fan-in
+// congestion materializes, exactly as on the paper's 100 Gbps testbed.
+//
+// Messages are serialized as one burst (their packets are back-to-back on the
+// wire); per-packet framing overhead is still charged per MTU-sized packet so
+// that coalescing's bytes-on-the-wire savings are visible.
+#ifndef FLOCK_FABRIC_NETWORK_H_
+#define FLOCK_FABRIC_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/sync.h"
+
+namespace flock::fabric {
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, const sim::CostModel& cost, int num_nodes)
+      : cost_(cost) {
+    uplinks_.reserve(static_cast<size_t>(num_nodes));
+    downlinks_.reserve(static_cast<size_t>(num_nodes));
+    for (int i = 0; i < num_nodes; ++i) {
+      uplinks_.push_back(std::make_unique<sim::FifoServer>(simulator));
+      downlinks_.push_back(std::make_unique<sim::FifoServer>(simulator));
+    }
+  }
+
+  sim::FifoServer& Uplink(int node) { return *uplinks_[static_cast<size_t>(node)]; }
+  sim::FifoServer& Downlink(int node) { return *downlinks_[static_cast<size_t>(node)]; }
+
+  // Packets needed for `payload_bytes` at the configured MTU (min 1: even a
+  // 0-byte message, e.g. a pure-immediate write, is one packet).
+  uint32_t PacketCount(uint64_t payload_bytes) const {
+    const uint32_t mtu = cost_.mtu_bytes;
+    if (payload_bytes == 0) {
+      return 1;
+    }
+    return static_cast<uint32_t>((payload_bytes + mtu - 1) / mtu);
+  }
+
+  // Wire time for a burst: payload plus per-packet framing at line rate.
+  Nanos SerializeTime(uint64_t payload_bytes) const {
+    const uint64_t wire_bytes =
+        payload_bytes +
+        static_cast<uint64_t>(PacketCount(payload_bytes)) * cost_.wire_overhead_bytes;
+    return SerializationDelay(wire_bytes, cost_.LinkBytesPerNano());
+  }
+
+  // Propagation + switching between serialization on the two links.
+  Nanos TransitDelay() const {
+    return 2 * cost_.link_propagation + cost_.switch_latency;
+  }
+
+  int num_nodes() const { return static_cast<int>(uplinks_.size()); }
+
+ private:
+  const sim::CostModel& cost_;
+  std::vector<std::unique_ptr<sim::FifoServer>> uplinks_;
+  std::vector<std::unique_ptr<sim::FifoServer>> downlinks_;
+};
+
+}  // namespace flock::fabric
+
+#endif  // FLOCK_FABRIC_NETWORK_H_

@@ -1,0 +1,131 @@
+// Flock synchronization: the thread combining queue (TCQ, §4.2).
+//
+// An MCS-style lock-free queue in which the thread at the head becomes the
+// *leader* and combines the requests of the *followers* queued behind it
+// (bounded, to guarantee leader progress), then hands leadership to the first
+// follower it did not include.
+//
+// This class is written with real std::atomic operations and is exercised by
+// genuinely multithreaded stress tests (tests/combining_threads_test.cc).
+// Inside the discrete-event simulation the same protocol is driven by
+// coroutines (a single OS thread), with its synchronization *costs* charged
+// from the CostModel; this implementation is the executable reference for
+// that protocol.
+#ifndef FLOCK_FLOCK_COMBINING_H_
+#define FLOCK_FLOCK_COMBINING_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/logging.h"
+
+namespace flock {
+
+class CombiningQueue {
+ public:
+  enum Status : uint32_t {
+    kWaiting = 0,  // enqueued; leader has not processed it yet
+    kLeader = 1,   // promoted: this thread must run the leader protocol
+    kDone = 2,     // a leader combined and submitted this request
+  };
+
+  // One node per (thread, queue); reusable after completion.
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<uint32_t> status{kWaiting};
+    // Opaque request descriptor the leader combines (payload pointer, length,
+    // sequence id... — whatever the embedding protocol needs).
+    uint64_t payload = 0;
+
+    void Reset() {
+      next.store(nullptr, std::memory_order_relaxed);
+      status.store(kWaiting, std::memory_order_relaxed);
+    }
+  };
+
+  CombiningQueue() = default;
+  CombiningQueue(const CombiningQueue&) = delete;
+  CombiningQueue& operator=(const CombiningQueue&) = delete;
+
+  // Enqueues `node` with a single atomic swap (the MCS step). Returns true if
+  // the caller is the leader; false if it must WaitTurn().
+  bool Enqueue(Node* node) {
+    node->Reset();
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    if (prev == nullptr) {
+      return true;
+    }
+    prev->next.store(node, std::memory_order_release);
+    return false;
+  }
+
+  // Follower: spins until a leader processed this node (kDone) or promoted it
+  // to leader (kLeader). Returns the terminal status.
+  uint32_t WaitTurn(const Node* node) const {
+    uint32_t status;
+    while ((status = node->status.load(std::memory_order_acquire)) == kWaiting) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+    return status;
+  }
+
+  // Leader: gathers itself plus up to bound-1 queued followers, in order.
+  // Returns the batch size (>= 1). `out[0]` is always `leader`.
+  size_t Collect(Node* leader, Node** out, size_t bound) {
+    FLOCK_CHECK_GE(bound, 1u);
+    out[0] = leader;
+    size_t n = 1;
+    Node* current = leader;
+    while (n < bound) {
+      Node* next = current->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        if (tail_.load(std::memory_order_acquire) == current) {
+          break;  // genuinely the last node
+        }
+        // A successor swapped the tail but has not linked yet; it will.
+        do {
+          next = current->next.load(std::memory_order_acquire);
+        } while (next == nullptr);
+      }
+      out[n++] = next;
+      current = next;
+    }
+    return n;
+  }
+
+  // Leader: after submitting the combined batch, retires the batch nodes and
+  // hands leadership to the first non-included follower (if any).
+  void Finish(Node** batch, size_t n) {
+    Node* last = batch[n - 1];
+    Node* next = last->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      Node* expected = last;
+      if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel)) {
+        // Queue emptied.
+        for (size_t i = 1; i < n; ++i) {
+          batch[i]->status.store(kDone, std::memory_order_release);
+        }
+        return;
+      }
+      // Lost the race with an enqueuer: wait for its link.
+      do {
+        next = last->next.load(std::memory_order_acquire);
+      } while (next == nullptr);
+    }
+    next->status.store(kLeader, std::memory_order_release);
+    for (size_t i = 1; i < n; ++i) {
+      batch[i]->status.store(kDone, std::memory_order_release);
+    }
+  }
+
+  bool Empty() const { return tail_.load(std::memory_order_acquire) == nullptr; }
+
+ private:
+  std::atomic<Node*> tail_{nullptr};
+};
+
+}  // namespace flock
+
+#endif  // FLOCK_FLOCK_COMBINING_H_

@@ -1,0 +1,58 @@
+// Tunables for the Flock runtime. Defaults follow §5–§8 of the paper.
+#ifndef FLOCK_FLOCK_CONFIG_H_
+#define FLOCK_FLOCK_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace flock {
+
+struct FlockConfig {
+  // ---- receiver-side QP scheduling (§5.1) ----
+  // Maximum QPs the server keeps active; 256 avoids RNIC cache thrashing
+  // (chosen from Fig. 2(a), §8.1).
+  uint32_t max_active_qps = 256;
+  // Credits granted per QP at bootstrap and per renewal (§5.1, default 32).
+  uint32_t credits = 32;
+  // A leader requests renewal once half the credits are consumed.
+  uint32_t credit_renew_threshold = 16;
+  // How often the server's QP scheduler redistributes active QPs.
+  Nanos qp_sched_interval = 200 * kMicrosecond;
+
+  // ---- sender-side thread scheduling (§5.2) ----
+  Nanos thread_sched_interval = 500 * kMicrosecond;
+  bool sender_thread_scheduling = true;
+
+  // ---- Flock synchronization (§4.2) ----
+  // Bound on requests coalesced into one message (leader-progress bound).
+  uint32_t max_coalesce = 16;
+  // Set false to ablate coalescing (Fig. 10): every request is its own
+  // message even when the QP is shared.
+  bool coalescing = true;
+  // Selective signaling: 1 CQE per this many posted writes (§7).
+  uint32_t signal_interval = 16;
+
+  // ---- rings and payload bounds (§4.1) ----
+  uint32_t ring_bytes = 256 * 1024;
+  // Largest single RPC payload (request or response).
+  uint32_t max_payload = 8 * 1024;
+
+  // Number of QPs (lanes) created per connection handle; by convention one
+  // per application thread, capped here.
+  uint32_t max_lanes_per_connection = 64;
+
+  // Response-dispatcher threads per client node (§4.3: one dispatcher can
+  // serve many QPs).
+  int response_dispatchers = 1;
+
+  // Server-side execution model (§4.3): 0 = the request dispatchers execute
+  // RPC handlers inline; N > 0 = dispatchers only detect messages and hand
+  // gathered batches to an application-managed pool of N RPC workers running
+  // on the cores above the dispatchers'.
+  int server_workers = 0;
+};
+
+}  // namespace flock
+
+#endif  // FLOCK_FLOCK_CONFIG_H_

@@ -1,0 +1,14 @@
+// Flock: a scalable RDMA communication framework (SOSP '21).
+//
+// Umbrella public header. See README.md for a quickstart and
+// src/flock/runtime.h for the full API surface (Table 2 mapping).
+#ifndef FLOCK_FLOCK_FLOCK_H_
+#define FLOCK_FLOCK_FLOCK_H_
+
+#include "src/flock/combining.h"
+#include "src/flock/config.h"
+#include "src/flock/ring.h"
+#include "src/flock/runtime.h"
+#include "src/flock/wire.h"
+
+#endif  // FLOCK_FLOCK_FLOCK_H_

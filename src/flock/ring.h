@@ -1,0 +1,160 @@
+// The request/response ring protocol (§4.1).
+//
+// The *producer* (a Flock sender) reserves space in the remote ring, encodes
+// a coalesced message into a local staging mirror at the same offset, and
+// RDMA-writes it across. It learns the consumer's progress ("Head") from the
+// piggybacked head field in messages flowing the other way, so it almost
+// never needs an RDMA read to find free space.
+//
+// The *consumer* (a Flock dispatcher) polls the header slot at its head
+// offset; a message is accepted when the trailing canary matches the header
+// canary. Consumed regions are zeroed so stale canaries can never
+// false-positive, and zeroing doubles as the "Free/Processed" state of Fig. 5.
+//
+// Messages never straddle the ring end: the producer writes a wrap marker
+// and continues at offset 0. All sizes are 32-byte aligned, so a marker
+// always fits.
+#ifndef FLOCK_FLOCK_RING_H_
+#define FLOCK_FLOCK_RING_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/flock/wire.h"
+
+namespace flock {
+
+// Producer-side space accounting. Pure bookkeeping: the caller encodes into
+// its staging mirror at the returned offset and issues the RDMA write(s).
+class RingProducer {
+ public:
+  explicit RingProducer(uint32_t size) : size_(size) {
+    FLOCK_CHECK_EQ(size % wire::kAlign, 0u);
+    FLOCK_CHECK_GE(size, 4 * wire::kAlign);
+  }
+
+  struct Reservation {
+    uint32_t offset = 0;         // where the message goes
+    bool wrapped = false;        // a wrap marker must be written first
+    uint32_t marker_offset = 0;  // where the marker goes if wrapped
+  };
+
+  // Tries to reserve `len` (32B-aligned) contiguous bytes. Returns false when
+  // the ring lacks space (caller waits for a head update).
+  bool Reserve(uint32_t len, Reservation* out) {
+    FLOCK_CHECK_EQ(len % wire::kAlign, 0u);
+    FLOCK_CHECK_LE(len, size_ / 2) << "message too large for ring";
+    const uint32_t remaining_at_end = size_ - tail_;
+    if (len <= remaining_at_end) {
+      if (used_ + len > Budget()) {
+        return false;
+      }
+      out->offset = tail_;
+      out->wrapped = false;
+      used_ += len;
+      tail_ = (tail_ + len) % size_;
+      return true;
+    }
+    // Wrap: the dead space at the end (marker included) is consumed too.
+    if (used_ + remaining_at_end + len > Budget()) {
+      return false;
+    }
+    out->offset = 0;
+    out->wrapped = true;
+    out->marker_offset = tail_;
+    used_ += remaining_at_end + len;
+    tail_ = len;
+    return true;
+  }
+
+  // A (cumulative) consumed-bytes report arrived — piggybacked in a message
+  // header or RDMA-written into the head slot. Cumulative counters make the
+  // update idempotent and safe against reordering between the two channels:
+  // an older snapshot yields a wrapped-negative delta (> ring size) and is
+  // ignored.
+  void OnHeadUpdate(uint32_t consumed_cumulative) {
+    const uint32_t freed = consumed_cumulative - last_consumed_;
+    if (freed == 0 || freed > size_) {
+      return;  // no news, or a stale out-of-order report
+    }
+    FLOCK_CHECK_LE(freed, used_);
+    used_ -= freed;
+    last_consumed_ = consumed_cumulative;
+  }
+
+  uint32_t tail() const { return tail_; }
+  uint32_t used() const { return used_; }
+  uint32_t size() const { return size_; }
+
+ private:
+  // Never fill completely: head == tail must always mean "empty".
+  uint32_t Budget() const { return size_ - wire::kAlign; }
+
+  uint32_t size_;
+  uint32_t tail_ = 0;
+  uint32_t used_ = 0;
+  uint32_t last_consumed_ = 0;  // cumulative bytes the consumer has released
+};
+
+// Consumer-side view over the actual ring bytes.
+class RingConsumer {
+ public:
+  RingConsumer(uint8_t* base, uint32_t size) : base_(base), size_(size) {
+    FLOCK_CHECK_EQ(size % wire::kAlign, 0u);
+  }
+
+  // Checks for a complete message at the head, transparently consuming wrap
+  // markers. kIncomplete is also returned for malformed lengths (torn or
+  // stale bytes) — the consumer just polls again later.
+  wire::ProbeResult Probe(wire::MsgHeader* header) {
+    while (true) {
+      const uint8_t* at = base_ + head_;
+      wire::MsgHeader h;
+      std::memcpy(&h, at, wire::kHeaderBytes);
+      if (h.total_len == 0) {
+        return wire::ProbeResult::kEmpty;
+      }
+      if (h.total_len % wire::kAlign != 0 || h.total_len > size_ - head_) {
+        return wire::ProbeResult::kIncomplete;
+      }
+      const wire::ProbeResult result = wire::ProbeMessage(at, &h);
+      if (result == wire::ProbeResult::kWrap) {
+        std::memset(base_ + head_, 0, wire::kWrapMarkerBytes);
+        // The marker and the dead space behind it count as consumed, matching
+        // the producer's accounting of the wrap.
+        consumed_bytes_ += size_ - head_;
+        head_ = 0;
+        continue;  // the real message is at offset 0 (or not yet there)
+      }
+      if (result == wire::ProbeResult::kMessage) {
+        *header = h;
+      }
+      return result;
+    }
+  }
+
+  const uint8_t* MessagePtr() const { return base_ + head_; }
+  uint32_t head() const { return head_; }
+  // Cumulative bytes released; reported back to the producer (truncated to
+  // 32 bits, which OnHeadUpdate's modular arithmetic expects).
+  uint64_t consumed_bytes() const { return consumed_bytes_; }
+  uint32_t consumed_report() const { return static_cast<uint32_t>(consumed_bytes_); }
+
+  // Releases the message at the head (zeroing its bytes) and advances.
+  void Consume(const wire::MsgHeader& header) {
+    std::memset(base_ + head_, 0, header.total_len);
+    head_ = (head_ + header.total_len) % size_;
+    consumed_bytes_ += header.total_len;
+  }
+
+ private:
+  uint8_t* base_;
+  uint32_t size_;
+  uint32_t head_ = 0;
+  uint64_t consumed_bytes_ = 0;
+};
+
+}  // namespace flock
+
+#endif  // FLOCK_FLOCK_RING_H_

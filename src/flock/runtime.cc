@@ -1,0 +1,1273 @@
+#include "src/flock/runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace flock {
+
+using internal::ClientLane;
+using internal::CtrlType;
+using internal::PendingSend;
+using internal::SenderState;
+using internal::ServerLane;
+using internal::WrTag;
+
+namespace {
+
+uint64_t PendingKey(uint16_t thread_id, uint32_t seq) {
+  return (uint64_t{thread_id} << 32) | seq;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FlockRuntime: construction and roles
+// ---------------------------------------------------------------------------
+
+FlockRuntime::FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig& config)
+    : cluster_(cluster), node_(node), config_(config) {
+  send_cq_ = cluster_.device(node_).CreateCq();
+  recv_cq_ = cluster_.device(node_).CreateCq();
+  rng_state_ ^= 0x1234567ull * static_cast<uint64_t>(node + 1);
+}
+
+FlockRuntime::~FlockRuntime() = default;
+
+void FlockRuntime::RegisterHandler(uint16_t rpc_id, RpcHandler handler) {
+  FLOCK_CHECK(handlers_.find(rpc_id) == handlers_.end())
+      << "duplicate handler for rpc " << rpc_id;
+  handlers_[rpc_id] = std::move(handler);
+}
+
+void FlockRuntime::StartServer(int dispatcher_cores) {
+  FLOCK_CHECK(!server_started_);
+  FLOCK_CHECK_GT(dispatcher_cores, 0);
+  server_started_ = true;
+  dispatcher_count_ = dispatcher_cores;
+  dispatcher_lanes_.resize(static_cast<size_t>(dispatcher_cores));
+  work_ready_ = std::make_unique<sim::Condition>(cluster_.sim());
+  for (int i = 0; i < dispatcher_cores; ++i) {
+    cluster_.sim().Spawn(RequestDispatcher(i));
+  }
+  // §4.3: optionally, an application-managed pool of RPC workers executes the
+  // handlers; the dispatchers then only detect and route messages.
+  for (int i = 0; i < config_.server_workers; ++i) {
+    cluster_.sim().Spawn(RpcWorker(i));
+  }
+  cluster_.sim().Spawn(QpScheduler());
+}
+
+void FlockRuntime::StartClient() {
+  FLOCK_CHECK(!client_started_);
+  client_started_ = true;
+  for (int i = 0; i < config_.response_dispatchers; ++i) {
+    cluster_.sim().Spawn(ResponseDispatcher(i));
+  }
+  cluster_.sim().Spawn(ThreadScheduler());
+}
+
+FlockThread* FlockRuntime::CreateThread(int core) {
+  const uint16_t id = static_cast<uint16_t>(threads_.size());
+  threads_.push_back(std::make_unique<FlockThread>(
+      node_, id, &cluster_.cpu(node_).core(core), SplitMix64(rng_state_)));
+  threads_.back()->atomic_slot = cluster_.mem(node_).Alloc(8, 8);
+  return threads_.back().get();
+}
+
+uint32_t FlockRuntime::ActiveServerLanes() const {
+  uint32_t n = 0;
+  for (const auto& lane : server_lanes_) {
+    n += lane->active ? 1 : 0;
+  }
+  return n;
+}
+
+double FlockRuntime::MeanServerCoalescing() const {
+  uint64_t msgs = 0, reqs = 0;
+  for (const auto& lane : server_lanes_) {
+    msgs += lane->messages_handled;
+    reqs += lane->requests_handled;
+  }
+  return msgs == 0 ? 0.0 : static_cast<double>(reqs) / static_cast<double>(msgs);
+}
+
+// ---------------------------------------------------------------------------
+// fl_connect: building a connection handle
+// ---------------------------------------------------------------------------
+
+Connection* FlockRuntime::Connect(FlockRuntime& server, uint32_t lanes) {
+  FLOCK_CHECK(server.server_started_)
+      << "call StartServer() on the remote node before fl_connect";
+  lanes = std::min(lanes, config_.max_lanes_per_connection);
+  FLOCK_CHECK_GT(lanes, 0u);
+
+  auto conn = std::make_unique<Connection>();
+  conn->client_ = this;
+  conn->server_ = &server;
+  conn->server_node_ = server.node_;
+
+  const uint32_t sender_key = static_cast<uint32_t>(server.senders_.size());
+  server.senders_.push_back(SenderState{});
+  server.senders_.back().client_node = node_;
+
+  // Receiver-side initial allocation: a new client gets the average active-QP
+  // share per sender (§5.1), refined at the next redistribution.
+  const uint32_t fair_share = std::max<uint32_t>(
+      1, server.config_.max_active_qps /
+             static_cast<uint32_t>(server.senders_.size()));
+  const uint32_t initially_active = std::min(lanes, fair_share);
+
+  fabric::MemorySpace& cmem = cluster_.mem(node_);
+  fabric::MemorySpace& smem = cluster_.mem(server.node_);
+  const uint32_t ring_bytes = config_.ring_bytes;
+
+  for (uint32_t i = 0; i < lanes; ++i) {
+    auto cl = std::make_unique<ClientLane>(cluster_.sim(), ring_bytes);
+    cl->copy_done = std::make_unique<sim::Condition>(cluster_.sim());
+    cl->sent_cond = std::make_unique<sim::Condition>(cluster_.sim());
+    auto sl = std::make_unique<ServerLane>(ring_bytes);
+
+    cl->index = i;
+    cl->conn = conn.get();
+    sl->index = i;
+    sl->client_node = node_;
+    sl->sender_key = sender_key;
+
+    // QPs, both ends on the node-shared CQs.
+    auto [cqp, sqp] = cluster_.ConnectRc(node_, send_cq_, recv_cq_, server.node_,
+                                         server.send_cq_, server.recv_cq_);
+    cl->qp = cqp;
+    sl->qp = sqp;
+
+    // Request ring lives on the server; the client keeps a staging mirror.
+    sl->req_ring_addr = smem.Alloc(ring_bytes);
+    verbs::Mr req_mr = server.cluster_.device(server.node_).RegisterMr(
+        sl->req_ring_addr, ring_bytes);
+    sl->req_consumer =
+        std::make_unique<RingConsumer>(smem.At(sl->req_ring_addr), ring_bytes);
+    cl->remote_ring_addr = sl->req_ring_addr;
+    cl->remote_ring_rkey = req_mr.rkey;
+    cl->staging_addr = cmem.Alloc(ring_bytes);
+    cl->staging = cmem.At(cl->staging_addr);
+
+    // Out-of-band head slot (server-side) + its client-local write source.
+    sl->head_slot_addr = smem.Alloc(8, 8);
+    verbs::Mr slot_mr =
+        server.cluster_.device(server.node_).RegisterMr(sl->head_slot_addr, 8);
+    cl->head_slot_remote_addr = sl->head_slot_addr;
+    cl->head_slot_rkey = slot_mr.rkey;
+    cl->head_src_addr = cmem.Alloc(8, 8);
+
+    // Control slot (client-side) the server's QP scheduler writes into.
+    cl->ctrl_slot_addr = cmem.Alloc(8, 8);
+    verbs::Mr ctrl_mr = cluster_.device(node_).RegisterMr(cl->ctrl_slot_addr, 8);
+    sl->ctrl_slot_remote_addr = cl->ctrl_slot_addr;
+    sl->ctrl_slot_rkey = ctrl_mr.rkey;
+    sl->ctrl_src_addr = smem.Alloc(8, 8);
+
+    // Response ring lives on the client; the server keeps a staging mirror.
+    cl->resp_ring_addr = cmem.Alloc(ring_bytes);
+    verbs::Mr resp_mr =
+        cluster_.device(node_).RegisterMr(cl->resp_ring_addr, ring_bytes);
+    cl->resp_consumer =
+        std::make_unique<RingConsumer>(cmem.At(cl->resp_ring_addr), ring_bytes);
+    sl->remote_ring_addr = cl->resp_ring_addr;
+    sl->remote_ring_rkey = resp_mr.rkey;
+    sl->staging_addr = smem.Alloc(ring_bytes);
+    sl->staging = smem.At(sl->staging_addr);
+
+    // Receives for control write-with-imm messages, both directions.
+    for (int r = 0; r < 16; ++r) {
+      cqp->PostRecv(verbs::RecvWr{internal::TagWrId(WrTag::kRecv, cl.get()), 0, 0});
+      sqp->PostRecv(verbs::RecvWr{internal::TagWrId(WrTag::kRecv, sl.get()), 0, 0});
+    }
+
+    // Activation and bootstrap credits (§5.1: C at bootstrap).
+    const bool active = i < initially_active;
+    cl->active = active;
+    sl->active = active;
+    cl->credits = active ? server.config_.credits : 0;
+    sl->credits_outstanding = cl->credits;
+    internal::CtrlSlot bootstrap;
+    bootstrap.grant_cumulative = 0;
+    bootstrap.active = active ? 1 : 0;
+    cmem.Write(cl->ctrl_slot_addr, &bootstrap, sizeof(bootstrap));
+
+    server.senders_.back().lanes.push_back(sl.get());
+    server.dispatcher_lanes_[server.server_lanes_.size() %
+                             static_cast<size_t>(server.dispatcher_count_)]
+        .push_back(sl.get());
+    server.server_lanes_.push_back(std::move(sl));
+    conn->lanes_.push_back(std::move(cl));
+  }
+
+  connections_.push_back(std::move(conn));
+  return connections_.back().get();
+}
+
+// ---------------------------------------------------------------------------
+// Connection: client data path
+// ---------------------------------------------------------------------------
+
+uint32_t Connection::num_active_lanes() const {
+  uint32_t n = 0;
+  for (const auto& lane : lanes_) {
+    n += lane->active ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t Connection::messages_sent() const {
+  uint64_t n = 0;
+  for (const auto& lane : lanes_) {
+    n += lane->messages_sent;
+  }
+  return n;
+}
+
+uint64_t Connection::requests_sent() const {
+  uint64_t n = 0;
+  for (const auto& lane : lanes_) {
+    n += lane->requests_sent;
+  }
+  return n;
+}
+
+void Connection::BatchHistogram(uint64_t out[33]) const {
+  for (const auto& lane : lanes_) {
+    for (int i = 0; i < 33; ++i) {
+      out[i] += lane->batch_histogram[i];
+    }
+  }
+}
+
+double Connection::MeanCoalescing() const {
+  const uint64_t msgs = messages_sent();
+  return msgs == 0 ? 0.0
+                   : static_cast<double>(requests_sent()) / static_cast<double>(msgs);
+}
+
+internal::ClientLane& Connection::LaneFor(FlockThread& thread) {
+  const size_t tid = thread.id();
+  if (thread_lane_.size() <= tid) {
+    thread_lane_.resize(tid + 1, UINT32_MAX);
+  }
+  uint32_t current = thread_lane_[tid];
+  if (desired_lane_.size() <= tid) {
+    desired_lane_.resize(tid + 1, UINT32_MAX);
+  }
+  const uint32_t desired = desired_lane_[tid];
+  // Apply a pending migration only once all of the thread's outstanding
+  // requests have completed (sequence-id safety, §5.2).
+  if (desired != UINT32_MAX && desired != current && thread.outstanding == 0) {
+    current = desired;
+    thread_lane_[tid] = current;
+  }
+  if (current == UINT32_MAX || (!lanes_[current]->active && thread.outstanding == 0)) {
+    // Initial (or repair) assignment: spread over the active lanes.
+    std::vector<uint32_t> active;
+    for (uint32_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i]->active) {
+        active.push_back(i);
+      }
+    }
+    if (active.empty()) {
+      active.push_back(0);  // server guarantees >= 1 active; transient only
+    }
+    current = active[tid % active.size()];
+    thread_lane_[tid] = current;
+    desired_lane_[tid] = current;
+  }
+  return *lanes_[current];
+}
+
+sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
+                                         const uint8_t* data, uint32_t len) {
+  const FlockConfig& config = client_->config();
+  const sim::CostModel& cost = client_->cost();
+  FLOCK_CHECK_LE(len, config.max_payload);
+
+  ClientLane& lane = LaneFor(thread);
+
+  auto* rpc = new PendingRpc(client_->sim());
+  rpc->rpc_id = rpc_id;
+  rpc->seq = thread.NextSeq();
+  rpc->thread_id = thread.id();
+  rpc->submitted_at = client_->sim().Now();
+  pending_[PendingKey(rpc->thread_id, rpc->seq)] = rpc;
+
+  auto ps = std::make_unique<PendingSend>();
+  ps->meta.data_len = len;
+  ps->meta.thread_id = thread.id();
+  ps->meta.rpc_id = rpc_id;
+  ps->meta.seq = rpc->seq;
+  ps->owner_core = &thread.core();
+  ps->data.assign(data, data + len);
+
+  thread.outstanding += 1;
+  lane.inflight += 1;
+  thread.req_size_median.Record(len);
+  thread.reqs_sent.Add(1);
+  thread.bytes_sent.Add(len);
+
+  // TCQ enqueue: one atomic swap + a cacheline transfer makes the request
+  // visible to the (current or future) leader...
+  co_await thread.core().Work(cost.cpu_atomic_rmw + cost.cpu_cacheline_transfer);
+  PendingSend* handle = ps.get();
+  lane.combine_queue.push_back(std::move(ps));
+  if (!lane.pump_running) {
+    lane.pump_running = true;
+    client_->sim().Spawn(Pump(lane));
+  }
+  // ...then the thread copies its payload into the combining buffer and
+  // raises its copy-completion flag, which the leader polls (§4.2).
+  bool sent = false;
+  handle->sent_flag = &sent;
+  co_await thread.core().Work(cost.MemcpyCost(len + wire::kMetaBytes));
+  handle->copied = true;
+  lane.copy_done->NotifyAll();
+  // fl_send_rpc completes when the combined message is on the wire: a leader
+  // posts it itself; a follower waits for the (transient) leader to do so.
+  while (!sent) {
+    co_await lane.sent_cond->Wait();
+  }
+  co_return rpc;
+}
+
+sim::Co<bool> Connection::AwaitResponse(FlockThread& thread, PendingRpc* rpc) {
+  if (!rpc->done) {
+    co_await rpc->cond.Wait();
+  }
+  FLOCK_CHECK(rpc->done);
+  co_await thread.core().Work(client_->cost().cpu_cqe_handle);
+  co_return rpc->ok;
+}
+
+sim::Co<bool> Connection::Call(FlockThread& thread, uint16_t rpc_id,
+                               const uint8_t* data, uint32_t len,
+                               std::vector<uint8_t>* response) {
+  PendingRpc* rpc = co_await SendRpc(thread, rpc_id, data, len);
+  const bool ok = co_await AwaitResponse(thread, rpc);
+  if (ok && response != nullptr) {
+    *response = std::move(rpc->response);
+  }
+  delete rpc;
+  co_return ok;
+}
+
+void Connection::MaybeRenewCredits(ClientLane& lane, std::vector<verbs::SendWr>& wrs) {
+  const FlockConfig& config = client_->config();
+  if (!lane.active || lane.renew_in_flight ||
+      lane.credits > config.credit_renew_threshold) {
+    return;
+  }
+  // write-with-imm carrying {lane, median coalescing degree since last renew}
+  // (§5.1 + §7). Zero-length write: only the immediate travels.
+  verbs::SendWr wr;
+  wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
+  wr.opcode = verbs::Opcode::kWriteImm;
+  wr.local_addr = 0;
+  wr.length = 0;
+  wr.remote_addr = lane.remote_ring_addr;
+  wr.rkey = lane.remote_ring_rkey;
+  wr.signaled = false;
+  const uint32_t degree =
+      std::min<uint32_t>(lane.coalesce_degree.Median(1), 0xffff);
+  wr.imm = internal::PackCtrl(CtrlType::kRenewRequest, lane.index,
+                              std::max<uint32_t>(degree, 1));
+  wrs.push_back(wr);
+  lane.renew_in_flight = true;
+}
+
+sim::Proc Connection::Pump(ClientLane& lane) {
+  const FlockConfig& config = client_->config();
+  const sim::CostModel& cost = client_->cost();
+  sim::Simulator& sim = client_->sim();
+
+  while (!lane.combine_queue.empty()) {
+    // Collect the leader's batch: bounded combining (§4.2).
+    const size_t bound = config.coalescing ? config.max_coalesce : 1;
+    std::vector<std::unique_ptr<PendingSend>> batch;
+    uint32_t data_bytes = 0;
+    while (batch.size() < bound && !lane.combine_queue.empty()) {
+      // Respect the encoder's capacity for pathological payload mixes.
+      const uint32_t next_len = lane.combine_queue.front()->meta.data_len;
+      if (!batch.empty() &&
+          wire::MessageBytes(static_cast<uint32_t>(batch.size()) + 1,
+                             data_bytes + next_len) > config.ring_bytes / 2) {
+        break;
+      }
+      data_bytes += next_len;
+      batch.push_back(std::move(lane.combine_queue.front()));
+      lane.combine_queue.pop_front();
+    }
+    // Leader polls the copy-completion flags; followers that enqueued while
+    // it waited are admitted up to the bound (the leader-progress rule).
+    auto admit = [&]() {
+      while (batch.size() < bound && !lane.combine_queue.empty()) {
+        const uint32_t next_len = lane.combine_queue.front()->meta.data_len;
+        if (wire::MessageBytes(static_cast<uint32_t>(batch.size()) + 1,
+                               data_bytes + next_len) > config.ring_bytes / 2) {
+          break;
+        }
+        data_bytes += next_len;
+        batch.push_back(std::move(lane.combine_queue.front()));
+        lane.combine_queue.pop_front();
+      }
+    };
+    auto all_copied = [&]() {
+      for (const auto& ps : batch) {
+        if (!ps->copied) {
+          return false;
+        }
+      }
+      return true;
+    };
+    while (true) {
+      admit();
+      if (all_copied()) {
+        break;
+      }
+      co_await lane.copy_done->Wait();
+    }
+
+    sim::Core& core = *batch[0]->owner_core;
+    // Leader overhead before finalizing: buffer management and flag polls.
+    // Followers arriving during this window are still admitted below.
+    co_await core.Work(cost.cpu_msg_fixed);
+    while (true) {
+      admit();
+      if (all_copied()) {
+        break;
+      }
+      co_await lane.copy_done->Wait();
+    }
+
+    uint32_t n = static_cast<uint32_t>(batch.size());
+    uint32_t msg_len = wire::MessageBytes(n, data_bytes);
+
+    // Wait for a credit and contiguous ring space.
+    RingProducer::Reservation resv;
+    while (true) {
+      if (!lane.active && lane.credits == 0) {
+        // Deactivated and drained: migrate the queued work to an active lane
+        // (sender-side thread scheduling will move the threads themselves).
+        ClientLane* target = nullptr;
+        for (const auto& other : lanes_) {
+          if (other->active) {
+            target = other.get();
+            break;
+          }
+        }
+        if (target != nullptr && target != &lane) {
+          for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+            lane.combine_queue.push_front(std::move(*it));
+          }
+          while (!lane.combine_queue.empty()) {
+            target->combine_queue.push_back(std::move(lane.combine_queue.front()));
+            lane.combine_queue.pop_front();
+            target->inflight += 1;
+            FLOCK_CHECK_GT(lane.inflight, 0u);
+            lane.inflight -= 1;
+          }
+          if (!target->pump_running) {
+            target->pump_running = true;
+            sim.Spawn(Pump(*target));
+          }
+          lane.pump_running = false;
+          co_return;
+        }
+        co_await lane.send_ready.Wait();
+        continue;
+      }
+      if (lane.credits > 0 && lane.req_producer.Reserve(msg_len, &resv)) {
+        break;
+      }
+      co_await lane.send_ready.Wait();
+      // Backpressure grows the batch: requests that queued while this lane
+      // was out of credits or ring space are combined into this message.
+      admit();
+      while (!all_copied()) {
+        co_await lane.copy_done->Wait();
+      }
+      n = static_cast<uint32_t>(batch.size());
+      msg_len = wire::MessageBytes(n, data_bytes);
+    }
+    lane.credits -= 1;
+
+    // Leader work: per-request combining (buffer grants + flag polls),
+    // header build, canary generation (§4.2).
+    co_await core.Work(static_cast<Nanos>(n) * cost.cpu_msg_per_req);
+
+    const uint64_t canary = SplitMix64(client_->rng_state_);
+    wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
+    for (const auto& ps : batch) {
+      encoder.Add(ps->meta, ps->data.data());
+    }
+    const uint32_t total =
+        encoder.Seal(lane.resp_consumer->consumed_report(), /*credit_grant=*/0);
+    FLOCK_CHECK_EQ(total, msg_len);
+    lane.resp_bytes_since_send = 0;  // this message carries a fresh head
+
+    // Post the coalesced message (plus wrap marker / credit renewal if due)
+    // with a single doorbell.
+    std::vector<verbs::SendWr> wrs;
+    if (resv.wrapped) {
+      wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
+      verbs::SendWr marker;
+      marker.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
+      marker.opcode = verbs::Opcode::kWrite;
+      marker.local_addr = lane.staging_addr + resv.marker_offset;
+      marker.length = wire::kWrapMarkerBytes;
+      marker.remote_addr = lane.remote_ring_addr + resv.marker_offset;
+      marker.rkey = lane.remote_ring_rkey;
+      marker.signaled = false;
+      wrs.push_back(marker);
+    }
+    verbs::SendWr msg;
+    msg.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
+    msg.opcode = verbs::Opcode::kWrite;
+    msg.local_addr = lane.staging_addr + resv.offset;
+    msg.length = msg_len;
+    msg.remote_addr = lane.remote_ring_addr + resv.offset;
+    msg.rkey = lane.remote_ring_rkey;
+    lane.posts += 1;
+    msg.signaled = (lane.posts % config.signal_interval) == 0;  // §7
+    wrs.push_back(msg);
+    MaybeRenewCredits(lane, wrs);
+
+    co_await core.Work(static_cast<Nanos>(wrs.size()) * cost.cpu_wqe_prep +
+                       cost.cpu_mmio_doorbell);
+    const verbs::WcStatus status =
+        lane.qp->PostSendBatch(wrs.data(), wrs.size());
+    FLOCK_CHECK(status == verbs::WcStatus::kSuccess)
+        << "post failed: " << verbs::WcStatusName(status);
+
+    lane.messages_sent += 1;
+    lane.requests_sent += n;
+    lane.coalesce_degree.Record(n);
+    lane.batch_histogram[n < 33 ? n : 32] += 1;
+    for (const auto& ps : batch) {
+      if (ps->sent_flag != nullptr) {
+        *ps->sent_flag = true;
+      }
+    }
+    lane.sent_cond->NotifyAll();
+  }
+  lane.pump_running = false;
+}
+
+// ---------------------------------------------------------------------------
+// Connection: one-sided memory and atomic operations (§6)
+// ---------------------------------------------------------------------------
+
+RemoteMr Connection::AttachMreg(uint64_t remote_addr, uint64_t length) {
+  verbs::Mr mr =
+      server_->cluster().device(server_node_).RegisterMr(remote_addr, length);
+  return RemoteMr{remote_addr, length, mr.rkey};
+}
+
+sim::Co<verbs::WcStatus> Connection::SubmitMemOp(FlockThread& thread,
+                                                 verbs::SendWr wr) {
+  const sim::CostModel& cost = client_->cost();
+  ClientLane& lane = LaneFor(thread);
+
+  PendingMemOp op(client_->sim());
+  op.wr = wr;
+  op.wr.wr_id = internal::TagWrId(WrTag::kMemOp, &op);
+  op.wr.signaled = true;  // each thread waits on its own completion event
+  op.owner_core = &thread.core();
+
+  thread.outstanding += 1;
+  // Each thread prepares its own work request; posting is delegated to the
+  // leader, which links the batch (§6).
+  co_await thread.core().Work(cost.cpu_atomic_rmw + cost.cpu_cacheline_transfer +
+                              cost.cpu_wqe_prep);
+  lane.memop_queue.push_back(&op);
+  if (!lane.mem_pump_running) {
+    lane.mem_pump_running = true;
+    client_->sim().Spawn(MemPump(lane));
+  }
+  if (!op.done) {
+    co_await op.cond.Wait();
+  }
+  thread.outstanding -= 1;
+  co_return op.status;
+}
+
+sim::Proc Connection::MemPump(ClientLane& lane) {
+  const FlockConfig& config = client_->config();
+  const sim::CostModel& cost = client_->cost();
+  while (!lane.memop_queue.empty()) {
+    std::vector<PendingMemOp*> batch;
+    const size_t bound = config.coalescing ? config.max_coalesce : 1;
+    while (batch.size() < bound && !lane.memop_queue.empty()) {
+      batch.push_back(lane.memop_queue.front());
+      lane.memop_queue.pop_front();
+    }
+    sim::Core& core = *batch[0]->owner_core;
+    // The leader links the WRs and rings one doorbell for the whole chain.
+    co_await core.Work(cost.cpu_mmio_doorbell +
+                       static_cast<Nanos>(batch.size()) * (cost.cpu_atomic_rmw / 2));
+    for (PendingMemOp* op : batch) {
+      const verbs::WcStatus status = lane.qp->PostSend(op->wr);
+      if (status != verbs::WcStatus::kSuccess) {
+        op->status = status;
+        op->done = true;
+        op->cond.NotifyAll();
+      }
+    }
+    // QP contention indicator for receiver-side scheduling (§6).
+    lane.coalesce_degree.Record(static_cast<uint32_t>(batch.size()));
+  }
+  lane.mem_pump_running = false;
+}
+
+sim::Co<verbs::WcStatus> Connection::Read(FlockThread& thread, uint64_t local_addr,
+                                          uint64_t remote_addr, uint32_t length,
+                                          const RemoteMr& mr) {
+  verbs::SendWr wr;
+  wr.opcode = verbs::Opcode::kRead;
+  wr.local_addr = local_addr;
+  wr.length = length;
+  wr.remote_addr = remote_addr;
+  wr.rkey = mr.rkey;
+  co_return co_await SubmitMemOp(thread, wr);
+}
+
+sim::Co<verbs::WcStatus> Connection::Write(FlockThread& thread, uint64_t local_addr,
+                                           uint64_t remote_addr, uint32_t length,
+                                           const RemoteMr& mr) {
+  verbs::SendWr wr;
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.local_addr = local_addr;
+  wr.length = length;
+  wr.remote_addr = remote_addr;
+  wr.rkey = mr.rkey;
+  co_return co_await SubmitMemOp(thread, wr);
+}
+
+sim::Co<verbs::WcStatus> Connection::FetchAndAdd(FlockThread& thread,
+                                                 uint64_t remote_addr, uint64_t add,
+                                                 uint64_t* old_value,
+                                                 const RemoteMr& mr) {
+  verbs::SendWr wr;
+  wr.opcode = verbs::Opcode::kFetchAdd;
+  wr.local_addr = thread.atomic_slot;
+  wr.length = 8;
+  wr.remote_addr = remote_addr;
+  wr.rkey = mr.rkey;
+  wr.swap_or_add = add;
+  const verbs::WcStatus status = co_await SubmitMemOp(thread, wr);
+  if (status == verbs::WcStatus::kSuccess && old_value != nullptr) {
+    client_->cluster().mem(client_->node()).Read(thread.atomic_slot, old_value, 8);
+  }
+  co_return status;
+}
+
+sim::Co<verbs::WcStatus> Connection::CompareAndSwap(FlockThread& thread,
+                                                    uint64_t remote_addr,
+                                                    uint64_t expected,
+                                                    uint64_t desired,
+                                                    uint64_t* old_value,
+                                                    const RemoteMr& mr) {
+  verbs::SendWr wr;
+  wr.opcode = verbs::Opcode::kCmpSwap;
+  wr.local_addr = thread.atomic_slot;
+  wr.length = 8;
+  wr.remote_addr = remote_addr;
+  wr.rkey = mr.rkey;
+  wr.compare = expected;
+  wr.swap_or_add = desired;
+  const verbs::WcStatus status = co_await SubmitMemOp(thread, wr);
+  if (status == verbs::WcStatus::kSuccess && old_value != nullptr) {
+    client_->cluster().mem(client_->node()).Read(thread.atomic_slot, old_value, 8);
+  }
+  co_return status;
+}
+
+// ---------------------------------------------------------------------------
+// Server: request dispatching (§4.3)
+// ---------------------------------------------------------------------------
+
+sim::Proc FlockRuntime::RequestDispatcher(int index) {
+  // Core 0 runs the QP scheduler; dispatchers use the rest.
+  sim::Core& core = cluster_.cpu(node_).core(1 + index);
+  const sim::CostModel& cost = cluster_.cost();
+  internal::DispatchScratch scratch;
+  // The gather phase can batch up to 2 * max_coalesce - 1 requests.
+  scratch.data.resize(size_t{2} * config_.max_coalesce * (config_.max_payload + 64) +
+                      wire::kHeaderBytes + wire::kCanaryBytes);
+
+  for (;;) {
+    Nanos pass_cost = 0;
+    for (size_t li = 0; li < dispatcher_lanes_[static_cast<size_t>(index)].size();
+         ++li) {
+      ServerLane& lane = *dispatcher_lanes_[static_cast<size_t>(index)][li];
+      pass_cost += cost.cpu_ring_poll_empty;
+      if (lane.in_service) {
+        continue;  // an RPC worker owns this lane's head message right now
+      }
+      wire::MsgHeader header;
+      const wire::ProbeResult probe = lane.req_consumer->Probe(&header);
+      if (probe == wire::ProbeResult::kMessage) {
+        if (config_.server_workers > 0) {
+          // Worker-pool mode: route the lane to the pool (small routing cost)
+          // and let a worker gather + execute + respond.
+          lane.in_service = true;
+          work_queue_.push_back(&lane);
+          work_ready_->NotifyOne();
+          pass_cost += cost.cpu_cacheline_transfer;
+          continue;
+        }
+        co_await core.Work(pass_cost);
+        pass_cost = 0;
+        co_await HandleRequestMessage(lane, core, header, scratch);
+      }
+    }
+    co_await core.Work(pass_cost > 0 ? pass_cost : cost.cpu_ring_poll_empty);
+  }
+}
+
+sim::Proc FlockRuntime::RpcWorker(int index) {
+  // Workers run on the cores above the dispatchers'.
+  sim::Core& core = cluster_.cpu(node_).core(1 + dispatcher_count_ + index);
+  const sim::CostModel& cost = cluster_.cost();
+  internal::DispatchScratch scratch;
+  scratch.data.resize(size_t{2} * config_.max_coalesce * (config_.max_payload + 64) +
+                      wire::kHeaderBytes + wire::kCanaryBytes);
+  for (;;) {
+    while (work_queue_.empty()) {
+      co_await work_ready_->Wait();
+    }
+    ServerLane& lane = *work_queue_.front();
+    work_queue_.pop_front();
+    wire::MsgHeader header;
+    if (lane.req_consumer->Probe(&header) == wire::ProbeResult::kMessage) {
+      co_await core.Work(cost.cpu_cacheline_transfer);  // take over the lane
+      co_await HandleRequestMessage(lane, core, header, scratch);
+    }
+    lane.in_service = false;
+  }
+}
+
+sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& core,
+                                                 const wire::MsgHeader& first,
+                                                 internal::DispatchScratch& scratch) {
+  const sim::CostModel& cost = cluster_.cost();
+
+  // Freshen the response-ring view from the client's out-of-band head slot.
+  uint32_t slot_value = 0;
+  cluster_.mem(node_).Read(lane.head_slot_addr, &slot_value, 4);
+  lane.resp_producer.OnHeadUpdate(slot_value);
+
+  // Gather phase: drain consecutive complete messages from this lane's ring
+  // (bounded) so responses coalesce *across* request messages too (§4.3).
+  scratch.resp.clear();
+  uint32_t total_reqs = 0;
+  uint32_t resp_bytes = 0;
+  uint32_t offset = 0;
+  Nanos work = 0;
+  wire::MsgHeader header = first;
+  while (true) {
+    lane.resp_producer.OnHeadUpdate(header.piggyback_head);
+    const uint32_t n = header.num_reqs;
+    scratch.views.resize(n);
+    FLOCK_CHECK(wire::DecodeRequests(lane.req_consumer->MessagePtr(), header,
+                                     scratch.views.data()))
+        << "malformed coalesced message";
+    work += cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
+    for (uint32_t i = 0; i < n; ++i) {
+      const wire::ReqView& req = scratch.views[i];
+      auto it = handlers_.find(req.meta.rpc_id);
+      FLOCK_CHECK(it != handlers_.end()) << "no handler for rpc " << req.meta.rpc_id;
+      Nanos handler_cpu = 0;
+      const uint32_t resp_len =
+          it->second(req.data, req.meta.data_len, scratch.data.data() + offset,
+                     config_.max_payload, &handler_cpu);
+      FLOCK_CHECK_LE(resp_len, config_.max_payload);
+      work += handler_cpu + cost.cpu_msg_per_req;
+      internal::DispatchScratch::RespEntry entry;
+      entry.meta = req.meta;  // echo thread id, seq, rpc id
+      entry.meta.data_len = resp_len;
+      entry.offset = offset;
+      scratch.resp.push_back(entry);
+      offset += resp_len;
+      resp_bytes += resp_len;
+    }
+    // Retire the request message (zeroing = Free/Processed state of Fig. 5).
+    work += cost.MemcpyCost(header.total_len);
+    lane.req_consumer->Consume(header);
+    lane.messages_handled += 1;
+    lane.requests_handled += n;
+    server_stats_.messages += 1;
+    server_stats_.requests += n;
+    total_reqs += n;
+    if (!config_.coalescing || total_reqs >= config_.max_coalesce) {
+      break;  // coalescing disabled: one response message per request message
+    }
+    if (lane.req_consumer->Probe(&header) != wire::ProbeResult::kMessage) {
+      break;
+    }
+    // Stop if the next message's responses could overflow the encoding
+    // (worst case: every one of its requests yields a max_payload response).
+    if (wire::MessageBytes(total_reqs + header.num_reqs,
+                           resp_bytes + header.num_reqs * config_.max_payload) >
+        config_.ring_bytes / 2) {
+      break;
+    }
+  }
+  co_await core.Work(work);
+
+  // Reserve response-ring space; while stalled, re-read the head slot the
+  // client's dispatcher keeps fresh (the §4.1 fallback for a stale Head).
+  const uint32_t msg_len = wire::MessageBytes(total_reqs, resp_bytes);
+  RingProducer::Reservation resv;
+  while (!lane.resp_producer.Reserve(msg_len, &resv)) {
+    co_await sim::Delay(cluster_.sim(), kMicrosecond);
+    cluster_.mem(node_).Read(lane.head_slot_addr, &slot_value, 4);
+    lane.resp_producer.OnHeadUpdate(slot_value);
+  }
+
+  // Encode the coalesced response; piggyback the request-ring head and any
+  // pending credit grant (§4.3, §5.1).
+  const uint64_t canary = SplitMix64(rng_state_);
+  wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
+  for (uint32_t i = 0; i < total_reqs; ++i) {
+    encoder.Add(scratch.resp[i].meta, scratch.data.data() + scratch.resp[i].offset);
+  }
+  const uint32_t total =
+      encoder.Seal(lane.req_consumer->consumed_report(), /*credit_grant=*/0);
+  FLOCK_CHECK_EQ(total, msg_len);
+  co_await core.Work(cost.cpu_msg_fixed +
+                     static_cast<Nanos>(total_reqs) * cost.cpu_msg_per_req +
+                     cost.MemcpyCost(resp_bytes));
+
+  std::vector<verbs::SendWr> wrs;
+  if (resv.wrapped) {
+    wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
+    verbs::SendWr marker;
+    marker.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
+    marker.opcode = verbs::Opcode::kWrite;
+    marker.local_addr = lane.staging_addr + resv.marker_offset;
+    marker.length = wire::kWrapMarkerBytes;
+    marker.remote_addr = lane.remote_ring_addr + resv.marker_offset;
+    marker.rkey = lane.remote_ring_rkey;
+    marker.signaled = false;
+    wrs.push_back(marker);
+  }
+  verbs::SendWr msg;
+  msg.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
+  msg.opcode = verbs::Opcode::kWrite;
+  msg.local_addr = lane.staging_addr + resv.offset;
+  msg.length = msg_len;
+  msg.remote_addr = lane.remote_ring_addr + resv.offset;
+  msg.rkey = lane.remote_ring_rkey;
+  lane.posts += 1;
+  msg.signaled = (lane.posts % config_.signal_interval) == 0;
+  wrs.push_back(msg);
+
+  co_await core.Work(static_cast<Nanos>(wrs.size()) * cost.cpu_wqe_prep +
+                     cost.cpu_mmio_doorbell);
+  const verbs::WcStatus status = lane.qp->PostSendBatch(wrs.data(), wrs.size());
+  FLOCK_CHECK(status == verbs::WcStatus::kSuccess);
+  server_stats_.responses_sent += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Server: receiver-side QP scheduling (§5.1)
+// ---------------------------------------------------------------------------
+
+sim::Proc FlockRuntime::QpScheduler() {
+  sim::Core& core = cluster_.cpu(node_).core(0);
+  const sim::CostModel& cost = cluster_.cost();
+  Nanos next_redistribution = cluster_.sim().Now() + config_.qp_sched_interval;
+
+  for (;;) {
+    Nanos work = 2 * cost.cpu_cq_poll_empty;
+    verbs::Completion wc;
+    // Credit-renew requests arrive as write-with-imm completions on the RCQ
+    // (§7: polling the RCQ avoids synchronizing with the request dispatchers).
+    while (recv_cq_->Poll(&wc)) {
+      work += cost.cpu_cqe_handle + cost.cpu_post_recv;
+      CtrlType type;
+      uint32_t lane_index, value;
+      internal::UnpackCtrl(wc.imm, &type, &lane_index, &value);
+      FLOCK_CHECK(internal::WrIdTag(wc.wr_id) == WrTag::kRecv);
+      FLOCK_CHECK(type == CtrlType::kRenewRequest);
+      auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
+      lane->qp->PostRecv(verbs::RecvWr{wc.wr_id, 0, 0});
+      server_stats_.credit_renewals += 1;
+      lane->utilization += value;  // U_ij += reported median degree
+      if (lane->active) {
+        // Grant C more credits through the lane's control slot (§5.1).
+        lane->grant_cumulative += config_.credits;
+        WriteCtrlSlot(*lane);
+        lane->credits_outstanding += config_.credits;
+        work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
+      }
+      // Inactive lanes get no credits from the next interval on (§5.1).
+    }
+    // Our own posted writes (signaled responses, control messages).
+    while (send_cq_->Poll(&wc)) {
+      work += cost.cpu_cqe_handle;
+      if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
+        auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
+        op->status = wc.status;
+        op->done = true;
+        op->cond.NotifyAll();
+      }
+    }
+
+    if (cluster_.sim().Now() >= next_redistribution) {
+      Redistribute();
+      next_redistribution = cluster_.sim().Now() + config_.qp_sched_interval;
+      work += static_cast<Nanos>(server_lanes_.size()) * 20;
+    }
+    co_await core.Work(work);
+  }
+}
+
+void FlockRuntime::WriteCtrlSlot(ServerLane& lane) {
+  internal::CtrlSlot slot;
+  slot.grant_cumulative = lane.grant_cumulative;
+  slot.active = lane.active ? 1 : 0;
+  cluster_.mem(node_).Write(lane.ctrl_src_addr, &slot, sizeof(slot));
+  verbs::SendWr wr;
+  wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.local_addr = lane.ctrl_src_addr;
+  wr.length = sizeof(slot);
+  wr.remote_addr = lane.ctrl_slot_remote_addr;
+  wr.rkey = lane.ctrl_slot_rkey;
+  wr.signaled = false;
+  FLOCK_CHECK(lane.qp->PostSend(wr) == verbs::WcStatus::kSuccess);
+}
+
+void FlockRuntime::Redistribute() {
+  server_stats_.redistributions += 1;
+  // Effective per-lane utilization: the reported coalescing degrees (the
+  // paper's U_ij contention signal) plus the messages received this interval.
+  // The message term keeps low-rate senders "functioning" even when no credit
+  // renewal happened to land inside this scheduling window — with C=32 and
+  // renewal at half, a lane renews only once per 16 messages, which can
+  // starve the pure-renewal metric at modest rates and deactivate senders
+  // that are in fact active.
+  uint64_t total_utilization = 0;
+  uint32_t dormant = 0;
+  for (SenderState& sender : senders_) {
+    sender.utilization = 0;
+    for (ServerLane* lane : sender.lanes) {
+      lane->utilization += lane->messages_handled - lane->messages_at_last_sweep;
+      sender.utilization += lane->utilization;
+    }
+    total_utilization += sender.utilization;
+    dormant += sender.utilization == 0 ? 1 : 0;
+  }
+  // Dormant senders keep one QP each; the functioning senders share what is
+  // left of MAX_AQP so the cap holds strictly.
+  const uint32_t budget =
+      config_.max_active_qps > dormant ? config_.max_active_qps - dormant : 1;
+
+  for (SenderState& sender : senders_) {
+    const uint32_t lane_count = static_cast<uint32_t>(sender.lanes.size());
+    if (lane_count == 0) {
+      continue;
+    }
+    uint32_t target;
+    if (sender.utilization == 0 || total_utilization == 0) {
+      sender.functioning = false;  // dormant: keep one QP for the future
+      target = 1;
+    } else {
+      sender.functioning = true;
+      target = static_cast<uint32_t>(
+          (static_cast<uint64_t>(budget) * sender.utilization) / total_utilization);
+      target = std::max<uint32_t>(target, 1);
+    }
+    target = std::min(target, lane_count);
+
+    // One-sided hysteresis: a -1 target wobble (utilization noise between
+    // otherwise equal senders) is not worth churning the active set — every
+    // flip forces the sender's threads to re-shuffle across lanes, breaking
+    // the combining lockstep among them. Growth is always allowed (an
+    // under-provisioned sender benefits immediately).
+    uint32_t currently_active = 0;
+    for (ServerLane* lane : sender.lanes) {
+      currently_active += lane->active ? 1 : 0;
+    }
+    if (sender.functioning && currently_active >= 1 &&
+        target + 1 == currently_active) {
+      target = currently_active;
+    }
+
+    // Keep the most utilized lanes active; prefer the currently-active ones
+    // on near-ties so the set membership is stable interval to interval.
+    std::vector<ServerLane*> order = sender.lanes;
+    std::stable_sort(order.begin(), order.end(),
+                     [](const ServerLane* a, const ServerLane* b) {
+                       if (a->active != b->active) {
+                         return a->active > b->active;
+                       }
+                       return a->utilization > b->utilization;
+                     });
+    for (uint32_t i = 0; i < order.size(); ++i) {
+      ServerLane& lane = *order[i];
+      const bool want_active = i < target;
+      if (want_active && !lane.active) {
+        lane.active = true;
+        server_stats_.activations += 1;
+        lane.grant_cumulative += config_.credits;  // re-arm with C credits
+        lane.credits_outstanding += config_.credits;
+        WriteCtrlSlot(lane);
+      } else if (!want_active && lane.active) {
+        lane.active = false;
+        server_stats_.deactivations += 1;
+        WriteCtrlSlot(lane);
+      }
+      lane.messages_at_last_sweep = lane.messages_handled;
+      lane.utilization = 0;
+    }
+    sender.utilization = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client: response dispatching (§4.3) and sender-side scheduling (§5.2)
+// ---------------------------------------------------------------------------
+
+void FlockRuntime::ApplyCtrlSlot(ClientLane& lane) {
+  internal::CtrlSlot slot;
+  cluster_.mem(node_).Read(lane.ctrl_slot_addr, &slot, sizeof(slot));
+  bool changed = false;
+  const uint32_t delta = slot.grant_cumulative - lane.grants_seen;
+  if (delta != 0 && delta < (1u << 24)) {  // ignore torn/stale nonsense
+    lane.credits += delta;
+    lane.grants_seen = slot.grant_cumulative;
+    lane.renew_in_flight = false;
+    changed = true;
+  }
+  const bool active = slot.active != 0;
+  if (active != lane.active) {
+    lane.active = active;
+    lane.renew_in_flight = false;
+    changed = true;
+  }
+  if (changed) {
+    lane.send_ready.NotifyAll();  // wake the pump (or let it migrate work)
+  }
+}
+
+sim::Proc FlockRuntime::ResponseDispatcher(int index) {
+  // Dispatchers occupy the top cores of the node (the paper dedicates a
+  // lightweight dispatcher thread that serves many QPs).
+  sim::Core& core =
+      cluster_.cpu(node_).core(cluster_.cpu(node_).num_cores() - 1 - index);
+  const sim::CostModel& cost = cluster_.cost();
+
+  for (;;) {
+    Nanos pass_cost = cost.cpu_cq_poll_empty;
+    verbs::Completion wc;
+    while (send_cq_->Poll(&wc)) {
+      pass_cost += cost.cpu_cqe_handle;
+      if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
+        auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
+        op->status = wc.status;
+        op->done = true;
+        op->cond.NotifyAll();
+      }
+    }
+
+    for (auto& conn : connections_) {
+      for (size_t li = index; li < conn->lanes_.size();
+           li += static_cast<size_t>(config_.response_dispatchers)) {
+        ClientLane& lane = *conn->lanes_[li];
+        pass_cost += cost.cpu_ring_poll_empty;
+        ApplyCtrlSlot(lane);  // grants / activation written by the server
+        wire::MsgHeader header;
+        if (lane.resp_consumer->Probe(&header) != wire::ProbeResult::kMessage) {
+          continue;
+        }
+        co_await core.Work(pass_cost);
+        pass_cost = 0;
+
+        // Piggybacked request-ring head.
+        lane.req_producer.OnHeadUpdate(header.piggyback_head);
+        lane.send_ready.NotifyAll();
+
+        const uint32_t n = header.num_reqs;
+        std::vector<wire::ReqView> views(n);
+        FLOCK_CHECK(
+            wire::DecodeRequests(lane.resp_consumer->MessagePtr(), header, views.data()));
+        Nanos work = cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
+        for (uint32_t i = 0; i < n; ++i) {
+          const wire::ReqView& resp = views[i];
+          const uint64_t key = PendingKey(resp.meta.thread_id, resp.meta.seq);
+          auto it = conn->pending_.find(key);
+          FLOCK_CHECK(it != conn->pending_.end())
+              << "response with no outstanding request";
+          PendingRpc* rpc = it->second;
+          conn->pending_.erase(it);
+          rpc->response.assign(resp.data, resp.data + resp.meta.data_len);
+          work += cost.MemcpyCost(resp.meta.data_len);
+          rpc->done = true;
+          rpc->ok = true;
+          rpc->completed_at = cluster_.sim().Now();
+          rpc->cond.NotifyAll();
+          FlockThread& thread = *threads_[resp.meta.thread_id];
+          thread.outstanding -= 1;
+        }
+        FLOCK_CHECK_GE(lane.inflight, n);
+        lane.inflight -= n;
+        work += cost.MemcpyCost(header.total_len);  // zero the consumed region
+        lane.resp_consumer->Consume(header);
+
+        // Keep the server's view of this response ring fresh even when no
+        // request traffic carries a piggyback: RDMA-write the cumulative
+        // consumed count into the server-side head slot.
+        lane.resp_bytes_since_send += header.total_len;
+        if (lane.resp_bytes_since_send >= config_.ring_bytes / 4) {
+          const uint32_t report = lane.resp_consumer->consumed_report();
+          cluster_.mem(node_).Write(lane.head_src_addr, &report, 4);
+          verbs::SendWr slot_wr;
+          slot_wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
+          slot_wr.opcode = verbs::Opcode::kWrite;
+          slot_wr.local_addr = lane.head_src_addr;
+          slot_wr.length = 4;
+          slot_wr.remote_addr = lane.head_slot_remote_addr;
+          slot_wr.rkey = lane.head_slot_rkey;
+          slot_wr.signaled = false;
+          FLOCK_CHECK(lane.qp->PostSend(slot_wr) == verbs::WcStatus::kSuccess);
+          work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
+          lane.resp_bytes_since_send = 0;
+        }
+        co_await core.Work(work);
+      }
+    }
+    co_await core.Work(pass_cost > 0 ? pass_cost : cost.cpu_cq_poll_empty);
+  }
+}
+
+sim::Proc FlockRuntime::ThreadScheduler() {
+  for (;;) {
+    co_await sim::Delay(cluster_.sim(), config_.thread_sched_interval);
+    for (auto& conn : connections_) {
+      RescheduleThreads(*conn);
+    }
+  }
+}
+
+void FlockRuntime::RescheduleThreads(Connection& conn) {
+  // Active lane set.
+  std::vector<uint32_t> active;
+  for (uint32_t i = 0; i < conn.lanes_.size(); ++i) {
+    if (conn.lanes_[i]->active) {
+      active.push_back(i);
+    }
+  }
+  if (active.empty() || threads_.empty()) {
+    return;
+  }
+  conn.desired_lane_.resize(threads_.size(), UINT32_MAX);
+
+  if (!config_.sender_thread_scheduling) {
+    // Ablation baseline: spread threads round-robin over active lanes.
+    for (size_t t = 0; t < threads_.size(); ++t) {
+      conn.desired_lane_[t] = active[t % active.size()];
+    }
+    return;
+  }
+
+  // Algorithm 1: sort threads by median request size then by request count;
+  // pack onto lanes by byte quota to mitigate head-of-line blocking.
+  struct ThreadStat {
+    size_t tid;
+    uint32_t median_size;
+    uint64_t reqs;
+    uint64_t bytes;
+  };
+  std::vector<ThreadStat> stats;
+  uint64_t total_bytes = 0;
+  for (size_t t = 0; t < threads_.size(); ++t) {
+    FlockThread& thread = *threads_[t];
+    ThreadStat s;
+    s.tid = t;
+    s.median_size = thread.req_size_median.Median(0);
+    s.reqs = thread.reqs_sent.Delta();
+    s.bytes = thread.bytes_sent.Delta();
+    total_bytes += s.bytes;
+    stats.push_back(s);
+  }
+
+  // Stability check: if the current assignment already satisfies the
+  // scheduling goals — every thread on an active lane, per-lane byte loads
+  // within 2x of the mean, and no lane mixing small- and large-payload
+  // threads — keep it. Gratuitous migration would break the request/response
+  // lockstep among the threads sharing a QP, and with it the coalescing the
+  // whole design is after.
+  if (conn.desired_lane_.size() >= threads_.size() && !active.empty()) {
+    bool healthy = true;
+    std::unordered_map<uint32_t, uint64_t> lane_bytes;
+    std::unordered_map<uint32_t, uint32_t> lane_min_size, lane_max_size;
+    for (const ThreadStat& s : stats) {
+      const uint32_t lane = conn.desired_lane_[s.tid];
+      if (lane == UINT32_MAX || !conn.lanes_[lane]->active) {
+        healthy = false;
+        break;
+      }
+      lane_bytes[lane] += s.bytes;
+      if (s.bytes > 0) {
+        auto [min_it, min_inserted] = lane_min_size.try_emplace(lane, s.median_size);
+        auto [max_it, max_inserted] = lane_max_size.try_emplace(lane, s.median_size);
+        min_it->second = std::min(min_it->second, s.median_size);
+        max_it->second = std::max(max_it->second, s.median_size);
+      }
+    }
+    if (healthy && total_bytes > 0) {
+      const uint64_t mean = total_bytes / active.size();
+      for (const auto& [lane, bytes] : lane_bytes) {
+        if (bytes > 2 * mean + 1) {
+          healthy = false;  // load imbalance
+        }
+      }
+      for (const auto& [lane, min_size] : lane_min_size) {
+        // Head-of-line risk: a lane serving both small and large payloads.
+        if (lane_max_size[lane] > 4 * std::max(min_size, 64u)) {
+          healthy = false;
+        }
+      }
+    }
+    if (healthy) {
+      return;
+    }
+  }
+  // Sort per Algorithm 1 (median request size, then request count) — with the
+  // count quantized so run-to-run noise cannot flip the order. A stable
+  // ordering keeps thread→QP assignments (and therefore the sets of threads
+  // that coalesce together) intact across scheduling intervals; reshuffling
+  // them would break the request/response lockstep that drives coalescing.
+  std::stable_sort(stats.begin(), stats.end(),
+                   [](const ThreadStat& a, const ThreadStat& b) {
+                     if (a.median_size != b.median_size) {
+                       return a.median_size < b.median_size;
+                     }
+                     if ((a.reqs >> 6) != (b.reqs >> 6)) {
+                       return (a.reqs >> 6) < (b.reqs >> 6);
+                     }
+                     return a.tid < b.tid;
+                   });
+
+  const uint64_t quota =
+      std::max<uint64_t>(1, total_bytes / active.size());  // Algorithm 1 line 1
+  size_t qp_index = 0;
+  uint64_t qp_load = 0;
+  for (const ThreadStat& s : stats) {
+    conn.desired_lane_[s.tid] = active[std::min(qp_index, active.size() - 1)];
+    qp_load += s.bytes;
+    if (qp_load >= quota) {
+      qp_index += 1;
+      qp_load = 0;
+    }
+  }
+}
+
+}  // namespace flock

@@ -1,0 +1,470 @@
+// The Flock runtime: connection handles, zero-copy coalesced RPC, symbiotic
+// send-recv scheduling, and one-sided memory/atomic operations (§3–§7).
+//
+// One FlockRuntime exists per simulated node and can play the client role
+// (Connect + SendRpc/Read/Write/atomics), the server role (RegisterHandler +
+// StartServer), or both.
+//
+// Table 2 mapping:
+//   fl_connect        → FlockRuntime::Connect
+//   fl_attach_mreg    → Connection::AttachMreg
+//   fl_send_rpc       → Connection::SendRpc (async) / Call (send + await)
+//   fl_recv_res       → Connection::AwaitResponse
+//   fl_reg_handler    → FlockRuntime::RegisterHandler
+//   fl_recv_rpc       → server request dispatchers (StartServer)
+//   fl_send_res       → server request dispatchers (automatic response)
+//   fl_read           → Connection::Read
+//   fl_write          → Connection::Write
+//   fl_fetch_and_add  → Connection::FetchAndAdd
+//   fl_cmp_and_swap   → Connection::CompareAndSwap
+#ifndef FLOCK_FLOCK_RUNTIME_H_
+#define FLOCK_FLOCK_RUNTIME_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/flock/config.h"
+#include "src/flock/ring.h"
+#include "src/flock/wire.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/verbs/device.h"
+
+namespace flock {
+
+class FlockRuntime;
+class Connection;
+
+// An RPC handler runs on a server dispatcher core: consume `req`, produce a
+// response in `resp` (capacity `resp_cap`), return its length, and report the
+// application CPU it consumed via `cpu_cost` (simulated time).
+using RpcHandler = std::function<uint32_t(const uint8_t* req, uint32_t req_len,
+                                          uint8_t* resp, uint32_t resp_cap,
+                                          Nanos* cpu_cost)>;
+
+// A registered application thread. Threads are pinned to a simulated core and
+// carry the per-thread state the paper's schedulers consume.
+class FlockThread {
+ public:
+  FlockThread(int node, uint16_t id, sim::Core* core, uint64_t seed)
+      : node_(node), id_(id), core_(core), rng_(seed) {}
+
+  int node() const { return node_; }
+  uint16_t id() const { return id_; }
+  sim::Core& core() { return *core_; }
+  Rng& rng() { return rng_; }
+
+  uint32_t NextSeq() { return next_seq_++; }
+
+  // Statistics for sender-side thread scheduling (§5.2, Algorithm 1).
+  WindowedMedian<uint32_t, 32> req_size_median;
+  IntervalCounter reqs_sent;
+  IntervalCounter bytes_sent;
+  int outstanding = 0;
+  // 8-byte landing slot for atomic results (allocated by CreateThread).
+  uint64_t atomic_slot = 0;
+
+ private:
+  int node_;
+  uint16_t id_;
+  sim::Core* core_;
+  Rng rng_;
+  uint32_t next_seq_ = 1;
+};
+
+// An outstanding RPC awaiting its response.
+struct PendingRpc {
+  explicit PendingRpc(sim::Simulator& sim) : cond(sim) {}
+  sim::Condition cond;
+  bool done = false;
+  bool ok = true;
+  uint16_t rpc_id = 0;
+  uint32_t seq = 0;
+  uint16_t thread_id = 0;
+  Nanos submitted_at = 0;
+  Nanos completed_at = 0;
+  std::vector<uint8_t> response;
+};
+
+// An outstanding one-sided memory/atomic operation.
+struct PendingMemOp {
+  explicit PendingMemOp(sim::Simulator& sim) : cond(sim) {}
+  sim::Condition cond;
+  bool done = false;
+  verbs::WcStatus status = verbs::WcStatus::kSuccess;
+  verbs::SendWr wr;  // staged work request (leader links and posts, §6)
+  sim::Core* owner_core = nullptr;
+};
+
+// Remote memory region attached for one-sided operations (fl_attach_mreg).
+struct RemoteMr {
+  uint64_t addr = 0;
+  uint64_t length = 0;
+  uint32_t rkey = 0;
+};
+
+namespace internal {
+
+// A request staged in a lane's combining queue. Mirrors the TCQ protocol:
+// a thread first *enqueues* (one atomic swap), then copies its payload into
+// the combining buffer and raises `copied`; the leader polls these
+// copy-completion flags before sealing the message (§4.2).
+struct PendingSend {
+  wire::ReqMeta meta;
+  std::vector<uint8_t> data;
+  sim::Core* owner_core = nullptr;  // leader work is charged here
+  bool copied = false;
+  // Raised (and signalled through the lane's sent_cond) once the message
+  // containing this request has been posted. fl_send_rpc returns only then:
+  // a lone thread is always its own leader and posts synchronously, so its
+  // back-to-back requests never coalesce with each other (§8.5.2:
+  // "coroutines of a single thread do not coalesce").
+  bool* sent_flag = nullptr;
+};
+
+// Control message types carried in write-with-imm immediates (client→server;
+// server→client control flows through RDMA-written per-lane control slots,
+// which unlike datagram-style imms cannot be dropped by receive exhaustion).
+enum class CtrlType : uint32_t {
+  kRenewRequest = 0,  // client → server: {lane, median coalescing degree}
+};
+
+// Server→client per-lane control slot, RDMA-written by the QP scheduler and
+// polled by the client's response dispatcher. The grant counter is
+// cumulative, so a re-written slot never loses a grant.
+struct CtrlSlot {
+  uint32_t grant_cumulative = 0;
+  uint8_t active = 0;
+  uint8_t pad[3] = {};
+};
+static_assert(sizeof(CtrlSlot) == 8);
+
+inline uint32_t PackCtrl(CtrlType type, uint32_t lane, uint32_t value) {
+  FLOCK_CHECK_LT(lane, 1u << 13);
+  FLOCK_CHECK_LT(value, 1u << 16);
+  return (static_cast<uint32_t>(type) << 29) | (lane << 16) | value;
+}
+
+inline void UnpackCtrl(uint32_t imm, CtrlType* type, uint32_t* lane, uint32_t* value) {
+  *type = static_cast<CtrlType>(imm >> 29);
+  *lane = (imm >> 16) & 0x1fff;
+  *value = imm & 0xffff;
+}
+
+// wr_id tagging so shared CQs can route completions.
+enum class WrTag : uint64_t {
+  kRpcWrite = 0,  // coalesced message / wrap marker writes
+  kMemOp = 1,     // PendingMemOp*
+  kCtrl = 2,      // control write-with-imm
+  kRecv = 3,      // lane pointer on posted receives
+};
+
+inline uint64_t TagWrId(WrTag tag, const void* ptr) {
+  const uint64_t p = reinterpret_cast<uint64_t>(ptr);
+  FLOCK_CHECK_EQ(p & 0x7u, 0u);
+  return p | static_cast<uint64_t>(tag);
+}
+
+inline WrTag WrIdTag(uint64_t wr_id) { return static_cast<WrTag>(wr_id & 0x7u); }
+
+template <typename T>
+T* WrIdPtr(uint64_t wr_id) {
+  return reinterpret_cast<T*>(wr_id & ~0x7ull);
+}
+
+// ---- client side of one QP lane ----
+struct ClientLane {
+  ClientLane(sim::Simulator& sim, uint32_t ring_bytes)
+      : req_producer(ring_bytes), send_ready(sim) {}
+
+  uint32_t index = 0;
+  Connection* conn = nullptr;
+  verbs::Qp* qp = nullptr;
+
+  // Request path: local staging mirror → RDMA write → server request ring.
+  RingProducer req_producer;
+  uint8_t* staging = nullptr;
+  uint64_t staging_addr = 0;
+  uint64_t remote_ring_addr = 0;
+  uint32_t remote_ring_rkey = 0;
+
+  // Out-of-band head reporting: the dispatcher RDMA-writes the cumulative
+  // consumed count of the response ring into this server-side slot.
+  uint64_t head_slot_remote_addr = 0;
+  uint32_t head_slot_rkey = 0;
+  uint64_t head_src_addr = 0;  // client-local 8B staging for the slot write
+
+  // Response path: server writes into this client-local ring.
+  std::unique_ptr<RingConsumer> resp_consumer;
+  uint64_t resp_ring_addr = 0;
+
+  // Credits and activation (receiver-side QP scheduling, §5.1).
+  uint64_t credits = 0;
+  bool active = true;
+  bool renew_in_flight = false;
+  sim::Condition send_ready;  // credits or ring space became available
+  // Client-local control slot the server RDMA-writes (grants + activation).
+  uint64_t ctrl_slot_addr = 0;
+  uint32_t grants_seen = 0;  // cumulative grants already applied
+
+  // Flock synchronization state (§4.2).
+  std::deque<std::unique_ptr<PendingSend>> combine_queue;
+  bool pump_running = false;
+  std::unique_ptr<sim::Condition> copy_done;  // follower copy-completion flags
+  std::unique_ptr<sim::Condition> sent_cond;  // "your message was posted"
+
+  // Metrics reported to the receiver.
+  WindowedMedian<uint32_t, 64> coalesce_degree;
+  uint64_t batch_histogram[33] = {};  // distribution of combined batch sizes
+  uint64_t posts = 0;  // for selective signaling
+  uint64_t messages_sent = 0;
+  uint64_t requests_sent = 0;
+
+  // One-sided operations (§6).
+  std::deque<PendingMemOp*> memop_queue;
+  bool mem_pump_running = false;
+
+  // Bytes of responses consumed since we last sent anything on this lane;
+  // beyond a threshold the dispatcher pushes a head update out of band so the
+  // server's view of the response ring never goes permanently stale (§4.1's
+  // "the sender rarely reads" fallback, push- instead of pull-based).
+  uint64_t resp_bytes_since_send = 0;
+
+  // Outstanding requests per lane (migration safety, §5.2).
+  uint64_t inflight = 0;
+};
+
+// ---- server side of one QP lane ----
+struct ServerLane {
+  explicit ServerLane(uint32_t ring_bytes) : resp_producer(ring_bytes) {}
+
+  uint32_t index = 0;       // lane index within its connection
+  int client_node = -1;
+  uint32_t sender_key = 0;  // index into FlockRuntime::senders_
+  verbs::Qp* qp = nullptr;
+
+  // Request ring (server-local memory, written by the client).
+  std::unique_ptr<RingConsumer> req_consumer;
+  uint64_t req_ring_addr = 0;
+
+  // Response path: server staging mirror → RDMA write → client response ring.
+  RingProducer resp_producer;
+  uint8_t* staging = nullptr;
+  uint64_t staging_addr = 0;
+  uint64_t remote_ring_addr = 0;
+  uint32_t remote_ring_rkey = 0;
+
+  // Server-side head slot the client's dispatcher writes into.
+  uint64_t head_slot_addr = 0;
+
+  // Control slot on the client that this server lane writes.
+  uint64_t ctrl_slot_remote_addr = 0;
+  uint32_t ctrl_slot_rkey = 0;
+  uint64_t ctrl_src_addr = 0;     // server-local staging for the slot write
+  uint32_t grant_cumulative = 0;  // total credits ever granted on this lane
+
+  // Receiver-side scheduling state (§5.1).
+  bool active = true;
+  uint64_t credits_outstanding = 0;  // granted minus (estimated) consumed
+  uint64_t utilization = 0;          // U_ij: Σ reported degrees this interval
+  uint64_t posts = 0;
+  uint64_t messages_handled = 0;
+  uint64_t requests_handled = 0;
+  uint64_t messages_at_last_sweep = 0;  // stall-safety for pending grants
+  bool in_service = false;  // handed to an RPC worker (worker-pool mode)
+};
+
+// Per-dispatcher scratch reused across messages (no per-message allocation).
+struct DispatchScratch {
+  struct RespEntry {
+    wire::ReqMeta meta;
+    uint32_t offset = 0;
+  };
+  std::vector<uint8_t> data;
+  std::vector<wire::ReqView> views;
+  std::vector<RespEntry> resp;
+};
+
+// Per-client-node aggregation at the server (sender i in §5.1).
+struct SenderState {
+  int client_node = -1;
+  std::vector<ServerLane*> lanes;
+  uint64_t utilization = 0;  // U_i
+  bool functioning = true;
+};
+
+}  // namespace internal
+
+// A connection handle: one per (client node, server node) pair, multiplexing
+// this node's threads over an internally managed set of RC QPs.
+class Connection {
+ public:
+  // fl_send_rpc: stages the request into the assigned lane's combining queue
+  // (copy + one atomic swap on the calling thread's core) and returns an
+  // awaitable handle. Does not wait for the network.
+  sim::Co<PendingRpc*> SendRpc(FlockThread& thread, uint16_t rpc_id,
+                               const uint8_t* data, uint32_t len);
+
+  // fl_recv_res: awaits and consumes the response for `rpc`. Returns false if
+  // the RPC failed. The response payload is in rpc->response; the caller owns
+  // and must delete `rpc` (typically via the Call convenience below).
+  sim::Co<bool> AwaitResponse(FlockThread& thread, PendingRpc* rpc);
+
+  // fl_send_rpc + fl_recv_res in one step.
+  sim::Co<bool> Call(FlockThread& thread, uint16_t rpc_id, const uint8_t* data,
+                     uint32_t len, std::vector<uint8_t>* response);
+
+  // fl_attach_mreg: registers [addr, addr+len) of the *server's* memory for
+  // one-sided access through this connection.
+  RemoteMr AttachMreg(uint64_t remote_addr, uint64_t length);
+
+  // One-sided operations (§6). All complete when the hardware acknowledges.
+  sim::Co<verbs::WcStatus> Read(FlockThread& thread, uint64_t local_addr,
+                                uint64_t remote_addr, uint32_t length,
+                                const RemoteMr& mr);
+  sim::Co<verbs::WcStatus> Write(FlockThread& thread, uint64_t local_addr,
+                                 uint64_t remote_addr, uint32_t length,
+                                 const RemoteMr& mr);
+  sim::Co<verbs::WcStatus> FetchAndAdd(FlockThread& thread, uint64_t remote_addr,
+                                       uint64_t add, uint64_t* old_value,
+                                       const RemoteMr& mr);
+  sim::Co<verbs::WcStatus> CompareAndSwap(FlockThread& thread, uint64_t remote_addr,
+                                          uint64_t expected, uint64_t desired,
+                                          uint64_t* old_value, const RemoteMr& mr);
+
+  int server_node() const { return server_node_; }
+  uint32_t num_lanes() const { return static_cast<uint32_t>(lanes_.size()); }
+  uint32_t num_active_lanes() const;
+  const internal::ClientLane& lane(uint32_t i) const { return *lanes_[i]; }
+
+  // Aggregate client-side stats.
+  uint64_t messages_sent() const;
+  uint64_t requests_sent() const;
+  double MeanCoalescing() const;
+  // Aggregated distribution of leader batch sizes across lanes (index = size).
+  void BatchHistogram(uint64_t out[33]) const;
+
+ private:
+  friend class FlockRuntime;
+
+  internal::ClientLane& LaneFor(FlockThread& thread);
+  sim::Proc Pump(internal::ClientLane& lane);
+  sim::Proc MemPump(internal::ClientLane& lane);
+  sim::Co<verbs::WcStatus> SubmitMemOp(FlockThread& thread, verbs::SendWr wr);
+  void MaybeRenewCredits(internal::ClientLane& lane,
+                         std::vector<verbs::SendWr>& extra_wrs);
+
+  FlockRuntime* client_ = nullptr;
+  FlockRuntime* server_ = nullptr;
+  int server_node_ = -1;
+  std::vector<std::unique_ptr<internal::ClientLane>> lanes_;
+  // thread id → lane index; `desired_` is written by the thread scheduler and
+  // applied by LaneFor once the thread has drained its outstanding requests.
+  std::vector<uint32_t> thread_lane_;
+  std::vector<uint32_t> desired_lane_;
+  std::unordered_map<uint64_t, PendingRpc*> pending_;  // (thread, seq) → rpc
+};
+
+class FlockRuntime {
+ public:
+  struct ServerStats {
+    uint64_t requests = 0;
+    uint64_t messages = 0;
+    uint64_t responses_sent = 0;
+    uint64_t credit_renewals = 0;
+    uint64_t redistributions = 0;
+    uint64_t activations = 0;
+    uint64_t deactivations = 0;
+  };
+
+  FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig& config);
+  ~FlockRuntime();
+
+  FlockRuntime(const FlockRuntime&) = delete;
+  FlockRuntime& operator=(const FlockRuntime&) = delete;
+
+  // ---- server role ----
+  // fl_reg_handler.
+  void RegisterHandler(uint16_t rpc_id, RpcHandler handler);
+  // Starts `dispatcher_cores` request dispatchers (cores 1..n; core 0 runs
+  // the QP scheduler) and the receiver-side QP scheduler (§5.1).
+  void StartServer(int dispatcher_cores);
+
+  // ---- client role ----
+  // fl_connect: builds the connection handle (QPs, rings, MRs on both ends).
+  Connection* Connect(FlockRuntime& server, uint32_t lanes);
+  // Registers an application thread pinned to `core`.
+  FlockThread* CreateThread(int core);
+  // Starts the response dispatcher(s) and the sender-side thread scheduler.
+  void StartClient();
+
+  // ---- introspection ----
+  verbs::Cluster& cluster() { return cluster_; }
+  int node() const { return node_; }
+  const FlockConfig& config() const { return config_; }
+  const ServerStats& server_stats() const { return server_stats_; }
+  sim::Simulator& sim() { return cluster_.sim(); }
+  const sim::CostModel& cost() const { return cluster_.cost(); }
+  uint32_t ActiveServerLanes() const;
+  double MeanServerCoalescing() const;
+
+ private:
+  friend class Connection;
+
+  // Server procs.
+  sim::Proc RequestDispatcher(int index);
+  sim::Proc RpcWorker(int index);
+  sim::Proc QpScheduler();
+  sim::Co<void> HandleRequestMessage(internal::ServerLane& lane, sim::Core& core,
+                                     const wire::MsgHeader& header,
+                                     internal::DispatchScratch& scratch);
+  void Redistribute();
+  // Updates the lane's client-side control slot (grants + activation flag).
+  void WriteCtrlSlot(internal::ServerLane& lane);
+
+  // Client procs.
+  sim::Proc ResponseDispatcher(int index);
+  sim::Proc ThreadScheduler();
+  // Reads a lane's control slot and applies new grants / activation changes.
+  void ApplyCtrlSlot(internal::ClientLane& lane);
+  void RescheduleThreads(Connection& conn);
+
+  verbs::Cluster& cluster_;
+  const int node_;
+  FlockConfig config_;
+
+  // Shared CQs (one set per node; dispatchers and schedulers drain them).
+  verbs::Cq* send_cq_ = nullptr;
+  verbs::Cq* recv_cq_ = nullptr;
+
+  // Server state.
+  std::unordered_map<uint16_t, RpcHandler> handlers_;
+  std::vector<std::unique_ptr<internal::ServerLane>> server_lanes_;
+  std::vector<internal::SenderState> senders_;
+  std::vector<std::vector<internal::ServerLane*>> dispatcher_lanes_;
+  int dispatcher_count_ = 0;
+  // Worker-pool mode: lanes with detected work, drained by RpcWorker procs.
+  std::deque<internal::ServerLane*> work_queue_;
+  std::unique_ptr<sim::Condition> work_ready_;
+  bool server_started_ = false;
+  ServerStats server_stats_;
+  std::vector<uint8_t> handler_scratch_;
+
+  // Client state.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<FlockThread>> threads_;
+  bool client_started_ = false;
+  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+};
+
+}  // namespace flock
+
+#endif  // FLOCK_FLOCK_RUNTIME_H_

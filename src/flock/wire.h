@@ -1,0 +1,183 @@
+// Flock's coalesced message layout (§4.1, Fig. 5).
+//
+// A message is: Header | (Meta | Data)* | padding | trailing canary.
+//
+//   * Header carries the total (32-byte-aligned) length, the number of
+//     coalesced requests, a random 64-bit canary, and two piggyback fields:
+//     the sender's consumer-ring head (so the peer can reclaim ring space
+//     without RDMA reads) and, server→client, a credit grant.
+//   * Each Meta names the payload size, issuing thread, its per-thread
+//     sequence id (matching responses to outstanding requests), and the RPC
+//     handler id.
+//   * The canary appears in the header and again in the last 8 bytes; the
+//     receiver accepts the message only when both match, relying on RDMA
+//     writes landing in increasing address order.
+//
+// Messages are padded to 32-byte multiples so a wrap marker (a bare header)
+// always fits at the end of the ring.
+//
+// All encode/decode routines are pure functions over byte buffers — no
+// simulation types — so they are directly unit- and property-testable, and
+// identical bytes flow through the simulated RDMA writes.
+#ifndef FLOCK_FLOCK_WIRE_H_
+#define FLOCK_FLOCK_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace flock::wire {
+
+inline constexpr uint32_t kAlign = 32;
+
+enum HeaderFlags : uint16_t {
+  kFlagWrap = 1 << 0,  // wrap marker: consumer resets to ring offset 0
+};
+
+struct MsgHeader {
+  uint32_t total_len = 0;  // header..trailing canary inclusive, 32B-aligned
+  uint16_t num_reqs = 0;
+  uint16_t flags = 0;
+  uint64_t canary = 0;
+  uint32_t piggyback_head = 0;  // sender's consumer-ring head offset
+  uint32_t credit_grant = 0;    // server→client: credits added to the lane
+};
+static_assert(sizeof(MsgHeader) == 24);
+
+struct ReqMeta {
+  uint32_t data_len = 0;
+  uint16_t thread_id = 0;
+  uint16_t rpc_id = 0;
+  uint32_t seq = 0;
+};
+static_assert(sizeof(ReqMeta) == 12);
+
+inline constexpr uint32_t kHeaderBytes = sizeof(MsgHeader);
+inline constexpr uint32_t kMetaBytes = sizeof(ReqMeta);
+inline constexpr uint32_t kCanaryBytes = 8;
+// A wrap marker is a padded header + canary slot: one aligned unit.
+inline constexpr uint32_t kWrapMarkerBytes = kAlign;
+
+inline uint32_t AlignUp(uint32_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+// Size of a message carrying payloads totalling `data_bytes` over `n` requests.
+inline uint32_t MessageBytes(uint32_t n, uint32_t data_bytes) {
+  return AlignUp(kHeaderBytes + n * kMetaBytes + data_bytes + kCanaryBytes);
+}
+
+// Incremental encoder. Usage:
+//   MessageEncoder enc(buf, cap, canary);
+//   enc.Add(meta1, data1); enc.Add(meta2, data2);
+//   uint32_t len = enc.Seal(piggyback_head, credit_grant);
+class MessageEncoder {
+ public:
+  MessageEncoder(uint8_t* buf, uint32_t capacity, uint64_t canary)
+      : buf_(buf), capacity_(capacity), canary_(canary), offset_(kHeaderBytes) {}
+
+  // Whether another request of `data_len` fits in the remaining capacity.
+  bool Fits(uint32_t data_len) const {
+    return AlignUp(offset_ + kMetaBytes + data_len + kCanaryBytes) <= capacity_;
+  }
+
+  void Add(const ReqMeta& meta, const uint8_t* data) {
+    FLOCK_CHECK(Fits(meta.data_len));
+    std::memcpy(buf_ + offset_, &meta, kMetaBytes);
+    offset_ += kMetaBytes;
+    if (meta.data_len > 0) {
+      std::memcpy(buf_ + offset_, data, meta.data_len);
+      offset_ += meta.data_len;
+    }
+    ++num_reqs_;
+  }
+
+  // Writes header and trailing canary; returns the total message length.
+  uint32_t Seal(uint32_t piggyback_head, uint32_t credit_grant) {
+    FLOCK_CHECK_GT(num_reqs_, 0u);
+    const uint32_t total = AlignUp(offset_ + kCanaryBytes);
+    MsgHeader header;
+    header.total_len = total;
+    header.num_reqs = num_reqs_;
+    header.flags = 0;
+    header.canary = canary_;
+    header.piggyback_head = piggyback_head;
+    header.credit_grant = credit_grant;
+    std::memcpy(buf_, &header, kHeaderBytes);
+    std::memset(buf_ + offset_, 0, total - offset_ - kCanaryBytes);
+    std::memcpy(buf_ + total - kCanaryBytes, &canary_, kCanaryBytes);
+    return total;
+  }
+
+  uint16_t num_reqs() const { return num_reqs_; }
+  uint32_t bytes_so_far() const { return offset_; }
+
+ private:
+  uint8_t* buf_;
+  uint32_t capacity_;
+  uint64_t canary_;
+  uint32_t offset_;
+  uint16_t num_reqs_ = 0;
+};
+
+// Writes a wrap marker at `buf`.
+inline void EncodeWrapMarker(uint8_t* buf, uint64_t canary) {
+  MsgHeader header;
+  header.total_len = kWrapMarkerBytes;
+  header.num_reqs = 0;
+  header.flags = kFlagWrap;
+  header.canary = canary;
+  std::memcpy(buf, &header, kHeaderBytes);
+  std::memcpy(buf + kWrapMarkerBytes - kCanaryBytes, &canary, kCanaryBytes);
+}
+
+// Decoded view of one request within a message (points into the buffer).
+struct ReqView {
+  ReqMeta meta;
+  const uint8_t* data = nullptr;
+};
+
+// Result of probing a consumer ring position.
+enum class ProbeResult {
+  kEmpty,       // no message (header length is zero)
+  kIncomplete,  // header present but trailing canary not yet written
+  kMessage,     // complete message
+  kWrap,        // wrap marker: consumer resets to offset 0
+};
+
+inline ProbeResult ProbeMessage(const uint8_t* buf, MsgHeader* header_out) {
+  MsgHeader header;
+  std::memcpy(&header, buf, kHeaderBytes);
+  if (header.total_len == 0) {
+    return ProbeResult::kEmpty;
+  }
+  uint64_t trailing = 0;
+  std::memcpy(&trailing, buf + header.total_len - kCanaryBytes, kCanaryBytes);
+  if (trailing != header.canary) {
+    return ProbeResult::kIncomplete;
+  }
+  *header_out = header;
+  return (header.flags & kFlagWrap) ? ProbeResult::kWrap : ProbeResult::kMessage;
+}
+
+// Iterates the requests of a complete message. `out` must have room for
+// header.num_reqs entries. Returns false on a malformed message.
+inline bool DecodeRequests(const uint8_t* buf, const MsgHeader& header, ReqView* out) {
+  uint32_t offset = kHeaderBytes;
+  for (uint16_t i = 0; i < header.num_reqs; ++i) {
+    if (offset + kMetaBytes > header.total_len - kCanaryBytes) {
+      return false;
+    }
+    std::memcpy(&out[i].meta, buf + offset, kMetaBytes);
+    offset += kMetaBytes;
+    if (offset + out[i].meta.data_len > header.total_len - kCanaryBytes) {
+      return false;
+    }
+    out[i].data = buf + offset;
+    offset += out[i].meta.data_len;
+  }
+  return true;
+}
+
+}  // namespace flock::wire
+
+#endif  // FLOCK_FLOCK_WIRE_H_

@@ -1,0 +1,202 @@
+#include "src/index/hydralist.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace flock::index {
+
+HydraList::HydraList(uint64_t seed) : rng_(seed) {
+  // Sentinel data node anchored at 0 so every key has an owner.
+  data_head_ = new DataNode();
+  data_head_->anchor = 0;
+  head_ = new SkipNode();
+  head_->key = 0;
+  head_->data = data_head_;
+  head_->forward.assign(kMaxLevel, nullptr);
+}
+
+HydraList::~HydraList() {
+  DataNode* node = data_head_;
+  while (node != nullptr) {
+    DataNode* next = node->next;
+    delete node;
+    node = next;
+  }
+  SkipNode* snode = head_;
+  while (snode != nullptr) {
+    SkipNode* next = snode->forward[0];
+    delete snode;
+    snode = next;
+  }
+}
+
+int HydraList::RandomLevel() {
+  int level = 1;
+  while (level < kMaxLevel && (rng_.Next() & 3) == 0) {
+    ++level;  // p = 1/4
+  }
+  return level;
+}
+
+HydraList::DataNode* HydraList::SearchLayerLocate(uint64_t key, Nanos* cpu) const {
+  const SkipNode* current = head_;
+  for (int lvl = level_ - 1; lvl >= 0; --lvl) {
+    while (current->forward[static_cast<size_t>(lvl)] != nullptr &&
+           current->forward[static_cast<size_t>(lvl)]->key <= key) {
+      current = current->forward[static_cast<size_t>(lvl)];
+      *cpu += kHopCost;
+    }
+    *cpu += kHopCost;
+  }
+  return current->data;
+}
+
+HydraList::DataNode* HydraList::WalkToOwner(DataNode* node, uint64_t key,
+                                            Nanos* cpu) const {
+  // The search layer may lag behind splits; the data list is authoritative.
+  while (node->next != nullptr && node->next->anchor <= key) {
+    node = node->next;
+    *cpu += kHopCost;
+  }
+  return node;
+}
+
+bool HydraList::Get(uint64_t key, uint64_t* value, Nanos* cpu) const {
+  DataNode* node = WalkToOwner(SearchLayerLocate(key, cpu), key, cpu);
+  *cpu += kSearchCost;
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  if (it == node->keys.end() || *it != key) {
+    return false;
+  }
+  if (value != nullptr) {
+    *value = node->values[static_cast<size_t>(it - node->keys.begin())];
+  }
+  return true;
+}
+
+bool HydraList::Insert(uint64_t key, uint64_t value, Nanos* cpu) {
+  DataNode* node = WalkToOwner(SearchLayerLocate(key, cpu), key, cpu);
+  *cpu += kSearchCost;
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  const size_t pos = static_cast<size_t>(it - node->keys.begin());
+  if (it != node->keys.end() && *it == key) {
+    node->values[pos] = value;  // upsert
+    return false;
+  }
+  node->keys.insert(it, key);
+  node->values.insert(node->values.begin() + static_cast<ptrdiff_t>(pos), value);
+  ++size_;
+  *cpu += kInsertCost;
+
+  if (node->keys.size() > kMaxEntries) {
+    // Split: move the upper half into a new node; publish it in the data
+    // list now, in the search layer asynchronously.
+    const size_t half = node->keys.size() / 2;
+    auto* fresh = new DataNode();
+    fresh->anchor = node->keys[half];
+    fresh->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(half),
+                       node->keys.end());
+    fresh->values.assign(node->values.begin() + static_cast<ptrdiff_t>(half),
+                         node->values.end());
+    node->keys.resize(half);
+    node->values.resize(half);
+    fresh->next = node->next;
+    fresh->prev = node;
+    if (fresh->next != nullptr) {
+      fresh->next->prev = fresh;
+    }
+    node->next = fresh;
+    ++data_nodes_;
+    pending_anchors_.push_back(fresh);
+    *cpu += kSplitCost;
+  }
+  return true;
+}
+
+bool HydraList::Remove(uint64_t key, Nanos* cpu) {
+  DataNode* node = WalkToOwner(SearchLayerLocate(key, cpu), key, cpu);
+  *cpu += kSearchCost;
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  if (it == node->keys.end() || *it != key) {
+    return false;
+  }
+  const size_t pos = static_cast<size_t>(it - node->keys.begin());
+  node->keys.erase(it);
+  node->values.erase(node->values.begin() + static_cast<ptrdiff_t>(pos));
+  --size_;
+  *cpu += kInsertCost;
+  return true;
+}
+
+uint32_t HydraList::Scan(uint64_t start, uint32_t count, uint64_t* digest,
+                         Nanos* cpu) const {
+  DataNode* node = WalkToOwner(SearchLayerLocate(start, cpu), start, cpu);
+  *cpu += kSearchCost;
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), start);
+  size_t pos = static_cast<size_t>(it - node->keys.begin());
+  uint32_t found = 0;
+  uint64_t fold = 0;
+  while (found < count && node != nullptr) {
+    if (pos >= node->keys.size()) {
+      node = node->next;
+      pos = 0;
+      *cpu += kHopCost;
+      continue;
+    }
+    fold ^= node->values[pos];
+    ++pos;
+    ++found;
+    *cpu += kEntryCost;
+  }
+  if (digest != nullptr) {
+    *digest = fold;
+  }
+  return found;
+}
+
+size_t HydraList::DrainSearchUpdates(size_t max) {
+  size_t applied = 0;
+  while (applied < max && !pending_anchors_.empty()) {
+    DataNode* node = pending_anchors_.front();
+    pending_anchors_.pop_front();
+    SkipInsert(node->anchor, node);
+    ++applied;
+  }
+  return applied;
+}
+
+void HydraList::SkipInsert(uint64_t key, DataNode* data) {
+  std::vector<SkipNode*> update(kMaxLevel, nullptr);
+  SkipNode* current = head_;
+  for (int lvl = level_ - 1; lvl >= 0; --lvl) {
+    while (current->forward[static_cast<size_t>(lvl)] != nullptr &&
+           current->forward[static_cast<size_t>(lvl)]->key < key) {
+      current = current->forward[static_cast<size_t>(lvl)];
+    }
+    update[static_cast<size_t>(lvl)] = current;
+  }
+  SkipNode* next = current->forward[0];
+  if (next != nullptr && next->key == key) {
+    next->data = data;  // anchor re-published after node reuse
+    return;
+  }
+  const int node_level = RandomLevel();
+  if (node_level > level_) {
+    for (int lvl = level_; lvl < node_level; ++lvl) {
+      update[static_cast<size_t>(lvl)] = head_;
+    }
+    level_ = node_level;
+  }
+  auto* fresh = new SkipNode();
+  fresh->key = key;
+  fresh->data = data;
+  fresh->forward.assign(static_cast<size_t>(node_level), nullptr);
+  for (int lvl = 0; lvl < node_level; ++lvl) {
+    fresh->forward[static_cast<size_t>(lvl)] =
+        update[static_cast<size_t>(lvl)]->forward[static_cast<size_t>(lvl)];
+    update[static_cast<size_t>(lvl)]->forward[static_cast<size_t>(lvl)] = fresh;
+  }
+}
+
+}  // namespace flock::index

@@ -1,0 +1,97 @@
+// A HydraList-style in-memory ordered index (§8.6).
+//
+// HydraList (VLDB '20) splits the index into:
+//   * a *data list* — a doubly-linked list of nodes, each holding a sorted
+//     array of entries anchored at its smallest key; and
+//   * a *search layer* — a skip list over anchors that locates the candidate
+//     data node, updated *asynchronously* so structural changes (splits)
+//     don't stall readers.
+//
+// Lookups tolerate a stale search layer by walking forward from the located
+// node. Every operation reports the simulated CPU it consumed (skip-list
+// hops, binary searches, entry copies), which the RPC handlers charge on the
+// server cores.
+#ifndef FLOCK_INDEX_HYDRALIST_H_
+#define FLOCK_INDEX_HYDRALIST_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/common/units.h"
+
+namespace flock::index {
+
+class HydraList {
+ public:
+  static constexpr size_t kMaxEntries = 64;
+
+  // Per-step CPU costs (ns) used to compute handler charges.
+  static constexpr Nanos kHopCost = 15;       // one skip-list / list hop
+  static constexpr Nanos kSearchCost = 25;    // binary search within a node
+  static constexpr Nanos kEntryCost = 4;      // touch one entry during a scan
+  static constexpr Nanos kInsertCost = 45;    // shift + insert in the array
+  static constexpr Nanos kSplitCost = 400;    // allocate + move half the node
+
+  explicit HydraList(uint64_t seed = 0x9e3779b9);
+  ~HydraList();
+
+  HydraList(const HydraList&) = delete;
+  HydraList& operator=(const HydraList&) = delete;
+
+  // Point operations. `cpu` is incremented by the operation's simulated cost.
+  bool Insert(uint64_t key, uint64_t value, Nanos* cpu);
+  bool Get(uint64_t key, uint64_t* value, Nanos* cpu) const;
+  bool Remove(uint64_t key, Nanos* cpu);
+  // Range scan: up to `count` entries with key >= start; returns the number
+  // found and XOR-folds their values into *digest (the benches reply with the
+  // count, as the paper's scan does).
+  uint32_t Scan(uint64_t start, uint32_t count, uint64_t* digest, Nanos* cpu) const;
+
+  // Asynchronous search-layer maintenance: splits queue anchor insertions;
+  // a background task applies up to `max` of them. Returns applied count.
+  size_t DrainSearchUpdates(size_t max);
+  size_t pending_search_updates() const { return pending_anchors_.size(); }
+
+  size_t size() const { return size_; }
+  size_t data_nodes() const { return data_nodes_; }
+
+ private:
+  struct DataNode {
+    uint64_t anchor = 0;
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> values;
+    DataNode* next = nullptr;
+    DataNode* prev = nullptr;
+  };
+
+  static constexpr int kMaxLevel = 24;
+
+  struct SkipNode {
+    uint64_t key = 0;
+    DataNode* data = nullptr;
+    std::vector<SkipNode*> forward;
+  };
+
+  // Search layer: returns the data node whose anchor is the greatest <= key
+  // (per the possibly-stale search layer); counts hops.
+  DataNode* SearchLayerLocate(uint64_t key, Nanos* cpu) const;
+  // Walk forward from the (possibly stale) candidate to the true owner.
+  DataNode* WalkToOwner(DataNode* node, uint64_t key, Nanos* cpu) const;
+  void SkipInsert(uint64_t key, DataNode* data);
+  int RandomLevel();
+
+  SkipNode* head_;
+  int level_ = 1;
+  DataNode* data_head_;
+  std::deque<DataNode*> pending_anchors_;
+  size_t size_ = 0;
+  size_t data_nodes_ = 1;
+  Rng rng_;
+};
+
+}  // namespace flock::index
+
+#endif  // FLOCK_INDEX_HYDRALIST_H_

@@ -1,0 +1,246 @@
+// A MICA-style partitioned key-value store (the FaSST/FlockTX substrate).
+//
+// Fixed-size values live in the node's registered memory as
+// [version word | value bytes] records, so a transaction coordinator can
+// validate a read set with one-sided RDMA reads of the version words
+// (FlockTX's validation phase, §8.5.1). The version word encodes:
+//
+//   bit 0      — lock bit (held during the write phase of OCC)
+//   bits 63..1 — version counter, bumped on every committed update
+//
+// The index is open-addressing (keyhash-distributed, linear probing) in host
+// heap; values are never moved after insert, keeping version addresses
+// stable — the property remote validation depends on.
+#ifndef FLOCK_KV_KVSTORE_H_
+#define FLOCK_KV_KVSTORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+#include "src/fabric/memory.h"
+
+namespace flock::kv {
+
+inline constexpr uint64_t kLockBit = 1;
+
+inline uint64_t KeyHash(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  key *= 0xc4ceb9fe1a85ec53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+class KvStore {
+ public:
+  // `capacity` is sized up to the next power of two; load factor <= 0.7.
+  KvStore(fabric::MemorySpace& mem, size_t capacity, uint32_t value_size)
+      : mem_(mem), value_size_(value_size) {
+    size_t slots = 16;
+    while (slots * 7 / 10 < capacity) {
+      slots <<= 1;
+    }
+    slots_.assign(slots, Slot{});
+    mask_ = slots - 1;
+  }
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  uint32_t value_size() const { return value_size_; }
+  size_t size() const { return size_; }
+
+  // Registered-memory span holding this store's records (for MR setup).
+  // Records are allocated in fixed-size slabs; spans() lists them.
+  struct Span {
+    uint64_t addr = 0;
+    uint64_t length = 0;
+  };
+  const std::vector<Span>& spans() const { return spans_; }
+
+  // Inserts a fresh key (bootstrap only; returns false if present).
+  bool Insert(uint64_t key, const void* value) {
+    size_t index;
+    if (Find(key, &index)) {
+      return false;
+    }
+    FLOCK_CHECK_LT((size_ + 1) * 10, slots_.size() * 8) << "kv store over capacity";
+    const uint64_t record = AllocRecord();
+    const uint64_t version0 = 2;  // even, unlocked
+    mem_.Write(record, &version0, 8);
+    mem_.Write(record + 8, value, value_size_);
+    // Claim the probe slot.
+    size_t slot = KeyHash(key) & mask_;
+    while (slots_[slot].used) {
+      slot = (slot + 1) & mask_;
+    }
+    slots_[slot] = Slot{true, key, record};
+    ++size_;
+    return true;
+  }
+
+  // Point read: value + version snapshot. Returns false on miss or if the
+  // item is locked (OCC readers retry/abort on locked items).
+  bool Get(uint64_t key, void* value_out, uint64_t* version_out,
+           uint64_t* version_addr_out) {
+    size_t index;
+    if (!Find(key, &index)) {
+      return false;
+    }
+    const uint64_t record = slots_[index].record;
+    uint64_t version = 0;
+    mem_.Read(record, &version, 8);
+    if (version_addr_out != nullptr) {
+      *version_addr_out = record;
+    }
+    if (version & kLockBit) {
+      return false;
+    }
+    if (value_out != nullptr) {
+      mem_.Read(record + 8, value_out, value_size_);
+    }
+    if (version_out != nullptr) {
+      *version_out = version;
+    }
+    return true;
+  }
+
+  // Write-phase lock: returns the pre-lock version and value on success.
+  bool TryLock(uint64_t key, void* value_out, uint64_t* version_out) {
+    size_t index;
+    if (!Find(key, &index)) {
+      return false;
+    }
+    const uint64_t record = slots_[index].record;
+    uint64_t version = 0;
+    mem_.Read(record, &version, 8);
+    if (version & kLockBit) {
+      return false;  // already locked
+    }
+    const uint64_t locked = version | kLockBit;
+    mem_.Write(record, &locked, 8);
+    if (value_out != nullptr) {
+      mem_.Read(record + 8, value_out, value_size_);
+    }
+    if (version_out != nullptr) {
+      *version_out = version;
+    }
+    return true;
+  }
+
+  // Commit: install the new value, bump the version, release the lock.
+  bool UpdateAndUnlock(uint64_t key, const void* value) {
+    size_t index;
+    if (!Find(key, &index)) {
+      return false;
+    }
+    const uint64_t record = slots_[index].record;
+    uint64_t version = 0;
+    mem_.Read(record, &version, 8);
+    FLOCK_CHECK(version & kLockBit) << "commit on unlocked key " << key << " v=" << version;
+    mem_.Write(record + 8, value, value_size_);
+    const uint64_t next = (version & ~kLockBit) + 2;
+    mem_.Write(record, &next, 8);
+    return true;
+  }
+
+  // Abort: release the lock without changing value or version.
+  bool Unlock(uint64_t key) {
+    size_t index;
+    if (!Find(key, &index)) {
+      return false;
+    }
+    const uint64_t record = slots_[index].record;
+    uint64_t version = 0;
+    mem_.Read(record, &version, 8);
+    FLOCK_CHECK(version & kLockBit) << "abort-unlock on unlocked key " << key << " v=" << version;
+    const uint64_t unlocked = version & ~kLockBit;
+    mem_.Write(record, &unlocked, 8);
+    return true;
+  }
+
+  // Replica apply (logging phase): install value at a given version without
+  // the lock protocol — the primary serializes updates.
+  bool ReplicaApply(uint64_t key, uint64_t version, const void* value) {
+    size_t index;
+    if (!Find(key, &index)) {
+      return false;
+    }
+    const uint64_t record = slots_[index].record;
+    uint64_t current = 0;
+    mem_.Read(record, &current, 8);
+    if (version < current) {
+      return true;  // stale log record (reordered across coordinators): skip
+    }
+    mem_.Write(record + 8, value, value_size_);
+    mem_.Write(record, &version, 8);
+    return true;
+  }
+
+  // Current version word (diagnostics / tests).
+  bool PeekVersion(uint64_t key, uint64_t* version_out) {
+    size_t index;
+    if (!Find(key, &index)) {
+      return false;
+    }
+    mem_.Read(slots_[index].record, version_out, 8);
+    return true;
+  }
+
+  // Approximate CPU cost of one index+record access (charged by handlers).
+  static constexpr Nanos kAccessCost = 120;
+
+ private:
+  struct Slot {
+    bool used = false;
+    uint64_t key = 0;
+    uint64_t record = 0;  // MemorySpace address of [version | value]
+  };
+
+  bool Find(uint64_t key, size_t* index_out) const {
+    size_t slot = KeyHash(key) & mask_;
+    for (size_t probes = 0; probes <= mask_; ++probes) {
+      if (!slots_[slot].used) {
+        return false;
+      }
+      if (slots_[slot].key == key) {
+        *index_out = slot;
+        return true;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return false;
+  }
+
+  uint64_t AllocRecord() {
+    const uint32_t record_bytes = 8 + value_size_;
+    if (slab_remaining_ < record_bytes) {
+      const uint64_t slab_bytes = 1 << 20;
+      slab_next_ = mem_.Alloc(slab_bytes, 8);
+      slab_remaining_ = slab_bytes;
+      spans_.push_back(Span{slab_next_, slab_bytes});
+    }
+    const uint64_t record = slab_next_;
+    const uint32_t aligned = (record_bytes + 7u) & ~7u;
+    slab_next_ += aligned;
+    slab_remaining_ -= aligned;
+    return record;
+  }
+
+  fabric::MemorySpace& mem_;
+  const uint32_t value_size_;
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  std::vector<Span> spans_;
+  uint64_t slab_next_ = 0;
+  uint64_t slab_remaining_ = 0;
+};
+
+}  // namespace flock::kv
+
+#endif  // FLOCK_KV_KVSTORE_H_

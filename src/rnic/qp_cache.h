@@ -1,0 +1,143 @@
+// RNIC connection-state cache.
+//
+// ConnectX-class NICs keep per-QP state (QP context, congestion-control
+// state, address-translation entries) in a small on-die SRAM; when the
+// working set of live QPs exceeds it, state is fetched from host memory over
+// PCIe, which is the mechanism behind Fig. 2(a)'s throughput collapse and the
+// reason Flock caps active QPs at MAX_AQP.
+//
+// Two replacement policies:
+//   * kLru    — textbook LRU (useful for unit tests and skewed access);
+//   * kRandom — random victim, the default for the device model. Real NIC
+//     caches are set-associative with pseudo-random behavior under the
+//     all-QPs-hot round-robin traffic of a fan-in server; strict LRU would
+//     cliff to a 0% hit rate the moment the QP count exceeds capacity,
+//     whereas the measured Fig. 2(a) degrades in proportion to
+//     capacity / live-QPs, which random replacement reproduces.
+#ifndef FLOCK_RNIC_QP_CACHE_H_
+#define FLOCK_RNIC_QP_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rand.h"
+
+namespace flock::rnic {
+
+class QpCache {
+ public:
+  enum class Policy { kLru, kRandom };
+
+  explicit QpCache(uint32_t capacity, Policy policy = Policy::kLru,
+                   uint64_t seed = 0x243f6a8885a308d3ull)
+      : capacity_(capacity), policy_(policy), rng_(seed) {}
+
+  // Accesses the state of `qpn`. Returns true on hit. On miss the entry is
+  // installed (evicting a victim if full).
+  bool Touch(uint32_t qpn) {
+    if (capacity_ == 0) {
+      ++misses_;
+      return false;
+    }
+    auto it = map_.find(qpn);
+    if (it != map_.end()) {
+      if (policy_ == Policy::kLru) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      }
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    if (map_.size() >= capacity_) {
+      Evict();
+    }
+    Install(qpn);
+    return false;
+  }
+
+  // Drops a QP's state (e.g. QP destroyed).
+  void Invalidate(uint32_t qpn) {
+    auto it = map_.find(qpn);
+    if (it == map_.end()) {
+      return;
+    }
+    if (policy_ == Policy::kLru) {
+      lru_.erase(it->second.lru_it);
+    } else {
+      RemoveFromVector(it->second.vec_index);
+    }
+    map_.erase(it);
+  }
+
+  size_t size() const { return map_.size(); }
+  uint32_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  double MissRatio() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+  }
+
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::list<uint32_t>::iterator lru_it;
+    size_t vec_index = 0;
+  };
+
+  void Install(uint32_t qpn) {
+    Entry entry;
+    if (policy_ == Policy::kLru) {
+      lru_.push_front(qpn);
+      entry.lru_it = lru_.begin();
+    } else {
+      entry.vec_index = keys_.size();
+      keys_.push_back(qpn);
+    }
+    map_[qpn] = entry;
+  }
+
+  void Evict() {
+    uint32_t victim;
+    if (policy_ == Policy::kLru) {
+      victim = lru_.back();
+      lru_.pop_back();
+      map_.erase(victim);
+    } else {
+      const size_t index = static_cast<size_t>(rng_.NextBelow(keys_.size()));
+      victim = keys_[index];
+      RemoveFromVector(index);
+      map_.erase(victim);
+    }
+  }
+
+  void RemoveFromVector(size_t index) {
+    const uint32_t last = keys_.back();
+    keys_[index] = last;
+    keys_.pop_back();
+    if (index < keys_.size()) {
+      map_[last].vec_index = index;
+    }
+  }
+
+  uint32_t capacity_;
+  Policy policy_;
+  Rng rng_;
+  std::list<uint32_t> lru_;
+  std::vector<uint32_t> keys_;
+  std::unordered_map<uint32_t, Entry> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace flock::rnic
+
+#endif  // FLOCK_RNIC_QP_CACHE_H_

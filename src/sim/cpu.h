@@ -1,0 +1,63 @@
+// Simulated CPU cores.
+//
+// A Core is a FIFO-served resource: a simulated thread "executes" by
+// occupying its pinned core for a duration. Threads pinned one-per-core never
+// queue; oversubscribed threads serialize in FIFO order (a reasonable model
+// for the paper's pinned, run-to-completion workloads — no preemption is
+// modeled, which we note in DESIGN.md).
+//
+// Core busy-time is tracked so benches can report CPU utilization, e.g. the
+// ">90% of server cycles inside the userspace NIC libraries" observation that
+// motivates Fig. 2(b).
+#ifndef FLOCK_SIM_CPU_H_
+#define FLOCK_SIM_CPU_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/sync.h"
+
+namespace flock::sim {
+
+class Core {
+ public:
+  explicit Core(Simulator& sim) : server_(sim) {}
+
+  // Occupies the core for `duration`; FIFO among threads sharing the core.
+  FifoServer::Awaiter Work(Nanos duration) { return server_.Serve(duration); }
+
+  Nanos busy_time() const { return server_.busy_time(); }
+
+ private:
+  FifoServer server_;
+};
+
+// A node's core complex; threads are pinned round-robin by the caller.
+class Cpu {
+ public:
+  Cpu(Simulator& sim, int num_cores) {
+    cores_.reserve(static_cast<size_t>(num_cores));
+    for (int i = 0; i < num_cores; ++i) {
+      cores_.push_back(std::make_unique<Core>(sim));
+    }
+  }
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  Core& core(int i) { return *cores_[static_cast<size_t>(i % num_cores())]; }
+
+  Nanos TotalBusyTime() const {
+    Nanos total = 0;
+    for (const auto& c : cores_) {
+      total += c->busy_time();
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+}  // namespace flock::sim
+
+#endif  // FLOCK_SIM_CPU_H_

@@ -1,0 +1,181 @@
+// Discrete-event simulation kernel.
+//
+// The Simulator owns a virtual clock and an event queue ordered by
+// (time, insertion sequence); equal-time events fire in FIFO order, which
+// makes every run bit-for-bit deterministic. An event is either a coroutine
+// resumption or a raw (function pointer, argument) callback — the latter is
+// used by resource models (FIFO servers) that do not want a coroutine frame
+// per service completion.
+//
+// All simulated activity lives in Proc coroutines spawned on the Simulator.
+// Shutdown() (also run by the destructor) destroys every still-suspended
+// process frame, so a bench can simply stop simulating mid-workload without
+// draining in-flight operations.
+#ifndef FLOCK_SIM_SIMULATOR_H_
+#define FLOCK_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+#include "src/sim/task.h"
+
+namespace flock::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator() { Shutdown(); }
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Nanos Now() const { return now_; }
+
+  // Transfers ownership of the process frame to the simulator and schedules
+  // its first resumption at the current time.
+  void Spawn(Proc&& proc) {
+    Proc::Handle handle = proc.Release();
+    FLOCK_CHECK(handle);
+    handle.promise().sim = this;
+    live_procs_.insert(handle.address());
+    ScheduleResume(0, handle);
+  }
+
+  // Schedules `handle` to be resumed `delay` from now.
+  void ScheduleResume(Nanos delay, std::coroutine_handle<> handle) {
+    FLOCK_CHECK_GE(delay, 0);
+    queue_.push(Event{now_ + delay, next_seq_++, handle, nullptr, nullptr});
+  }
+
+  // Schedules `fn(arg)` to run `delay` from now.
+  void Schedule(Nanos delay, void (*fn)(void*), void* arg) {
+    FLOCK_CHECK_GE(delay, 0);
+    queue_.push(Event{now_ + delay, next_seq_++, nullptr, fn, arg});
+  }
+
+  // Runs events until the queue drains. Returns the number of events run.
+  uint64_t Run() { return RunUntilInternal(-1); }
+
+  // Runs events with time <= deadline; the clock lands on `deadline` even if
+  // the queue still has later events.
+  uint64_t RunUntil(Nanos deadline) {
+    const uint64_t n = RunUntilInternal(deadline);
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+    return n;
+  }
+
+  uint64_t RunFor(Nanos duration) { return RunUntil(now_ + duration); }
+
+  bool Idle() const { return queue_.empty(); }
+  uint64_t events_processed() const { return events_processed_; }
+  size_t live_proc_count() const { return live_procs_.size(); }
+
+  // Destroys every live process frame and drops pending events. Safe to call
+  // more than once. Must run while the objects referenced by process locals
+  // are still alive (see Cluster in src/fabric).
+  void Shutdown() {
+    shutting_down_ = true;
+    // Destroying one frame can destroy child frames but never spawns procs.
+    auto snapshot = live_procs_;
+    live_procs_.clear();
+    for (void* address : snapshot) {
+      std::coroutine_handle<>::from_address(address).destroy();
+    }
+    while (!queue_.empty()) {
+      queue_.pop();
+    }
+    shutting_down_ = false;
+  }
+
+ private:
+  friend struct internal::ProcFinalAwaiter;
+
+  struct Event {
+    Nanos at;
+    uint64_t seq;
+    std::coroutine_handle<> coroutine;
+    void (*fn)(void*);
+    void* arg;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void OnProcFinished(std::coroutine_handle<internal::ProcPromise> handle) {
+    if (!shutting_down_) {
+      live_procs_.erase(handle.address());
+    }
+    handle.destroy();
+  }
+
+  uint64_t RunUntilInternal(Nanos deadline) {
+    uint64_t ran = 0;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (deadline >= 0 && top.at > deadline) {
+        break;
+      }
+      Event event = top;
+      queue_.pop();
+      FLOCK_CHECK_GE(event.at, now_);
+      now_ = event.at;
+      ++ran;
+      ++events_processed_;
+      if (event.coroutine) {
+        event.coroutine.resume();
+      } else {
+        event.fn(event.arg);
+      }
+    }
+    return ran;
+  }
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  bool shutting_down_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<void*> live_procs_;
+};
+
+namespace internal {
+
+inline void ProcFinalAwaiter::await_suspend(
+    std::coroutine_handle<ProcPromise> handle) noexcept {
+  handle.promise().sim->OnProcFinished(handle);
+}
+
+}  // namespace internal
+
+// Suspends the awaiting coroutine for `delay` of simulated time.
+class Delay {
+ public:
+  Delay(Simulator& sim, Nanos delay) : sim_(sim), delay_(delay) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    sim_.ScheduleResume(delay_ < 0 ? 0 : delay_, handle);
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  Nanos delay_;
+};
+
+}  // namespace flock::sim
+
+#endif  // FLOCK_SIM_SIMULATOR_H_

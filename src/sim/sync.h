@@ -1,0 +1,209 @@
+// Synchronization and queueing primitives for simulation processes.
+//
+//  * Condition  — waiters suspend until Notify; used for "response arrived",
+//    "credit granted", "leadership handed over" style signals.
+//  * FifoServer — a single server with a FIFO queue; models any serially
+//    occupied resource: a NIC pipeline, a link, a CPU core, a PCIe engine.
+//  * Semaphore  — counted FIFO resource; models bounded concurrency such as
+//    outstanding PCIe reads.
+//  * FifoMutex  — acquire/release lock with FIFO handoff; models the spinlock
+//    in the FaRM-like QP-sharing baseline.
+//
+// All resumptions go through the Simulator event queue (never inline), which
+// keeps execution order deterministic and stack depth bounded.
+#ifndef FLOCK_SIM_SYNC_H_
+#define FLOCK_SIM_SYNC_H_
+
+#include <coroutine>
+#include <deque>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace flock::sim {
+
+// Broadcast condition. Wait() suspends until the next Notify*() call.
+class Condition {
+ public:
+  explicit Condition(Simulator& sim) : sim_(sim) {}
+
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  class Awaiter {
+   public:
+    explicit Awaiter(Condition& cond) : cond_(cond) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      cond_.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Condition& cond_;
+  };
+
+  Awaiter Wait() { return Awaiter(*this); }
+
+  void NotifyAll() {
+    for (auto handle : waiters_) {
+      sim_.ScheduleResume(0, handle);
+    }
+    waiters_.clear();
+  }
+
+  void NotifyOne() {
+    if (!waiters_.empty()) {
+      sim_.ScheduleResume(0, waiters_.front());
+      waiters_.erase(waiters_.begin());
+    }
+  }
+
+  bool HasWaiters() const { return !waiters_.empty(); }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Single FIFO server: `co_await server.Serve(d)` waits for all earlier
+// requests to finish, occupies the server for `d`, then resumes the caller.
+class FifoServer {
+ public:
+  explicit FifoServer(Simulator& sim) : sim_(sim) {}
+
+  FifoServer(const FifoServer&) = delete;
+  FifoServer& operator=(const FifoServer&) = delete;
+
+  class Awaiter {
+   public:
+    Awaiter(FifoServer& server, Nanos duration)
+        : server_(server), duration_(duration) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      server_.Enqueue(handle, duration_);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    FifoServer& server_;
+    Nanos duration_;
+  };
+
+  Awaiter Serve(Nanos duration) { return Awaiter(*this, duration); }
+
+  bool busy() const { return busy_; }
+  size_t queue_depth() const { return queue_.size(); }
+  Nanos busy_time() const { return busy_time_; }
+  uint64_t served() const { return served_; }
+
+ private:
+  struct Item {
+    std::coroutine_handle<> handle;
+    Nanos duration;
+  };
+
+  void Enqueue(std::coroutine_handle<> handle, Nanos duration) {
+    queue_.push_back(Item{handle, duration < 0 ? 0 : duration});
+    if (!busy_) {
+      StartNext();
+    }
+  }
+
+  void StartNext() {
+    FLOCK_CHECK(!queue_.empty());
+    busy_ = true;
+    current_ = queue_.front();
+    queue_.pop_front();
+    busy_time_ += current_.duration;
+    sim_.Schedule(current_.duration, &FifoServer::DoneTrampoline, this);
+  }
+
+  static void DoneTrampoline(void* self) {
+    static_cast<FifoServer*>(self)->Done();
+  }
+
+  void Done() {
+    ++served_;
+    const std::coroutine_handle<> finished = current_.handle;
+    if (!queue_.empty()) {
+      StartNext();
+    } else {
+      busy_ = false;
+    }
+    sim_.ScheduleResume(0, finished);
+  }
+
+  Simulator& sim_;
+  bool busy_ = false;
+  Item current_{};
+  std::deque<Item> queue_;
+  Nanos busy_time_ = 0;
+  uint64_t served_ = 0;
+};
+
+// Counted FIFO semaphore. Models resources with bounded concurrency.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int64_t permits) : sim_(sim), permits_(permits) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  class Awaiter {
+   public:
+    explicit Awaiter(Semaphore& sem) : sem_(sem) {}
+    bool await_ready() const noexcept {
+      if (sem_.permits_ > 0 && sem_.waiters_.empty()) {
+        --sem_.permits_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      sem_.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Semaphore& sem_;
+  };
+
+  Awaiter Acquire() { return Awaiter(*this); }
+
+  void Release() {
+    if (!waiters_.empty()) {
+      sim_.ScheduleResume(0, waiters_.front());
+      waiters_.pop_front();
+    } else {
+      ++permits_;
+    }
+  }
+
+  int64_t available() const { return permits_; }
+
+ private:
+  Simulator& sim_;
+  int64_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// FIFO mutex. The releasing process hands the lock directly to the oldest
+// waiter, mirroring the queueing behaviour of a contended spinlock without
+// burning simulated CPU in the waiters.
+class FifoMutex {
+ public:
+  explicit FifoMutex(Simulator& sim) : sem_(sim, 1) {}
+
+  Semaphore::Awaiter Acquire() { return sem_.Acquire(); }
+  void Release() { sem_.Release(); }
+
+ private:
+  Semaphore sem_;
+};
+
+}  // namespace flock::sim
+
+#endif  // FLOCK_SIM_SYNC_H_

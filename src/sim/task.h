@@ -1,0 +1,203 @@
+// Coroutine types for the discrete-event simulator.
+//
+// Two shapes of coroutine exist in the simulation:
+//
+//  * Proc  — a fire-and-forget "process" (a simulated thread, a NIC engine, a
+//    scheduler loop). Created suspended, registered with the Simulator via
+//    Simulator::Spawn, destroyed either when it runs to completion or when the
+//    Simulator shuts down.
+//
+//  * Co<T> — a lazily-started, value-returning subroutine awaited from inside
+//    a Proc or another Co. Completion resumes the awaiting coroutine via
+//    symmetric transfer, so arbitrarily deep call chains cost no stack.
+//
+// Exceptions are not used inside the simulation (error paths return status
+// values); an exception escaping a coroutine is a bug and terminates.
+#ifndef FLOCK_SIM_TASK_H_
+#define FLOCK_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace flock::sim {
+
+class Simulator;
+
+namespace internal {
+struct ProcPromise;
+}  // namespace internal
+
+// Handle returned by a process coroutine. Ownership of the frame passes to
+// the Simulator on Spawn; a Proc that is never spawned destroys its frame.
+class [[nodiscard]] Proc {
+ public:
+  using promise_type = internal::ProcPromise;
+  using Handle = std::coroutine_handle<internal::ProcPromise>;
+
+  Proc() = default;
+  explicit Proc(Handle handle) : handle_(handle) {}
+  Proc(Proc&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Proc& operator=(Proc&& other) noexcept {
+    if (this != &other) {
+      DestroyIfOwned();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { DestroyIfOwned(); }
+
+  Handle Release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  void DestroyIfOwned() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_ = nullptr;
+};
+
+namespace internal {
+
+struct ProcFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<ProcPromise> handle) noexcept;
+  void await_resume() const noexcept {}
+};
+
+struct ProcPromise {
+  Simulator* sim = nullptr;
+
+  Proc get_return_object() {
+    return Proc(std::coroutine_handle<ProcPromise>::from_promise(*this));
+  }
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  ProcFinalAwaiter final_suspend() noexcept { return {}; }
+  void return_void() {}
+  void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace internal
+
+// Value-returning subroutine. `co_await SomeCo(...)` starts the child and
+// resumes the caller when the child co_returns.
+template <typename T>
+class [[nodiscard]] Co {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::optional<T> value;
+
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> handle) noexcept {
+        auto continuation = handle.promise().continuation;
+        return continuation ? continuation : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  explicit Co(Handle handle) : handle_(handle) {}
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co& operator=(Co&&) = delete;
+  ~Co() {
+    if (handle_) {
+      handle_.destroy();
+    }
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) noexcept {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  T await_resume() { return std::move(*handle_.promise().value); }
+
+ private:
+  Handle handle_;
+};
+
+// Spawning a *capturing lambda* coroutine directly is a lifetime trap: the
+// captures live in the closure object, which usually dies long before the
+// simulator first resumes the coroutine. RunClosure copies the closure into
+// its own frame and drives it, so
+//
+//   sim.Spawn(RunClosure([&]() -> Co<void> { ... }));
+//
+// is safe no matter where the lambda was declared. (Plain coroutine
+// *functions* are always safe — parameters are copied into the frame.)
+template <typename Lambda>
+Proc RunClosure(Lambda lambda) {
+  co_await lambda();
+}
+
+template <>
+class [[nodiscard]] Co<void> {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> handle) noexcept {
+        auto continuation = handle.promise().continuation;
+        return continuation ? continuation : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  explicit Co(Handle handle) : handle_(handle) {}
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co& operator=(Co&&) = delete;
+  ~Co() {
+    if (handle_) {
+      handle_.destroy();
+    }
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) noexcept {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  void await_resume() {}
+
+ private:
+  Handle handle_;
+};
+
+}  // namespace flock::sim
+
+#endif  // FLOCK_SIM_TASK_H_

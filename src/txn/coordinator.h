@@ -1,0 +1,226 @@
+// The transaction coordinator: OCC + 2PC + primary-backup replication
+// (§8.5.1, Fig. 13), transport-agnostic.
+//
+// Phases for a transaction with read set R and write set W:
+//   1. Execution  — RPC reads for R, RPC lock+read for W at the primaries;
+//                   a failed lock aborts (unlocking what was acquired).
+//   2. Validation — re-check the version of every R item (one-sided read in
+//                   FlockTX; an RPC in the FaSST-like baseline); a changed or
+//                   locked version aborts.
+//   3. Logging    — send the new values to every replica of each W item's
+//                   partition; replicas ACK to the coordinator.
+//   4. Commit     — primaries install new values, bump versions, unlock.
+//
+// The "application update" is a deterministic read-modify-write (first 8
+// bytes incremented), which lets tests verify end-to-end serializability by
+// counting.
+#ifndef FLOCK_TXN_COORDINATOR_H_
+#define FLOCK_TXN_COORDINATOR_H_
+
+#include <cstring>
+#include <vector>
+
+#include "src/txn/protocol.h"
+#include "src/txn/transport.h"
+
+namespace flock::txn {
+
+struct TxRequest {
+  std::vector<uint64_t> reads;
+  std::vector<uint64_t> writes;  // read-modify-write keys
+};
+
+struct TxnStats {
+  uint64_t committed = 0;
+  uint64_t aborted_locks = 0;
+  uint64_t aborted_validation = 0;
+  uint64_t aborted_other = 0;
+
+  uint64_t attempts() const {
+    return committed + aborted_locks + aborted_validation + aborted_other;
+  }
+};
+
+class TxCoordinator {
+ public:
+  TxCoordinator(TxTransport& transport, int num_servers, int replication)
+      : transport_(transport), num_servers_(num_servers), replication_(replication) {}
+
+  TxnStats& stats() { return stats_; }
+
+  // True if the last ExecuteOnce failure was a *transport* failure (an RPC
+  // timed out). After a timeout the outcome of in-flight operations is
+  // unknown — locks or commits may still land — so the transaction must NOT
+  // be retried as if it had aborted cleanly. FaSST treats such loss as a
+  // machine failure; callers should abandon the transaction (§8.5.2's
+  // "coroutines do not make progress" under loss).
+  bool last_failure_was_transport() const { return transport_failure_; }
+
+  // One attempt: true on commit.
+  sim::Co<bool> ExecuteOnce(const TxRequest& request) {
+    transport_failure_ = false;
+    // ---- Phase 1: execution ----
+    const size_t nr = request.reads.size();
+    const size_t nw = request.writes.size();
+    std::vector<TxCall> calls(nr + nw);
+    for (size_t i = 0; i < nr; ++i) {
+      calls[i].server = PartitionOf(request.reads[i], num_servers_);
+      calls[i].rpc = kTxGet;
+      calls[i].SetReq(TxKeyReq{request.reads[i]});
+    }
+    for (size_t i = 0; i < nw; ++i) {
+      calls[nr + i].server = PartitionOf(request.writes[i], num_servers_);
+      calls[nr + i].rpc = kTxLockRead;
+      calls[nr + i].SetReq(TxKeyReq{request.writes[i]});
+    }
+    co_await transport_.CallAll(calls.data(), calls.size());
+
+    std::vector<TxValueResp> read_values(nr);
+    std::vector<TxValueResp> write_values(nw);
+    std::vector<size_t> locked;
+    bool failed = false;
+    for (size_t i = 0; i < nr + nw; ++i) {
+      transport_failure_ |= !calls[i].ok;  // RPC itself timed out
+    }
+    for (size_t i = 0; i < nr; ++i) {
+      if (!calls[i].GetResp(&read_values[i]) || !read_values[i].ok) {
+        failed = true;
+      }
+    }
+    for (size_t i = 0; i < nw; ++i) {
+      if (calls[nr + i].GetResp(&write_values[i]) && write_values[i].ok) {
+        locked.push_back(i);
+      } else {
+        failed = true;
+      }
+    }
+    if (failed || transport_failure_) {
+      if (!transport_failure_) {
+        // Clean abort: release what we hold and let the caller retry.
+        co_await Unlock(request, locked);
+        stats_.aborted_locks += 1;
+      } else {
+        // A lock/read RPC timed out: in-flight state is unknown, so we can
+        // neither unlock safely nor retry. Abandon (FaSST kills here).
+        stats_.aborted_other += 1;
+      }
+      co_return false;
+    }
+
+    // ---- Phase 2: validation (skippable for single-read transactions) ----
+    if (nr > 0 && (nw > 0 || nr > 1)) {
+      bool all_valid = true;
+      for (size_t i = 0; i < nr && all_valid; ++i) {
+        bool valid = false;
+        const bool ok = co_await transport_.Validate(
+            PartitionOf(request.reads[i], num_servers_), request.reads[i],
+            read_values[i].version_addr, read_values[i].version, &valid);
+        transport_failure_ |= !ok;
+        all_valid = ok && valid;
+      }
+      if (!all_valid) {
+        if (!transport_failure_) {
+          co_await Unlock(request, locked);
+          stats_.aborted_validation += 1;
+        } else {
+          stats_.aborted_other += 1;
+        }
+        co_return false;
+      }
+    }
+
+    if (nw == 0) {
+      stats_.committed += 1;
+      co_return true;  // read-only
+    }
+
+    // The application's deterministic update: increment the leading counter.
+    std::vector<TxValueResp> new_values = write_values;
+    for (size_t i = 0; i < nw; ++i) {
+      uint64_t counter = 0;
+      std::memcpy(&counter, new_values[i].value, 8);
+      counter += 1;
+      std::memcpy(new_values[i].value, &counter, 8);
+    }
+
+    // ---- Phase 3: logging to replicas ----
+    if (replication_ > 1) {
+      std::vector<TxCall> log_calls;
+      for (size_t i = 0; i < nw; ++i) {
+        const int partition = PartitionOf(request.writes[i], num_servers_);
+        for (int r = 1; r < replication_; ++r) {
+          TxCall call;
+          call.server = (partition + r) % num_servers_;
+          call.rpc = kTxReplicate;
+          TxReplicateReq req;
+          req.key = request.writes[i];
+          req.version = (write_values[i].version & ~kv::kLockBit) + 2;
+          std::memcpy(req.value, new_values[i].value, kTxMaxValue);
+          call.SetReq(req);
+          log_calls.push_back(call);
+        }
+      }
+      co_await transport_.CallAll(log_calls.data(), log_calls.size());
+      for (const TxCall& call : log_calls) {
+        TxAckResp ack;
+        if (!call.GetResp(&ack) || !ack.ok) {
+          transport_failure_ |= !call.ok;
+          if (!transport_failure_) {
+            co_await Unlock(request, locked);  // clean replica refusal
+          }
+          stats_.aborted_other += 1;
+          co_return false;
+        }
+      }
+    }
+
+    // ---- Phase 4: commit at the primaries ----
+    std::vector<TxCall> commit_calls(nw);
+    for (size_t i = 0; i < nw; ++i) {
+      commit_calls[i].server = PartitionOf(request.writes[i], num_servers_);
+      commit_calls[i].rpc = kTxCommit;
+      TxCommitReq req;
+      req.key = request.writes[i];
+      std::memcpy(req.value, new_values[i].value, kTxMaxValue);
+      commit_calls[i].SetReq(req);
+    }
+    co_await transport_.CallAll(commit_calls.data(), commit_calls.size());
+    stats_.committed += 1;
+    co_return true;
+  }
+
+  // Retries until commit; returns the number of attempts.
+  sim::Co<int> ExecuteWithRetry(const TxRequest& request, int max_attempts = 100) {
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (co_await ExecuteOnce(request)) {
+        co_return attempt;
+      }
+    }
+    co_return -1;
+  }
+
+ private:
+  sim::Co<void> Unlock(const TxRequest& request, const std::vector<size_t>& locked) {
+    if (locked.empty()) {
+      co_return;
+    }
+    std::vector<TxCall> calls(locked.size());
+    for (size_t i = 0; i < locked.size(); ++i) {
+      const uint64_t key = request.writes[locked[i]];
+      calls[i].server = PartitionOf(key, num_servers_);
+      calls[i].rpc = kTxUnlock;
+      calls[i].SetReq(TxKeyReq{key});
+    }
+    co_await transport_.CallAll(calls.data(), calls.size());
+  }
+
+  TxTransport& transport_;
+  const int num_servers_;
+  const int replication_;
+  TxnStats stats_;
+  bool transport_failure_ = false;
+};
+
+}  // namespace flock::txn
+
+#endif  // FLOCK_TXN_COORDINATOR_H_

@@ -1,0 +1,64 @@
+// Wire protocol between transaction coordinators and KV servers.
+//
+// Shared by FlockTX (coordinators over Flock connections) and the FaSST-like
+// baseline (coordinators over UD RPC): the transaction protocol is identical
+// (OCC + 2PC + primary-backup, §8.5.1); only the transport and the validation
+// mechanism differ (one-sided reads vs RPCs).
+#ifndef FLOCK_TXN_PROTOCOL_H_
+#define FLOCK_TXN_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "src/kv/kvstore.h"
+
+namespace flock::txn {
+
+// RPC ids.
+inline constexpr uint16_t kTxGet = 10;          // execution: read-set read
+inline constexpr uint16_t kTxLockRead = 11;     // execution: write-set lock+read
+inline constexpr uint16_t kTxCommit = 12;       // commit: install + unlock
+inline constexpr uint16_t kTxUnlock = 13;       // abort: release lock
+inline constexpr uint16_t kTxReplicate = 14;    // logging: apply at a replica
+inline constexpr uint16_t kTxGetVersion = 15;   // validation by RPC (FaSST path)
+
+inline constexpr uint32_t kTxMaxValue = 40;  // bytes (FaSST-style row payloads)
+
+struct TxKeyReq {
+  uint64_t key = 0;
+};
+
+struct TxValueResp {
+  uint8_t ok = 0;
+  uint64_t version = 0;
+  uint64_t version_addr = 0;  // for one-sided validation (FlockTX)
+  uint8_t value[kTxMaxValue] = {};
+};
+
+struct TxCommitReq {
+  uint64_t key = 0;
+  uint8_t value[kTxMaxValue] = {};
+};
+
+struct TxReplicateReq {
+  uint64_t key = 0;
+  uint64_t version = 0;  // version the primary will install
+  uint8_t value[kTxMaxValue] = {};
+};
+
+struct TxAckResp {
+  uint8_t ok = 0;
+};
+
+struct TxVersionResp {
+  uint8_t ok = 0;
+  uint64_t version = 0;
+};
+
+// Key partitioning: primary = hash(key) % num_partitions; replicas follow.
+inline int PartitionOf(uint64_t key, int num_partitions) {
+  return static_cast<int>(kv::KeyHash(key ^ 0x5bd1e995) % static_cast<uint64_t>(num_partitions));
+}
+
+}  // namespace flock::txn
+
+#endif  // FLOCK_TXN_PROTOCOL_H_

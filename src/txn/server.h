@@ -1,0 +1,187 @@
+// Transaction server state and RPC handlers.
+//
+// Each server node is the primary for one partition and a replica for
+// `replication - 1` others (3-way chain placement, as in §8.5.2). Handlers
+// are plain RpcHandler functions, registered identically on a FlockRuntime
+// or a UdRpcServer.
+#ifndef FLOCK_TXN_SERVER_H_
+#define FLOCK_TXN_SERVER_H_
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/flock/runtime.h"  // RpcHandler
+#include "src/txn/protocol.h"
+
+namespace flock::txn {
+
+class TxServer {
+ public:
+  // `server_index` in [0, num_servers); hosts the primary store for its own
+  // partition and replica stores for the previous `replication - 1` ones.
+  TxServer(fabric::MemorySpace& mem, int server_index, int num_servers,
+           int replication, size_t keys_per_partition, uint32_t value_size)
+      : server_index_(server_index), num_servers_(num_servers) {
+    FLOCK_CHECK_LE(replication, num_servers);
+    FLOCK_CHECK_LE(value_size, kTxMaxValue);
+    for (int r = 0; r < replication; ++r) {
+      const int partition = (server_index - r + num_servers) % num_servers;
+      stores_[partition] =
+          std::make_unique<kv::KvStore>(mem, keys_per_partition, value_size);
+    }
+  }
+
+  kv::KvStore* primary() { return stores_.at(server_index_).get(); }
+  kv::KvStore* store(int partition) {
+    auto it = stores_.find(partition);
+    return it == stores_.end() ? nullptr : it->second.get();
+  }
+
+  // Primary for a key is the partition; this node must own that partition for
+  // kTxGet/kTxLockRead/kTxCommit/kTxUnlock, or host a replica for kTxReplicate.
+  int server_index() const { return server_index_; }
+  int num_servers() const { return num_servers_; }
+  uint64_t commits_applied() const { return commits_applied_; }
+  uint64_t lock_failures() const { return lock_failures_; }
+
+  // Registers the six handlers through `reg` (RegisterHandler of either
+  // transport).
+  void RegisterAll(const std::function<void(uint16_t, RpcHandler)>& reg) {
+    reg(kTxGet, [this](const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+                       Nanos* cpu) { return HandleGet(req, len, resp, cap, cpu); });
+    reg(kTxLockRead,
+        [this](const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+               Nanos* cpu) { return HandleLockRead(req, len, resp, cap, cpu); });
+    reg(kTxCommit,
+        [this](const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+               Nanos* cpu) { return HandleCommit(req, len, resp, cap, cpu); });
+    reg(kTxUnlock,
+        [this](const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+               Nanos* cpu) { return HandleUnlock(req, len, resp, cap, cpu); });
+    reg(kTxReplicate,
+        [this](const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+               Nanos* cpu) { return HandleReplicate(req, len, resp, cap, cpu); });
+    reg(kTxGetVersion,
+        [this](const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+               Nanos* cpu) { return HandleGetVersion(req, len, resp, cap, cpu); });
+  }
+
+ private:
+  kv::KvStore& PrimaryFor(uint64_t key) {
+    const int partition = PartitionOf(key, num_servers_);
+    FLOCK_CHECK_EQ(partition, server_index_) << "request routed to wrong primary";
+    return *stores_.at(partition);
+  }
+
+  uint32_t HandleGet(const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+                     Nanos* cpu) {
+    TxKeyReq request;
+    std::memcpy(&request, req, sizeof(request));
+    TxValueResp response;
+    response.ok = PrimaryFor(request.key)
+                          .Get(request.key, response.value, &response.version,
+                               &response.version_addr)
+                      ? 1
+                      : 0;
+    *cpu = kv::KvStore::kAccessCost;
+    std::memcpy(resp, &response, sizeof(response));
+    return sizeof(response);
+  }
+
+  uint32_t HandleLockRead(const uint8_t* req, uint32_t len, uint8_t* resp,
+                          uint32_t cap, Nanos* cpu) {
+    TxKeyReq request;
+    std::memcpy(&request, req, sizeof(request));
+    TxValueResp response;
+    response.ok =
+        PrimaryFor(request.key).TryLock(request.key, response.value, &response.version)
+            ? 1
+            : 0;
+    if (!response.ok) {
+      ++lock_failures_;
+    }
+    *cpu = kv::KvStore::kAccessCost + 20;
+    std::memcpy(resp, &response, sizeof(response));
+    return sizeof(response);
+  }
+
+  uint32_t HandleCommit(const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+                        Nanos* cpu) {
+    TxCommitReq request;
+    std::memcpy(&request, req, sizeof(request));
+    TxAckResp response;
+    response.ok = PrimaryFor(request.key).UpdateAndUnlock(request.key, request.value)
+                      ? 1
+                      : 0;
+    commits_applied_ += response.ok;
+    *cpu = kv::KvStore::kAccessCost + 40;
+    std::memcpy(resp, &response, sizeof(response));
+    return sizeof(response);
+  }
+
+  uint32_t HandleUnlock(const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+                        Nanos* cpu) {
+    TxKeyReq request;
+    std::memcpy(&request, req, sizeof(request));
+    TxAckResp response;
+    response.ok = PrimaryFor(request.key).Unlock(request.key) ? 1 : 0;
+    *cpu = kv::KvStore::kAccessCost;
+    std::memcpy(resp, &response, sizeof(response));
+    return sizeof(response);
+  }
+
+  uint32_t HandleReplicate(const uint8_t* req, uint32_t len, uint8_t* resp,
+                           uint32_t cap, Nanos* cpu) {
+    TxReplicateReq request;
+    std::memcpy(&request, req, sizeof(request));
+    const int partition = PartitionOf(request.key, num_servers_);
+    kv::KvStore* replica = store(partition);
+    FLOCK_CHECK(replica != nullptr) << "replicate routed to non-replica";
+    TxAckResp response;
+    response.ok =
+        replica->ReplicaApply(request.key, request.version, request.value) ? 1 : 0;
+    *cpu = kv::KvStore::kAccessCost + 40;
+    std::memcpy(resp, &response, sizeof(response));
+    return sizeof(response);
+  }
+
+  uint32_t HandleGetVersion(const uint8_t* req, uint32_t len, uint8_t* resp,
+                            uint32_t cap, Nanos* cpu) {
+    TxKeyReq request;
+    std::memcpy(&request, req, sizeof(request));
+    TxVersionResp response;
+    response.ok = PrimaryFor(request.key).PeekVersion(request.key, &response.version)
+                      ? 1
+                      : 0;
+    *cpu = kv::KvStore::kAccessCost;
+    std::memcpy(resp, &response, sizeof(response));
+    return sizeof(response);
+  }
+
+  const int server_index_;
+  const int num_servers_;
+  std::unordered_map<int, std::unique_ptr<kv::KvStore>> stores_;
+  uint64_t commits_applied_ = 0;
+  uint64_t lock_failures_ = 0;
+};
+
+// Inserts `key` into its primary's store and every replica's copy of that
+// partition. `servers` is indexed by server_index.
+inline void PopulateKey(const std::vector<TxServer*>& servers, uint64_t key,
+                        const void* value) {
+  const int num_servers = static_cast<int>(servers.size());
+  const int partition = PartitionOf(key, num_servers);
+  for (TxServer* server : servers) {
+    kv::KvStore* store = server->store(partition);
+    if (store != nullptr) {
+      FLOCK_CHECK(store->Insert(key, value));
+    }
+  }
+}
+
+}  // namespace flock::txn
+
+#endif  // FLOCK_TXN_SERVER_H_

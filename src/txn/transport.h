@@ -1,0 +1,171 @@
+// Coordinator-side transport abstraction.
+//
+// FlockTX and the FaSST-like baseline run the *same* transaction protocol;
+// what differs is how RPCs travel and how read-set validation is performed:
+//
+//   * FlockTxTransport — RPCs through Flock connection handles; validation
+//     with one-sided fl_read of the item version words (§8.5.1 phase 2).
+//   * FasstTxTransport — RPCs over the UD baseline, one QP per thread, each
+//     client thread talking to its peer server worker; validation is another
+//     RPC (UD has no one-sided verbs — Table 1).
+//
+// One transport instance exists per coroutine worker; workers of a thread
+// share the underlying FlockThread / UdRpcClient::Thread.
+#ifndef FLOCK_TXN_TRANSPORT_H_
+#define FLOCK_TXN_TRANSPORT_H_
+
+#include <cstring>
+#include <vector>
+
+#include "src/baselines/udrpc.h"
+#include "src/flock/runtime.h"
+#include "src/txn/protocol.h"
+
+namespace flock::txn {
+
+struct TxCall {
+  int server = 0;
+  uint16_t rpc = 0;
+  uint32_t req_len = 0;
+  uint8_t req[64] = {};
+  bool ok = false;
+  std::vector<uint8_t> resp;
+
+  template <typename T>
+  void SetReq(const T& value) {
+    static_assert(sizeof(T) <= sizeof(req));
+    std::memcpy(req, &value, sizeof(T));
+    req_len = sizeof(T);
+  }
+
+  template <typename T>
+  bool GetResp(T* out) const {
+    if (!ok || resp.size() < sizeof(T)) {
+      return false;
+    }
+    std::memcpy(out, resp.data(), sizeof(T));
+    return true;
+  }
+};
+
+class TxTransport {
+ public:
+  virtual ~TxTransport() = default;
+
+  // Issues all calls concurrently and awaits all responses.
+  virtual sim::Co<void> CallAll(TxCall* calls, size_t count) = 0;
+
+  // Read-set validation for one item: is its version still `expected` and
+  // unlocked? `version_addr` is used by one-sided transports, `key` by
+  // RPC-based ones.
+  virtual sim::Co<bool> Validate(int server, uint64_t key, uint64_t version_addr,
+                                 uint64_t expected, bool* valid) = 0;
+};
+
+// ---- FlockTX ----
+class FlockTxTransport : public TxTransport {
+ public:
+  FlockTxTransport(FlockRuntime& runtime, FlockThread& thread,
+                   std::vector<Connection*> connections,
+                   std::vector<std::vector<RemoteMr>> server_mrs)
+      : runtime_(runtime),
+        thread_(thread),
+        connections_(std::move(connections)),
+        server_mrs_(std::move(server_mrs)) {
+    read_slot_ = runtime_.cluster().mem(runtime_.node()).Alloc(8, 8);
+  }
+
+  sim::Co<void> CallAll(TxCall* calls, size_t count) override {
+    std::vector<PendingRpc*> pending(count);
+    for (size_t i = 0; i < count; ++i) {
+      pending[i] = co_await connections_[static_cast<size_t>(calls[i].server)]->SendRpc(
+          thread_, calls[i].rpc, calls[i].req, calls[i].req_len);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      calls[i].ok = co_await connections_[static_cast<size_t>(calls[i].server)]
+                        ->AwaitResponse(thread_, pending[i]);
+      calls[i].resp = std::move(pending[i]->response);
+      delete pending[i];
+    }
+  }
+
+  sim::Co<bool> Validate(int server, uint64_t key, uint64_t version_addr,
+                         uint64_t expected, bool* valid) override {
+    const RemoteMr* mr = FindMr(server, version_addr);
+    if (mr == nullptr) {
+      co_return false;
+    }
+    const verbs::WcStatus status =
+        co_await connections_[static_cast<size_t>(server)]->Read(
+            thread_, read_slot_, version_addr, 8, *mr);
+    if (status != verbs::WcStatus::kSuccess) {
+      co_return false;
+    }
+    uint64_t version = 0;
+    runtime_.cluster().mem(runtime_.node()).Read(read_slot_, &version, 8);
+    *valid = (version == expected) && !(version & kv::kLockBit);
+    co_return true;
+  }
+
+ private:
+  const RemoteMr* FindMr(int server, uint64_t addr) const {
+    for (const RemoteMr& mr : server_mrs_[static_cast<size_t>(server)]) {
+      if (addr >= mr.addr && addr + 8 <= mr.addr + mr.length) {
+        return &mr;
+      }
+    }
+    return nullptr;
+  }
+
+  FlockRuntime& runtime_;
+  FlockThread& thread_;
+  std::vector<Connection*> connections_;
+  std::vector<std::vector<RemoteMr>> server_mrs_;
+  uint64_t read_slot_ = 0;
+};
+
+// ---- FaSST-like ----
+class FasstTxTransport : public TxTransport {
+ public:
+  FasstTxTransport(baselines::UdRpcClient::Thread& thread,
+                   std::vector<baselines::UdEndpoint> peers, Nanos timeout)
+      : thread_(thread), peers_(std::move(peers)), timeout_(timeout) {}
+
+  sim::Co<void> CallAll(TxCall* calls, size_t count) override {
+    std::vector<baselines::UdRpcClient::Pending*> pending(count);
+    for (size_t i = 0; i < count; ++i) {
+      pending[i] =
+          co_await thread_.Send(peers_[static_cast<size_t>(calls[i].server)],
+                                calls[i].rpc, calls[i].req, calls[i].req_len);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      calls[i].ok = co_await thread_.Await(pending[i], timeout_);
+      calls[i].resp = std::move(pending[i]->response);
+      delete pending[i];
+    }
+  }
+
+  sim::Co<bool> Validate(int server, uint64_t key, uint64_t version_addr,
+                         uint64_t expected, bool* valid) override {
+    TxCall call;
+    call.server = server;
+    call.rpc = kTxGetVersion;
+    call.SetReq(TxKeyReq{key});
+    co_await CallAll(&call, 1);
+    TxVersionResp resp;
+    if (!call.GetResp(&resp) || !resp.ok) {
+      co_return false;
+    }
+    *valid = (resp.version == expected) && !(resp.version & kv::kLockBit);
+    co_return true;
+  }
+
+ private:
+  baselines::UdRpcClient::Thread& thread_;
+  std::vector<baselines::UdEndpoint> peers_;
+  Nanos timeout_;
+};
+
+}  // namespace flock::txn
+
+#endif  // FLOCK_TXN_TRANSPORT_H_

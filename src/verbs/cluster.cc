@@ -1,0 +1,29 @@
+#include "src/verbs/device.h"
+
+namespace flock::verbs {
+
+Cluster::Cluster(const Config& config)
+    : cost_(config.cost), network_(sim_, cost_, config.num_nodes) {
+  FLOCK_CHECK_GT(config.num_nodes, 0);
+  nodes_.reserve(static_cast<size_t>(config.num_nodes));
+  for (int i = 0; i < config.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<NodeState>(sim_, config.cores_per_node));
+    nodes_.back()->device = std::make_unique<Device>(*this, i);
+  }
+}
+
+Cluster::~Cluster() {
+  // Destroy all coroutine frames while the nodes they reference still exist.
+  sim_.Shutdown();
+}
+
+std::pair<Qp*, Qp*> Cluster::ConnectRc(int node_a, Cq* scq_a, Cq* rcq_a, int node_b,
+                                       Cq* scq_b, Cq* rcq_b) {
+  Qp* a = device(node_a).CreateQp(QpType::kRc, scq_a, rcq_a);
+  Qp* b = device(node_b).CreateQp(QpType::kRc, scq_b, rcq_b);
+  a->ConnectTo(node_b, b->qpn());
+  b->ConnectTo(node_a, a->qpn());
+  return {a, b};
+}
+
+}  // namespace flock::verbs

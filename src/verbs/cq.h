@@ -1,0 +1,47 @@
+// Completion queues.
+//
+// The device DMAs completions in; application threads poll them out. Polling
+// itself is free at this layer — the *CPU cost* of ibv_poll_cq is charged by
+// the caller from the CostModel, because who pays the polling cost (and how
+// often they poll empty) is precisely what separates the systems under study.
+#ifndef FLOCK_VERBS_CQ_H_
+#define FLOCK_VERBS_CQ_H_
+
+#include <deque>
+
+#include "src/verbs/types.h"
+
+namespace flock::verbs {
+
+class Cq {
+ public:
+  // Device-side: deliver a completion.
+  void Push(const Completion& wc) {
+    entries_.push_back(wc);
+    ++pushed_;
+  }
+
+  // Host-side: non-blocking poll of one completion.
+  bool Poll(Completion* out) {
+    if (entries_.empty()) {
+      return false;
+    }
+    *out = entries_.front();
+    entries_.pop_front();
+    ++polled_;
+    return true;
+  }
+
+  size_t depth() const { return entries_.size(); }
+  uint64_t pushed() const { return pushed_; }
+  uint64_t polled() const { return polled_; }
+
+ private:
+  std::deque<Completion> entries_;
+  uint64_t pushed_ = 0;
+  uint64_t polled_ = 0;
+};
+
+}  // namespace flock::verbs
+
+#endif  // FLOCK_VERBS_CQ_H_

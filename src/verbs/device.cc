@@ -1,0 +1,391 @@
+#include "src/verbs/device.h"
+
+#include <utility>
+
+namespace flock::verbs {
+
+namespace {
+
+WcOpcode ToWcOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kSend:
+    case Opcode::kSendImm:
+      return WcOpcode::kSend;
+    case Opcode::kWrite:
+    case Opcode::kWriteImm:
+      return WcOpcode::kWrite;
+    case Opcode::kRead:
+      return WcOpcode::kRead;
+    case Opcode::kFetchAdd:
+      return WcOpcode::kFetchAdd;
+    case Opcode::kCmpSwap:
+      return WcOpcode::kCmpSwap;
+  }
+  return WcOpcode::kSend;
+}
+
+bool IsAtomic(Opcode op) {
+  return op == Opcode::kFetchAdd || op == Opcode::kCmpSwap;
+}
+
+// Bytes carried by the request leg of a WR (READ requests and atomic
+// operands are tiny control payloads).
+uint64_t OutboundBytes(const SendWr& wr) {
+  if (wr.opcode == Opcode::kRead) {
+    return 0;
+  }
+  if (IsAtomic(wr.opcode)) {
+    return 16;
+  }
+  return wr.length;
+}
+
+}  // namespace
+
+int Qp::node() const { return device_.node_id(); }
+
+WcStatus Qp::Validate(const SendWr& wr) const {
+  switch (type_) {
+    case QpType::kRc:
+      break;  // all verbs supported (Table 1)
+    case QpType::kUc:
+      if (wr.opcode != Opcode::kWrite && wr.opcode != Opcode::kWriteImm &&
+          wr.opcode != Opcode::kSend && wr.opcode != Opcode::kSendImm) {
+        return WcStatus::kUnsupportedOp;
+      }
+      break;
+    case QpType::kUd:
+      if (wr.opcode != Opcode::kSend && wr.opcode != Opcode::kSendImm) {
+        return WcStatus::kUnsupportedOp;
+      }
+      break;
+  }
+  if (type_ == QpType::kUd) {
+    // UD datagrams carry a 40 B GRH inside the MTU; larger payloads must be
+    // fragmented by software (the limitation Table 1 calls out).
+    if (wr.length + 40 > device_.cluster_cost().mtu_bytes) {
+      return WcStatus::kMtuExceeded;
+    }
+    if (wr.dest_node < 0) {
+      return WcStatus::kRemoteInvalidQp;
+    }
+  } else if (!connected()) {
+    return WcStatus::kRemoteInvalidQp;
+  }
+  return WcStatus::kSuccess;
+}
+
+WcStatus Qp::PostSend(const SendWr& wr) {
+  const WcStatus status = Validate(wr);
+  if (status != WcStatus::kSuccess) {
+    return status;
+  }
+  send_queue_.push_back(wr);
+  device_.KickSendEngine(*this);
+  return WcStatus::kSuccess;
+}
+
+WcStatus Qp::PostSendBatch(const SendWr* wrs, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const WcStatus status = PostSend(wrs[i]);
+    if (status != WcStatus::kSuccess) {
+      return status;
+    }
+  }
+  return WcStatus::kSuccess;
+}
+
+Device::Device(Cluster& cluster, int node_id)
+    : cluster_(cluster),
+      sim_(cluster.sim()),
+      cost_(cluster.cost()),
+      net_(cluster.network()),
+      node_id_(node_id),
+      tx_pipe_(cluster.sim()),
+      rx_pipe_(cluster.sim()),
+      pcie_fetch_slots_(cluster.sim(), cluster.cost().nic_pcie_concurrency),
+      qp_cache_(cluster.cost().nic_qp_cache_entries, rnic::QpCache::Policy::kRandom,
+                0x9e3779b97f4a7c15ull * static_cast<uint64_t>(node_id + 1)) {}
+
+Cq* Device::CreateCq() {
+  cqs_.push_back(std::make_unique<Cq>());
+  return cqs_.back().get();
+}
+
+Qp* Device::CreateQp(QpType type, Cq* send_cq, Cq* recv_cq) {
+  FLOCK_CHECK(send_cq != nullptr);
+  FLOCK_CHECK(recv_cq != nullptr);
+  const uint32_t qpn = next_qpn_++;
+  auto qp = std::make_unique<Qp>(*this, qpn, type, send_cq, recv_cq);
+  Qp* raw = qp.get();
+  qps_.emplace(qpn, std::move(qp));
+  return raw;
+}
+
+Mr Device::RegisterMr(uint64_t addr, uint64_t length) {
+  FLOCK_CHECK(cluster_.mem(node_id_).Contains(addr, length));
+  return mrs_.Register(addr, length);
+}
+
+Qp* Device::FindQp(uint32_t qpn) {
+  auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : it->second.get();
+}
+
+void Device::KickSendEngine(Qp& qp) {
+  if (!qp.engine_running_) {
+    qp.engine_running_ = true;
+    sim_.Spawn(SendEngine(qp));
+  }
+}
+
+sim::Proc Device::SendEngine(Qp& qp) {
+  while (!qp.send_queue_.empty()) {
+    SendWr wr = qp.send_queue_.front();
+    qp.send_queue_.pop_front();
+    co_await ProcessWr(qp, wr);
+  }
+  qp.engine_running_ = false;
+}
+
+sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {
+  const uint64_t outbound = OutboundBytes(wr);
+  const uint32_t packets = net_.PacketCount(outbound);
+
+  // TX pipeline occupancy: descriptor fetch plus per-packet processing.
+  co_await tx_pipe_.Serve(cost_.nic_per_wqe +
+                          static_cast<Nanos>(packets) * cost_.nic_tx_per_packet);
+  // Sender-side connection state.
+  co_await TouchQpState(qp.qpn(), tx_pipe_);
+
+  // Snapshot the payload from host memory (DMA read unless inlined).
+  std::vector<uint8_t> payload;
+  if (wr.opcode != Opcode::kRead && !IsAtomic(wr.opcode) && wr.length > 0) {
+    FLOCK_CHECK(cluster_.mem(node_id_).Contains(wr.local_addr, wr.length))
+        << "bad local segment on node " << node_id_;
+    if (wr.length > kMaxInlineData) {
+      co_await sim::Delay(sim_, cost_.nic_dma_read);
+    }
+    payload.resize(wr.length);
+    cluster_.mem(node_id_).Read(wr.local_addr, payload.data(), wr.length);
+  }
+
+  stats_.tx_msgs++;
+  stats_.tx_bytes += outbound;
+  stats_.tx_packets += packets;
+  stats_.tx_wire_bytes += outbound + uint64_t{packets} * cost_.wire_overhead_bytes;
+
+  sim_.Spawn(Deliver(qp, wr, std::move(payload)));
+
+  // Unreliable transports complete at transmission; RC completes on ACK or
+  // response inside Deliver.
+  if (qp.type() != QpType::kRc) {
+    CompleteSend(qp, wr, WcStatus::kSuccess, wr.length);
+  }
+}
+
+sim::Proc Device::Deliver(Qp& qp, SendWr wr, std::vector<uint8_t> payload) {
+  const int dest_node = qp.type() == QpType::kUd ? wr.dest_node : qp.peer_node();
+  FLOCK_CHECK_GE(dest_node, 0);
+  FLOCK_CHECK_LT(dest_node, net_.num_nodes());
+
+  const uint64_t outbound = OutboundBytes(wr);
+  const Nanos serialize = net_.SerializeTime(outbound);
+
+  co_await net_.Uplink(node_id_).Serve(serialize);
+  co_await sim::Delay(sim_, net_.TransitDelay());
+  co_await net_.Downlink(dest_node).Serve(serialize);
+
+  Device& peer = cluster_.device(dest_node);
+  WcStatus status = WcStatus::kSuccess;
+  uint64_t atomic_result = 0;
+  co_await ReceiveAtPeer(peer, qp, wr, payload, status, atomic_result);
+
+  if (qp.type() != QpType::kRc) {
+    co_return;  // unreliable: remote failures are silent, already completed
+  }
+  if (wr.opcode != Opcode::kRead && !IsAtomic(wr.opcode)) {
+    // Hardware ACK for writes/sends.
+    co_await sim::Delay(sim_, cost_.rc_ack_latency);
+  }
+  CompleteSend(qp, wr, status, wr.length);
+}
+
+sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
+                                    std::vector<uint8_t>& payload, WcStatus& status,
+                                    uint64_t& atomic_result) {
+  const uint32_t packets = net_.PacketCount(OutboundBytes(wr));
+  co_await peer.rx_pipe_.Serve(static_cast<Nanos>(packets) * cost_.nic_rx_per_packet);
+  peer.stats_.rx_msgs++;
+  peer.stats_.rx_packets += packets;
+
+  const uint32_t dst_qpn =
+      src_qp.type() == QpType::kUd ? wr.dest_qpn : src_qp.peer_qpn();
+  Qp* dst = peer.FindQp(dst_qpn);
+  if (dst == nullptr || dst->type() != src_qp.type()) {
+    peer.stats_.remote_errors++;
+    status = WcStatus::kRemoteInvalidQp;
+    co_return;
+  }
+  // Receiver-side connection state — the cache that thrashes under fan-in.
+  co_await peer.TouchQpState(dst_qpn, peer.rx_pipe_);
+
+  fabric::MemorySpace& peer_mem = cluster_.mem(peer.node_id_);
+
+  switch (wr.opcode) {
+    case Opcode::kWrite:
+    case Opcode::kWriteImm: {
+      if (!peer.mrs_.ValidateRemote(wr.rkey, wr.remote_addr, wr.length)) {
+        peer.stats_.remote_errors++;
+        status = WcStatus::kRemoteAccessError;
+        co_return;
+      }
+      co_await sim::Delay(sim_, cost_.nic_dma_write);
+      if (!payload.empty()) {
+        peer_mem.Write(wr.remote_addr, payload.data(), payload.size());
+      }
+      if (wr.opcode == Opcode::kWriteImm) {
+        // write-with-imm consumes a posted receive and raises a completion.
+        if (dst->recv_queue_.empty()) {
+          peer.stats_.remote_errors++;
+          status = WcStatus::kRnrError;
+          co_return;
+        }
+        const RecvWr recv = dst->recv_queue_.front();
+        dst->recv_queue_.pop_front();
+        Completion wc;
+        wc.wr_id = recv.wr_id;
+        wc.opcode = WcOpcode::kRecvImm;
+        wc.status = WcStatus::kSuccess;
+        wc.byte_len = wr.length;
+        wc.imm = wr.imm;
+        wc.has_imm = true;
+        wc.src_node = node_id_;
+        wc.src_qpn = src_qp.qpn();
+        peer.stats_.cqes_dma_ed++;
+        dst->recv_cq()->Push(wc);
+      }
+      co_return;
+    }
+    case Opcode::kSend:
+    case Opcode::kSendImm: {
+      if (dst->recv_queue_.empty()) {
+        if (dst->type() == QpType::kUd || dst->type() == QpType::kUc) {
+          peer.stats_.ud_drops++;  // silently dropped on the floor
+          co_return;
+        }
+        peer.stats_.remote_errors++;
+        status = WcStatus::kRnrError;  // RC would RNR-NAK; we surface it
+        co_return;
+      }
+      const RecvWr recv = dst->recv_queue_.front();
+      dst->recv_queue_.pop_front();
+      FLOCK_CHECK_GE(recv.length, wr.length) << "receive buffer too small";
+      co_await sim::Delay(sim_, cost_.nic_dma_write);
+      if (!payload.empty()) {
+        peer_mem.Write(recv.local_addr, payload.data(), payload.size());
+      }
+      Completion wc;
+      wc.wr_id = recv.wr_id;
+      wc.opcode = wr.opcode == Opcode::kSendImm ? WcOpcode::kRecvImm : WcOpcode::kRecv;
+      wc.status = WcStatus::kSuccess;
+      wc.byte_len = wr.length;
+      wc.imm = wr.imm;
+      wc.has_imm = wr.opcode == Opcode::kSendImm;
+      wc.src_node = node_id_;
+      wc.src_qpn = src_qp.qpn();
+      peer.stats_.cqes_dma_ed++;
+      dst->recv_cq()->Push(wc);
+      co_return;
+    }
+    case Opcode::kRead: {
+      if (!peer.mrs_.ValidateRemote(wr.rkey, wr.remote_addr, wr.length)) {
+        peer.stats_.remote_errors++;
+        status = WcStatus::kRemoteAccessError;
+        co_return;
+      }
+      // NIC fetches the data from the responder's host memory...
+      co_await sim::Delay(sim_, cost_.nic_dma_read);
+      std::vector<uint8_t> data(wr.length);
+      peer_mem.Read(wr.remote_addr, data.data(), wr.length);
+      // ...and streams it back.
+      const uint32_t resp_packets = net_.PacketCount(wr.length);
+      const Nanos resp_serialize = net_.SerializeTime(wr.length);
+      co_await peer.tx_pipe_.Serve(
+          cost_.nic_per_wqe + static_cast<Nanos>(resp_packets) * cost_.nic_tx_per_packet);
+      peer.stats_.tx_msgs++;
+      peer.stats_.tx_bytes += wr.length;
+      peer.stats_.tx_packets += resp_packets;
+      peer.stats_.tx_wire_bytes +=
+          wr.length + uint64_t{resp_packets} * cost_.wire_overhead_bytes;
+      co_await net_.Uplink(peer.node_id_).Serve(resp_serialize);
+      co_await sim::Delay(sim_, net_.TransitDelay());
+      co_await net_.Downlink(node_id_).Serve(resp_serialize);
+      co_await rx_pipe_.Serve(static_cast<Nanos>(resp_packets) * cost_.nic_rx_per_packet);
+      co_await sim::Delay(sim_, cost_.nic_dma_write);
+      FLOCK_CHECK(cluster_.mem(node_id_).Contains(wr.local_addr, wr.length));
+      cluster_.mem(node_id_).Write(wr.local_addr, data.data(), data.size());
+      co_return;
+    }
+    case Opcode::kFetchAdd:
+    case Opcode::kCmpSwap: {
+      if (!peer.mrs_.ValidateRemote(wr.rkey, wr.remote_addr, 8)) {
+        peer.stats_.remote_errors++;
+        status = WcStatus::kRemoteAccessError;
+        co_return;
+      }
+      FLOCK_CHECK_EQ(wr.remote_addr % 8, 0u) << "atomics require 8B alignment";
+      // The NIC performs a locked read-modify-write against host memory.
+      co_await sim::Delay(sim_, cost_.nic_atomic_execute);
+      uint64_t old_value = 0;
+      peer_mem.Read(wr.remote_addr, &old_value, 8);
+      uint64_t new_value = old_value;
+      if (wr.opcode == Opcode::kFetchAdd) {
+        new_value = old_value + wr.swap_or_add;
+      } else if (old_value == wr.compare) {
+        new_value = wr.swap_or_add;
+      }
+      peer_mem.Write(wr.remote_addr, &new_value, 8);
+      atomic_result = old_value;
+      // 8-byte response returns over the wire.
+      const Nanos resp_serialize = net_.SerializeTime(8);
+      co_await peer.tx_pipe_.Serve(cost_.nic_per_wqe + cost_.nic_tx_per_packet);
+      co_await net_.Uplink(peer.node_id_).Serve(resp_serialize);
+      co_await sim::Delay(sim_, net_.TransitDelay());
+      co_await net_.Downlink(node_id_).Serve(resp_serialize);
+      co_await rx_pipe_.Serve(cost_.nic_rx_per_packet);
+      co_await sim::Delay(sim_, cost_.nic_dma_write);
+      if (wr.local_addr != 0) {
+        FLOCK_CHECK(cluster_.mem(node_id_).Contains(wr.local_addr, 8));
+        cluster_.mem(node_id_).Write(wr.local_addr, &old_value, 8);
+      }
+      co_return;
+    }
+  }
+}
+
+sim::Co<void> Device::TouchQpState(uint32_t qpn, sim::FifoServer& pipe) {
+  if (!qp_cache_.Touch(qpn)) {
+    // The processing unit stalls while the connection context streams in, and
+    // the fetch itself contends for a bounded number of PCIe read slots.
+    co_await pipe.Serve(cost_.nic_miss_stall);
+    co_await pcie_fetch_slots_.Acquire();
+    co_await sim::Delay(sim_, cost_.nic_pcie_fetch);
+    pcie_fetch_slots_.Release();
+  }
+}
+
+void Device::CompleteSend(Qp& qp, const SendWr& wr, WcStatus status, uint32_t byte_len) {
+  if (!wr.signaled && status == WcStatus::kSuccess) {
+    return;  // selective signaling: no CQE, no PCIe DMA
+  }
+  Completion wc;
+  wc.wr_id = wr.wr_id;
+  wc.opcode = ToWcOpcode(wr.opcode);
+  wc.status = status;
+  wc.byte_len = byte_len;
+  stats_.cqes_dma_ed++;
+  qp.send_cq()->Push(wc);
+}
+
+}  // namespace verbs

@@ -1,0 +1,159 @@
+// The RNIC device model.
+//
+// One Device per node. It implements, in simulated time, everything the NIC
+// does between a doorbell ring and a completion:
+//
+//   post → [TX pipeline: WQE fetch + per-packet occupancy]
+//        → [QP-state cache lookup; miss = PCIe fetch w/ bounded concurrency]
+//        → [payload DMA from host]
+//        → [uplink serialization] → [switch transit] → [downlink serialization]
+//        → [RX pipeline at the peer] → [peer QP-state cache lookup]
+//        → [payload DMA to host / posted-recv consumption / READ or atomic
+//           execution and response transfer]
+//        → [RC ACK latency back] → [CQE DMA if signaled]
+//
+// The QP-state cache at the *receiver* of a high fan-in pattern is where the
+// paper's Fig. 2(a) collapse comes from; the per-packet RX work consumed on
+// *host CPU* (posting receives, polling CQs) is charged not here but by the
+// software layers above, from the CostModel.
+#ifndef FLOCK_VERBS_DEVICE_H_
+#define FLOCK_VERBS_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/fabric/memory.h"
+#include "src/fabric/network.h"
+#include "src/rnic/qp_cache.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/verbs/cq.h"
+#include "src/verbs/mr.h"
+#include "src/verbs/qp.h"
+#include "src/verbs/types.h"
+
+namespace flock::verbs {
+
+class Cluster;
+
+// Payload sizes at or below this post inline (no payload DMA read by the NIC;
+// mirrors ConnectX max_inline_data ≈ 220 B).
+inline constexpr uint32_t kMaxInlineData = 220;
+
+class Device {
+ public:
+  struct Stats {
+    uint64_t tx_msgs = 0;
+    uint64_t tx_bytes = 0;         // payload bytes transmitted
+    uint64_t tx_wire_bytes = 0;    // payload + per-packet framing
+    uint64_t tx_packets = 0;
+    uint64_t rx_msgs = 0;
+    uint64_t rx_packets = 0;
+    uint64_t ud_drops = 0;         // UD arrivals with no posted receive
+    uint64_t remote_errors = 0;    // failed rkey/bounds/transport checks
+    uint64_t cqes_dma_ed = 0;      // completions written over PCIe
+  };
+
+  Device(Cluster& cluster, int node_id);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // ---- control path ----
+  Cq* CreateCq();
+  Qp* CreateQp(QpType type, Cq* send_cq, Cq* recv_cq);
+  Mr RegisterMr(uint64_t addr, uint64_t length);
+
+  Qp* FindQp(uint32_t qpn);
+  int node_id() const { return node_id_; }
+  const sim::CostModel& cluster_cost() const { return cost_; }
+  rnic::QpCache& qp_cache() { return qp_cache_; }
+  MrTable& mrs() { return mrs_; }
+  const Stats& stats() const { return stats_; }
+
+  // ---- data path (called by Qp) ----
+  void KickSendEngine(Qp& qp);
+
+ private:
+  friend class Qp;
+
+  sim::Proc SendEngine(Qp& qp);
+  sim::Co<void> ProcessWr(Qp& qp, SendWr wr);
+  sim::Proc Deliver(Qp& qp, SendWr wr, std::vector<uint8_t> payload);
+  sim::Co<void> ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
+                              std::vector<uint8_t>& payload, WcStatus& status,
+                              uint64_t& atomic_result);
+  sim::Co<void> TouchQpState(uint32_t qpn, sim::FifoServer& pipe);
+  void CompleteSend(Qp& qp, const SendWr& wr, WcStatus status, uint32_t byte_len);
+
+  Cluster& cluster_;
+  sim::Simulator& sim_;
+  const sim::CostModel& cost_;
+  fabric::Network& net_;
+  const int node_id_;
+
+  sim::FifoServer tx_pipe_;
+  sim::FifoServer rx_pipe_;
+  sim::Semaphore pcie_fetch_slots_;
+  rnic::QpCache qp_cache_;
+  MrTable mrs_;
+
+  uint32_t next_qpn_ = 1;
+  std::unordered_map<uint32_t, std::unique_ptr<Qp>> qps_;
+  std::vector<std::unique_ptr<Cq>> cqs_;
+  Stats stats_;
+};
+
+// A simulated cluster: the simulator, the cost model, the switched network,
+// and per-node memory, cores and NIC. This is the root object every bench,
+// test and example builds first. Its destructor shuts the simulator down
+// (destroying all coroutine frames) *before* the nodes they reference die.
+class Cluster {
+ public:
+  struct Config {
+    int num_nodes = 2;
+    int cores_per_node = 32;
+    sim::CostModel cost;
+  };
+
+  explicit Cluster(const Config& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  const sim::CostModel& cost() const { return cost_; }
+  fabric::Network& network() { return network_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  fabric::MemorySpace& mem(int node) { return nodes_[static_cast<size_t>(node)]->mem; }
+  sim::Cpu& cpu(int node) { return nodes_[static_cast<size_t>(node)]->cpu; }
+  Device& device(int node) { return *nodes_[static_cast<size_t>(node)]->device; }
+
+  // Convenience: creates an RC QP pair between two nodes, already connected.
+  std::pair<Qp*, Qp*> ConnectRc(int node_a, Cq* scq_a, Cq* rcq_a, int node_b,
+                                Cq* scq_b, Cq* rcq_b);
+
+ private:
+  struct NodeState {
+    fabric::MemorySpace mem;
+    sim::Cpu cpu;
+    std::unique_ptr<Device> device;
+    NodeState(sim::Simulator& sim, int cores) : cpu(sim, cores) {}
+  };
+
+  sim::Simulator sim_;
+  sim::CostModel cost_;
+  fabric::Network network_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+};
+
+}  // namespace flock::verbs
+
+#endif  // FLOCK_VERBS_DEVICE_H_

@@ -1,0 +1,58 @@
+// Memory regions: registration and remote-access validation.
+//
+// An Mr grants remote peers access to [addr, addr+length) of a node's memory
+// under a generated rkey. The responder-side rkey/bounds check is real — a
+// bad rkey or out-of-bounds access surfaces as kRemoteAccessError on the
+// requester's completion, which the fault-injection tests rely on.
+#ifndef FLOCK_VERBS_MR_H_
+#define FLOCK_VERBS_MR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace flock::verbs {
+
+struct Mr {
+  uint32_t lkey = 0;
+  uint32_t rkey = 0;
+  uint64_t addr = 0;
+  uint64_t length = 0;
+};
+
+class MrTable {
+ public:
+  Mr Register(uint64_t addr, uint64_t length) {
+    Mr mr;
+    mr.lkey = next_key_;
+    mr.rkey = next_key_;
+    ++next_key_;
+    mr.addr = addr;
+    mr.length = length;
+    by_rkey_[mr.rkey] = mr;
+    return mr;
+  }
+
+  void Deregister(uint32_t rkey) { by_rkey_.erase(rkey); }
+
+  // True iff rkey exists and fully covers [addr, addr+len).
+  bool ValidateRemote(uint32_t rkey, uint64_t addr, uint64_t len) const {
+    auto it = by_rkey_.find(rkey);
+    if (it == by_rkey_.end()) {
+      return false;
+    }
+    const Mr& mr = it->second;
+    return addr >= mr.addr && addr + len <= mr.addr + mr.length && addr + len >= addr;
+  }
+
+  size_t size() const { return by_rkey_.size(); }
+
+ private:
+  uint32_t next_key_ = 1;
+  std::unordered_map<uint32_t, Mr> by_rkey_;
+};
+
+}  // namespace flock::verbs
+
+#endif  // FLOCK_VERBS_MR_H_

@@ -1,0 +1,80 @@
+// Queue pairs.
+//
+// A Qp owns its send/receive queues and transport-level validation (which
+// verbs each transport supports — Table 1 of the paper); the Device drains
+// the send queue in order, which preserves the per-QP ordering RC guarantees
+// and that Flock's canary scheme depends on.
+#ifndef FLOCK_VERBS_QP_H_
+#define FLOCK_VERBS_QP_H_
+
+#include <deque>
+
+#include "src/common/logging.h"
+#include "src/verbs/cq.h"
+#include "src/verbs/types.h"
+
+namespace flock::verbs {
+
+class Device;
+
+class Qp {
+ public:
+  Qp(Device& device, uint32_t qpn, QpType type, Cq* send_cq, Cq* recv_cq)
+      : device_(device), qpn_(qpn), type_(type), send_cq_(send_cq), recv_cq_(recv_cq) {}
+
+  Qp(const Qp&) = delete;
+  Qp& operator=(const Qp&) = delete;
+
+  uint32_t qpn() const { return qpn_; }
+  QpType type() const { return type_; }
+  Cq* send_cq() const { return send_cq_; }
+  Cq* recv_cq() const { return recv_cq_; }
+  int node() const;
+
+  // RC/UC: establish the one-to-one connection.
+  void ConnectTo(int peer_node, uint32_t peer_qpn) {
+    FLOCK_CHECK(type_ != QpType::kUd) << "UD QPs are connectionless";
+    peer_node_ = peer_node;
+    peer_qpn_ = peer_qpn;
+  }
+
+  bool connected() const { return peer_node_ >= 0; }
+  int peer_node() const { return peer_node_; }
+  uint32_t peer_qpn() const { return peer_qpn_; }
+
+  // Validates the WR against the transport's capabilities and enqueues it for
+  // the device's send engine. Returns kSuccess if accepted. The *CPU* cost of
+  // posting (WQE build + doorbell) is charged by the caller.
+  WcStatus PostSend(const SendWr& wr);
+
+  // Batched post: one doorbell, many WRs (the Flock leader's linked WR list).
+  // Stops at the first invalid WR and returns its status.
+  WcStatus PostSendBatch(const SendWr* wrs, size_t count);
+
+  void PostRecv(const RecvWr& wr) { recv_queue_.push_back(wr); }
+
+  size_t send_queue_depth() const { return send_queue_.size(); }
+  size_t recv_queue_depth() const { return recv_queue_.size(); }
+
+ private:
+  friend class Device;
+
+  WcStatus Validate(const SendWr& wr) const;
+
+  Device& device_;
+  const uint32_t qpn_;
+  const QpType type_;
+  Cq* const send_cq_;
+  Cq* const recv_cq_;
+
+  int peer_node_ = -1;
+  uint32_t peer_qpn_ = 0;
+
+  std::deque<SendWr> send_queue_;
+  std::deque<RecvWr> recv_queue_;
+  bool engine_running_ = false;
+};
+
+}  // namespace flock::verbs
+
+#endif  // FLOCK_VERBS_QP_H_

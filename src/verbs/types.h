@@ -1,0 +1,115 @@
+// Work-request and completion types for the simulated verbs API.
+//
+// The shapes deliberately mirror libibverbs (ibv_send_wr / ibv_recv_wr /
+// ibv_wc) so that code written against this API — Flock, the baselines, the
+// applications — reads like real RDMA code and could be retargeted at real
+// hardware by swapping the backend.
+#ifndef FLOCK_VERBS_TYPES_H_
+#define FLOCK_VERBS_TYPES_H_
+
+#include <cstdint>
+
+namespace flock::verbs {
+
+// Transport types (Table 1 of the paper).
+enum class QpType : uint8_t {
+  kRc,  // reliable connection: all verbs, hardware retransmission
+  kUc,  // unreliable connection: writes and sends only
+  kUd,  // unreliable datagram: sends only, MTU-limited, one-to-many
+};
+
+enum class Opcode : uint8_t {
+  kSend,
+  kSendImm,
+  kWrite,
+  kWriteImm,
+  kRead,
+  kFetchAdd,
+  kCmpSwap,
+};
+
+enum class WcStatus : uint8_t {
+  kSuccess,
+  kRemoteAccessError,  // rkey/bounds check failed at the responder
+  kRemoteInvalidQp,    // destination QP does not exist / wrong type
+  kRnrError,           // responder had no receive buffer posted (RC)
+  kUnsupportedOp,      // opcode not legal on this transport (Table 1)
+  kMtuExceeded,        // UD payload larger than MTU - GRH
+};
+
+enum class WcOpcode : uint8_t {
+  kSend,
+  kWrite,
+  kRead,
+  kFetchAdd,
+  kCmpSwap,
+  kRecv,
+  kRecvImm,  // consumed by RDMA write-with-imm or send-with-imm
+};
+
+inline const char* WcStatusName(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess:
+      return "success";
+    case WcStatus::kRemoteAccessError:
+      return "remote-access-error";
+    case WcStatus::kRemoteInvalidQp:
+      return "remote-invalid-qp";
+    case WcStatus::kRnrError:
+      return "rnr";
+    case WcStatus::kUnsupportedOp:
+      return "unsupported-op";
+    case WcStatus::kMtuExceeded:
+      return "mtu-exceeded";
+  }
+  return "?";
+}
+
+// A send-queue work request (single contiguous local segment — the only form
+// this codebase needs; real SGE lists degenerate to this shape here).
+struct SendWr {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  bool signaled = true;  // selective signaling: unsignaled WRs produce no CQE
+
+  // Local segment.
+  uint64_t local_addr = 0;
+  uint32_t length = 0;
+
+  // One-sided target (write/read/atomics).
+  uint64_t remote_addr = 0;
+  uint32_t rkey = 0;
+
+  // Immediate data (kSendImm / kWriteImm).
+  uint32_t imm = 0;
+
+  // Atomics.
+  uint64_t compare = 0;      // kCmpSwap: expected value
+  uint64_t swap_or_add = 0;  // kCmpSwap: new value; kFetchAdd: addend
+
+  // UD address handle.
+  int dest_node = -1;
+  uint32_t dest_qpn = 0;
+};
+
+struct RecvWr {
+  uint64_t wr_id = 0;
+  uint64_t local_addr = 0;
+  uint32_t length = 0;
+};
+
+struct Completion {
+  uint64_t wr_id = 0;
+  WcOpcode opcode = WcOpcode::kSend;
+  WcStatus status = WcStatus::kSuccess;
+  uint32_t byte_len = 0;
+  uint32_t imm = 0;
+  bool has_imm = false;
+  // Receive-side provenance (meaningful for kRecv/kRecvImm).
+  int src_node = -1;
+  uint32_t src_qpn = 0;
+};
+
+}  // namespace flock::verbs
+
+#endif  // FLOCK_VERBS_TYPES_H_

@@ -1,0 +1,96 @@
+// Smallbank: the write-intensive banking benchmark (§8.5.2).
+//
+// Six transaction types over (savings, checking) rows; only Balance (15%) is
+// read-only, so 85% of transactions update keys. Account skew follows the
+// paper's setup: 4% of the accounts receive 90% of the accesses.
+//
+//   Amalgamate        15%  write {Sav(a1), Chk(a1), Chk(a2)}
+//   Balance           15%  read  {Sav(a), Chk(a)}
+//   DepositChecking   15%  write {Chk(a)}
+//   SendPayment       25%  write {Chk(a1), Chk(a2)}
+//   TransactSavings   15%  write {Sav(a)}
+//   WriteCheck        15%  read {Sav(a)} + write {Chk(a)}
+#ifndef FLOCK_WORKLOADS_SMALLBANK_H_
+#define FLOCK_WORKLOADS_SMALLBANK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rand.h"
+#include "src/txn/coordinator.h"
+
+namespace flock::workloads {
+
+class Smallbank {
+ public:
+  enum Table : uint64_t {
+    kSavings = 1,
+    kChecking = 2,
+  };
+
+  Smallbank(uint64_t accounts, double hot_fraction = 0.04, double hot_probability = 0.9)
+      : accounts_(accounts),
+        hot_accounts_(static_cast<uint64_t>(static_cast<double>(accounts) * hot_fraction)),
+        hot_probability_(hot_probability) {
+    if (hot_accounts_ == 0) {
+      hot_accounts_ = 1;
+    }
+  }
+
+  uint64_t accounts() const { return accounts_; }
+
+  static uint64_t Key(Table table, uint64_t account) {
+    return (static_cast<uint64_t>(table) << 56) | account;
+  }
+
+  void Populate(const std::function<void(uint64_t key)>& insert) const {
+    for (uint64_t a = 0; a < accounts_; ++a) {
+      insert(Key(kSavings, a));
+      insert(Key(kChecking, a));
+    }
+  }
+
+  txn::TxRequest Next(Rng& rng) {
+    const uint64_t a1 = Account(rng);
+    uint64_t a2 = Account(rng);
+    if (a2 == a1) {
+      a2 = (a1 + 1) % accounts_;
+    }
+    const uint64_t roll = rng.NextBelow(100);
+    txn::TxRequest tx;
+    if (roll < 15) {  // Amalgamate
+      tx.writes = {Key(kSavings, a1), Key(kChecking, a1), Key(kChecking, a2)};
+    } else if (roll < 30) {  // Balance (the only read-only transaction)
+      tx.reads = {Key(kSavings, a1), Key(kChecking, a1)};
+    } else if (roll < 45) {  // DepositChecking
+      tx.writes = {Key(kChecking, a1)};
+    } else if (roll < 70) {  // SendPayment
+      tx.writes = {Key(kChecking, a1), Key(kChecking, a2)};
+    } else if (roll < 85) {  // TransactSavings
+      tx.writes = {Key(kSavings, a1)};
+    } else {  // WriteCheck
+      tx.reads = {Key(kSavings, a1)};
+      tx.writes = {Key(kChecking, a1)};
+    }
+    return tx;
+  }
+
+ private:
+  uint64_t Account(Rng& rng) {
+    if (rng.NextBool(hot_probability_)) {
+      return rng.NextBelow(hot_accounts_);
+    }
+    if (accounts_ > hot_accounts_) {
+      return hot_accounts_ + rng.NextBelow(accounts_ - hot_accounts_);
+    }
+    return rng.NextBelow(accounts_);
+  }
+
+  uint64_t accounts_;
+  uint64_t hot_accounts_;
+  double hot_probability_;
+};
+
+}  // namespace flock::workloads
+
+#endif  // FLOCK_WORKLOADS_SMALLBANK_H_

@@ -1,0 +1,98 @@
+// TATP: the Telecom Application Transaction Processing benchmark (§8.5.2).
+//
+// The standard mix (read-intensive: 80% reads / 20% updates, matching the
+// paper's "70% single key reads, 10% multi-key reads, rest updating keys"):
+//
+//   GET_SUBSCRIBER_DATA    35%  read  {Subscriber}
+//   GET_NEW_DESTINATION    10%  read  {SpecialFacility, CallForwarding}
+//   GET_ACCESS_DATA        35%  read  {AccessInfo}
+//   UPDATE_SUBSCRIBER_DATA  2%  write {Subscriber, SpecialFacility}
+//   UPDATE_LOCATION        14%  write {Subscriber}
+//   INSERT_CALL_FORWARDING  2%  read {Subscriber} + write {CallForwarding}
+//   DELETE_CALL_FORWARDING  2%  write {CallForwarding}
+//
+// Rows are pre-populated (inserts/deletes become updates of a presence flag,
+// the usual simplification for partitioned OCC stores); subscriber ids are
+// drawn with TATP's non-uniform getSubscriberId distribution.
+#ifndef FLOCK_WORKLOADS_TATP_H_
+#define FLOCK_WORKLOADS_TATP_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rand.h"
+#include "src/txn/coordinator.h"
+
+namespace flock::workloads {
+
+class Tatp {
+ public:
+  enum Table : uint64_t {
+    kSubscriber = 1,
+    kAccessInfo = 2,
+    kSpecialFacility = 3,
+    kCallForwarding = 4,
+  };
+
+  explicit Tatp(uint64_t subscribers) : subscribers_(subscribers) {}
+
+  uint64_t subscribers() const { return subscribers_; }
+
+  static uint64_t Key(Table table, uint64_t subscriber) {
+    return (static_cast<uint64_t>(table) << 56) | subscriber;
+  }
+
+  // Population: every subscriber has one row per table (access-info /
+  // special-facility / call-forwarding types collapsed to one row each; type
+  // choice does not change the communication pattern).
+  void Populate(const std::function<void(uint64_t key)>& insert) const {
+    for (uint64_t s = 0; s < subscribers_; ++s) {
+      insert(Key(kSubscriber, s));
+      insert(Key(kAccessInfo, s));
+      insert(Key(kSpecialFacility, s));
+      insert(Key(kCallForwarding, s));
+    }
+  }
+
+  txn::TxRequest Next(Rng& rng) {
+    const uint64_t s = SubscriberId(rng);
+    const uint64_t roll = rng.NextBelow(100);
+    txn::TxRequest tx;
+    if (roll < 35) {  // GET_SUBSCRIBER_DATA
+      tx.reads = {Key(kSubscriber, s)};
+    } else if (roll < 45) {  // GET_NEW_DESTINATION
+      tx.reads = {Key(kSpecialFacility, s), Key(kCallForwarding, s)};
+    } else if (roll < 80) {  // GET_ACCESS_DATA
+      tx.reads = {Key(kAccessInfo, s)};
+    } else if (roll < 82) {  // UPDATE_SUBSCRIBER_DATA
+      tx.writes = {Key(kSubscriber, s), Key(kSpecialFacility, s)};
+    } else if (roll < 96) {  // UPDATE_LOCATION
+      tx.writes = {Key(kSubscriber, s)};
+    } else if (roll < 98) {  // INSERT_CALL_FORWARDING
+      tx.reads = {Key(kSubscriber, s)};
+      tx.writes = {Key(kCallForwarding, s)};
+    } else {  // DELETE_CALL_FORWARDING
+      tx.writes = {Key(kCallForwarding, s)};
+    }
+    return tx;
+  }
+
+ private:
+  // TATP's non-uniform subscriber draw: (A & rand) | rand with A = 2^k - 1.
+  uint64_t SubscriberId(Rng& rng) {
+    uint64_t a = 1;
+    while (a < subscribers_) {
+      a <<= 1;
+    }
+    a = (a >> 1) - 1;
+    const uint64_t value =
+        (rng.NextBelow(a + 1) & rng.NextBelow(subscribers_)) % subscribers_;
+    return value;
+  }
+
+  uint64_t subscribers_;
+};
+
+}  // namespace flock::workloads
+
+#endif  // FLOCK_WORKLOADS_TATP_H_

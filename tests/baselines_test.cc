@@ -1,0 +1,229 @@
+// Tests for the comparison systems: the eRPC/FaSST-style UD RPC baseline and
+// the RC ring-buffer RPC baselines (no-sharing / FaRM-style lock sharing).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/baselines/rcrpc.h"
+#include "src/baselines/udrpc.h"
+
+namespace flock::baselines {
+namespace {
+
+uint32_t EchoHandler(const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+                     Nanos* cpu) {
+  FLOCK_CHECK_LE(len, cap);
+  std::memcpy(resp, req, len);
+  *cpu = 60;
+  return len;
+}
+
+TEST(UdRpcTest, EchoRoundTrip) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 8});
+  UdRpcServer server(cluster, 0, UdRpcServer::Config{.worker_threads = 2});
+  server.RegisterHandler(1, EchoHandler);
+  server.Start();
+
+  UdRpcClient client(cluster, 1);
+  UdRpcClient::Thread* thread = client.CreateThread(0);
+
+  bool finished = false;
+  auto app = [&]() -> sim::Co<void> {
+    const char msg[] = "ud-hello";
+    std::vector<uint8_t> resp;
+    const bool ok = co_await thread->Call(server.endpoint(0), 1,
+                                          reinterpret_cast<const uint8_t*>(msg),
+                                          sizeof(msg), &resp);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(resp.size(), sizeof(msg));
+    if (resp.size() == sizeof(msg)) {
+      EXPECT_STREQ(reinterpret_cast<const char*>(resp.data()), msg);
+    }
+    finished = true;
+  };
+  cluster.sim().Spawn(sim::RunClosure(app));
+  cluster.sim().RunFor(10 * kMillisecond);
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(server.requests_handled(), 1u);
+  EXPECT_EQ(thread->timeouts(), 0u);
+}
+
+TEST(UdRpcTest, ManyOutstandingRequestsComplete) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 8});
+  UdRpcServer server(cluster, 0, UdRpcServer::Config{.worker_threads = 4});
+  server.RegisterHandler(1, EchoHandler);
+  server.Start();
+
+  UdRpcClient client(cluster, 1);
+  const int kThreads = 4;
+  const int kRounds = 100;
+  const int kOutstanding = 8;
+  int completed = 0;
+
+  for (int t = 0; t < kThreads; ++t) {
+    UdRpcClient::Thread* thread = client.CreateThread(t);
+    auto app = [&cluster, &server, thread, &completed, t]() -> sim::Co<void> {
+      std::vector<uint8_t> payload(64, static_cast<uint8_t>(t));
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<UdRpcClient::Pending*> batch;
+        for (int o = 0; o < kOutstanding; ++o) {
+          batch.push_back(co_await thread->Send(server.endpoint(t % 4), 1,
+                                                payload.data(), 64));
+        }
+        for (auto* pending : batch) {
+          const bool ok = co_await thread->Await(pending);
+          EXPECT_TRUE(ok);
+          EXPECT_EQ(pending->response.size(), 64u);
+          delete pending;
+          ++completed;
+        }
+      }
+    };
+    cluster.sim().Spawn(sim::RunClosure(app));
+  }
+  cluster.sim().RunFor(200 * kMillisecond);
+  EXPECT_EQ(completed, kThreads * kRounds * kOutstanding);
+}
+
+TEST(UdRpcTest, OverloadCausesDropsAndTimeouts) {
+  // A server with a tiny receive pool and a slow handler: sustained fan-in
+  // must exhaust the pool, drop datagrams, and surface as client timeouts —
+  // the UD failure mode FaSST hits at high thread counts (§8.5.2).
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 3, .cores_per_node = 8});
+  UdRpcServer server(cluster, 0,
+                     UdRpcServer::Config{.worker_threads = 1, .recv_pool = 4});
+  server.RegisterHandler(2, [](const uint8_t*, uint32_t, uint8_t* resp, uint32_t,
+                               Nanos* cpu) -> uint32_t {
+    *cpu = 20000;  // 20 us per request: the worker cannot keep up
+    resp[0] = 1;
+    return 1;
+  });
+  server.Start();
+
+  uint64_t total_timeouts = 0;
+  int issued = 0;
+  for (int n = 1; n <= 2; ++n) {
+    UdRpcClient* client = new UdRpcClient(cluster, n);
+    for (int t = 0; t < 4; ++t) {
+      UdRpcClient::Thread* thread = client->CreateThread(t);
+      auto app = [&cluster, &server, thread, &issued, &total_timeouts]() -> sim::Co<void> {
+        std::vector<uint8_t> payload(32, 1);
+        for (int r = 0; r < 40; ++r) {
+          std::vector<UdRpcClient::Pending*> batch;
+          for (int o = 0; o < 8; ++o) {
+            batch.push_back(co_await thread->Send(server.endpoint(0), 2,
+                                                  payload.data(), 32));
+            ++issued;
+          }
+          for (auto* pending : batch) {
+            co_await thread->Await(pending, 500 * kMicrosecond);
+            delete pending;
+          }
+        }
+        total_timeouts += thread->timeouts();
+      };
+      cluster.sim().Spawn(sim::RunClosure(app));
+    }
+  }
+  cluster.sim().RunFor(300 * kMillisecond);
+  EXPECT_GT(issued, 0);
+  EXPECT_GT(cluster.device(0).stats().ud_drops, 0u);
+  EXPECT_GT(total_timeouts, 0u);
+}
+
+TEST(RcRpcTest, NoSharingEchoRoundTrip) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 8});
+  RcRpcServer server(cluster, 0, 2);
+  server.RegisterHandler(1, EchoHandler);
+  server.Start();
+
+  RcRpcClient client(cluster, 1, server);
+  client.Start();
+  RcRpcClient::Lane* lane = client.CreateLane();
+  FlockThread* thread = client.CreateThread(0);
+
+  bool finished = false;
+  auto app = [&]() -> sim::Co<void> {
+    const char msg[] = "rc-hello";
+    std::vector<uint8_t> resp;
+    const bool ok = co_await client.Call(*thread, *lane, 1,
+                                         reinterpret_cast<const uint8_t*>(msg),
+                                         sizeof(msg), &resp);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(resp.size(), sizeof(msg));
+    finished = true;
+  };
+  cluster.sim().Spawn(sim::RunClosure(app));
+  cluster.sim().RunFor(10 * kMillisecond);
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(server.requests_handled(), 1u);
+}
+
+TEST(RcRpcTest, SpinlockSharingSerializesButStaysCorrect) {
+  // 4 threads share one QP through the lock: all requests complete, each with
+  // the right response.
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 8});
+  RcRpcServer server(cluster, 0, 2);
+  server.RegisterHandler(1, EchoHandler);
+  server.Start();
+
+  RcRpcClient client(cluster, 1, server);
+  client.Start();
+  RcRpcClient::Lane* lane = client.CreateLane();
+
+  const int kThreads = 4;
+  const int kOps = 200;
+  int completed = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    FlockThread* thread = client.CreateThread(t);
+    auto app = [&cluster, &client, lane, thread, &completed]() -> sim::Co<void> {
+      for (int i = 0; i < kOps; ++i) {
+        uint64_t tag = (static_cast<uint64_t>(thread->id()) << 32) |
+                       static_cast<uint64_t>(i);
+        std::vector<uint8_t> resp;
+        const bool ok = co_await client.Call(
+            *thread, *lane, 1, reinterpret_cast<const uint8_t*>(&tag), 8, &resp);
+        EXPECT_TRUE(ok);
+        uint64_t echoed = 0;
+        std::memcpy(&echoed, resp.data(), 8);
+        EXPECT_EQ(echoed, tag);
+        ++completed;
+      }
+    };
+    cluster.sim().Spawn(sim::RunClosure(app));
+  }
+  cluster.sim().RunFor(100 * kMillisecond);
+  EXPECT_EQ(completed, kThreads * kOps);
+}
+
+TEST(RcRpcTest, ManyLanesInParallel) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 8});
+  RcRpcServer server(cluster, 0, 4);
+  server.RegisterHandler(1, EchoHandler);
+  server.Start();
+
+  RcRpcClient client(cluster, 1, server);
+  client.Start();
+
+  const int kThreads = 6;
+  int completed = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    RcRpcClient::Lane* lane = client.CreateLane();  // dedicated QP per thread
+    FlockThread* thread = client.CreateThread(t % 6);
+    auto app = [&cluster, &client, lane, thread, &completed]() -> sim::Co<void> {
+      std::vector<uint8_t> payload(64, 9);
+      for (int i = 0; i < 150; ++i) {
+        std::vector<uint8_t> resp;
+        co_await client.Call(*thread, *lane, 1, payload.data(), 64, &resp);
+        ++completed;
+      }
+    };
+    cluster.sim().Spawn(sim::RunClosure(app));
+  }
+  cluster.sim().RunFor(100 * kMillisecond);
+  EXPECT_EQ(completed, kThreads * 150);
+}
+
+}  // namespace
+}  // namespace flock::baselines

@@ -1,0 +1,131 @@
+// Real-multithreaded stress tests for Flock synchronization (the TCQ, §4.2).
+//
+// These tests run the MCS-style combining queue under genuine OS-thread
+// concurrency — the one part of the paper's design whose correctness depends
+// on lock-freedom rather than simulated timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/flock/combining.h"
+
+namespace flock {
+namespace {
+
+// Each thread repeatedly enqueues a value; leaders combine batches and apply
+// them to a shared accumulator with a single "submission". Checks that every
+// request is applied exactly once and batches respect the bound.
+void RunCombiningStress(int num_threads, int ops_per_thread, size_t bound,
+                        uint64_t* out_sum, uint64_t* out_batches,
+                        size_t* out_max_batch) {
+  CombiningQueue queue;
+  std::atomic<uint64_t> sum{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<size_t> max_batch{0};
+  std::atomic<int> started{0};
+
+  auto worker = [&](int tid) {
+    CombiningQueue::Node node;
+    started.fetch_add(1);
+    while (started.load() < num_threads) {
+    }
+    std::vector<CombiningQueue::Node*> batch(bound);
+    for (int i = 0; i < ops_per_thread; ++i) {
+      node.payload = static_cast<uint64_t>(tid) * 1000003u + static_cast<uint64_t>(i);
+      bool leader = queue.Enqueue(&node);
+      if (!leader) {
+        leader = queue.WaitTurn(&node) == CombiningQueue::kLeader;
+      }
+      if (leader) {
+        const size_t n = queue.Collect(&node, batch.data(), bound);
+        uint64_t combined = 0;
+        for (size_t k = 0; k < n; ++k) {
+          combined += batch[k]->payload;
+        }
+        sum.fetch_add(combined, std::memory_order_relaxed);
+        batches.fetch_add(1, std::memory_order_relaxed);
+        size_t seen = max_batch.load(std::memory_order_relaxed);
+        while (n > seen &&
+               !max_batch.compare_exchange_weak(seen, n, std::memory_order_relaxed)) {
+        }
+        queue.Finish(batch.data(), n);
+      }
+      // If not leader, status was kDone: the request was combined by a leader.
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  *out_sum = sum.load();
+  *out_batches = batches.load();
+  *out_max_batch = max_batch.load();
+}
+
+uint64_t ExpectedSum(int num_threads, int ops_per_thread) {
+  uint64_t expected = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    for (int i = 0; i < ops_per_thread; ++i) {
+      expected += static_cast<uint64_t>(t) * 1000003u + static_cast<uint64_t>(i);
+    }
+  }
+  return expected;
+}
+
+TEST(CombiningThreadsTest, SingleThreadIsAlwaysLeader) {
+  uint64_t sum = 0, batches = 0;
+  size_t max_batch = 0;
+  RunCombiningStress(1, 1000, 16, &sum, &batches, &max_batch);
+  EXPECT_EQ(sum, ExpectedSum(1, 1000));
+  EXPECT_EQ(batches, 1000u);  // no concurrency → no combining
+  EXPECT_EQ(max_batch, 1u);
+}
+
+TEST(CombiningThreadsTest, AllRequestsAppliedExactlyOnce) {
+  const int kThreads = 8;
+  const int kOps = 5000;
+  uint64_t sum = 0, batches = 0;
+  size_t max_batch = 0;
+  RunCombiningStress(kThreads, kOps, 16, &sum, &batches, &max_batch);
+  EXPECT_EQ(sum, ExpectedSum(kThreads, kOps));
+  EXPECT_LE(batches, static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_GE(batches, static_cast<uint64_t>(kOps));  // at least one per round
+}
+
+TEST(CombiningThreadsTest, BatchBoundIsRespected) {
+  const size_t kBound = 4;
+  uint64_t sum = 0, batches = 0;
+  size_t max_batch = 0;
+  RunCombiningStress(8, 3000, kBound, &sum, &batches, &max_batch);
+  EXPECT_EQ(sum, ExpectedSum(8, 3000));
+  EXPECT_LE(max_batch, kBound);
+}
+
+TEST(CombiningThreadsTest, BoundOneDegeneratesToMutualExclusion) {
+  uint64_t sum = 0, batches = 0;
+  size_t max_batch = 0;
+  RunCombiningStress(4, 2000, 1, &sum, &batches, &max_batch);
+  EXPECT_EQ(sum, ExpectedSum(4, 2000));
+  EXPECT_EQ(batches, 4u * 2000u);  // every request is its own batch
+  EXPECT_EQ(max_batch, 1u);
+}
+
+TEST(CombiningThreadsTest, RepeatedRunsStayCorrect) {
+  for (int round = 0; round < 5; ++round) {
+    uint64_t sum = 0, batches = 0;
+    size_t max_batch = 0;
+    RunCombiningStress(4, 1000, 8, &sum, &batches, &max_batch);
+    EXPECT_EQ(sum, ExpectedSum(4, 1000)) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,207 @@
+// Unit tests for src/common: RNG, Zipf, histogram, streaming stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+
+namespace flock {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.NextInRange(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformityRough) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.NextBelow(10)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnHotItems) {
+  ZipfGenerator zipf(10000, 0.99, 5);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[zipf.Next()]++;
+  }
+  // Item 0 must be by far the most popular under theta=0.99.
+  int max_count = 0;
+  uint64_t max_item = 0;
+  for (const auto& [item, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_item = item;
+    }
+  }
+  EXPECT_EQ(max_item, 0u);
+  EXPECT_GT(max_count, kDraws / 20);
+}
+
+TEST(ZipfTest, StaysInDomain) {
+  ZipfGenerator zipf(100, 0.9, 11);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(zipf.Next(), 100u);
+  }
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Median(), 0);
+  EXPECT_EQ(h.P99(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  // Within bucket resolution (~1.6%).
+  EXPECT_NEAR(h.Median(), 1234, 25);
+}
+
+TEST(HistogramTest, QuantilesOfUniformRamp) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_NEAR(static_cast<double>(h.Median()), 50000.0, 50000.0 * 0.03);
+  EXPECT_NEAR(static_cast<double>(h.P99()), 99000.0, 99000.0 * 0.03);
+  EXPECT_NEAR(h.Mean(), 50000.5, 1.0);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (int64_t v = 0; v < 64; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 63);
+  EXPECT_NEAR(h.Median(), 32, 1);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.Record(100);
+    b.Record(10000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 10000);
+  // Median falls between the two spikes.
+  EXPECT_GE(a.Median(), 100);
+  EXPECT_LE(a.Median(), 10100);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Median(), 0);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(int64_t{1} << 39);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.ValueAtQuantile(1.0), 0);
+}
+
+TEST(WindowedMedianTest, EmptyReturnsFallback) {
+  WindowedMedian<uint32_t, 8> m;
+  EXPECT_EQ(m.Median(99), 99u);
+}
+
+TEST(WindowedMedianTest, ExactMedianSmall) {
+  WindowedMedian<uint32_t, 8> m;
+  m.Record(5);
+  m.Record(1);
+  m.Record(9);
+  EXPECT_EQ(m.Median(), 5u);
+}
+
+TEST(WindowedMedianTest, WindowSlides) {
+  WindowedMedian<uint32_t, 4> m;
+  for (uint32_t v : {1u, 1u, 1u, 1u}) {
+    m.Record(v);
+  }
+  for (uint32_t v : {100u, 100u, 100u, 100u}) {
+    m.Record(v);
+  }
+  EXPECT_EQ(m.Median(), 100u);
+}
+
+TEST(IntervalCounterTest, DeltaSnapshots) {
+  IntervalCounter c;
+  c.Add(10);
+  EXPECT_EQ(c.Delta(), 10u);
+  EXPECT_EQ(c.Delta(), 0u);
+  c.Add(7);
+  EXPECT_EQ(c.PeekDelta(), 7u);
+  EXPECT_EQ(c.Delta(), 7u);
+  EXPECT_EQ(c.total(), 17u);
+}
+
+TEST(UnitsTest, SerializationDelayRoundsUp) {
+  // 100 Gbps = 12.5 B/ns: 25 bytes take exactly 2 ns.
+  EXPECT_EQ(SerializationDelay(25, GbpsToBytesPerNano(100.0)), 2);
+  // 26 bytes take 2.08 ns → 3 ns.
+  EXPECT_EQ(SerializationDelay(26, GbpsToBytesPerNano(100.0)), 3);
+  EXPECT_EQ(SerializationDelay(0, GbpsToBytesPerNano(100.0)), 0);
+}
+
+}  // namespace
+}  // namespace flock

@@ -1,0 +1,177 @@
+// Tests for the HydraList-style ordered index: point ops, scans, splits,
+// asynchronous search-layer maintenance, and a randomized model check against
+// std::map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/index/hydralist.h"
+
+namespace flock::index {
+namespace {
+
+TEST(HydraListTest, InsertAndGet) {
+  HydraList list;
+  Nanos cpu = 0;
+  EXPECT_TRUE(list.Insert(10, 100, &cpu));
+  EXPECT_TRUE(list.Insert(20, 200, &cpu));
+  uint64_t value = 0;
+  EXPECT_TRUE(list.Get(10, &value, &cpu));
+  EXPECT_EQ(value, 100u);
+  EXPECT_TRUE(list.Get(20, &value, &cpu));
+  EXPECT_EQ(value, 200u);
+  EXPECT_FALSE(list.Get(15, &value, &cpu));
+  EXPECT_GT(cpu, 0);
+}
+
+TEST(HydraListTest, UpsertOverwrites) {
+  HydraList list;
+  Nanos cpu = 0;
+  EXPECT_TRUE(list.Insert(1, 10, &cpu));
+  EXPECT_FALSE(list.Insert(1, 20, &cpu));  // existing key: update
+  uint64_t value = 0;
+  EXPECT_TRUE(list.Get(1, &value, &cpu));
+  EXPECT_EQ(value, 20u);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(HydraListTest, RemoveDeletes) {
+  HydraList list;
+  Nanos cpu = 0;
+  list.Insert(5, 50, &cpu);
+  EXPECT_TRUE(list.Remove(5, &cpu));
+  EXPECT_FALSE(list.Get(5, nullptr, &cpu));
+  EXPECT_FALSE(list.Remove(5, &cpu));
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(HydraListTest, SplitsCreateNodesAndStaySearchable) {
+  HydraList list;
+  Nanos cpu = 0;
+  // Insert far more than one node holds, without draining the search layer:
+  // lookups must still succeed through data-list walks.
+  for (uint64_t k = 0; k < 1000; ++k) {
+    list.Insert(k * 7, k, &cpu);
+  }
+  EXPECT_GT(list.data_nodes(), 10u);
+  EXPECT_GT(list.pending_search_updates(), 0u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    uint64_t value = 0;
+    ASSERT_TRUE(list.Get(k * 7, &value, &cpu)) << k;
+    EXPECT_EQ(value, k);
+  }
+}
+
+TEST(HydraListTest, DrainingSearchUpdatesReducesWalkCost) {
+  HydraList list;
+  Nanos cpu = 0;
+  for (uint64_t k = 0; k < 20000; ++k) {
+    list.Insert(k, k, &cpu);
+  }
+  // Stale search layer: measure lookup cost at the far end.
+  Nanos stale_cost = 0;
+  list.Get(19999, nullptr, &stale_cost);
+  list.DrainSearchUpdates(SIZE_MAX);
+  EXPECT_EQ(list.pending_search_updates(), 0u);
+  Nanos fresh_cost = 0;
+  list.Get(19999, nullptr, &fresh_cost);
+  EXPECT_LT(fresh_cost, stale_cost);
+}
+
+TEST(HydraListTest, ScanReturnsSortedRange) {
+  HydraList list;
+  Nanos cpu = 0;
+  for (uint64_t k = 0; k < 500; ++k) {
+    list.Insert(k * 2, k, &cpu);  // even keys only
+  }
+  list.DrainSearchUpdates(SIZE_MAX);
+  uint64_t digest = 0;
+  // Scan 64 entries starting at key 100 (= value 50).
+  const uint32_t found = list.Scan(100, 64, &digest, &cpu);
+  EXPECT_EQ(found, 64u);
+  uint64_t expected = 0;
+  for (uint64_t v = 50; v < 50 + 64; ++v) {
+    expected ^= v;
+  }
+  EXPECT_EQ(digest, expected);
+}
+
+TEST(HydraListTest, ScanPastEndIsTruncated) {
+  HydraList list;
+  Nanos cpu = 0;
+  for (uint64_t k = 0; k < 100; ++k) {
+    list.Insert(k, k, &cpu);
+  }
+  uint64_t digest = 0;
+  EXPECT_EQ(list.Scan(90, 64, &digest, &cpu), 10u);
+  EXPECT_EQ(list.Scan(1000, 64, &digest, &cpu), 0u);
+}
+
+TEST(HydraListTest, RandomizedModelCheck) {
+  HydraList list;
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(77);
+  Nanos cpu = 0;
+  for (int op = 0; op < 30000; ++op) {
+    const uint64_t key = rng.NextBelow(5000);
+    const uint64_t roll = rng.NextBelow(100);
+    if (roll < 60) {
+      const uint64_t value = rng.Next();
+      list.Insert(key, value, &cpu);
+      model[key] = value;
+    } else if (roll < 80) {
+      const bool removed = list.Remove(key, &cpu);
+      EXPECT_EQ(removed, model.erase(key) > 0);
+    } else {
+      uint64_t value = 0;
+      const bool found = list.Get(key, &value, &cpu);
+      auto it = model.find(key);
+      ASSERT_EQ(found, it != model.end()) << "key " << key;
+      if (found) {
+        EXPECT_EQ(value, it->second);
+      }
+    }
+    if (op % 1000 == 0) {
+      list.DrainSearchUpdates(8);  // trickle the async maintenance
+    }
+  }
+  EXPECT_EQ(list.size(), model.size());
+  // Full scan must visit exactly the model's keys in order.
+  list.DrainSearchUpdates(SIZE_MAX);
+  uint64_t digest = 0;
+  const uint32_t found =
+      list.Scan(0, static_cast<uint32_t>(model.size()) + 10, &digest, &cpu);
+  EXPECT_EQ(found, model.size());
+  uint64_t expected = 0;
+  for (const auto& [k, v] : model) {
+    expected ^= v;
+  }
+  EXPECT_EQ(digest, expected);
+}
+
+TEST(HydraListTest, CostGrowsSublinearlyWithSize) {
+  // Skip-list locate should be ~log n: cost at 100k keys is far less than
+  // 20x the cost at 5k keys.
+  auto lookup_cost = [](uint64_t n) {
+    HydraList list;
+    Nanos cpu = 0;
+    for (uint64_t k = 0; k < n; ++k) {
+      list.Insert(k, k, &cpu);
+    }
+    list.DrainSearchUpdates(SIZE_MAX);
+    Nanos total = 0;
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+      list.Get(rng.NextBelow(n), nullptr, &total);
+    }
+    return total;
+  };
+  const Nanos small = lookup_cost(5000);
+  const Nanos large = lookup_cost(100000);
+  EXPECT_LT(large, small * 5);
+}
+
+}  // namespace
+}  // namespace flock::index

@@ -1,0 +1,73 @@
+// Regression tests for the "birds of a feather" lockstep effect: threads
+// sharing a QP synchronize through coalesced responses, so with T threads
+// per lane and stable schedules, the coalescing degree converges to T.
+// These lock in the scheduler-stability fixes (assignment hysteresis, stable
+// Algorithm-1 ordering, slot-based control) without which the lockstep decays.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/flock/flock.h"
+
+namespace flock {
+namespace {
+
+sim::Proc EchoWorker(verbs::Cluster* cluster, Connection* conn, FlockThread* thread,
+                     uint64_t* done) {
+  std::vector<uint8_t> payload(64, 1);
+  for (;;) {
+    std::vector<uint8_t> resp;
+    co_await conn->Call(*thread, 1, payload.data(), 64, &resp);
+    (*done)++;
+  }
+}
+
+double RunLockstep(int threads, uint32_t lanes, Nanos duration, uint64_t* done_out) {
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 34});
+  FlockConfig config;
+  FlockRuntime server(cluster, 0, config);
+  server.RegisterHandler(1, [](const uint8_t*, uint32_t, uint8_t* resp, uint32_t,
+                               Nanos* cpu) -> uint32_t {
+    *cpu = 50;
+    std::memset(resp, 1, 64);
+    return 64;
+  });
+  server.StartServer(4);
+  FlockRuntime client(cluster, 1, config);
+  client.StartClient();
+  Connection* conn = client.Connect(server, lanes);
+  uint64_t done = 0;
+  for (int t = 0; t < threads; ++t) {
+    cluster.sim().Spawn(EchoWorker(&cluster, conn, client.CreateThread(t), &done));
+  }
+  cluster.sim().RunFor(duration);
+  *done_out = done;
+  return conn->MeanCoalescing();
+}
+
+TEST(LockstepTest, TwoThreadsOneLaneReachFullPairing) {
+  uint64_t done = 0;
+  const double coal = RunLockstep(2, 1, 2 * kMillisecond, &done);
+  EXPECT_GT(done, 500u);
+  EXPECT_GT(coal, 1.9);
+}
+
+TEST(LockstepTest, ThirtyTwoThreadsSixteenLanesStayPaired) {
+  uint64_t done = 0;
+  const double coal = RunLockstep(32, 16, 3 * kMillisecond, &done);
+  EXPECT_GT(done, 5000u);
+  // Scheduler stability must keep the pairs locked across intervals.
+  EXPECT_GT(coal, 1.8);
+}
+
+TEST(LockstepTest, FourThreadsTwoLanes) {
+  uint64_t done = 0;
+  const double coal = RunLockstep(4, 2, 2 * kMillisecond, &done);
+  EXPECT_GT(coal, 1.8);
+}
+
+}  // namespace
+}  // namespace flock

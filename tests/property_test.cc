@@ -1,0 +1,256 @@
+// Parameterized property tests: invariants swept across configuration spaces
+// with TEST_P / INSTANTIATE_TEST_SUITE_P.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rand.h"
+#include "src/flock/ring.h"
+#include "src/flock/wire.h"
+#include "src/kv/kvstore.h"
+#include "src/rnic/qp_cache.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+
+namespace flock {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ring protocol: for any (ring size, payload size, batch pattern), every
+// produced request is consumed exactly once, in order, bit-identical.
+// ---------------------------------------------------------------------------
+
+class RingProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, uint32_t>> {};
+
+TEST_P(RingProperty, LosslessInOrderDelivery) {
+  const auto [ring_bytes, payload, max_batch] = GetParam();
+  std::vector<uint8_t> ring(ring_bytes, 0);
+  RingProducer producer(ring_bytes);
+  RingConsumer consumer(ring.data(), ring_bytes);
+  Rng rng(ring_bytes * 31 + payload * 7 + max_batch);
+
+  uint32_t next_seq = 0;
+  uint32_t verified = 0;
+  uint64_t canary = 1;
+  for (int round = 0; round < 3000; ++round) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.NextBelow(max_batch));
+    const uint32_t msg_len = wire::MessageBytes(n, n * payload);
+    RingProducer::Reservation resv;
+    if (msg_len <= ring_bytes / 2 && producer.Reserve(msg_len, &resv)) {
+      if (resv.wrapped) {
+        wire::EncodeWrapMarker(ring.data() + resv.marker_offset, canary++);
+      }
+      wire::MessageEncoder enc(ring.data() + resv.offset, msg_len, canary++);
+      std::vector<uint8_t> data(payload);
+      for (uint32_t i = 0; i < n; ++i) {
+        for (auto& b : data) {
+          b = static_cast<uint8_t>(next_seq + i);
+        }
+        enc.Add(wire::ReqMeta{payload, 0, 0, next_seq + i}, data.data());
+      }
+      ASSERT_EQ(enc.Seal(consumer.consumed_report(), 0), msg_len);
+      next_seq += n;
+    }
+    // Consume a random amount (possibly nothing) to vary producer/consumer lag.
+    int to_consume = static_cast<int>(rng.NextBelow(3));
+    wire::MsgHeader header;
+    while (to_consume-- > 0 && consumer.Probe(&header) == wire::ProbeResult::kMessage) {
+      std::vector<wire::ReqView> views(header.num_reqs);
+      ASSERT_TRUE(wire::DecodeRequests(consumer.MessagePtr(), header, views.data()));
+      for (const auto& view : views) {
+        ASSERT_EQ(view.meta.seq, verified);
+        for (uint32_t b = 0; b < payload; ++b) {
+          ASSERT_EQ(view.data[b], static_cast<uint8_t>(verified));
+        }
+        ++verified;
+      }
+      consumer.Consume(header);
+      producer.OnHeadUpdate(consumer.consumed_report());
+    }
+  }
+  // Drain.
+  wire::MsgHeader header;
+  while (consumer.Probe(&header) == wire::ProbeResult::kMessage) {
+    std::vector<wire::ReqView> views(header.num_reqs);
+    ASSERT_TRUE(wire::DecodeRequests(consumer.MessagePtr(), header, views.data()));
+    verified += header.num_reqs;
+    consumer.Consume(header);
+  }
+  EXPECT_EQ(verified, next_seq);
+  EXPECT_GT(verified, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rings, RingProperty,
+    ::testing::Combine(::testing::Values(4096u, 65536u, 262144u),   // ring size
+                       ::testing::Values(0u, 16u, 64u, 512u),       // payload
+                       ::testing::Values(1u, 4u, 16u)));            // batch
+
+// ---------------------------------------------------------------------------
+// FIFO server: total busy time equals the sum of service demands, and
+// completion order equals arrival order, for any arrival pattern.
+// ---------------------------------------------------------------------------
+
+class FifoServerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FifoServerProperty, ConservationAndOrder) {
+  const int jobs = GetParam();
+  sim::Simulator simulator;
+  sim::FifoServer server(simulator);
+  Rng rng(static_cast<uint64_t>(jobs));
+  Nanos total_demand = 0;
+  std::vector<int> completion_order;
+
+  auto client = [](sim::Simulator& sim, sim::FifoServer& srv, Nanos arrive, Nanos dur,
+                   int id, std::vector<int>* order) -> sim::Proc {
+    co_await sim::Delay(sim, arrive);
+    co_await srv.Serve(dur);
+    order->push_back(id);
+  };
+  std::vector<Nanos> arrivals;
+  for (int i = 0; i < jobs; ++i) {
+    arrivals.push_back(static_cast<Nanos>(rng.NextBelow(1000)));
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  for (int i = 0; i < jobs; ++i) {
+    const Nanos duration = 1 + static_cast<Nanos>(rng.NextBelow(50));
+    total_demand += duration;
+    simulator.Spawn(client(simulator, server, arrivals[static_cast<size_t>(i)],
+                           duration, i, &completion_order));
+  }
+  simulator.Run();
+  EXPECT_EQ(server.busy_time(), total_demand);
+  // Jobs arriving at distinct times complete in arrival order.
+  ASSERT_EQ(completion_order.size(), static_cast<size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    if (i > 0 && arrivals[static_cast<size_t>(i)] != arrivals[static_cast<size_t>(i - 1)]) {
+      EXPECT_GT(completion_order[static_cast<size_t>(i)],
+                completion_order[static_cast<size_t>(i - 1)] - jobs);
+    }
+  }
+  EXPECT_GE(simulator.Now(), total_demand / jobs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fifo, FifoServerProperty, ::testing::Values(1, 7, 64, 256));
+
+// ---------------------------------------------------------------------------
+// QP cache: for both policies and any capacity, size never exceeds capacity,
+// and a working set within capacity always hits after warmup.
+// ---------------------------------------------------------------------------
+
+class QpCacheProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, rnic::QpCache::Policy>> {};
+
+TEST_P(QpCacheProperty, CapacityAndResidency) {
+  const auto [capacity, policy] = GetParam();
+  rnic::QpCache cache(capacity, policy);
+  // Working set exactly at capacity: after one cold pass, everything hits.
+  for (uint32_t q = 0; q < capacity; ++q) {
+    cache.Touch(q);
+  }
+  cache.ResetStats();
+  for (int round = 0; round < 10; ++round) {
+    for (uint32_t q = 0; q < capacity; ++q) {
+      EXPECT_TRUE(cache.Touch(q));
+    }
+  }
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_LE(cache.size(), capacity);
+
+  // Oversubscribed working set: misses must appear; size stays capped.
+  cache.ResetStats();
+  for (int round = 0; round < 10; ++round) {
+    for (uint32_t q = 0; q < capacity * 2; ++q) {
+      cache.Touch(q);
+    }
+  }
+  EXPECT_GT(cache.misses(), 0u);
+  EXPECT_LE(cache.size(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Caches, QpCacheProperty,
+    ::testing::Combine(::testing::Values(4u, 64u, 768u),
+                       ::testing::Values(rnic::QpCache::Policy::kLru,
+                                         rnic::QpCache::Policy::kRandom)));
+
+// ---------------------------------------------------------------------------
+// Histogram: quantiles are within bucket resolution for any scale.
+// ---------------------------------------------------------------------------
+
+class HistogramProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HistogramProperty, QuantileAccuracy) {
+  const int64_t scale = GetParam();
+  Histogram histogram;
+  for (int64_t i = 1; i <= 10000; ++i) {
+    histogram.Record(i * scale);
+  }
+  const double rel = 0.04;  // bucket resolution + interpolation slack
+  EXPECT_NEAR(static_cast<double>(histogram.Median()),
+              static_cast<double>(5000 * scale), static_cast<double>(5000 * scale) * rel);
+  EXPECT_NEAR(static_cast<double>(histogram.P99()), static_cast<double>(9900 * scale),
+              static_cast<double>(9900 * scale) * rel);
+  EXPECT_EQ(histogram.count(), 10000u);
+  EXPECT_EQ(histogram.min(), scale);
+  EXPECT_EQ(histogram.max(), 10000 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HistogramProperty,
+                         ::testing::Values(int64_t{1}, int64_t{13}, int64_t{1000},
+                                           int64_t{1000000}));
+
+// ---------------------------------------------------------------------------
+// KV store: OCC version words only ever move forward and the lock bit is
+// never leaked, across randomized operation mixes and store sizes.
+// ---------------------------------------------------------------------------
+
+class KvProperty : public ::testing::TestWithParam<std::tuple<size_t, uint32_t>> {};
+
+TEST_P(KvProperty, VersionMonotonicityAndLockHygiene) {
+  const auto [keys, value_size] = GetParam();
+  fabric::MemorySpace mem;
+  kv::KvStore store(mem, keys, value_size);
+  std::vector<uint8_t> value(value_size, 1);
+  std::vector<uint64_t> last_version(keys, 0);
+  for (uint64_t k = 0; k < keys; ++k) {
+    ASSERT_TRUE(store.Insert(k, value.data()));
+    ASSERT_TRUE(store.PeekVersion(k, &last_version[k]));
+  }
+  Rng rng(keys * 131 + value_size);
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t k = rng.NextBelow(keys);
+    const uint64_t roll = rng.NextBelow(3);
+    if (roll == 0) {
+      uint64_t version = 0;
+      if (store.Get(k, value.data(), &version, nullptr)) {
+        EXPECT_GE(version, last_version[k]);
+        EXPECT_EQ(version & kv::kLockBit, 0u);
+      }
+    } else if (roll == 1) {
+      if (store.TryLock(k, value.data(), nullptr)) {
+        ASSERT_TRUE(store.UpdateAndUnlock(k, value.data()));
+      }
+    } else {
+      if (store.TryLock(k, nullptr, nullptr)) {
+        ASSERT_TRUE(store.Unlock(k));  // abort path: version unchanged
+      }
+    }
+    uint64_t version = 0;
+    ASSERT_TRUE(store.PeekVersion(k, &version));
+    EXPECT_GE(version & ~kv::kLockBit, last_version[k] & ~kv::kLockBit);
+    last_version[k] = version & ~kv::kLockBit;
+    EXPECT_EQ(version & kv::kLockBit, 0u) << "lock leaked";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, KvProperty,
+                         ::testing::Combine(::testing::Values(size_t{16}, size_t{1024}),
+                                            ::testing::Values(8u, 40u, 128u)));
+
+}  // namespace
+}  // namespace flock

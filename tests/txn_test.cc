@@ -1,0 +1,426 @@
+// End-to-end tests for the distributed transaction systems: FlockTX (over
+// Flock, one-sided validation) and the FaSST-like baseline (over UD RPC),
+// running the same OCC + 2PC + primary-backup protocol (§8.5).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/txn/coordinator.h"
+#include "src/txn/server.h"
+#include "src/txn/transport.h"
+#include "src/workloads/smallbank.h"
+#include "src/workloads/tatp.h"
+
+namespace flock::txn {
+namespace {
+
+constexpr int kServers = 3;
+constexpr int kReplication = 3;
+
+// Nodes 0..2: servers; nodes 3+: clients.
+struct TxWorld {
+  explicit TxWorld(int clients)
+      : cluster(verbs::Cluster::Config{.num_nodes = kServers + clients,
+                                       .cores_per_node = 8}) {
+    for (int s = 0; s < kServers; ++s) {
+      servers.push_back(std::make_unique<TxServer>(cluster.mem(s), s, kServers,
+                                                   kReplication, 100000, 40));
+      server_ptrs.push_back(servers.back().get());
+    }
+  }
+
+  void Populate(const std::function<void(const std::function<void(uint64_t)>&)>& pop) {
+    uint8_t value[kTxMaxValue] = {};
+    pop([&](uint64_t key) { PopulateKey(server_ptrs, key, value); });
+  }
+
+  // Sum of the leading counters across all keys at a store.
+  uint64_t CounterSum(kv::KvStore& store, const std::vector<uint64_t>& keys,
+                      int partition) {
+    uint64_t sum = 0;
+    for (uint64_t key : keys) {
+      if (PartitionOf(key, kServers) != partition) {
+        continue;
+      }
+      uint8_t value[kTxMaxValue];
+      if (store.Get(key, value, nullptr, nullptr)) {
+        uint64_t counter = 0;
+        std::memcpy(&counter, value, 8);
+        sum += counter;
+      }
+    }
+    return sum;
+  }
+
+  verbs::Cluster cluster;
+  std::vector<std::unique_ptr<TxServer>> servers;
+  std::vector<TxServer*> server_ptrs;
+};
+
+// ---------------------------------------------------------------------------
+// FlockTX
+// ---------------------------------------------------------------------------
+
+struct FlockTxWorld : TxWorld {
+  explicit FlockTxWorld(int clients) : TxWorld(clients) {
+    FlockConfig config;
+    for (int s = 0; s < kServers; ++s) {
+      runtimes.push_back(std::make_unique<FlockRuntime>(cluster, s, config));
+      servers[static_cast<size_t>(s)]->RegisterAll(
+          [&](uint16_t id, RpcHandler h) { runtimes.back()->RegisterHandler(id, h); });
+      runtimes.back()->StartServer(4);
+    }
+    for (int c = 0; c < clients; ++c) {
+      client_runtimes.push_back(
+          std::make_unique<FlockRuntime>(cluster, kServers + c, config));
+      client_runtimes.back()->StartClient();
+    }
+  }
+
+  // Builds a per-worker transport for a client thread.
+  std::unique_ptr<FlockTxTransport> MakeTransport(int client, FlockThread& thread) {
+    if (client_conns.size() <= static_cast<size_t>(client)) {
+      client_conns.resize(static_cast<size_t>(client) + 1);
+    }
+    auto& conns = client_conns[static_cast<size_t>(client)];
+    if (conns.empty()) {
+      for (int s = 0; s < kServers; ++s) {
+        conns.push_back(
+            client_runtimes[static_cast<size_t>(client)]->Connect(*runtimes[s], 8));
+      }
+    }
+    // Remote MRs over every primary store's spans (for one-sided validation).
+    std::vector<std::vector<RemoteMr>> mrs(kServers);
+    for (int s = 0; s < kServers; ++s) {
+      for (const auto& span : servers[static_cast<size_t>(s)]->primary()->spans()) {
+        mrs[static_cast<size_t>(s)].push_back(
+            conns[static_cast<size_t>(s)]->AttachMreg(span.addr, span.length));
+      }
+    }
+    return std::make_unique<FlockTxTransport>(*client_runtimes[static_cast<size_t>(client)],
+                                              thread, conns, std::move(mrs));
+  }
+
+  std::vector<std::unique_ptr<FlockRuntime>> runtimes;
+  std::vector<std::unique_ptr<FlockRuntime>> client_runtimes;
+  std::vector<std::vector<Connection*>> client_conns;
+};
+
+TEST(FlockTxTest, SingleWriterCommitsAndReplicates) {
+  FlockTxWorld world(1);
+  std::vector<uint64_t> keys = {101, 202, 303, 404};
+  world.Populate([&](const std::function<void(uint64_t)>& insert) {
+    for (uint64_t k : keys) {
+      insert(k);
+    }
+  });
+
+  FlockThread* thread = world.client_runtimes[0]->CreateThread(0);
+  auto transport = world.MakeTransport(0, *thread);
+  TxCoordinator coordinator(*transport, kServers, kReplication);
+
+  int committed = 0;
+  auto app = [&]() -> sim::Co<void> {
+    for (int round = 0; round < 25; ++round) {
+      for (uint64_t k : keys) {
+        TxRequest tx;
+        tx.writes = {k};
+        if (co_await coordinator.ExecuteOnce(tx)) {
+          ++committed;
+        }
+      }
+    }
+  };
+  world.cluster.sim().Spawn(sim::RunClosure(app));
+  world.cluster.sim().RunFor(300 * kMillisecond);
+  EXPECT_EQ(committed, 100);
+
+  // Every key's counter is 25 at the primary AND at both replicas.
+  for (uint64_t key : keys) {
+    const int partition = PartitionOf(key, kServers);
+    for (int r = 0; r < kReplication; ++r) {
+      TxServer& server = *world.servers[static_cast<size_t>((partition + r) % kServers)];
+      kv::KvStore* store = server.store(partition);
+      ASSERT_NE(store, nullptr);
+      uint8_t value[kTxMaxValue];
+      ASSERT_TRUE(store->Get(key, value, nullptr, nullptr)) << "key " << key;
+      uint64_t counter = 0;
+      std::memcpy(&counter, value, 8);
+      EXPECT_EQ(counter, 25u) << "key " << key << " copy " << r;
+    }
+  }
+}
+
+TEST(FlockTxTest, ReadOnlyTransactionsSeeConsistentData) {
+  FlockTxWorld world(1);
+  world.Populate([&](const std::function<void(uint64_t)>& insert) {
+    for (uint64_t k = 1; k <= 50; ++k) {
+      insert(k);
+    }
+  });
+  FlockThread* thread = world.client_runtimes[0]->CreateThread(0);
+  auto transport = world.MakeTransport(0, *thread);
+  TxCoordinator coordinator(*transport, kServers, kReplication);
+
+  int committed = 0;
+  auto app = [&]() -> sim::Co<void> {
+    for (uint64_t k = 1; k <= 50; ++k) {
+      TxRequest tx;
+      tx.reads = {k, (k % 50) + 1};
+      if (co_await coordinator.ExecuteOnce(tx)) {
+        ++committed;
+      }
+    }
+  };
+  world.cluster.sim().Spawn(sim::RunClosure(app));
+  world.cluster.sim().RunFor(200 * kMillisecond);
+  EXPECT_EQ(committed, 50);
+  EXPECT_EQ(coordinator.stats().aborted_validation, 0u);
+}
+
+TEST(FlockTxTest, ContendedWritersSerializeViaOcc) {
+  // Many coroutine workers hammering a tiny hot set: the final counter sums
+  // must equal the committed transaction count (serializability), with locks
+  // causing some aborts along the way.
+  FlockTxWorld world(2);
+  std::vector<uint64_t> keys = {1, 2, 3};
+  world.Populate([&](const std::function<void(uint64_t)>& insert) {
+    for (uint64_t k : keys) {
+      insert(k);
+    }
+  });
+
+  uint64_t committed_writes = 0;
+  uint64_t lock_aborts = 0;
+  std::vector<std::unique_ptr<FlockTxTransport>> transports;
+  std::vector<std::unique_ptr<TxCoordinator>> coordinators;
+  for (int c = 0; c < 2; ++c) {
+    FlockThread* thread = world.client_runtimes[static_cast<size_t>(c)]->CreateThread(0);
+    for (int w = 0; w < 4; ++w) {
+      transports.push_back(world.MakeTransport(c, *thread));
+      coordinators.push_back(
+          std::make_unique<TxCoordinator>(*transports.back(), kServers, kReplication));
+      TxCoordinator* coordinator = coordinators.back().get();
+      auto worker = [&world, coordinator, &keys, &committed_writes, w,
+                     c]() -> sim::Co<void> {
+        Rng rng(static_cast<uint64_t>(c * 37 + w + 1));
+        for (int i = 0; i < 60; ++i) {
+          TxRequest tx;
+          tx.writes = {keys[rng.NextBelow(keys.size())]};
+          if (co_await coordinator->ExecuteOnce(tx)) {
+            committed_writes += 1;
+          }
+        }
+      };
+      world.cluster.sim().Spawn(sim::RunClosure(worker));
+    }
+  }
+  world.cluster.sim().RunFor(500 * kMillisecond);
+
+  uint64_t total_counter = 0;
+  for (uint64_t key : keys) {
+    const int partition = PartitionOf(key, kServers);
+    kv::KvStore* store =
+        world.servers[static_cast<size_t>(partition)]->store(partition);
+    uint8_t value[kTxMaxValue];
+    ASSERT_TRUE(store->Get(key, value, nullptr, nullptr));
+    uint64_t counter = 0;
+    std::memcpy(&counter, value, 8);
+    total_counter += counter;
+  }
+  EXPECT_EQ(total_counter, committed_writes);
+  EXPECT_GT(committed_writes, 0u);
+  for (const auto& coordinator : coordinators) {
+    lock_aborts += coordinator->stats().aborted_locks;
+  }
+  // With 8 workers on 3 keys, lock conflicts must occur.
+  EXPECT_GT(lock_aborts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FaSST-like baseline
+// ---------------------------------------------------------------------------
+
+struct FasstTxWorld : TxWorld {
+  explicit FasstTxWorld(int clients) : TxWorld(clients) {
+    for (int s = 0; s < kServers; ++s) {
+      ud_servers.push_back(std::make_unique<baselines::UdRpcServer>(
+          cluster, s, baselines::UdRpcServer::Config{.worker_threads = 4}));
+      servers[static_cast<size_t>(s)]->RegisterAll([&](uint16_t id, RpcHandler h) {
+        ud_servers.back()->RegisterHandler(id, h);
+      });
+      ud_servers.back()->Start();
+    }
+    for (int c = 0; c < clients; ++c) {
+      ud_clients.push_back(
+          std::make_unique<baselines::UdRpcClient>(cluster, kServers + c));
+    }
+  }
+
+  std::vector<std::unique_ptr<baselines::UdRpcServer>> ud_servers;
+  std::vector<std::unique_ptr<baselines::UdRpcClient>> ud_clients;
+};
+
+TEST(FasstTxTest, TransactionsCommitOverUd) {
+  FasstTxWorld world(1);
+  std::vector<uint64_t> keys = {11, 22, 33};
+  world.Populate([&](const std::function<void(uint64_t)>& insert) {
+    for (uint64_t k : keys) {
+      insert(k);
+    }
+  });
+
+  baselines::UdRpcClient::Thread* thread = world.ud_clients[0]->CreateThread(0);
+  thread->StartPoller();  // FaSST's dedicated response coroutine
+  std::vector<baselines::UdEndpoint> peers;
+  for (int s = 0; s < kServers; ++s) {
+    peers.push_back(world.ud_servers[static_cast<size_t>(s)]->endpoint(0));
+  }
+  FasstTxTransport transport(*thread, peers, 2 * kMillisecond);
+  TxCoordinator coordinator(transport, kServers, kReplication);
+
+  int committed = 0;
+  auto app = [&]() -> sim::Co<void> {
+    for (int round = 0; round < 30; ++round) {
+      for (uint64_t k : keys) {
+        TxRequest tx;
+        tx.writes = {k};
+        if (co_await coordinator.ExecuteOnce(tx)) {
+          ++committed;
+        }
+      }
+    }
+  };
+  world.cluster.sim().Spawn(sim::RunClosure(app));
+  world.cluster.sim().RunFor(500 * kMillisecond);
+  EXPECT_EQ(committed, 90);
+
+  for (uint64_t key : keys) {
+    const int partition = PartitionOf(key, kServers);
+    kv::KvStore* store =
+        world.servers[static_cast<size_t>(partition)]->store(partition);
+    uint8_t value[kTxMaxValue];
+    ASSERT_TRUE(store->Get(key, value, nullptr, nullptr));
+    uint64_t counter = 0;
+    std::memcpy(&counter, value, 8);
+    EXPECT_EQ(counter, 30u);
+  }
+}
+
+TEST(FasstTxTest, MultipleWorkerCoroutinesShareOneThread) {
+  FasstTxWorld world(1);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 100; k < 130; ++k) {
+    keys.push_back(k);
+  }
+  world.Populate([&](const std::function<void(uint64_t)>& insert) {
+    for (uint64_t k : keys) {
+      insert(k);
+    }
+  });
+
+  baselines::UdRpcClient::Thread* thread = world.ud_clients[0]->CreateThread(0);
+  thread->StartPoller();
+  std::vector<baselines::UdEndpoint> peers;
+  for (int s = 0; s < kServers; ++s) {
+    peers.push_back(world.ud_servers[static_cast<size_t>(s)]->endpoint(0));
+  }
+
+  uint64_t committed = 0;
+  std::vector<std::unique_ptr<FasstTxTransport>> transports;
+  std::vector<std::unique_ptr<TxCoordinator>> coordinators;
+  for (int w = 0; w < 8; ++w) {
+    transports.push_back(
+        std::make_unique<FasstTxTransport>(*thread, peers, 2 * kMillisecond));
+    coordinators.push_back(
+        std::make_unique<TxCoordinator>(*transports.back(), kServers, kReplication));
+    TxCoordinator* coordinator = coordinators.back().get();
+    auto worker = [&world, coordinator, &keys, &committed, w]() -> sim::Co<void> {
+      Rng rng(static_cast<uint64_t>(w + 11));
+      for (int i = 0; i < 40; ++i) {
+        TxRequest tx;
+        tx.writes = {keys[rng.NextBelow(keys.size())]};
+        if (co_await coordinator->ExecuteOnce(tx)) {
+          committed += 1;
+        }
+      }
+    };
+    world.cluster.sim().Spawn(sim::RunClosure(worker));
+  }
+  world.cluster.sim().RunFor(800 * kMillisecond);
+
+  uint64_t total_counter = 0;
+  for (uint64_t key : keys) {
+    const int partition = PartitionOf(key, kServers);
+    kv::KvStore* store =
+        world.servers[static_cast<size_t>(partition)]->store(partition);
+    uint8_t value[kTxMaxValue];
+    ASSERT_TRUE(store->Get(key, value, nullptr, nullptr));
+    uint64_t counter = 0;
+    std::memcpy(&counter, value, 8);
+    total_counter += counter;
+  }
+  EXPECT_EQ(total_counter, committed);
+  EXPECT_GT(committed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Workload generators
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadTest, TatpMixMatchesSpec) {
+  workloads::Tatp tatp(10000);
+  Rng rng(5);
+  int reads_only = 0, with_writes = 0, multi_read = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    txn::TxRequest tx = tatp.Next(rng);
+    EXPECT_FALSE(tx.reads.empty() && tx.writes.empty());
+    if (tx.writes.empty()) {
+      ++reads_only;
+      if (tx.reads.size() > 1) {
+        ++multi_read;
+      }
+    } else {
+      ++with_writes;
+    }
+  }
+  // 80% read-only, 10% of all transactions are multi-key reads, 20% update.
+  EXPECT_NEAR(reads_only, kDraws * 0.80, kDraws * 0.02);
+  EXPECT_NEAR(with_writes, kDraws * 0.20, kDraws * 0.02);
+  EXPECT_NEAR(multi_read, kDraws * 0.10, kDraws * 0.02);
+}
+
+TEST(WorkloadTest, SmallbankIsWriteIntensiveAndSkewed) {
+  workloads::Smallbank bank(100000);
+  Rng rng(6);
+  int writes = 0;
+  int hot = 0;
+  const int kDraws = 100000;
+  const uint64_t hot_limit = 4000;  // 4% of 100k
+  for (int i = 0; i < kDraws; ++i) {
+    txn::TxRequest tx = bank.Next(rng);
+    if (!tx.writes.empty()) {
+      ++writes;
+    }
+    for (uint64_t key : tx.writes) {
+      if ((key & 0xffffffffffffffull) < hot_limit) {
+        ++hot;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(writes, kDraws * 0.85, kDraws * 0.02);
+  EXPECT_GT(hot, writes * 0.7);  // ~90% of accesses hit the 4% hot set
+}
+
+TEST(WorkloadTest, TatpKeysAreDistinctAcrossTables) {
+  using workloads::Tatp;
+  EXPECT_NE(Tatp::Key(Tatp::kSubscriber, 5), Tatp::Key(Tatp::kAccessInfo, 5));
+  EXPECT_NE(Tatp::Key(Tatp::kSpecialFacility, 5), Tatp::Key(Tatp::kCallForwarding, 5));
+}
+
+}  // namespace
+}  // namespace flock::txn

@@ -1,0 +1,517 @@
+// Integration tests for the simulated verbs layer: transport capability
+// matrix (Table 1), two-sided messaging, one-sided read/write/atomics,
+// ordering, selective signaling, error paths, and the QP-state cache.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/verbs/device.h"
+
+namespace flock::verbs {
+namespace {
+
+using sim::Proc;
+
+class VerbsTest : public ::testing::Test {
+ protected:
+  VerbsTest() : cluster_(Cluster::Config{.num_nodes = 3}) {}
+
+  Cluster cluster_;
+};
+
+TEST_F(VerbsTest, RcWriteCopiesBytesBetweenNodes) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t src = cluster_.mem(0).Alloc(64);
+  const uint64_t dst = cluster_.mem(1).Alloc(64);
+  Mr mr = cluster_.device(1).RegisterMr(dst, 64);
+
+  const char msg[] = "flock-over-rdma";
+  cluster_.mem(0).Write(src, msg, sizeof(msg));
+
+  SendWr wr;
+  wr.wr_id = 7;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = sizeof(msg);
+  wr.remote_addr = dst;
+  wr.rkey = mr.rkey;
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+
+  cluster_.sim().Run();
+
+  char out[sizeof(msg)] = {};
+  cluster_.mem(1).Read(dst, out, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+
+  Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 7u);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  EXPECT_EQ(wc.opcode, WcOpcode::kWrite);
+  EXPECT_FALSE(scq0->Poll(&wc));
+}
+
+TEST_F(VerbsTest, RcReadFetchesRemoteBytes) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t local = cluster_.mem(0).Alloc(32);
+  const uint64_t remote = cluster_.mem(1).Alloc(32);
+  Mr mr = cluster_.device(1).RegisterMr(remote, 32);
+  const uint64_t value = 0xdeadbeefcafef00dULL;
+  cluster_.mem(1).Write(remote, &value, 8);
+
+  SendWr wr;
+  wr.opcode = Opcode::kRead;
+  wr.local_addr = local;
+  wr.length = 8;
+  wr.remote_addr = remote;
+  wr.rkey = mr.rkey;
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+
+  uint64_t got = 0;
+  cluster_.mem(0).Read(local, &got, 8);
+  EXPECT_EQ(got, value);
+
+  Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.opcode, WcOpcode::kRead);
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+}
+
+TEST_F(VerbsTest, RcSendRecvDeliversPayloadAndProvenance) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t src = cluster_.mem(0).Alloc(16);
+  const uint64_t buf = cluster_.mem(1).Alloc(128);
+  qp1->PostRecv(RecvWr{.wr_id = 42, .local_addr = buf, .length = 128});
+
+  const uint64_t token = 0x1234567890abcdefULL;
+  cluster_.mem(0).Write(src, &token, 8);
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.local_addr = src;
+  wr.length = 8;
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+
+  Completion wc;
+  ASSERT_TRUE(rcq1->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 42u);
+  EXPECT_EQ(wc.opcode, WcOpcode::kRecv);
+  EXPECT_EQ(wc.byte_len, 8u);
+  EXPECT_EQ(wc.src_node, 0);
+  EXPECT_EQ(wc.src_qpn, qp0->qpn());
+  uint64_t got = 0;
+  cluster_.mem(1).Read(buf, &got, 8);
+  EXPECT_EQ(got, token);
+}
+
+TEST_F(VerbsTest, FetchAddIsAtomicAndReturnsOldValue) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t result = cluster_.mem(0).Alloc(8, 8);
+  const uint64_t counter = cluster_.mem(1).Alloc(8, 8);
+  Mr mr = cluster_.device(1).RegisterMr(counter, 8);
+  const uint64_t initial = 100;
+  cluster_.mem(1).Write(counter, &initial, 8);
+
+  SendWr wr;
+  wr.opcode = Opcode::kFetchAdd;
+  wr.local_addr = result;
+  wr.remote_addr = counter;
+  wr.rkey = mr.rkey;
+  wr.swap_or_add = 5;
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+
+  uint64_t old_val = 0, new_val = 0;
+  cluster_.mem(0).Read(result, &old_val, 8);
+  cluster_.mem(1).Read(counter, &new_val, 8);
+  EXPECT_EQ(old_val, 100u);
+  EXPECT_EQ(new_val, 105u);
+}
+
+TEST_F(VerbsTest, CompareSwapOnlySwapsOnMatch) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t result = cluster_.mem(0).Alloc(8, 8);
+  const uint64_t word = cluster_.mem(1).Alloc(8, 8);
+  Mr mr = cluster_.device(1).RegisterMr(word, 8);
+  const uint64_t initial = 7;
+  cluster_.mem(1).Write(word, &initial, 8);
+
+  // Mismatched compare: no swap.
+  SendWr wr;
+  wr.opcode = Opcode::kCmpSwap;
+  wr.local_addr = result;
+  wr.remote_addr = word;
+  wr.rkey = mr.rkey;
+  wr.compare = 99;
+  wr.swap_or_add = 1;
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+  uint64_t val = 0;
+  cluster_.mem(1).Read(word, &val, 8);
+  EXPECT_EQ(val, 7u);
+
+  // Matching compare: swap happens, old value returned.
+  wr.compare = 7;
+  wr.swap_or_add = 55;
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+  cluster_.mem(1).Read(word, &val, 8);
+  EXPECT_EQ(val, 55u);
+  uint64_t old_val = 0;
+  cluster_.mem(0).Read(result, &old_val, 8);
+  EXPECT_EQ(old_val, 7u);
+}
+
+TEST_F(VerbsTest, UdSendReachesNamedDestination) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq2 = cluster_.device(2).CreateCq();
+  Cq* rcq2 = cluster_.device(2).CreateCq();
+  Qp* ud0 = cluster_.device(0).CreateQp(QpType::kUd, scq0, rcq0);
+  Qp* ud2 = cluster_.device(2).CreateQp(QpType::kUd, scq2, rcq2);
+
+  const uint64_t src = cluster_.mem(0).Alloc(16);
+  const uint64_t buf = cluster_.mem(2).Alloc(4096);
+  ud2->PostRecv(RecvWr{.wr_id = 1, .local_addr = buf, .length = 4096});
+
+  const uint32_t magic = 0xabcd1234;
+  cluster_.mem(0).Write(src, &magic, 4);
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.local_addr = src;
+  wr.length = 4;
+  wr.dest_node = 2;
+  wr.dest_qpn = ud2->qpn();
+  ASSERT_EQ(ud0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+
+  Completion wc;
+  ASSERT_TRUE(rcq2->Poll(&wc));
+  EXPECT_EQ(wc.src_node, 0);
+  uint32_t got = 0;
+  cluster_.mem(2).Read(buf, &got, 4);
+  EXPECT_EQ(got, magic);
+}
+
+// Table 1: transport capability matrix.
+TEST_F(VerbsTest, TransportCapabilityMatrix) {
+  Cq* scq = cluster_.device(0).CreateCq();
+  Cq* rcq = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+
+  auto [rc, rc_peer] = cluster_.ConnectRc(0, scq, rcq, 1, scq1, rcq1);
+  Qp* uc = cluster_.device(0).CreateQp(QpType::kUc, scq, rcq);
+  Qp* uc_peer = cluster_.device(1).CreateQp(QpType::kUc, scq1, rcq1);
+  uc->ConnectTo(1, uc_peer->qpn());
+  Qp* ud = cluster_.device(0).CreateQp(QpType::kUd, scq, rcq);
+
+  const uint64_t buf = cluster_.mem(0).Alloc(64);
+  auto make = [&](Opcode op) {
+    SendWr wr;
+    wr.opcode = op;
+    wr.local_addr = buf;
+    wr.length = 8;
+    wr.remote_addr = buf;
+    wr.rkey = 1;
+    wr.dest_node = 1;
+    wr.dest_qpn = 1;
+    return wr;
+  };
+
+  // RC: everything is accepted at post time.
+  for (Opcode op : {Opcode::kSend, Opcode::kWrite, Opcode::kRead, Opcode::kFetchAdd,
+                    Opcode::kCmpSwap}) {
+    EXPECT_EQ(rc->PostSend(make(op)), WcStatus::kSuccess);
+  }
+  // UC: writes and sends only.
+  EXPECT_EQ(uc->PostSend(make(Opcode::kWrite)), WcStatus::kSuccess);
+  EXPECT_EQ(uc->PostSend(make(Opcode::kSend)), WcStatus::kSuccess);
+  EXPECT_EQ(uc->PostSend(make(Opcode::kRead)), WcStatus::kUnsupportedOp);
+  EXPECT_EQ(uc->PostSend(make(Opcode::kFetchAdd)), WcStatus::kUnsupportedOp);
+  // UD: sends only, MTU-bounded.
+  EXPECT_EQ(ud->PostSend(make(Opcode::kSend)), WcStatus::kSuccess);
+  EXPECT_EQ(ud->PostSend(make(Opcode::kWrite)), WcStatus::kUnsupportedOp);
+  EXPECT_EQ(ud->PostSend(make(Opcode::kRead)), WcStatus::kUnsupportedOp);
+  SendWr big = make(Opcode::kSend);
+  big.length = 4096;  // 4096 + 40 GRH > 4096 MTU
+  EXPECT_EQ(ud->PostSend(big), WcStatus::kMtuExceeded);
+}
+
+TEST_F(VerbsTest, BadRkeyYieldsRemoteAccessError) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t src = cluster_.mem(0).Alloc(8);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = 8;
+  wr.remote_addr = 0;
+  wr.rkey = 9999;  // never registered
+  wr.signaled = false;  // errors must still complete
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+
+  Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(cluster_.device(1).stats().remote_errors, 1u);
+}
+
+TEST_F(VerbsTest, OutOfBoundsWriteRejected) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t src = cluster_.mem(0).Alloc(64);
+  const uint64_t dst = cluster_.mem(1).Alloc(16);
+  Mr mr = cluster_.device(1).RegisterMr(dst, 16);
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = 64;  // larger than the 16-byte MR
+  wr.remote_addr = dst;
+  wr.rkey = mr.rkey;
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+
+  Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.status, WcStatus::kRemoteAccessError);
+}
+
+TEST_F(VerbsTest, SelectiveSignalingSuppressesSuccessCqes) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t src = cluster_.mem(0).Alloc(8);
+  const uint64_t dst = cluster_.mem(1).Alloc(64);
+  Mr mr = cluster_.device(1).RegisterMr(dst, 64);
+
+  for (int i = 0; i < 4; ++i) {
+    SendWr wr;
+    wr.wr_id = static_cast<uint64_t>(i);
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = 8;
+    wr.remote_addr = dst;
+    wr.rkey = mr.rkey;
+    wr.signaled = (i == 3);  // only the last of the chain is signaled
+    ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  }
+  cluster_.sim().Run();
+
+  Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 3u);
+  EXPECT_FALSE(scq0->Poll(&wc));
+  EXPECT_EQ(cluster_.device(0).stats().cqes_dma_ed, 1u);
+}
+
+TEST_F(VerbsTest, PerQpWriteOrderingPreserved) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t src = cluster_.mem(0).Alloc(8);
+  const uint64_t dst = cluster_.mem(1).Alloc(8, 8);
+  Mr mr = cluster_.device(1).RegisterMr(dst, 8);
+
+  // 50 writes of increasing values to the same remote word: the final value
+  // must be the last posted (RC preserves per-QP order).
+  for (uint64_t i = 1; i <= 50; ++i) {
+    cluster_.mem(0).Write(src, &i, 8);
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = 8;
+    wr.remote_addr = dst;
+    wr.rkey = mr.rkey;
+    wr.signaled = false;
+    ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+    cluster_.sim().Run();  // payload snapshot happens at NIC DMA time
+  }
+  uint64_t final_val = 0;
+  cluster_.mem(1).Read(dst, &final_val, 8);
+  EXPECT_EQ(final_val, 50u);
+}
+
+TEST_F(VerbsTest, UdNoRecvPostedDropsSilently) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  Qp* ud0 = cluster_.device(0).CreateQp(QpType::kUd, scq0, rcq0);
+  Qp* ud1 = cluster_.device(1).CreateQp(QpType::kUd, scq1, rcq1);
+
+  const uint64_t src = cluster_.mem(0).Alloc(8);
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.local_addr = src;
+  wr.length = 8;
+  wr.dest_node = 1;
+  wr.dest_qpn = ud1->qpn();
+  ASSERT_EQ(ud0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+
+  // Sender still gets a success completion (fire and forget)...
+  Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  // ...but the datagram is gone and counted.
+  EXPECT_EQ(cluster_.device(1).stats().ud_drops, 1u);
+  EXPECT_FALSE(rcq1->Poll(&wc));
+}
+
+TEST_F(VerbsTest, WriteWithImmConsumesRecvAndCarriesImm) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t src = cluster_.mem(0).Alloc(8);
+  const uint64_t dst = cluster_.mem(1).Alloc(8);
+  Mr mr = cluster_.device(1).RegisterMr(dst, 8);
+  qp1->PostRecv(RecvWr{.wr_id = 5, .local_addr = 0, .length = 0});
+
+  SendWr wr;
+  wr.opcode = Opcode::kWriteImm;
+  wr.local_addr = src;
+  wr.length = 8;
+  wr.remote_addr = dst;
+  wr.rkey = mr.rkey;
+  wr.imm = 0xfeed;
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+
+  Completion wc;
+  ASSERT_TRUE(rcq1->Poll(&wc));
+  EXPECT_EQ(wc.opcode, WcOpcode::kRecvImm);
+  EXPECT_TRUE(wc.has_imm);
+  EXPECT_EQ(wc.imm, 0xfeedu);
+  EXPECT_EQ(wc.wr_id, 5u);
+  EXPECT_EQ(qp1->recv_queue_depth(), 0u);
+}
+
+TEST_F(VerbsTest, QpCacheThrashesBeyondCapacity) {
+  // Direct cache behaviour (device-level effects are covered by fig2 bench).
+  rnic::QpCache cache(4);
+  for (uint32_t q = 0; q < 4; ++q) {
+    EXPECT_FALSE(cache.Touch(q));  // cold misses
+  }
+  for (uint32_t q = 0; q < 4; ++q) {
+    EXPECT_TRUE(cache.Touch(q));  // all hot
+  }
+  EXPECT_FALSE(cache.Touch(99));  // evicts LRU (qp 0)
+  EXPECT_FALSE(cache.Touch(0));   // qp 0 gone
+  EXPECT_TRUE(cache.Touch(99));
+  EXPECT_GT(cache.MissRatio(), 0.0);
+}
+
+TEST_F(VerbsTest, QpCacheInvalidateRemovesEntry) {
+  rnic::QpCache cache(4);
+  cache.Touch(1);
+  EXPECT_TRUE(cache.Touch(1));
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(VerbsTest, LatencyIsInMicrosecondRange) {
+  // A small RC write should land in single-digit microseconds — the regime
+  // real RDMA hardware operates in — not nanoseconds or milliseconds.
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t src = cluster_.mem(0).Alloc(64);
+  const uint64_t dst = cluster_.mem(1).Alloc(64);
+  Mr mr = cluster_.device(1).RegisterMr(dst, 64);
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = 64;
+  wr.remote_addr = dst;
+  wr.rkey = mr.rkey;
+  ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  cluster_.sim().Run();
+  EXPECT_GT(cluster_.sim().Now(), 500);        // > 0.5 us
+  EXPECT_LT(cluster_.sim().Now(), 20 * 1000);  // < 20 us
+}
+
+TEST_F(VerbsTest, BandwidthBoundTransferApproachesLineRate) {
+  // 100 x 1 MiB writes ≈ 104 MB; at 100 Gbps that's ≈ 8.4 ms on the wire.
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t chunk = 1 << 20;
+  const uint64_t src = cluster_.mem(0).Alloc(chunk);
+  const uint64_t dst = cluster_.mem(1).Alloc(chunk);
+  Mr mr = cluster_.device(1).RegisterMr(dst, chunk);
+
+  for (int i = 0; i < 100; ++i) {
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = chunk;
+    wr.remote_addr = dst;
+    wr.rkey = mr.rkey;
+    wr.signaled = (i == 99);
+    ASSERT_EQ(qp0->PostSend(wr), WcStatus::kSuccess);
+  }
+  cluster_.sim().Run();
+  const double seconds = static_cast<double>(cluster_.sim().Now()) / 1e9;
+  const double gbps = 100.0 * chunk * 8.0 / seconds / 1e9;
+  EXPECT_GT(gbps, 70.0);   // reasonably close to line rate
+  EXPECT_LT(gbps, 100.0);  // but never above it
+}
+
+}  // namespace
+}  // namespace flock::verbs
