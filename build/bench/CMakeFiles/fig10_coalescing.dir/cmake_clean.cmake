@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_coalescing.dir/fig10_coalescing.cc.o"
+  "CMakeFiles/fig10_coalescing.dir/fig10_coalescing.cc.o.d"
+  "fig10_coalescing"
+  "fig10_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_thread_sched.dir/fig11_thread_sched.cc.o"
+  "CMakeFiles/fig11_thread_sched.dir/fig11_thread_sched.cc.o.d"
+  "fig11_thread_sched"
+  "fig11_thread_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_thread_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_node_scaling.dir/fig12_node_scaling.cc.o"
+  "CMakeFiles/fig12_node_scaling.dir/fig12_node_scaling.cc.o.d"
+  "fig12_node_scaling"
+  "fig12_node_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

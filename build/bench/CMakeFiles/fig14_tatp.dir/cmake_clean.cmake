@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tatp.dir/fig14_tatp.cc.o"
+  "CMakeFiles/fig14_tatp.dir/fig14_tatp.cc.o.d"
+  "fig14_tatp"
+  "fig14_tatp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tatp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_smallbank.dir/fig15_smallbank.cc.o"
+  "CMakeFiles/fig15_smallbank.dir/fig15_smallbank.cc.o.d"
+  "fig15_smallbank"
+  "fig15_smallbank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_smallbank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

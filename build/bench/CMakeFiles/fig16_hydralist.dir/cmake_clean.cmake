@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_hydralist.dir/fig16_hydralist.cc.o"
+  "CMakeFiles/fig16_hydralist.dir/fig16_hydralist.cc.o.d"
+  "fig16_hydralist"
+  "fig16_hydralist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_hydralist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_qp_scaling.dir/fig2_qp_scaling.cc.o"
+  "CMakeFiles/fig2_qp_scaling.dir/fig2_qp_scaling.cc.o.d"
+  "fig2_qp_scaling"
+  "fig2_qp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_qp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

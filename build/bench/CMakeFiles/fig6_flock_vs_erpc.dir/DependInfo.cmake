@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_flock_vs_erpc.cc" "bench/CMakeFiles/fig6_flock_vs_erpc.dir/fig6_flock_vs_erpc.cc.o" "gcc" "bench/CMakeFiles/fig6_flock_vs_erpc.dir/fig6_flock_vs_erpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/flock_bench_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/flock_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/flock/CMakeFiles/flock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/flock_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/flock_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

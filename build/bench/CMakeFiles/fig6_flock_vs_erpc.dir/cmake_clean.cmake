@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_flock_vs_erpc.dir/fig6_flock_vs_erpc.cc.o"
+  "CMakeFiles/fig6_flock_vs_erpc.dir/fig6_flock_vs_erpc.cc.o.d"
+  "fig6_flock_vs_erpc"
+  "fig6_flock_vs_erpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_flock_vs_erpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sharing_modes.dir/fig9_sharing_modes.cc.o"
+  "CMakeFiles/fig9_sharing_modes.dir/fig9_sharing_modes.cc.o.d"
+  "fig9_sharing_modes"
+  "fig9_sharing_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sharing_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

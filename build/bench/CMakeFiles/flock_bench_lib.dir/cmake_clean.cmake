@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libflock_bench_lib.a"
+  "../lib/libflock_bench_lib.pdb"
+  "CMakeFiles/flock_bench_lib.dir/rpc_bench_lib.cc.o"
+  "CMakeFiles/flock_bench_lib.dir/rpc_bench_lib.cc.o.d"
+  "CMakeFiles/flock_bench_lib.dir/txn_bench_lib.cc.o"
+  "CMakeFiles/flock_bench_lib.dir/txn_bench_lib.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_bench_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flock_bench_lib.
+# This may be replaced when dependencies are built.

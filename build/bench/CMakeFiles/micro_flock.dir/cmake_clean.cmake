@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_flock.dir/micro_flock.cc.o"
+  "CMakeFiles/micro_flock.dir/micro_flock.cc.o.d"
+  "micro_flock"
+  "micro_flock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_flock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_transport_matrix.dir/table1_transport_matrix.cc.o"
+  "CMakeFiles/table1_transport_matrix.dir/table1_transport_matrix.cc.o.d"
+  "table1_transport_matrix"
+  "table1_transport_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_transport_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cache.dir/kv_cache.cpp.o"
+  "CMakeFiles/kv_cache.dir/kv_cache.cpp.o.d"
+  "kv_cache"
+  "kv_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

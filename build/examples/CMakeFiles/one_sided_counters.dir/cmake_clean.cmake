@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_sided_counters.dir/one_sided_counters.cpp.o"
+  "CMakeFiles/one_sided_counters.dir/one_sided_counters.cpp.o.d"
+  "one_sided_counters"
+  "one_sided_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_sided_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for one_sided_counters.
+# This may be replaced when dependencies are built.

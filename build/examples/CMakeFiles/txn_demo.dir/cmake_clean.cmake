@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_demo.dir/txn_demo.cpp.o"
+  "CMakeFiles/txn_demo.dir/txn_demo.cpp.o.d"
+  "txn_demo"
+  "txn_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_baselines.dir/rcrpc.cc.o"
+  "CMakeFiles/flock_baselines.dir/rcrpc.cc.o.d"
+  "CMakeFiles/flock_baselines.dir/udrpc.cc.o"
+  "CMakeFiles/flock_baselines.dir/udrpc.cc.o.d"
+  "libflock_baselines.a"
+  "libflock_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_common.dir/histogram.cc.o"
+  "CMakeFiles/flock_common.dir/histogram.cc.o.d"
+  "CMakeFiles/flock_common.dir/logging.cc.o"
+  "CMakeFiles/flock_common.dir/logging.cc.o.d"
+  "libflock_common.a"
+  "libflock_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflock_common.a"
+)

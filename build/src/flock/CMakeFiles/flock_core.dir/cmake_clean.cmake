@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_core.dir/runtime.cc.o"
+  "CMakeFiles/flock_core.dir/runtime.cc.o.d"
+  "libflock_core.a"
+  "libflock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_index.dir/hydralist.cc.o"
+  "CMakeFiles/flock_index.dir/hydralist.cc.o.d"
+  "libflock_index.a"
+  "libflock_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_verbs.dir/cluster.cc.o"
+  "CMakeFiles/flock_verbs.dir/cluster.cc.o.d"
+  "CMakeFiles/flock_verbs.dir/device.cc.o"
+  "CMakeFiles/flock_verbs.dir/device.cc.o.d"
+  "libflock_verbs.a"
+  "libflock_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combining_threads_test.dir/combining_threads_test.cc.o"
+  "CMakeFiles/combining_threads_test.dir/combining_threads_test.cc.o.d"
+  "combining_threads_test"
+  "combining_threads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combining_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

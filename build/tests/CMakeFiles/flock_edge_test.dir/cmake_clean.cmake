@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_edge_test.dir/flock_edge_test.cc.o"
+  "CMakeFiles/flock_edge_test.dir/flock_edge_test.cc.o.d"
+  "flock_edge_test"
+  "flock_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_test.dir/kv_test.cc.o"
+  "CMakeFiles/kv_test.dir/kv_test.cc.o.d"
+  "kv_test"
+  "kv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockstep_test.dir/lockstep_test.cc.o"
+  "CMakeFiles/lockstep_test.dir/lockstep_test.cc.o.d"
+  "lockstep_test"
+  "lockstep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockstep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

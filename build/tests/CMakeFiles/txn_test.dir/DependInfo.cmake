@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/txn_test.cc" "tests/CMakeFiles/txn_test.dir/txn_test.cc.o" "gcc" "tests/CMakeFiles/txn_test.dir/txn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/flock_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/flock/CMakeFiles/flock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/flock_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_test.dir/verbs_test.cc.o"
+  "CMakeFiles/verbs_test.dir/verbs_test.cc.o.d"
+  "verbs_test"
+  "verbs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

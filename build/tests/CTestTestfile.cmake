@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(verbs_test "/root/repo/build/tests/verbs_test")
+set_tests_properties(verbs_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(wire_test "/root/repo/build/tests/wire_test")
+set_tests_properties(wire_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(combining_threads_test "/root/repo/build/tests/combining_threads_test")
+set_tests_properties(combining_threads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flock_test "/root/repo/build/tests/flock_test")
+set_tests_properties(flock_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kv_test "/root/repo/build/tests/kv_test")
+set_tests_properties(kv_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(txn_test "/root/repo/build/tests/txn_test")
+set_tests_properties(txn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build/tests/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lockstep_test "/root/repo/build/tests/lockstep_test")
+set_tests_properties(lockstep_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;flock_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flock_edge_test "/root/repo/build/tests/flock_edge_test")
+set_tests_properties(flock_edge_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;flock_test;/root/repo/tests/CMakeLists.txt;0;")
