@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace flock::bench;
   Flags flags(argc, argv);
+  JsonDump json(flags, "ablation_sensitivity");
   const flock::Nanos warmup = flags.Int("warmup_ms", 2) * flock::kMillisecond;
   const flock::Nanos measure = flags.Int("measure_ms", 2) * flock::kMillisecond;
 
@@ -46,6 +47,8 @@ int main(int argc, char** argv) {
                   fl.mops > ud.mops ? "" : "  <-- CONCLUSION FLIPPED");
       std::printf("CSV,sensitivity,%u,%ld,%.2f,%.2f\n", cache, static_cast<long>(pcie),
                   fl.mops, ud.mops);
+      json.Row({{"qp_cache", cache}, {"pcie_fetch_ns", static_cast<int64_t>(pcie)},
+                {"flock_mops", fl.mops}, {"erpc_mops", ud.mops}});
       std::fflush(stdout);
     }
   }

@@ -1,6 +1,8 @@
-// Shared utilities for the figure-reproduction benches: flag parsing and
-// paper-style table printing. Every bench prints a human-readable table (one
-// row per x-value) followed by machine-readable CSV lines prefixed "CSV,".
+// Shared utilities for the figure-reproduction benches: flag parsing,
+// paper-style table printing, and machine-readable output. Every bench prints
+// a human-readable table (one row per x-value) followed by machine-readable
+// CSV lines prefixed "CSV,"; passing --json=<path> additionally dumps the same
+// rows as a JSON document so tooling never has to scrape stdout.
 #ifndef FLOCK_BENCH_BENCH_UTIL_H_
 #define FLOCK_BENCH_BENCH_UTIL_H_
 
@@ -8,7 +10,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace flock::bench {
@@ -51,6 +55,11 @@ class Flags {
     return *v == "1" || *v == "true" || *v == "yes";
   }
 
+  std::string Str(const std::string& name, const std::string& fallback) const {
+    const std::string* v = Find(name);
+    return v == nullptr ? fallback : *v;
+  }
+
  private:
   const std::string* Find(const std::string& name) const {
     for (const auto& [k, v] : pairs_) {
@@ -67,6 +76,129 @@ class Flags {
 inline void PrintBanner(const char* title) {
   std::printf("\n==== %s ====\n", title);
 }
+
+// One cell of a JSON row: number, string, or bool. Implicit constructors keep
+// Row() call sites terse.
+struct JsonValue {
+  enum class Kind { kNumber, kString, kBool };
+
+  JsonValue(double v) : kind(Kind::kNumber), num(v) {}             // NOLINT
+  JsonValue(int v) : kind(Kind::kNumber), num(v) {}                // NOLINT
+  JsonValue(int64_t v)                                             // NOLINT
+      : kind(Kind::kNumber), num(static_cast<double>(v)) {}
+  JsonValue(uint64_t v)                                            // NOLINT
+      : kind(Kind::kNumber), num(static_cast<double>(v)) {}
+  JsonValue(uint32_t v) : kind(Kind::kNumber), num(v) {}           // NOLINT
+  JsonValue(const char* v) : kind(Kind::kString), str(v) {}        // NOLINT
+  JsonValue(std::string v) : kind(Kind::kString), str(std::move(v)) {}  // NOLINT
+  JsonValue(bool v) : kind(Kind::kBool), boolean(v) {}             // NOLINT
+
+  void AppendTo(std::string* out) const {
+    char buf[64];
+    switch (kind) {
+      case Kind::kNumber:
+        if (num == static_cast<double>(static_cast<int64_t>(num))) {
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(num));
+        } else {
+          std::snprintf(buf, sizeof(buf), "%.6g", num);
+        }
+        out->append(buf);
+        break;
+      case Kind::kString:
+        out->push_back('"');
+        for (char c : str) {
+          if (c == '"' || c == '\\') {
+            out->push_back('\\');
+          }
+          out->push_back(c);
+        }
+        out->push_back('"');
+        break;
+      case Kind::kBool:
+        out->append(boolean ? "true" : "false");
+        break;
+    }
+  }
+
+  Kind kind;
+  double num = 0;
+  std::string str;
+  bool boolean = false;
+};
+
+// Collects rows of key/value results and writes them as one JSON document:
+//   {"bench": "<name>", "rows": [{...}, ...]}
+// Construct from Flags to honor the shared --json=<path> flag (no path → all
+// calls are no-ops, so benches can call Row() unconditionally next to their
+// CSV prints). Write() runs in the destructor if not called explicitly.
+class JsonDump {
+ public:
+  JsonDump(const Flags& flags, const char* bench_name)
+      : path_(flags.Str("json", "")), bench_(bench_name) {}
+  JsonDump(std::string path, const char* bench_name)
+      : path_(std::move(path)), bench_(bench_name) {}
+
+  ~JsonDump() { Write(); }
+
+  JsonDump(const JsonDump&) = delete;
+  JsonDump& operator=(const JsonDump&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Row(std::initializer_list<std::pair<const char*, JsonValue>> fields) {
+    if (!enabled()) {
+      return;
+    }
+    std::string row = "{";
+    bool first = true;
+    for (const auto& [key, value] : fields) {
+      if (!first) {
+        row.push_back(',');
+      }
+      first = false;
+      row.push_back('"');
+      row.append(key);
+      row.append("\":");
+      value.AppendTo(&row);
+    }
+    row.push_back('}');
+    rows_.push_back(std::move(row));
+  }
+
+  // Writes the document; returns false (and warns) on I/O failure.
+  bool Write() {
+    if (!enabled() || written_) {
+      return true;
+    }
+    written_ = true;
+    std::string doc = "{\"bench\":\"";
+    doc.append(bench_);
+    doc.append("\",\"rows\":[");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) {
+        doc.append(",\n");
+      }
+      doc.append(rows_[i]);
+    }
+    doc.append("]}\n");
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("JSON written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::string bench_;
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
 
 }  // namespace flock::bench
 

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace flock::bench;
   Flags flags(argc, argv);
+  JsonDump json(flags, "fig10_coalescing");
   const flock::Nanos warmup = flags.Int("warmup_ms", 2) * flock::kMillisecond;
   const flock::Nanos measure = flags.Int("measure_ms", 3) * flock::kMillisecond;
 
@@ -39,6 +40,11 @@ int main(int argc, char** argv) {
                 off.mops > 0 ? on.mops / off.mops : 0.0, on.coalescing);
     std::printf("CSV,fig10,%d,%.2f,%.2f,%.2f\n", outstanding, off.mops, on.mops,
                 on.coalescing);
+    json.Row({{"sweep", "coalescing"},
+              {"outstanding", outstanding},
+              {"off_mops", off.mops},
+              {"on_mops", on.mops},
+              {"coalescing", on.coalescing}});
     std::fflush(stdout);
   }
 
@@ -57,6 +63,10 @@ int main(int argc, char** argv) {
       std::printf("%8u %10.1f %10.2f\n", bound, result.mops, result.coalescing);
       std::printf("CSV,fig10bound,%u,%.2f,%.2f\n", bound, result.mops,
                   result.coalescing);
+      json.Row({{"sweep", "bound"},
+                {"bound", bound},
+                {"mops", result.mops},
+                {"coalescing", result.coalescing}});
       std::fflush(stdout);
     }
   }

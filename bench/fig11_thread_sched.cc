@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace flock::bench;
   Flags flags(argc, argv);
+  JsonDump json(flags, "fig11_thread_sched");
   const flock::Nanos warmup = flags.Int("warmup_ms", 2) * flock::kMillisecond;
   const flock::Nanos measure = flags.Int("measure_ms", 3) * flock::kMillisecond;
 
@@ -44,6 +45,9 @@ int main(int argc, char** argv) {
     std::printf("%12u %16.1f %16.1f %10.2f\n", large, off.mops, on.mops,
                 off.mops > 0 ? on.mops / off.mops : 0.0);
     std::printf("CSV,fig11,%u,%.2f,%.2f\n", large, off.mops, on.mops);
+    json.Row({{"large_threads", large},
+              {"sched_off_mops", off.mops},
+              {"sched_on_mops", on.mops}});
     std::fflush(stdout);
   }
   return 0;

@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace flock::bench;
   Flags flags(argc, argv);
+  JsonDump json(flags, "fig12_node_scaling");
   const flock::Nanos warmup = flags.Int("warmup_ms", 2) * flock::kMillisecond;
   const flock::Nanos measure = flags.Int("measure_ms", 3) * flock::kMillisecond;
 
@@ -57,6 +58,12 @@ int main(int argc, char** argv) {
                 static_cast<long>(two_one.p50_ns), static_cast<long>(two_one.p99_ns));
     std::printf("CSV,fig12,%d,2t2q,%.2f,%ld,%ld\n", clients, two_two.mops,
                 static_cast<long>(two_two.p50_ns), static_cast<long>(two_two.p99_ns));
+    json.Row({{"clients", clients}, {"mode", "1t1q"}, {"mops", one_one.mops},
+              {"p50_ns", one_one.p50_ns}, {"p99_ns", one_one.p99_ns}});
+    json.Row({{"clients", clients}, {"mode", "2t1q"}, {"mops", two_one.mops},
+              {"p50_ns", two_one.p50_ns}, {"p99_ns", two_one.p99_ns}});
+    json.Row({{"clients", clients}, {"mode", "2t2q"}, {"mops", two_two.mops},
+              {"p50_ns", two_two.p50_ns}, {"p99_ns", two_two.p99_ns}});
     std::fflush(stdout);
   }
   return 0;

@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace flock::bench;
   Flags flags(argc, argv);
+  JsonDump json(flags, "fig14_tatp");
   const uint64_t subscribers =
       static_cast<uint64_t>(flags.Int("subscribers", 1000000));
   flock::workloads::Tatp tatp(subscribers);
@@ -60,6 +61,10 @@ int main(int argc, char** argv) {
     std::printf("CSV,fig14,%d,fasst,%.3f,%ld,%ld,%lu\n", threads, ud.mtps,
                 static_cast<long>(ud.p50_ns), static_cast<long>(ud.p99_ns),
                 static_cast<unsigned long>(ud.failed));
+    json.Row({{"threads", threads}, {"system", "flocktx"}, {"mtps", fl.mtps},
+              {"p50_ns", fl.p50_ns}, {"p99_ns", fl.p99_ns}, {"aborts", fl.aborts}});
+    json.Row({{"threads", threads}, {"system", "fasst"}, {"mtps", ud.mtps},
+              {"p50_ns", ud.p50_ns}, {"p99_ns", ud.p99_ns}, {"failed", ud.failed}});
     std::fflush(stdout);
   }
   return 0;

@@ -114,7 +114,7 @@ sim::Proc FlockIndexWorker(verbs::Cluster* cluster, Connection* conn,
           shared->scan_latency.Record(lat);
         }
       }
-      delete rpc;
+      conn->FreeRpc(rpc);
     }
   }
 }
@@ -247,6 +247,7 @@ IndexResult RunUdIndex(const index::HydraList* list, uint64_t keys, int threads,
 int main(int argc, char** argv) {
   using namespace flock::bench;
   Flags flags(argc, argv);
+  JsonDump json(flags, "fig16_hydralist");
   const uint64_t keys = static_cast<uint64_t>(flags.Int("keys", 4000000));
   const flock::Nanos warmup = flags.Int("warmup_ms", 1) * flock::kMillisecond;
   const flock::Nanos measure = flags.Int("measure_ms", 2) * flock::kMillisecond;
@@ -291,6 +292,14 @@ int main(int argc, char** argv) {
                   threads, ud.mops, static_cast<long>(ud.get_p50),
                   static_cast<long>(ud.get_p99), static_cast<long>(ud.scan_p50),
                   static_cast<long>(ud.scan_p99));
+      json.Row({{"outstanding", outstanding}, {"threads", threads},
+                {"system", "flock"}, {"mops", fl.mops}, {"get_p50_ns", fl.get_p50},
+                {"get_p99_ns", fl.get_p99}, {"scan_p50_ns", fl.scan_p50},
+                {"scan_p99_ns", fl.scan_p99}});
+      json.Row({{"outstanding", outstanding}, {"threads", threads},
+                {"system", "erpc"}, {"mops", ud.mops}, {"get_p50_ns", ud.get_p50},
+                {"get_p99_ns", ud.get_p99}, {"scan_p50_ns", ud.scan_p50},
+                {"scan_p99_ns", ud.scan_p99}});
       std::fflush(stdout);
     }
   }

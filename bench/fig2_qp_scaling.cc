@@ -111,6 +111,7 @@ double RunRcReadPoint(int total_qps, Nanos warmup, Nanos measure, double* miss_r
 int main(int argc, char** argv) {
   using namespace flock::bench;
   Flags flags(argc, argv);
+  JsonDump json(flags, "fig2_qp_scaling");
   const flock::Nanos warmup = flags.Int("warmup_ms", 1) * flock::kMillisecond;
   const flock::Nanos measure = flags.Int("measure_ms", 3) * flock::kMillisecond;
 
@@ -121,6 +122,7 @@ int main(int argc, char** argv) {
     const double mops = RunRcReadPoint(qps, warmup, measure, &miss);
     std::printf("%8d %12.1f %12.1f\n", qps, mops, miss * 100.0);
     std::printf("CSV,fig2a,%d,%.2f,%.3f\n", qps, mops, miss);
+    json.Row({{"figure", "2a"}, {"qps", qps}, {"mops", mops}, {"miss_ratio", miss}});
   }
 
   PrintBanner("Figure 2(b): UD RPC throughput vs #senders, 22 clients, 16B");
@@ -141,6 +143,11 @@ int main(int argc, char** argv) {
                 result.server_cpu * 100.0, static_cast<unsigned long>(result.timeouts));
     std::printf("CSV,fig2b,%d,%.2f,%.3f,%lu\n", senders, result.mops, result.server_cpu,
                 static_cast<unsigned long>(result.timeouts));
+    json.Row({{"figure", "2b"},
+              {"senders", senders},
+              {"mops", result.mops},
+              {"server_cpu", result.server_cpu},
+              {"timeouts", result.timeouts}});
   }
   return 0;
 }

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace flock::bench;
   Flags flags(argc, argv);
+  JsonDump json(flags, "fig6_flock_vs_erpc");
   const flock::Nanos warmup = flags.Int("warmup_ms", 2) * flock::kMillisecond;
   const flock::Nanos measure = flags.Int("measure_ms", 3) * flock::kMillisecond;
   const uint32_t max_aqp = static_cast<uint32_t>(flags.Int("max_aqp", 256));
@@ -55,6 +56,22 @@ int main(int argc, char** argv) {
                   threads, ud.mops, static_cast<long>(ud.p50_ns),
                   static_cast<long>(ud.p99_ns), ud.server_cpu,
                   static_cast<unsigned long>(ud.timeouts));
+      json.Row({{"outstanding", outstanding},
+                {"threads", threads},
+                {"system", "flock"},
+                {"mops", fl.mops},
+                {"p50_ns", fl.p50_ns},
+                {"p99_ns", fl.p99_ns},
+                {"coalescing", fl.coalescing},
+                {"active_qps", fl.active_qps}});
+      json.Row({{"outstanding", outstanding},
+                {"threads", threads},
+                {"system", "erpc"},
+                {"mops", ud.mops},
+                {"p50_ns", ud.p50_ns},
+                {"p99_ns", ud.p99_ns},
+                {"server_cpu", ud.server_cpu},
+                {"timeouts", ud.timeouts}});
       std::fflush(stdout);
     }
   }

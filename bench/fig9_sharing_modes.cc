@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace flock::bench;
   Flags flags(argc, argv);
+  JsonDump json(flags, "fig9_sharing_modes");
   const flock::Nanos warmup = flags.Int("warmup_ms", 2) * flock::kMillisecond;
   const flock::Nanos measure = flags.Int("measure_ms", 3) * flock::kMillisecond;
 
@@ -51,6 +52,13 @@ int main(int argc, char** argv) {
     std::printf("CSV,fig9,%d,%.2f,%.2f,%.2f,%.2f,%ld,%ld\n", threads, fl.mops,
                 none.mops, farm2.mops, farm4.mops, static_cast<long>(fl.p99_ns),
                 static_cast<long>(none.p99_ns));
+    json.Row({{"threads", threads},
+              {"flock_mops", fl.mops},
+              {"no_sharing_mops", none.mops},
+              {"farm2_mops", farm2.mops},
+              {"farm4_mops", farm4.mops},
+              {"flock_p99_ns", fl.p99_ns},
+              {"no_sharing_p99_ns", none.p99_ns}});
     std::fflush(stdout);
   }
   return 0;

@@ -1,0 +1,144 @@
+// Wall-clock performance smoke test for the simulation kernel itself.
+//
+// Every figure reproduction is bottlenecked by how fast the discrete-event
+// kernel and the Flock hot path run on the *host* CPU, not by simulated
+// fidelity. This bench drives a fixed fan-in echo workload (several client
+// nodes closed-loop against one server) for a fixed span of simulated time
+// and reports host-side throughput: simulator events per wall-clock second,
+// completed RPCs per wall-clock second, and peak RSS. Results are written to
+// BENCH_perf_smoke.json (override with --json=<path>) so successive PRs have
+// a perf trajectory to compare against.
+//
+// Usage:
+//   perf_smoke [--clients=4] [--threads=8] [--payload=64] [--sim-ms=20]
+//              [--repeats=3] [--json=BENCH_perf_smoke.json]
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/flock/flock.h"
+
+namespace flock::bench {
+namespace {
+
+struct SmokeResult {
+  double wall_s = 0;
+  uint64_t events = 0;
+  uint64_t rpcs = 0;
+  double events_per_s = 0;
+  double rpcs_per_s = 0;
+  double sim_mops = 0;  // simulated throughput, for fidelity cross-checks
+};
+
+sim::Proc EchoWorker(Connection* conn, FlockThread* thread, uint32_t payload_bytes,
+                     uint64_t* done) {
+  std::vector<uint8_t> payload(payload_bytes, 0x5a);
+  std::vector<uint8_t> resp;
+  for (;;) {
+    co_await conn->Call(*thread, 1, payload.data(), payload_bytes, &resp);
+    (*done)++;
+  }
+}
+
+SmokeResult RunSmoke(int clients, int threads_per_client, uint32_t payload_bytes,
+                     Nanos sim_span) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 1 + clients,
+                                                .cores_per_node = 34});
+  FlockConfig config;
+  FlockRuntime server(cluster, 0, config);
+  server.RegisterHandler(1, [](const uint8_t* req, uint32_t req_len, uint8_t* resp,
+                               uint32_t, Nanos* cpu) -> uint32_t {
+    *cpu = 50;
+    std::memcpy(resp, req, req_len);
+    return req_len;
+  });
+  server.StartServer(4);
+
+  std::vector<std::unique_ptr<FlockRuntime>> client_rts;
+  uint64_t done = 0;
+  for (int c = 0; c < clients; ++c) {
+    auto rt = std::make_unique<FlockRuntime>(cluster, 1 + c, config);
+    rt->StartClient();
+    Connection* conn = rt->Connect(server, static_cast<uint32_t>(threads_per_client));
+    for (int t = 0; t < threads_per_client; ++t) {
+      cluster.sim().Spawn(
+          EchoWorker(conn, rt->CreateThread(t), payload_bytes, &done));
+    }
+    client_rts.push_back(std::move(rt));
+  }
+
+  // Warm up (fills pools, rings, and scheduler state), then measure.
+  cluster.sim().RunFor(sim_span / 4);
+  const uint64_t events_before = cluster.sim().events_processed();
+  const uint64_t done_before = done;
+  const auto start = std::chrono::steady_clock::now();
+  cluster.sim().RunFor(sim_span);
+  const auto stop = std::chrono::steady_clock::now();
+
+  SmokeResult r;
+  r.wall_s = std::chrono::duration<double>(stop - start).count();
+  r.events = cluster.sim().events_processed() - events_before;
+  r.rpcs = done - done_before;
+  r.events_per_s = static_cast<double>(r.events) / r.wall_s;
+  r.rpcs_per_s = static_cast<double>(r.rpcs) / r.wall_s;
+  r.sim_mops = static_cast<double>(r.rpcs) / static_cast<double>(sim_span) * 1e3;
+  return r;
+}
+
+int64_t PeakRssKb() {
+  struct rusage usage = {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int clients = static_cast<int>(flags.Int("clients", 4));
+  const int threads = static_cast<int>(flags.Int("threads", 8));
+  const uint32_t payload = static_cast<uint32_t>(flags.Int("payload", 64));
+  const Nanos sim_span = flags.Int("sim-ms", 20) * kMillisecond;
+  const int repeats = static_cast<int>(flags.Int("repeats", 3));
+  JsonDump json(flags.Str("json", "BENCH_perf_smoke.json"), "perf_smoke");
+
+  PrintBanner("perf_smoke: wall-clock kernel throughput");
+  std::printf("%-8s %12s %12s %12s %10s %10s\n", "run", "events/s", "rpcs/s",
+              "events", "sim Mops", "wall ms");
+
+  SmokeResult best;
+  for (int i = 0; i < repeats; ++i) {
+    const SmokeResult r = RunSmoke(clients, threads, payload, sim_span);
+    std::printf("%-8d %12.0f %12.0f %12lu %10.2f %10.1f\n", i, r.events_per_s,
+                r.rpcs_per_s, static_cast<unsigned long>(r.events), r.sim_mops,
+                r.wall_s * 1e3);
+    std::printf("CSV,perf_smoke,%d,%.0f,%.0f,%lu,%.2f\n", i, r.events_per_s,
+                r.rpcs_per_s, static_cast<unsigned long>(r.events), r.sim_mops);
+    if (r.events_per_s > best.events_per_s) {
+      best = r;
+    }
+  }
+  const int64_t rss_kb = PeakRssKb();
+  std::printf("best: %.0f events/s, %.0f rpcs/s, peak RSS %ld KB\n",
+              best.events_per_s, best.rpcs_per_s, static_cast<long>(rss_kb));
+
+  json.Row({{"clients", clients},
+            {"threads_per_client", threads},
+            {"payload_bytes", payload},
+            {"sim_ms", static_cast<int64_t>(sim_span / kMillisecond)},
+            {"events_per_sec", best.events_per_s},
+            {"rpcs_per_sec", best.rpcs_per_s},
+            {"events", best.events},
+            {"rpcs", best.rpcs},
+            {"sim_mops", best.sim_mops},
+            {"wall_s", best.wall_s},
+            {"peak_rss_kb", rss_kb}});
+  return 0;
+}
+
+}  // namespace
+}  // namespace flock::bench
+
+int main(int argc, char** argv) { return flock::bench::Main(argc, argv); }

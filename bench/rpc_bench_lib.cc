@@ -69,7 +69,7 @@ sim::Proc FlockWorker(verbs::Cluster& cluster, Connection* conn, FlockThread* th
         shared->completed += 1;
         shared->latency.Record(rpc->completed_at - rpc->submitted_at);
       }
-      delete rpc;
+      conn->FreeRpc(rpc);
     }
   }
 }

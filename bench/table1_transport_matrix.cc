@@ -9,9 +9,11 @@
 #include "bench/bench_util.h"
 #include "src/verbs/device.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flock;
   using namespace flock::verbs;
+  bench::Flags flags(argc, argv);
+  bench::JsonDump json(flags, "table1_transport_matrix");
   bench::PrintBanner("Table 1: verbs / MTU capability matrix per transport");
 
   Cluster cluster(Cluster::Config{.num_nodes = 2});
@@ -70,6 +72,12 @@ int main() {
                 can_send ? "yes" : "no", big_payload ? "yes (2GB)" : "no (4KB)");
     std::printf("CSV,table1,%s,%d,%d,%d,%d,%d\n", row.name, can_read, can_atomic,
                 can_write, can_send, big_payload);
+    json.Row({{"transport", row.name},
+              {"read", can_read},
+              {"atomic", can_atomic},
+              {"write", can_write},
+              {"send_recv", can_send},
+              {"large_payload", big_payload}});
   }
   std::printf(
       "\nRC retransmits in hardware; UC/UD leave loss to software, and UD\n"

@@ -14,13 +14,16 @@
 
 namespace flock {
 
-// Exact median over a sliding window of the last kWindow samples.
+// Exact median over a sliding window of the last kWindow samples. The median
+// is computed lazily and cached: schedulers query far more often than the
+// window changes, so repeated Median() calls between Record()s are one load.
 template <typename T, size_t kWindow = 64>
 class WindowedMedian {
  public:
   void Record(T value) {
     window_[next_ % kWindow] = value;
     ++next_;
+    cache_valid_ = false;
   }
 
   size_t count() const { return next_ < kWindow ? next_ : kWindow; }
@@ -32,18 +35,27 @@ class WindowedMedian {
     if (n == 0) {
       return fallback;
     }
-    std::array<T, kWindow> scratch;
-    std::copy(window_.begin(), window_.begin() + n, scratch.begin());
-    auto mid = scratch.begin() + n / 2;
-    std::nth_element(scratch.begin(), mid, scratch.begin() + n);
-    return *mid;
+    if (!cache_valid_) {
+      std::array<T, kWindow> scratch;
+      std::copy(window_.begin(), window_.begin() + n, scratch.begin());
+      auto mid = scratch.begin() + n / 2;
+      std::nth_element(scratch.begin(), mid, scratch.begin() + n);
+      cached_median_ = *mid;
+      cache_valid_ = true;
+    }
+    return cached_median_;
   }
 
-  void Reset() { next_ = 0; }
+  void Reset() {
+    next_ = 0;
+    cache_valid_ = false;
+  }
 
  private:
   std::array<T, kWindow> window_{};
   size_t next_ = 0;
+  mutable T cached_median_{};
+  mutable bool cache_valid_ = false;
 };
 
 // Monotonic counters with interval snapshots: Delta() returns the growth since

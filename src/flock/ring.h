@@ -110,14 +110,17 @@ class RingConsumer {
   wire::ProbeResult Probe(wire::MsgHeader* header) {
     while (true) {
       const uint8_t* at = base_ + head_;
-      wire::MsgHeader h;
-      std::memcpy(&h, at, wire::kHeaderBytes);
-      if (h.total_len == 0) {
+      // Fast path: the poll loops hit an empty head slot almost every pass,
+      // so peek at the length word before copying the whole header.
+      uint32_t total_len;
+      std::memcpy(&total_len, at, sizeof(total_len));
+      if (total_len == 0) {
         return wire::ProbeResult::kEmpty;
       }
-      if (h.total_len % wire::kAlign != 0 || h.total_len > size_ - head_) {
+      if (total_len % wire::kAlign != 0 || total_len > size_ - head_) {
         return wire::ProbeResult::kIncomplete;
       }
+      wire::MsgHeader h;
       const wire::ProbeResult result = wire::ProbeMessage(at, &h);
       if (result == wire::ProbeResult::kWrap) {
         std::memset(base_ + head_, 0, wire::kWrapMarkerBytes);

@@ -12,14 +12,6 @@ using internal::SenderState;
 using internal::ServerLane;
 using internal::WrTag;
 
-namespace {
-
-uint64_t PendingKey(uint16_t thread_id, uint32_t seq) {
-  return (uint64_t{thread_id} << 32) | seq;
-}
-
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // FlockRuntime: construction and roles
 // ---------------------------------------------------------------------------
@@ -34,9 +26,9 @@ FlockRuntime::FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig&
 FlockRuntime::~FlockRuntime() = default;
 
 void FlockRuntime::RegisterHandler(uint16_t rpc_id, RpcHandler handler) {
-  FLOCK_CHECK(handlers_.find(rpc_id) == handlers_.end())
+  FLOCK_CHECK(FindHandler(rpc_id) == nullptr)
       << "duplicate handler for rpc " << rpc_id;
-  handlers_[rpc_id] = std::move(handler);
+  handlers_.emplace_back(rpc_id, std::move(handler));
 }
 
 void FlockRuntime::StartServer(int dispatcher_cores) {
@@ -152,18 +144,22 @@ Connection* FlockRuntime::Connect(FlockRuntime& server, uint32_t lanes) {
 
     // Out-of-band head slot (server-side) + its client-local write source.
     sl->head_slot_addr = smem.Alloc(8, 8);
+    sl->head_slot_ptr = smem.At(sl->head_slot_addr);
     verbs::Mr slot_mr =
         server.cluster_.device(server.node_).RegisterMr(sl->head_slot_addr, 8);
     cl->head_slot_remote_addr = sl->head_slot_addr;
     cl->head_slot_rkey = slot_mr.rkey;
     cl->head_src_addr = cmem.Alloc(8, 8);
+    cl->head_src_ptr = cmem.At(cl->head_src_addr);
 
     // Control slot (client-side) the server's QP scheduler writes into.
     cl->ctrl_slot_addr = cmem.Alloc(8, 8);
+    cl->ctrl_slot_ptr = cmem.At(cl->ctrl_slot_addr);
     verbs::Mr ctrl_mr = cluster_.device(node_).RegisterMr(cl->ctrl_slot_addr, 8);
     sl->ctrl_slot_remote_addr = cl->ctrl_slot_addr;
     sl->ctrl_slot_rkey = ctrl_mr.rkey;
     sl->ctrl_src_addr = smem.Alloc(8, 8);
+    sl->ctrl_src_ptr = smem.At(sl->ctrl_src_addr);
 
     // Response ring lives on the client; the server keeps a staging mirror.
     cl->resp_ring_addr = cmem.Alloc(ring_bytes);
@@ -289,20 +285,23 @@ sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
 
   ClientLane& lane = LaneFor(thread);
 
-  auto* rpc = new PendingRpc(client_->sim());
+  PendingRpc* rpc = client_->rpc_pool_.New();
   rpc->rpc_id = rpc_id;
   rpc->seq = thread.NextSeq();
   rpc->thread_id = thread.id();
   rpc->submitted_at = client_->sim().Now();
-  pending_[PendingKey(rpc->thread_id, rpc->seq)] = rpc;
+  if (pending_.size() <= thread.id()) {
+    pending_.resize(size_t{thread.id()} + 1);
+  }
+  pending_[thread.id()].Insert(rpc->seq, rpc);
 
-  auto ps = std::make_unique<PendingSend>();
+  PendingSend* ps = client_->send_pool_.New();
   ps->meta.data_len = len;
   ps->meta.thread_id = thread.id();
   ps->meta.rpc_id = rpc_id;
   ps->meta.seq = rpc->seq;
   ps->owner_core = &thread.core();
-  ps->data.assign(data, data + len);
+  ps->data.Assign(data, len);
 
   thread.outstanding += 1;
   lane.inflight += 1;
@@ -313,8 +312,13 @@ sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
   // TCQ enqueue: one atomic swap + a cacheline transfer makes the request
   // visible to the (current or future) leader...
   co_await thread.core().Work(cost.cpu_atomic_rmw + cost.cpu_cacheline_transfer);
-  PendingSend* handle = ps.get();
-  lane.combine_queue.push_back(std::move(ps));
+  PendingSend* handle = ps;
+  if (lane.combine_tail != nullptr) {
+    lane.combine_tail->next = ps;
+  } else {
+    lane.combine_head = ps;
+  }
+  lane.combine_tail = ps;
   if (!lane.pump_running) {
     lane.pump_running = true;
     client_->sim().Spawn(Pump(lane));
@@ -335,13 +339,13 @@ sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
 }
 
 sim::Co<bool> Connection::AwaitResponse(FlockThread& thread, PendingRpc* rpc) {
-  if (!rpc->done) {
-    co_await rpc->cond.Wait();
-  }
-  FLOCK_CHECK(rpc->done);
+  co_await rpc->done_event.Wait();
+  FLOCK_CHECK(rpc->done());
   co_await thread.core().Work(client_->cost().cpu_cqe_handle);
   co_return rpc->ok;
 }
+
+void Connection::FreeRpc(PendingRpc* rpc) { client_->rpc_pool_.Delete(rpc); }
 
 sim::Co<bool> Connection::Call(FlockThread& thread, uint16_t rpc_id,
                                const uint8_t* data, uint32_t len,
@@ -349,13 +353,14 @@ sim::Co<bool> Connection::Call(FlockThread& thread, uint16_t rpc_id,
   PendingRpc* rpc = co_await SendRpc(thread, rpc_id, data, len);
   const bool ok = co_await AwaitResponse(thread, rpc);
   if (ok && response != nullptr) {
-    *response = std::move(rpc->response);
+    rpc->response.CopyTo(response);
   }
-  delete rpc;
+  FreeRpc(rpc);
   co_return ok;
 }
 
-void Connection::MaybeRenewCredits(ClientLane& lane, std::vector<verbs::SendWr>& wrs) {
+void Connection::MaybeRenewCredits(ClientLane& lane, verbs::SendWr* wrs,
+                                   size_t* nwrs) {
   const FlockConfig& config = client_->config();
   if (!lane.active || lane.renew_in_flight ||
       lane.credits > config.credit_renew_threshold) {
@@ -375,7 +380,7 @@ void Connection::MaybeRenewCredits(ClientLane& lane, std::vector<verbs::SendWr>&
       std::min<uint32_t>(lane.coalesce_degree.Median(1), 0xffff);
   wr.imm = internal::PackCtrl(CtrlType::kRenewRequest, lane.index,
                               std::max<uint32_t>(degree, 1));
-  wrs.push_back(wr);
+  wrs[(*nwrs)++] = wr;
   lane.renew_in_flight = true;
 }
 
@@ -384,39 +389,43 @@ sim::Proc Connection::Pump(ClientLane& lane) {
   const sim::CostModel& cost = client_->cost();
   sim::Simulator& sim = client_->sim();
 
-  while (!lane.combine_queue.empty()) {
-    // Collect the leader's batch: bounded combining (§4.2).
+  while (lane.combine_head != nullptr) {
+    // Collect the leader's batch: bounded combining (§4.2). The batch is an
+    // intrusive list spliced off the front of the lane's combining queue.
     const size_t bound = config.coalescing ? config.max_coalesce : 1;
-    std::vector<std::unique_ptr<PendingSend>> batch;
+    PendingSend* batch_head = nullptr;
+    PendingSend* batch_tail = nullptr;
+    size_t batch_n = 0;
     uint32_t data_bytes = 0;
-    while (batch.size() < bound && !lane.combine_queue.empty()) {
-      // Respect the encoder's capacity for pathological payload mixes.
-      const uint32_t next_len = lane.combine_queue.front()->meta.data_len;
-      if (!batch.empty() &&
-          wire::MessageBytes(static_cast<uint32_t>(batch.size()) + 1,
-                             data_bytes + next_len) > config.ring_bytes / 2) {
-        break;
-      }
-      data_bytes += next_len;
-      batch.push_back(std::move(lane.combine_queue.front()));
-      lane.combine_queue.pop_front();
-    }
-    // Leader polls the copy-completion flags; followers that enqueued while
-    // it waited are admitted up to the bound (the leader-progress rule).
+    // Admits queued requests up to the bound; followers that enqueue while
+    // the leader waits are admitted too (the leader-progress rule). The
+    // encoder-capacity check guards pathological payload mixes.
     auto admit = [&]() {
-      while (batch.size() < bound && !lane.combine_queue.empty()) {
-        const uint32_t next_len = lane.combine_queue.front()->meta.data_len;
-        if (wire::MessageBytes(static_cast<uint32_t>(batch.size()) + 1,
+      while (batch_n < bound && lane.combine_head != nullptr) {
+        PendingSend* ps = lane.combine_head;
+        const uint32_t next_len = ps->meta.data_len;
+        if (batch_n > 0 &&
+            wire::MessageBytes(static_cast<uint32_t>(batch_n) + 1,
                                data_bytes + next_len) > config.ring_bytes / 2) {
           break;
         }
+        lane.combine_head = ps->next;
+        if (lane.combine_head == nullptr) {
+          lane.combine_tail = nullptr;
+        }
+        ps->next = nullptr;
         data_bytes += next_len;
-        batch.push_back(std::move(lane.combine_queue.front()));
-        lane.combine_queue.pop_front();
+        if (batch_tail != nullptr) {
+          batch_tail->next = ps;
+        } else {
+          batch_head = ps;
+        }
+        batch_tail = ps;
+        ++batch_n;
       }
     };
     auto all_copied = [&]() {
-      for (const auto& ps : batch) {
+      for (const PendingSend* ps = batch_head; ps != nullptr; ps = ps->next) {
         if (!ps->copied) {
           return false;
         }
@@ -431,7 +440,7 @@ sim::Proc Connection::Pump(ClientLane& lane) {
       co_await lane.copy_done->Wait();
     }
 
-    sim::Core& core = *batch[0]->owner_core;
+    sim::Core& core = *batch_head->owner_core;
     // Leader overhead before finalizing: buffer management and flag polls.
     // Followers arriving during this window are still admitted below.
     co_await core.Work(cost.cpu_msg_fixed);
@@ -443,7 +452,7 @@ sim::Proc Connection::Pump(ClientLane& lane) {
       co_await lane.copy_done->Wait();
     }
 
-    uint32_t n = static_cast<uint32_t>(batch.size());
+    uint32_t n = static_cast<uint32_t>(batch_n);
     uint32_t msg_len = wire::MessageBytes(n, data_bytes);
 
     // Wait for a credit and contiguous ring space.
@@ -460,16 +469,30 @@ sim::Proc Connection::Pump(ClientLane& lane) {
           }
         }
         if (target != nullptr && target != &lane) {
-          for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
-            lane.combine_queue.push_front(std::move(*it));
+          // Put the batch back in front of the remaining queue, then splice
+          // the whole queue onto the target lane.
+          if (batch_tail != nullptr) {
+            batch_tail->next = lane.combine_head;
+            lane.combine_head = batch_head;
+            if (lane.combine_tail == nullptr) {
+              lane.combine_tail = batch_tail;
+            }
           }
-          while (!lane.combine_queue.empty()) {
-            target->combine_queue.push_back(std::move(lane.combine_queue.front()));
-            lane.combine_queue.pop_front();
-            target->inflight += 1;
-            FLOCK_CHECK_GT(lane.inflight, 0u);
-            lane.inflight -= 1;
+          size_t moved = 0;
+          for (PendingSend* ps = lane.combine_head; ps != nullptr; ps = ps->next) {
+            ++moved;
           }
+          if (target->combine_tail != nullptr) {
+            target->combine_tail->next = lane.combine_head;
+          } else {
+            target->combine_head = lane.combine_head;
+          }
+          target->combine_tail = lane.combine_tail;
+          lane.combine_head = nullptr;
+          lane.combine_tail = nullptr;
+          target->inflight += moved;
+          FLOCK_CHECK_GE(lane.inflight, moved);
+          lane.inflight -= moved;
           if (!target->pump_running) {
             target->pump_running = true;
             sim.Spawn(Pump(*target));
@@ -490,7 +513,7 @@ sim::Proc Connection::Pump(ClientLane& lane) {
       while (!all_copied()) {
         co_await lane.copy_done->Wait();
       }
-      n = static_cast<uint32_t>(batch.size());
+      n = static_cast<uint32_t>(batch_n);
       msg_len = wire::MessageBytes(n, data_bytes);
     }
     lane.credits -= 1;
@@ -501,7 +524,7 @@ sim::Proc Connection::Pump(ClientLane& lane) {
 
     const uint64_t canary = SplitMix64(client_->rng_state_);
     wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
-    for (const auto& ps : batch) {
+    for (const PendingSend* ps = batch_head; ps != nullptr; ps = ps->next) {
       encoder.Add(ps->meta, ps->data.data());
     }
     const uint32_t total =
@@ -511,7 +534,8 @@ sim::Proc Connection::Pump(ClientLane& lane) {
 
     // Post the coalesced message (plus wrap marker / credit renewal if due)
     // with a single doorbell.
-    std::vector<verbs::SendWr> wrs;
+    verbs::SendWr wrs[3];
+    size_t nwrs = 0;
     if (resv.wrapped) {
       wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
       verbs::SendWr marker;
@@ -522,7 +546,7 @@ sim::Proc Connection::Pump(ClientLane& lane) {
       marker.remote_addr = lane.remote_ring_addr + resv.marker_offset;
       marker.rkey = lane.remote_ring_rkey;
       marker.signaled = false;
-      wrs.push_back(marker);
+      wrs[nwrs++] = marker;
     }
     verbs::SendWr msg;
     msg.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
@@ -533,13 +557,12 @@ sim::Proc Connection::Pump(ClientLane& lane) {
     msg.rkey = lane.remote_ring_rkey;
     lane.posts += 1;
     msg.signaled = (lane.posts % config.signal_interval) == 0;  // §7
-    wrs.push_back(msg);
-    MaybeRenewCredits(lane, wrs);
+    wrs[nwrs++] = msg;
+    MaybeRenewCredits(lane, wrs, &nwrs);
 
-    co_await core.Work(static_cast<Nanos>(wrs.size()) * cost.cpu_wqe_prep +
+    co_await core.Work(static_cast<Nanos>(nwrs) * cost.cpu_wqe_prep +
                        cost.cpu_mmio_doorbell);
-    const verbs::WcStatus status =
-        lane.qp->PostSendBatch(wrs.data(), wrs.size());
+    const verbs::WcStatus status = lane.qp->PostSendBatch(wrs, nwrs);
     FLOCK_CHECK(status == verbs::WcStatus::kSuccess)
         << "post failed: " << verbs::WcStatusName(status);
 
@@ -547,10 +570,13 @@ sim::Proc Connection::Pump(ClientLane& lane) {
     lane.requests_sent += n;
     lane.coalesce_degree.Record(n);
     lane.batch_histogram[n < 33 ? n : 32] += 1;
-    for (const auto& ps : batch) {
+    for (PendingSend* ps = batch_head; ps != nullptr;) {
+      PendingSend* next = ps->next;
       if (ps->sent_flag != nullptr) {
         *ps->sent_flag = true;
       }
+      client_->send_pool_.Delete(ps);
+      ps = next;
     }
     lane.sent_cond->NotifyAll();
   }
@@ -572,7 +598,7 @@ sim::Co<verbs::WcStatus> Connection::SubmitMemOp(FlockThread& thread,
   const sim::CostModel& cost = client_->cost();
   ClientLane& lane = LaneFor(thread);
 
-  PendingMemOp op(client_->sim());
+  PendingMemOp op;
   op.wr = wr;
   op.wr.wr_id = internal::TagWrId(WrTag::kMemOp, &op);
   op.wr.signaled = true;  // each thread waits on its own completion event
@@ -583,14 +609,17 @@ sim::Co<verbs::WcStatus> Connection::SubmitMemOp(FlockThread& thread,
   // leader, which links the batch (§6).
   co_await thread.core().Work(cost.cpu_atomic_rmw + cost.cpu_cacheline_transfer +
                               cost.cpu_wqe_prep);
-  lane.memop_queue.push_back(&op);
+  if (lane.memop_tail != nullptr) {
+    lane.memop_tail->next = &op;
+  } else {
+    lane.memop_head = &op;
+  }
+  lane.memop_tail = &op;
   if (!lane.mem_pump_running) {
     lane.mem_pump_running = true;
     client_->sim().Spawn(MemPump(lane));
   }
-  if (!op.done) {
-    co_await op.cond.Wait();
-  }
+  co_await op.done_event.Wait();
   thread.outstanding -= 1;
   co_return op.status;
 }
@@ -598,27 +627,40 @@ sim::Co<verbs::WcStatus> Connection::SubmitMemOp(FlockThread& thread,
 sim::Proc Connection::MemPump(ClientLane& lane) {
   const FlockConfig& config = client_->config();
   const sim::CostModel& cost = client_->cost();
-  while (!lane.memop_queue.empty()) {
-    std::vector<PendingMemOp*> batch;
+  while (lane.memop_head != nullptr) {
+    // Splice up to `bound` ops off the queue into an intrusive batch.
     const size_t bound = config.coalescing ? config.max_coalesce : 1;
-    while (batch.size() < bound && !lane.memop_queue.empty()) {
-      batch.push_back(lane.memop_queue.front());
-      lane.memop_queue.pop_front();
+    PendingMemOp* batch_head = nullptr;
+    PendingMemOp* batch_tail = nullptr;
+    size_t batch_n = 0;
+    while (batch_n < bound && lane.memop_head != nullptr) {
+      PendingMemOp* op = lane.memop_head;
+      lane.memop_head = op->next;
+      if (lane.memop_head == nullptr) {
+        lane.memop_tail = nullptr;
+      }
+      op->next = nullptr;
+      if (batch_tail != nullptr) {
+        batch_tail->next = op;
+      } else {
+        batch_head = op;
+      }
+      batch_tail = op;
+      ++batch_n;
     }
-    sim::Core& core = *batch[0]->owner_core;
+    sim::Core& core = *batch_head->owner_core;
     // The leader links the WRs and rings one doorbell for the whole chain.
     co_await core.Work(cost.cpu_mmio_doorbell +
-                       static_cast<Nanos>(batch.size()) * (cost.cpu_atomic_rmw / 2));
-    for (PendingMemOp* op : batch) {
+                       static_cast<Nanos>(batch_n) * (cost.cpu_atomic_rmw / 2));
+    for (PendingMemOp* op = batch_head; op != nullptr; op = op->next) {
       const verbs::WcStatus status = lane.qp->PostSend(op->wr);
       if (status != verbs::WcStatus::kSuccess) {
         op->status = status;
-        op->done = true;
-        op->cond.NotifyAll();
+        op->done_event.Fire(client_->sim());
       }
     }
     // QP contention indicator for receiver-side scheduling (§6).
-    lane.coalesce_degree.Record(static_cast<uint32_t>(batch.size()));
+    lane.coalesce_degree.Record(static_cast<uint32_t>(batch_n));
   }
   lane.mem_pump_running = false;
 }
@@ -758,7 +800,7 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
 
   // Freshen the response-ring view from the client's out-of-band head slot.
   uint32_t slot_value = 0;
-  cluster_.mem(node_).Read(lane.head_slot_addr, &slot_value, 4);
+  std::memcpy(&slot_value, lane.head_slot_ptr, 4);
   lane.resp_producer.OnHeadUpdate(slot_value);
 
   // Gather phase: drain consecutive complete messages from this lane's ring
@@ -779,11 +821,11 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
     work += cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
     for (uint32_t i = 0; i < n; ++i) {
       const wire::ReqView& req = scratch.views[i];
-      auto it = handlers_.find(req.meta.rpc_id);
-      FLOCK_CHECK(it != handlers_.end()) << "no handler for rpc " << req.meta.rpc_id;
+      const RpcHandler* handler = FindHandler(req.meta.rpc_id);
+      FLOCK_CHECK(handler != nullptr) << "no handler for rpc " << req.meta.rpc_id;
       Nanos handler_cpu = 0;
       const uint32_t resp_len =
-          it->second(req.data, req.meta.data_len, scratch.data.data() + offset,
+          (*handler)(req.data, req.meta.data_len, scratch.data.data() + offset,
                      config_.max_payload, &handler_cpu);
       FLOCK_CHECK_LE(resp_len, config_.max_payload);
       work += handler_cpu + cost.cpu_msg_per_req;
@@ -825,7 +867,7 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
   RingProducer::Reservation resv;
   while (!lane.resp_producer.Reserve(msg_len, &resv)) {
     co_await sim::Delay(cluster_.sim(), kMicrosecond);
-    cluster_.mem(node_).Read(lane.head_slot_addr, &slot_value, 4);
+    std::memcpy(&slot_value, lane.head_slot_ptr, 4);
     lane.resp_producer.OnHeadUpdate(slot_value);
   }
 
@@ -843,7 +885,8 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
                      static_cast<Nanos>(total_reqs) * cost.cpu_msg_per_req +
                      cost.MemcpyCost(resp_bytes));
 
-  std::vector<verbs::SendWr> wrs;
+  verbs::SendWr wrs[2];
+  size_t nwrs = 0;
   if (resv.wrapped) {
     wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
     verbs::SendWr marker;
@@ -854,7 +897,7 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
     marker.remote_addr = lane.remote_ring_addr + resv.marker_offset;
     marker.rkey = lane.remote_ring_rkey;
     marker.signaled = false;
-    wrs.push_back(marker);
+    wrs[nwrs++] = marker;
   }
   verbs::SendWr msg;
   msg.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
@@ -865,11 +908,11 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
   msg.rkey = lane.remote_ring_rkey;
   lane.posts += 1;
   msg.signaled = (lane.posts % config_.signal_interval) == 0;
-  wrs.push_back(msg);
+  wrs[nwrs++] = msg;
 
-  co_await core.Work(static_cast<Nanos>(wrs.size()) * cost.cpu_wqe_prep +
+  co_await core.Work(static_cast<Nanos>(nwrs) * cost.cpu_wqe_prep +
                      cost.cpu_mmio_doorbell);
-  const verbs::WcStatus status = lane.qp->PostSendBatch(wrs.data(), wrs.size());
+  const verbs::WcStatus status = lane.qp->PostSendBatch(wrs, nwrs);
   FLOCK_CHECK(status == verbs::WcStatus::kSuccess);
   server_stats_.responses_sent += 1;
 }
@@ -914,8 +957,7 @@ sim::Proc FlockRuntime::QpScheduler() {
       if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
         auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
         op->status = wc.status;
-        op->done = true;
-        op->cond.NotifyAll();
+        op->done_event.Fire(cluster_.sim());
       }
     }
 
@@ -932,7 +974,7 @@ void FlockRuntime::WriteCtrlSlot(ServerLane& lane) {
   internal::CtrlSlot slot;
   slot.grant_cumulative = lane.grant_cumulative;
   slot.active = lane.active ? 1 : 0;
-  cluster_.mem(node_).Write(lane.ctrl_src_addr, &slot, sizeof(slot));
+  std::memcpy(lane.ctrl_src_ptr, &slot, sizeof(slot));
   verbs::SendWr wr;
   wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
   wr.opcode = verbs::Opcode::kWrite;
@@ -1002,14 +1044,21 @@ void FlockRuntime::Redistribute() {
 
     // Keep the most utilized lanes active; prefer the currently-active ones
     // on near-ties so the set membership is stable interval to interval.
-    std::vector<ServerLane*> order = sender.lanes;
-    std::stable_sort(order.begin(), order.end(),
-                     [](const ServerLane* a, const ServerLane* b) {
-                       if (a->active != b->active) {
-                         return a->active > b->active;
-                       }
-                       return a->utilization > b->utilization;
-                     });
+    std::vector<ServerLane*>& order = redistribute_order_;
+    order.assign(sender.lanes.begin(), sender.lanes.end());
+    // Plain sort with an index tie-break (sender.lanes is in index order), so
+    // the result matches a stable sort without stable_sort's temp-buffer
+    // allocation on every scheduling interval.
+    std::sort(order.begin(), order.end(),
+              [](const ServerLane* a, const ServerLane* b) {
+                if (a->active != b->active) {
+                  return a->active > b->active;
+                }
+                if (a->utilization != b->utilization) {
+                  return a->utilization > b->utilization;
+                }
+                return a->index < b->index;
+              });
     for (uint32_t i = 0; i < order.size(); ++i) {
       ServerLane& lane = *order[i];
       const bool want_active = i < target;
@@ -1036,8 +1085,10 @@ void FlockRuntime::Redistribute() {
 // ---------------------------------------------------------------------------
 
 void FlockRuntime::ApplyCtrlSlot(ClientLane& lane) {
+  // Polled every dispatcher pass: read through the cached pointer rather than
+  // the bounds-checked chunked MemorySpace path.
   internal::CtrlSlot slot;
-  cluster_.mem(node_).Read(lane.ctrl_slot_addr, &slot, sizeof(slot));
+  std::memcpy(&slot, lane.ctrl_slot_ptr, sizeof(slot));
   bool changed = false;
   const uint32_t delta = slot.grant_cumulative - lane.grants_seen;
   if (delta != 0 && delta < (1u << 24)) {  // ignore torn/stale nonsense
@@ -1063,6 +1114,8 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
   sim::Core& core =
       cluster_.cpu(node_).core(cluster_.cpu(node_).num_cores() - 1 - index);
   const sim::CostModel& cost = cluster_.cost();
+  // Per-proc decode scratch: capacity persists across messages.
+  std::vector<wire::ReqView> views;
 
   for (;;) {
     Nanos pass_cost = cost.cpu_cq_poll_empty;
@@ -1072,8 +1125,7 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
       if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
         auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
         op->status = wc.status;
-        op->done = true;
-        op->cond.NotifyAll();
+        op->done_event.Fire(cluster_.sim());
       }
     }
 
@@ -1095,24 +1147,22 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
         lane.send_ready.NotifyAll();
 
         const uint32_t n = header.num_reqs;
-        std::vector<wire::ReqView> views(n);
+        views.resize(n);
         FLOCK_CHECK(
             wire::DecodeRequests(lane.resp_consumer->MessagePtr(), header, views.data()));
         Nanos work = cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
         for (uint32_t i = 0; i < n; ++i) {
           const wire::ReqView& resp = views[i];
-          const uint64_t key = PendingKey(resp.meta.thread_id, resp.meta.seq);
-          auto it = conn->pending_.find(key);
-          FLOCK_CHECK(it != conn->pending_.end())
-              << "response with no outstanding request";
-          PendingRpc* rpc = it->second;
-          conn->pending_.erase(it);
-          rpc->response.assign(resp.data, resp.data + resp.meta.data_len);
+          PendingRpc* rpc = resp.meta.thread_id < conn->pending_.size()
+                                ? conn->pending_[resp.meta.thread_id].Take(
+                                      resp.meta.seq)
+                                : nullptr;
+          FLOCK_CHECK(rpc != nullptr) << "response with no outstanding request";
+          rpc->response.Assign(resp.data, resp.meta.data_len);
           work += cost.MemcpyCost(resp.meta.data_len);
-          rpc->done = true;
           rpc->ok = true;
           rpc->completed_at = cluster_.sim().Now();
-          rpc->cond.NotifyAll();
+          rpc->done_event.Fire(cluster_.sim());
           FlockThread& thread = *threads_[resp.meta.thread_id];
           thread.outstanding -= 1;
         }
@@ -1127,7 +1177,7 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
         lane.resp_bytes_since_send += header.total_len;
         if (lane.resp_bytes_since_send >= config_.ring_bytes / 4) {
           const uint32_t report = lane.resp_consumer->consumed_report();
-          cluster_.mem(node_).Write(lane.head_src_addr, &report, 4);
+          std::memcpy(lane.head_src_ptr, &report, 4);
           verbs::SendWr slot_wr;
           slot_wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
           slot_wr.opcode = verbs::Opcode::kWrite;
@@ -1158,7 +1208,8 @@ sim::Proc FlockRuntime::ThreadScheduler() {
 
 void FlockRuntime::RescheduleThreads(Connection& conn) {
   // Active lane set.
-  std::vector<uint32_t> active;
+  std::vector<uint32_t>& active = sched_active_scratch_;
+  active.clear();
   for (uint32_t i = 0; i < conn.lanes_.size(); ++i) {
     if (conn.lanes_[i]->active) {
       active.push_back(i);
@@ -1179,13 +1230,9 @@ void FlockRuntime::RescheduleThreads(Connection& conn) {
 
   // Algorithm 1: sort threads by median request size then by request count;
   // pack onto lanes by byte quota to mitigate head-of-line blocking.
-  struct ThreadStat {
-    size_t tid;
-    uint32_t median_size;
-    uint64_t reqs;
-    uint64_t bytes;
-  };
-  std::vector<ThreadStat> stats;
+  using ThreadStat = ThreadSchedStat;
+  std::vector<ThreadStat>& stats = sched_stats_scratch_;
+  stats.clear();
   uint64_t total_bytes = 0;
   for (size_t t = 0; t < threads_.size(); ++t) {
     FlockThread& thread = *threads_[t];
@@ -1206,8 +1253,14 @@ void FlockRuntime::RescheduleThreads(Connection& conn) {
   // whole design is after.
   if (conn.desired_lane_.size() >= threads_.size() && !active.empty()) {
     bool healthy = true;
-    std::unordered_map<uint32_t, uint64_t> lane_bytes;
-    std::unordered_map<uint32_t, uint32_t> lane_min_size, lane_max_size;
+    // Lane indices are small and dense, so the per-lane aggregates live in
+    // flat scratch vectors (min == UINT32_MAX marks "no sized thread here").
+    std::vector<uint64_t>& lane_bytes = sched_lane_bytes_;
+    std::vector<uint32_t>& lane_min_size = sched_lane_min_;
+    std::vector<uint32_t>& lane_max_size = sched_lane_max_;
+    lane_bytes.assign(conn.lanes_.size(), 0);
+    lane_min_size.assign(conn.lanes_.size(), UINT32_MAX);
+    lane_max_size.assign(conn.lanes_.size(), 0);
     for (const ThreadStat& s : stats) {
       const uint32_t lane = conn.desired_lane_[s.tid];
       if (lane == UINT32_MAX || !conn.lanes_[lane]->active) {
@@ -1216,22 +1269,19 @@ void FlockRuntime::RescheduleThreads(Connection& conn) {
       }
       lane_bytes[lane] += s.bytes;
       if (s.bytes > 0) {
-        auto [min_it, min_inserted] = lane_min_size.try_emplace(lane, s.median_size);
-        auto [max_it, max_inserted] = lane_max_size.try_emplace(lane, s.median_size);
-        min_it->second = std::min(min_it->second, s.median_size);
-        max_it->second = std::max(max_it->second, s.median_size);
+        lane_min_size[lane] = std::min(lane_min_size[lane], s.median_size);
+        lane_max_size[lane] = std::max(lane_max_size[lane], s.median_size);
       }
     }
     if (healthy && total_bytes > 0) {
       const uint64_t mean = total_bytes / active.size();
-      for (const auto& [lane, bytes] : lane_bytes) {
-        if (bytes > 2 * mean + 1) {
+      for (size_t lane = 0; lane < conn.lanes_.size(); ++lane) {
+        if (lane_bytes[lane] > 2 * mean + 1) {
           healthy = false;  // load imbalance
         }
-      }
-      for (const auto& [lane, min_size] : lane_min_size) {
         // Head-of-line risk: a lane serving both small and large payloads.
-        if (lane_max_size[lane] > 4 * std::max(min_size, 64u)) {
+        if (lane_min_size[lane] != UINT32_MAX &&
+            lane_max_size[lane] > 4 * std::max(lane_min_size[lane], 64u)) {
           healthy = false;
         }
       }
@@ -1245,16 +1295,18 @@ void FlockRuntime::RescheduleThreads(Connection& conn) {
   // ordering keeps thread→QP assignments (and therefore the sets of threads
   // that coalesce together) intact across scheduling intervals; reshuffling
   // them would break the request/response lockstep that drives coalescing.
-  std::stable_sort(stats.begin(), stats.end(),
-                   [](const ThreadStat& a, const ThreadStat& b) {
-                     if (a.median_size != b.median_size) {
-                       return a.median_size < b.median_size;
-                     }
-                     if ((a.reqs >> 6) != (b.reqs >> 6)) {
-                       return (a.reqs >> 6) < (b.reqs >> 6);
-                     }
-                     return a.tid < b.tid;
-                   });
+  // The tid tie-break makes the order strict, so plain sort is equivalent to
+  // a stable sort here and skips the temp-buffer allocation.
+  std::sort(stats.begin(), stats.end(),
+            [](const ThreadStat& a, const ThreadStat& b) {
+              if (a.median_size != b.median_size) {
+                return a.median_size < b.median_size;
+              }
+              if ((a.reqs >> 6) != (b.reqs >> 6)) {
+                return (a.reqs >> 6) < (b.reqs >> 6);
+              }
+              return a.tid < b.tid;
+            });
 
   const uint64_t quota =
       std::max<uint64_t>(1, total_bytes / active.size());  // Algorithm 1 line 1

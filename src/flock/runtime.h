@@ -24,9 +24,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/pool.h"
 #include "src/common/rand.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
@@ -80,28 +80,31 @@ class FlockThread {
   uint32_t next_seq_ = 1;
 };
 
-// An outstanding RPC awaiting its response.
+// An outstanding RPC awaiting its response. Allocated from the client
+// runtime's object pool (release with Connection::FreeRpc); the response
+// payload stays inline for payloads up to SmallBuf's capacity, so a
+// steady-state small RPC touches no general-purpose allocator.
 struct PendingRpc {
-  explicit PendingRpc(sim::Simulator& sim) : cond(sim) {}
-  sim::Condition cond;
-  bool done = false;
+  sim::OneShotEvent done_event;
   bool ok = true;
   uint16_t rpc_id = 0;
   uint32_t seq = 0;
   uint16_t thread_id = 0;
   Nanos submitted_at = 0;
   Nanos completed_at = 0;
-  std::vector<uint8_t> response;
+  SmallBuf<128> response;
+
+  bool done() const { return done_event.done(); }
 };
 
-// An outstanding one-sided memory/atomic operation.
+// An outstanding one-sided memory/atomic operation. Lives in the submitting
+// coroutine's frame; `next` links it into the lane's combining queue.
 struct PendingMemOp {
-  explicit PendingMemOp(sim::Simulator& sim) : cond(sim) {}
-  sim::Condition cond;
-  bool done = false;
+  sim::OneShotEvent done_event;
   verbs::WcStatus status = verbs::WcStatus::kSuccess;
   verbs::SendWr wr;  // staged work request (leader links and posts, §6)
   sim::Core* owner_core = nullptr;
+  PendingMemOp* next = nullptr;
 };
 
 // Remote memory region attached for one-sided operations (fl_attach_mreg).
@@ -116,10 +119,12 @@ namespace internal {
 // A request staged in a lane's combining queue. Mirrors the TCQ protocol:
 // a thread first *enqueues* (one atomic swap), then copies its payload into
 // the combining buffer and raises `copied`; the leader polls these
-// copy-completion flags before sealing the message (§4.2).
+// copy-completion flags before sealing the message (§4.2). Pool-allocated by
+// SendRpc, released by the posting leader; `next` threads it into the lane's
+// combining queue and the leader's batch.
 struct PendingSend {
   wire::ReqMeta meta;
-  std::vector<uint8_t> data;
+  SmallBuf<128> data;
   sim::Core* owner_core = nullptr;  // leader work is charged here
   bool copied = false;
   // Raised (and signalled through the lane's sent_cond) once the message
@@ -128,6 +133,7 @@ struct PendingSend {
   // back-to-back requests never coalesce with each other (§8.5.2:
   // "coroutines of a single thread do not coalesce").
   bool* sent_flag = nullptr;
+  PendingSend* next = nullptr;
 };
 
 // Control message types carried in write-with-imm immediates (client→server;
@@ -200,7 +206,8 @@ struct ClientLane {
   // consumed count of the response ring into this server-side slot.
   uint64_t head_slot_remote_addr = 0;
   uint32_t head_slot_rkey = 0;
-  uint64_t head_src_addr = 0;  // client-local 8B staging for the slot write
+  uint64_t head_src_addr = 0;   // client-local 8B staging for the slot write
+  uint8_t* head_src_ptr = nullptr;  // cached At(head_src_addr)
 
   // Response path: server writes into this client-local ring.
   std::unique_ptr<RingConsumer> resp_consumer;
@@ -213,10 +220,14 @@ struct ClientLane {
   sim::Condition send_ready;  // credits or ring space became available
   // Client-local control slot the server RDMA-writes (grants + activation).
   uint64_t ctrl_slot_addr = 0;
+  const uint8_t* ctrl_slot_ptr = nullptr;  // cached At(ctrl_slot_addr): the
+                                           // dispatcher polls this every pass
   uint32_t grants_seen = 0;  // cumulative grants already applied
 
-  // Flock synchronization state (§4.2).
-  std::deque<std::unique_ptr<PendingSend>> combine_queue;
+  // Flock synchronization state (§4.2). The combining queue is an intrusive
+  // FIFO threaded through the pool-allocated PendingSends.
+  PendingSend* combine_head = nullptr;
+  PendingSend* combine_tail = nullptr;
   bool pump_running = false;
   std::unique_ptr<sim::Condition> copy_done;  // follower copy-completion flags
   std::unique_ptr<sim::Condition> sent_cond;  // "your message was posted"
@@ -228,8 +239,9 @@ struct ClientLane {
   uint64_t messages_sent = 0;
   uint64_t requests_sent = 0;
 
-  // One-sided operations (§6).
-  std::deque<PendingMemOp*> memop_queue;
+  // One-sided operations (§6): intrusive FIFO through the PendingMemOps.
+  PendingMemOp* memop_head = nullptr;
+  PendingMemOp* memop_tail = nullptr;
   bool mem_pump_running = false;
 
   // Bytes of responses consumed since we last sent anything on this lane;
@@ -264,11 +276,13 @@ struct ServerLane {
 
   // Server-side head slot the client's dispatcher writes into.
   uint64_t head_slot_addr = 0;
+  const uint8_t* head_slot_ptr = nullptr;  // cached At(head_slot_addr)
 
   // Control slot on the client that this server lane writes.
   uint64_t ctrl_slot_remote_addr = 0;
   uint32_t ctrl_slot_rkey = 0;
   uint64_t ctrl_src_addr = 0;     // server-local staging for the slot write
+  uint8_t* ctrl_src_ptr = nullptr;  // cached At(ctrl_src_addr)
   uint32_t grant_cumulative = 0;  // total credits ever granted on this lane
 
   // Receiver-side scheduling state (§5.1).
@@ -314,9 +328,12 @@ class Connection {
                                const uint8_t* data, uint32_t len);
 
   // fl_recv_res: awaits and consumes the response for `rpc`. Returns false if
-  // the RPC failed. The response payload is in rpc->response; the caller owns
-  // and must delete `rpc` (typically via the Call convenience below).
+  // the RPC failed. The response payload is in rpc->response; the caller must
+  // release `rpc` with FreeRpc (the Call convenience below does both steps).
   sim::Co<bool> AwaitResponse(FlockThread& thread, PendingRpc* rpc);
+
+  // Returns an RPC handle obtained from SendRpc to the runtime's pool.
+  void FreeRpc(PendingRpc* rpc);
 
   // fl_send_rpc + fl_recv_res in one step.
   sim::Co<bool> Call(FlockThread& thread, uint16_t rpc_id, const uint8_t* data,
@@ -359,8 +376,9 @@ class Connection {
   sim::Proc Pump(internal::ClientLane& lane);
   sim::Proc MemPump(internal::ClientLane& lane);
   sim::Co<verbs::WcStatus> SubmitMemOp(FlockThread& thread, verbs::SendWr wr);
-  void MaybeRenewCredits(internal::ClientLane& lane,
-                         std::vector<verbs::SendWr>& extra_wrs);
+  // Appends a credit-renew WR to wrs[*nwrs] (and bumps *nwrs) when due.
+  void MaybeRenewCredits(internal::ClientLane& lane, verbs::SendWr* wrs,
+                         size_t* nwrs);
 
   FlockRuntime* client_ = nullptr;
   FlockRuntime* server_ = nullptr;
@@ -370,7 +388,8 @@ class Connection {
   // applied by LaneFor once the thread has drained its outstanding requests.
   std::vector<uint32_t> thread_lane_;
   std::vector<uint32_t> desired_lane_;
-  std::unordered_map<uint64_t, PendingRpc*> pending_;  // (thread, seq) → rpc
+  // Outstanding RPCs, seq → rpc, one open-addressed map per thread id.
+  std::vector<SeqSlotMap<PendingRpc>> pending_;
 };
 
 class FlockRuntime {
@@ -415,6 +434,9 @@ class FlockRuntime {
   const sim::CostModel& cost() const { return cluster_.cost(); }
   uint32_t ActiveServerLanes() const;
   double MeanServerCoalescing() const;
+  // Hot-path object pools (observability for allocation-free-path tests).
+  const Pool<PendingRpc>& rpc_pool() const { return rpc_pool_; }
+  const Pool<internal::PendingSend>& send_pool() const { return send_pool_; }
 
  private:
   friend class Connection;
@@ -445,8 +467,17 @@ class FlockRuntime {
   verbs::Cq* send_cq_ = nullptr;
   verbs::Cq* recv_cq_ = nullptr;
 
-  // Server state.
-  std::unordered_map<uint16_t, RpcHandler> handlers_;
+  // Server state. Handler lookup is a linear scan: applications register a
+  // handful of RPC ids, and a short scan beats a hash on the per-request path.
+  std::vector<std::pair<uint16_t, RpcHandler>> handlers_;
+  const RpcHandler* FindHandler(uint16_t rpc_id) const {
+    for (const auto& [id, handler] : handlers_) {
+      if (id == rpc_id) {
+        return &handler;
+      }
+    }
+    return nullptr;
+  }
   std::vector<std::unique_ptr<internal::ServerLane>> server_lanes_;
   std::vector<internal::SenderState> senders_;
   std::vector<std::vector<internal::ServerLane*>> dispatcher_lanes_;
@@ -463,6 +494,24 @@ class FlockRuntime {
   std::vector<std::unique_ptr<FlockThread>> threads_;
   bool client_started_ = false;
   uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+  // Hot-path object pools (per node; the simulation is single-threaded).
+  Pool<PendingRpc> rpc_pool_;
+  Pool<internal::PendingSend> send_pool_;
+
+  // Interval-scheduler scratch, reused across ticks so the steady state stays
+  // allocation-free (see tests/alloc_test.cc).
+  struct ThreadSchedStat {
+    size_t tid;
+    uint32_t median_size;
+    uint64_t reqs;
+    uint64_t bytes;
+  };
+  std::vector<uint32_t> sched_active_scratch_;
+  std::vector<ThreadSchedStat> sched_stats_scratch_;
+  std::vector<uint64_t> sched_lane_bytes_;
+  std::vector<uint32_t> sched_lane_min_;
+  std::vector<uint32_t> sched_lane_max_;
+  std::vector<internal::ServerLane*> redistribute_order_;
 };
 
 }  // namespace flock

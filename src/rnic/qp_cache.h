@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -42,16 +41,16 @@ class QpCache {
       ++misses_;
       return false;
     }
-    auto it = map_.find(qpn);
-    if (it != map_.end()) {
+    Entry* entry = Find(qpn);
+    if (entry != nullptr) {
       if (policy_ == Policy::kLru) {
-        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        lru_.splice(lru_.begin(), lru_, entry->lru_it);
       }
       ++hits_;
       return true;
     }
     ++misses_;
-    if (map_.size() >= capacity_) {
+    if (size_ >= capacity_) {
       Evict();
     }
     Install(qpn);
@@ -60,19 +59,20 @@ class QpCache {
 
   // Drops a QP's state (e.g. QP destroyed).
   void Invalidate(uint32_t qpn) {
-    auto it = map_.find(qpn);
-    if (it == map_.end()) {
+    Entry* entry = Find(qpn);
+    if (entry == nullptr) {
       return;
     }
     if (policy_ == Policy::kLru) {
-      lru_.erase(it->second.lru_it);
+      lru_.erase(entry->lru_it);
     } else {
-      RemoveFromVector(it->second.vec_index);
+      RemoveFromVector(entry->vec_index);
     }
-    map_.erase(it);
+    entry->present = false;
+    --size_;
   }
 
-  size_t size() const { return map_.size(); }
+  size_t size() const { return size_; }
   uint32_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -91,10 +91,28 @@ class QpCache {
   struct Entry {
     std::list<uint32_t>::iterator lru_it;
     size_t vec_index = 0;
+    bool present = false;
   };
 
+  // QPNs are small dense integers (devices hand them out sequentially), so
+  // presence lookup is a flat vector indexed by qpn — Touch() runs once per
+  // simulated message on both the TX and RX paths.
+  Entry* Find(uint32_t qpn) {
+    if (qpn >= entries_.size() || !entries_[qpn].present) {
+      return nullptr;
+    }
+    return &entries_[qpn];
+  }
+
+  Entry& Slot(uint32_t qpn) {
+    if (qpn >= entries_.size()) {
+      entries_.resize(static_cast<size_t>(qpn) + 1);
+    }
+    return entries_[qpn];
+  }
+
   void Install(uint32_t qpn) {
-    Entry entry;
+    Entry& entry = Slot(qpn);
     if (policy_ == Policy::kLru) {
       lru_.push_front(qpn);
       entry.lru_it = lru_.begin();
@@ -102,7 +120,8 @@ class QpCache {
       entry.vec_index = keys_.size();
       keys_.push_back(qpn);
     }
-    map_[qpn] = entry;
+    entry.present = true;
+    ++size_;
   }
 
   void Evict() {
@@ -110,13 +129,13 @@ class QpCache {
     if (policy_ == Policy::kLru) {
       victim = lru_.back();
       lru_.pop_back();
-      map_.erase(victim);
     } else {
       const size_t index = static_cast<size_t>(rng_.NextBelow(keys_.size()));
       victim = keys_[index];
       RemoveFromVector(index);
-      map_.erase(victim);
     }
+    entries_[victim].present = false;
+    --size_;
   }
 
   void RemoveFromVector(size_t index) {
@@ -124,7 +143,7 @@ class QpCache {
     keys_[index] = last;
     keys_.pop_back();
     if (index < keys_.size()) {
-      map_[last].vec_index = index;
+      entries_[last].vec_index = index;
     }
   }
 
@@ -133,7 +152,8 @@ class QpCache {
   Rng rng_;
   std::list<uint32_t> lru_;
   std::vector<uint32_t> keys_;
-  std::unordered_map<uint32_t, Entry> map_;
+  std::vector<Entry> entries_;  // indexed by qpn
+  size_t size_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -7,17 +7,42 @@
 // used by resource models (FIFO servers) that do not want a coroutine frame
 // per service completion.
 //
+// Internally the queue is a calendar queue tuned for this workload (almost
+// all delays are 0 ns or small CPU/NIC costs, with a thin tail of scheduler
+// timers), rather than a binary heap:
+//
+//   * now-FIFO   — a drain vector of events at exactly the current time.
+//     Zero-delay scheduling (condition notifies, symmetric transfers) is one
+//     append; dequeue is one index increment. The FIFO holds events of a
+//     single timestamp at a time, so FIFO order *is* (time, seq) order.
+//   * calendar   — kNumBuckets one-nanosecond buckets covering the near
+//     future. One bucket ⇔ one timestamp, and sequence numbers are assigned
+//     monotonically, so append order inside a bucket is already seq order:
+//     refill walks the bucket's list into the now-FIFO. Buckets are singly
+//     linked lists threaded through one shared node pool, so the only growth
+//     high-water mark is the *total* number of in-calendar events — once the
+//     workload's peak is seen, pushes never allocate again. An occupancy
+//     bitmap finds the next non-empty bucket with a few word scans.
+//   * overflow heap — events beyond the calendar horizon (rare: periodic
+//     scheduler timers) wait in a std::priority_queue and are merged by
+//     (time, seq) with calendar batches at refill.
+//
+// See DESIGN.md "Simulator internals & performance" and bench/perf_smoke.cc
+// for the measured effect.
+//
 // All simulated activity lives in Proc coroutines spawned on the Simulator.
-// Shutdown() (also run by the destructor) destroys every still-suspended
-// process frame, so a bench can simply stop simulating mid-workload without
-// draining in-flight operations.
+// Live processes are tracked on an intrusive doubly-linked list threaded
+// through their promises. Shutdown() (also run by the destructor) destroys
+// every still-suspended process frame, so a bench can simply stop simulating
+// mid-workload without draining in-flight operations.
 #ifndef FLOCK_SIM_SIMULATOR_H_
 #define FLOCK_SIM_SIMULATOR_H_
 
+#include <algorithm>
+#include <bit>
 #include <coroutine>
 #include <cstdint>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -41,21 +66,29 @@ class Simulator {
   void Spawn(Proc&& proc) {
     Proc::Handle handle = proc.Release();
     FLOCK_CHECK(handle);
-    handle.promise().sim = this;
-    live_procs_.insert(handle.address());
+    internal::ProcPromise& promise = handle.promise();
+    promise.sim = this;
+    promise.live_prev = nullptr;
+    promise.live_next = live_head_;
+    if (live_head_ != nullptr) {
+      live_head_->live_prev = &promise;
+    }
+    live_head_ = &promise;
+    ++live_count_;
     ScheduleResume(0, handle);
   }
 
   // Schedules `handle` to be resumed `delay` from now.
   void ScheduleResume(Nanos delay, std::coroutine_handle<> handle) {
     FLOCK_CHECK_GE(delay, 0);
-    queue_.push(Event{now_ + delay, next_seq_++, handle, nullptr, nullptr});
+    Push(Event{now_ + delay, next_seq_++, handle.address(), nullptr});
   }
 
   // Schedules `fn(arg)` to run `delay` from now.
   void Schedule(Nanos delay, void (*fn)(void*), void* arg) {
     FLOCK_CHECK_GE(delay, 0);
-    queue_.push(Event{now_ + delay, next_seq_++, nullptr, fn, arg});
+    FLOCK_CHECK(fn != nullptr);
+    Push(Event{now_ + delay, next_seq_++, arg, fn});
   }
 
   // Runs events until the queue drains. Returns the number of events run.
@@ -73,9 +106,10 @@ class Simulator {
 
   uint64_t RunFor(Nanos duration) { return RunUntil(now_ + duration); }
 
-  bool Idle() const { return queue_.empty(); }
+  bool Idle() const { return size_ == 0; }
   uint64_t events_processed() const { return events_processed_; }
-  size_t live_proc_count() const { return live_procs_.size(); }
+  size_t live_proc_count() const { return live_count_; }
+  size_t queue_size() const { return size_; }
 
   // Destroys every live process frame and drops pending events. Safe to call
   // more than once. Must run while the objects referenced by process locals
@@ -83,26 +117,49 @@ class Simulator {
   void Shutdown() {
     shutting_down_ = true;
     // Destroying one frame can destroy child frames but never spawns procs.
-    auto snapshot = live_procs_;
-    live_procs_.clear();
-    for (void* address : snapshot) {
-      std::coroutine_handle<>::from_address(address).destroy();
+    while (live_head_ != nullptr) {
+      internal::ProcPromise* promise = live_head_;
+      live_head_ = promise->live_next;
+      if (live_head_ != nullptr) {
+        live_head_->live_prev = nullptr;
+      }
+      std::coroutine_handle<internal::ProcPromise>::from_promise(*promise)
+          .destroy();
     }
-    while (!queue_.empty()) {
-      queue_.pop();
+    live_count_ = 0;
+    fifo_.clear();
+    fifo_pos_ = 0;
+    for (size_t word = 0; word < kNumWords; ++word) {
+      uint64_t bits = occupancy_[word];
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        Bucket& b = buckets_[(word << 6) + static_cast<size_t>(bit)];
+        b.head = kNilNode;
+        b.tail = kNilNode;
+      }
+      occupancy_[word] = 0;
     }
+    nodes_.clear();
+    free_node_ = kNilNode;
+    calendar_count_ = 0;
+    while (!overflow_.empty()) {
+      overflow_.pop();
+    }
+    size_ = 0;
     shutting_down_ = false;
   }
 
  private:
   friend struct internal::ProcFinalAwaiter;
 
+  // 32 bytes: when `fn` is null, `ctx` is a coroutine frame address to
+  // resume; otherwise the event runs fn(ctx).
   struct Event {
     Nanos at;
     uint64_t seq;
-    std::coroutine_handle<> coroutine;
+    void* ctx;
     void (*fn)(void*);
-    void* arg;
   };
 
   struct EventLater {
@@ -114,30 +171,198 @@ class Simulator {
     }
   };
 
+  // Calendar geometry: 4096 one-nanosecond buckets cover ~4 us of lookahead,
+  // which swallows every CPU/NIC/wire delay in the cost model (the largest
+  // common short delays — PCIe fetches, MTU serialization, the 1 us
+  // ring-stall retry — are ~1 us); only long timers (QP/thread scheduler
+  // intervals, bench warmups) overflow to the heap. Events within the horizon
+  // occupy distinct buckets, so a bucket never mixes timestamps. Keeping the
+  // array small matters: the active window of buckets stays cache-resident.
+  static constexpr size_t kBucketBits = 12;
+  static constexpr size_t kNumBuckets = size_t{1} << kBucketBits;
+  static constexpr size_t kNumWords = kNumBuckets / 64;
+  static constexpr Nanos kHorizon = static_cast<Nanos>(kNumBuckets);
+
+  static size_t BucketOf(Nanos at) {
+    return static_cast<size_t>(at) & (kNumBuckets - 1);
+  }
+
   void OnProcFinished(std::coroutine_handle<internal::ProcPromise> handle) {
     if (!shutting_down_) {
-      live_procs_.erase(handle.address());
+      internal::ProcPromise& promise = handle.promise();
+      if (promise.live_prev != nullptr) {
+        promise.live_prev->live_next = promise.live_next;
+      } else {
+        live_head_ = promise.live_next;
+      }
+      if (promise.live_next != nullptr) {
+        promise.live_next->live_prev = promise.live_prev;
+      }
+      --live_count_;
     }
     handle.destroy();
   }
 
+  // ---- now-FIFO drain vector (single timestamp at a time) ----
+  //
+  // Consumed events stay in the processed prefix until the whole batch drains
+  // (the vector is cleared at the next refill, keeping its capacity), so push
+  // is a plain append and pop an index increment.
+
+  bool FifoEmpty() const { return fifo_pos_ == fifo_.size(); }
+
+  void FifoPush(const Event& event) { fifo_.push_back(event); }
+
+  // ---- enqueue ----
+
+  void Push(const Event& event) {
+    ++size_;
+    if (event.at == now_) {
+      // Invariant: buckets and overflow never hold events at the current
+      // time (Refill drains the full timestamp batch), and the now-FIFO holds
+      // a single timestamp, so appending preserves (time, seq) order.
+      FifoPush(event);
+      return;
+    }
+    if (event.at - now_ < kHorizon) {
+      const size_t bucket = BucketOf(event.at);
+      const uint32_t node = AllocNode(event);
+      Bucket& b = buckets_[bucket];
+      if (b.tail == kNilNode) {
+        b.head = node;
+      } else {
+        nodes_[b.tail].next = node;
+      }
+      b.tail = node;
+      occupancy_[bucket >> 6] |= uint64_t{1} << (bucket & 63);
+      ++calendar_count_;
+    } else {
+      overflow_.push(event);
+    }
+  }
+
+  uint32_t AllocNode(const Event& event) {
+    uint32_t node = free_node_;
+    if (node != kNilNode) {
+      free_node_ = nodes_[node].next;
+    } else {
+      node = static_cast<uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    nodes_[node].event = event;
+    nodes_[node].next = kNilNode;
+    return node;
+  }
+
+  // ---- refill: move the earliest timestamp batch into the now-FIFO ----
+
+  // First occupied bucket at or after `start`, in ring order (ring order is
+  // time order because live events span less than one calendar revolution).
+  size_t FirstOccupied(size_t start) const {
+    size_t word = start >> 6;
+    uint64_t bits = occupancy_[word] & (~uint64_t{0} << (start & 63));
+    for (size_t scanned = 0; scanned <= kNumWords; ++scanned) {
+      if (bits != 0) {
+        return (word << 6) + static_cast<size_t>(std::countr_zero(bits));
+      }
+      word = (word + 1) & (kNumWords - 1);
+      bits = occupancy_[word];
+    }
+    FLOCK_CHECK(false) << "occupancy bitmap and calendar_count_ disagree";
+    return 0;
+  }
+
+  void Refill() {
+    fifo_.clear();  // previous batch fully consumed; keep the capacity
+    fifo_pos_ = 0;
+    if (calendar_count_ == 0) {
+      DrainOverflowBatch();
+      return;
+    }
+    const size_t bucket = FirstOccupied(BucketOf(now_));
+    Bucket& slot = buckets_[bucket];
+    const Nanos bucket_at = nodes_[slot.head].event.at;  // one timestamp per bucket
+    if (!overflow_.empty() && overflow_.top().at < bucket_at) {
+      DrainOverflowBatch();
+      return;
+    }
+    // Append order inside the bucket is seq order, so walking head-to-tail
+    // yields the drain batch already in (time, seq) order. Nodes return to
+    // the shared free list as they are copied out.
+    uint32_t node = slot.head;
+    while (node != kNilNode) {
+      fifo_.push_back(nodes_[node].event);
+      const uint32_t next = nodes_[node].next;
+      nodes_[node].next = free_node_;
+      free_node_ = node;
+      node = next;
+      --calendar_count_;
+    }
+    slot.head = kNilNode;
+    slot.tail = kNilNode;
+    occupancy_[bucket >> 6] &= ~(uint64_t{1} << (bucket & 63));
+    if (!overflow_.empty() && overflow_.top().at == bucket_at) {
+      // Calendar and heap collide on one timestamp (rare): merge by seq.
+      while (!overflow_.empty() && overflow_.top().at == bucket_at) {
+        fifo_.push_back(overflow_.top());
+        overflow_.pop();
+      }
+      std::sort(fifo_.begin(), fifo_.end(),
+                [](const Event& a, const Event& b) { return a.seq < b.seq; });
+    }
+  }
+
+  // Moves the earliest-timestamp batch from the overflow heap to the FIFO.
+  // The heap pops equal-time events in seq order (EventLater tie-break).
+  void DrainOverflowBatch() {
+    FLOCK_CHECK(!overflow_.empty());
+    const Nanos cut = overflow_.top().at;
+    while (!overflow_.empty() && overflow_.top().at == cut) {
+      FifoPush(overflow_.top());
+      overflow_.pop();
+    }
+  }
+
+  // Returns a refilled-but-unreachable batch (deadline passed) to the
+  // calendar so later inserts keep ordering. The batch shares one timestamp
+  // strictly after now_, so Push never routes back to the FIFO.
+  void FlushFifo() {
+    while (fifo_pos_ < fifo_.size()) {
+      const Event event = fifo_[fifo_pos_++];
+      --size_;  // Push re-counts it; the event keeps its original seq
+      Push(event);
+    }
+    fifo_.clear();
+    fifo_pos_ = 0;
+  }
+
   uint64_t RunUntilInternal(Nanos deadline) {
     uint64_t ran = 0;
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (deadline >= 0 && top.at > deadline) {
+    for (;;) {
+      if (FifoEmpty()) {
+        if (size_ == 0) {
+          break;
+        }
+        Refill();
+      }
+      const Event& front = fifo_[fifo_pos_];
+      if (deadline >= 0 && front.at > deadline) {
+        if (front.at > now_) {
+          FlushFifo();
+        }
         break;
       }
-      Event event = top;
-      queue_.pop();
+      const Event event = front;
+      ++fifo_pos_;
+      --size_;
       FLOCK_CHECK_GE(event.at, now_);
       now_ = event.at;
       ++ran;
       ++events_processed_;
-      if (event.coroutine) {
-        event.coroutine.resume();
+      if (event.fn != nullptr) {
+        event.fn(event.ctx);
       } else {
-        event.fn(event.arg);
+        std::coroutine_handle<>::from_address(event.ctx).resume();
       }
     }
     return ran;
@@ -146,9 +371,34 @@ class Simulator {
   Nanos now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  size_t size_ = 0;
   bool shutting_down_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_set<void*> live_procs_;
+
+  std::vector<Event> fifo_;  // drain vector: [fifo_pos_, size) is pending
+  size_t fifo_pos_ = 0;
+
+  static constexpr uint32_t kNilNode = UINT32_MAX;
+
+  struct CalendarNode {
+    Event event;
+    uint32_t next = kNilNode;
+  };
+
+  struct Bucket {
+    uint32_t head = kNilNode;
+    uint32_t tail = kNilNode;
+  };
+
+  Bucket buckets_[kNumBuckets];
+  std::vector<CalendarNode> nodes_;  // shared node pool for all buckets
+  uint32_t free_node_ = kNilNode;
+  uint64_t occupancy_[kNumWords] = {};
+  size_t calendar_count_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> overflow_;
+
+  internal::ProcPromise* live_head_ = nullptr;
+  size_t live_count_ = 0;
 };
 
 namespace internal {

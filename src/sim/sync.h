@@ -24,6 +24,50 @@
 
 namespace flock::sim {
 
+// Single-waiter, single-shot completion event with no internal allocation.
+// Used for per-operation state (an outstanding RPC or one-sided op has
+// exactly one awaiter): Fire() marks the event done and schedules the waiter
+// if one is parked; Wait() after Fire() resumes immediately. Reset() re-arms
+// a recycled (pooled) parent object.
+class OneShotEvent {
+ public:
+  bool done() const { return done_; }
+
+  void Reset() {
+    done_ = false;
+    waiter_ = nullptr;
+  }
+
+  class Awaiter {
+   public:
+    explicit Awaiter(OneShotEvent& event) : event_(event) {}
+    bool await_ready() const noexcept { return event_.done_; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      FLOCK_CHECK(event_.waiter_ == nullptr)
+          << "OneShotEvent supports a single waiter";
+      event_.waiter_ = handle;
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    OneShotEvent& event_;
+  };
+
+  Awaiter Wait() { return Awaiter(*this); }
+
+  void Fire(Simulator& sim) {
+    done_ = true;
+    if (waiter_) {
+      sim.ScheduleResume(0, waiter_);
+      waiter_ = nullptr;
+    }
+  }
+
+ private:
+  bool done_ = false;
+  std::coroutine_handle<> waiter_ = nullptr;
+};
+
 // Broadcast condition. Wait() suspends until the next Notify*() call.
 class Condition {
  public:
@@ -95,7 +139,7 @@ class FifoServer {
   Awaiter Serve(Nanos duration) { return Awaiter(*this, duration); }
 
   bool busy() const { return busy_; }
-  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_depth() const { return static_cast<size_t>(tail_ - head_); }
   Nanos busy_time() const { return busy_time_; }
   uint64_t served() const { return served_; }
 
@@ -105,18 +149,35 @@ class FifoServer {
     Nanos duration;
   };
 
+  // The queue is a power-of-two ring: FifoServer sits under every simulated
+  // CPU/NIC occupancy, so enqueue/dequeue must not touch the allocator once
+  // the ring has grown to the steady-state depth.
   void Enqueue(std::coroutine_handle<> handle, Nanos duration) {
-    queue_.push_back(Item{handle, duration < 0 ? 0 : duration});
+    if (tail_ - head_ == ring_.size()) {
+      GrowRing();
+    }
+    ring_[tail_ & (ring_.size() - 1)] = Item{handle, duration < 0 ? 0 : duration};
+    ++tail_;
     if (!busy_) {
       StartNext();
     }
   }
 
+  void GrowRing() {
+    const size_t old_cap = ring_.size();
+    const size_t new_cap = old_cap == 0 ? 16 : old_cap * 2;
+    std::vector<Item> grown(new_cap);
+    for (uint64_t i = head_; i != tail_; ++i) {
+      grown[i & (new_cap - 1)] = ring_[i & (old_cap - 1)];
+    }
+    ring_ = std::move(grown);
+  }
+
   void StartNext() {
-    FLOCK_CHECK(!queue_.empty());
+    FLOCK_CHECK(head_ != tail_);
     busy_ = true;
-    current_ = queue_.front();
-    queue_.pop_front();
+    current_ = ring_[head_ & (ring_.size() - 1)];
+    ++head_;
     busy_time_ += current_.duration;
     sim_.Schedule(current_.duration, &FifoServer::DoneTrampoline, this);
   }
@@ -128,7 +189,7 @@ class FifoServer {
   void Done() {
     ++served_;
     const std::coroutine_handle<> finished = current_.handle;
-    if (!queue_.empty()) {
+    if (head_ != tail_) {
       StartNext();
     } else {
       busy_ = false;
@@ -139,7 +200,9 @@ class FifoServer {
   Simulator& sim_;
   bool busy_ = false;
   Item current_{};
-  std::deque<Item> queue_;
+  std::vector<Item> ring_;
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
   Nanos busy_time_ = 0;
   uint64_t served_ = 0;
 };

@@ -17,7 +17,10 @@
 #define FLOCK_SIM_TASK_H_
 
 #include <coroutine>
+#include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -27,6 +30,97 @@ class Simulator;
 
 namespace internal {
 struct ProcPromise;
+
+// Size-class free-list recycler for coroutine frames.
+//
+// Frames churn at event rate — every RPC allocates a SendRpc frame, an
+// AwaitResponse frame, and usually a Pump frame — so after warmup the same
+// handful of frame sizes is allocated and freed millions of times. Promise
+// types below route frame storage through this pool: a freed frame parks on
+// the free list of its size class and the next coroutine of that size reuses
+// it without touching the general-purpose allocator. Frames larger than
+// kMaxPooledBytes (rare: big local arrays) fall through to operator new.
+//
+// The pool is thread_local: a simulation is single-threaded, but tests run
+// several simulators on different threads concurrently.
+class FramePool {
+ public:
+  static constexpr size_t kGranuleBytes = 64;
+  static constexpr size_t kMaxPooledBytes = 8192;
+  static constexpr size_t kNumClasses = kMaxPooledBytes / kGranuleBytes + 1;
+
+  static void* Alloc(size_t bytes) {
+    if (bytes > kMaxPooledBytes) {
+      return ::operator new(bytes);
+    }
+    FramePool& pool = Instance();
+    const size_t cls = (bytes + kGranuleBytes - 1) / kGranuleBytes;
+    void* block = pool.free_[cls];
+    if (block != nullptr) {
+      pool.free_[cls] = *static_cast<void**>(block);
+      ++pool.hits_;
+      return block;
+    }
+    ++pool.misses_;
+    return ::operator new(cls * kGranuleBytes);
+  }
+
+  static void Free(void* block, size_t bytes) {
+    if (bytes > kMaxPooledBytes || !alive()) {
+      ::operator delete(block);
+      return;
+    }
+    FramePool& pool = Instance();
+    const size_t cls = (bytes + kGranuleBytes - 1) / kGranuleBytes;
+    *static_cast<void**>(block) = pool.free_[cls];
+    pool.free_[cls] = block;
+  }
+
+  // Frames served from a free list vs. from operator new (observability for
+  // the allocation-free-hot-path tests).
+  static uint64_t hits() { return Instance().hits_; }
+  static uint64_t misses() { return Instance().misses_; }
+
+  ~FramePool() {
+    alive() = false;
+    for (size_t cls = 0; cls < kNumClasses; ++cls) {
+      void* block = free_[cls];
+      while (block != nullptr) {
+        void* next = *static_cast<void**>(block);
+        ::operator delete(block);
+        block = next;
+      }
+    }
+  }
+
+ private:
+  FramePool() = default;
+
+  static FramePool& Instance() {
+    thread_local FramePool pool;
+    return pool;
+  }
+
+  // Trivially-destructible flag that outlives the pool, so frames destroyed
+  // during thread teardown (after ~FramePool) fall back to operator delete.
+  static bool& alive() {
+    thread_local bool is_alive = true;
+    return is_alive;
+  }
+
+  void* free_[kNumClasses] = {};
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+// Inherit (or mirror) these operators in a promise_type to give its
+// coroutine frames pooled storage.
+struct FramePooled {
+  static void* operator new(size_t bytes) { return FramePool::Alloc(bytes); }
+  static void operator delete(void* block, size_t bytes) {
+    FramePool::Free(block, bytes);
+  }
+};
 }  // namespace internal
 
 // Handle returned by a process coroutine. Ownership of the frame passes to
@@ -71,8 +165,13 @@ struct ProcFinalAwaiter {
   void await_resume() const noexcept {}
 };
 
-struct ProcPromise {
+struct ProcPromise : FramePooled {
   Simulator* sim = nullptr;
+  // Intrusive doubly-linked list of live (spawned, not yet finished)
+  // processes, threaded through the promise so the Simulator tracks
+  // membership with pointer writes instead of a hash set.
+  ProcPromise* live_prev = nullptr;
+  ProcPromise* live_next = nullptr;
 
   Proc get_return_object() {
     return Proc(std::coroutine_handle<ProcPromise>::from_promise(*this));
@@ -90,7 +189,7 @@ struct ProcPromise {
 template <typename T>
 class [[nodiscard]] Co {
  public:
-  struct promise_type {
+  struct promise_type : internal::FramePooled {
     std::coroutine_handle<> continuation;
     std::optional<T> value;
 
@@ -153,7 +252,7 @@ Proc RunClosure(Lambda lambda) {
 template <>
 class [[nodiscard]] Co<void> {
  public:
-  struct promise_type {
+  struct promise_type : internal::FramePooled {
     std::coroutine_handle<> continuation;
 
     Co get_return_object() {

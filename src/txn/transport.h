@@ -82,10 +82,10 @@ class FlockTxTransport : public TxTransport {
           thread_, calls[i].rpc, calls[i].req, calls[i].req_len);
     }
     for (size_t i = 0; i < count; ++i) {
-      calls[i].ok = co_await connections_[static_cast<size_t>(calls[i].server)]
-                        ->AwaitResponse(thread_, pending[i]);
-      calls[i].resp = std::move(pending[i]->response);
-      delete pending[i];
+      Connection* conn = connections_[static_cast<size_t>(calls[i].server)];
+      calls[i].ok = co_await conn->AwaitResponse(thread_, pending[i]);
+      pending[i]->response.CopyTo(&calls[i].resp);
+      conn->FreeRpc(pending[i]);
     }
   }
 

@@ -7,37 +7,57 @@
 #ifndef FLOCK_VERBS_CQ_H_
 #define FLOCK_VERBS_CQ_H_
 
-#include <deque>
+#include <cstdint>
+#include <vector>
 
 #include "src/verbs/types.h"
 
 namespace flock::verbs {
 
+// Power-of-two ring: completions are stored in place and recycled, so the
+// push/poll hot path never touches the allocator (polling dominates — every
+// dispatcher and scheduler pass polls, almost always empty).
 class Cq {
  public:
   // Device-side: deliver a completion.
   void Push(const Completion& wc) {
-    entries_.push_back(wc);
+    if (tail_ - head_ == ring_.size()) {
+      Grow();
+    }
+    ring_[tail_ & (ring_.size() - 1)] = wc;
+    ++tail_;
     ++pushed_;
   }
 
   // Host-side: non-blocking poll of one completion.
   bool Poll(Completion* out) {
-    if (entries_.empty()) {
+    if (head_ == tail_) {
       return false;
     }
-    *out = entries_.front();
-    entries_.pop_front();
+    *out = ring_[head_ & (ring_.size() - 1)];
+    ++head_;
     ++polled_;
     return true;
   }
 
-  size_t depth() const { return entries_.size(); }
+  size_t depth() const { return static_cast<size_t>(tail_ - head_); }
   uint64_t pushed() const { return pushed_; }
   uint64_t polled() const { return polled_; }
 
  private:
-  std::deque<Completion> entries_;
+  void Grow() {
+    const size_t old_cap = ring_.size();
+    const size_t new_cap = old_cap == 0 ? 64 : old_cap * 2;
+    std::vector<Completion> grown(new_cap);
+    for (uint64_t i = head_; i != tail_; ++i) {
+      grown[i & (new_cap - 1)] = ring_[i & (old_cap - 1)];
+    }
+    ring_ = std::move(grown);
+  }
+
+  std::vector<Completion> ring_;
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
   uint64_t pushed_ = 0;
   uint64_t polled_ = 0;
 };

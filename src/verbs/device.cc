@@ -118,7 +118,7 @@ Qp* Device::CreateQp(QpType type, Cq* send_cq, Cq* recv_cq) {
   const uint32_t qpn = next_qpn_++;
   auto qp = std::make_unique<Qp>(*this, qpn, type, send_cq, recv_cq);
   Qp* raw = qp.get();
-  qps_.emplace(qpn, std::move(qp));
+  qps_.push_back(std::move(qp));
   return raw;
 }
 
@@ -128,8 +128,7 @@ Mr Device::RegisterMr(uint64_t addr, uint64_t length) {
 }
 
 Qp* Device::FindQp(uint32_t qpn) {
-  auto it = qps_.find(qpn);
-  return it == qps_.end() ? nullptr : it->second.get();
+  return qpn >= 1 && qpn <= qps_.size() ? qps_[qpn - 1].get() : nullptr;
 }
 
 void Device::KickSendEngine(Qp& qp) {
@@ -159,15 +158,14 @@ sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {
   co_await TouchQpState(qp.qpn(), tx_pipe_);
 
   // Snapshot the payload from host memory (DMA read unless inlined).
-  std::vector<uint8_t> payload;
+  PayloadBuf payload;
   if (wr.opcode != Opcode::kRead && !IsAtomic(wr.opcode) && wr.length > 0) {
     FLOCK_CHECK(cluster_.mem(node_id_).Contains(wr.local_addr, wr.length))
         << "bad local segment on node " << node_id_;
     if (wr.length > kMaxInlineData) {
       co_await sim::Delay(sim_, cost_.nic_dma_read);
     }
-    payload.resize(wr.length);
-    cluster_.mem(node_id_).Read(wr.local_addr, payload.data(), wr.length);
+    cluster_.mem(node_id_).Read(wr.local_addr, payload.Resize(wr.length), wr.length);
   }
 
   stats_.tx_msgs++;
@@ -184,7 +182,7 @@ sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {
   }
 }
 
-sim::Proc Device::Deliver(Qp& qp, SendWr wr, std::vector<uint8_t> payload) {
+sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
   const int dest_node = qp.type() == QpType::kUd ? wr.dest_node : qp.peer_node();
   FLOCK_CHECK_GE(dest_node, 0);
   FLOCK_CHECK_LT(dest_node, net_.num_nodes());
@@ -212,7 +210,7 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, std::vector<uint8_t> payload) {
 }
 
 sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
-                                    std::vector<uint8_t>& payload, WcStatus& status,
+                                    PayloadBuf& payload, WcStatus& status,
                                     uint64_t& atomic_result) {
   const uint32_t packets = net_.PacketCount(OutboundBytes(wr));
   co_await peer.rx_pipe_.Serve(static_cast<Nanos>(packets) * cost_.nic_rx_per_packet);
@@ -306,8 +304,8 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
       }
       // NIC fetches the data from the responder's host memory...
       co_await sim::Delay(sim_, cost_.nic_dma_read);
-      std::vector<uint8_t> data(wr.length);
-      peer_mem.Read(wr.remote_addr, data.data(), wr.length);
+      PayloadBuf data;
+      peer_mem.Read(wr.remote_addr, data.Resize(wr.length), wr.length);
       // ...and streams it back.
       const uint32_t resp_packets = net_.PacketCount(wr.length);
       const Nanos resp_serialize = net_.SerializeTime(wr.length);

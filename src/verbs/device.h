@@ -21,9 +21,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/pool.h"
 #include "src/common/units.h"
 #include "src/fabric/memory.h"
 #include "src/fabric/network.h"
@@ -44,6 +44,11 @@ class Cluster;
 // Payload sizes at or below this post inline (no payload DMA read by the NIC;
 // mirrors ConnectX max_inline_data ≈ 220 B).
 inline constexpr uint32_t kMaxInlineData = 220;
+
+// In-flight payload snapshot. Coalesced Flock messages are usually a few
+// hundred bytes, so the snapshot lives inside the (pooled) coroutine frame;
+// only jumbo messages touch the heap.
+using PayloadBuf = ::flock::SmallBuf<512>;
 
 class Device {
  public:
@@ -84,9 +89,9 @@ class Device {
 
   sim::Proc SendEngine(Qp& qp);
   sim::Co<void> ProcessWr(Qp& qp, SendWr wr);
-  sim::Proc Deliver(Qp& qp, SendWr wr, std::vector<uint8_t> payload);
+  sim::Proc Deliver(Qp& qp, SendWr wr, PayloadBuf payload);
   sim::Co<void> ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
-                              std::vector<uint8_t>& payload, WcStatus& status,
+                              PayloadBuf& payload, WcStatus& status,
                               uint64_t& atomic_result);
   sim::Co<void> TouchQpState(uint32_t qpn, sim::FifoServer& pipe);
   void CompleteSend(Qp& qp, const SendWr& wr, WcStatus status, uint32_t byte_len);
@@ -104,7 +109,7 @@ class Device {
   MrTable mrs_;
 
   uint32_t next_qpn_ = 1;
-  std::unordered_map<uint32_t, std::unique_ptr<Qp>> qps_;
+  std::vector<std::unique_ptr<Qp>> qps_;  // index = qpn - 1 (qpns are dense)
   std::vector<std::unique_ptr<Cq>> cqs_;
   Stats stats_;
 };

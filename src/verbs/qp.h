@@ -7,9 +7,8 @@
 #ifndef FLOCK_VERBS_QP_H_
 #define FLOCK_VERBS_QP_H_
 
-#include <deque>
-
 #include "src/common/logging.h"
+#include "src/common/pool.h"
 #include "src/verbs/cq.h"
 #include "src/verbs/types.h"
 
@@ -70,8 +69,11 @@ class Qp {
   int peer_node_ = -1;
   uint32_t peer_qpn_ = 0;
 
-  std::deque<SendWr> send_queue_;
-  std::deque<RecvWr> recv_queue_;
+  // FifoRing, not std::deque: the send queue oscillates around a fixed depth
+  // in steady state, and a deque would allocate/free a node each time the
+  // queue drifts across a block boundary.
+  FifoRing<SendWr> send_queue_;
+  FifoRing<RecvWr> recv_queue_;
   bool engine_running_ = false;
 };
 

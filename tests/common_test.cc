@@ -184,6 +184,30 @@ TEST(WindowedMedianTest, WindowSlides) {
   EXPECT_EQ(m.Median(), 100u);
 }
 
+TEST(WindowedMedianTest, CachedMedianInvalidatedByRecord) {
+  // Median() caches its result between Record() calls (it runs inside the
+  // QP scheduler's per-interval loop); a new sample must invalidate it.
+  WindowedMedian<uint32_t, 8> m;
+  m.Record(10);
+  EXPECT_EQ(m.Median(), 10u);
+  EXPECT_EQ(m.Median(), 10u);  // served from cache
+  m.Record(100);
+  m.Record(100);
+  EXPECT_EQ(m.Median(), 100u);  // cache dropped, recomputed over {10,100,100}
+}
+
+TEST(WindowedMedianTest, CachedMedianInvalidatedByReset) {
+  WindowedMedian<uint32_t, 8> m;
+  m.Record(42);
+  EXPECT_EQ(m.Median(), 42u);
+  m.Reset();
+  EXPECT_TRUE(m.empty());
+  // A stale cached value must not survive the reset.
+  EXPECT_EQ(m.Median(7), 7u);
+  m.Record(3);
+  EXPECT_EQ(m.Median(), 3u);
+}
+
 TEST(IntervalCounterTest, DeltaSnapshots) {
   IntervalCounter c;
   c.Add(10);

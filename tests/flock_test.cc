@@ -163,7 +163,7 @@ TEST(FlockRpcTest, SharedLaneCoalescesConcurrentRequests) {
           const bool ok = co_await conn->AwaitResponse(*thread, rpc);
           EXPECT_TRUE(ok);
           EXPECT_EQ(rpc->response.size(), 64u);
-          delete rpc;
+          conn->FreeRpc(rpc);
           ++completed;
         }
       }

@@ -24,7 +24,8 @@ sim::Proc EchoWorker(verbs::Cluster* cluster, Connection* conn, FlockThread* thr
   }
 }
 
-double RunLockstep(int threads, uint32_t lanes, Nanos duration, uint64_t* done_out) {
+double RunLockstep(int threads, uint32_t lanes, Nanos duration, uint64_t* done_out,
+                   uint64_t* events_out = nullptr) {
   verbs::Cluster cluster(
       verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 34});
   FlockConfig config;
@@ -45,6 +46,9 @@ double RunLockstep(int threads, uint32_t lanes, Nanos duration, uint64_t* done_o
   }
   cluster.sim().RunFor(duration);
   *done_out = done;
+  if (events_out != nullptr) {
+    *events_out = cluster.sim().events_processed();
+  }
   return conn->MeanCoalescing();
 }
 
@@ -67,6 +71,24 @@ TEST(LockstepTest, FourThreadsTwoLanes) {
   uint64_t done = 0;
   const double coal = RunLockstep(4, 2, 2 * kMillisecond, &done);
   EXPECT_GT(coal, 1.8);
+}
+
+// The simulation kernel must be bit-for-bit deterministic: the calendar
+// queue, the object pools, and the coroutine frame recycling are all
+// perf-motivated, and each one could silently perturb execution order (e.g.
+// address-dependent hashing or FIFO-vs-heap tie-breaks). Running the same
+// configured workload twice must yield the exact same event count and the
+// exact same simulated results — not merely statistically similar ones.
+TEST(LockstepTest, IdenticalRunsAreBitForBitDeterministic) {
+  uint64_t done_a = 0, events_a = 0;
+  const double coal_a = RunLockstep(8, 4, 2 * kMillisecond, &done_a, &events_a);
+  uint64_t done_b = 0, events_b = 0;
+  const double coal_b = RunLockstep(8, 4, 2 * kMillisecond, &done_b, &events_b);
+  EXPECT_EQ(events_a, events_b);
+  EXPECT_EQ(done_a, done_b);
+  EXPECT_EQ(coal_a, coal_b);
+  EXPECT_GT(events_a, 0u);
+  EXPECT_GT(done_a, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,229 @@
+// Unit tests for the allocation-free hot-path building blocks in
+// src/common/pool.h: Pool, SmallBuf, and SeqSlotMap.
+#include "src/common/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace flock {
+namespace {
+
+struct Tracked {
+  explicit Tracked(int v) : value(v) { ++live; }
+  ~Tracked() { --live; }
+  int value;
+  static int live;
+};
+int Tracked::live = 0;
+
+TEST(PoolTest, NewConstructsDeleteDestroys) {
+  Tracked::live = 0;
+  Pool<Tracked> pool(4);
+  Tracked* a = pool.New(7);
+  EXPECT_EQ(a->value, 7);
+  EXPECT_EQ(Tracked::live, 1);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  pool.Delete(a);
+  EXPECT_EQ(Tracked::live, 0);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PoolTest, ReleasedSlotIsReused) {
+  Pool<Tracked> pool(4);
+  Tracked* a = pool.New(1);
+  pool.Delete(a);
+  Tracked* b = pool.New(2);
+  // The freed slot parks on the free list and must be handed out again.
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.reused(), 1u);
+  pool.Delete(b);
+}
+
+TEST(PoolTest, GrowsBySlabsWithoutMovingLiveObjects) {
+  Pool<Tracked> pool(4);
+  std::vector<Tracked*> objs;
+  for (int i = 0; i < 10; ++i) {
+    objs.push_back(pool.New(i));
+  }
+  EXPECT_EQ(pool.slab_count(), 3u);   // ceil(10 / 4)
+  EXPECT_EQ(pool.capacity(), 12u);
+  EXPECT_EQ(pool.outstanding(), 10u);
+  // Growth must not have disturbed earlier objects.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(objs[i]->value, i);
+  }
+  // All pointers distinct.
+  EXPECT_EQ(std::set<Tracked*>(objs.begin(), objs.end()).size(), 10u);
+  for (Tracked* t : objs) {
+    pool.Delete(t);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(PoolTest, SteadyStateChurnsWithoutGrowth) {
+  Pool<Tracked> pool(8);
+  for (int round = 0; round < 100; ++round) {
+    Tracked* a = pool.New(round);
+    Tracked* b = pool.New(round + 1);
+    pool.Delete(a);
+    pool.Delete(b);
+  }
+  EXPECT_EQ(pool.slab_count(), 1u);
+  EXPECT_GE(pool.reused(), 198u);  // everything after the first two came from the free list
+}
+
+TEST(PoolTest, DeleteNullIsNoop) {
+  Pool<Tracked> pool;
+  pool.Delete(nullptr);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PoolTest, OutstandingObjectsDestroyedWithPool) {
+  Tracked::live = 0;
+  {
+    Pool<Tracked> pool(4);
+    pool.New(1);
+    pool.New(2);
+    EXPECT_EQ(Tracked::live, 2);
+  }
+  // Leaked-into-the-pool objects (in-flight ops at shutdown) are reclaimed.
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(PoolDeathTest, DoubleFreeIsCaught) {
+  Pool<Tracked> pool(4);
+  Tracked* a = pool.New(1);
+  pool.Delete(a);
+  EXPECT_DEATH(pool.Delete(a), "double free");
+}
+
+TEST(SmallBufTest, SmallPayloadStaysInline) {
+  SmallBuf<128> buf;
+  EXPECT_TRUE(buf.empty());
+  uint8_t* p = buf.Resize(128);
+  std::memset(p, 0xab, 128);
+  EXPECT_TRUE(buf.inlined());
+  EXPECT_EQ(buf.size(), 128u);
+  EXPECT_EQ(buf.data()[127], 0xab);
+}
+
+TEST(SmallBufTest, LargePayloadSpillsToHeap) {
+  SmallBuf<128> buf;
+  uint8_t* p = buf.Resize(4096);
+  std::memset(p, 0xcd, 4096);
+  EXPECT_FALSE(buf.inlined());
+  EXPECT_EQ(buf.size(), 4096u);
+  EXPECT_EQ(buf.data()[4095], 0xcd);
+  // Shrinking back re-uses the inline storage.
+  buf.Resize(16)[0] = 1;
+  EXPECT_TRUE(buf.inlined());
+}
+
+TEST(SmallBufTest, AssignAndCopyTo) {
+  const uint8_t src[5] = {1, 2, 3, 4, 5};
+  SmallBuf<128> buf;
+  buf.Assign(src, 5);
+  std::vector<uint8_t> out;
+  buf.CopyTo(&out);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(std::memcmp(out.data(), src, 5), 0);
+}
+
+TEST(SmallBufTest, MoveTransfersInlineContents) {
+  SmallBuf<128> a;
+  const uint8_t src[3] = {9, 8, 7};
+  a.Assign(src, 3);
+  SmallBuf<128> b(std::move(a));
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data()[0], 9);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): moved-from is empty
+}
+
+TEST(SmallBufTest, MoveStealsHeapBlock) {
+  SmallBuf<16> a;
+  uint8_t* p = a.Resize(1000);
+  std::memset(p, 0x5a, 1000);
+  const uint8_t* heap_before = a.data();
+  SmallBuf<16> b;
+  b = std::move(a);
+  EXPECT_EQ(b.data(), heap_before);  // ownership moved, no copy
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_EQ(b.data()[999], 0x5a);
+  // Moved-from buffer is reusable.
+  a.Resize(8)[0] = 1;
+  EXPECT_TRUE(a.inlined());
+}
+
+TEST(SeqSlotMapTest, InsertTakeRoundTrip) {
+  SeqSlotMap<int> map;
+  int values[3] = {10, 20, 30};
+  map.Insert(1, &values[0]);
+  map.Insert(2, &values[1]);
+  map.Insert(3, &values[2]);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.Take(2), &values[1]);
+  EXPECT_EQ(map.Take(2), nullptr);  // already taken
+  EXPECT_EQ(map.Take(1), &values[0]);
+  EXPECT_EQ(map.Take(3), &values[2]);
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(SeqSlotMapTest, TakeOnEmptyMap) {
+  SeqSlotMap<int> map;
+  EXPECT_EQ(map.Take(42), nullptr);
+}
+
+TEST(SeqSlotMapTest, GrowsPastInitialCapacityAndKeepsEntries) {
+  SeqSlotMap<int> map;
+  std::vector<int> values(1000);
+  std::iota(values.begin(), values.end(), 0);
+  for (uint32_t seq = 1; seq <= 1000; ++seq) {
+    map.Insert(seq, &values[seq - 1]);
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint32_t seq = 1; seq <= 1000; ++seq) {
+    EXPECT_EQ(map.Take(seq), &values[seq - 1]);
+  }
+}
+
+TEST(SeqSlotMapTest, SlidingWindowMatchesRpcUsage) {
+  // The real access pattern: a dense window of recent sequence numbers,
+  // inserted in order, removed roughly in order.
+  SeqSlotMap<int> map;
+  int dummy[64];
+  uint32_t next = 1;
+  for (uint32_t i = 0; i < 64; ++i) {
+    map.Insert(next, &dummy[next % 64]);
+    ++next;
+  }
+  for (int round = 0; round < 10000; ++round) {
+    const uint32_t oldest = next - 64;
+    ASSERT_EQ(map.Take(oldest), &dummy[oldest % 64]);
+    map.Insert(next, &dummy[next % 64]);
+    ++next;
+  }
+  EXPECT_EQ(map.size(), 64u);
+  // Table stays bounded: backward-shift deletion leaves no tombstones.
+  EXPECT_LE(map.capacity(), 256u);
+}
+
+TEST(SeqSlotMapTest, CollidingKeysAfterDeletionStillFound) {
+  // Force probe chains across the wrap point, then delete from the middle —
+  // backward-shift must keep the remaining chain reachable.
+  SeqSlotMap<int> map;
+  int dummy[8];
+  // 64-slot initial table: keys 63, 127, 191 all hash to slot 63 and wrap.
+  map.Insert(63, &dummy[0]);
+  map.Insert(127, &dummy[1]);
+  map.Insert(191, &dummy[2]);
+  EXPECT_EQ(map.Take(127), &dummy[1]);
+  EXPECT_EQ(map.Take(191), &dummy[2]);
+  EXPECT_EQ(map.Take(63), &dummy[0]);
+}
+
+}  // namespace
+}  // namespace flock
