@@ -1,0 +1,186 @@
+// Fault-recovery bench: kill one of the client's lanes mid-run and measure
+// how much steady-state throughput survives.
+//
+// Two runs share every parameter except the fault. The baseline run is
+// fault-free; the faulted run kills one client-side lane QP at 1/4 of the
+// simulated span. Both measure completed RPCs inside the final quarter of the
+// span — long after the kill — so the ratio ("recovery") isolates the
+// steady-state cost of running one lane short plus any residual retry noise,
+// not the transient dip while the failure is detected. The bench asserts the
+// failure-handling contract: zero aborts, every issued RPC either completes
+// ok (possibly via retry) or surfaces ok=false, and recovery >= 90%.
+//
+// Usage:
+//   fault_recovery [--threads=16] [--lanes=8] [--payload=64] [--sim-ms=20]
+//                  [--timeout-us=200] [--retries=5] [--min-recovery=0.9]
+//                  [--json=BENCH_fault_recovery.json]
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/flock/flock.h"
+
+namespace flock::bench {
+namespace {
+
+struct RecoveryResult {
+  uint64_t ok = 0;            // RPCs completed successfully over the full run
+  uint64_t fail = 0;          // RPCs surfaced as ok=false
+  uint64_t window_rpcs = 0;   // completions inside the final-quarter window
+  uint64_t retries = 0;
+  uint64_t failed_rpcs = 0;
+  uint64_t spurious = 0;
+  uint64_t client_lane_failures = 0;
+  uint64_t server_lane_failures = 0;
+};
+
+sim::Proc EchoWorker(Connection* conn, FlockThread* thread, uint32_t payload_bytes,
+                     uint64_t* ok, uint64_t* fail) {
+  std::vector<uint8_t> payload(payload_bytes, 0x5a);
+  std::vector<uint8_t> resp;
+  for (;;) {
+    if (co_await conn->Call(*thread, 1, payload.data(), payload_bytes, &resp)) {
+      (*ok)++;
+    } else {
+      (*fail)++;
+    }
+  }
+}
+
+RecoveryResult RunOnce(bool inject, int threads, uint32_t lanes,
+                       uint32_t payload_bytes, Nanos sim_span, Nanos rpc_timeout,
+                       uint32_t max_retries) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2,
+                                                .cores_per_node = 34});
+  FlockConfig server_cfg;
+  FlockRuntime server(cluster, 0, server_cfg);
+  server.RegisterHandler(1, [](const uint8_t* req, uint32_t req_len, uint8_t* resp,
+                               uint32_t, Nanos* cpu) -> uint32_t {
+    *cpu = 50;
+    std::memcpy(resp, req, req_len);
+    return req_len;
+  });
+  server.StartServer(4);
+
+  FlockConfig client_cfg;
+  client_cfg.rpc_timeout = rpc_timeout;
+  client_cfg.max_retries = static_cast<uint16_t>(max_retries);
+  FlockRuntime client(cluster, 1, client_cfg);
+  client.StartClient();
+  Connection* conn = client.Connect(server, lanes);
+
+  RecoveryResult r;
+  for (int t = 0; t < threads; ++t) {
+    cluster.sim().Spawn(
+        EchoWorker(conn, client.CreateThread(t), payload_bytes, &r.ok, &r.fail));
+  }
+  if (inject) {
+    cluster.fault().KillQpAt(sim_span / 4, /*node=*/1, conn->lane(0).qp->qpn());
+  }
+
+  cluster.sim().RunFor(sim_span - sim_span / 4);
+  const uint64_t before_window = r.ok + r.fail;
+  cluster.sim().RunFor(sim_span / 4);
+
+  r.window_rpcs = r.ok + r.fail - before_window;
+  r.retries = client.client_stats().retries;
+  r.failed_rpcs = client.client_stats().failed_rpcs;
+  r.spurious = client.client_stats().spurious_responses;
+  r.client_lane_failures = client.client_stats().lane_failures;
+  r.server_lane_failures = server.server_stats().lane_failures;
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int threads = static_cast<int>(flags.Int("threads", 16));
+  const uint32_t lanes = static_cast<uint32_t>(flags.Int("lanes", 8));
+  const uint32_t payload = static_cast<uint32_t>(flags.Int("payload", 64));
+  const Nanos sim_span = flags.Int("sim-ms", 20) * kMillisecond;
+  const Nanos timeout = flags.Int("timeout-us", 200) * kMicrosecond;
+  const uint32_t retries = static_cast<uint32_t>(flags.Int("retries", 5));
+  const double min_recovery = flags.Double("min-recovery", 0.9);
+  JsonDump json(flags.Str("json", "BENCH_fault_recovery.json"), "fault_recovery");
+
+  PrintBanner("fault_recovery: throughput after killing 1 lane mid-run");
+  const RecoveryResult base =
+      RunOnce(false, threads, lanes, payload, sim_span, timeout, retries);
+  const RecoveryResult faulted =
+      RunOnce(true, threads, lanes, payload, sim_span, timeout, retries);
+
+  const double recovery = base.window_rpcs == 0
+                              ? 0.0
+                              : static_cast<double>(faulted.window_rpcs) /
+                                    static_cast<double>(base.window_rpcs);
+  std::printf("%-10s %12s %10s %10s %10s %10s %10s\n", "run", "window", "ok",
+              "fail", "retries", "lane_f", "spurious");
+  std::printf("%-10s %12lu %10lu %10lu %10lu %10lu %10lu\n", "baseline",
+              static_cast<unsigned long>(base.window_rpcs),
+              static_cast<unsigned long>(base.ok),
+              static_cast<unsigned long>(base.fail),
+              static_cast<unsigned long>(base.retries),
+              static_cast<unsigned long>(base.client_lane_failures),
+              static_cast<unsigned long>(base.spurious));
+  std::printf("%-10s %12lu %10lu %10lu %10lu %10lu %10lu\n", "faulted",
+              static_cast<unsigned long>(faulted.window_rpcs),
+              static_cast<unsigned long>(faulted.ok),
+              static_cast<unsigned long>(faulted.fail),
+              static_cast<unsigned long>(faulted.retries),
+              static_cast<unsigned long>(faulted.client_lane_failures),
+              static_cast<unsigned long>(faulted.spurious));
+  std::printf("recovery: %.1f%% of fault-free window throughput\n",
+              recovery * 100.0);
+  std::printf("CSV,fault_recovery,baseline,%lu,%lu,%lu,%lu\n",
+              static_cast<unsigned long>(base.window_rpcs),
+              static_cast<unsigned long>(base.ok),
+              static_cast<unsigned long>(base.fail),
+              static_cast<unsigned long>(base.retries));
+  std::printf("CSV,fault_recovery,faulted,%lu,%lu,%lu,%lu\n",
+              static_cast<unsigned long>(faulted.window_rpcs),
+              static_cast<unsigned long>(faulted.ok),
+              static_cast<unsigned long>(faulted.fail),
+              static_cast<unsigned long>(faulted.retries));
+
+  json.Row({{"threads", threads},
+            {"lanes", lanes},
+            {"payload_bytes", payload},
+            {"sim_ms", static_cast<int64_t>(sim_span / kMillisecond)},
+            {"timeout_us", static_cast<int64_t>(timeout / kMicrosecond)},
+            {"baseline_window_rpcs", base.window_rpcs},
+            {"faulted_window_rpcs", faulted.window_rpcs},
+            {"recovery", recovery},
+            {"faulted_ok", faulted.ok},
+            {"faulted_fail", faulted.fail},
+            {"retries", faulted.retries},
+            {"failed_rpcs", faulted.failed_rpcs},
+            {"spurious_responses", faulted.spurious},
+            {"client_lane_failures", faulted.client_lane_failures},
+            {"server_lane_failures", faulted.server_lane_failures}});
+
+  // Contract checks: the baseline run must be failure-free, the faulted run
+  // must detect exactly one client lane failure and recover.
+  bool pass = true;
+  if (base.fail != 0 || base.retries != 0 || base.client_lane_failures != 0) {
+    std::printf("FAIL: baseline run saw failure-path activity\n");
+    pass = false;
+  }
+  if (faulted.client_lane_failures != 1) {
+    std::printf("FAIL: expected exactly 1 client lane failure, saw %lu\n",
+                static_cast<unsigned long>(faulted.client_lane_failures));
+    pass = false;
+  }
+  if (recovery < min_recovery) {
+    std::printf("FAIL: recovery %.3f below threshold %.3f\n", recovery,
+                min_recovery);
+    pass = false;
+  }
+  std::printf("%s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace flock::bench
+
+int main(int argc, char** argv) { return flock::bench::Main(argc, argv); }

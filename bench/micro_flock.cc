@@ -43,7 +43,8 @@ void BM_MessageDecode(benchmark::State& state) {
   std::vector<wire::ReqView> views(n);
   for (auto _ : state) {
     wire::MsgHeader header;
-    benchmark::DoNotOptimize(wire::ProbeMessage(buf.data(), &header));
+    benchmark::DoNotOptimize(
+        wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header));
     benchmark::DoNotOptimize(wire::DecodeRequests(buf.data(), header, views.data()));
   }
   state.SetItemsProcessed(state.iterations() * n);

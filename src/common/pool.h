@@ -285,6 +285,18 @@ class SeqSlotMap {
   size_t size() const { return size_; }
   size_t capacity() const { return slots_.size(); }
 
+  // Visits every live entry (unspecified order). The callback must not
+  // mutate the map — collect first, then Insert/Take (used by the RPC retry
+  // watchdog to scan outstanding requests for expired deadlines).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.value != nullptr) {
+        fn(slot.seq, slot.value);
+      }
+    }
+  }
+
  private:
   struct Slot {
     uint32_t seq = 0;

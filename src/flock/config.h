@@ -51,6 +51,15 @@ struct FlockConfig {
   // gathered batches to an application-managed pool of N RPC workers running
   // on the cores above the dispatchers'.
   int server_workers = 0;
+
+  // ---- failure handling (§7) ----
+  // Per-RPC timeout before a retry is attempted; exponential backoff doubles
+  // it per attempt. 0 disables timeouts/retries entirely: no watchdog proc is
+  // spawned, so with fault injection unarmed the simulation trace stays
+  // bit-identical to a build without failure handling.
+  Nanos rpc_timeout = 0;
+  // Retries before an RPC gives up and surfaces ok=false to the caller.
+  uint32_t max_retries = 3;
 };
 
 }  // namespace flock

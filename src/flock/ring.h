@@ -121,7 +121,7 @@ class RingConsumer {
         return wire::ProbeResult::kIncomplete;
       }
       wire::MsgHeader h;
-      const wire::ProbeResult result = wire::ProbeMessage(at, &h);
+      const wire::ProbeResult result = wire::ProbeMessage(at, size_ - head_, &h);
       if (result == wire::ProbeResult::kWrap) {
         std::memset(base_ + head_, 0, wire::kWrapMarkerBytes);
         // The marker and the dead space behind it count as consumed, matching

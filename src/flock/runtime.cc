@@ -56,6 +56,11 @@ void FlockRuntime::StartClient() {
     cluster_.sim().Spawn(ResponseDispatcher(i));
   }
   cluster_.sim().Spawn(ThreadScheduler());
+  // The retry watchdog exists only when timeouts are enabled, so the default
+  // configuration spawns no extra proc and the event trace stays untouched.
+  if (config_.rpc_timeout > 0) {
+    cluster_.sim().Spawn(RetryWatchdog());
+  }
 }
 
 FlockThread* FlockRuntime::CreateThread(int core) {
@@ -175,7 +180,8 @@ Connection* FlockRuntime::Connect(FlockRuntime& server, uint32_t lanes) {
     // Receives for control write-with-imm messages, both directions.
     for (int r = 0; r < 16; ++r) {
       cqp->PostRecv(verbs::RecvWr{internal::TagWrId(WrTag::kRecv, cl.get()), 0, 0});
-      sqp->PostRecv(verbs::RecvWr{internal::TagWrId(WrTag::kRecv, sl.get()), 0, 0});
+      sqp->PostRecv(
+          verbs::RecvWr{internal::TagWrId(WrTag::kServerRecv, sl.get()), 0, 0});
     }
 
     // Activation and bootstrap credits (§5.1: C at bootstrap).
@@ -211,6 +217,27 @@ uint32_t Connection::num_active_lanes() const {
     n += lane->active ? 1 : 0;
   }
   return n;
+}
+
+uint32_t Connection::num_failed_lanes() const {
+  uint32_t n = 0;
+  for (const auto& lane : lanes_) {
+    n += lane->failed ? 1 : 0;
+  }
+  return n;
+}
+
+void Connection::QuarantineLane(ClientLane& lane) {
+  if (lane.failed) {
+    return;
+  }
+  lane.failed = true;
+  lane.active = false;
+  lane.credits = 0;
+  lane.renew_in_flight = false;
+  client_->client_stats_.lane_failures += 1;
+  // Wake the pump so queued work migrates (or drains) off the dead lane.
+  lane.send_ready.NotifyAll();
 }
 
 uint64_t Connection::messages_sent() const {
@@ -268,7 +295,17 @@ internal::ClientLane& Connection::LaneFor(FlockThread& thread) {
       }
     }
     if (active.empty()) {
-      active.push_back(0);  // server guarantees >= 1 active; transient only
+      // Server guarantees >= 1 active in healthy operation, so this is
+      // transient; prefer any surviving lane over a quarantined one.
+      for (uint32_t i = 0; i < lanes_.size(); ++i) {
+        if (!lanes_[i]->failed) {
+          active.push_back(i);
+          break;
+        }
+      }
+      if (active.empty()) {
+        active.push_back(0);  // every lane dead: nowhere better to stage
+      }
     }
     current = active[tid % active.size()];
     thread_lane_[tid] = current;
@@ -290,6 +327,13 @@ sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
   rpc->seq = thread.NextSeq();
   rpc->thread_id = thread.id();
   rpc->submitted_at = client_->sim().Now();
+  rpc->lane_index = lane.index;
+  if (config.rpc_timeout > 0) {
+    // Failure handling armed: retain the payload for retransmission and set
+    // the first deadline. With timeouts off, neither field is ever read.
+    rpc->deadline = rpc->submitted_at + config.rpc_timeout;
+    rpc->request.Assign(data, len);
+  }
   if (pending_.size() <= thread.id()) {
     pending_.resize(size_t{thread.id()} + 1);
   }
@@ -327,6 +371,7 @@ sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
   // raises its copy-completion flag, which the leader polls (§4.2).
   bool sent = false;
   handle->sent_flag = &sent;
+  handle->sent_cond = lane.sent_cond.get();
   co_await thread.core().Work(cost.MemcpyCost(len + wire::kMetaBytes));
   handle->copied = true;
   lane.copy_done->NotifyAll();
@@ -491,12 +536,39 @@ sim::Proc Connection::Pump(ClientLane& lane) {
           lane.combine_head = nullptr;
           lane.combine_tail = nullptr;
           target->inflight += moved;
-          FLOCK_CHECK_GE(lane.inflight, moved);
-          lane.inflight -= moved;
+          lane.inflight -= std::min<uint64_t>(lane.inflight, moved);
           if (!target->pump_running) {
             target->pump_running = true;
             sim.Spawn(Pump(*target));
           }
+          lane.pump_running = false;
+          co_return;
+        }
+        if (lane.failed) {
+          // Quarantined with nowhere to migrate: drop the queued sends and
+          // release their waiters. The RPCs stay pending — the retry watchdog
+          // retransmits them (or fails them) on whatever lane survives.
+          if (batch_tail != nullptr) {
+            batch_tail->next = lane.combine_head;
+            lane.combine_head = batch_head;
+            if (lane.combine_tail == nullptr) {
+              lane.combine_tail = batch_tail;
+            }
+          }
+          for (PendingSend* ps = lane.combine_head; ps != nullptr;) {
+            PendingSend* next = ps->next;
+            if (ps->sent_flag != nullptr) {
+              *ps->sent_flag = true;
+            }
+            if (ps->sent_cond != nullptr && ps->sent_cond != lane.sent_cond.get()) {
+              ps->sent_cond->NotifyAll();
+            }
+            client_->send_pool_.Delete(ps);
+            ps = next;
+          }
+          lane.combine_head = nullptr;
+          lane.combine_tail = nullptr;
+          lane.sent_cond->NotifyAll();
           lane.pump_running = false;
           co_return;
         }
@@ -563,8 +635,18 @@ sim::Proc Connection::Pump(ClientLane& lane) {
     co_await core.Work(static_cast<Nanos>(nwrs) * cost.cpu_wqe_prep +
                        cost.cpu_mmio_doorbell);
     const verbs::WcStatus status = lane.qp->PostSendBatch(wrs, nwrs);
-    FLOCK_CHECK(status == verbs::WcStatus::kSuccess)
-        << "post failed: " << verbs::WcStatusName(status);
+    if (status != verbs::WcStatus::kSuccess) {
+      // The QP is dead (it rejects posts only in the error state). Quarantine
+      // the lane and push the batch back in front of the queue: the migration
+      // branch above re-routes everything to a surviving lane next iteration.
+      QuarantineLane(lane);
+      batch_tail->next = lane.combine_head;
+      lane.combine_head = batch_head;
+      if (lane.combine_tail == nullptr) {
+        lane.combine_tail = batch_tail;
+      }
+      continue;
+    }
 
     lane.messages_sent += 1;
     lane.requests_sent += n;
@@ -574,6 +656,10 @@ sim::Proc Connection::Pump(ClientLane& lane) {
       PendingSend* next = ps->next;
       if (ps->sent_flag != nullptr) {
         *ps->sent_flag = true;
+      }
+      // Requests migrated from a quarantined lane carry that lane's waker.
+      if (ps->sent_cond != nullptr && ps->sent_cond != lane.sent_cond.get()) {
+        ps->sent_cond->NotifyAll();
       }
       client_->send_pool_.Delete(ps);
       ps = next;
@@ -747,8 +833,8 @@ sim::Proc FlockRuntime::RequestDispatcher(int index) {
          ++li) {
       ServerLane& lane = *dispatcher_lanes_[static_cast<size_t>(index)][li];
       pass_cost += cost.cpu_ring_poll_empty;
-      if (lane.in_service) {
-        continue;  // an RPC worker owns this lane's head message right now
+      if (lane.in_service || lane.failed) {
+        continue;  // owned by an RPC worker right now, or quarantined
       }
       wire::MsgHeader header;
       const wire::ProbeResult probe = lane.req_consumer->Probe(&header);
@@ -785,7 +871,8 @@ sim::Proc FlockRuntime::RpcWorker(int index) {
     ServerLane& lane = *work_queue_.front();
     work_queue_.pop_front();
     wire::MsgHeader header;
-    if (lane.req_consumer->Probe(&header) == wire::ProbeResult::kMessage) {
+    if (!lane.failed &&
+        lane.req_consumer->Probe(&header) == wire::ProbeResult::kMessage) {
       co_await core.Work(cost.cpu_cacheline_transfer);  // take over the lane
       co_await HandleRequestMessage(lane, core, header, scratch);
     }
@@ -865,7 +952,25 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
   // client's dispatcher keeps fresh (the §4.1 fallback for a stale Head).
   const uint32_t msg_len = wire::MessageBytes(total_reqs, resp_bytes);
   RingProducer::Reservation resv;
+  uint64_t stalls = 0;
   while (!lane.resp_producer.Reserve(msg_len, &resv)) {
+    if (lane.failed) {
+      // The client stopped consuming because it is gone, not slow. Drop the
+      // responses; its RPCs recover (or fail) through their own timeouts.
+      server_stats_.responses_dropped += 1;
+      co_return;
+    }
+    // A stuck ring with faults armed may mean the client silently died.
+    // Periodically re-post the control slot *signaled*: a dead QP answers
+    // with an error completion, which quarantines the lane and ends this
+    // stall. (Gated on armed() so fault-free traces see no extra posts.)
+    if (cluster_.fault().armed() && (++stalls & 63) == 0) {
+      WriteCtrlSlot(lane, /*signaled=*/true);
+      if (lane.failed) {
+        server_stats_.responses_dropped += 1;
+        co_return;
+      }
+    }
     co_await sim::Delay(cluster_.sim(), kMicrosecond);
     std::memcpy(&slot_value, lane.head_slot_ptr, 4);
     lane.resp_producer.OnHeadUpdate(slot_value);
@@ -890,7 +995,7 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
   if (resv.wrapped) {
     wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
     verbs::SendWr marker;
-    marker.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
+    marker.wr_id = internal::TagWrId(WrTag::kServerWrite, &lane);
     marker.opcode = verbs::Opcode::kWrite;
     marker.local_addr = lane.staging_addr + resv.marker_offset;
     marker.length = wire::kWrapMarkerBytes;
@@ -900,7 +1005,7 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
     wrs[nwrs++] = marker;
   }
   verbs::SendWr msg;
-  msg.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
+  msg.wr_id = internal::TagWrId(WrTag::kServerWrite, &lane);
   msg.opcode = verbs::Opcode::kWrite;
   msg.local_addr = lane.staging_addr + resv.offset;
   msg.length = msg_len;
@@ -913,7 +1018,11 @@ sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& co
   co_await core.Work(static_cast<Nanos>(nwrs) * cost.cpu_wqe_prep +
                      cost.cpu_mmio_doorbell);
   const verbs::WcStatus status = lane.qp->PostSendBatch(wrs, nwrs);
-  FLOCK_CHECK(status == verbs::WcStatus::kSuccess);
+  if (status != verbs::WcStatus::kSuccess) {
+    QuarantineServerLane(lane);
+    server_stats_.responses_dropped += 1;
+    co_return;
+  }
   server_stats_.responses_sent += 1;
 }
 
@@ -933,12 +1042,20 @@ sim::Proc FlockRuntime::QpScheduler() {
     // (§7: polling the RCQ avoids synchronizing with the request dispatchers).
     while (recv_cq_->Poll(&wc)) {
       work += cost.cpu_cqe_handle + cost.cpu_post_recv;
+      if (internal::WrIdTag(wc.wr_id) != WrTag::kServerRecv) {
+        // A dual-role node's client-side receives land here too; only a QP
+        // flush ever completes them (the server never sends imms clientward).
+        continue;
+      }
+      auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
+      if (wc.status != verbs::WcStatus::kSuccess) {
+        QuarantineServerLane(*lane);  // flushed: the lane's QP is dead
+        continue;
+      }
       CtrlType type;
       uint32_t lane_index, value;
       internal::UnpackCtrl(wc.imm, &type, &lane_index, &value);
-      FLOCK_CHECK(internal::WrIdTag(wc.wr_id) == WrTag::kRecv);
       FLOCK_CHECK(type == CtrlType::kRenewRequest);
-      auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
       lane->qp->PostRecv(verbs::RecvWr{wc.wr_id, 0, 0});
       server_stats_.credit_renewals += 1;
       lane->utilization += value;  // U_ij += reported median degree
@@ -958,6 +1075,8 @@ sim::Proc FlockRuntime::QpScheduler() {
         auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
         op->status = wc.status;
         op->done_event.Fire(cluster_.sim());
+      } else if (wc.status != verbs::WcStatus::kSuccess) {
+        HandleSendError(wc);
       }
     }
 
@@ -970,20 +1089,62 @@ sim::Proc FlockRuntime::QpScheduler() {
   }
 }
 
-void FlockRuntime::WriteCtrlSlot(ServerLane& lane) {
+void FlockRuntime::WriteCtrlSlot(ServerLane& lane, bool signaled) {
   internal::CtrlSlot slot;
   slot.grant_cumulative = lane.grant_cumulative;
   slot.active = lane.active ? 1 : 0;
   std::memcpy(lane.ctrl_src_ptr, &slot, sizeof(slot));
   verbs::SendWr wr;
-  wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
+  wr.wr_id = internal::TagWrId(WrTag::kServerCtrl, &lane);
   wr.opcode = verbs::Opcode::kWrite;
   wr.local_addr = lane.ctrl_src_addr;
   wr.length = sizeof(slot);
   wr.remote_addr = lane.ctrl_slot_remote_addr;
   wr.rkey = lane.ctrl_slot_rkey;
-  wr.signaled = false;
-  FLOCK_CHECK(lane.qp->PostSend(wr) == verbs::WcStatus::kSuccess);
+  wr.signaled = signaled;
+  if (lane.qp->PostSend(wr) != verbs::WcStatus::kSuccess) {
+    QuarantineServerLane(lane);
+  }
+}
+
+void FlockRuntime::QuarantineServerLane(ServerLane& lane) {
+  if (lane.failed) {
+    return;
+  }
+  lane.failed = true;
+  if (lane.active) {
+    lane.active = false;
+    server_stats_.deactivations += 1;
+  }
+  server_stats_.lane_failures += 1;
+}
+
+void FlockRuntime::HandleSendError(const verbs::Completion& wc) {
+  switch (internal::WrIdTag(wc.wr_id)) {
+    case WrTag::kRpcWrite:
+    case WrTag::kCtrl: {
+      auto* lane = internal::WrIdPtr<ClientLane>(wc.wr_id);
+      if (internal::IsFatalWcStatus(wc.status)) {
+        lane->conn->QuarantineLane(*lane);
+      }
+      // Transient statuses (RNR, remote access): the write was lost on the
+      // wire; per-RPC timeouts retransmit whatever it carried.
+      break;
+    }
+    case WrTag::kServerWrite:
+    case WrTag::kServerCtrl: {
+      auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
+      if (internal::IsFatalWcStatus(wc.status)) {
+        QuarantineServerLane(*lane);
+      }
+      if (internal::WrIdTag(wc.wr_id) == WrTag::kServerWrite) {
+        server_stats_.responses_dropped += 1;
+      }
+      break;
+    }
+    default:
+      break;  // kMemOp handled by its own completion event; recvs never here
+  }
 }
 
 void FlockRuntime::Redistribute() {
@@ -999,9 +1160,37 @@ void FlockRuntime::Redistribute() {
   uint32_t dormant = 0;
   for (SenderState& sender : senders_) {
     sender.utilization = 0;
+    bool any_failed = false;
+    uint32_t live = 0;
     for (ServerLane* lane : sender.lanes) {
+      if (lane->failed) {
+        any_failed = true;
+        continue;
+      }
+      ++live;
       lane->utilization += lane->messages_handled - lane->messages_at_last_sweep;
       sender.utilization += lane->utilization;
+    }
+    // Dead-sender reclamation: transport evidence (>= 1 failed lane) plus a
+    // fully idle interval condemns the rest — the sender's QPs terminate at
+    // one client node, and a node that stopped driving every one of its lanes
+    // is gone, not slow. Releases the sender's share of MAX_AQP.
+    if (any_failed && live > 0 && sender.utilization == 0) {
+      for (ServerLane* lane : sender.lanes) {
+        if (!lane->failed) {
+          QuarantineServerLane(*lane);
+        }
+      }
+      live = 0;
+    }
+    const bool was_dead = sender.dead;
+    sender.dead = live == 0 && !sender.lanes.empty();
+    if (sender.dead) {
+      sender.functioning = false;
+      if (!was_dead) {
+        server_stats_.dead_senders += 1;
+      }
+      continue;  // no budget participation at all
     }
     total_utilization += sender.utilization;
     dormant += sender.utilization == 0 ? 1 : 0;
@@ -1012,7 +1201,19 @@ void FlockRuntime::Redistribute() {
       config_.max_active_qps > dormant ? config_.max_active_qps - dormant : 1;
 
   for (SenderState& sender : senders_) {
-    const uint32_t lane_count = static_cast<uint32_t>(sender.lanes.size());
+    if (sender.dead) {
+      // Sweep bookkeeping only: no activation, no grants, nothing to decide.
+      for (ServerLane* lane : sender.lanes) {
+        lane->messages_at_last_sweep = lane->messages_handled;
+        lane->utilization = 0;
+      }
+      sender.utilization = 0;
+      continue;
+    }
+    uint32_t lane_count = 0;  // live (non-quarantined) lanes only
+    for (ServerLane* lane : sender.lanes) {
+      lane_count += lane->failed ? 0 : 1;
+    }
     if (lane_count == 0) {
       continue;
     }
@@ -1059,9 +1260,16 @@ void FlockRuntime::Redistribute() {
                 }
                 return a->index < b->index;
               });
+    uint32_t rank = 0;  // rank among live lanes: failed ones hold no slot
     for (uint32_t i = 0; i < order.size(); ++i) {
       ServerLane& lane = *order[i];
-      const bool want_active = i < target;
+      if (lane.failed) {
+        lane.messages_at_last_sweep = lane.messages_handled;
+        lane.utilization = 0;
+        continue;
+      }
+      const bool want_active = rank < target;
+      ++rank;
       if (want_active && !lane.active) {
         lane.active = true;
         server_stats_.activations += 1;
@@ -1072,6 +1280,15 @@ void FlockRuntime::Redistribute() {
         lane.active = false;
         server_stats_.deactivations += 1;
         WriteCtrlSlot(lane);
+      } else if (cluster_.fault().armed() && lane.active &&
+                 lane.utilization == 0) {
+        // Liveness probe (armed runs only — plain bool, zero events in
+        // fault-free traces): an active lane that moved nothing all interval
+        // may terminate at a dead client QP that the server would otherwise
+        // never touch again. The signaled slot rewrite is idempotent against
+        // a healthy peer and completes in error against a dead one, which
+        // quarantines the lane via the scheduler's send-CQ poll.
+        WriteCtrlSlot(lane, /*signaled=*/true);
       }
       lane.messages_at_last_sweep = lane.messages_handled;
       lane.utilization = 0;
@@ -1085,6 +1302,9 @@ void FlockRuntime::Redistribute() {
 // ---------------------------------------------------------------------------
 
 void FlockRuntime::ApplyCtrlSlot(ClientLane& lane) {
+  if (lane.failed) {
+    return;  // quarantined: stale grants/activation must not resurrect it
+  }
   // Polled every dispatcher pass: read through the cached pointer rather than
   // the bounds-checked chunked MemorySpace path.
   internal::CtrlSlot slot;
@@ -1106,6 +1326,33 @@ void FlockRuntime::ApplyCtrlSlot(ClientLane& lane) {
   if (changed) {
     lane.send_ready.NotifyAll();  // wake the pump (or let it migrate work)
   }
+  // Lost-control-message recovery (armed runs only — plain bool check, no
+  // events otherwise): renewal imms and grant-slot writes are unacked, so an
+  // injected drop of either starves the lane with renew_in_flight latched.
+  // A lane stuck with queued work and no credits for many passes re-requests
+  // renewal; cumulative grants make duplicates harmless.
+  if (cluster_.fault().armed()) {
+    if (lane.active && lane.credits == 0 && lane.combine_head != nullptr) {
+      if (++lane.starved_passes >= 256) {
+        lane.starved_passes = 0;
+        verbs::SendWr wr;
+        wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
+        wr.opcode = verbs::Opcode::kWriteImm;
+        wr.local_addr = 0;
+        wr.length = 0;
+        wr.remote_addr = lane.remote_ring_addr;
+        wr.rkey = lane.remote_ring_rkey;
+        wr.signaled = false;
+        wr.imm = internal::PackCtrl(CtrlType::kRenewRequest, lane.index, 1);
+        lane.renew_in_flight = true;
+        if (lane.qp->PostSend(wr) != verbs::WcStatus::kSuccess) {
+          lane.conn->QuarantineLane(lane);
+        }
+      }
+    } else {
+      lane.starved_passes = 0;
+    }
+  }
 }
 
 sim::Proc FlockRuntime::ResponseDispatcher(int index) {
@@ -1126,6 +1373,8 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
         auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
         op->status = wc.status;
         op->done_event.Fire(cluster_.sim());
+      } else if (wc.status != verbs::WcStatus::kSuccess) {
+        HandleSendError(wc);
       }
     }
 
@@ -1151,23 +1400,32 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
         FLOCK_CHECK(
             wire::DecodeRequests(lane.resp_consumer->MessagePtr(), header, views.data()));
         Nanos work = cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
+        uint32_t matched = 0;
         for (uint32_t i = 0; i < n; ++i) {
           const wire::ReqView& resp = views[i];
           PendingRpc* rpc = resp.meta.thread_id < conn->pending_.size()
                                 ? conn->pending_[resp.meta.thread_id].Take(
                                       resp.meta.seq)
                                 : nullptr;
-          FLOCK_CHECK(rpc != nullptr) << "response with no outstanding request";
+          if (rpc == nullptr) {
+            // A retransmitted request can yield two responses (at-least-once
+            // under retry); the second finds nothing outstanding.
+            client_stats_.spurious_responses += 1;
+            continue;
+          }
           rpc->response.Assign(resp.data, resp.meta.data_len);
           work += cost.MemcpyCost(resp.meta.data_len);
           rpc->ok = true;
+          rpc->deadline = 0;
           rpc->completed_at = cluster_.sim().Now();
           rpc->done_event.Fire(cluster_.sim());
           FlockThread& thread = *threads_[resp.meta.thread_id];
           thread.outstanding -= 1;
+          ++matched;
         }
-        FLOCK_CHECK_GE(lane.inflight, n);
-        lane.inflight -= n;
+        // Clamped: watchdog retries move in-flight accounting between lanes,
+        // so under failures the per-lane counter is advisory, not exact.
+        lane.inflight -= std::min<uint64_t>(lane.inflight, matched);
         work += cost.MemcpyCost(header.total_len);  // zero the consumed region
         lane.resp_consumer->Consume(header);
 
@@ -1186,7 +1444,9 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
           slot_wr.remote_addr = lane.head_slot_remote_addr;
           slot_wr.rkey = lane.head_slot_rkey;
           slot_wr.signaled = false;
-          FLOCK_CHECK(lane.qp->PostSend(slot_wr) == verbs::WcStatus::kSuccess);
+          if (lane.qp->PostSend(slot_wr) != verbs::WcStatus::kSuccess) {
+            conn->QuarantineLane(lane);
+          }
           work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
           lane.resp_bytes_since_send = 0;
         }
@@ -1320,6 +1580,96 @@ void FlockRuntime::RescheduleThreads(Connection& conn) {
       qp_load = 0;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Client: per-RPC timeouts, retransmission and failure (spawned only when
+// FlockConfig::rpc_timeout > 0)
+// ---------------------------------------------------------------------------
+
+sim::Proc FlockRuntime::RetryWatchdog() {
+  // Scan granularity bounds how late a deadline can fire; a quarter of the
+  // timeout keeps the added latency small relative to the timeout itself.
+  const Nanos tick = std::max<Nanos>(config_.rpc_timeout / 4, kMicrosecond);
+  for (;;) {
+    co_await sim::Delay(cluster_.sim(), tick);
+    const Nanos now = cluster_.sim().Now();
+    for (auto& conn : connections_) {
+      // Collect first: Retry/Fail mutate the maps ForEach walks.
+      watchdog_scratch_.clear();
+      for (auto& map : conn->pending_) {
+        map.ForEach([&](uint32_t, PendingRpc* rpc) {
+          if (rpc->deadline > 0 && now >= rpc->deadline) {
+            watchdog_scratch_.push_back(rpc);
+          }
+        });
+      }
+      for (PendingRpc* rpc : watchdog_scratch_) {
+        if (rpc->retries >= config_.max_retries) {
+          FailPendingRpc(*conn, rpc);
+        } else {
+          RetryPendingRpc(*conn, rpc);
+        }
+      }
+    }
+  }
+}
+
+void FlockRuntime::RetryPendingRpc(Connection& conn, PendingRpc* rpc) {
+  rpc->retries += 1;
+  // Exponential backoff: each attempt waits twice as long as the last.
+  rpc->deadline = cluster_.sim().Now() + (config_.rpc_timeout << rpc->retries);
+  client_stats_.retries += 1;
+
+  FlockThread& thread = *threads_[rpc->thread_id];
+  // Restage on the thread's current lane (LaneFor routes around quarantined
+  // lanes once the thread drains). The server matches responses globally by
+  // (thread, seq), so a retry on a different lane still completes this RPC.
+  ClientLane& old_lane = *conn.lanes_[rpc->lane_index];
+  ClientLane& lane = conn.LaneFor(thread);
+  if (&lane != &old_lane) {
+    old_lane.inflight -= std::min<uint64_t>(old_lane.inflight, 1);
+    lane.inflight += 1;
+    rpc->lane_index = lane.index;
+  }
+  // A timeout hints that an unacked control message may have been lost; let
+  // the next pump pass re-request credit renewal (duplicates are harmless).
+  lane.renew_in_flight = false;
+
+  PendingSend* ps = send_pool_.New();
+  ps->meta.data_len = rpc->request.size();
+  ps->meta.thread_id = rpc->thread_id;
+  ps->meta.rpc_id = rpc->rpc_id;
+  ps->meta.seq = rpc->seq;
+  ps->owner_core = &thread.core();
+  ps->data.Assign(rpc->request.data(), rpc->request.size());
+  ps->copied = true;  // payload staged right here; no follower copy phase
+  if (lane.combine_tail != nullptr) {
+    lane.combine_tail->next = ps;
+  } else {
+    lane.combine_head = ps;
+  }
+  lane.combine_tail = ps;
+  if (!lane.pump_running) {
+    lane.pump_running = true;
+    cluster_.sim().Spawn(conn.Pump(lane));
+  }
+}
+
+void FlockRuntime::FailPendingRpc(Connection& conn, PendingRpc* rpc) {
+  PendingRpc* taken = conn.pending_[rpc->thread_id].Take(rpc->seq);
+  FLOCK_CHECK(taken == rpc);
+  client_stats_.failed_rpcs += 1;
+  ClientLane& lane = *conn.lanes_[rpc->lane_index];
+  lane.inflight -= std::min<uint64_t>(lane.inflight, 1);
+  FlockThread& thread = *threads_[rpc->thread_id];
+  if (thread.outstanding > 0) {
+    thread.outstanding -= 1;
+  }
+  rpc->ok = false;
+  rpc->deadline = 0;
+  rpc->completed_at = cluster_.sim().Now();
+  rpc->done_event.Fire(cluster_.sim());
 }
 
 }  // namespace flock

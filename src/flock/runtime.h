@@ -94,6 +94,15 @@ struct PendingRpc {
   Nanos completed_at = 0;
   SmallBuf<128> response;
 
+  // Failure handling (populated only when FlockConfig::rpc_timeout > 0):
+  // the retained request payload for retransmission, the retry deadline,
+  // the lane currently accounting this RPC's in-flight slot, and the number
+  // of retries attempted so far.
+  SmallBuf<128> request;
+  Nanos deadline = 0;  // 0 = no timeout armed
+  uint32_t lane_index = 0;
+  uint16_t retries = 0;
+
   bool done() const { return done_event.done(); }
 };
 
@@ -133,6 +142,11 @@ struct PendingSend {
   // back-to-back requests never coalesce with each other (§8.5.2:
   // "coroutines of a single thread do not coalesce").
   bool* sent_flag = nullptr;
+  // Condition to notify alongside sent_flag. Normally the staging lane's
+  // sent_cond, but after a failed-lane migration the posting lane differs
+  // from the one the submitting coroutine is parked on, so the waker travels
+  // with the request. nullptr for watchdog retransmissions (no waiter).
+  sim::Condition* sent_cond = nullptr;
   PendingSend* next = nullptr;
 };
 
@@ -165,13 +179,28 @@ inline void UnpackCtrl(uint32_t imm, CtrlType* type, uint32_t* lane, uint32_t* v
   *value = imm & 0xffff;
 }
 
-// wr_id tagging so shared CQs can route completions.
+// wr_id tagging so shared CQs can route completions. Client- and server-role
+// posts carry distinct tags: a node can play both roles on the same shared
+// CQs, and error completions must resolve to the right lane type
+// (ClientLane* vs ServerLane*) to quarantine the right object.
 enum class WrTag : uint64_t {
-  kRpcWrite = 0,  // coalesced message / wrap marker writes
-  kMemOp = 1,     // PendingMemOp*
-  kCtrl = 2,      // control write-with-imm
-  kRecv = 3,      // lane pointer on posted receives
+  kRpcWrite = 0,     // client: coalesced message / wrap marker writes
+  kMemOp = 1,        // PendingMemOp*
+  kCtrl = 2,         // client: control write-with-imm / head-slot writes
+  kRecv = 3,         // client: ClientLane* on posted receives
+  kServerWrite = 4,  // server: response message / wrap marker writes
+  kServerCtrl = 5,   // server: control-slot writes
+  kServerRecv = 6,   // server: ServerLane* on posted receives
 };
+
+// Statuses that condemn the QP (and with it the lane): flushes and vanished
+// peers never heal on their own. RNR/remote-access errors are treated as
+// transient — the payload may be lost, but per-RPC timeouts recover it.
+inline bool IsFatalWcStatus(verbs::WcStatus status) {
+  return status == verbs::WcStatus::kFlushError ||
+         status == verbs::WcStatus::kQpError ||
+         status == verbs::WcStatus::kRemoteInvalidQp;
+}
 
 inline uint64_t TagWrId(WrTag tag, const void* ptr) {
   const uint64_t p = reinterpret_cast<uint64_t>(ptr);
@@ -216,7 +245,15 @@ struct ClientLane {
   // Credits and activation (receiver-side QP scheduling, §5.1).
   uint64_t credits = 0;
   bool active = true;
+  // Quarantined: the lane's QP errored. Never reactivated; queued work and
+  // threads migrate to surviving lanes, in-flight RPCs recover via retry.
+  bool failed = false;
   bool renew_in_flight = false;
+  // Dispatcher passes spent with queued work but zero credits. Only counted
+  // while fault injection is armed: a lost renewal imm or a lost grant-slot
+  // write (both unacked RDMA) would otherwise starve the lane forever, so
+  // after enough starved passes the dispatcher re-sends the renewal.
+  uint32_t starved_passes = 0;
   sim::Condition send_ready;  // credits or ring space became available
   // Client-local control slot the server RDMA-writes (grants + activation).
   uint64_t ctrl_slot_addr = 0;
@@ -287,6 +324,9 @@ struct ServerLane {
 
   // Receiver-side scheduling state (§5.1).
   bool active = true;
+  // Quarantined: the QP errored (flush on our posts, or the client side
+  // vanished). Excluded from dispatch, credit grants and redistribution.
+  bool failed = false;
   uint64_t credits_outstanding = 0;  // granted minus (estimated) consumed
   uint64_t utilization = 0;          // U_ij: Σ reported degrees this interval
   uint64_t posts = 0;
@@ -313,6 +353,9 @@ struct SenderState {
   std::vector<ServerLane*> lanes;
   uint64_t utilization = 0;  // U_i
   bool functioning = true;
+  // All lanes failed (directly, or by dead-sender reclamation): the sender
+  // no longer participates in the QP-scheduling budget at all.
+  bool dead = false;
 };
 
 }  // namespace internal
@@ -360,6 +403,7 @@ class Connection {
   int server_node() const { return server_node_; }
   uint32_t num_lanes() const { return static_cast<uint32_t>(lanes_.size()); }
   uint32_t num_active_lanes() const;
+  uint32_t num_failed_lanes() const;
   const internal::ClientLane& lane(uint32_t i) const { return *lanes_[i]; }
 
   // Aggregate client-side stats.
@@ -373,6 +417,9 @@ class Connection {
   friend class FlockRuntime;
 
   internal::ClientLane& LaneFor(FlockThread& thread);
+  // Marks a lane's QP as dead: deactivates it, zeroes its credits and wakes
+  // the pump so queued work migrates to a surviving lane. Idempotent.
+  void QuarantineLane(internal::ClientLane& lane);
   sim::Proc Pump(internal::ClientLane& lane);
   sim::Proc MemPump(internal::ClientLane& lane);
   sim::Co<verbs::WcStatus> SubmitMemOp(FlockThread& thread, verbs::SendWr wr);
@@ -402,6 +449,17 @@ class FlockRuntime {
     uint64_t redistributions = 0;
     uint64_t activations = 0;
     uint64_t deactivations = 0;
+    uint64_t lane_failures = 0;  // server lanes quarantined
+    uint64_t dead_senders = 0;   // senders fully reclaimed by Redistribute
+    uint64_t responses_dropped = 0;  // responses lost to a dead lane
+  };
+
+  // Client-side failure-handling counters.
+  struct ClientStats {
+    uint64_t lane_failures = 0;       // client lanes quarantined
+    uint64_t retries = 0;             // RPC retransmissions staged
+    uint64_t failed_rpcs = 0;         // RPCs surfaced with ok=false
+    uint64_t spurious_responses = 0;  // responses with no outstanding request
   };
 
   FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig& config);
@@ -430,6 +488,7 @@ class FlockRuntime {
   int node() const { return node_; }
   const FlockConfig& config() const { return config_; }
   const ServerStats& server_stats() const { return server_stats_; }
+  const ClientStats& client_stats() const { return client_stats_; }
   sim::Simulator& sim() { return cluster_.sim(); }
   const sim::CostModel& cost() const { return cluster_.cost(); }
   uint32_t ActiveServerLanes() const;
@@ -450,11 +509,24 @@ class FlockRuntime {
                                      internal::DispatchScratch& scratch);
   void Redistribute();
   // Updates the lane's client-side control slot (grants + activation flag).
-  void WriteCtrlSlot(internal::ServerLane& lane);
+  // Signaled writes double as liveness probes: their error completions are
+  // how the QP scheduler learns a client died (see HandleRequestMessage).
+  void WriteCtrlSlot(internal::ServerLane& lane, bool signaled = false);
+  // Marks a server lane's QP dead: no more dispatch, grants or reactivation.
+  void QuarantineServerLane(internal::ServerLane& lane);
+  // Routes an errored send completion to the owning lane (either role: the
+  // node-shared CQs are drained by whichever poller gets there first).
+  void HandleSendError(const verbs::Completion& wc);
 
   // Client procs.
   sim::Proc ResponseDispatcher(int index);
   sim::Proc ThreadScheduler();
+  // Periodic scan of outstanding RPCs (spawned only when rpc_timeout > 0):
+  // expired RPCs are retransmitted with exponential backoff; after
+  // max_retries they complete with ok=false.
+  sim::Proc RetryWatchdog();
+  void RetryPendingRpc(Connection& conn, PendingRpc* rpc);
+  void FailPendingRpc(Connection& conn, PendingRpc* rpc);
   // Reads a lane's control slot and applies new grants / activation changes.
   void ApplyCtrlSlot(internal::ClientLane& lane);
   void RescheduleThreads(Connection& conn);
@@ -493,6 +565,10 @@ class FlockRuntime {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::unique_ptr<FlockThread>> threads_;
   bool client_started_ = false;
+  ClientStats client_stats_;
+  // Watchdog scratch: expired RPCs collected per scan (SeqSlotMap::ForEach
+  // must not observe concurrent mutation).
+  std::vector<PendingRpc*> watchdog_scratch_;
   uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
   // Hot-path object pools (per node; the simulation is single-threaded).
   Pool<PendingRpc> rpc_pool_;

@@ -76,8 +76,13 @@ class MessageEncoder {
       : buf_(buf), capacity_(capacity), canary_(canary), offset_(kHeaderBytes) {}
 
   // Whether another request of `data_len` fits in the remaining capacity.
+  // Computed in 64 bits: a corrupt data_len near UINT32_MAX must not wrap
+  // back under capacity_ and let Add() memcpy past the staging buffer.
   bool Fits(uint32_t data_len) const {
-    return AlignUp(offset_ + kMetaBytes + data_len + kCanaryBytes) <= capacity_;
+    const uint64_t end =
+        uint64_t{offset_} + kMetaBytes + data_len + kCanaryBytes;
+    const uint64_t aligned = (end + kAlign - 1) & ~uint64_t{kAlign - 1};
+    return aligned <= capacity_;
   }
 
   void Add(const ReqMeta& meta, const uint8_t* data) {
@@ -144,11 +149,20 @@ enum class ProbeResult {
   kWrap,        // wrap marker: consumer resets to offset 0
 };
 
-inline ProbeResult ProbeMessage(const uint8_t* buf, MsgHeader* header_out) {
+// `capacity` bounds the readable bytes at `buf`; a (torn or corrupt)
+// total_len outside [header+canary, capacity] is reported as kIncomplete
+// before the trailing canary is ever dereferenced.
+inline ProbeResult ProbeMessage(const uint8_t* buf, uint32_t capacity,
+                                MsgHeader* header_out) {
+  FLOCK_CHECK_GE(capacity, kHeaderBytes);
   MsgHeader header;
   std::memcpy(&header, buf, kHeaderBytes);
   if (header.total_len == 0) {
     return ProbeResult::kEmpty;
+  }
+  if (header.total_len < kHeaderBytes + kCanaryBytes ||
+      header.total_len > capacity) {
+    return ProbeResult::kIncomplete;
   }
   uint64_t trailing = 0;
   std::memcpy(&trailing, buf + header.total_len - kCanaryBytes, kCanaryBytes);
@@ -162,14 +176,21 @@ inline ProbeResult ProbeMessage(const uint8_t* buf, MsgHeader* header_out) {
 // Iterates the requests of a complete message. `out` must have room for
 // header.num_reqs entries. Returns false on a malformed message.
 inline bool DecodeRequests(const uint8_t* buf, const MsgHeader& header, ReqView* out) {
+  if (header.total_len < kHeaderBytes + kCanaryBytes) {
+    return false;
+  }
+  // All bounds checks in subtraction form (offset <= data_end is an
+  // invariant), so a corrupt data_len near UINT32_MAX cannot wrap an
+  // `offset + len` sum back inside the message and escape the check.
+  const uint32_t data_end = header.total_len - kCanaryBytes;
   uint32_t offset = kHeaderBytes;
   for (uint16_t i = 0; i < header.num_reqs; ++i) {
-    if (offset + kMetaBytes > header.total_len - kCanaryBytes) {
+    if (kMetaBytes > data_end - offset) {
       return false;
     }
     std::memcpy(&out[i].meta, buf + offset, kMetaBytes);
     offset += kMetaBytes;
-    if (offset + out[i].meta.data_len > header.total_len - kCanaryBytes) {
+    if (out[i].meta.data_len > data_end - offset) {
       return false;
     }
     out[i].data = buf + offset;

@@ -3,7 +3,9 @@
 namespace flock::verbs {
 
 Cluster::Cluster(const Config& config)
-    : cost_(config.cost), network_(sim_, cost_, config.num_nodes) {
+    : cost_(config.cost),
+      network_(sim_, cost_, config.num_nodes),
+      fault_(*this) {
   FLOCK_CHECK_GT(config.num_nodes, 0);
   nodes_.reserve(static_cast<size_t>(config.num_nodes));
   for (int i = 0; i < config.num_nodes; ++i) {

@@ -76,6 +76,9 @@ WcStatus Qp::Validate(const SendWr& wr) const {
 }
 
 WcStatus Qp::PostSend(const SendWr& wr) {
+  if (in_error_) {
+    return WcStatus::kQpError;
+  }
   const WcStatus status = Validate(wr);
   if (status != WcStatus::kSuccess) {
     return status;
@@ -104,6 +107,7 @@ Device::Device(Cluster& cluster, int node_id)
       tx_pipe_(cluster.sim()),
       rx_pipe_(cluster.sim()),
       pcie_fetch_slots_(cluster.sim(), cluster.cost().nic_pcie_concurrency),
+      resume_cond_(cluster.sim()),
       qp_cache_(cluster.cost().nic_qp_cache_entries, rnic::QpCache::Policy::kRandom,
                 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(node_id + 1)) {}
 
@@ -148,6 +152,15 @@ sim::Proc Device::SendEngine(Qp& qp) {
 }
 
 sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {
+  while (paused_) {
+    co_await resume_cond_.Wait();
+  }
+  if (qp.in_error_) {
+    // The QP errored while this WR sat in the send queue (or the whole node
+    // was killed): flush instead of transmitting.
+    CompleteSend(qp, wr, WcStatus::kFlushError, 0);
+    co_return;
+  }
   const uint64_t outbound = OutboundBytes(wr);
   const uint32_t packets = net_.PacketCount(outbound);
 
@@ -197,7 +210,20 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
   Device& peer = cluster_.device(dest_node);
   WcStatus status = WcStatus::kSuccess;
   uint64_t atomic_result = 0;
+  WcStatus injected = WcStatus::kSuccess;
+  if (cluster_.fault().armed()) {
+    injected = cluster_.fault().FilterSendStatus(node_id_, qp.qpn(), injected);
+  }
   co_await ReceiveAtPeer(peer, qp, wr, payload, status, atomic_result);
+  if (status == WcStatus::kSuccess && injected != WcStatus::kSuccess) {
+    // Injected transient error models a lost ACK after RC retry exhaustion:
+    // the payload landed at the peer, but the sender's completion reports the
+    // injected status. (Dropping the payload instead would punch a permanent
+    // hole into one-sided ring transports — no peer-side state can ever fill
+    // the reserved bytes, which is exactly why real RC moves the QP to error
+    // for data loss. Data loss with a surviving QP is modeled by KillQp.)
+    status = injected;
+  }
 
   if (qp.type() != QpType::kRc) {
     co_return;  // unreliable: remote failures are silent, already completed
@@ -212,6 +238,23 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
 sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
                                     PayloadBuf& payload, WcStatus& status,
                                     uint64_t& atomic_result) {
+  if (peer.paused_) {
+    // A dead destination QP fails the WR even while the peer NIC is frozen:
+    // RC transport-retry exhaustion fires at the *sender*, which needs no
+    // cooperation from the (possibly killed) target. Only healthy-but-paused
+    // destinations make the sender wait.
+    const uint32_t paused_dst_qpn =
+        src_qp.type() == QpType::kUd ? wr.dest_qpn : src_qp.peer_qpn();
+    Qp* paused_dst = peer.FindQp(paused_dst_qpn);
+    if (paused_dst == nullptr || paused_dst->in_error_) {
+      peer.stats_.remote_errors++;
+      status = WcStatus::kRemoteInvalidQp;
+      co_return;
+    }
+  }
+  while (peer.paused_) {
+    co_await peer.resume_cond_.Wait();
+  }
   const uint32_t packets = net_.PacketCount(OutboundBytes(wr));
   co_await peer.rx_pipe_.Serve(static_cast<Nanos>(packets) * cost_.nic_rx_per_packet);
   peer.stats_.rx_msgs++;
@@ -220,7 +263,9 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
   const uint32_t dst_qpn =
       src_qp.type() == QpType::kUd ? wr.dest_qpn : src_qp.peer_qpn();
   Qp* dst = peer.FindQp(dst_qpn);
-  if (dst == nullptr || dst->type() != src_qp.type()) {
+  if (dst == nullptr || dst->type() != src_qp.type() || dst->in_error_) {
+    // An errored destination QP behaves like a vanished one: the sender's RC
+    // transport retries exhaust and the WR completes with an error (§7).
     peer.stats_.remote_errors++;
     status = WcStatus::kRemoteInvalidQp;
     co_return;
@@ -374,8 +419,11 @@ sim::Co<void> Device::TouchQpState(uint32_t qpn, sim::FifoServer& pipe) {
 }
 
 void Device::CompleteSend(Qp& qp, const SendWr& wr, WcStatus status, uint32_t byte_len) {
+  if (qp.in_error_ && status == WcStatus::kSuccess) {
+    status = WcStatus::kFlushError;  // errored while the WR was in flight
+  }
   if (!wr.signaled && status == WcStatus::kSuccess) {
-    return;  // selective signaling: no CQE, no PCIe DMA
+    return;  // selective signaling: no CQE, no PCIe DMA (errors always signal)
   }
   Completion wc;
   wc.wr_id = wr.wr_id;
@@ -384,6 +432,52 @@ void Device::CompleteSend(Qp& qp, const SendWr& wr, WcStatus status, uint32_t by
   wc.byte_len = byte_len;
   stats_.cqes_dma_ed++;
   qp.send_cq()->Push(wc);
+}
+
+void Device::ErrorQp(Qp& qp) {
+  if (qp.in_error_) {
+    return;
+  }
+  qp.in_error_ = true;
+  // Flush queued (not yet transmitted) send WRs. WRs already inside the TX
+  // pipeline flush when they reach ProcessWr or CompleteSend.
+  while (!qp.send_queue_.empty()) {
+    const SendWr wr = qp.send_queue_.front();
+    qp.send_queue_.pop_front();
+    Completion wc;
+    wc.wr_id = wr.wr_id;
+    wc.opcode = ToWcOpcode(wr.opcode);
+    wc.status = WcStatus::kFlushError;
+    stats_.cqes_dma_ed++;
+    qp.send_cq()->Push(wc);
+  }
+  // Flush posted receives to the receive CQ.
+  while (!qp.recv_queue_.empty()) {
+    const RecvWr recv = qp.recv_queue_.front();
+    qp.recv_queue_.pop_front();
+    Completion wc;
+    wc.wr_id = recv.wr_id;
+    wc.opcode = WcOpcode::kRecv;
+    wc.status = WcStatus::kFlushError;
+    stats_.cqes_dma_ed++;
+    qp.recv_cq()->Push(wc);
+  }
+}
+
+void Device::KillQp(uint32_t qpn) {
+  Qp* qp = FindQp(qpn);
+  if (qp != nullptr) {
+    ErrorQp(*qp);
+  }
+}
+
+void Device::Pause() { paused_ = true; }
+
+void Device::Resume() {
+  if (paused_) {
+    paused_ = false;
+    resume_cond_.NotifyAll();
+  }
 }
 
 }  // namespace verbs

@@ -33,6 +33,7 @@
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
 #include "src/verbs/cq.h"
+#include "src/verbs/fault.h"
 #include "src/verbs/mr.h"
 #include "src/verbs/qp.h"
 #include "src/verbs/types.h"
@@ -84,6 +85,17 @@ class Device {
   // ---- data path (called by Qp) ----
   void KickSendEngine(Qp& qp);
 
+  // ---- fault support (driven by FaultInjector) ----
+  // Transitions `qp` to the error state: queued send WRs and posted receives
+  // flush as kFlushError completions (error CQEs are always delivered, even
+  // for unsignaled WRs), and later posts fail with kQpError.
+  void ErrorQp(Qp& qp);
+  void KillQp(uint32_t qpn);
+  // NIC pause: TX and RX processing stall until Resume().
+  void Pause();
+  void Resume();
+  bool paused() const { return paused_; }
+
  private:
   friend class Qp;
 
@@ -105,6 +117,8 @@ class Device {
   sim::FifoServer tx_pipe_;
   sim::FifoServer rx_pipe_;
   sim::Semaphore pcie_fetch_slots_;
+  bool paused_ = false;
+  sim::Condition resume_cond_;
   rnic::QpCache qp_cache_;
   MrTable mrs_;
 
@@ -145,6 +159,10 @@ class Cluster {
   std::pair<Qp*, Qp*> ConnectRc(int node_a, Cq* scq_a, Cq* rcq_a, int node_b,
                                 Cq* scq_b, Cq* rcq_b);
 
+  // Deterministic fault injection (QP kills, transient errors, node pauses).
+  FaultInjector& fault() { return fault_; }
+  const FaultInjector& fault() const { return fault_; }
+
  private:
   struct NodeState {
     fabric::MemorySpace mem;
@@ -156,6 +174,7 @@ class Cluster {
   sim::Simulator sim_;
   sim::CostModel cost_;
   fabric::Network network_;
+  FaultInjector fault_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
 };
 

@@ -41,6 +41,11 @@ class Qp {
   int peer_node() const { return peer_node_; }
   uint32_t peer_qpn() const { return peer_qpn_; }
 
+  // A QP in the error state accepts no new work; its queued WRs have been
+  // flushed with kFlushError completions (see Device::ErrorQp). Mirrors
+  // IBV_QPS_ERR — there is no recovery short of recreating the QP.
+  bool in_error() const { return in_error_; }
+
   // Validates the WR against the transport's capabilities and enqueues it for
   // the device's send engine. Returns kSuccess if accepted. The *CPU* cost of
   // posting (WQE build + doorbell) is charged by the caller.
@@ -75,6 +80,7 @@ class Qp {
   FifoRing<SendWr> send_queue_;
   FifoRing<RecvWr> recv_queue_;
   bool engine_running_ = false;
+  bool in_error_ = false;
 };
 
 }  // namespace flock::verbs

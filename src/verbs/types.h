@@ -31,10 +31,12 @@ enum class Opcode : uint8_t {
 enum class WcStatus : uint8_t {
   kSuccess,
   kRemoteAccessError,  // rkey/bounds check failed at the responder
-  kRemoteInvalidQp,    // destination QP does not exist / wrong type
+  kRemoteInvalidQp,    // destination QP does not exist / wrong type / errored
   kRnrError,           // responder had no receive buffer posted (RC)
   kUnsupportedOp,      // opcode not legal on this transport (Table 1)
   kMtuExceeded,        // UD payload larger than MTU - GRH
+  kFlushError,         // WR flushed: the QP entered the error state
+  kQpError,            // post rejected: the QP is already in the error state
 };
 
 enum class WcOpcode : uint8_t {
@@ -61,6 +63,10 @@ inline const char* WcStatusName(WcStatus s) {
       return "unsupported-op";
     case WcStatus::kMtuExceeded:
       return "mtu-exceeded";
+    case WcStatus::kFlushError:
+      return "flush-error";
+    case WcStatus::kQpError:
+      return "qp-error";
   }
   return "?";
 }

@@ -1,0 +1,263 @@
+// Fault-injection tests: QP kills, transient transport errors and node
+// pauses against both the raw verbs layer and the full Flock runtime's
+// failure handling (quarantine, retry, dead-sender reclamation).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/flock/flock.h"
+#include "src/verbs/fault.h"
+
+namespace flock {
+namespace {
+
+constexpr uint16_t kEchoRpc = 1;
+
+uint32_t EchoHandler(const uint8_t* req, uint32_t len, uint8_t* resp, uint32_t cap,
+                     Nanos* cpu) {
+  FLOCK_CHECK_LE(len, cap);
+  std::memcpy(resp, req, len);
+  *cpu = 60;
+  return len;
+}
+
+// ---------------------------------------------------------------------------
+// Verbs layer
+// ---------------------------------------------------------------------------
+
+TEST(VerbsFaultTest, KilledQpFlushesAndRejectsPosts) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2});
+  verbs::Cq* scq0 = cluster.device(0).CreateCq();
+  verbs::Cq* rcq0 = cluster.device(0).CreateCq();
+  verbs::Cq* scq1 = cluster.device(1).CreateCq();
+  verbs::Cq* rcq1 = cluster.device(1).CreateCq();
+  auto [qp0, qp1] = cluster.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+
+  const uint64_t src = cluster.mem(0).Alloc(64);
+  const uint64_t dst = cluster.mem(1).Alloc(64);
+  verbs::Mr mr = cluster.device(1).RegisterMr(dst, 64);
+
+  verbs::SendWr wr;
+  wr.wr_id = 1;
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = 64;
+  wr.remote_addr = dst;
+  wr.rkey = mr.rkey;
+  wr.signaled = true;
+  ASSERT_EQ(qp0->PostSend(wr), verbs::WcStatus::kSuccess);
+
+  // Kill before the simulator runs: the queued WR must flush, not deliver.
+  cluster.fault().KillQp(0, qp0->qpn());
+  EXPECT_TRUE(qp0->in_error());
+  EXPECT_EQ(cluster.fault().stats().qp_kills, 1u);
+
+  // Posts against the dead QP are rejected synchronously.
+  wr.wr_id = 2;
+  EXPECT_EQ(qp0->PostSend(wr), verbs::WcStatus::kQpError);
+
+  cluster.sim().Run();
+
+  verbs::Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 1u);
+  EXPECT_EQ(wc.status, verbs::WcStatus::kFlushError);
+  EXPECT_FALSE(scq0->Poll(&wc));
+
+  // The peer writing toward the dead QP observes a remote error.
+  verbs::Mr mr0 = cluster.device(0).RegisterMr(src, 64);
+  verbs::SendWr back;
+  back.wr_id = 3;
+  back.opcode = verbs::Opcode::kWrite;
+  back.local_addr = dst;
+  back.length = 64;
+  back.remote_addr = src;
+  back.rkey = mr0.rkey;
+  back.signaled = true;
+  ASSERT_EQ(qp1->PostSend(back), verbs::WcStatus::kSuccess);
+  cluster.sim().Run();
+  ASSERT_TRUE(scq1->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 3u);
+  EXPECT_EQ(wc.status, verbs::WcStatus::kRemoteInvalidQp);
+}
+
+TEST(VerbsFaultTest, InjectedErrorReportsErrorButDeliversPayload) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2});
+  verbs::Cq* scq0 = cluster.device(0).CreateCq();
+  verbs::Cq* rcq0 = cluster.device(0).CreateCq();
+  verbs::Cq* scq1 = cluster.device(1).CreateCq();
+  verbs::Cq* rcq1 = cluster.device(1).CreateCq();
+  auto [qp0, qp1] = cluster.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+  (void)qp1;
+
+  const uint64_t src = cluster.mem(0).Alloc(8);
+  const uint64_t dst = cluster.mem(1).Alloc(8);
+  verbs::Mr mr = cluster.device(1).RegisterMr(dst, 8);
+  const uint64_t value = 0x1122334455667788ULL;
+  cluster.mem(0).Write(src, &value, 8);
+
+  cluster.fault().InjectSendErrors(0, qp0->qpn(), verbs::WcStatus::kRnrError, 1);
+
+  verbs::SendWr wr;
+  wr.wr_id = 9;
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = 8;
+  wr.remote_addr = dst;
+  wr.rkey = mr.rkey;
+  wr.signaled = true;
+  ASSERT_EQ(qp0->PostSend(wr), verbs::WcStatus::kSuccess);
+  cluster.sim().Run();
+
+  verbs::Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.status, verbs::WcStatus::kRnrError);
+  // Ack-loss model: the payload landed even though the completion errored.
+  uint64_t out = 0;
+  cluster.mem(1).Read(dst, &out, 8);
+  EXPECT_EQ(out, value);
+  EXPECT_EQ(cluster.fault().stats().injected_errors, 1u);
+
+  // The error is consumed: the next post completes cleanly.
+  wr.wr_id = 10;
+  ASSERT_EQ(qp0->PostSend(wr), verbs::WcStatus::kSuccess);
+  cluster.sim().Run();
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.status, verbs::WcStatus::kSuccess);
+  cluster.mem(1).Read(dst, &out, 8);
+  EXPECT_EQ(out, value);
+}
+
+// ---------------------------------------------------------------------------
+// Flock runtime
+// ---------------------------------------------------------------------------
+
+struct FaultWorld {
+  explicit FaultWorld(int nodes = 2)
+      : cluster(verbs::Cluster::Config{.num_nodes = nodes, .cores_per_node = 8}) {
+    FlockConfig server_cfg;
+    server = std::make_unique<FlockRuntime>(cluster, 0, server_cfg);
+    server->RegisterHandler(kEchoRpc, EchoHandler);
+    server->StartServer(4);
+    for (int n = 1; n < nodes; ++n) {
+      FlockConfig client_cfg;
+      client_cfg.rpc_timeout = 100 * kMicrosecond;
+      client_cfg.max_retries = 5;
+      clients.push_back(std::make_unique<FlockRuntime>(cluster, n, client_cfg));
+      clients.back()->StartClient();
+    }
+  }
+
+  verbs::Cluster cluster;
+  std::unique_ptr<FlockRuntime> server;
+  std::vector<std::unique_ptr<FlockRuntime>> clients;
+};
+
+sim::Proc EchoLoop(Connection* conn, FlockThread* thread, int count,
+                   int* ok_count, int* fail_count) {
+  std::vector<uint8_t> resp;
+  for (int i = 0; i < count; ++i) {
+    uint64_t payload = static_cast<uint64_t>(i);
+    const bool ok =
+        co_await conn->Call(*thread, kEchoRpc,
+                            reinterpret_cast<const uint8_t*>(&payload), 8, &resp);
+    (ok ? *ok_count : *fail_count) += 1;
+  }
+}
+
+TEST(FlockFaultTest, QpKillMidRunMigratesAndRecovers) {
+  FaultWorld world;
+  Connection* conn = world.clients[0]->Connect(*world.server, 4);
+  int ok = 0, fail = 0;
+  for (int t = 0; t < 4; ++t) {
+    world.cluster.sim().Spawn(EchoLoop(conn, world.clients[0]->CreateThread(t), 400,
+                                       &ok, &fail));
+  }
+  // Kill one client-side lane QP while traffic is in full flight.
+  world.cluster.fault().KillQpAt(200 * kMicrosecond, /*node=*/1,
+                                 conn->lane(0).qp->qpn());
+  world.cluster.sim().RunFor(200 * kMillisecond);
+
+  EXPECT_EQ(ok + fail, 4 * 400) << "every RPC must complete one way or another";
+  EXPECT_EQ(fail, 0) << "surviving lanes + retry must absorb a single QP kill";
+  EXPECT_EQ(conn->num_failed_lanes(), 1u);
+  EXPECT_GE(world.clients[0]->client_stats().lane_failures, 1u);
+  EXPECT_GE(world.server->server_stats().lane_failures, 1u);
+}
+
+TEST(FlockFaultTest, TransientErrorBurstIsAbsorbedWithoutQuarantine) {
+  FaultWorld world;
+  Connection* conn = world.clients[0]->Connect(*world.server, 2);
+  int ok = 0, fail = 0;
+  for (int t = 0; t < 2; ++t) {
+    world.cluster.sim().Spawn(EchoLoop(conn, world.clients[0]->CreateThread(t), 200,
+                                       &ok, &fail));
+  }
+  // Error a burst of completions on each lane (lost-ack model): the QPs stay
+  // healthy and the data lands, so nothing may be quarantined or lost.
+  world.cluster.fault().InjectSendErrorsAt(50 * kMicrosecond, /*node=*/1,
+                                           conn->lane(0).qp->qpn(),
+                                           verbs::WcStatus::kRnrError, 4);
+  world.cluster.fault().InjectSendErrorsAt(80 * kMicrosecond, /*node=*/1,
+                                           conn->lane(1).qp->qpn(),
+                                           verbs::WcStatus::kRemoteAccessError, 4);
+  world.cluster.sim().RunFor(100 * kMillisecond);
+
+  EXPECT_EQ(ok, 2 * 200);
+  EXPECT_EQ(fail, 0);
+  EXPECT_EQ(conn->num_failed_lanes(), 0u) << "transient errors must not quarantine";
+  EXPECT_EQ(world.clients[0]->client_stats().failed_rpcs, 0u);
+  EXPECT_EQ(world.cluster.fault().stats().injected_errors, 8u);
+}
+
+TEST(FlockFaultTest, NodePauseDelaysButCompletes) {
+  FaultWorld world;
+  Connection* conn = world.clients[0]->Connect(*world.server, 2);
+  int ok = 0, fail = 0;
+  world.cluster.sim().Spawn(EchoLoop(conn, world.clients[0]->CreateThread(0), 300,
+                                     &ok, &fail));
+  // Freeze the server's NIC for 300us mid-run; traffic must resume after.
+  world.cluster.fault().PauseNodeAt(400 * kMicrosecond, /*node=*/0,
+                                    /*duration=*/300 * kMicrosecond);
+  world.cluster.sim().RunFor(100 * kMillisecond);
+
+  EXPECT_EQ(ok, 300);
+  EXPECT_EQ(fail, 0);
+  // The 300us freeze exceeds the 100us RPC timeout: the watchdog retries
+  // in-flight RPCs into the frozen server, and the duplicates it creates are
+  // absorbed as spurious responses once the node thaws.
+  EXPECT_GE(world.clients[0]->client_stats().retries, 1u);
+  EXPECT_EQ(world.clients[0]->client_stats().failed_rpcs, 0u);
+  EXPECT_EQ(world.cluster.fault().stats().node_pauses, 1u);
+}
+
+TEST(FlockFaultTest, AllLanesDeadFailsRpcsAndReclaimsSender) {
+  FaultWorld world(/*nodes=*/3);  // node 1: victim client, node 2: healthy
+  Connection* victim = world.clients[0]->Connect(*world.server, 2);
+  Connection* healthy = world.clients[1]->Connect(*world.server, 2);
+  int v_ok = 0, v_fail = 0, h_ok = 0, h_fail = 0;
+  world.cluster.sim().Spawn(EchoLoop(victim, world.clients[0]->CreateThread(0), 60,
+                                     &v_ok, &v_fail));
+  world.cluster.sim().Spawn(EchoLoop(healthy, world.clients[1]->CreateThread(0), 500,
+                                     &h_ok, &h_fail));
+  // Kill the victim's entire node: every lane dies, nothing to migrate to.
+  world.cluster.fault().KillNodeAt(50 * kMicrosecond, /*node=*/1);
+  world.cluster.sim().RunFor(1000 * kMillisecond);
+
+  // The victim's in-flight RPCs surface ok=false after retry exhaustion; the
+  // workload coroutine keeps issuing (and failing) without ever crashing.
+  EXPECT_EQ(v_ok + v_fail, 60);
+  EXPECT_GT(v_fail, 0);
+  EXPECT_EQ(victim->num_failed_lanes(), 2u);
+  EXPECT_GT(world.clients[0]->client_stats().failed_rpcs, 0u);
+  // The healthy client is unaffected.
+  EXPECT_EQ(h_ok, 500);
+  EXPECT_EQ(h_fail, 0);
+  // The server reclaims the dead sender wholesale.
+  EXPECT_GE(world.server->server_stats().dead_senders, 1u);
+  EXPECT_GE(world.server->server_stats().lane_failures, 2u);
+}
+
+}  // namespace
+}  // namespace flock

@@ -91,6 +91,63 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u, 4u, 16u)));            // batch
 
 // ---------------------------------------------------------------------------
+// Wire codec under corruption: whatever bytes a remote peer scribbles into
+// the ring, ProbeMessage/DecodeRequests either reject the message or yield
+// request views that stay strictly inside the receive buffer. This is the
+// fuzz companion to the overflow regressions in wire_test (a 0xFFFFFFF0
+// data_len must not wrap the cursor past the buffer).
+// ---------------------------------------------------------------------------
+
+class WireFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzzProperty, CorruptedMessagesNeverEscapeBounds) {
+  constexpr uint32_t kCap = 4096;
+  Rng rng(GetParam());
+  std::vector<uint8_t> buf(kCap, 0);
+  std::vector<uint8_t> payload(256, 0xAB);
+  uint64_t canary = 1;
+  for (int round = 0; round < 4000; ++round) {
+    // Start from a valid coalesced message so corruption hits live fields.
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.NextBelow(8));
+    const uint32_t per_req = static_cast<uint32_t>(rng.NextBelow(256));
+    const uint32_t msg_len = wire::MessageBytes(n, n * per_req);
+    ASSERT_LE(msg_len, kCap);
+    wire::MessageEncoder enc(buf.data(), kCap, canary++);
+    for (uint32_t i = 0; i < n; ++i) {
+      enc.Add(wire::ReqMeta{per_req, 0, 0, i}, payload.data());
+    }
+    ASSERT_EQ(enc.Seal(0, 0), msg_len);
+
+    const uint32_t flips = 1 + static_cast<uint32_t>(rng.NextBelow(8));
+    for (uint32_t f = 0; f < flips; ++f) {
+      buf[rng.NextBelow(msg_len)] ^=
+          static_cast<uint8_t>(1 + rng.NextBelow(255));
+    }
+
+    wire::MsgHeader header;
+    if (wire::ProbeMessage(buf.data(), kCap, &header) ==
+        wire::ProbeResult::kMessage) {
+      ASSERT_GE(header.total_len, wire::kHeaderBytes + wire::kCanaryBytes);
+      ASSERT_LE(header.total_len, kCap);
+      std::vector<wire::ReqView> views(header.num_reqs);
+      if (wire::DecodeRequests(buf.data(), header, views.data())) {
+        for (uint32_t i = 0; i < header.num_reqs; ++i) {
+          ASSERT_GE(views[i].data, buf.data());
+          ASSERT_LE(views[i].data + views[i].meta.data_len,
+                    buf.data() + kCap);
+        }
+      }
+    }
+    std::memset(buf.data(), 0, msg_len);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzProperty,
+                         ::testing::Values(uint64_t{1}, uint64_t{7},
+                                           uint64_t{42}, uint64_t{1337},
+                                           uint64_t{0xDEADBEEF}));
+
+// ---------------------------------------------------------------------------
 // FIFO server: total busy time equals the sum of service demands, and
 // completion order equals arrival order, for any arrival pattern.
 // ---------------------------------------------------------------------------

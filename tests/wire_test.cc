@@ -40,7 +40,7 @@ TEST(WireTest, EncodeDecodeSingleRequest) {
   const uint32_t len = enc.Seal(1234, 5);
 
   wire::MsgHeader header;
-  ASSERT_EQ(wire::ProbeMessage(buf.data(), &header), wire::ProbeResult::kMessage);
+  ASSERT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header), wire::ProbeResult::kMessage);
   EXPECT_EQ(header.total_len, len);
   EXPECT_EQ(header.num_reqs, 1);
   EXPECT_EQ(header.piggyback_head, 1234u);
@@ -68,7 +68,7 @@ TEST(WireTest, CoalescedMessageRoundTrips) {
   enc.Seal(0, 0);
 
   wire::MsgHeader header;
-  ASSERT_EQ(wire::ProbeMessage(buf.data(), &header), wire::ProbeResult::kMessage);
+  ASSERT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header), wire::ProbeResult::kMessage);
   ASSERT_EQ(header.num_reqs, 10);
   std::vector<wire::ReqView> views(10);
   ASSERT_TRUE(wire::DecodeRequests(buf.data(), header, views.data()));
@@ -88,20 +88,20 @@ TEST(WireTest, IncompleteWithoutTrailingCanary) {
   // Corrupt the trailing canary: the message must not be accepted.
   buf[len - 1] ^= 0xff;
   wire::MsgHeader header;
-  EXPECT_EQ(wire::ProbeMessage(buf.data(), &header), wire::ProbeResult::kIncomplete);
+  EXPECT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header), wire::ProbeResult::kIncomplete);
 }
 
 TEST(WireTest, ZeroLengthHeaderIsEmpty) {
   std::vector<uint8_t> buf(256, 0);
   wire::MsgHeader header;
-  EXPECT_EQ(wire::ProbeMessage(buf.data(), &header), wire::ProbeResult::kEmpty);
+  EXPECT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header), wire::ProbeResult::kEmpty);
 }
 
 TEST(WireTest, WrapMarkerDetected) {
   std::vector<uint8_t> buf(256, 0);
   wire::EncodeWrapMarker(buf.data(), 99);
   wire::MsgHeader header;
-  EXPECT_EQ(wire::ProbeMessage(buf.data(), &header), wire::ProbeResult::kWrap);
+  EXPECT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header), wire::ProbeResult::kWrap);
 }
 
 TEST(WireTest, ZeroLengthPayloadRequests) {
@@ -111,11 +111,47 @@ TEST(WireTest, ZeroLengthPayloadRequests) {
   enc.Add(wire::ReqMeta{0, 4, 5, 6}, nullptr);
   enc.Seal(0, 0);
   wire::MsgHeader header;
-  ASSERT_EQ(wire::ProbeMessage(buf.data(), &header), wire::ProbeResult::kMessage);
+  ASSERT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header), wire::ProbeResult::kMessage);
   std::vector<wire::ReqView> views(2);
   ASSERT_TRUE(wire::DecodeRequests(buf.data(), header, views.data()));
   EXPECT_EQ(views[0].meta.thread_id, 1);
   EXPECT_EQ(views[1].meta.seq, 6u);
+}
+
+// Regression: data_len values near UINT32_MAX used to wrap the 32-bit
+// "offset + meta + data_len" sums in DecodeRequests and pass the bounds
+// checks, yielding request views far outside the message buffer.
+TEST(WireTest, DecodeRejectsOverflowingDataLen) {
+  std::vector<uint8_t> buf(1024, 0);
+  auto payload = Payload(64, 3);
+  wire::MessageEncoder enc(buf.data(), 1024, 0x2222);
+  enc.Add(wire::ReqMeta{64, 1, 2, 3}, payload.data());
+  enc.Seal(0, 0);
+  wire::MsgHeader header;
+  ASSERT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header),
+            wire::ProbeResult::kMessage);
+  // Corrupt the first request's data_len to a huge value (meta layout starts
+  // right after the header; data_len is its first field).
+  const uint32_t evil = 0xFFFFFFF0u;
+  std::memcpy(buf.data() + wire::kHeaderBytes, &evil, sizeof(evil));
+  wire::ReqView view;
+  EXPECT_FALSE(wire::DecodeRequests(buf.data(), header, &view));
+}
+
+// Regression: total_len values larger than the readable region used to make
+// ProbeMessage dereference the trailing canary out of bounds; values smaller
+// than header+canary wrapped the canary offset computation.
+TEST(WireTest, ProbeRejectsOutOfBoundsTotalLen) {
+  std::vector<uint8_t> buf(64, 0);
+  wire::MsgHeader header;
+  uint32_t evil = 1024;  // beyond the 64-byte capacity
+  std::memcpy(buf.data(), &evil, sizeof(evil));
+  EXPECT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header),
+            wire::ProbeResult::kIncomplete);
+  evil = wire::kHeaderBytes;  // too small to hold header + canary
+  std::memcpy(buf.data(), &evil, sizeof(evil));
+  EXPECT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header),
+            wire::ProbeResult::kIncomplete);
 }
 
 TEST(WireTest, FitsRespectsCapacity) {
@@ -124,6 +160,15 @@ TEST(WireTest, FitsRespectsCapacity) {
   EXPECT_TRUE(enc.Fits(32));
   enc.Add(wire::ReqMeta{32, 0, 0, 0}, Payload(32, 0).data());
   EXPECT_FALSE(enc.Fits(64));
+}
+
+// Regression: the 32-bit "offset + data_len" sum in Fits used to wrap for
+// data_len near UINT32_MAX and report that the request fits.
+TEST(WireTest, FitsRejectsHugeDataLen) {
+  std::vector<uint8_t> buf(128, 0);
+  wire::MessageEncoder enc(buf.data(), 128, 1);
+  EXPECT_FALSE(enc.Fits(0xFFFFFFF0u));
+  EXPECT_FALSE(enc.Fits(UINT32_MAX));
 }
 
 // ---------------------------------------------------------------------------
