@@ -1,6 +1,7 @@
 #include "src/flock/runtime.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace flock {
@@ -373,8 +374,15 @@ sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
   handle->sent_flag = &sent;
   handle->sent_cond = lane.sent_cond.get();
   co_await thread.core().Work(cost.MemcpyCost(len + wire::kMetaBytes));
-  handle->copied = true;
-  lane.copy_done->NotifyAll();
+  if (handle->dropped) {
+    // The lane was quarantined mid-copy and the pump unlinked this request,
+    // releasing the waiter (`sent` is already true) and handing the handle
+    // back to us. The RPC itself stays pending for the retry watchdog.
+    client_->send_pool_.Delete(handle);
+  } else {
+    handle->copied = true;
+    lane.copy_done->NotifyAll();
+  }
   // fl_send_rpc completes when the combined message is on the wire: a leader
   // posts it itself; a follower waits for the (transient) leader to do so.
   while (!sent) {
@@ -548,6 +556,10 @@ sim::Proc Connection::Pump(ClientLane& lane) {
           // Quarantined with nowhere to migrate: drop the queued sends and
           // release their waiters. The RPCs stay pending — the retry watchdog
           // retransmits them (or fails them) on whatever lane survives.
+          FLOCK_CHECK(config.rpc_timeout > 0)
+              << "lane quarantined with rpc_timeout == 0: no retry watchdog "
+                 "is running, so the dropped RPCs would pend forever; set "
+                 "FlockConfig::rpc_timeout when fault injection can kill QPs";
           if (batch_tail != nullptr) {
             batch_tail->next = lane.combine_head;
             lane.combine_head = batch_head;
@@ -557,13 +569,23 @@ sim::Proc Connection::Pump(ClientLane& lane) {
           }
           for (PendingSend* ps = lane.combine_head; ps != nullptr;) {
             PendingSend* next = ps->next;
+            ps->next = nullptr;
             if (ps->sent_flag != nullptr) {
               *ps->sent_flag = true;
             }
             if (ps->sent_cond != nullptr && ps->sent_cond != lane.sent_cond.get()) {
               ps->sent_cond->NotifyAll();
             }
-            client_->send_pool_.Delete(ps);
+            if (ps->copied) {
+              client_->send_pool_.Delete(ps);
+            } else {
+              // The submitting coroutine is still mid-copy and will write
+              // `copied` through this pointer when it resumes; freeing the
+              // slot here would be a use-after-free (a recycled slot would
+              // get another RPC's copy flag raised early). Hand ownership
+              // back: SendRpc frees a dropped handle after its copy work.
+              ps->dropped = true;
+            }
             ps = next;
           }
           lane.combine_head = nullptr;
@@ -1617,8 +1639,15 @@ sim::Proc FlockRuntime::RetryWatchdog() {
 
 void FlockRuntime::RetryPendingRpc(Connection& conn, PendingRpc* rpc) {
   rpc->retries += 1;
-  // Exponential backoff: each attempt waits twice as long as the last.
-  rpc->deadline = cluster_.sim().Now() + (config_.rpc_timeout << rpc->retries);
+  // Exponential backoff: each attempt waits twice as long as the last. The
+  // shift saturates — a large max_retries (or timeout) must not overflow the
+  // signed Nanos into UB and a garbage deadline.
+  const uint32_t shift = std::min<uint32_t>(rpc->retries, 20);
+  const Nanos backoff =
+      config_.rpc_timeout <= (std::numeric_limits<Nanos>::max() >> (shift + 1))
+          ? config_.rpc_timeout << shift
+          : std::numeric_limits<Nanos>::max() / 2;
+  rpc->deadline = cluster_.sim().Now() + backoff;
   client_stats_.retries += 1;
 
   FlockThread& thread = *threads_[rpc->thread_id];

@@ -136,6 +136,12 @@ struct PendingSend {
   SmallBuf<128> data;
   sim::Core* owner_core = nullptr;  // leader work is charged here
   bool copied = false;
+  // Set by the quarantine drop in Pump when it unlinks a request whose
+  // submitting coroutine is still mid-copy (`copied == false`). Ownership
+  // transfers back to that coroutine, which frees the handle after its copy
+  // completes; the pump must not Delete it (the coroutine still writes
+  // through the pointer).
+  bool dropped = false;
   // Raised (and signalled through the lane's sent_cond) once the message
   // containing this request has been posted. fl_send_rpc returns only then:
   // a lone thread is always its own leader and posts synchronously, so its

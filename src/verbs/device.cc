@@ -210,19 +210,18 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
   Device& peer = cluster_.device(dest_node);
   WcStatus status = WcStatus::kSuccess;
   uint64_t atomic_result = 0;
-  WcStatus injected = WcStatus::kSuccess;
-  if (cluster_.fault().armed()) {
-    injected = cluster_.fault().FilterSendStatus(node_id_, qp.qpn(), injected);
-  }
   co_await ReceiveAtPeer(peer, qp, wr, payload, status, atomic_result);
-  if (status == WcStatus::kSuccess && injected != WcStatus::kSuccess) {
+  if (status == WcStatus::kSuccess && cluster_.fault().armed()) {
     // Injected transient error models a lost ACK after RC retry exhaustion:
     // the payload landed at the peer, but the sender's completion reports the
     // injected status. (Dropping the payload instead would punch a permanent
     // hole into one-sided ring transports — no peer-side state can ever fill
     // the reserved bytes, which is exactly why real RC moves the QP to error
     // for data loss. Data loss with a surviving QP is modeled by KillQp.)
-    status = injected;
+    // Consumed only after a successful delivery: a WR that fails on its own
+    // (e.g. dead peer QP) must not silently burn a pending injected error,
+    // or InjectSendErrors(count=N) would surface fewer than N errors.
+    status = cluster_.fault().FilterSendStatus(node_id_, qp.qpn(), status);
   }
 
   if (qp.type() != QpType::kRc) {
