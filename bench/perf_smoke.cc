@@ -31,7 +31,13 @@ struct SmokeResult {
   uint64_t rpcs = 0;
   double events_per_s = 0;
   double rpcs_per_s = 0;
+  double events_per_rpc = 0;  // event-queue traffic per completed RPC
   double sim_mops = 0;  // simulated throughput, for fidelity cross-checks
+  // Kernel delivery counters (see Simulator): how the resumptions that drove
+  // this run were delivered.
+  uint64_t resumes = 0;
+  uint64_t direct_resumes = 0;
+  uint64_t coalesced_wakes = 0;
 };
 
 sim::Proc EchoWorker(Connection* conn, FlockThread* thread, uint32_t payload_bytes,
@@ -75,6 +81,9 @@ SmokeResult RunSmoke(int clients, int threads_per_client, uint32_t payload_bytes
   cluster.sim().RunFor(sim_span / 4);
   const uint64_t events_before = cluster.sim().events_processed();
   const uint64_t done_before = done;
+  const uint64_t resumes_before = cluster.sim().resumes();
+  const uint64_t direct_before = cluster.sim().direct_resumes();
+  const uint64_t coalesced_before = cluster.sim().coalesced_wakes();
   const auto start = std::chrono::steady_clock::now();
   cluster.sim().RunFor(sim_span);
   const auto stop = std::chrono::steady_clock::now();
@@ -85,7 +94,12 @@ SmokeResult RunSmoke(int clients, int threads_per_client, uint32_t payload_bytes
   r.rpcs = done - done_before;
   r.events_per_s = static_cast<double>(r.events) / r.wall_s;
   r.rpcs_per_s = static_cast<double>(r.rpcs) / r.wall_s;
+  r.events_per_rpc =
+      r.rpcs == 0 ? 0 : static_cast<double>(r.events) / static_cast<double>(r.rpcs);
   r.sim_mops = static_cast<double>(r.rpcs) / static_cast<double>(sim_span) * 1e3;
+  r.resumes = cluster.sim().resumes() - resumes_before;
+  r.direct_resumes = cluster.sim().direct_resumes() - direct_before;
+  r.coalesced_wakes = cluster.sim().coalesced_wakes() - coalesced_before;
   return r;
 }
 
@@ -121,8 +135,15 @@ int Main(int argc, char** argv) {
     }
   }
   const int64_t rss_kb = PeakRssKb();
-  std::printf("best: %.0f events/s, %.0f rpcs/s, peak RSS %ld KB\n",
-              best.events_per_s, best.rpcs_per_s, static_cast<long>(rss_kb));
+  std::printf("best: %.0f events/s, %.0f rpcs/s, %.1f events/rpc, peak RSS %ld KB\n",
+              best.events_per_s, best.rpcs_per_s, best.events_per_rpc,
+              static_cast<long>(rss_kb));
+  std::printf(
+      "resume delivery: %lu total, %lu direct (fifo-server), %lu coalesced "
+      "(wake batches)\n",
+      static_cast<unsigned long>(best.resumes),
+      static_cast<unsigned long>(best.direct_resumes),
+      static_cast<unsigned long>(best.coalesced_wakes));
 
   json.Row({{"clients", clients},
             {"threads_per_client", threads},
@@ -132,6 +153,10 @@ int Main(int argc, char** argv) {
             {"rpcs_per_sec", best.rpcs_per_s},
             {"events", best.events},
             {"rpcs", best.rpcs},
+            {"events_per_rpc", best.events_per_rpc},
+            {"resumes", best.resumes},
+            {"direct_resumes", best.direct_resumes},
+            {"coalesced_wakes", best.coalesced_wakes},
             {"sim_mops", best.sim_mops},
             {"wall_s", best.wall_s},
             {"peak_rss_kb", rss_kb}});

@@ -1,0 +1,192 @@
+// Microbenchmarks for the discrete-event kernel itself.
+//
+// perf_smoke measures the kernel through the whole Flock stack; this bench
+// isolates the primitives the batched-delivery work targets, so a kernel
+// regression shows up here before it is diluted by RPC-layer cost:
+//
+//   * schedule_resume — bare Schedule(0)/dequeue/resume round trips: the cost
+//     of one event-queue traversal, the unit everything else is priced in.
+//   * notify_fanout_{1,8,64} — Condition::NotifyAll with N parked waiters:
+//     exercises wake coalescing (one drain event per timestamp regardless of
+//     N; see Simulator::ScheduleWake).
+//   * calendar_churn — events spread across the 4096-bucket calendar horizon
+//     plus an overflow-heap tail: bucket insert, occupancy scan, refill, and
+//     heap merge costs.
+//
+// Usage:
+//   sim_kernel [--iters=2000000] [--repeats=3] [--json=BENCH_sim_kernel.json]
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+
+namespace flock::bench {
+namespace {
+
+struct KernelResult {
+  double wall_s = 0;
+  uint64_t events = 0;
+  uint64_t resumes = 0;
+  uint64_t coalesced = 0;
+  double events_per_s = 0;
+};
+
+// ---- schedule/resume round-trip throughput ----
+
+sim::Proc YieldLoop(sim::Simulator& sim, uint64_t iters, uint64_t* done) {
+  for (uint64_t i = 0; i < iters; ++i) {
+    co_await sim::Delay(sim, 0);
+  }
+  ++(*done);
+}
+
+KernelResult RunScheduleResume(uint64_t iters) {
+  sim::Simulator sim;
+  uint64_t done = 0;
+  sim.Spawn(YieldLoop(sim, iters, &done));
+  const auto start = std::chrono::steady_clock::now();
+  sim.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  FLOCK_CHECK_EQ(done, 1u);
+  KernelResult r;
+  r.wall_s = std::chrono::duration<double>(stop - start).count();
+  r.events = sim.events_processed();
+  r.resumes = sim.resumes();
+  r.coalesced = sim.coalesced_wakes();
+  r.events_per_s = static_cast<double>(r.events) / r.wall_s;
+  return r;
+}
+
+// ---- NotifyAll fan-out ----
+
+sim::Proc FanoutWaiter(sim::Condition& cond, const bool& stop, uint64_t* wakes) {
+  while (!stop) {
+    co_await cond.Wait();
+    ++(*wakes);
+  }
+}
+
+sim::Proc FanoutNotifier(sim::Simulator& sim, sim::Condition& cond, bool& stop,
+                         uint64_t rounds) {
+  for (uint64_t i = 0; i < rounds; ++i) {
+    cond.NotifyAll();
+    // Advance one tick so every waiter re-parks before the next notify.
+    co_await sim::Delay(sim, 1);
+  }
+  stop = true;
+  cond.NotifyAll();
+}
+
+KernelResult RunNotifyFanout(int waiters, uint64_t rounds) {
+  sim::Simulator sim;
+  sim::Condition cond(sim);
+  bool stop = false;
+  uint64_t wakes = 0;
+  for (int i = 0; i < waiters; ++i) {
+    sim.Spawn(FanoutWaiter(cond, stop, &wakes));
+  }
+  sim.Spawn(FanoutNotifier(sim, cond, stop, rounds));
+  const auto start = std::chrono::steady_clock::now();
+  sim.Run();
+  const auto stop_t = std::chrono::steady_clock::now();
+  KernelResult r;
+  r.wall_s = std::chrono::duration<double>(stop_t - start).count();
+  r.events = sim.events_processed();
+  r.resumes = sim.resumes();
+  r.coalesced = sim.coalesced_wakes();
+  // Every waiter wakes once per notify round (delivered via wake batches).
+  FLOCK_CHECK_GE(wakes, rounds * static_cast<uint64_t>(waiters));
+  r.events_per_s = static_cast<double>(wakes) / r.wall_s;  // wakes/s here
+  return r;
+}
+
+// ---- calendar churn ----
+
+sim::Proc ChurnLoop(sim::Simulator& sim, uint64_t iters, uint64_t* done) {
+  // Delays cycle through the calendar horizon and spill into the overflow
+  // heap (delay > 4096), exercising bucket insert + occupancy scan + refill
+  // + heap merge rather than the now-FIFO fast path.
+  static constexpr Nanos kDelays[] = {1, 7, 63, 511, 4095, 9001};
+  for (uint64_t i = 0; i < iters; ++i) {
+    co_await sim::Delay(sim, kDelays[i % (sizeof(kDelays) / sizeof(kDelays[0]))]);
+  }
+  ++(*done);
+}
+
+KernelResult RunCalendarChurn(uint64_t iters, int procs) {
+  sim::Simulator sim;
+  uint64_t done = 0;
+  for (int p = 0; p < procs; ++p) {
+    sim.Spawn(ChurnLoop(sim, iters, &done));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  sim.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  FLOCK_CHECK_EQ(done, static_cast<uint64_t>(procs));
+  KernelResult r;
+  r.wall_s = std::chrono::duration<double>(stop - start).count();
+  r.events = sim.events_processed();
+  r.resumes = sim.resumes();
+  r.coalesced = sim.coalesced_wakes();
+  r.events_per_s = static_cast<double>(r.events) / r.wall_s;
+  return r;
+}
+
+void Report(JsonDump& json, const char* name, const KernelResult& best,
+            const char* rate_unit) {
+  std::printf("%-18s %14.0f %s  (%lu events, %lu resumes, %lu coalesced, "
+              "%.1f ms)\n",
+              name, best.events_per_s, rate_unit,
+              static_cast<unsigned long>(best.events),
+              static_cast<unsigned long>(best.resumes),
+              static_cast<unsigned long>(best.coalesced), best.wall_s * 1e3);
+  json.Row({{"case", name},
+            {"rate", best.events_per_s},
+            {"rate_unit", rate_unit},
+            {"events", best.events},
+            {"resumes", best.resumes},
+            {"coalesced_wakes", best.coalesced},
+            {"wall_s", best.wall_s}});
+}
+
+template <typename Fn>
+KernelResult Best(int repeats, Fn&& fn) {
+  KernelResult best;
+  for (int i = 0; i < repeats; ++i) {
+    const KernelResult r = fn();
+    if (r.events_per_s > best.events_per_s) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t iters = static_cast<uint64_t>(flags.Int("iters", 2000000));
+  const int repeats = static_cast<int>(flags.Int("repeats", 3));
+  JsonDump json(flags.Str("json", "BENCH_sim_kernel.json"), "sim_kernel");
+
+  PrintBanner("sim_kernel: event-kernel primitive throughput");
+
+  Report(json, "schedule_resume", Best(repeats, [&] { return RunScheduleResume(iters); }),
+         "events/s");
+  const uint64_t rounds = iters / 64;
+  Report(json, "notify_fanout_1", Best(repeats, [&] { return RunNotifyFanout(1, rounds * 8); }),
+         "wakes/s");
+  Report(json, "notify_fanout_8", Best(repeats, [&] { return RunNotifyFanout(8, rounds); }),
+         "wakes/s");
+  Report(json, "notify_fanout_64", Best(repeats, [&] { return RunNotifyFanout(64, rounds / 8); }),
+         "wakes/s");
+  Report(json, "calendar_churn", Best(repeats, [&] { return RunCalendarChurn(iters / 8, 8); }),
+         "events/s");
+  return 0;
+}
+
+}  // namespace
+}  // namespace flock::bench
+
+int main(int argc, char** argv) { return flock::bench::Main(argc, argv); }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a fresh perf_smoke run against the checked-in baseline.
+
+Usage:
+    check_perf.py BASELINE.json CURRENT.json [--max-regression=0.10]
+
+Reads the first row of each JSON dump (the schema bench/bench_util.h emits),
+compares the wall-clock rate metrics, and exits non-zero if any gated metric
+regressed by more than the threshold. Improvements are reported but never
+fail the gate; the checked-in baseline should be refreshed in the PR that
+moves the numbers.
+"""
+
+import argparse
+import json
+import sys
+
+# Rates gated against the baseline. Higher is better for every entry.
+GATED_METRICS = ("events_per_sec", "rpcs_per_sec")
+# Reported for context but not gated (events_per_rpc is a design property of
+# the kernel, not a wall-clock rate; it moves only when event batching
+# changes, and such a change must update the baseline deliberately).
+INFO_METRICS = ("events_per_rpc", "sim_mops", "peak_rss_kb")
+
+
+def load_row(path):
+    with open(path) as f:
+        dump = json.load(f)
+    rows = dump.get("rows", [])
+    if not rows:
+        sys.exit(f"error: {path} has no rows")
+    return rows[0]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.10,
+        help="fail if a gated metric drops by more than this fraction",
+    )
+    args = parser.parse_args()
+
+    base = load_row(args.baseline)
+    cur = load_row(args.current)
+
+    failed = []
+    print(f"{'metric':<18} {'baseline':>14} {'current':>14} {'delta':>8}")
+    for metric in GATED_METRICS + INFO_METRICS:
+        b, c = base.get(metric), cur.get(metric)
+        if b is None or c is None:
+            print(f"{metric:<18} {'(missing)':>14} {'(missing)':>14}")
+            continue
+        delta = (c - b) / b if b else 0.0
+        gated = metric in GATED_METRICS
+        mark = ""
+        if gated and delta < -args.max_regression:
+            failed.append((metric, b, c, delta))
+            mark = "  << REGRESSION"
+        print(f"{metric:<18} {b:>14.0f} {c:>14.0f} {delta:>+7.1%}{mark}")
+
+    if failed:
+        names = ", ".join(m for m, *_ in failed)
+        print(
+            f"\nFAIL: {names} regressed more than "
+            f"{args.max_regression:.0%} vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: no gated metric regressed more than "
+          f"{args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

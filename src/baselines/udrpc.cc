@@ -10,6 +10,7 @@ namespace {
 constexpr uint16_t kFlagResponse = 1;
 constexpr uint32_t kSendSlots = 64;       // client-side (bounded by outstanding)
 constexpr uint32_t kServerSendSlots = 512; // server-side response staging
+constexpr size_t kPollBatch = 32;         // CQEs per poll_cq call
 
 // Exponential poll backoff: models a polling loop at coarse granularity so an
 // idle wait costs O(log) simulation events while still charging full CPU.
@@ -68,73 +69,80 @@ sim::Proc UdRpcServer::WorkerLoop(int index) {
   uint64_t acked = 0;
   Nanos backoff = cost.cpu_cq_poll_empty;
 
+  verbs::Completion wcs[kPollBatch];
   for (;;) {
     Nanos work = cost.cpu_cq_poll_empty;
     bool found = false;
-    verbs::Completion wc;
-    while (worker.recv_cq->Poll(&wc)) {
+    // Vectorized drain, looping until the CQ reads empty: the stall below can
+    // suspend mid-batch, so a fresh poll after each batch picks up datagrams
+    // that landed while we were parked (same coverage as a one-at-a-time
+    // Poll loop, one poll_cq call per kPollBatch CQEs).
+    for (size_t nc; (nc = worker.recv_cq->PollBatch(wcs, kPollBatch)) > 0;) {
       found = true;
-      // Per-packet UD software cost: header parse, session lookup, software
-      // reliability bookkeeping — plus completion consumption.
-      work += cost.cpu_cqe_handle + cost.cpu_ud_pkt_process;
-      UdWireHeader header;
-      mem.Read(wc.wr_id, &header, sizeof(header));
-      auto it = handlers_.find(header.rpc_id);
-      FLOCK_CHECK(it != handlers_.end()) << "no UD handler for rpc " << header.rpc_id;
-      Nanos handler_cpu = 0;
-      const uint32_t resp_len = it->second(
-          mem.At(wc.wr_id + sizeof(UdWireHeader)), header.payload_len,
-          resp_scratch.data(), config_.mtu_payload, &handler_cpu);
-      work += handler_cpu;
-      ++requests_handled_;
+      for (size_t ci = 0; ci < nc; ++ci) {
+        const verbs::Completion& wc = wcs[ci];
+        // Per-packet UD software cost: header parse, session lookup, software
+        // reliability bookkeeping — plus completion consumption.
+        work += cost.cpu_cqe_handle + cost.cpu_ud_pkt_process;
+        UdWireHeader header;
+        mem.Read(wc.wr_id, &header, sizeof(header));
+        auto it = handlers_.find(header.rpc_id);
+        FLOCK_CHECK(it != handlers_.end()) << "no UD handler for rpc " << header.rpc_id;
+        Nanos handler_cpu = 0;
+        const uint32_t resp_len = it->second(
+            mem.At(wc.wr_id + sizeof(UdWireHeader)), header.payload_len,
+            resp_scratch.data(), config_.mtu_payload, &handler_cpu);
+        work += handler_cpu;
+        ++requests_handled_;
 
-      // Build and send the response datagram.
-      UdWireHeader resp_header = header;
-      resp_header.flags = kFlagResponse;
-      resp_header.payload_len = resp_len;
-      resp_header.src_node = node_;
-      resp_header.src_qpn = worker.qp->qpn();
-      // A TX slot must not be reused before the NIC has consumed it: stall
-      // (burning CPU on CQ polling, as a real sender would) while the send
-      // queue is deeper than the staging pool.
-      while (posts - acked > kServerSendSlots - kSignal) {
-        verbs::Completion send_wc;
-        while (worker.send_cq->Poll(&send_wc)) {
-          acked += kSignal;
-          work += cost.cpu_cqe_handle;
+        // Build and send the response datagram.
+        UdWireHeader resp_header = header;
+        resp_header.flags = kFlagResponse;
+        resp_header.payload_len = resp_len;
+        resp_header.src_node = node_;
+        resp_header.src_qpn = worker.qp->qpn();
+        // A TX slot must not be reused before the NIC has consumed it: stall
+        // (burning CPU on CQ polling, as a real sender would) while the send
+        // queue is deeper than the staging pool.
+        while (posts - acked > kServerSendSlots - kSignal) {
+          verbs::Completion send_wcs[kPollBatch];
+          for (size_t ns; (ns = worker.send_cq->PollBatch(send_wcs, kPollBatch)) > 0;) {
+            acked += kSignal * ns;
+            work += cost.cpu_cqe_handle * static_cast<Nanos>(ns);
+          }
+          // Charge everything accumulated so far, then keep polling.
+          co_await core.Work(work + cost.cpu_cq_poll_empty);
+          work = 0;
         }
-        // Charge everything accumulated so far, then keep polling.
-        co_await core.Work(work + cost.cpu_cq_poll_empty);
-        work = 0;
-      }
-      const uint64_t slot =
-          worker.send_buf +
-          (send_slot++ % kServerSendSlots) * static_cast<uint64_t>(buf_bytes);
-      mem.Write(slot, &resp_header, sizeof(resp_header));
-      if (resp_len > 0) {
-        mem.Write(slot + sizeof(resp_header), resp_scratch.data(), resp_len);
-      }
-      work += cost.MemcpyCost(sizeof(resp_header) + resp_len) + cost.cpu_wqe_prep +
-              cost.cpu_mmio_doorbell + cost.cpu_ud_pkt_process;
-      verbs::SendWr send;
-      send.opcode = verbs::Opcode::kSend;
-      send.local_addr = slot;
-      send.length = sizeof(resp_header) + resp_len;
-      send.dest_node = header.src_node;
-      send.dest_qpn = header.src_qpn;
-      posts += 1;
-      send.signaled = (posts % kSignal) == 0;
-      if (worker.qp->PostSend(send) != verbs::WcStatus::kSuccess) {
-        ++send_failures_;
-      }
+        const uint64_t slot =
+            worker.send_buf +
+            (send_slot++ % kServerSendSlots) * static_cast<uint64_t>(buf_bytes);
+        mem.Write(slot, &resp_header, sizeof(resp_header));
+        if (resp_len > 0) {
+          mem.Write(slot + sizeof(resp_header), resp_scratch.data(), resp_len);
+        }
+        work += cost.MemcpyCost(sizeof(resp_header) + resp_len) + cost.cpu_wqe_prep +
+                cost.cpu_mmio_doorbell + cost.cpu_ud_pkt_process;
+        verbs::SendWr send;
+        send.opcode = verbs::Opcode::kSend;
+        send.local_addr = slot;
+        send.length = sizeof(resp_header) + resp_len;
+        send.dest_node = header.src_node;
+        send.dest_qpn = header.src_qpn;
+        posts += 1;
+        send.signaled = (posts % kSignal) == 0;
+        if (worker.qp->PostSend(send) != verbs::WcStatus::kSuccess) {
+          ++send_failures_;
+        }
 
-      // Recycle the receive buffer (the dominant Fig. 2(b) cost).
-      worker.qp->PostRecv(verbs::RecvWr{wc.wr_id, wc.wr_id, buf_bytes});
-      work += cost.cpu_post_recv;
+        // Recycle the receive buffer (the dominant Fig. 2(b) cost).
+        worker.qp->PostRecv(verbs::RecvWr{wc.wr_id, wc.wr_id, buf_bytes});
+        work += cost.cpu_post_recv;
+      }
     }
-    while (worker.send_cq->Poll(&wc)) {
-      acked += kSignal;
-      work += cost.cpu_cqe_handle;
+    for (size_t nc; (nc = worker.send_cq->PollBatch(wcs, kPollBatch)) > 0;) {
+      acked += kSignal * nc;
+      work += cost.cpu_cqe_handle * static_cast<Nanos>(nc);
     }
     if (found) {
       backoff = cost.cpu_cq_poll_empty;
@@ -216,29 +224,39 @@ bool UdRpcClient::Thread::DrainCompletions(Nanos* work) {
   const sim::CostModel& cost = cluster_.cost();
   fabric::MemorySpace& mem = cluster_.mem(node_);
   bool any = false;
-  verbs::Completion wc;
-  while (recv_cq_->Poll(&wc)) {
+  verbs::Completion wcs[kPollBatch];
+  for (size_t nc; (nc = recv_cq_->PollBatch(wcs, kPollBatch)) > 0;) {
     any = true;
-    *work += cost.cpu_cqe_handle + cost.cpu_ud_pkt_process + cost.cpu_post_recv;
-    UdWireHeader header;
-    mem.Read(wc.wr_id, &header, sizeof(header));
-    qp_->PostRecv(verbs::RecvWr{wc.wr_id, wc.wr_id, 4096});
-    auto it = pending_.find(header.seq);
-    if (it == pending_.end()) {
-      continue;  // response for a request we already declared lost
+    for (size_t ci = 0; ci < nc; ++ci) {
+      const verbs::Completion& wc = wcs[ci];
+      *work += cost.cpu_cqe_handle + cost.cpu_ud_pkt_process + cost.cpu_post_recv;
+      UdWireHeader header;
+      mem.Read(wc.wr_id, &header, sizeof(header));
+      qp_->PostRecv(verbs::RecvWr{wc.wr_id, wc.wr_id, 4096});
+      auto it = pending_.find(header.seq);
+      if (it == pending_.end()) {
+        continue;  // response for a request we already declared lost
+      }
+      Pending* pending = it->second;
+      pending_.erase(it);
+      pending->response.resize(header.payload_len);
+      if (header.payload_len > 0) {
+        mem.Read(wc.wr_id + sizeof(header), pending->response.data(),
+                 header.payload_len);
+        *work += cost.MemcpyCost(header.payload_len);
+      }
+      pending->done = true;
+      pending->completed_at = cluster_.sim().Now();
     }
-    Pending* pending = it->second;
-    pending_.erase(it);
-    pending->response.resize(header.payload_len);
-    if (header.payload_len > 0) {
-      mem.Read(wc.wr_id + sizeof(header), pending->response.data(), header.payload_len);
-      *work += cost.MemcpyCost(header.payload_len);
+    if (nc < kPollBatch) {
+      break;
     }
-    pending->done = true;
-    pending->completed_at = cluster_.sim().Now();
   }
-  while (send_cq_->Poll(&wc)) {
-    *work += cost.cpu_cqe_handle;
+  for (size_t nc; (nc = send_cq_->PollBatch(wcs, kPollBatch)) > 0;) {
+    *work += cost.cpu_cqe_handle * static_cast<Nanos>(nc);
+    if (nc < kPollBatch) {
+      break;
+    }
   }
   return any;
 }

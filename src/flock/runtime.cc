@@ -13,6 +13,15 @@ using internal::SenderState;
 using internal::ServerLane;
 using internal::WrTag;
 
+namespace {
+
+// Completions drained per ibv_poll_cq-style call: dispatcher and scheduler
+// passes pull CQEs in batches of this size (stack array) instead of one Poll
+// per completion. Matches the num_entries real dataplanes pass to poll_cq.
+constexpr size_t kCqPollBatch = 32;
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // FlockRuntime: construction and roles
 // ---------------------------------------------------------------------------
@@ -364,10 +373,7 @@ sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
     lane.combine_head = ps;
   }
   lane.combine_tail = ps;
-  if (!lane.pump_running) {
-    lane.pump_running = true;
-    client_->sim().Spawn(Pump(lane));
-  }
+  WakePump(lane);
   // ...then the thread copies its payload into the combining buffer and
   // raises its copy-completion flag, which the leader polls (§4.2).
   bool sent = false;
@@ -437,12 +443,35 @@ void Connection::MaybeRenewCredits(ClientLane& lane, verbs::SendWr* wrs,
   lane.renew_in_flight = true;
 }
 
+void Connection::WakePump(ClientLane& lane) {
+  if (lane.pump_running) {
+    return;  // the running pump's admit loop picks the new request up
+  }
+  lane.pump_running = true;
+  if (!lane.pump_spawned) {
+    lane.pump_spawned = true;
+    client_->sim().Spawn(Pump(lane));
+  } else {
+    lane.pump_wake.Fire(client_->sim());
+  }
+}
+
 sim::Proc Connection::Pump(ClientLane& lane) {
   const FlockConfig& config = client_->config();
   const sim::CostModel& cost = client_->cost();
   sim::Simulator& sim = client_->sim();
+  (void)sim;
 
-  while (lane.combine_head != nullptr) {
+  for (;;) {
+    if (lane.combine_head == nullptr) {
+      // Queue drained: park until the next request (or retry restage) wakes
+      // us. pump_running goes false and the wake is re-armed with no
+      // suspension in between, so pump_running == false implies parked.
+      lane.pump_running = false;
+      lane.pump_wake.Reset();
+      co_await lane.pump_wake.Wait();
+      continue;
+    }
     // Collect the leader's batch: bounded combining (§4.2). The batch is an
     // intrusive list spliced off the front of the lane's combining queue.
     const size_t bound = config.coalescing ? config.max_coalesce : 1;
@@ -510,6 +539,7 @@ sim::Proc Connection::Pump(ClientLane& lane) {
 
     // Wait for a credit and contiguous ring space.
     RingProducer::Reservation resv;
+    bool requeued = false;  // batch handed off (migrated or dropped)
     while (true) {
       if (!lane.active && lane.credits == 0) {
         // Deactivated and drained: migrate the queued work to an active lane
@@ -545,12 +575,9 @@ sim::Proc Connection::Pump(ClientLane& lane) {
           lane.combine_tail = nullptr;
           target->inflight += moved;
           lane.inflight -= std::min<uint64_t>(lane.inflight, moved);
-          if (!target->pump_running) {
-            target->pump_running = true;
-            sim.Spawn(Pump(*target));
-          }
-          lane.pump_running = false;
-          co_return;
+          WakePump(*target);
+          requeued = true;  // queue is empty now: park at the loop top
+          break;
         }
         if (lane.failed) {
           // Quarantined with nowhere to migrate: drop the queued sends and
@@ -591,8 +618,8 @@ sim::Proc Connection::Pump(ClientLane& lane) {
           lane.combine_head = nullptr;
           lane.combine_tail = nullptr;
           lane.sent_cond->NotifyAll();
-          lane.pump_running = false;
-          co_return;
+          requeued = true;  // queue dropped: park at the loop top
+          break;
         }
         co_await lane.send_ready.Wait();
         continue;
@@ -609,6 +636,9 @@ sim::Proc Connection::Pump(ClientLane& lane) {
       }
       n = static_cast<uint32_t>(batch_n);
       msg_len = wire::MessageBytes(n, data_bytes);
+    }
+    if (requeued) {
+      continue;
     }
     lane.credits -= 1;
 
@@ -688,7 +718,6 @@ sim::Proc Connection::Pump(ClientLane& lane) {
     }
     lane.sent_cond->NotifyAll();
   }
-  lane.pump_running = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -1057,48 +1086,61 @@ sim::Proc FlockRuntime::QpScheduler() {
   const sim::CostModel& cost = cluster_.cost();
   Nanos next_redistribution = cluster_.sim().Now() + config_.qp_sched_interval;
 
+  verbs::Completion wcs[kCqPollBatch];
   for (;;) {
     Nanos work = 2 * cost.cpu_cq_poll_empty;
-    verbs::Completion wc;
     // Credit-renew requests arrive as write-with-imm completions on the RCQ
     // (§7: polling the RCQ avoids synchronizing with the request dispatchers).
-    while (recv_cq_->Poll(&wc)) {
-      work += cost.cpu_cqe_handle + cost.cpu_post_recv;
-      if (internal::WrIdTag(wc.wr_id) != WrTag::kServerRecv) {
-        // A dual-role node's client-side receives land here too; only a QP
-        // flush ever completes them (the server never sends imms clientward).
-        continue;
+    // Vectorized drain: one poll call pulls a whole batch of CQEs.
+    for (size_t nc; (nc = recv_cq_->PollBatch(wcs, kCqPollBatch)) > 0;) {
+      for (size_t ci = 0; ci < nc; ++ci) {
+        const verbs::Completion& wc = wcs[ci];
+        work += cost.cpu_cqe_handle + cost.cpu_post_recv;
+        if (internal::WrIdTag(wc.wr_id) != WrTag::kServerRecv) {
+          // A dual-role node's client-side receives land here too; only a QP
+          // flush ever completes them (the server never sends imms clientward).
+          continue;
+        }
+        auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
+        if (wc.status != verbs::WcStatus::kSuccess) {
+          QuarantineServerLane(*lane);  // flushed: the lane's QP is dead
+          continue;
+        }
+        CtrlType type;
+        uint32_t lane_index, value;
+        internal::UnpackCtrl(wc.imm, &type, &lane_index, &value);
+        FLOCK_CHECK(type == CtrlType::kRenewRequest);
+        lane->qp->PostRecv(verbs::RecvWr{wc.wr_id, 0, 0});
+        server_stats_.credit_renewals += 1;
+        lane->utilization += value;  // U_ij += reported median degree
+        if (lane->active) {
+          // Grant C more credits through the lane's control slot (§5.1).
+          lane->grant_cumulative += config_.credits;
+          WriteCtrlSlot(*lane);
+          lane->credits_outstanding += config_.credits;
+          work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
+        }
+        // Inactive lanes get no credits from the next interval on (§5.1).
       }
-      auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
-      if (wc.status != verbs::WcStatus::kSuccess) {
-        QuarantineServerLane(*lane);  // flushed: the lane's QP is dead
-        continue;
+      if (nc < kCqPollBatch) {
+        break;
       }
-      CtrlType type;
-      uint32_t lane_index, value;
-      internal::UnpackCtrl(wc.imm, &type, &lane_index, &value);
-      FLOCK_CHECK(type == CtrlType::kRenewRequest);
-      lane->qp->PostRecv(verbs::RecvWr{wc.wr_id, 0, 0});
-      server_stats_.credit_renewals += 1;
-      lane->utilization += value;  // U_ij += reported median degree
-      if (lane->active) {
-        // Grant C more credits through the lane's control slot (§5.1).
-        lane->grant_cumulative += config_.credits;
-        WriteCtrlSlot(*lane);
-        lane->credits_outstanding += config_.credits;
-        work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
-      }
-      // Inactive lanes get no credits from the next interval on (§5.1).
     }
     // Our own posted writes (signaled responses, control messages).
-    while (send_cq_->Poll(&wc)) {
-      work += cost.cpu_cqe_handle;
-      if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
-        auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
-        op->status = wc.status;
-        op->done_event.Fire(cluster_.sim());
-      } else if (wc.status != verbs::WcStatus::kSuccess) {
-        HandleSendError(wc);
+    for (size_t nc; (nc = send_cq_->PollBatch(wcs, kCqPollBatch)) > 0;) {
+      for (size_t ci = 0; ci < nc; ++ci) {
+        const verbs::Completion& wc = wcs[ci];
+        work += cost.cpu_cqe_handle;
+        if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
+          auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
+          op->status = wc.status;
+          op->done_event.Fire(cluster_.sim());
+        } else if (wc.status != verbs::WcStatus::kSuccess) {
+          HandleSendError(wc);
+        }
+      }
+      if (nc < kCqPollBatch) {
+        break;
       }
     }
 
@@ -1386,17 +1428,25 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
   // Per-proc decode scratch: capacity persists across messages.
   std::vector<wire::ReqView> views;
 
+  verbs::Completion wcs[kCqPollBatch];
   for (;;) {
     Nanos pass_cost = cost.cpu_cq_poll_empty;
-    verbs::Completion wc;
-    while (send_cq_->Poll(&wc)) {
-      pass_cost += cost.cpu_cqe_handle;
-      if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
-        auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
-        op->status = wc.status;
-        op->done_event.Fire(cluster_.sim());
-      } else if (wc.status != verbs::WcStatus::kSuccess) {
-        HandleSendError(wc);
+    // Vectorized send-CQ drain (selective signaling keeps this sparse, but
+    // error bursts — a flushed QP — arrive as whole batches).
+    for (size_t nc; (nc = send_cq_->PollBatch(wcs, kCqPollBatch)) > 0;) {
+      for (size_t ci = 0; ci < nc; ++ci) {
+        const verbs::Completion& wc = wcs[ci];
+        pass_cost += cost.cpu_cqe_handle;
+        if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
+          auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
+          op->status = wc.status;
+          op->done_event.Fire(cluster_.sim());
+        } else if (wc.status != verbs::WcStatus::kSuccess) {
+          HandleSendError(wc);
+        }
+      }
+      if (nc < kCqPollBatch) {
+        break;
       }
     }
 
@@ -1679,10 +1729,7 @@ void FlockRuntime::RetryPendingRpc(Connection& conn, PendingRpc* rpc) {
     lane.combine_head = ps;
   }
   lane.combine_tail = ps;
-  if (!lane.pump_running) {
-    lane.pump_running = true;
-    cluster_.sim().Spawn(conn.Pump(lane));
-  }
+  conn.WakePump(lane);
 }
 
 void FlockRuntime::FailPendingRpc(Connection& conn, PendingRpc* rpc) {

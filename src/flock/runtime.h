@@ -271,7 +271,13 @@ struct ClientLane {
   // FIFO threaded through the pool-allocated PendingSends.
   PendingSend* combine_head = nullptr;
   PendingSend* combine_tail = nullptr;
+  // The pump (transient leader) is a persistent per-lane process: spawned on
+  // the lane's first request, it parks on pump_wake when the combining queue
+  // drains instead of exiting, so enqueuing a request never rebuilds the
+  // (large) pump coroutine frame. pump_running means "actively pumping".
   bool pump_running = false;
+  bool pump_spawned = false;
+  sim::OneShotEvent pump_wake;
   std::unique_ptr<sim::Condition> copy_done;  // follower copy-completion flags
   std::unique_ptr<sim::Condition> sent_cond;  // "your message was posted"
 
@@ -427,6 +433,9 @@ class Connection {
   // the pump so queued work migrates to a surviving lane. Idempotent.
   void QuarantineLane(internal::ClientLane& lane);
   sim::Proc Pump(internal::ClientLane& lane);
+  // Starts pumping `lane` if it is not already being pumped: first use spawns
+  // the persistent pump proc, later uses wake it from its parked state.
+  void WakePump(internal::ClientLane& lane);
   sim::Proc MemPump(internal::ClientLane& lane);
   sim::Co<verbs::WcStatus> SubmitMemOp(FlockThread& thread, verbs::SendWr wr);
   // Appends a credit-renew WR to wrs[*nwrs] (and bumps *nwrs) when due.

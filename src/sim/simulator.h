@@ -111,6 +111,60 @@ class Simulator {
   size_t live_proc_count() const { return live_count_; }
   size_t queue_size() const { return size_; }
 
+  // ---- kernel counters (see bench/perf_smoke and bench/sim_kernel) ----
+  // Total coroutine resumptions, however delivered.
+  uint64_t resumes() const { return resumes_; }
+  // Resumptions performed inline by a resource model (FifoServer completion)
+  // instead of a schedule/dequeue round trip through the event queue.
+  uint64_t direct_resumes() const { return direct_resumes_; }
+  // Waiters woken by a shared drain event (Condition::NotifyAll, Semaphore
+  // release batches) rather than one scheduled event per waiter.
+  uint64_t coalesced_wakes() const { return coalesced_wakes_; }
+
+  // Bookkeeping hook for sync primitives that resume coroutines without a
+  // per-waiter event (src/sim/sync.h).
+  void NoteDirectResume() {
+    ++resumes_;
+    ++direct_resumes_;
+  }
+
+  // ---- wake coalescing ----
+  //
+  // A notify-style primitive that wakes N waiters in one call (NotifyAll, a
+  // batched release) queues the handles with QueueWake() and seals the batch
+  // with CommitWakes(): ONE zero-delay drain event then resumes all N, in
+  // queue order. Because the N handles would have been scheduled back to back
+  // (consecutive sequence numbers, nothing can interleave inside the notify
+  // call), the drain runs them at exactly the positions N individual
+  // ScheduleResume(0) events would have — batching changes the event count,
+  // never the execution order. The drain holds only coroutine handles, never
+  // a pointer to the notifying primitive, so a primitive may be destroyed
+  // (e.g. it lives in a resumed waiter's frame) with a drain still pending.
+  void QueueWake(std::coroutine_handle<> handle) {
+    wake_batch_.push_back(handle.address());
+    ++uncommitted_wakes_;
+  }
+
+  void CommitWakes() {
+    if (uncommitted_wakes_ == 0) {
+      return;
+    }
+    wake_counts_.push_back(uncommitted_wakes_);
+    uncommitted_wakes_ = 0;
+    Schedule(0, &Simulator::WakeDrainTrampoline, this);
+  }
+
+  // Single-waiter convenience (OneShotEvent::Fire, NotifyOne).
+  void ScheduleWake(std::coroutine_handle<> handle) {
+    QueueWake(handle);
+    CommitWakes();
+  }
+
+  // True while events at the current timestamp are still pending in the drain
+  // FIFO. Resource models use this to decide whether an inline resume is
+  // order-equivalent to a ScheduleResume(0) (see FifoServer::Done).
+  bool SameTimePending() const { return fifo_pos_ < fifo_.size(); }
+
   // Destroys every live process frame and drops pending events. Safe to call
   // more than once. Must run while the objects referenced by process locals
   // are still alive (see Cluster in src/fabric).
@@ -129,6 +183,11 @@ class Simulator {
     live_count_ = 0;
     fifo_.clear();
     fifo_pos_ = 0;
+    wake_batch_.clear();
+    wake_drain_pos_ = 0;
+    wake_counts_.clear();
+    wake_counts_pos_ = 0;
+    uncommitted_wakes_ = 0;
     for (size_t word = 0; word < kNumWords; ++word) {
       uint64_t bits = occupancy_[word];
       while (bits != 0) {
@@ -152,6 +211,31 @@ class Simulator {
 
  private:
   friend struct internal::ProcFinalAwaiter;
+
+  static void WakeDrainTrampoline(void* self) {
+    static_cast<Simulator*>(self)->WakeDrain();
+  }
+
+  void WakeDrain() {
+    // Each drain event consumes exactly the handles of its own commit — a
+    // waiter that notifies further waiters commits a new batch with its own
+    // drain event, which keeps their resumption at the position fresh
+    // ScheduleResume(0) events would have had.
+    const uint32_t count = wake_counts_[wake_counts_pos_++];
+    for (uint32_t i = 0; i < count; ++i) {
+      ++resumes_;
+      ++coalesced_wakes_;
+      std::coroutine_handle<>::from_address(wake_batch_[wake_drain_pos_++])
+          .resume();
+    }
+    if (wake_drain_pos_ == wake_batch_.size() && uncommitted_wakes_ == 0) {
+      // Fully drained: reset the consumed prefixes, keeping capacity.
+      wake_batch_.clear();
+      wake_drain_pos_ = 0;
+      wake_counts_.clear();
+      wake_counts_pos_ = 0;
+    }
+  }
 
   // 32 bytes: when `fn` is null, `ctx` is a coroutine frame address to
   // resume; otherwise the event runs fn(ctx).
@@ -362,6 +446,7 @@ class Simulator {
       if (event.fn != nullptr) {
         event.fn(event.ctx);
       } else {
+        ++resumes_;
         std::coroutine_handle<>::from_address(event.ctx).resume();
       }
     }
@@ -371,11 +456,22 @@ class Simulator {
   Nanos now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  uint64_t resumes_ = 0;
+  uint64_t direct_resumes_ = 0;
+  uint64_t coalesced_wakes_ = 0;
   size_t size_ = 0;
   bool shutting_down_ = false;
 
   std::vector<Event> fifo_;  // drain vector: [fifo_pos_, size) is pending
   size_t fifo_pos_ = 0;
+
+  // Wake batches: handles in commit order, one count per commit. Both vectors
+  // drain by position and reset when empty, so steady state never allocates.
+  std::vector<void*> wake_batch_;
+  size_t wake_drain_pos_ = 0;
+  std::vector<uint32_t> wake_counts_;
+  size_t wake_counts_pos_ = 0;
+  uint32_t uncommitted_wakes_ = 0;
 
   static constexpr uint32_t kNilNode = UINT32_MAX;
 

@@ -9,8 +9,16 @@
 //  * FifoMutex  — acquire/release lock with FIFO handoff; models the spinlock
 //    in the FaRM-like QP-sharing baseline.
 //
-// All resumptions go through the Simulator event queue (never inline), which
-// keeps execution order deterministic and stack depth bounded.
+// Wakeups are batched (see DESIGN.md "Batched event delivery"): notify-style
+// primitives queue their waiters on the Simulator and commit them as one
+// batch per notify call (one drain event resumes all of them), and a
+// FifoServer resumes the served process directly inside its completion event
+// when nothing else is pending at the timestamp. Both transformations are
+// order-preserving — every coroutine resumes at exactly the queue position a
+// one-event-per-wake kernel would have given it — so simulated results are
+// unchanged; only the event count (and therefore host wall-clock cost) drops.
+// A notifier still never has a waiter run under its feet: waiters run after
+// the current event returns.
 #ifndef FLOCK_SIM_SYNC_H_
 #define FLOCK_SIM_SYNC_H_
 
@@ -58,7 +66,7 @@ class OneShotEvent {
   void Fire(Simulator& sim) {
     done_ = true;
     if (waiter_) {
-      sim.ScheduleResume(0, waiter_);
+      sim.ScheduleWake(waiter_);
       waiter_ = nullptr;
     }
   }
@@ -91,16 +99,23 @@ class Condition {
 
   Awaiter Wait() { return Awaiter(*this); }
 
+  // Wake coalescing: all waiters are queued as one batch and resumed by a
+  // single drain event, so notifying N waiters costs one event instead of N
+  // — at exactly the queue positions N individual resume events would have
+  // had (their sequence numbers were consecutive). Which waiters wake is
+  // still decided here, at notify time — a waiter arriving after NotifyAll()
+  // waits for the next notify.
   void NotifyAll() {
     for (auto handle : waiters_) {
-      sim_.ScheduleResume(0, handle);
+      sim_.QueueWake(handle);
     }
     waiters_.clear();
+    sim_.CommitWakes();
   }
 
   void NotifyOne() {
     if (!waiters_.empty()) {
-      sim_.ScheduleResume(0, waiters_.front());
+      sim_.ScheduleWake(waiters_.front());
       waiters_.erase(waiters_.begin());
     }
   }
@@ -194,7 +209,19 @@ class FifoServer {
     } else {
       busy_ = false;
     }
-    sim_.ScheduleResume(0, finished);
+    if (!sim_.SameTimePending()) {
+      // Nothing else is queued at this timestamp, so a ScheduleResume(0)
+      // would make `finished` the very next event anyway: resuming it inline
+      // skips the queue round trip without reordering anything. (The next
+      // service's completion was scheduled above, before user code runs, so
+      // a waiter that re-enqueues observes a consistent server.)
+      sim_.NoteDirectResume();
+      finished.resume();
+    } else {
+      // Same-time events are pending; an inline resume would run `finished`
+      // ahead of them. Keep the order the unbatched kernel had.
+      sim_.ScheduleResume(0, finished);
+    }
   }
 
   Simulator& sim_;
@@ -238,7 +265,9 @@ class Semaphore {
 
   void Release() {
     if (!waiters_.empty()) {
-      sim_.ScheduleResume(0, waiters_.front());
+      // Hand the permit to the oldest waiter, decided now; delivery rides the
+      // shared wake drain so a burst of releases costs one event total.
+      sim_.ScheduleWake(waiters_.front());
       waiters_.pop_front();
     } else {
       ++permits_;

@@ -40,6 +40,22 @@ class Cq {
     return true;
   }
 
+  // Vectorized drain: pops up to `max` completions into `out`, returning the
+  // count. Batch order is push order, so per-QP completion order (and the
+  // position of error CQEs between successes) is exactly what a one-at-a-time
+  // Poll loop would see. The *CPU* cost of the poll is still charged by the
+  // caller, typically once per batch — that per-batch (not per-CQE) charging
+  // is the ibv_poll_cq(num_entries) amortization the dispatchers exploit.
+  size_t PollBatch(Completion* out, size_t max) {
+    size_t n = 0;
+    while (n < max && head_ != tail_) {
+      out[n++] = ring_[head_ & (ring_.size() - 1)];
+      ++head_;
+    }
+    polled_ += n;
+    return n;
+  }
+
   size_t depth() const { return static_cast<size_t>(tail_ - head_); }
   uint64_t pushed() const { return pushed_; }
   uint64_t polled() const { return polled_; }

@@ -88,12 +88,28 @@ WcStatus Qp::PostSend(const SendWr& wr) {
   return WcStatus::kSuccess;
 }
 
-WcStatus Qp::PostSendBatch(const SendWr* wrs, size_t count) {
-  for (size_t i = 0; i < count; ++i) {
-    const WcStatus status = PostSend(wrs[i]);
-    if (status != WcStatus::kSuccess) {
-      return status;
+WcStatus Qp::PostSendBatch(const SendWr* wrs, size_t count,
+                           size_t* failed_index) {
+  if (in_error_) {
+    if (failed_index != nullptr) {
+      *failed_index = 0;
     }
+    return WcStatus::kQpError;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const WcStatus status = Validate(wrs[i]);
+    if (status != WcStatus::kSuccess) {
+      if (failed_index != nullptr) {
+        *failed_index = i;
+      }
+      return status;  // nothing enqueued: the batch is rejected whole
+    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    send_queue_.push_back(wrs[i]);
+  }
+  if (count > 0) {
+    device_.KickSendEngine(*this);  // one doorbell for the linked WR list
   }
   return WcStatus::kSuccess;
 }
@@ -136,19 +152,32 @@ Qp* Device::FindQp(uint32_t qpn) {
 }
 
 void Device::KickSendEngine(Qp& qp) {
-  if (!qp.engine_running_) {
-    qp.engine_running_ = true;
+  if (qp.engine_running_) {
+    return;  // the engine picks freshly queued WRs up in its current run
+  }
+  qp.engine_running_ = true;
+  if (!qp.engine_spawned_) {
+    qp.engine_spawned_ = true;
     sim_.Spawn(SendEngine(qp));
+  } else {
+    qp.engine_wake_.Fire(sim_);
   }
 }
 
 sim::Proc Device::SendEngine(Qp& qp) {
-  while (!qp.send_queue_.empty()) {
-    SendWr wr = qp.send_queue_.front();
-    qp.send_queue_.pop_front();
-    co_await ProcessWr(qp, wr);
+  for (;;) {
+    // Drain the whole run of queued WRs per doorbell: WRs posted while the
+    // engine is mid-run (batched posts, back-to-back messages) are processed
+    // by this same activation without another wake event.
+    while (!qp.send_queue_.empty()) {
+      SendWr wr = qp.send_queue_.front();
+      qp.send_queue_.pop_front();
+      co_await ProcessWr(qp, wr);
+    }
+    qp.engine_running_ = false;
+    qp.engine_wake_.Reset();
+    co_await qp.engine_wake_.Wait();
   }
-  qp.engine_running_ = false;
 }
 
 sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {

@@ -9,6 +9,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/pool.h"
+#include "src/sim/sync.h"
 #include "src/verbs/cq.h"
 #include "src/verbs/types.h"
 
@@ -52,8 +53,13 @@ class Qp {
   WcStatus PostSend(const SendWr& wr);
 
   // Batched post: one doorbell, many WRs (the Flock leader's linked WR list).
-  // Stops at the first invalid WR and returns its status.
-  WcStatus PostSendBatch(const SendWr* wrs, size_t count);
+  // All-or-nothing: every WR is validated before any is enqueued, so a
+  // mid-batch error never leaves earlier WRs silently posted. On failure the
+  // status of the offending WR is returned and `failed_index` (if non-null)
+  // receives its position; the caller may fix or re-stage the whole batch.
+  // On success the batch is enqueued in order behind one doorbell kick.
+  WcStatus PostSendBatch(const SendWr* wrs, size_t count,
+                         size_t* failed_index = nullptr);
 
   void PostRecv(const RecvWr& wr) { recv_queue_.push_back(wr); }
 
@@ -79,7 +85,12 @@ class Qp {
   // queue drifts across a block boundary.
   FifoRing<SendWr> send_queue_;
   FifoRing<RecvWr> recv_queue_;
+  // The send engine is a persistent per-QP process: spawned on the first
+  // doorbell, it drains the whole run of queued WRs per wakeup and then parks
+  // on engine_wake_ (no coroutine frame is built per doorbell).
   bool engine_running_ = false;
+  bool engine_spawned_ = false;
+  sim::OneShotEvent engine_wake_;
   bool in_error_ = false;
 };
 

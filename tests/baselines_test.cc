@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "src/baselines/rcrpc.h"
@@ -103,8 +104,10 @@ TEST(UdRpcTest, OverloadCausesDropsAndTimeouts) {
 
   uint64_t total_timeouts = 0;
   int issued = 0;
+  std::vector<std::unique_ptr<UdRpcClient>> clients;
   for (int n = 1; n <= 2; ++n) {
-    UdRpcClient* client = new UdRpcClient(cluster, n);
+    UdRpcClient* client =
+        clients.emplace_back(std::make_unique<UdRpcClient>(cluster, n)).get();
     for (int t = 0; t < 4; ++t) {
       UdRpcClient::Thread* thread = client->CreateThread(t);
       auto app = [&cluster, &server, thread, &issued, &total_timeouts]() -> sim::Co<void> {

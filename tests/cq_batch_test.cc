@@ -1,0 +1,211 @@
+// Batched verbs tests: PostSendBatch all-or-nothing semantics (a doomed WR
+// mid-batch must not leave earlier WRs silently posted) and vectorized CQ
+// draining (PollBatch must see exactly the completion sequence — including
+// the position of error CQEs from the fault injector — that a one-at-a-time
+// Poll loop would).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/verbs/device.h"
+
+namespace flock::verbs {
+namespace {
+
+TEST(CqBatchTest, PollBatchDrainsInPushOrder) {
+  Cq cq;
+  for (uint64_t i = 0; i < 10; ++i) {
+    Completion wc;
+    wc.wr_id = 100 + i;
+    wc.status = WcStatus::kSuccess;
+    cq.Push(wc);
+  }
+
+  Completion out[4];
+  // Partial batches drain front-to-back without skipping or reordering.
+  ASSERT_EQ(cq.PollBatch(out, 4), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].wr_id, 100 + i);
+  }
+  ASSERT_EQ(cq.PollBatch(out, 4), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].wr_id, 104 + i);
+  }
+  // Final short batch, then empty.
+  ASSERT_EQ(cq.PollBatch(out, 4), 2u);
+  EXPECT_EQ(out[0].wr_id, 108u);
+  EXPECT_EQ(out[1].wr_id, 109u);
+  EXPECT_EQ(cq.PollBatch(out, 4), 0u);
+  EXPECT_EQ(cq.polled(), 10u);
+}
+
+TEST(CqBatchTest, PollBatchAgreesWithSinglePoll) {
+  Cq batched;
+  Cq single;
+  for (uint64_t i = 0; i < 7; ++i) {
+    Completion wc;
+    wc.wr_id = i;
+    wc.status = (i == 3) ? WcStatus::kRnrError : WcStatus::kSuccess;
+    batched.Push(wc);
+    single.Push(wc);
+  }
+
+  std::vector<Completion> via_batch;
+  Completion out[3];
+  for (size_t n; (n = batched.PollBatch(out, 3)) > 0;) {
+    via_batch.insert(via_batch.end(), out, out + n);
+  }
+  std::vector<Completion> via_poll;
+  Completion wc;
+  while (single.Poll(&wc)) {
+    via_poll.push_back(wc);
+  }
+
+  ASSERT_EQ(via_batch.size(), via_poll.size());
+  for (size_t i = 0; i < via_poll.size(); ++i) {
+    EXPECT_EQ(via_batch[i].wr_id, via_poll[i].wr_id);
+    EXPECT_EQ(via_batch[i].status, via_poll[i].status);
+  }
+}
+
+TEST(CqBatchTest, PostSendBatchRejectsWholeBatchOnDoomedWr) {
+  Cluster cluster(Cluster::Config{.num_nodes = 2});
+  Cq* scq = cluster.device(0).CreateCq();
+  Cq* rcq = cluster.device(0).CreateCq();
+  Qp* qp = cluster.device(0).CreateQp(QpType::kUd, scq, rcq);
+
+  const uint64_t buf = cluster.mem(0).Alloc(256);
+  SendWr ok;
+  ok.opcode = Opcode::kSend;
+  ok.local_addr = buf;
+  ok.length = 32;
+  ok.dest_node = 1;
+  ok.dest_qpn = 1;
+  SendWr doomed = ok;
+  doomed.opcode = Opcode::kWrite;  // illegal on UD (Table 1)
+
+  // Doomed WR mid-batch: [ok, doomed, ok] must enqueue NOTHING — the batch
+  // is validated before any WR is accepted, and the failure index points at
+  // the offender.
+  SendWr wrs[3] = {ok, doomed, ok};
+  size_t failed_index = 99;
+  EXPECT_EQ(qp->PostSendBatch(wrs, 3, &failed_index), WcStatus::kUnsupportedOp);
+  EXPECT_EQ(failed_index, 1u);
+  EXPECT_EQ(qp->send_queue_depth(), 0u);
+
+  // Nothing was posted, so nothing completes.
+  cluster.sim().Run();
+  Completion wc;
+  EXPECT_FALSE(scq->Poll(&wc));
+
+  // The same batch without the offender is accepted whole.
+  SendWr good[2] = {ok, ok};
+  EXPECT_EQ(qp->PostSendBatch(good, 2, &failed_index), WcStatus::kSuccess);
+  EXPECT_EQ(qp->send_queue_depth(), 2u);
+}
+
+TEST(CqBatchTest, PostSendBatchRejectsWholeBatchOnErroredQp) {
+  Cluster cluster(Cluster::Config{.num_nodes = 2});
+  Cq* scq0 = cluster.device(0).CreateCq();
+  Cq* rcq0 = cluster.device(0).CreateCq();
+  Cq* scq1 = cluster.device(1).CreateCq();
+  Cq* rcq1 = cluster.device(1).CreateCq();
+  auto [qp0, qp1] = cluster.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+  (void)qp1;
+
+  cluster.fault().KillQp(0, qp0->qpn());
+  cluster.sim().Run();
+  ASSERT_TRUE(qp0->in_error());
+
+  const uint64_t src = cluster.mem(0).Alloc(64);
+  const uint64_t dst = cluster.mem(1).Alloc(64);
+  Mr mr = cluster.device(1).RegisterMr(dst, 64);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = 8;
+  wr.remote_addr = dst;
+  wr.rkey = mr.rkey;
+
+  SendWr wrs[2] = {wr, wr};
+  size_t failed_index = 99;
+  EXPECT_EQ(qp0->PostSendBatch(wrs, 2, &failed_index), WcStatus::kQpError);
+  EXPECT_EQ(failed_index, 0u);
+  EXPECT_EQ(qp0->send_queue_depth(), 0u);
+}
+
+// Runs a fixed RC workload — five signaled writes posted as two batches with
+// one transient error armed between them — and returns the sender's CQ. CQE
+// order is the NIC pipeline's completion order (not post order: the first WR
+// pays the QP-state-cache miss and can be overtaken), but the simulation is
+// deterministic, so two runs produce identical CQ contents.
+struct ErrorWorld {
+  ErrorWorld() : cluster(Cluster::Config{.num_nodes = 2}) {
+    scq0 = cluster.device(0).CreateCq();
+    Cq* rcq0 = cluster.device(0).CreateCq();
+    Cq* scq1 = cluster.device(1).CreateCq();
+    Cq* rcq1 = cluster.device(1).CreateCq();
+    auto [qp0, qp1] = cluster.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+    (void)qp1;
+
+    const uint64_t src = cluster.mem(0).Alloc(64);
+    const uint64_t dst = cluster.mem(1).Alloc(64);
+    Mr mr = cluster.device(1).RegisterMr(dst, 64);
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = 8;
+    wr.remote_addr = dst;
+    wr.rkey = mr.rkey;
+    wr.signaled = true;
+
+    SendWr first[2] = {wr, wr};
+    first[0].wr_id = 0;
+    first[1].wr_id = 1;
+    FLOCK_CHECK(qp0->PostSendBatch(first, 2) == WcStatus::kSuccess);
+    cluster.fault().InjectSendErrors(0, qp0->qpn(), WcStatus::kRnrError, 1);
+    SendWr rest[3] = {wr, wr, wr};
+    rest[0].wr_id = 2;
+    rest[1].wr_id = 3;
+    rest[2].wr_id = 4;
+    FLOCK_CHECK(qp0->PostSendBatch(rest, 3) == WcStatus::kSuccess);
+    cluster.sim().Run();
+  }
+
+  Cluster cluster;
+  Cq* scq0 = nullptr;
+};
+
+TEST(CqBatchTest, PollBatchSeesSameErrorCqeSequenceAsSinglePoll) {
+  // Two identical deterministic worlds: drain one CQ one completion at a
+  // time, the other in vectorized chunks. The sequences — including where
+  // the injected error CQE sits among the successes — must be identical.
+  ErrorWorld reference;
+  ErrorWorld batched;
+
+  std::vector<Completion> via_poll;
+  Completion wc;
+  while (reference.scq0->Poll(&wc)) {
+    via_poll.push_back(wc);
+  }
+
+  std::vector<Completion> via_batch;
+  Completion wcs[3];
+  for (size_t n; (n = batched.scq0->PollBatch(wcs, 3)) > 0;) {
+    via_batch.insert(via_batch.end(), wcs, wcs + n);
+  }
+
+  ASSERT_EQ(via_poll.size(), 5u);
+  ASSERT_EQ(via_batch.size(), 5u);
+  size_t errors = 0;
+  for (size_t i = 0; i < via_poll.size(); ++i) {
+    EXPECT_EQ(via_batch[i].wr_id, via_poll[i].wr_id) << "CQE " << i;
+    EXPECT_EQ(via_batch[i].status, via_poll[i].status) << "CQE " << i;
+    errors += via_batch[i].status == WcStatus::kRnrError ? 1 : 0;
+  }
+  EXPECT_EQ(errors, 1u);
+  EXPECT_EQ(batched.cluster.fault().stats().injected_errors, 1u);
+}
+
+}  // namespace
+}  // namespace flock::verbs
