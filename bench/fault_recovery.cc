@@ -1,19 +1,26 @@
 // Fault-recovery bench: kill one of the client's lanes mid-run and measure
-// how much steady-state throughput survives.
+// how much steady-state throughput survives — and, with the control plane's
+// lane reconnect enabled (the default), how long the handle takes to climb
+// back to fault-free throughput.
 //
 // Two runs share every parameter except the fault. The baseline run is
 // fault-free; the faulted run kills one client-side lane QP at 1/4 of the
-// simulated span. Both measure completed RPCs inside the final quarter of the
-// span — long after the kill — so the ratio ("recovery") isolates the
-// steady-state cost of running one lane short plus any residual retry noise,
-// not the transient dip while the failure is detected. The bench asserts the
-// failure-handling contract: zero aborts, every issued RPC either completes
-// ok (possibly via retry) or surfaces ok=false, and recovery >= 90%.
+// simulated span. Both runs record completions in fixed sim-time buckets:
+//   * recovery        — completions inside the final quarter of the span
+//                       (long after the kill) as a fraction of baseline,
+//                       isolating the steady-state cost of the fault;
+//   * recovery_time_ns — sim-ns from the kill until the first bucket whose
+//                       completion count is back within 1% of the baseline's
+//                       same bucket (-1 if throughput never recovers).
+// With --reconnect=1 the lane is re-established through the control plane
+// (fresh QP pair, ring resync, replay), so steady state runs at full lane
+// count and the bench gates recovery at >= 99%. With --reconnect=0 the
+// legacy quarantine-only behaviour applies (one lane short, gate 90%).
 //
 // Usage:
 //   fault_recovery [--threads=16] [--lanes=8] [--payload=64] [--sim-ms=20]
-//                  [--timeout-us=200] [--retries=5] [--min-recovery=0.9]
-//                  [--json=BENCH_fault_recovery.json]
+//                  [--timeout-us=200] [--retries=5] [--reconnect=1]
+//                  [--min-recovery=0.99] [--json=BENCH_fault_recovery.json]
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -25,6 +32,10 @@
 namespace flock::bench {
 namespace {
 
+// Sim-time buckets per run; the kill lands exactly on the bucket-10 boundary
+// (span/4) so bucketed baseline/faulted comparisons line up.
+constexpr int kBuckets = 40;
+
 struct RecoveryResult {
   uint64_t ok = 0;            // RPCs completed successfully over the full run
   uint64_t fail = 0;          // RPCs surfaced as ok=false
@@ -34,6 +45,13 @@ struct RecoveryResult {
   uint64_t spurious = 0;
   uint64_t client_lane_failures = 0;
   uint64_t server_lane_failures = 0;
+  // Control-plane outcome (end-of-run lane census + revival counts).
+  uint64_t lanes_healthy = 0;
+  uint64_t lanes_quarantined = 0;
+  uint64_t lanes_reconnecting = 0;
+  uint64_t lanes_retired = 0;
+  uint64_t reconnects = 0;
+  uint64_t buckets[kBuckets] = {};  // completions per sim-time bucket
 };
 
 sim::Proc EchoWorker(Connection* conn, FlockThread* thread, uint32_t payload_bytes,
@@ -49,7 +67,7 @@ sim::Proc EchoWorker(Connection* conn, FlockThread* thread, uint32_t payload_byt
   }
 }
 
-RecoveryResult RunOnce(bool inject, int threads, uint32_t lanes,
+RecoveryResult RunOnce(bool inject, bool reconnect, int threads, uint32_t lanes,
                        uint32_t payload_bytes, Nanos sim_span, Nanos rpc_timeout,
                        uint32_t max_retries) {
   verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2,
@@ -67,6 +85,13 @@ RecoveryResult RunOnce(bool inject, int threads, uint32_t lanes,
   FlockConfig client_cfg;
   client_cfg.rpc_timeout = rpc_timeout;
   client_cfg.max_retries = static_cast<uint16_t>(max_retries);
+  client_cfg.lane_reconnect = reconnect;
+  // Two response dispatchers so the client is not the saturated resource:
+  // with a single dispatcher at this thread count, the measurement is of the
+  // client's CPU ceiling (a revived lane re-enters phase-shifted from the
+  // others, costing the shared dispatcher an extra probe pass per cycle —
+  // a ~5% tax that would mask the recovery this bench is actually gating).
+  client_cfg.response_dispatchers = 2;
   FlockRuntime client(cluster, 1, client_cfg);
   client.StartClient();
   Connection* conn = client.Connect(server, lanes);
@@ -80,17 +105,45 @@ RecoveryResult RunOnce(bool inject, int threads, uint32_t lanes,
     cluster.fault().KillQpAt(sim_span / 4, /*node=*/1, conn->lane(0).qp->qpn());
   }
 
-  cluster.sim().RunFor(sim_span - sim_span / 4);
-  const uint64_t before_window = r.ok + r.fail;
-  cluster.sim().RunFor(sim_span / 4);
+  uint64_t last = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cluster.sim().RunFor(sim_span / kBuckets);
+    const uint64_t now = r.ok + r.fail;
+    r.buckets[b] = now - last;
+    last = now;
+  }
 
-  r.window_rpcs = r.ok + r.fail - before_window;
+  for (int b = kBuckets - kBuckets / 4; b < kBuckets; ++b) {
+    r.window_rpcs += r.buckets[b];
+  }
   r.retries = client.client_stats().retries;
   r.failed_rpcs = client.client_stats().failed_rpcs;
   r.spurious = client.client_stats().spurious_responses;
   r.client_lane_failures = client.client_stats().lane_failures;
   r.server_lane_failures = server.server_stats().lane_failures;
+  const Connection::LaneStates states = conn->CountLaneStates();
+  r.lanes_healthy = states.healthy;
+  r.lanes_quarantined = states.quarantined;
+  r.lanes_reconnecting = states.reconnecting;
+  r.lanes_retired = states.retired;
+  r.reconnects = conn->lane_reconnects();
   return r;
+}
+
+// Sim-ns from the kill until faulted per-bucket throughput is back within 1%
+// of the baseline's matching bucket; -1 if it never gets there.
+int64_t RecoveryTimeNs(const RecoveryResult& base, const RecoveryResult& faulted,
+                       Nanos sim_span) {
+  const Nanos bucket_ns = sim_span / kBuckets;
+  const Nanos kill_ns = sim_span / 4;
+  const int kill_bucket = static_cast<int>(kill_ns / bucket_ns);
+  for (int b = kill_bucket; b < kBuckets; ++b) {
+    const double target = 0.99 * static_cast<double>(base.buckets[b]);
+    if (base.buckets[b] > 0 && static_cast<double>(faulted.buckets[b]) >= target) {
+      return static_cast<int64_t>((b + 1) * bucket_ns - kill_ns);
+    }
+  }
+  return -1;
 }
 
 int Main(int argc, char** argv) {
@@ -101,19 +154,36 @@ int Main(int argc, char** argv) {
   const Nanos sim_span = flags.Int("sim-ms", 20) * kMillisecond;
   const Nanos timeout = flags.Int("timeout-us", 200) * kMicrosecond;
   const uint32_t retries = static_cast<uint32_t>(flags.Int("retries", 5));
-  const double min_recovery = flags.Double("min-recovery", 0.9);
+  const bool reconnect = flags.Int("reconnect", 1) != 0;
+  // Reconnect restores the full lane count, so steady state must be within
+  // 1% of fault-free; quarantine-only mode runs one lane short (gate 90%).
+  const double min_recovery = flags.Double("min-recovery", reconnect ? 0.99 : 0.9);
   JsonDump json(flags.Str("json", "BENCH_fault_recovery.json"), "fault_recovery");
 
-  PrintBanner("fault_recovery: throughput after killing 1 lane mid-run");
+  PrintBanner(reconnect
+                  ? "fault_recovery: kill 1 lane mid-run, reconnect via control plane"
+                  : "fault_recovery: throughput after killing 1 lane mid-run");
   const RecoveryResult base =
-      RunOnce(false, threads, lanes, payload, sim_span, timeout, retries);
+      RunOnce(false, reconnect, threads, lanes, payload, sim_span, timeout, retries);
   const RecoveryResult faulted =
-      RunOnce(true, threads, lanes, payload, sim_span, timeout, retries);
+      RunOnce(true, reconnect, threads, lanes, payload, sim_span, timeout, retries);
 
   const double recovery = base.window_rpcs == 0
                               ? 0.0
                               : static_cast<double>(faulted.window_rpcs) /
                                     static_cast<double>(base.window_rpcs);
+  const int64_t recovery_ns = RecoveryTimeNs(base, faulted, sim_span);
+  if (flags.Int("buckets", 0) != 0) {
+    for (int b = 0; b < kBuckets; ++b) {
+      std::printf("bucket %2d: base %6lu faulted %6lu (%.3f)\n", b,
+                  static_cast<unsigned long>(base.buckets[b]),
+                  static_cast<unsigned long>(faulted.buckets[b]),
+                  base.buckets[b] == 0
+                      ? 0.0
+                      : static_cast<double>(faulted.buckets[b]) /
+                            static_cast<double>(base.buckets[b]));
+    }
+  }
   std::printf("%-10s %12s %10s %10s %10s %10s %10s\n", "run", "window", "ok",
               "fail", "retries", "lane_f", "spurious");
   std::printf("%-10s %12lu %10lu %10lu %10lu %10lu %10lu\n", "baseline",
@@ -132,6 +202,19 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long>(faulted.spurious));
   std::printf("recovery: %.1f%% of fault-free window throughput\n",
               recovery * 100.0);
+  if (recovery_ns >= 0) {
+    std::printf("recovery time: %.1f us from kill to within 1%% of baseline\n",
+                static_cast<double>(recovery_ns) / 1e3);
+  } else {
+    std::printf("recovery time: never reached 99%% of baseline\n");
+  }
+  std::printf("lanes at end: %lu healthy, %lu quarantined, %lu reconnecting, "
+              "%lu retired; %lu reconnects\n",
+              static_cast<unsigned long>(faulted.lanes_healthy),
+              static_cast<unsigned long>(faulted.lanes_quarantined),
+              static_cast<unsigned long>(faulted.lanes_reconnecting),
+              static_cast<unsigned long>(faulted.lanes_retired),
+              static_cast<unsigned long>(faulted.reconnects));
   std::printf("CSV,fault_recovery,baseline,%lu,%lu,%lu,%lu\n",
               static_cast<unsigned long>(base.window_rpcs),
               static_cast<unsigned long>(base.ok),
@@ -148,19 +231,27 @@ int Main(int argc, char** argv) {
             {"payload_bytes", payload},
             {"sim_ms", static_cast<int64_t>(sim_span / kMillisecond)},
             {"timeout_us", static_cast<int64_t>(timeout / kMicrosecond)},
+            {"reconnect", reconnect ? int64_t{1} : int64_t{0}},
             {"baseline_window_rpcs", base.window_rpcs},
             {"faulted_window_rpcs", faulted.window_rpcs},
             {"recovery", recovery},
+            {"recovery_time_ns", recovery_ns},
             {"faulted_ok", faulted.ok},
             {"faulted_fail", faulted.fail},
             {"retries", faulted.retries},
             {"failed_rpcs", faulted.failed_rpcs},
             {"spurious_responses", faulted.spurious},
             {"client_lane_failures", faulted.client_lane_failures},
-            {"server_lane_failures", faulted.server_lane_failures}});
+            {"server_lane_failures", faulted.server_lane_failures},
+            {"lanes_healthy", faulted.lanes_healthy},
+            {"lanes_quarantined", faulted.lanes_quarantined},
+            {"lanes_reconnecting", faulted.lanes_reconnecting},
+            {"lanes_retired", faulted.lanes_retired},
+            {"lane_reconnects", faulted.reconnects}});
 
   // Contract checks: the baseline run must be failure-free, the faulted run
-  // must detect exactly one client lane failure and recover.
+  // must detect exactly one client lane failure and recover; with reconnect
+  // the lane must additionally come back (no quarantined lanes at the end).
   bool pass = true;
   if (base.fail != 0 || base.retries != 0 || base.client_lane_failures != 0) {
     std::printf("FAIL: baseline run saw failure-path activity\n");
@@ -175,6 +266,22 @@ int Main(int argc, char** argv) {
     std::printf("FAIL: recovery %.3f below threshold %.3f\n", recovery,
                 min_recovery);
     pass = false;
+  }
+  if (reconnect) {
+    if (faulted.reconnects < 1) {
+      std::printf("FAIL: reconnect mode saw no lane reconnects\n");
+      pass = false;
+    }
+    if (faulted.lanes_quarantined != 0 || faulted.lanes_reconnecting != 0) {
+      std::printf("FAIL: %lu quarantined / %lu reconnecting lanes at end\n",
+                  static_cast<unsigned long>(faulted.lanes_quarantined),
+                  static_cast<unsigned long>(faulted.lanes_reconnecting));
+      pass = false;
+    }
+    if (recovery_ns < 0) {
+      std::printf("FAIL: throughput never returned to within 1%% of baseline\n");
+      pass = false;
+    }
   }
   std::printf("%s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;

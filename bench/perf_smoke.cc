@@ -38,6 +38,12 @@ struct SmokeResult {
   uint64_t resumes = 0;
   uint64_t direct_resumes = 0;
   uint64_t coalesced_wakes = 0;
+  // Control-plane lane census across all connections at end of run. A
+  // fault-free run must report every lane healthy and zero reconnects.
+  uint64_t lanes_healthy = 0;
+  uint64_t lanes_quarantined = 0;
+  uint64_t lanes_reconnecting = 0;
+  uint64_t lane_reconnects = 0;
 };
 
 sim::Proc EchoWorker(Connection* conn, FlockThread* thread, uint32_t payload_bytes,
@@ -65,11 +71,13 @@ SmokeResult RunSmoke(int clients, int threads_per_client, uint32_t payload_bytes
   server.StartServer(4);
 
   std::vector<std::unique_ptr<FlockRuntime>> client_rts;
+  std::vector<Connection*> conns;
   uint64_t done = 0;
   for (int c = 0; c < clients; ++c) {
     auto rt = std::make_unique<FlockRuntime>(cluster, 1 + c, config);
     rt->StartClient();
     Connection* conn = rt->Connect(server, static_cast<uint32_t>(threads_per_client));
+    conns.push_back(conn);
     for (int t = 0; t < threads_per_client; ++t) {
       cluster.sim().Spawn(
           EchoWorker(conn, rt->CreateThread(t), payload_bytes, &done));
@@ -100,6 +108,13 @@ SmokeResult RunSmoke(int clients, int threads_per_client, uint32_t payload_bytes
   r.resumes = cluster.sim().resumes() - resumes_before;
   r.direct_resumes = cluster.sim().direct_resumes() - direct_before;
   r.coalesced_wakes = cluster.sim().coalesced_wakes() - coalesced_before;
+  for (Connection* conn : conns) {
+    const Connection::LaneStates states = conn->CountLaneStates();
+    r.lanes_healthy += states.healthy;
+    r.lanes_quarantined += states.quarantined;
+    r.lanes_reconnecting += states.reconnecting;
+    r.lane_reconnects += conn->lane_reconnects();
+  }
   return r;
 }
 
@@ -157,6 +172,10 @@ int Main(int argc, char** argv) {
             {"resumes", best.resumes},
             {"direct_resumes", best.direct_resumes},
             {"coalesced_wakes", best.coalesced_wakes},
+            {"lanes_healthy", best.lanes_healthy},
+            {"lanes_quarantined", best.lanes_quarantined},
+            {"lanes_reconnecting", best.lanes_reconnecting},
+            {"lane_reconnects", best.lane_reconnects},
             {"sim_mops", best.sim_mops},
             {"wall_s", best.wall_s},
             {"peak_rss_kb", rss_kb}});

@@ -1,0 +1,116 @@
+#include "src/ctrl/control_plane.h"
+
+namespace flock::ctrl {
+
+namespace {
+
+void DeleteControlPlane(void* p) { delete static_cast<ControlPlane*>(p); }
+
+}  // namespace
+
+ControlPlane& ControlPlane::For(verbs::Cluster& cluster) {
+  if (cluster.extension() == nullptr) {
+    cluster.SetExtension(new ControlPlane(cluster), &DeleteControlPlane);
+  }
+  return *static_cast<ControlPlane*>(cluster.extension());
+}
+
+ControlPlane::ControlPlane(verbs::Cluster& cluster) : cluster_(cluster) {
+  const size_t n = static_cast<size_t>(cluster.num_nodes());
+  endpoints_.assign(n, nullptr);
+  member_.assign(n, 1);  // every configured node starts as a member
+}
+
+void ControlPlane::RegisterEndpoint(int node, Endpoint* endpoint) {
+  FLOCK_CHECK_GE(node, 0);
+  FLOCK_CHECK_LT(static_cast<size_t>(node), endpoints_.size());
+  FLOCK_CHECK(endpoints_[static_cast<size_t>(node)] == nullptr)
+      << "node " << node << " already has a control-plane endpoint";
+  endpoints_[static_cast<size_t>(node)] = endpoint;
+}
+
+void ControlPlane::DeregisterEndpoint(int node, Endpoint* endpoint) {
+  if (node < 0 || static_cast<size_t>(node) >= endpoints_.size()) {
+    return;
+  }
+  if (endpoints_[static_cast<size_t>(node)] == endpoint) {
+    endpoints_[static_cast<size_t>(node)] = nullptr;
+  }
+}
+
+uint32_t ControlPlane::Call(int to_node, const uint8_t* msg, uint32_t len,
+                            uint8_t* resp, uint32_t resp_cap) {
+  stats_.calls += 1;
+  wire::MsgHeader header;
+  if (!wire::DecodeHeader(msg, len, &header)) {
+    stats_.rejected_malformed += 1;
+    return 0;
+  }
+  // Replay guard: each nonce is delivered at most once, ever. A duplicate —
+  // whether a retransmitted or a maliciously replayed handshake — is dropped
+  // before it reaches the endpoint. The nonce burns even if delivery fails
+  // below, so retries must re-encode with a fresh nonce.
+  if (!seen_nonces_.insert(header.nonce).second) {
+    stats_.rejected_replay += 1;
+    return 0;
+  }
+  if (to_node < 0 || static_cast<size_t>(to_node) >= endpoints_.size() ||
+      member_[static_cast<size_t>(to_node)] == 0) {
+    stats_.rejected_not_member += 1;
+    return 0;
+  }
+  Endpoint* endpoint = endpoints_[static_cast<size_t>(to_node)];
+  if (endpoint == nullptr) {
+    stats_.rejected_no_endpoint += 1;
+    return 0;
+  }
+  return endpoint->OnCtrlMessage(msg, len, resp, resp_cap);
+}
+
+void ControlPlane::Join(int node) {
+  if (node < 0 || static_cast<size_t>(node) >= member_.size() ||
+      member_[static_cast<size_t>(node)] != 0) {
+    return;
+  }
+  member_[static_cast<size_t>(node)] = 1;
+  epoch_ += 1;
+  stats_.joins += 1;
+  for (const ListenerEntry& entry : listeners_) {
+    entry.fn(node, /*joined=*/true);
+  }
+}
+
+void ControlPlane::Leave(int node) {
+  if (node < 0 || static_cast<size_t>(node) >= member_.size() ||
+      member_[static_cast<size_t>(node)] == 0) {
+    return;
+  }
+  member_[static_cast<size_t>(node)] = 0;
+  epoch_ += 1;
+  stats_.leaves += 1;
+  for (const ListenerEntry& entry : listeners_) {
+    entry.fn(node, /*joined=*/false);
+  }
+}
+
+bool ControlPlane::IsMember(int node) const {
+  return node >= 0 && static_cast<size_t>(node) < member_.size() &&
+         member_[static_cast<size_t>(node)] != 0;
+}
+
+uint64_t ControlPlane::AddMembershipListener(MembershipListener listener) {
+  const uint64_t id = next_listener_id_++;
+  listeners_.push_back(ListenerEntry{id, std::move(listener)});
+  return id;
+}
+
+void ControlPlane::RemoveMembershipListener(uint64_t id) {
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    if (listeners_[i].id == id) {
+      listeners_.erase(listeners_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+}  // namespace flock::ctrl

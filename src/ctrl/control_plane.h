@@ -1,0 +1,114 @@
+// The connection control plane (DESIGN.md §10): a deterministic, cluster-wide
+// service owning connection lifecycle — connect/accept handshakes with MR
+// rkey exchange and credit bootstrap, QP re-establishment for quarantined
+// lanes, elastic lane add/retire, and dynamic membership (join/leave/rejoin).
+//
+// It models the out-of-band channel real deployments run over RDMA-CM/TCP:
+// message delivery is a synchronous function call into the destination
+// node's registered Endpoint, with validation (framing, checksum, nonce
+// replay) in front. Crucially it schedules *no simulator events* of its own —
+// callers that want the handshake to cost simulated time insert their own
+// sim::Delay (FlockConfig::ctrl_rtt) around Call(). That keeps every
+// fault-free trace bit-identical: a run that never reconnects never sees the
+// control plane after setup.
+#ifndef FLOCK_CTRL_CONTROL_PLANE_H_
+#define FLOCK_CTRL_CONTROL_PLANE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ctrl/wire.h"
+#include "src/verbs/device.h"
+
+namespace flock::ctrl {
+
+// A per-node handler for control-plane messages. The Flock runtime implements
+// this to answer connect/reconnect/add-lane/retire-lane requests.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  // Handles one framing-validated message (`msg`/`len` include the header).
+  // Writes an encoded response into `resp` (capacity `resp_cap`) and returns
+  // its length; 0 means "no response" and the caller treats it as a reject.
+  virtual uint32_t OnCtrlMessage(const uint8_t* msg, uint32_t len,
+                                 uint8_t* resp, uint32_t resp_cap) = 0;
+};
+
+class ControlPlane {
+ public:
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t rejected_malformed = 0;
+    uint64_t rejected_replay = 0;
+    uint64_t rejected_no_endpoint = 0;
+    uint64_t rejected_not_member = 0;
+    uint64_t joins = 0;
+    uint64_t leaves = 0;
+  };
+
+  // The one control plane of `cluster`, created on first use and owned by the
+  // cluster (via its extension slot) so every runtime on every node shares it.
+  static ControlPlane& For(verbs::Cluster& cluster);
+
+  explicit ControlPlane(verbs::Cluster& cluster);
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  // ---- endpoints ----
+  void RegisterEndpoint(int node, Endpoint* endpoint);
+  // Deregisters only if `endpoint` is still the registered one (a runtime
+  // being destroyed must not unhook its successor).
+  void DeregisterEndpoint(int node, Endpoint* endpoint);
+
+  // ---- out-of-band RPC ----
+  // Validates `msg` (framing, checksum, nonce replay, destination membership)
+  // and delivers it synchronously to `to_node`'s endpoint. Returns the
+  // response length written into `resp`, or 0 on any rejection. Each attempt
+  // must carry a fresh nonce from NextNonce(): a consumed nonce is burned
+  // even when delivery subsequently fails.
+  uint32_t Call(int to_node, const uint8_t* msg, uint32_t len, uint8_t* resp,
+                uint32_t resp_cap);
+
+  uint64_t NextNonce() { return ++nonce_; }
+
+  // ---- membership ----
+  // Every node of the cluster is a member at startup. Leave/Join flip the
+  // flag, bump the epoch and fire the listeners (leave first tears down the
+  // node's lanes via the server runtimes listening here).
+  void Join(int node);
+  void Leave(int node);
+  bool IsMember(int node) const;
+  uint64_t epoch() const { return epoch_; }
+
+  // Listener fired on every membership change; returns an id for removal.
+  // Runtimes must remove their listener on destruction (the control plane
+  // outlives them — it is owned by the cluster).
+  using MembershipListener = std::function<void(int node, bool joined)>;
+  uint64_t AddMembershipListener(MembershipListener listener);
+  void RemoveMembershipListener(uint64_t id);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ListenerEntry {
+    uint64_t id;
+    MembershipListener fn;
+  };
+
+  verbs::Cluster& cluster_;
+  std::vector<Endpoint*> endpoints_;  // index = node
+  std::vector<uint8_t> member_;       // index = node
+  std::unordered_set<uint64_t> seen_nonces_;
+  std::vector<ListenerEntry> listeners_;
+  uint64_t next_listener_id_ = 1;
+  uint64_t nonce_ = 0;
+  uint64_t epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace flock::ctrl
+
+#endif  // FLOCK_CTRL_CONTROL_PLANE_H_

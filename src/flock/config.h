@@ -60,6 +60,33 @@ struct FlockConfig {
   Nanos rpc_timeout = 0;
   // Retries before an RPC gives up and surfaces ok=false to the caller.
   uint32_t max_retries = 3;
+
+  // ---- connection control plane (DESIGN.md §10) ----
+  // Reconnect quarantined lanes through the control plane: a per-connection
+  // daemon requests a fresh QP pair, resyncs ring state and un-quarantines.
+  // Requires rpc_timeout > 0 (in-flight RPCs on the dead QP recover via the
+  // retry watchdog). Off by default so fault-free traces stay bit-identical.
+  bool lane_reconnect = false;
+  // Delay between reconnect attempts for a quarantined lane; doubles per
+  // consecutive failure (capped) while the server keeps rejecting.
+  Nanos reconnect_backoff = 50 * kMicrosecond;
+  // Simulated round-trip of one out-of-band control-plane exchange (the
+  // RDMA-CM/TCP side channel, far slower than the data path).
+  Nanos ctrl_rtt = 5 * kMicrosecond;
+
+  // ---- elastic lane scaling (DESIGN.md §10) ----
+  // Grow/shrink the per-handle lane set from the observed median coalescing
+  // degree. Off by default (zero new procs, traces untouched).
+  bool elastic_lanes = false;
+  Nanos elastic_interval = 1 * kMillisecond;
+  // Median coalescing degree at or above which a lane is added (the lanes
+  // are contended: more of the combining bound is being used than intended).
+  uint32_t elastic_grow_degree = 12;
+  // Median degree at or below which a lane is retired (requests rarely
+  // coalesce: the handle holds more QPs than its offered load needs).
+  uint32_t elastic_shrink_degree = 2;
+  // Never shrink below this many non-retired lanes.
+  uint32_t min_lanes = 1;
 };
 
 }  // namespace flock

@@ -31,9 +31,19 @@ FlockRuntime::FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig&
   send_cq_ = cluster_.device(node_).CreateCq();
   recv_cq_ = cluster_.device(node_).CreateCq();
   rng_state_ ^= 0x1234567ull * static_cast<uint64_t>(node + 1);
+  // Every runtime answers on the cluster's control plane (DESIGN.md §10):
+  // servers accept connect/reconnect handshakes there, and registration makes
+  // the node addressable before StartServer decides its role.
+  ctrl::ControlPlane::For(cluster_).RegisterEndpoint(node_, this);
 }
 
-FlockRuntime::~FlockRuntime() = default;
+FlockRuntime::~FlockRuntime() {
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster_);
+  cp.DeregisterEndpoint(node_, this);
+  if (membership_listener_id_ != 0) {
+    cp.RemoveMembershipListener(membership_listener_id_);
+  }
+}
 
 void FlockRuntime::RegisterHandler(uint16_t rpc_id, RpcHandler handler) {
   FLOCK_CHECK(FindHandler(rpc_id) == nullptr)
@@ -57,6 +67,16 @@ void FlockRuntime::StartServer(int dispatcher_cores) {
     cluster_.sim().Spawn(RpcWorker(i));
   }
   cluster_.sim().Spawn(QpScheduler());
+  // Membership feed (§5.1 meets §10): a client node leaving tears its senders
+  // down and repartitions the AQP budget right away instead of waiting for
+  // dead-sender reclamation to notice. Registration is a plain callback —
+  // no proc, no events — so fault-free traces are unchanged.
+  membership_listener_id_ = ctrl::ControlPlane::For(cluster_).AddMembershipListener(
+      [this](int changed_node, bool joined) {
+        if (!joined && changed_node != node_) {
+          OnMemberLeft(changed_node);
+        }
+      });
 }
 
 void FlockRuntime::StartClient() {
@@ -102,115 +122,172 @@ double FlockRuntime::MeanServerCoalescing() const {
 // fl_connect: building a connection handle
 // ---------------------------------------------------------------------------
 
+std::unique_ptr<ClientLane> FlockRuntime::BuildClientLane(
+    Connection& conn, uint32_t index, ctrl::wire::ClientLaneInfo* info) {
+  fabric::MemorySpace& cmem = cluster_.mem(node_);
+  const uint32_t ring_bytes = config_.ring_bytes;
+
+  auto cl = std::make_unique<ClientLane>(cluster_.sim(), ring_bytes);
+  cl->copy_done = std::make_unique<sim::Condition>(cluster_.sim());
+  cl->sent_cond = std::make_unique<sim::Condition>(cluster_.sim());
+  cl->index = index;
+  cl->conn = &conn;
+  cl->qp = cluster_.device(node_).CreateQp(verbs::QpType::kRc, send_cq_, recv_cq_);
+
+  // Client-local memory: staging mirror for the request ring, head-slot write
+  // source, the control slot the server RDMA-writes, and the response ring.
+  cl->staging_addr = cmem.Alloc(ring_bytes);
+  cl->staging = cmem.At(cl->staging_addr);
+  cl->head_src_addr = cmem.Alloc(8, 8);
+  cl->head_src_ptr = cmem.At(cl->head_src_addr);
+  cl->ctrl_slot_addr = cmem.Alloc(8, 8);
+  cl->ctrl_slot_ptr = cmem.At(cl->ctrl_slot_addr);
+  verbs::Mr ctrl_mr = cluster_.device(node_).RegisterMr(cl->ctrl_slot_addr, 8);
+  cl->resp_ring_addr = cmem.Alloc(ring_bytes);
+  verbs::Mr resp_mr =
+      cluster_.device(node_).RegisterMr(cl->resp_ring_addr, ring_bytes);
+  cl->resp_consumer =
+      std::make_unique<RingConsumer>(cmem.At(cl->resp_ring_addr), ring_bytes);
+
+  info->qpn = cl->qp->qpn();
+  info->resp_ring_addr = cl->resp_ring_addr;
+  info->resp_ring_rkey = resp_mr.rkey;
+  info->ctrl_slot_addr = cl->ctrl_slot_addr;
+  info->ctrl_slot_rkey = ctrl_mr.rkey;
+  return cl;
+}
+
+void FlockRuntime::WireClientLane(ClientLane& lane, int server_node,
+                                  const ctrl::wire::ServerLaneInfo& info,
+                                  uint32_t grant_cumulative) {
+  lane.qp->ConnectTo(server_node, info.qpn);
+  lane.remote_ring_addr = info.req_ring_addr;
+  lane.remote_ring_rkey = info.req_ring_rkey;
+  lane.head_slot_remote_addr = info.head_slot_addr;
+  lane.head_slot_rkey = info.head_slot_rkey;
+  // Receives for control write-with-imm messages.
+  for (int r = 0; r < 16; ++r) {
+    lane.qp->PostRecv(
+        verbs::RecvWr{internal::TagWrId(WrTag::kRecv, &lane), 0, 0});
+  }
+  lane.active = info.active != 0;
+  lane.credits = info.credits;
+  lane.grants_seen = grant_cumulative;
+  internal::CtrlSlot bootstrap;
+  bootstrap.grant_cumulative = grant_cumulative;
+  bootstrap.active = info.active;
+  cluster_.mem(node_).Write(lane.ctrl_slot_addr, &bootstrap, sizeof(bootstrap));
+}
+
+std::unique_ptr<ServerLane> FlockRuntime::BuildServerLane(
+    uint32_t index, int client_node, uint32_t sender_key, uint32_t ring_bytes,
+    const ctrl::wire::ClientLaneInfo& in, bool active,
+    ctrl::wire::ServerLaneInfo* out) {
+  fabric::MemorySpace& smem = cluster_.mem(node_);
+
+  auto sl = std::make_unique<ServerLane>(ring_bytes);
+  sl->index = index;
+  sl->client_node = client_node;
+  sl->sender_key = sender_key;
+  sl->qp = cluster_.device(node_).CreateQp(verbs::QpType::kRc, send_cq_, recv_cq_);
+  sl->qp->ConnectTo(client_node, in.qpn);
+
+  // Request ring lives here; the client advertised its response-side memory.
+  sl->req_ring_addr = smem.Alloc(ring_bytes);
+  verbs::Mr req_mr = cluster_.device(node_).RegisterMr(sl->req_ring_addr, ring_bytes);
+  sl->req_consumer =
+      std::make_unique<RingConsumer>(smem.At(sl->req_ring_addr), ring_bytes);
+  sl->req_ring_rkey = req_mr.rkey;
+  sl->head_slot_addr = smem.Alloc(8, 8);
+  sl->head_slot_ptr = smem.At(sl->head_slot_addr);
+  verbs::Mr slot_mr = cluster_.device(node_).RegisterMr(sl->head_slot_addr, 8);
+  sl->head_slot_rkey = slot_mr.rkey;
+  sl->ctrl_slot_remote_addr = in.ctrl_slot_addr;
+  sl->ctrl_slot_rkey = in.ctrl_slot_rkey;
+  sl->ctrl_src_addr = smem.Alloc(8, 8);
+  sl->ctrl_src_ptr = smem.At(sl->ctrl_src_addr);
+  sl->remote_ring_addr = in.resp_ring_addr;
+  sl->remote_ring_rkey = in.resp_ring_rkey;
+  sl->staging_addr = smem.Alloc(ring_bytes);
+  sl->staging = smem.At(sl->staging_addr);
+
+  for (int r = 0; r < 16; ++r) {
+    sl->qp->PostRecv(
+        verbs::RecvWr{internal::TagWrId(WrTag::kServerRecv, sl.get()), 0, 0});
+  }
+
+  sl->active = active;
+  sl->credits_outstanding = active ? config_.credits : 0;
+
+  out->qpn = sl->qp->qpn();
+  out->req_ring_addr = sl->req_ring_addr;
+  out->req_ring_rkey = sl->req_ring_rkey;
+  out->head_slot_addr = sl->head_slot_addr;
+  out->head_slot_rkey = sl->head_slot_rkey;
+  out->active = active ? 1 : 0;
+  out->credits = active ? config_.credits : 0;
+  return sl;
+}
+
 Connection* FlockRuntime::Connect(FlockRuntime& server, uint32_t lanes) {
   FLOCK_CHECK(server.server_started_)
       << "call StartServer() on the remote node before fl_connect";
+  return Connect(server.node_, lanes);
+}
+
+Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
   lanes = std::min(lanes, config_.max_lanes_per_connection);
+  // The handshake advertises every lane in one message.
+  lanes = std::min(lanes, ctrl::wire::kMaxLanesPerMsg);
   FLOCK_CHECK_GT(lanes, 0u);
 
   auto conn = std::make_unique<Connection>();
   conn->client_ = this;
-  conn->server_ = &server;
-  conn->server_node_ = server.node_;
+  conn->server_node_ = server_node;
 
-  const uint32_t sender_key = static_cast<uint32_t>(server.senders_.size());
-  server.senders_.push_back(SenderState{});
-  server.senders_.back().client_node = node_;
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster_);
 
-  // Receiver-side initial allocation: a new client gets the average active-QP
-  // share per sender (§5.1), refined at the next redistribution.
-  const uint32_t fair_share = std::max<uint32_t>(
-      1, server.config_.max_active_qps /
-             static_cast<uint32_t>(server.senders_.size()));
-  const uint32_t initially_active = std::min(lanes, fair_share);
-
-  fabric::MemorySpace& cmem = cluster_.mem(node_);
-  fabric::MemorySpace& smem = cluster_.mem(server.node_);
-  const uint32_t ring_bytes = config_.ring_bytes;
-
+  // Client halves first: QPs, rings, MRs — their coordinates travel in the
+  // connect request. ControlPlane::Call is the out-of-band side channel
+  // (RDMA-CM style): synchronous and event-free, so the data-path trace of a
+  // fault-free run is byte-identical to the old statically-wired setup.
+  ctrl::wire::ConnectRequest req;
+  req.client_node = node_;
+  req.num_lanes = lanes;
+  req.ring_bytes = config_.ring_bytes;
   for (uint32_t i = 0; i < lanes; ++i) {
-    auto cl = std::make_unique<ClientLane>(cluster_.sim(), ring_bytes);
-    cl->copy_done = std::make_unique<sim::Condition>(cluster_.sim());
-    cl->sent_cond = std::make_unique<sim::Condition>(cluster_.sim());
-    auto sl = std::make_unique<ServerLane>(ring_bytes);
+    conn->lanes_.push_back(BuildClientLane(*conn, i, &req.lanes[i]));
+  }
 
-    cl->index = i;
-    cl->conn = conn.get();
-    sl->index = i;
-    sl->client_node = node_;
-    sl->sender_key = sender_key;
+  uint8_t msg[ctrl::wire::kMaxMessageBytes];
+  uint8_t resp[ctrl::wire::kMaxMessageBytes];
+  const uint32_t msg_len = ctrl::wire::EncodeMessage(
+      msg, sizeof(msg), ctrl::wire::MsgType::kConnectRequest, cp.NextNonce(),
+      &req, ctrl::wire::ConnectRequestBytes(lanes));
+  const uint32_t resp_len = cp.Call(server_node, msg, msg_len, resp, sizeof(resp));
 
-    // QPs, both ends on the node-shared CQs.
-    auto [cqp, sqp] = cluster_.ConnectRc(node_, send_cq_, recv_cq_, server.node_,
-                                         server.send_cq_, server.recv_cq_);
-    cl->qp = cqp;
-    sl->qp = sqp;
+  ctrl::wire::MsgHeader resp_header;
+  ctrl::wire::ConnectAccept accept;
+  FLOCK_CHECK(resp_len > 0 && ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) &&
+              ctrl::wire::DecodeConnectAccept(resp_header, resp, &accept) &&
+              accept.num_lanes == lanes)
+      << "fl_connect: node " << server_node
+      << " rejected the handshake (is StartServer running there?)";
+  conn->conn_id_ = accept.conn_id;
+  for (uint32_t i = 0; i < lanes; ++i) {
+    WireClientLane(*conn->lanes_[i], server_node, accept.lanes[i],
+                   /*grant_cumulative=*/0);
+  }
 
-    // Request ring lives on the server; the client keeps a staging mirror.
-    sl->req_ring_addr = smem.Alloc(ring_bytes);
-    verbs::Mr req_mr = server.cluster_.device(server.node_).RegisterMr(
-        sl->req_ring_addr, ring_bytes);
-    sl->req_consumer =
-        std::make_unique<RingConsumer>(smem.At(sl->req_ring_addr), ring_bytes);
-    cl->remote_ring_addr = sl->req_ring_addr;
-    cl->remote_ring_rkey = req_mr.rkey;
-    cl->staging_addr = cmem.Alloc(ring_bytes);
-    cl->staging = cmem.At(cl->staging_addr);
-
-    // Out-of-band head slot (server-side) + its client-local write source.
-    sl->head_slot_addr = smem.Alloc(8, 8);
-    sl->head_slot_ptr = smem.At(sl->head_slot_addr);
-    verbs::Mr slot_mr =
-        server.cluster_.device(server.node_).RegisterMr(sl->head_slot_addr, 8);
-    cl->head_slot_remote_addr = sl->head_slot_addr;
-    cl->head_slot_rkey = slot_mr.rkey;
-    cl->head_src_addr = cmem.Alloc(8, 8);
-    cl->head_src_ptr = cmem.At(cl->head_src_addr);
-
-    // Control slot (client-side) the server's QP scheduler writes into.
-    cl->ctrl_slot_addr = cmem.Alloc(8, 8);
-    cl->ctrl_slot_ptr = cmem.At(cl->ctrl_slot_addr);
-    verbs::Mr ctrl_mr = cluster_.device(node_).RegisterMr(cl->ctrl_slot_addr, 8);
-    sl->ctrl_slot_remote_addr = cl->ctrl_slot_addr;
-    sl->ctrl_slot_rkey = ctrl_mr.rkey;
-    sl->ctrl_src_addr = smem.Alloc(8, 8);
-    sl->ctrl_src_ptr = smem.At(sl->ctrl_src_addr);
-
-    // Response ring lives on the client; the server keeps a staging mirror.
-    cl->resp_ring_addr = cmem.Alloc(ring_bytes);
-    verbs::Mr resp_mr =
-        cluster_.device(node_).RegisterMr(cl->resp_ring_addr, ring_bytes);
-    cl->resp_consumer =
-        std::make_unique<RingConsumer>(cmem.At(cl->resp_ring_addr), ring_bytes);
-    sl->remote_ring_addr = cl->resp_ring_addr;
-    sl->remote_ring_rkey = resp_mr.rkey;
-    sl->staging_addr = smem.Alloc(ring_bytes);
-    sl->staging = smem.At(sl->staging_addr);
-
-    // Receives for control write-with-imm messages, both directions.
-    for (int r = 0; r < 16; ++r) {
-      cqp->PostRecv(verbs::RecvWr{internal::TagWrId(WrTag::kRecv, cl.get()), 0, 0});
-      sqp->PostRecv(
-          verbs::RecvWr{internal::TagWrId(WrTag::kServerRecv, sl.get()), 0, 0});
-    }
-
-    // Activation and bootstrap credits (§5.1: C at bootstrap).
-    const bool active = i < initially_active;
-    cl->active = active;
-    sl->active = active;
-    cl->credits = active ? server.config_.credits : 0;
-    sl->credits_outstanding = cl->credits;
-    internal::CtrlSlot bootstrap;
-    bootstrap.grant_cumulative = 0;
-    bootstrap.active = active ? 1 : 0;
-    cmem.Write(cl->ctrl_slot_addr, &bootstrap, sizeof(bootstrap));
-
-    server.senders_.back().lanes.push_back(sl.get());
-    server.dispatcher_lanes_[server.server_lanes_.size() %
-                             static_cast<size_t>(server.dispatcher_count_)]
-        .push_back(sl.get());
-    server.server_lanes_.push_back(std::move(sl));
-    conn->lanes_.push_back(std::move(cl));
+  if (config_.lane_reconnect) {
+    FLOCK_CHECK(config_.rpc_timeout > 0)
+        << "lane_reconnect requires rpc_timeout: in-flight RPCs on a dead QP "
+           "recover only through the retry watchdog";
+    conn->reconnect_cond_ = std::make_unique<sim::Condition>(cluster_.sim());
+    cluster_.sim().Spawn(conn->ReconnectDaemon());
+  }
+  if (config_.elastic_lanes) {
+    cluster_.sim().Spawn(conn->ElasticScaler());
   }
 
   connections_.push_back(std::move(conn));
@@ -246,8 +323,24 @@ void Connection::QuarantineLane(ClientLane& lane) {
   lane.credits = 0;
   lane.renew_in_flight = false;
   client_->client_stats_.lane_failures += 1;
+  // Remember which threads this lane was serving so a later reconnect can
+  // send exactly those threads back. Pulling only the evacuees home keeps
+  // every surviving lane's thread set — and with it the phase-aligned
+  // coalescing those threads have built up — intact; a wholesale re-sort
+  // would scramble the pairs and halve the coalescing degree permanently.
+  lane.evacuated_tids.clear();
+  for (size_t tid = 0; tid < thread_lane_.size(); ++tid) {
+    if (thread_lane_[tid] == lane.index ||
+        (tid < desired_lane_.size() && desired_lane_[tid] == lane.index)) {
+      lane.evacuated_tids.push_back(static_cast<uint32_t>(tid));
+    }
+  }
   // Wake the pump so queued work migrates (or drains) off the dead lane.
   lane.send_ready.NotifyAll();
+  // Kick the reconnect daemon (constructed only when lane_reconnect is on).
+  if (reconnect_cond_ != nullptr) {
+    reconnect_cond_->NotifyAll();
+  }
 }
 
 uint64_t Connection::messages_sent() const {
@@ -308,7 +401,7 @@ internal::ClientLane& Connection::LaneFor(FlockThread& thread) {
       // Server guarantees >= 1 active in healthy operation, so this is
       // transient; prefer any surviving lane over a quarantined one.
       for (uint32_t i = 0; i < lanes_.size(); ++i) {
-        if (!lanes_[i]->failed) {
+        if (!lanes_[i]->failed && !lanes_[i]->retired) {
           active.push_back(i);
           break;
         }
@@ -726,7 +819,7 @@ sim::Proc Connection::Pump(ClientLane& lane) {
 
 RemoteMr Connection::AttachMreg(uint64_t remote_addr, uint64_t length) {
   verbs::Mr mr =
-      server_->cluster().device(server_node_).RegisterMr(remote_addr, length);
+      client_->cluster().device(server_node_).RegisterMr(remote_addr, length);
   return RemoteMr{remote_addr, length, mr.rkey};
 }
 
@@ -899,9 +992,14 @@ sim::Proc FlockRuntime::RequestDispatcher(int index) {
           pass_cost += cost.cpu_cacheline_transfer;
           continue;
         }
+        // in_service also fences the control plane: a reconnect handshake
+        // must not re-base this lane's rings while the dispatcher is between
+        // its probe and the matching consume.
+        lane.in_service = true;
         co_await core.Work(pass_cost);
         pass_cost = 0;
         co_await HandleRequestMessage(lane, core, header, scratch);
+        lane.in_service = false;
       }
     }
     co_await core.Work(pass_cost > 0 ? pass_cost : cost.cpu_ring_poll_empty);
@@ -1103,7 +1201,11 @@ sim::Proc FlockRuntime::QpScheduler() {
         }
         auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
         if (wc.status != verbs::WcStatus::kSuccess) {
-          QuarantineServerLane(*lane);  // flushed: the lane's QP is dead
+          // Flushed. A flush of the lane's *current* QP condemns it; a stale
+          // flush from a QP that a reconnect already replaced does not.
+          if (wc.qpn == 0 || lane->qp == nullptr || wc.qpn == lane->qp->qpn()) {
+            QuarantineServerLane(*lane);
+          }
           continue;
         }
         CtrlType type;
@@ -1188,6 +1290,10 @@ void FlockRuntime::HandleSendError(const verbs::Completion& wc) {
     case WrTag::kRpcWrite:
     case WrTag::kCtrl: {
       auto* lane = internal::WrIdPtr<ClientLane>(wc.wr_id);
+      // Ignore stale flushes from a QP that a reconnect already replaced.
+      if (wc.qpn != 0 && lane->qp != nullptr && wc.qpn != lane->qp->qpn()) {
+        break;
+      }
       if (internal::IsFatalWcStatus(wc.status)) {
         lane->conn->QuarantineLane(*lane);
       }
@@ -1198,11 +1304,13 @@ void FlockRuntime::HandleSendError(const verbs::Completion& wc) {
     case WrTag::kServerWrite:
     case WrTag::kServerCtrl: {
       auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
-      if (internal::IsFatalWcStatus(wc.status)) {
+      const bool stale =
+          wc.qpn != 0 && lane->qp != nullptr && wc.qpn != lane->qp->qpn();
+      if (!stale && internal::IsFatalWcStatus(wc.status)) {
         QuarantineServerLane(*lane);
       }
       if (internal::WrIdTag(wc.wr_id) == WrTag::kServerWrite) {
-        server_stats_.responses_dropped += 1;
+        server_stats_.responses_dropped += 1;  // that response is gone either way
       }
       break;
     }
@@ -1231,6 +1339,9 @@ void FlockRuntime::Redistribute() {
         any_failed = true;
         continue;
       }
+      if (lane->retired) {
+        continue;  // holds no slot and is no evidence either way
+      }
       ++live;
       lane->utilization += lane->messages_handled - lane->messages_at_last_sweep;
       sender.utilization += lane->utilization;
@@ -1238,10 +1349,15 @@ void FlockRuntime::Redistribute() {
     // Dead-sender reclamation: transport evidence (>= 1 failed lane) plus a
     // fully idle interval condemns the rest — the sender's QPs terminate at
     // one client node, and a node that stopped driving every one of its lanes
-    // is gone, not slow. Releases the sender's share of MAX_AQP.
-    if (any_failed && live > 0 && sender.utilization == 0) {
+    // is gone, not slow. Releases the sender's share of MAX_AQP. A revive
+    // grace window (set by the reconnect handler) exempts just-revived lanes:
+    // they have zero utilization by construction and would otherwise be
+    // re-condemned on the spot (the double-reclaim bug).
+    if (sender.revive_grace > 0) {
+      --sender.revive_grace;
+    } else if (any_failed && live > 0 && sender.utilization == 0) {
       for (ServerLane* lane : sender.lanes) {
-        if (!lane->failed) {
+        if (!lane->failed && !lane->retired) {
           QuarantineServerLane(*lane);
         }
       }
@@ -1274,9 +1390,9 @@ void FlockRuntime::Redistribute() {
       sender.utilization = 0;
       continue;
     }
-    uint32_t lane_count = 0;  // live (non-quarantined) lanes only
+    uint32_t lane_count = 0;  // live (non-quarantined, non-retired) lanes only
     for (ServerLane* lane : sender.lanes) {
-      lane_count += lane->failed ? 0 : 1;
+      lane_count += (lane->failed || lane->retired) ? 0 : 1;
     }
     if (lane_count == 0) {
       continue;
@@ -1324,10 +1440,10 @@ void FlockRuntime::Redistribute() {
                 }
                 return a->index < b->index;
               });
-    uint32_t rank = 0;  // rank among live lanes: failed ones hold no slot
+    uint32_t rank = 0;  // rank among live lanes: failed/retired hold no slot
     for (uint32_t i = 0; i < order.size(); ++i) {
       ServerLane& lane = *order[i];
-      if (lane.failed) {
+      if (lane.failed || lane.retired) {
         lane.messages_at_last_sweep = lane.messages_handled;
         lane.utilization = 0;
         continue;
@@ -1366,8 +1482,8 @@ void FlockRuntime::Redistribute() {
 // ---------------------------------------------------------------------------
 
 void FlockRuntime::ApplyCtrlSlot(ClientLane& lane) {
-  if (lane.failed) {
-    return;  // quarantined: stale grants/activation must not resurrect it
+  if (lane.failed || lane.retired) {
+    return;  // quarantined/retired: stale grants must not resurrect it
   }
   // Polled every dispatcher pass: read through the cached pointer rather than
   // the bounds-checked chunked MemorySpace path.
@@ -1460,6 +1576,9 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
         if (lane.resp_consumer->Probe(&header) != wire::ProbeResult::kMessage) {
           continue;
         }
+        // Fence the control plane: the reconnect daemon must not resync this
+        // lane's rings between the probe above and the consume below.
+        lane.in_dispatch = true;
         co_await core.Work(pass_cost);
         pass_cost = 0;
 
@@ -1523,6 +1642,7 @@ sim::Proc FlockRuntime::ResponseDispatcher(int index) {
           lane.resp_bytes_since_send = 0;
         }
         co_await core.Work(work);
+        lane.in_dispatch = false;
       }
     }
     co_await core.Work(pass_cost > 0 ? pass_cost : cost.cpu_cq_poll_empty);
@@ -1746,6 +1866,552 @@ void FlockRuntime::FailPendingRpc(Connection& conn, PendingRpc* rpc) {
   rpc->deadline = 0;
   rpc->completed_at = cluster_.sim().Now();
   rpc->done_event.Fire(cluster_.sim());
+}
+
+// ---------------------------------------------------------------------------
+// Connection control plane (DESIGN.md §10): handshake dispatch, lane
+// reconnection, membership teardown and elastic lane scaling
+// ---------------------------------------------------------------------------
+
+Connection::LaneStates Connection::CountLaneStates() const {
+  LaneStates s;
+  for (const auto& lane : lanes_) {
+    if (lane->retired) {
+      s.retired += 1;
+    } else if (lane->failed) {
+      if (lane->reconnecting) {
+        s.reconnecting += 1;
+      } else {
+        s.quarantined += 1;
+      }
+    } else {
+      s.healthy += 1;
+    }
+  }
+  return s;
+}
+
+uint64_t Connection::lane_reconnects() const {
+  uint64_t n = 0;
+  for (const auto& lane : lanes_) {
+    n += lane->reconnects;
+  }
+  return n;
+}
+
+uint32_t FlockRuntime::OnCtrlMessage(const uint8_t* msg, uint32_t len,
+                                     uint8_t* resp, uint32_t resp_cap) {
+  ctrl::wire::MsgHeader header;
+  if (!ctrl::wire::DecodeHeader(msg, len, &header)) {
+    return 0;  // ControlPlane::Call validated framing; belt and braces
+  }
+  switch (static_cast<ctrl::wire::MsgType>(header.type)) {
+    case ctrl::wire::MsgType::kConnectRequest:
+      return HandleConnectRequest(header, msg, resp, resp_cap);
+    case ctrl::wire::MsgType::kReconnectRequest:
+      return HandleReconnectRequest(header, msg, resp, resp_cap);
+    case ctrl::wire::MsgType::kAddLaneRequest:
+      return HandleAddLaneRequest(header, msg, resp, resp_cap);
+    case ctrl::wire::MsgType::kRetireLaneRequest:
+      return HandleRetireLaneRequest(header, msg, resp, resp_cap);
+    default:
+      return ctrl::wire::EncodeReject(resp, resp_cap, header.nonce,
+                                      ctrl::wire::RejectReason::kUnknown);
+  }
+}
+
+uint32_t FlockRuntime::HandleConnectRequest(const ctrl::wire::MsgHeader& header,
+                                            const uint8_t* msg, uint8_t* resp,
+                                            uint32_t resp_cap) {
+  namespace cw = ctrl::wire;
+  cw::ConnectRequest req;
+  if (!cw::DecodeConnectRequest(header, msg, &req)) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kUnknown);
+  }
+  if (!server_started_) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kServerNotStarted);
+  }
+
+  const uint32_t sender_key = static_cast<uint32_t>(senders_.size());
+  senders_.push_back(SenderState{});
+  senders_.back().client_node = req.client_node;
+
+  // Receiver-side initial allocation: a new client gets the average active-QP
+  // share per *live* sender (§5.1), refined at the next redistribution.
+  // Counting only live senders fixes the stale-quota bug: a reclaimed (dead)
+  // sender used to dilute the share every later connection bootstrapped with.
+  uint32_t live_senders = 0;
+  for (const SenderState& sender : senders_) {
+    live_senders += sender.dead ? 0 : 1;
+  }
+  const uint32_t fair_share =
+      std::max<uint32_t>(1, config_.max_active_qps / live_senders);
+  const uint32_t initially_active = std::min(req.num_lanes, fair_share);
+
+  cw::ConnectAccept accept;
+  accept.conn_id = sender_key;
+  accept.num_lanes = req.num_lanes;
+  for (uint32_t i = 0; i < req.num_lanes; ++i) {
+    auto sl = BuildServerLane(i, req.client_node, sender_key, req.ring_bytes,
+                              req.lanes[i], i < initially_active,
+                              &accept.lanes[i]);
+    senders_.back().lanes.push_back(sl.get());
+    dispatcher_lanes_[server_lanes_.size() %
+                      static_cast<size_t>(dispatcher_count_)]
+        .push_back(sl.get());
+    server_lanes_.push_back(std::move(sl));
+  }
+  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kConnectAccept,
+                           header.nonce, &accept,
+                           cw::ConnectAcceptBytes(req.num_lanes));
+}
+
+uint32_t FlockRuntime::HandleReconnectRequest(const ctrl::wire::MsgHeader& header,
+                                              const uint8_t* msg, uint8_t* resp,
+                                              uint32_t resp_cap) {
+  namespace cw = ctrl::wire;
+  cw::ReconnectRequest req;
+  if (!cw::DecodeReconnectRequest(header, msg, &req)) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kUnknown);
+  }
+  if (!server_started_ || req.conn_id >= senders_.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadConnId);
+  }
+  SenderState& sender = senders_[req.conn_id];
+  if (sender.client_node != req.client_node ||
+      req.lane_index >= sender.lanes.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+  ServerLane& lane = *sender.lanes[req.lane_index];
+  if (lane.retired) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+  if (lane.in_service) {
+    // Mid-dispatch: the client retries after backoff rather than having its
+    // rings re-based under the dispatcher.
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kLaneBusy);
+  }
+  // The client is authoritative about its half being dead. If this side has
+  // not noticed yet (no send completed in error), condemn it now so the
+  // revival below starts from the quarantined state either way.
+  if (!lane.failed) {
+    QuarantineServerLane(lane);
+  }
+
+  fabric::MemorySpace& smem = cluster_.mem(node_);
+  const uint32_t ring_bytes = lane.resp_producer.size();
+
+  // Fresh server QP wired to the client's fresh QP. The dead QP is abandoned
+  // in place — qpns are never reused, so its late flushes are recognizably
+  // stale (Completion::qpn) and ignored by the CQ pollers.
+  verbs::Qp* fresh =
+      cluster_.device(node_).CreateQp(verbs::QpType::kRc, send_cq_, recv_cq_);
+  fresh->ConnectTo(req.client_node, req.lane.qpn);
+
+  // Ring resync: both directions restart from sequence zero. The request ring
+  // is zeroed (its canary-framed contents died with the old QP) and re-based;
+  // the response producer restarts; the head slot is cleared to match the
+  // client's fresh consumer. The client mirrors this before any sim event
+  // runs (ControlPlane::Call is synchronous), so neither side can observe the
+  // other half-resynced.
+  std::memset(smem.At(lane.req_ring_addr), 0, ring_bytes);
+  lane.req_consumer =
+      std::make_unique<RingConsumer>(smem.At(lane.req_ring_addr), ring_bytes);
+  lane.resp_producer = RingProducer(ring_bytes);
+  const uint64_t zero = 0;
+  smem.Write(lane.head_slot_addr, &zero, sizeof(zero));
+  lane.qp = fresh;
+  for (int r = 0; r < 16; ++r) {
+    fresh->PostRecv(
+        verbs::RecvWr{internal::TagWrId(WrTag::kServerRecv, &lane), 0, 0});
+  }
+
+  lane.failed = false;
+  lane.active = true;
+  server_stats_.activations += 1;
+  lane.credits_outstanding = config_.credits;
+  lane.utilization = 0;
+  lane.messages_at_last_sweep = lane.messages_handled;
+  server_stats_.lane_reconnects += 1;
+  sender.dead = false;
+  sender.functioning = true;
+  // Shield the revived lane from dead-sender reclamation for two sweeps; it
+  // has zero utilization by construction (the double-reclaim bug).
+  sender.revive_grace = 2;
+
+  cw::ReconnectAccept accept;
+  accept.lane_index = req.lane_index;
+  accept.credits = config_.credits;
+  // The grant counter is cumulative and survives the reconnect; the client
+  // resyncs grants_seen to it so the delta stream stays consistent.
+  accept.grant_cumulative = lane.grant_cumulative;
+  accept.lane.qpn = fresh->qpn();
+  accept.lane.req_ring_addr = lane.req_ring_addr;
+  accept.lane.req_ring_rkey = lane.req_ring_rkey;
+  accept.lane.head_slot_addr = lane.head_slot_addr;
+  accept.lane.head_slot_rkey = lane.head_slot_rkey;
+  accept.lane.active = 1;
+  accept.lane.credits = config_.credits;
+  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kReconnectAccept,
+                           header.nonce, &accept, sizeof(accept));
+}
+
+uint32_t FlockRuntime::HandleAddLaneRequest(const ctrl::wire::MsgHeader& header,
+                                            const uint8_t* msg, uint8_t* resp,
+                                            uint32_t resp_cap) {
+  namespace cw = ctrl::wire;
+  cw::AddLaneRequest req;
+  if (!cw::DecodeAddLaneRequest(header, msg, &req)) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kUnknown);
+  }
+  if (!server_started_ || req.conn_id >= senders_.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadConnId);
+  }
+  SenderState& sender = senders_[req.conn_id];
+  if (sender.client_node != req.client_node ||
+      req.lane_index != sender.lanes.size() ||
+      req.lane_index >= cw::kMaxLanesPerMsg) {
+    // Lane indexes must stay aligned across both sides; out-of-sequence adds
+    // (e.g. a replayed or reordered request) are refused.
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+
+  cw::AddLaneAccept accept;
+  accept.lane_index = req.lane_index;
+  auto sl = BuildServerLane(req.lane_index, req.client_node, req.conn_id,
+                            req.ring_bytes, req.lane, /*active=*/true,
+                            &accept.lane);
+  sender.lanes.push_back(sl.get());
+  dispatcher_lanes_[server_lanes_.size() % static_cast<size_t>(dispatcher_count_)]
+      .push_back(sl.get());
+  server_lanes_.push_back(std::move(sl));
+  server_stats_.lanes_added += 1;
+  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kAddLaneAccept,
+                           header.nonce, &accept, sizeof(accept));
+}
+
+uint32_t FlockRuntime::HandleRetireLaneRequest(const ctrl::wire::MsgHeader& header,
+                                               const uint8_t* msg, uint8_t* resp,
+                                               uint32_t resp_cap) {
+  namespace cw = ctrl::wire;
+  cw::RetireLaneRequest req;
+  if (!cw::DecodeRetireLaneRequest(header, msg, &req)) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kUnknown);
+  }
+  if (!server_started_ || req.conn_id >= senders_.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadConnId);
+  }
+  SenderState& sender = senders_[req.conn_id];
+  if (sender.client_node != req.client_node ||
+      req.lane_index >= sender.lanes.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+  ServerLane& lane = *sender.lanes[req.lane_index];
+  if (lane.failed) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+  cw::RetireLaneAccept accept;
+  accept.lane_index = req.lane_index;
+  if (lane.retired) {  // idempotent: a duplicate retire re-acks
+    return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kRetireLaneAccept,
+                             header.nonce, &accept, sizeof(accept));
+  }
+  uint32_t live_active = 0;
+  for (ServerLane* l : sender.lanes) {
+    live_active += (!l->failed && !l->retired && l->active) ? 1 : 0;
+  }
+  if (lane.active && live_active <= 1) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kLastActiveLane);
+  }
+  lane.retired = true;
+  if (lane.active) {
+    lane.active = false;
+    server_stats_.deactivations += 1;
+  }
+  lane.credits_outstanding = 0;
+  server_stats_.lanes_retired += 1;
+  // The dispatcher keeps draining the retired lane's request ring (its skip
+  // condition is in_service/failed, not retired) so in-flight RPCs complete.
+  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kRetireLaneAccept,
+                           header.nonce, &accept, sizeof(accept));
+}
+
+void FlockRuntime::OnMemberLeft(int node) {
+  if (!server_started_) {
+    return;
+  }
+  bool touched = false;
+  for (SenderState& sender : senders_) {
+    if (sender.client_node != node || sender.dead) {
+      continue;
+    }
+    for (ServerLane* lane : sender.lanes) {
+      if (!lane->failed && !lane->retired) {
+        // Destroy the transport the way a real server tears down a departed
+        // client's QPs: error it (flushing our posts) so the peer — should
+        // the node come back before rejoining — sees kRemoteInvalidQp.
+        cluster_.device(node_).ErrorQp(*lane->qp);
+        QuarantineServerLane(*lane);
+      }
+    }
+    sender.dead = true;
+    sender.functioning = false;
+    sender.revive_grace = 0;
+    server_stats_.dead_senders += 1;
+    touched = true;
+  }
+  if (touched) {
+    // Repartition MAX_AQP across the surviving senders immediately instead of
+    // waiting for the next scheduled sweep to notice.
+    Redistribute();
+  }
+}
+
+void FlockRuntime::ExpireLaneDeadlines(Connection& conn, uint32_t lane_index) {
+  const Nanos now = cluster_.sim().Now();
+  for (auto& map : conn.pending_) {
+    map.ForEach([&](uint32_t, PendingRpc* rpc) {
+      if (rpc->deadline > 0 && rpc->lane_index == lane_index) {
+        rpc->deadline = std::min(rpc->deadline, now);
+      }
+    });
+  }
+}
+
+sim::Proc Connection::ReconnectDaemon() {
+  const FlockConfig& config = client_->config();
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(client_->cluster());
+  sim::Simulator& sim = client_->sim();
+  const Nanos base_backoff = std::max<Nanos>(config.reconnect_backoff, 1);
+  Nanos backoff = base_backoff;
+  for (;;) {
+    ClientLane* victim = nullptr;
+    for (const auto& lane : lanes_) {
+      if (lane->failed && !lane->retired) {
+        victim = lane.get();
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      backoff = base_backoff;
+      co_await reconnect_cond_->Wait();
+      continue;
+    }
+
+    victim->reconnecting = true;
+    co_await sim::Delay(sim, backoff);
+    // The out-of-band channel is slow (RDMA-CM over TCP): one RTT of latency
+    // charged up front, so everything from the gate below through the resync
+    // runs without suspension — no pump or dispatcher can interleave.
+    co_await sim::Delay(sim, config.ctrl_rtt);
+    // Quiesce and membership gates: never resync rings under a pump or
+    // dispatcher mid-pass, and never handshake while either end is outside
+    // the membership view (a rejoining node passes once Join() lands).
+    if (!cp.IsMember(client_->node()) || !cp.IsMember(server_node_) ||
+        victim->pump_running || victim->mem_pump_running ||
+        victim->in_dispatch) {
+      victim->reconnecting = false;
+      backoff = std::min<Nanos>(backoff * 2, base_backoff * 256);
+      continue;
+    }
+
+    // Fresh client QP on the shared CQs; the dead one is abandoned in place
+    // (its qpn is never reused, so stale flushes are filtered by qpn).
+    verbs::Qp* fresh = client_->cluster().device(client_->node()).CreateQp(
+        verbs::QpType::kRc, client_->send_cq_, client_->recv_cq_);
+    ctrl::wire::ReconnectRequest req;
+    req.client_node = client_->node();
+    req.conn_id = conn_id_;
+    req.lane_index = victim->index;
+    req.lane.qpn = fresh->qpn();
+    // Rings and rkeys are unchanged — the server kept its copies from the
+    // connect handshake; re-advertised here for the fuzzers' benefit only.
+    req.lane.resp_ring_addr = victim->resp_ring_addr;
+    req.lane.ctrl_slot_addr = victim->ctrl_slot_addr;
+
+    uint8_t msg[ctrl::wire::kMaxMessageBytes];
+    uint8_t resp[ctrl::wire::kMaxMessageBytes];
+    const uint32_t msg_len = ctrl::wire::EncodeMessage(
+        msg, sizeof(msg), ctrl::wire::MsgType::kReconnectRequest,
+        cp.NextNonce(), &req, sizeof(req));
+    const uint32_t resp_len =
+        cp.Call(server_node_, msg, msg_len, resp, sizeof(resp));
+
+    ctrl::wire::MsgHeader resp_header;
+    ctrl::wire::ReconnectAccept accept;
+    if (resp_len == 0 ||
+        !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
+        !ctrl::wire::DecodeReconnectAccept(resp_header, resp, &accept)) {
+      // Rejected (busy, membership, malformed): retry after backoff. The
+      // orphaned QP is abandoned; QPs are simulation-cheap and never reused.
+      victim->reconnecting = false;
+      backoff = std::min<Nanos>(backoff * 2, base_backoff * 256);
+      continue;
+    }
+
+    // Client-side resync, mirroring the server's handler before any sim
+    // event can run: fresh response ring/consumer, request sequence state
+    // from zero, credits and cumulative-grant resync from the accept.
+    fabric::MemorySpace& cmem = client_->cluster().mem(client_->node());
+    const uint32_t ring_bytes = victim->req_producer.size();
+    std::memset(cmem.At(victim->resp_ring_addr), 0, ring_bytes);
+    victim->resp_consumer = std::make_unique<RingConsumer>(
+        cmem.At(victim->resp_ring_addr), ring_bytes);
+    victim->req_producer = RingProducer(ring_bytes);
+    victim->qp = fresh;
+    victim->failed = false;
+    victim->renew_in_flight = false;
+    victim->starved_passes = 0;
+    victim->resp_bytes_since_send = 0;
+    client_->WireClientLane(*victim, server_node_, accept.lane,
+                            accept.grant_cumulative);
+    victim->reconnecting = false;
+    victim->reconnects += 1;
+    client_->client_stats_.lane_reconnects += 1;
+    victim->send_ready.NotifyAll();
+    // Un-acked RPCs accounted to this lane retransmit at the watchdog's next
+    // tick instead of waiting out their full deadlines: this is how batches
+    // lost with the dead QP are replayed onto the revived lane.
+    client_->ExpireLaneDeadlines(*this, victim->index);
+    // Send the evacuated threads home. Without this the scheduler's
+    // stability check keeps the migrated threads where the quarantine pushed
+    // them (loads stay within its 2x tolerance) and the revived lane idles
+    // forever, pinning steady-state throughput at the one-lane-short level.
+    // Only the evacuees move: the surviving lanes' thread sets — and the
+    // phase-aligned coalescing they carry — stay untouched.
+    for (uint32_t tid : victim->evacuated_tids) {
+      if (tid < desired_lane_.size()) {
+        desired_lane_[tid] = victim->index;
+      }
+    }
+    victim->evacuated_tids.clear();
+    backoff = base_backoff;
+  }
+}
+
+sim::Proc Connection::ElasticScaler() {
+  const FlockConfig& config = client_->config();
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(client_->cluster());
+  sim::Simulator& sim = client_->sim();
+  std::vector<uint32_t> degrees;
+  for (;;) {
+    co_await sim::Delay(sim, config.elastic_interval);
+    if (!cp.IsMember(client_->node()) || !cp.IsMember(server_node_)) {
+      continue;
+    }
+    degrees.clear();
+    uint32_t usable = 0;
+    uint32_t active_count = 0;
+    for (const auto& lane : lanes_) {
+      if (lane->failed || lane->retired) {
+        continue;
+      }
+      ++usable;
+      if (lane->active) {
+        ++active_count;
+        degrees.push_back(lane->coalesce_degree.Median(0));
+      }
+    }
+    if (degrees.empty()) {
+      continue;
+    }
+    std::sort(degrees.begin(), degrees.end());
+    const uint32_t median = degrees[degrees.size() / 2];
+
+    if (median >= config.elastic_grow_degree &&
+        lanes_.size() < config.max_lanes_per_connection &&
+        lanes_.size() < ctrl::wire::kMaxLanesPerMsg) {
+      // Sustained high coalescing: threads queue more deeply than the
+      // combining bound intends — add a lane (§5.2 signal, §10 mechanism).
+      const uint32_t index = static_cast<uint32_t>(lanes_.size());
+      ctrl::wire::AddLaneRequest req;
+      req.client_node = client_->node();
+      req.conn_id = conn_id_;
+      req.lane_index = index;
+      req.ring_bytes = config.ring_bytes;
+      auto lane = client_->BuildClientLane(*this, index, &req.lane);
+
+      uint8_t msg[ctrl::wire::kMaxMessageBytes];
+      uint8_t resp[ctrl::wire::kMaxMessageBytes];
+      const uint32_t msg_len = ctrl::wire::EncodeMessage(
+          msg, sizeof(msg), ctrl::wire::MsgType::kAddLaneRequest,
+          cp.NextNonce(), &req, sizeof(req));
+      co_await sim::Delay(sim, config.ctrl_rtt);
+      const uint32_t resp_len =
+          cp.Call(server_node_, msg, msg_len, resp, sizeof(resp));
+      ctrl::wire::MsgHeader resp_header;
+      ctrl::wire::AddLaneAccept accept;
+      if (resp_len == 0 ||
+          !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
+          !ctrl::wire::DecodeAddLaneAccept(resp_header, resp, &accept)) {
+        continue;  // rejected: the orphaned client half is abandoned
+      }
+      client_->WireClientLane(*lane, server_node_, accept.lane,
+                              /*grant_cumulative=*/0);
+      lanes_.push_back(std::move(lane));
+      client_->client_stats_.lanes_added += 1;
+    } else if (median <= config.elastic_shrink_degree && active_count > 1 &&
+               usable > config.min_lanes) {
+      // Requests rarely coalesce: the handle holds more QPs than its load
+      // needs — retire the highest-index active lane.
+      ClientLane* target = nullptr;
+      for (auto it = lanes_.rbegin(); it != lanes_.rend(); ++it) {
+        ClientLane& l = **it;
+        if (!l.failed && !l.retired && l.active) {
+          target = &l;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        continue;
+      }
+      ctrl::wire::RetireLaneRequest req;
+      req.client_node = client_->node();
+      req.conn_id = conn_id_;
+      req.lane_index = target->index;
+
+      uint8_t msg[ctrl::wire::kMaxMessageBytes];
+      uint8_t resp[ctrl::wire::kMaxMessageBytes];
+      const uint32_t msg_len = ctrl::wire::EncodeMessage(
+          msg, sizeof(msg), ctrl::wire::MsgType::kRetireLaneRequest,
+          cp.NextNonce(), &req, sizeof(req));
+      co_await sim::Delay(sim, config.ctrl_rtt);
+      const uint32_t resp_len =
+          cp.Call(server_node_, msg, msg_len, resp, sizeof(resp));
+      ctrl::wire::MsgHeader resp_header;
+      ctrl::wire::RetireLaneAccept accept;
+      if (resp_len == 0 ||
+          !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
+          !ctrl::wire::DecodeRetireLaneAccept(resp_header, resp, &accept)) {
+        continue;  // rejected (e.g. it is the last active lane)
+      }
+      // The server acked: the lane is retired on its side no matter what
+      // happened to ours while the RTT elapsed, so retire here too — retired
+      // wins over failed (the reconnect daemon skips retired lanes).
+      target->retired = true;
+      target->active = false;
+      target->credits = 0;
+      // Wake the pump so anything queued migrates to a surviving lane; the
+      // thread scheduler moves the threads themselves next interval.
+      target->send_ready.NotifyAll();
+      client_->client_stats_.lanes_retired += 1;
+    }
+  }
 }
 
 }  // namespace flock

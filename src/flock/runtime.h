@@ -30,6 +30,7 @@
 #include "src/common/rand.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
+#include "src/ctrl/control_plane.h"
 #include "src/flock/config.h"
 #include "src/flock/ring.h"
 #include "src/flock/wire.h"
@@ -251,9 +252,26 @@ struct ClientLane {
   // Credits and activation (receiver-side QP scheduling, §5.1).
   uint64_t credits = 0;
   bool active = true;
-  // Quarantined: the lane's QP errored. Never reactivated; queued work and
-  // threads migrate to surviving lanes, in-flight RPCs recover via retry.
+  // Quarantined: the lane's QP errored. Queued work and threads migrate to
+  // surviving lanes, in-flight RPCs recover via retry. With
+  // FlockConfig::lane_reconnect the connection's reconnect daemon revives the
+  // lane through the control plane; otherwise it stays quarantined forever.
   bool failed = false;
+  // The reconnect daemon is mid-handshake for this lane (introspection only;
+  // the lane still counts as failed until the handshake lands).
+  bool reconnecting = false;
+  // Retired by elastic shrink: deactivated for good, excluded from failure
+  // accounting and never reconnected or reactivated.
+  bool retired = false;
+  // A response dispatcher is between its probe of this lane's rings and the
+  // matching consume; the reconnect daemon must not resync state under it.
+  bool in_dispatch = false;
+  // Times this lane was revived through the control plane.
+  uint64_t reconnects = 0;
+  // Thread ids this lane was serving when it was quarantined; the reconnect
+  // daemon steers exactly these threads back on revival so the surviving
+  // lanes' phase-aligned coalescing groups stay intact.
+  std::vector<uint32_t> evacuated_tids;
   bool renew_in_flight = false;
   // Dispatcher passes spent with queued work but zero credits. Only counted
   // while fault injection is armed: a lost renewal imm or a lost grant-slot
@@ -326,6 +344,10 @@ struct ServerLane {
   // Server-side head slot the client's dispatcher writes into.
   uint64_t head_slot_addr = 0;
   const uint8_t* head_slot_ptr = nullptr;  // cached At(head_slot_addr)
+  // rkeys advertised to the client at connect, kept for re-advertisement in
+  // the reconnect accept (the MRs themselves survive a QP replacement).
+  uint32_t req_ring_rkey = 0;
+  uint32_t head_slot_rkey = 0;
 
   // Control slot on the client that this server lane writes.
   uint64_t ctrl_slot_remote_addr = 0;
@@ -337,8 +359,12 @@ struct ServerLane {
   // Receiver-side scheduling state (§5.1).
   bool active = true;
   // Quarantined: the QP errored (flush on our posts, or the client side
-  // vanished). Excluded from dispatch, credit grants and redistribution.
+  // vanished). Excluded from dispatch, credit grants and redistribution
+  // until a control-plane reconnect revives it.
   bool failed = false;
+  // Retired by elastic shrink: never reactivated or granted credits again.
+  // Still dispatched until its request ring drains.
+  bool retired = false;
   uint64_t credits_outstanding = 0;  // granted minus (estimated) consumed
   uint64_t utilization = 0;          // U_ij: Σ reported degrees this interval
   uint64_t posts = 0;
@@ -368,6 +394,12 @@ struct SenderState {
   // All lanes failed (directly, or by dead-sender reclamation): the sender
   // no longer participates in the QP-scheduling budget at all.
   bool dead = false;
+  // Redistribute passes to skip dead-sender reclamation after a lane of this
+  // sender was revived through the control plane. A just-reconnected lane has
+  // zero utilization by construction; without the grace, the reclamation's
+  // "failed sibling + idle interval" test would re-condemn it immediately
+  // (the double-reclaim bug) and a rejoining node could never come back.
+  uint32_t revive_grace = 0;
 };
 
 }  // namespace internal
@@ -417,6 +449,21 @@ class Connection {
   uint32_t num_active_lanes() const;
   uint32_t num_failed_lanes() const;
   const internal::ClientLane& lane(uint32_t i) const { return *lanes_[i]; }
+  // The sender key the server filed this handle under (control-plane id).
+  uint32_t conn_id() const { return conn_id_; }
+
+  // Per-lane state rollup for introspection/bench output. A lane is healthy
+  // when neither failed nor retired; `reconnecting` counts the failed lanes
+  // the reconnect daemon is actively mid-handshake on.
+  struct LaneStates {
+    uint32_t healthy = 0;
+    uint32_t quarantined = 0;
+    uint32_t reconnecting = 0;
+    uint32_t retired = 0;
+  };
+  LaneStates CountLaneStates() const;
+  // Total successful lane revivals on this handle.
+  uint64_t lane_reconnects() const;
 
   // Aggregate client-side stats.
   uint64_t messages_sent() const;
@@ -430,8 +477,13 @@ class Connection {
 
   internal::ClientLane& LaneFor(FlockThread& thread);
   // Marks a lane's QP as dead: deactivates it, zeroes its credits and wakes
-  // the pump so queued work migrates to a surviving lane. Idempotent.
+  // the pump so queued work migrates to a surviving lane. Idempotent. With
+  // lane_reconnect enabled it also kicks the reconnect daemon.
   void QuarantineLane(internal::ClientLane& lane);
+  // Control-plane client daemons (spawned by Connect only when the matching
+  // FlockConfig flag is set, so default traces gain no procs or events).
+  sim::Proc ReconnectDaemon();
+  sim::Proc ElasticScaler();
   sim::Proc Pump(internal::ClientLane& lane);
   // Starts pumping `lane` if it is not already being pumped: first use spawns
   // the persistent pump proc, later uses wake it from its parked state.
@@ -443,8 +495,10 @@ class Connection {
                          size_t* nwrs);
 
   FlockRuntime* client_ = nullptr;
-  FlockRuntime* server_ = nullptr;
   int server_node_ = -1;
+  uint32_t conn_id_ = 0;
+  // Kicked by QuarantineLane; only constructed when lane_reconnect is on.
+  std::unique_ptr<sim::Condition> reconnect_cond_;
   std::vector<std::unique_ptr<internal::ClientLane>> lanes_;
   // thread id → lane index; `desired_` is written by the thread scheduler and
   // applied by LaneFor once the thread has drained its outstanding requests.
@@ -454,7 +508,7 @@ class Connection {
   std::vector<SeqSlotMap<PendingRpc>> pending_;
 };
 
-class FlockRuntime {
+class FlockRuntime : public ctrl::Endpoint {
  public:
   struct ServerStats {
     uint64_t requests = 0;
@@ -467,6 +521,9 @@ class FlockRuntime {
     uint64_t lane_failures = 0;  // server lanes quarantined
     uint64_t dead_senders = 0;   // senders fully reclaimed by Redistribute
     uint64_t responses_dropped = 0;  // responses lost to a dead lane
+    uint64_t lane_reconnects = 0;    // server lanes revived via control plane
+    uint64_t lanes_added = 0;        // elastic grow handshakes accepted
+    uint64_t lanes_retired = 0;      // elastic shrink handshakes accepted
   };
 
   // Client-side failure-handling counters.
@@ -475,6 +532,9 @@ class FlockRuntime {
     uint64_t retries = 0;             // RPC retransmissions staged
     uint64_t failed_rpcs = 0;         // RPCs surfaced with ok=false
     uint64_t spurious_responses = 0;  // responses with no outstanding request
+    uint64_t lane_reconnects = 0;     // client lanes revived via control plane
+    uint64_t lanes_added = 0;         // elastic grow
+    uint64_t lanes_retired = 0;       // elastic shrink
   };
 
   FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig& config);
@@ -491,8 +551,13 @@ class FlockRuntime {
   void StartServer(int dispatcher_cores);
 
   // ---- client role ----
-  // fl_connect: builds the connection handle (QPs, rings, MRs on both ends).
+  // fl_connect: builds the connection handle through the control-plane
+  // connect/accept handshake (QPs, rings, MR rkey exchange, credit
+  // bootstrap). The overload taking a runtime is the common case; the
+  // node-id form is what the handshake actually needs and exists for callers
+  // that only know the server's node.
   Connection* Connect(FlockRuntime& server, uint32_t lanes);
+  Connection* Connect(int server_node, uint32_t lanes);
   // Registers an application thread pinned to `core`.
   FlockThread* CreateThread(int core);
   // Starts the response dispatcher(s) and the sender-side thread scheduler.
@@ -511,6 +576,12 @@ class FlockRuntime {
   // Hot-path object pools (observability for allocation-free-path tests).
   const Pool<PendingRpc>& rpc_pool() const { return rpc_pool_; }
   const Pool<internal::PendingSend>& send_pool() const { return send_pool_; }
+
+  // ---- control plane (DESIGN.md §10) ----
+  // Dispatches a validated control-plane message to the matching handler.
+  // Called synchronously by ControlPlane::Call on the destination node.
+  uint32_t OnCtrlMessage(const uint8_t* msg, uint32_t len, uint8_t* resp,
+                         uint32_t resp_cap) override;
 
  private:
   friend class Connection;
@@ -546,6 +617,42 @@ class FlockRuntime {
   void ApplyCtrlSlot(internal::ClientLane& lane);
   void RescheduleThreads(Connection& conn);
 
+  // ---- control-plane handshake internals ----
+  // Client half of one lane: QP + client-local memory + MRs, advertised in
+  // `info`. The accept completes it via WireClientLane. Shared by the
+  // connect handshake and elastic add-lane.
+  std::unique_ptr<internal::ClientLane> BuildClientLane(
+      Connection& conn, uint32_t index, ctrl::wire::ClientLaneInfo* info);
+  // Applies a (connect/reconnect/add-lane) accept to the client lane: peer
+  // QP wiring, remote addresses, posted receives, bootstrap control slot.
+  void WireClientLane(internal::ClientLane& lane, int server_node,
+                      const ctrl::wire::ServerLaneInfo& info,
+                      uint32_t grant_cumulative);
+  // Server half of one lane, wired to the advertised client QP.
+  std::unique_ptr<internal::ServerLane> BuildServerLane(
+      uint32_t index, int client_node, uint32_t sender_key, uint32_t ring_bytes,
+      const ctrl::wire::ClientLaneInfo& in, bool active,
+      ctrl::wire::ServerLaneInfo* out);
+  // Message handlers behind OnCtrlMessage (server side of the handshakes).
+  uint32_t HandleConnectRequest(const ctrl::wire::MsgHeader& header,
+                                const uint8_t* msg, uint8_t* resp,
+                                uint32_t resp_cap);
+  uint32_t HandleReconnectRequest(const ctrl::wire::MsgHeader& header,
+                                  const uint8_t* msg, uint8_t* resp,
+                                  uint32_t resp_cap);
+  uint32_t HandleAddLaneRequest(const ctrl::wire::MsgHeader& header,
+                                const uint8_t* msg, uint8_t* resp,
+                                uint32_t resp_cap);
+  uint32_t HandleRetireLaneRequest(const ctrl::wire::MsgHeader& header,
+                                   const uint8_t* msg, uint8_t* resp,
+                                   uint32_t resp_cap);
+  // Membership change (server side): a departed client's senders are torn
+  // down and the AQP budget repartitioned immediately.
+  void OnMemberLeft(int node);
+  // Accelerates watchdog recovery of the RPCs accounted to a just-revived
+  // lane: their deadlines collapse to "now" so the next tick retransmits.
+  void ExpireLaneDeadlines(Connection& conn, uint32_t lane_index);
+
   verbs::Cluster& cluster_;
   const int node_;
   FlockConfig config_;
@@ -575,6 +682,9 @@ class FlockRuntime {
   bool server_started_ = false;
   ServerStats server_stats_;
   std::vector<uint8_t> handler_scratch_;
+  // Membership listener handle (registered by StartServer, removed by the
+  // destructor — the control plane outlives this runtime).
+  uint64_t membership_listener_id_ = 0;
 
   // Client state.
   std::vector<std::unique_ptr<Connection>> connections_;

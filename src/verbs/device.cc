@@ -333,6 +333,7 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
         wc.has_imm = true;
         wc.src_node = node_id_;
         wc.src_qpn = src_qp.qpn();
+        wc.qpn = dst->qpn();
         peer.stats_.cqes_dma_ed++;
         dst->recv_cq()->Push(wc);
       }
@@ -365,6 +366,7 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
       wc.has_imm = wr.opcode == Opcode::kSendImm;
       wc.src_node = node_id_;
       wc.src_qpn = src_qp.qpn();
+      wc.qpn = dst->qpn();
       peer.stats_.cqes_dma_ed++;
       dst->recv_cq()->Push(wc);
       co_return;
@@ -458,6 +460,7 @@ void Device::CompleteSend(Qp& qp, const SendWr& wr, WcStatus status, uint32_t by
   wc.opcode = ToWcOpcode(wr.opcode);
   wc.status = status;
   wc.byte_len = byte_len;
+  wc.qpn = qp.qpn();
   stats_.cqes_dma_ed++;
   qp.send_cq()->Push(wc);
 }
@@ -476,6 +479,7 @@ void Device::ErrorQp(Qp& qp) {
     wc.wr_id = wr.wr_id;
     wc.opcode = ToWcOpcode(wr.opcode);
     wc.status = WcStatus::kFlushError;
+    wc.qpn = qp.qpn();
     stats_.cqes_dma_ed++;
     qp.send_cq()->Push(wc);
   }
@@ -487,6 +491,7 @@ void Device::ErrorQp(Qp& qp) {
     wc.wr_id = recv.wr_id;
     wc.opcode = WcOpcode::kRecv;
     wc.status = WcStatus::kFlushError;
+    wc.qpn = qp.qpn();
     stats_.cqes_dma_ed++;
     qp.recv_cq()->Push(wc);
   }

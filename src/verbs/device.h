@@ -163,6 +163,15 @@ class Cluster {
   FaultInjector& fault() { return fault_; }
   const FaultInjector& fault() const { return fault_; }
 
+  // Opaque per-cluster extension slot. The connection control plane
+  // (src/ctrl) attaches its singleton here so every runtime on every node
+  // shares one instance without verbs depending on the layers above it.
+  void* extension() const { return extension_.get(); }
+  void SetExtension(void* ptr, void (*deleter)(void*)) {
+    FLOCK_CHECK(extension_ == nullptr) << "cluster extension already set";
+    extension_ = std::unique_ptr<void, void (*)(void*)>(ptr, deleter);
+  }
+
  private:
   struct NodeState {
     fabric::MemorySpace mem;
@@ -176,6 +185,9 @@ class Cluster {
   fabric::Network network_;
   FaultInjector fault_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
+  // Declared last: destroyed first, so the extension (the control plane) may
+  // reference any cluster member for its whole lifetime.
+  std::unique_ptr<void, void (*)(void*)> extension_{nullptr, [](void*) {}};
 };
 
 }  // namespace flock::verbs

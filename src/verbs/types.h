@@ -114,6 +114,10 @@ struct Completion {
   // Receive-side provenance (meaningful for kRecv/kRecvImm).
   int src_node = -1;
   uint32_t src_qpn = 0;
+  // The local QP this completion came from (0 = unknown). Lets a consumer
+  // that replaced a lane's QP distinguish a stale flush of the dead QP from
+  // an error on the live one.
+  uint32_t qpn = 0;
 };
 
 }  // namespace flock::verbs

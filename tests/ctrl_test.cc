@@ -1,0 +1,315 @@
+// Connection control plane tests (DESIGN.md §10): connect/accept handshake,
+// QP re-establishment after a kill, membership leave/rejoin with AQP
+// repartitioning, elastic lane grow/shrink, and same-seed determinism.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/ctrl/control_plane.h"
+#include "src/flock/flock.h"
+#include "src/verbs/fault.h"
+
+namespace flock {
+namespace {
+
+constexpr uint16_t kEchoRpc = 1;
+
+uint32_t EchoHandler(const uint8_t* req, uint32_t len, uint8_t* resp,
+                     uint32_t cap, Nanos* cpu) {
+  FLOCK_CHECK_LE(len, cap);
+  std::memcpy(resp, req, len);
+  *cpu = 60;
+  return len;
+}
+
+// A server plus N-1 clients wired for control-plane testing: clients carry
+// rpc_timeout (the reconnect path replays un-acked batches via the retry
+// watchdog) and, by default, lane_reconnect.
+struct CtrlWorld {
+  explicit CtrlWorld(int nodes = 2, FlockConfig server_cfg = FlockConfig{},
+                     FlockConfig client_cfg = DefaultClientConfig())
+      : cluster(verbs::Cluster::Config{.num_nodes = nodes, .cores_per_node = 8}) {
+    server = std::make_unique<FlockRuntime>(cluster, 0, server_cfg);
+    server->RegisterHandler(kEchoRpc, EchoHandler);
+    server->StartServer(4);
+    for (int n = 1; n < nodes; ++n) {
+      clients.push_back(std::make_unique<FlockRuntime>(cluster, n, client_cfg));
+      clients.back()->StartClient();
+    }
+  }
+
+  static FlockConfig DefaultClientConfig() {
+    FlockConfig cfg;
+    cfg.rpc_timeout = 100 * kMicrosecond;
+    cfg.max_retries = 5;
+    cfg.lane_reconnect = true;
+    cfg.reconnect_backoff = 50 * kMicrosecond;
+    return cfg;
+  }
+
+  verbs::Cluster cluster;
+  std::unique_ptr<FlockRuntime> server;
+  std::vector<std::unique_ptr<FlockRuntime>> clients;
+};
+
+sim::Proc EchoLoop(Connection* conn, FlockThread* thread, int count,
+                   int* ok_count, int* fail_count) {
+  std::vector<uint8_t> resp;
+  for (int i = 0; i < count; ++i) {
+    uint64_t payload = static_cast<uint64_t>(i);
+    const bool ok =
+        co_await conn->Call(*thread, kEchoRpc,
+                            reinterpret_cast<const uint8_t*>(&payload), 8, &resp);
+    (ok ? *ok_count : *fail_count) += 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connect/accept handshake
+// ---------------------------------------------------------------------------
+
+TEST(CtrlTest, HandshakeWiresLanesAndServesRpcs) {
+  CtrlWorld world;
+  // Node-id overload: the client knows nothing but the server's node number;
+  // QPs, rings, rkeys and credits all arrive through the accept message.
+  Connection* conn = world.clients[0]->Connect(/*server_node=*/0, 4);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(conn->num_lanes(), 4u);
+  EXPECT_EQ(conn->server_node(), 0);
+
+  Connection::LaneStates states = conn->CountLaneStates();
+  EXPECT_EQ(states.healthy, 4u);
+  EXPECT_EQ(states.quarantined, 0u);
+  EXPECT_EQ(states.retired, 0u);
+
+  const ctrl::ControlPlane::Stats& cp = ctrl::ControlPlane::For(world.cluster).stats();
+  EXPECT_GE(cp.calls, 1u);
+  EXPECT_EQ(cp.rejected_malformed, 0u);
+  EXPECT_EQ(cp.rejected_replay, 0u);
+
+  int ok = 0, fail = 0;
+  for (int t = 0; t < 4; ++t) {
+    world.cluster.sim().Spawn(
+        EchoLoop(conn, world.clients[0]->CreateThread(t), 200, &ok, &fail));
+  }
+  world.cluster.sim().RunFor(100 * kMillisecond);
+  EXPECT_EQ(ok, 4 * 200);
+  EXPECT_EQ(fail, 0);
+}
+
+// ---------------------------------------------------------------------------
+// QP kill → reconnect → full recovery
+// ---------------------------------------------------------------------------
+
+TEST(CtrlTest, QpKillReconnectsAndRestoresLane) {
+  CtrlWorld world;
+  Connection* conn = world.clients[0]->Connect(*world.server, 4);
+  int ok = 0, fail = 0;
+  for (int t = 0; t < 4; ++t) {
+    world.cluster.sim().Spawn(
+        EchoLoop(conn, world.clients[0]->CreateThread(t), 400, &ok, &fail));
+  }
+  world.cluster.fault().KillQpAt(200 * kMicrosecond, /*node=*/1,
+                                 conn->lane(0).qp->qpn());
+  world.cluster.sim().RunFor(200 * kMillisecond);
+
+  EXPECT_EQ(ok + fail, 4 * 400);
+  EXPECT_EQ(fail, 0) << "retry + reconnect must absorb a single QP kill";
+  // Unlike the quarantine-only behaviour (fault_test expects 1 failed lane),
+  // the reconnect daemon replaced the QP pair and revived the lane.
+  EXPECT_EQ(conn->num_failed_lanes(), 0u);
+  EXPECT_GE(conn->lane_reconnects(), 1u);
+  Connection::LaneStates states = conn->CountLaneStates();
+  EXPECT_EQ(states.healthy, 4u);
+  EXPECT_EQ(states.quarantined, 0u);
+  EXPECT_EQ(states.reconnecting, 0u);
+  EXPECT_GE(world.clients[0]->client_stats().lane_reconnects, 1u);
+  EXPECT_GE(world.server->server_stats().lane_reconnects, 1u);
+  // Quarantine was still recorded before the revival.
+  EXPECT_GE(world.clients[0]->client_stats().lane_failures, 1u);
+}
+
+TEST(CtrlTest, RepeatedKillsOnSameLaneKeepRecovering) {
+  CtrlWorld world;
+  Connection* conn = world.clients[0]->Connect(*world.server, 2);
+  int ok = 0, fail = 0;
+  // Enough traffic that the handle is still busy when the second kill lands
+  // (an idle lane posts no sends, so a kill would go unnoticed until used).
+  for (int t = 0; t < 2; ++t) {
+    world.cluster.sim().Spawn(
+        EchoLoop(conn, world.clients[0]->CreateThread(t), 8000, &ok, &fail));
+  }
+  // First kill, let the lane reconnect, then kill the lane the migrated
+  // threads are now driving (an idle lane's death would go unnoticed).
+  world.cluster.fault().KillQpAt(200 * kMicrosecond, /*node=*/1,
+                                 conn->lane(0).qp->qpn());
+  world.cluster.sim().RunFor(20 * kMillisecond);
+  ASSERT_EQ(conn->num_failed_lanes(), 0u) << "first reconnect must finish";
+  world.cluster.fault().KillQp(/*node=*/1, conn->lane(1).qp->qpn());
+  world.cluster.sim().RunFor(400 * kMillisecond);
+
+  EXPECT_EQ(ok + fail, 2 * 8000);
+  EXPECT_EQ(fail, 0);
+  EXPECT_EQ(conn->num_failed_lanes(), 0u);
+  EXPECT_GE(conn->lane_reconnects(), 2u);
+  EXPECT_GE(world.server->server_stats().lane_reconnects, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Membership: leave reclaims, rejoin restores lanes and AQP share
+// ---------------------------------------------------------------------------
+
+TEST(CtrlTest, LeaveReclaimsSenderAndRepartitionsAqp) {
+  // Cap the server at 2 active QPs so the §5 quota split is observable:
+  // two clients with 2 lanes each → 1 active lane per sender.
+  FlockConfig server_cfg;
+  server_cfg.max_active_qps = 2;
+  CtrlWorld world(/*nodes=*/3, server_cfg);
+  Connection* victim = world.clients[0]->Connect(*world.server, 2);
+  Connection* healthy = world.clients[1]->Connect(*world.server, 2);
+  int v_ok = 0, v_fail = 0, h_ok = 0, h_fail = 0;
+  world.cluster.sim().Spawn(EchoLoop(victim, world.clients[0]->CreateThread(0),
+                                     4000, &v_ok, &v_fail));
+  world.cluster.sim().Spawn(EchoLoop(healthy, world.clients[1]->CreateThread(0),
+                                     4000, &h_ok, &h_fail));
+  world.cluster.sim().RunFor(300 * kMicrosecond);
+
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(world.cluster);
+  cp.Leave(/*node=*/1);
+  EXPECT_FALSE(cp.IsMember(1));
+  // Give the scheduler a few sweeps: the departed sender is reclaimed and its
+  // AQP quota flows to the survivor (budget 2 → both healthy lanes active).
+  world.cluster.sim().RunFor(5 * kMillisecond);
+  EXPECT_GE(world.server->server_stats().dead_senders, 1u);
+  EXPECT_EQ(victim->CountLaneStates().healthy, 0u)
+      << "leave must quarantine every lane of the departed node";
+  EXPECT_EQ(healthy->num_active_lanes(), 2u)
+      << "the survivor inherits the departed sender's AQP quota";
+
+  // Rejoin: the reconnect daemon (which was gated on membership) revives the
+  // lanes through fresh handshakes and the quota is split again.
+  cp.Join(/*node=*/1);
+  world.cluster.sim().RunFor(400 * kMillisecond);
+
+  EXPECT_EQ(v_ok + v_fail, 4000);
+  EXPECT_EQ(h_ok + h_fail, 4000);
+  EXPECT_EQ(h_fail, 0) << "the healthy client must never be disturbed";
+  EXPECT_GT(v_ok, 0);
+  EXPECT_EQ(victim->num_failed_lanes(), 0u)
+      << "rejoin must deterministically restore every lane";
+  EXPECT_EQ(victim->CountLaneStates().healthy, 2u);
+  EXPECT_GE(victim->lane_reconnects(), 2u);
+  EXPECT_GE(victim->num_active_lanes(), 1u)
+      << "the rejoined sender gets its AQP share back";
+  EXPECT_GE(cp.stats().leaves, 1u);
+  EXPECT_GE(cp.stats().joins, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Elastic lane scaling
+// ---------------------------------------------------------------------------
+
+TEST(CtrlTest, ElasticGrowsUnderCoalescingPressure) {
+  FlockConfig client_cfg = CtrlWorld::DefaultClientConfig();
+  client_cfg.elastic_lanes = true;
+  client_cfg.elastic_interval = 200 * kMicrosecond;
+  client_cfg.elastic_grow_degree = 4;
+  CtrlWorld world(/*nodes=*/2, FlockConfig{}, client_cfg);
+  // 8 threads squeezed onto one lane: the median coalescing degree rises well
+  // past the grow threshold and the scaler must add lanes.
+  Connection* conn = world.clients[0]->Connect(*world.server, 1);
+  int ok = 0, fail = 0;
+  for (int t = 0; t < 8; ++t) {
+    world.cluster.sim().Spawn(
+        EchoLoop(conn, world.clients[0]->CreateThread(t), 2000, &ok, &fail));
+  }
+  world.cluster.sim().RunFor(200 * kMillisecond);
+
+  EXPECT_EQ(ok, 8 * 2000);
+  EXPECT_EQ(fail, 0);
+  EXPECT_GT(conn->num_lanes(), 1u) << "contended handle must grow";
+  EXPECT_GE(world.clients[0]->client_stats().lanes_added, 1u);
+  EXPECT_GE(world.server->server_stats().lanes_added, 1u);
+  EXPECT_EQ(conn->num_failed_lanes(), 0u);
+}
+
+TEST(CtrlTest, ElasticShrinksIdleLanes) {
+  FlockConfig client_cfg = CtrlWorld::DefaultClientConfig();
+  client_cfg.elastic_lanes = true;
+  client_cfg.elastic_interval = 200 * kMicrosecond;
+  client_cfg.elastic_shrink_degree = 2;
+  client_cfg.min_lanes = 1;
+  CtrlWorld world(/*nodes=*/2, FlockConfig{}, client_cfg);
+  // One slow thread over four lanes: requests never coalesce, so the scaler
+  // retires surplus lanes down toward min_lanes.
+  Connection* conn = world.clients[0]->Connect(*world.server, 4);
+  int ok = 0, fail = 0;
+  world.cluster.sim().Spawn(
+      EchoLoop(conn, world.clients[0]->CreateThread(0), 3000, &ok, &fail));
+  world.cluster.sim().RunFor(200 * kMillisecond);
+
+  EXPECT_EQ(ok, 3000);
+  EXPECT_EQ(fail, 0);
+  Connection::LaneStates states = conn->CountLaneStates();
+  EXPECT_GE(states.retired, 1u) << "idle lanes must be retired";
+  EXPECT_GE(states.healthy, client_cfg.min_lanes);
+  EXPECT_GE(world.clients[0]->client_stats().lanes_retired, 1u);
+  EXPECT_GE(world.server->server_stats().lanes_retired, 1u);
+  EXPECT_EQ(states.quarantined, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+struct KillRunResult {
+  int ok = 0;
+  int fail = 0;
+  uint64_t events = 0;
+  uint64_t lane_reconnects = 0;
+  uint64_t client_retries = 0;
+  uint64_t server_requests = 0;
+  uint64_t server_reconnects = 0;
+  Connection::LaneStates states;
+};
+
+KillRunResult RunKillScenario() {
+  CtrlWorld world;
+  Connection* conn = world.clients[0]->Connect(*world.server, 4);
+  KillRunResult r;
+  for (int t = 0; t < 4; ++t) {
+    world.cluster.sim().Spawn(
+        EchoLoop(conn, world.clients[0]->CreateThread(t), 300, &r.ok, &r.fail));
+  }
+  world.cluster.fault().KillQpAt(150 * kMicrosecond, /*node=*/1,
+                                 conn->lane(0).qp->qpn());
+  world.cluster.sim().RunFor(100 * kMillisecond);
+  r.events = world.cluster.sim().events_processed();
+  r.lane_reconnects = conn->lane_reconnects();
+  r.client_retries = world.clients[0]->client_stats().retries;
+  r.server_requests = world.server->server_stats().requests;
+  r.server_reconnects = world.server->server_stats().lane_reconnects;
+  r.states = conn->CountLaneStates();
+  return r;
+}
+
+TEST(CtrlTest, ReconnectScenarioIsDeterministic) {
+  KillRunResult a = RunKillScenario();
+  KillRunResult b = RunKillScenario();
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.fail, b.fail);
+  EXPECT_EQ(a.events, b.events) << "same seed must replay the same event count";
+  EXPECT_EQ(a.lane_reconnects, b.lane_reconnects);
+  EXPECT_EQ(a.client_retries, b.client_retries);
+  EXPECT_EQ(a.server_requests, b.server_requests);
+  EXPECT_EQ(a.server_reconnects, b.server_reconnects);
+  EXPECT_EQ(a.states.healthy, b.states.healthy);
+  EXPECT_EQ(a.states.quarantined, b.states.quarantined);
+  EXPECT_EQ(a.states.retired, b.states.retired);
+  EXPECT_GE(a.lane_reconnects, 1u) << "the scenario must actually reconnect";
+}
+
+}  // namespace
+}  // namespace flock
