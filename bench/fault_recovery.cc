@@ -46,11 +46,7 @@ struct RecoveryResult {
   uint64_t client_lane_failures = 0;
   uint64_t server_lane_failures = 0;
   // Control-plane outcome (end-of-run lane census + revival counts).
-  uint64_t lanes_healthy = 0;
-  uint64_t lanes_quarantined = 0;
-  uint64_t lanes_reconnecting = 0;
-  uint64_t lanes_retired = 0;
-  uint64_t reconnects = 0;
+  LaneCensus lanes;
   uint64_t buckets[kBuckets] = {};  // completions per sim-time bucket
 };
 
@@ -121,12 +117,7 @@ RecoveryResult RunOnce(bool inject, bool reconnect, int threads, uint32_t lanes,
   r.spurious = client.client_stats().spurious_responses;
   r.client_lane_failures = client.client_stats().lane_failures;
   r.server_lane_failures = server.server_stats().lane_failures;
-  const Connection::LaneStates states = conn->CountLaneStates();
-  r.lanes_healthy = states.healthy;
-  r.lanes_quarantined = states.quarantined;
-  r.lanes_reconnecting = states.reconnecting;
-  r.lanes_retired = states.retired;
-  r.reconnects = conn->lane_reconnects();
+  r.lanes.Add(*conn);
   return r;
 }
 
@@ -210,11 +201,11 @@ int Main(int argc, char** argv) {
   }
   std::printf("lanes at end: %lu healthy, %lu quarantined, %lu reconnecting, "
               "%lu retired; %lu reconnects\n",
-              static_cast<unsigned long>(faulted.lanes_healthy),
-              static_cast<unsigned long>(faulted.lanes_quarantined),
-              static_cast<unsigned long>(faulted.lanes_reconnecting),
-              static_cast<unsigned long>(faulted.lanes_retired),
-              static_cast<unsigned long>(faulted.reconnects));
+              static_cast<unsigned long>(faulted.lanes.healthy),
+              static_cast<unsigned long>(faulted.lanes.quarantined),
+              static_cast<unsigned long>(faulted.lanes.reconnecting),
+              static_cast<unsigned long>(faulted.lanes.retired),
+              static_cast<unsigned long>(faulted.lanes.reconnects));
   std::printf("CSV,fault_recovery,baseline,%lu,%lu,%lu,%lu\n",
               static_cast<unsigned long>(base.window_rpcs),
               static_cast<unsigned long>(base.ok),
@@ -226,28 +217,26 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long>(faulted.fail),
               static_cast<unsigned long>(faulted.retries));
 
-  json.Row({{"threads", threads},
-            {"lanes", lanes},
-            {"payload_bytes", payload},
-            {"sim_ms", static_cast<int64_t>(sim_span / kMillisecond)},
-            {"timeout_us", static_cast<int64_t>(timeout / kMicrosecond)},
-            {"reconnect", reconnect ? int64_t{1} : int64_t{0}},
-            {"baseline_window_rpcs", base.window_rpcs},
-            {"faulted_window_rpcs", faulted.window_rpcs},
-            {"recovery", recovery},
-            {"recovery_time_ns", recovery_ns},
-            {"faulted_ok", faulted.ok},
-            {"faulted_fail", faulted.fail},
-            {"retries", faulted.retries},
-            {"failed_rpcs", faulted.failed_rpcs},
-            {"spurious_responses", faulted.spurious},
-            {"client_lane_failures", faulted.client_lane_failures},
-            {"server_lane_failures", faulted.server_lane_failures},
-            {"lanes_healthy", faulted.lanes_healthy},
-            {"lanes_quarantined", faulted.lanes_quarantined},
-            {"lanes_reconnecting", faulted.lanes_reconnecting},
-            {"lanes_retired", faulted.lanes_retired},
-            {"lane_reconnects", faulted.reconnects}});
+  JsonRow row;
+  row.Add("threads", threads)
+      .Add("lanes", lanes)
+      .Add("payload_bytes", payload)
+      .Add("sim_ms", static_cast<int64_t>(sim_span / kMillisecond))
+      .Add("timeout_us", static_cast<int64_t>(timeout / kMicrosecond))
+      .Add("reconnect", reconnect ? int64_t{1} : int64_t{0})
+      .Add("baseline_window_rpcs", base.window_rpcs)
+      .Add("faulted_window_rpcs", faulted.window_rpcs)
+      .Add("recovery", recovery)
+      .Add("recovery_time_ns", recovery_ns)
+      .Add("faulted_ok", faulted.ok)
+      .Add("faulted_fail", faulted.fail)
+      .Add("retries", faulted.retries)
+      .Add("failed_rpcs", faulted.failed_rpcs)
+      .Add("spurious_responses", faulted.spurious)
+      .Add("client_lane_failures", faulted.client_lane_failures)
+      .Add("server_lane_failures", faulted.server_lane_failures);
+  faulted.lanes.AppendTo(&row, /*include_retired=*/true);
+  json.Row(row);
 
   // Contract checks: the baseline run must be failure-free, the faulted run
   // must detect exactly one client lane failure and recover; with reconnect
@@ -268,14 +257,14 @@ int Main(int argc, char** argv) {
     pass = false;
   }
   if (reconnect) {
-    if (faulted.reconnects < 1) {
+    if (faulted.lanes.reconnects < 1) {
       std::printf("FAIL: reconnect mode saw no lane reconnects\n");
       pass = false;
     }
-    if (faulted.lanes_quarantined != 0 || faulted.lanes_reconnecting != 0) {
+    if (faulted.lanes.quarantined != 0 || faulted.lanes.reconnecting != 0) {
       std::printf("FAIL: %lu quarantined / %lu reconnecting lanes at end\n",
-                  static_cast<unsigned long>(faulted.lanes_quarantined),
-                  static_cast<unsigned long>(faulted.lanes_reconnecting));
+                  static_cast<unsigned long>(faulted.lanes.quarantined),
+                  static_cast<unsigned long>(faulted.lanes.reconnecting));
       pass = false;
     }
     if (recovery_ns < 0) {

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
-#include "src/flock/combining.h"
+#include "src/flock/combine.h"
 #include "src/flock/ring.h"
 #include "src/flock/wire.h"
 

@@ -14,7 +14,6 @@
 //              [--repeats=3] [--json=BENCH_perf_smoke.json]
 #include <sys/resource.h>
 
-#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -35,15 +34,10 @@ struct SmokeResult {
   double sim_mops = 0;  // simulated throughput, for fidelity cross-checks
   // Kernel delivery counters (see Simulator): how the resumptions that drove
   // this run were delivered.
-  uint64_t resumes = 0;
-  uint64_t direct_resumes = 0;
-  uint64_t coalesced_wakes = 0;
+  KernelCounters kernel;
   // Control-plane lane census across all connections at end of run. A
   // fault-free run must report every lane healthy and zero reconnects.
-  uint64_t lanes_healthy = 0;
-  uint64_t lanes_quarantined = 0;
-  uint64_t lanes_reconnecting = 0;
-  uint64_t lane_reconnects = 0;
+  LaneCensus lanes;
 };
 
 sim::Proc EchoWorker(Connection* conn, FlockThread* thread, uint32_t payload_bytes,
@@ -87,33 +81,23 @@ SmokeResult RunSmoke(int clients, int threads_per_client, uint32_t payload_bytes
 
   // Warm up (fills pools, rings, and scheduler state), then measure.
   cluster.sim().RunFor(sim_span / 4);
-  const uint64_t events_before = cluster.sim().events_processed();
+  const KernelCounters before = KernelCounters::Capture(cluster.sim());
   const uint64_t done_before = done;
-  const uint64_t resumes_before = cluster.sim().resumes();
-  const uint64_t direct_before = cluster.sim().direct_resumes();
-  const uint64_t coalesced_before = cluster.sim().coalesced_wakes();
-  const auto start = std::chrono::steady_clock::now();
+  const WallTimer timer;
   cluster.sim().RunFor(sim_span);
-  const auto stop = std::chrono::steady_clock::now();
 
   SmokeResult r;
-  r.wall_s = std::chrono::duration<double>(stop - start).count();
-  r.events = cluster.sim().events_processed() - events_before;
+  r.wall_s = timer.Seconds();
+  r.kernel = KernelCounters::Capture(cluster.sim()).Since(before);
+  r.events = r.kernel.events;
   r.rpcs = done - done_before;
   r.events_per_s = static_cast<double>(r.events) / r.wall_s;
   r.rpcs_per_s = static_cast<double>(r.rpcs) / r.wall_s;
   r.events_per_rpc =
       r.rpcs == 0 ? 0 : static_cast<double>(r.events) / static_cast<double>(r.rpcs);
   r.sim_mops = static_cast<double>(r.rpcs) / static_cast<double>(sim_span) * 1e3;
-  r.resumes = cluster.sim().resumes() - resumes_before;
-  r.direct_resumes = cluster.sim().direct_resumes() - direct_before;
-  r.coalesced_wakes = cluster.sim().coalesced_wakes() - coalesced_before;
   for (Connection* conn : conns) {
-    const Connection::LaneStates states = conn->CountLaneStates();
-    r.lanes_healthy += states.healthy;
-    r.lanes_quarantined += states.quarantined;
-    r.lanes_reconnecting += states.reconnecting;
-    r.lane_reconnects += conn->lane_reconnects();
+    r.lanes.Add(*conn);
   }
   return r;
 }
@@ -137,18 +121,22 @@ int Main(int argc, char** argv) {
   std::printf("%-8s %12s %12s %12s %10s %10s\n", "run", "events/s", "rpcs/s",
               "events", "sim Mops", "wall ms");
 
-  SmokeResult best;
-  for (int i = 0; i < repeats; ++i) {
-    const SmokeResult r = RunSmoke(clients, threads, payload, sim_span);
-    std::printf("%-8d %12.0f %12.0f %12lu %10.2f %10.1f\n", i, r.events_per_s,
-                r.rpcs_per_s, static_cast<unsigned long>(r.events), r.sim_mops,
-                r.wall_s * 1e3);
-    std::printf("CSV,perf_smoke,%d,%.0f,%.0f,%lu,%.2f\n", i, r.events_per_s,
-                r.rpcs_per_s, static_cast<unsigned long>(r.events), r.sim_mops);
-    if (r.events_per_s > best.events_per_s) {
-      best = r;
-    }
-  }
+  int run = 0;
+  const SmokeResult best = BestOf(
+      repeats,
+      [&] {
+        const SmokeResult r = RunSmoke(clients, threads, payload, sim_span);
+        std::printf("%-8d %12.0f %12.0f %12lu %10.2f %10.1f\n", run,
+                    r.events_per_s, r.rpcs_per_s,
+                    static_cast<unsigned long>(r.events), r.sim_mops,
+                    r.wall_s * 1e3);
+        std::printf("CSV,perf_smoke,%d,%.0f,%.0f,%lu,%.2f\n", run,
+                    r.events_per_s, r.rpcs_per_s,
+                    static_cast<unsigned long>(r.events), r.sim_mops);
+        ++run;
+        return r;
+      },
+      [](const SmokeResult& r) { return r.events_per_s; });
   const int64_t rss_kb = PeakRssKb();
   std::printf("best: %.0f events/s, %.0f rpcs/s, %.1f events/rpc, peak RSS %ld KB\n",
               best.events_per_s, best.rpcs_per_s, best.events_per_rpc,
@@ -156,29 +144,28 @@ int Main(int argc, char** argv) {
   std::printf(
       "resume delivery: %lu total, %lu direct (fifo-server), %lu coalesced "
       "(wake batches)\n",
-      static_cast<unsigned long>(best.resumes),
-      static_cast<unsigned long>(best.direct_resumes),
-      static_cast<unsigned long>(best.coalesced_wakes));
+      static_cast<unsigned long>(best.kernel.resumes),
+      static_cast<unsigned long>(best.kernel.direct_resumes),
+      static_cast<unsigned long>(best.kernel.coalesced_wakes));
 
-  json.Row({{"clients", clients},
-            {"threads_per_client", threads},
-            {"payload_bytes", payload},
-            {"sim_ms", static_cast<int64_t>(sim_span / kMillisecond)},
-            {"events_per_sec", best.events_per_s},
-            {"rpcs_per_sec", best.rpcs_per_s},
-            {"events", best.events},
-            {"rpcs", best.rpcs},
-            {"events_per_rpc", best.events_per_rpc},
-            {"resumes", best.resumes},
-            {"direct_resumes", best.direct_resumes},
-            {"coalesced_wakes", best.coalesced_wakes},
-            {"lanes_healthy", best.lanes_healthy},
-            {"lanes_quarantined", best.lanes_quarantined},
-            {"lanes_reconnecting", best.lanes_reconnecting},
-            {"lane_reconnects", best.lane_reconnects},
-            {"sim_mops", best.sim_mops},
-            {"wall_s", best.wall_s},
-            {"peak_rss_kb", rss_kb}});
+  JsonRow row;
+  row.Add("clients", clients)
+      .Add("threads_per_client", threads)
+      .Add("payload_bytes", payload)
+      .Add("sim_ms", static_cast<int64_t>(sim_span / kMillisecond))
+      .Add("events_per_sec", best.events_per_s)
+      .Add("rpcs_per_sec", best.rpcs_per_s)
+      .Add("events", best.events)
+      .Add("rpcs", best.rpcs)
+      .Add("events_per_rpc", best.events_per_rpc)
+      .Add("resumes", best.kernel.resumes)
+      .Add("direct_resumes", best.kernel.direct_resumes)
+      .Add("coalesced_wakes", best.kernel.coalesced_wakes);
+  best.lanes.AppendTo(&row, /*include_retired=*/false);
+  row.Add("sim_mops", best.sim_mops)
+      .Add("wall_s", best.wall_s)
+      .Add("peak_rss_kb", rss_kb);
+  json.Row(row);
   return 0;
 }
 

@@ -15,7 +15,6 @@
 //
 // Usage:
 //   sim_kernel [--iters=2000000] [--repeats=3] [--json=BENCH_sim_kernel.json]
-#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -28,9 +27,7 @@ namespace {
 
 struct KernelResult {
   double wall_s = 0;
-  uint64_t events = 0;
-  uint64_t resumes = 0;
-  uint64_t coalesced = 0;
+  KernelCounters kernel;
   double events_per_s = 0;
 };
 
@@ -47,16 +44,13 @@ KernelResult RunScheduleResume(uint64_t iters) {
   sim::Simulator sim;
   uint64_t done = 0;
   sim.Spawn(YieldLoop(sim, iters, &done));
-  const auto start = std::chrono::steady_clock::now();
+  const WallTimer timer;
   sim.Run();
-  const auto stop = std::chrono::steady_clock::now();
   FLOCK_CHECK_EQ(done, 1u);
   KernelResult r;
-  r.wall_s = std::chrono::duration<double>(stop - start).count();
-  r.events = sim.events_processed();
-  r.resumes = sim.resumes();
-  r.coalesced = sim.coalesced_wakes();
-  r.events_per_s = static_cast<double>(r.events) / r.wall_s;
+  r.wall_s = timer.Seconds();
+  r.kernel = KernelCounters::Capture(sim);
+  r.events_per_s = static_cast<double>(r.kernel.events) / r.wall_s;
   return r;
 }
 
@@ -89,14 +83,11 @@ KernelResult RunNotifyFanout(int waiters, uint64_t rounds) {
     sim.Spawn(FanoutWaiter(cond, stop, &wakes));
   }
   sim.Spawn(FanoutNotifier(sim, cond, stop, rounds));
-  const auto start = std::chrono::steady_clock::now();
+  const WallTimer timer;
   sim.Run();
-  const auto stop_t = std::chrono::steady_clock::now();
   KernelResult r;
-  r.wall_s = std::chrono::duration<double>(stop_t - start).count();
-  r.events = sim.events_processed();
-  r.resumes = sim.resumes();
-  r.coalesced = sim.coalesced_wakes();
+  r.wall_s = timer.Seconds();
+  r.kernel = KernelCounters::Capture(sim);
   // Every waiter wakes once per notify round (delivered via wake batches).
   FLOCK_CHECK_GE(wakes, rounds * static_cast<uint64_t>(waiters));
   r.events_per_s = static_cast<double>(wakes) / r.wall_s;  // wakes/s here
@@ -122,16 +113,13 @@ KernelResult RunCalendarChurn(uint64_t iters, int procs) {
   for (int p = 0; p < procs; ++p) {
     sim.Spawn(ChurnLoop(sim, iters, &done));
   }
-  const auto start = std::chrono::steady_clock::now();
+  const WallTimer timer;
   sim.Run();
-  const auto stop = std::chrono::steady_clock::now();
   FLOCK_CHECK_EQ(done, static_cast<uint64_t>(procs));
   KernelResult r;
-  r.wall_s = std::chrono::duration<double>(stop - start).count();
-  r.events = sim.events_processed();
-  r.resumes = sim.resumes();
-  r.coalesced = sim.coalesced_wakes();
-  r.events_per_s = static_cast<double>(r.events) / r.wall_s;
+  r.wall_s = timer.Seconds();
+  r.kernel = KernelCounters::Capture(sim);
+  r.events_per_s = static_cast<double>(r.kernel.events) / r.wall_s;
   return r;
 }
 
@@ -140,28 +128,17 @@ void Report(JsonDump& json, const char* name, const KernelResult& best,
   std::printf("%-18s %14.0f %s  (%lu events, %lu resumes, %lu coalesced, "
               "%.1f ms)\n",
               name, best.events_per_s, rate_unit,
-              static_cast<unsigned long>(best.events),
-              static_cast<unsigned long>(best.resumes),
-              static_cast<unsigned long>(best.coalesced), best.wall_s * 1e3);
+              static_cast<unsigned long>(best.kernel.events),
+              static_cast<unsigned long>(best.kernel.resumes),
+              static_cast<unsigned long>(best.kernel.coalesced_wakes),
+              best.wall_s * 1e3);
   json.Row({{"case", name},
             {"rate", best.events_per_s},
             {"rate_unit", rate_unit},
-            {"events", best.events},
-            {"resumes", best.resumes},
-            {"coalesced_wakes", best.coalesced},
+            {"events", best.kernel.events},
+            {"resumes", best.kernel.resumes},
+            {"coalesced_wakes", best.kernel.coalesced_wakes},
             {"wall_s", best.wall_s}});
-}
-
-template <typename Fn>
-KernelResult Best(int repeats, Fn&& fn) {
-  KernelResult best;
-  for (int i = 0; i < repeats; ++i) {
-    const KernelResult r = fn();
-    if (r.events_per_s > best.events_per_s) {
-      best = r;
-    }
-  }
-  return best;
 }
 
 int Main(int argc, char** argv) {
@@ -171,17 +148,18 @@ int Main(int argc, char** argv) {
   JsonDump json(flags.Str("json", "BENCH_sim_kernel.json"), "sim_kernel");
 
   PrintBanner("sim_kernel: event-kernel primitive throughput");
+  const auto kRate = [](const KernelResult& r) { return r.events_per_s; };
 
-  Report(json, "schedule_resume", Best(repeats, [&] { return RunScheduleResume(iters); }),
+  Report(json, "schedule_resume", BestOf(repeats, [&] { return RunScheduleResume(iters); }, kRate),
          "events/s");
   const uint64_t rounds = iters / 64;
-  Report(json, "notify_fanout_1", Best(repeats, [&] { return RunNotifyFanout(1, rounds * 8); }),
+  Report(json, "notify_fanout_1", BestOf(repeats, [&] { return RunNotifyFanout(1, rounds * 8); }, kRate),
          "wakes/s");
-  Report(json, "notify_fanout_8", Best(repeats, [&] { return RunNotifyFanout(8, rounds); }),
+  Report(json, "notify_fanout_8", BestOf(repeats, [&] { return RunNotifyFanout(8, rounds); }, kRate),
          "wakes/s");
-  Report(json, "notify_fanout_64", Best(repeats, [&] { return RunNotifyFanout(64, rounds / 8); }),
+  Report(json, "notify_fanout_64", BestOf(repeats, [&] { return RunNotifyFanout(64, rounds / 8); }, kRate),
          "wakes/s");
-  Report(json, "calendar_churn", Best(repeats, [&] { return RunCalendarChurn(iters / 8, 8); }),
+  Report(json, "calendar_churn", BestOf(repeats, [&] { return RunCalendarChurn(iters / 8, 8); }, kRate),
          "events/s");
   return 0;
 }

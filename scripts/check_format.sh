@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Format gate: clang-format --dry-run over every C++ file in the repo.
+# Exits non-zero (and prints the offending diffs) if any file deviates from
+# .clang-format. Pass --fix to rewrite in place instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found; skipping (install clang-format to run locally)" >&2
+  exit 0
+fi
+
+mode=(--dry-run --Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  mode=(-i)
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h')
+"$CLANG_FORMAT" "${mode[@]}" "${files[@]}"
+echo "check_format: ${#files[@]} files OK"

@@ -20,7 +20,8 @@
 #include <vector>
 
 #include "src/flock/ring.h"
-#include "src/flock/runtime.h"  // RpcHandler, FlockThread
+#include "src/flock/thread.h"  // RpcHandler, FlockThread
+#include "src/flock/transport.h"
 #include "src/flock/wire.h"
 #include "src/sim/sync.h"
 #include "src/verbs/device.h"
@@ -78,6 +79,8 @@ class RcRpcClient {
   const int node_;
   RcRpcServer& server_;
   const uint32_t ring_bytes_;
+  // Post/poll seam shared with the Flock runtime (simulated verbs by default).
+  TransportOps* transport_ = &SimTransportInstance();
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::unique_ptr<FlockThread>> threads_;
   std::unordered_map<uint64_t, Pending*> pending_;
@@ -114,6 +117,7 @@ class RcRpcServer {
   verbs::Cluster& cluster_;
   const int node_;
   const int dispatcher_cores_;
+  TransportOps* transport_ = &SimTransportInstance();
   std::unordered_map<uint16_t, RpcHandler> handlers_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::vector<Lane*>> dispatcher_lanes_;

@@ -10,7 +10,6 @@ namespace {
 constexpr uint16_t kFlagResponse = 1;
 constexpr uint32_t kSendSlots = 64;       // client-side (bounded by outstanding)
 constexpr uint32_t kServerSendSlots = 512; // server-side response staging
-constexpr size_t kPollBatch = 32;         // CQEs per poll_cq call
 
 // Exponential poll backoff: models a polling loop at coarse granularity so an
 // idle wait costs O(log) simulation events while still charging full CPU.
@@ -36,7 +35,7 @@ UdRpcServer::UdRpcServer(verbs::Cluster& cluster, int node, const Config& config
     for (uint32_t i = 0; i < config_.recv_pool; ++i) {
       const uint64_t addr = mem.Alloc(buf_bytes);
       worker.recv_buffers.push_back(addr);
-      worker.qp->PostRecv(verbs::RecvWr{addr, addr, buf_bytes});
+      transport_->PostRecv(*worker.qp, verbs::RecvWr{addr, addr, buf_bytes});
     }
     worker.send_buf = mem.Alloc(static_cast<size_t>(buf_bytes) * kServerSendSlots);
   }
@@ -69,15 +68,15 @@ sim::Proc UdRpcServer::WorkerLoop(int index) {
   uint64_t acked = 0;
   Nanos backoff = cost.cpu_cq_poll_empty;
 
-  verbs::Completion wcs[kPollBatch];
+  verbs::Completion wcs[kCqPollBatch];
   for (;;) {
     Nanos work = cost.cpu_cq_poll_empty;
     bool found = false;
     // Vectorized drain, looping until the CQ reads empty: the stall below can
     // suspend mid-batch, so a fresh poll after each batch picks up datagrams
     // that landed while we were parked (same coverage as a one-at-a-time
-    // Poll loop, one poll_cq call per kPollBatch CQEs).
-    for (size_t nc; (nc = worker.recv_cq->PollBatch(wcs, kPollBatch)) > 0;) {
+    // Poll loop, one poll_cq call per kCqPollBatch CQEs).
+    for (size_t nc; (nc = transport_->PollBatch(*worker.recv_cq, wcs, kCqPollBatch)) > 0;) {
       found = true;
       for (size_t ci = 0; ci < nc; ++ci) {
         const verbs::Completion& wc = wcs[ci];
@@ -105,8 +104,8 @@ sim::Proc UdRpcServer::WorkerLoop(int index) {
         // (burning CPU on CQ polling, as a real sender would) while the send
         // queue is deeper than the staging pool.
         while (posts - acked > kServerSendSlots - kSignal) {
-          verbs::Completion send_wcs[kPollBatch];
-          for (size_t ns; (ns = worker.send_cq->PollBatch(send_wcs, kPollBatch)) > 0;) {
+          verbs::Completion send_wcs[kCqPollBatch];
+          for (size_t ns; (ns = transport_->PollBatch(*worker.send_cq, send_wcs, kCqPollBatch)) > 0;) {
             acked += kSignal * ns;
             work += cost.cpu_cqe_handle * static_cast<Nanos>(ns);
           }
@@ -131,16 +130,16 @@ sim::Proc UdRpcServer::WorkerLoop(int index) {
         send.dest_qpn = header.src_qpn;
         posts += 1;
         send.signaled = (posts % kSignal) == 0;
-        if (worker.qp->PostSend(send) != verbs::WcStatus::kSuccess) {
+        if (transport_->Post(*worker.qp, send) != verbs::WcStatus::kSuccess) {
           ++send_failures_;
         }
 
         // Recycle the receive buffer (the dominant Fig. 2(b) cost).
-        worker.qp->PostRecv(verbs::RecvWr{wc.wr_id, wc.wr_id, buf_bytes});
+        transport_->PostRecv(*worker.qp, verbs::RecvWr{wc.wr_id, wc.wr_id, buf_bytes});
         work += cost.cpu_post_recv;
       }
     }
-    for (size_t nc; (nc = worker.send_cq->PollBatch(wcs, kPollBatch)) > 0;) {
+    for (size_t nc; (nc = transport_->PollBatch(*worker.send_cq, wcs, kCqPollBatch)) > 0;) {
       acked += kSignal * nc;
       work += cost.cpu_cqe_handle * static_cast<Nanos>(nc);
     }
@@ -177,7 +176,7 @@ UdRpcClient::Thread::Thread(verbs::Cluster& cluster, int node, int core,
   const uint32_t buf_bytes = 4096;
   for (uint32_t i = 0; i < recv_pool; ++i) {
     const uint64_t addr = mem.Alloc(buf_bytes);
-    qp_->PostRecv(verbs::RecvWr{addr, addr, buf_bytes});
+    transport_->PostRecv(*qp_, verbs::RecvWr{addr, addr, buf_bytes});
   }
   send_buf_ = mem.Alloc(static_cast<uint64_t>(buf_bytes) * kSendSlots);
 }
@@ -216,7 +215,7 @@ sim::Co<UdRpcClient::Pending*> UdRpcClient::Thread::Send(const UdEndpoint& serve
   send.dest_node = server.node;
   send.dest_qpn = server.qpn;
   send.signaled = (pending->seq % 64) == 0;
-  FLOCK_CHECK(qp_->PostSend(send) == verbs::WcStatus::kSuccess);
+  FLOCK_CHECK(transport_->Post(*qp_, send) == verbs::WcStatus::kSuccess);
   co_return pending;
 }
 
@@ -224,15 +223,15 @@ bool UdRpcClient::Thread::DrainCompletions(Nanos* work) {
   const sim::CostModel& cost = cluster_.cost();
   fabric::MemorySpace& mem = cluster_.mem(node_);
   bool any = false;
-  verbs::Completion wcs[kPollBatch];
-  for (size_t nc; (nc = recv_cq_->PollBatch(wcs, kPollBatch)) > 0;) {
+  verbs::Completion wcs[kCqPollBatch];
+  for (size_t nc; (nc = transport_->PollBatch(*recv_cq_, wcs, kCqPollBatch)) > 0;) {
     any = true;
     for (size_t ci = 0; ci < nc; ++ci) {
       const verbs::Completion& wc = wcs[ci];
       *work += cost.cpu_cqe_handle + cost.cpu_ud_pkt_process + cost.cpu_post_recv;
       UdWireHeader header;
       mem.Read(wc.wr_id, &header, sizeof(header));
-      qp_->PostRecv(verbs::RecvWr{wc.wr_id, wc.wr_id, 4096});
+      transport_->PostRecv(*qp_, verbs::RecvWr{wc.wr_id, wc.wr_id, 4096});
       auto it = pending_.find(header.seq);
       if (it == pending_.end()) {
         continue;  // response for a request we already declared lost
@@ -248,13 +247,13 @@ bool UdRpcClient::Thread::DrainCompletions(Nanos* work) {
       pending->done = true;
       pending->completed_at = cluster_.sim().Now();
     }
-    if (nc < kPollBatch) {
+    if (nc < kCqPollBatch) {
       break;
     }
   }
-  for (size_t nc; (nc = send_cq_->PollBatch(wcs, kPollBatch)) > 0;) {
+  for (size_t nc; (nc = transport_->PollBatch(*send_cq_, wcs, kCqPollBatch)) > 0;) {
     *work += cost.cpu_cqe_handle * static_cast<Nanos>(nc);
-    if (nc < kPollBatch) {
+    if (nc < kCqPollBatch) {
       break;
     }
   }

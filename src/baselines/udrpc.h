@@ -21,7 +21,8 @@
 #include <vector>
 
 #include "src/common/units.h"
-#include "src/flock/runtime.h"  // RpcHandler
+#include "src/flock/thread.h"  // RpcHandler
+#include "src/flock/transport.h"
 #include "src/sim/cpu.h"
 #include "src/verbs/device.h"
 
@@ -74,6 +75,8 @@ class UdRpcServer {
   verbs::Cluster& cluster_;
   const int node_;
   Config config_;
+  // Post/poll seam shared with the Flock runtime (simulated verbs by default).
+  TransportOps* transport_ = &SimTransportInstance();
   std::unordered_map<uint16_t, RpcHandler> handlers_;
   std::vector<Worker> workers_;
   uint64_t requests_handled_ = 0;
@@ -129,6 +132,7 @@ class UdRpcClient {
     verbs::Cluster& cluster_;
     int node_;
     sim::Core* core_;
+    TransportOps* transport_ = &SimTransportInstance();
     verbs::Qp* qp_ = nullptr;
     verbs::Cq* send_cq_ = nullptr;
     verbs::Cq* recv_cq_ = nullptr;

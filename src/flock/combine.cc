@@ -1,0 +1,435 @@
+#include "src/flock/combine.h"
+
+#include <algorithm>
+
+#include "src/flock/sched/receiver.h"
+
+namespace flock {
+namespace internal {
+
+sim::Co<PendingRpc*> StageRpc(ClientConnState& conn, FlockThread& thread,
+                              uint16_t rpc_id, const uint8_t* data,
+                              uint32_t len) {
+  const FlockConfig& config = *conn.env->config;
+  const sim::CostModel& cost = conn.env->cost();
+  FLOCK_CHECK_LE(len, config.max_payload);
+
+  ClientLane& lane = LaneFor(conn, thread);
+
+  PendingRpc* rpc = conn.client->rpc_pool.New();
+  rpc->rpc_id = rpc_id;
+  rpc->seq = thread.NextSeq();
+  rpc->thread_id = thread.id();
+  rpc->submitted_at = conn.env->sim().Now();
+  rpc->lane_index = lane.index;
+  if (config.rpc_timeout > 0) {
+    // Failure handling armed: retain the payload for retransmission and set
+    // the first deadline. With timeouts off, neither field is ever read.
+    rpc->deadline = rpc->submitted_at + config.rpc_timeout;
+    rpc->request.Assign(data, len);
+  }
+  if (conn.pending.size() <= thread.id()) {
+    conn.pending.resize(size_t{thread.id()} + 1);
+  }
+  conn.pending[thread.id()].Insert(rpc->seq, rpc);
+
+  PendingSend* ps = conn.client->send_pool.New();
+  ps->meta.data_len = len;
+  ps->meta.thread_id = thread.id();
+  ps->meta.rpc_id = rpc_id;
+  ps->meta.seq = rpc->seq;
+  ps->owner_core = &thread.core();
+  ps->data.Assign(data, len);
+
+  thread.outstanding += 1;
+  lane.inflight += 1;
+  thread.req_size_median.Record(len);
+  thread.reqs_sent.Add(1);
+  thread.bytes_sent.Add(len);
+
+  // TCQ enqueue: one atomic swap + a cacheline transfer makes the request
+  // visible to the (current or future) leader...
+  co_await thread.core().Work(cost.cpu_atomic_rmw + cost.cpu_cacheline_transfer);
+  PendingSend* handle = ps;
+  if (lane.combine_tail != nullptr) {
+    lane.combine_tail->next = ps;
+  } else {
+    lane.combine_head = ps;
+  }
+  lane.combine_tail = ps;
+  WakePump(conn, lane);
+  // ...then the thread copies its payload into the combining buffer and
+  // raises its copy-completion flag, which the leader polls (§4.2).
+  bool sent = false;
+  handle->sent_flag = &sent;
+  handle->sent_cond = lane.sent_cond.get();
+  co_await thread.core().Work(cost.MemcpyCost(len + wire::kMetaBytes));
+  if (handle->dropped) {
+    // The lane was quarantined mid-copy and the pump unlinked this request,
+    // releasing the waiter (`sent` is already true) and handing the handle
+    // back to us. The RPC itself stays pending for the retry watchdog.
+    conn.client->send_pool.Delete(handle);
+  } else {
+    handle->copied = true;
+    lane.copy_done->NotifyAll();
+  }
+  // fl_send_rpc completes when the combined message is on the wire: a leader
+  // posts it itself; a follower waits for the (transient) leader to do so.
+  while (!sent) {
+    co_await lane.sent_cond->Wait();
+  }
+  co_return rpc;
+}
+
+void WakePump(ClientConnState& conn, ClientLane& lane) {
+  if (lane.pump_running) {
+    return;  // the running pump's admit loop picks the new request up
+  }
+  lane.pump_running = true;
+  if (!lane.pump_spawned) {
+    lane.pump_spawned = true;
+    conn.env->sim().Spawn(Pump(conn, lane));
+  } else {
+    lane.pump_wake.Fire(conn.env->sim());
+  }
+}
+
+sim::Proc Pump(ClientConnState& conn, ClientLane& lane) {
+  const FlockConfig& config = *conn.env->config;
+  const sim::CostModel& cost = conn.env->cost();
+  sim::Simulator& sim = conn.env->sim();
+  (void)sim;
+
+  for (;;) {
+    if (lane.combine_head == nullptr) {
+      // Queue drained: park until the next request (or retry restage) wakes
+      // us. pump_running goes false and the wake is re-armed with no
+      // suspension in between, so pump_running == false implies parked.
+      lane.pump_running = false;
+      lane.pump_wake.Reset();
+      co_await lane.pump_wake.Wait();
+      continue;
+    }
+    // Collect the leader's batch: bounded combining (§4.2). The batch is an
+    // intrusive list spliced off the front of the lane's combining queue.
+    const size_t bound = config.coalescing ? config.max_coalesce : 1;
+    PendingSend* batch_head = nullptr;
+    PendingSend* batch_tail = nullptr;
+    size_t batch_n = 0;
+    uint32_t data_bytes = 0;
+    // Admits queued requests up to the bound; followers that enqueue while
+    // the leader waits are admitted too (the leader-progress rule). The
+    // encoder-capacity check guards pathological payload mixes.
+    auto admit = [&]() {
+      while (batch_n < bound && lane.combine_head != nullptr) {
+        PendingSend* ps = lane.combine_head;
+        const uint32_t next_len = ps->meta.data_len;
+        if (batch_n > 0 &&
+            wire::MessageBytes(static_cast<uint32_t>(batch_n) + 1,
+                               data_bytes + next_len) > config.ring_bytes / 2) {
+          break;
+        }
+        lane.combine_head = ps->next;
+        if (lane.combine_head == nullptr) {
+          lane.combine_tail = nullptr;
+        }
+        ps->next = nullptr;
+        data_bytes += next_len;
+        if (batch_tail != nullptr) {
+          batch_tail->next = ps;
+        } else {
+          batch_head = ps;
+        }
+        batch_tail = ps;
+        ++batch_n;
+      }
+    };
+    auto all_copied = [&]() {
+      for (const PendingSend* ps = batch_head; ps != nullptr; ps = ps->next) {
+        if (!ps->copied) {
+          return false;
+        }
+      }
+      return true;
+    };
+    while (true) {
+      admit();
+      if (all_copied()) {
+        break;
+      }
+      co_await lane.copy_done->Wait();
+    }
+
+    sim::Core& core = *batch_head->owner_core;
+    // Leader overhead before finalizing: buffer management and flag polls.
+    // Followers arriving during this window are still admitted below.
+    co_await core.Work(cost.cpu_msg_fixed);
+    while (true) {
+      admit();
+      if (all_copied()) {
+        break;
+      }
+      co_await lane.copy_done->Wait();
+    }
+
+    uint32_t n = static_cast<uint32_t>(batch_n);
+    uint32_t msg_len = wire::MessageBytes(n, data_bytes);
+
+    // Wait for a credit and contiguous ring space.
+    RingProducer::Reservation resv;
+    bool requeued = false;  // batch handed off (migrated or dropped)
+    while (true) {
+      if (!lane.active && lane.credits == 0) {
+        // Deactivated and drained: migrate the queued work to an active lane
+        // (sender-side thread scheduling will move the threads themselves).
+        ClientLane* target = nullptr;
+        for (const auto& other : conn.lanes) {
+          if (other->active) {
+            target = other.get();
+            break;
+          }
+        }
+        if (target != nullptr && target != &lane) {
+          // Put the batch back in front of the remaining queue, then splice
+          // the whole queue onto the target lane.
+          if (batch_tail != nullptr) {
+            batch_tail->next = lane.combine_head;
+            lane.combine_head = batch_head;
+            if (lane.combine_tail == nullptr) {
+              lane.combine_tail = batch_tail;
+            }
+          }
+          size_t moved = 0;
+          for (PendingSend* ps = lane.combine_head; ps != nullptr; ps = ps->next) {
+            ++moved;
+          }
+          if (target->combine_tail != nullptr) {
+            target->combine_tail->next = lane.combine_head;
+          } else {
+            target->combine_head = lane.combine_head;
+          }
+          target->combine_tail = lane.combine_tail;
+          lane.combine_head = nullptr;
+          lane.combine_tail = nullptr;
+          target->inflight += moved;
+          lane.inflight -= std::min<uint64_t>(lane.inflight, moved);
+          WakePump(conn, *target);
+          requeued = true;  // queue is empty now: park at the loop top
+          break;
+        }
+        if (lane.failed) {
+          // Quarantined with nowhere to migrate: drop the queued sends and
+          // release their waiters. The RPCs stay pending — the retry watchdog
+          // retransmits them (or fails them) on whatever lane survives.
+          FLOCK_CHECK(config.rpc_timeout > 0)
+              << "lane quarantined with rpc_timeout == 0: no retry watchdog "
+                 "is running, so the dropped RPCs would pend forever; set "
+                 "FlockConfig::rpc_timeout when fault injection can kill QPs";
+          if (batch_tail != nullptr) {
+            batch_tail->next = lane.combine_head;
+            lane.combine_head = batch_head;
+            if (lane.combine_tail == nullptr) {
+              lane.combine_tail = batch_tail;
+            }
+          }
+          for (PendingSend* ps = lane.combine_head; ps != nullptr;) {
+            PendingSend* next = ps->next;
+            ps->next = nullptr;
+            if (ps->sent_flag != nullptr) {
+              *ps->sent_flag = true;
+            }
+            if (ps->sent_cond != nullptr && ps->sent_cond != lane.sent_cond.get()) {
+              ps->sent_cond->NotifyAll();
+            }
+            if (ps->copied) {
+              conn.client->send_pool.Delete(ps);
+            } else {
+              // The submitting coroutine is still mid-copy and will write
+              // `copied` through this pointer when it resumes; freeing the
+              // slot here would be a use-after-free (a recycled slot would
+              // get another RPC's copy flag raised early). Hand ownership
+              // back: StageRpc frees a dropped handle after its copy work.
+              ps->dropped = true;
+            }
+            ps = next;
+          }
+          lane.combine_head = nullptr;
+          lane.combine_tail = nullptr;
+          lane.sent_cond->NotifyAll();
+          requeued = true;  // queue dropped: park at the loop top
+          break;
+        }
+        co_await lane.send_ready.Wait();
+        continue;
+      }
+      if (lane.credits > 0 && lane.req_producer.Reserve(msg_len, &resv)) {
+        break;
+      }
+      co_await lane.send_ready.Wait();
+      // Backpressure grows the batch: requests that queued while this lane
+      // was out of credits or ring space are combined into this message.
+      admit();
+      while (!all_copied()) {
+        co_await lane.copy_done->Wait();
+      }
+      n = static_cast<uint32_t>(batch_n);
+      msg_len = wire::MessageBytes(n, data_bytes);
+    }
+    if (requeued) {
+      continue;
+    }
+    lane.credits -= 1;
+
+    // Leader work: per-request combining (buffer grants + flag polls),
+    // header build, canary generation (§4.2).
+    co_await core.Work(static_cast<Nanos>(n) * cost.cpu_msg_per_req);
+
+    const uint64_t canary = SplitMix64(*conn.env->rng_state);
+    wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
+    for (const PendingSend* ps = batch_head; ps != nullptr; ps = ps->next) {
+      encoder.Add(ps->meta, ps->data.data());
+    }
+    const uint32_t total =
+        encoder.Seal(lane.resp_consumer->consumed_report(), /*credit_grant=*/0);
+    FLOCK_CHECK_EQ(total, msg_len);
+    lane.resp_bytes_since_send = 0;  // this message carries a fresh head
+
+    // Post the coalesced message (plus wrap marker / credit renewal if due)
+    // with a single doorbell.
+    verbs::SendWr wrs[3];
+    size_t nwrs = 0;
+    if (resv.wrapped) {
+      wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
+      verbs::SendWr marker;
+      marker.wr_id = TagWrId(WrTag::kRpcWrite, &lane);
+      marker.opcode = verbs::Opcode::kWrite;
+      marker.local_addr = lane.staging_addr + resv.marker_offset;
+      marker.length = wire::kWrapMarkerBytes;
+      marker.remote_addr = lane.remote_ring_addr + resv.marker_offset;
+      marker.rkey = lane.remote_ring_rkey;
+      marker.signaled = false;
+      wrs[nwrs++] = marker;
+    }
+    verbs::SendWr msg;
+    msg.wr_id = TagWrId(WrTag::kRpcWrite, &lane);
+    msg.opcode = verbs::Opcode::kWrite;
+    msg.local_addr = lane.staging_addr + resv.offset;
+    msg.length = msg_len;
+    msg.remote_addr = lane.remote_ring_addr + resv.offset;
+    msg.rkey = lane.remote_ring_rkey;
+    lane.posts += 1;
+    msg.signaled = (lane.posts % config.signal_interval) == 0;  // §7
+    wrs[nwrs++] = msg;
+    MaybeRenewCredits(config, lane, wrs, &nwrs);
+
+    co_await core.Work(static_cast<Nanos>(nwrs) * cost.cpu_wqe_prep +
+                       cost.cpu_mmio_doorbell);
+    const verbs::WcStatus status =
+        conn.env->transport->PostBatch(*lane.qp, wrs, nwrs);
+    if (status != verbs::WcStatus::kSuccess) {
+      // The QP is dead (it rejects posts only in the error state). Quarantine
+      // the lane and push the batch back in front of the queue: the migration
+      // branch above re-routes everything to a surviving lane next iteration.
+      QuarantineLane(conn, lane);
+      batch_tail->next = lane.combine_head;
+      lane.combine_head = batch_head;
+      if (lane.combine_tail == nullptr) {
+        lane.combine_tail = batch_tail;
+      }
+      continue;
+    }
+
+    lane.messages_sent += 1;
+    lane.requests_sent += n;
+    lane.coalesce_degree.Record(n);
+    lane.batch_histogram[n < 33 ? n : 32] += 1;
+    for (PendingSend* ps = batch_head; ps != nullptr;) {
+      PendingSend* next = ps->next;
+      if (ps->sent_flag != nullptr) {
+        *ps->sent_flag = true;
+      }
+      // Requests migrated from a quarantined lane carry that lane's waker.
+      if (ps->sent_cond != nullptr && ps->sent_cond != lane.sent_cond.get()) {
+        ps->sent_cond->NotifyAll();
+      }
+      conn.client->send_pool.Delete(ps);
+      ps = next;
+    }
+    lane.sent_cond->NotifyAll();
+  }
+}
+
+sim::Co<verbs::WcStatus> SubmitMemOp(ClientConnState& conn, FlockThread& thread,
+                                     verbs::SendWr wr) {
+  const sim::CostModel& cost = conn.env->cost();
+  ClientLane& lane = LaneFor(conn, thread);
+
+  PendingMemOp op;
+  op.wr = wr;
+  op.wr.wr_id = TagWrId(WrTag::kMemOp, &op);
+  op.wr.signaled = true;  // each thread waits on its own completion event
+  op.owner_core = &thread.core();
+
+  thread.outstanding += 1;
+  // Each thread prepares its own work request; posting is delegated to the
+  // leader, which links the batch (§6).
+  co_await thread.core().Work(cost.cpu_atomic_rmw + cost.cpu_cacheline_transfer +
+                              cost.cpu_wqe_prep);
+  if (lane.memop_tail != nullptr) {
+    lane.memop_tail->next = &op;
+  } else {
+    lane.memop_head = &op;
+  }
+  lane.memop_tail = &op;
+  if (!lane.mem_pump_running) {
+    lane.mem_pump_running = true;
+    conn.env->sim().Spawn(MemPump(conn, lane));
+  }
+  co_await op.done_event.Wait();
+  thread.outstanding -= 1;
+  co_return op.status;
+}
+
+sim::Proc MemPump(ClientConnState& conn, ClientLane& lane) {
+  const FlockConfig& config = *conn.env->config;
+  const sim::CostModel& cost = conn.env->cost();
+  while (lane.memop_head != nullptr) {
+    // Splice up to `bound` ops off the queue into an intrusive batch.
+    const size_t bound = config.coalescing ? config.max_coalesce : 1;
+    PendingMemOp* batch_head = nullptr;
+    PendingMemOp* batch_tail = nullptr;
+    size_t batch_n = 0;
+    while (batch_n < bound && lane.memop_head != nullptr) {
+      PendingMemOp* op = lane.memop_head;
+      lane.memop_head = op->next;
+      if (lane.memop_head == nullptr) {
+        lane.memop_tail = nullptr;
+      }
+      op->next = nullptr;
+      if (batch_tail != nullptr) {
+        batch_tail->next = op;
+      } else {
+        batch_head = op;
+      }
+      batch_tail = op;
+      ++batch_n;
+    }
+    sim::Core& core = *batch_head->owner_core;
+    // The leader links the WRs and rings one doorbell for the whole chain.
+    co_await core.Work(cost.cpu_mmio_doorbell +
+                       static_cast<Nanos>(batch_n) * (cost.cpu_atomic_rmw / 2));
+    for (PendingMemOp* op = batch_head; op != nullptr; op = op->next) {
+      const verbs::WcStatus status = conn.env->transport->Post(*lane.qp, op->wr);
+      if (status != verbs::WcStatus::kSuccess) {
+        op->status = status;
+        op->done_event.Fire(conn.env->sim());
+      }
+    }
+    // QP contention indicator for receiver-side scheduling (§6).
+    lane.coalesce_degree.Record(static_cast<uint32_t>(batch_n));
+  }
+  lane.mem_pump_running = false;
+}
+
+}  // namespace internal
+}  // namespace flock

@@ -1,23 +1,28 @@
-// Flock synchronization: the thread combining queue (TCQ, §4.2).
+// Flock synchronization: thread combining (§4.2).
 //
-// An MCS-style lock-free queue in which the thread at the head becomes the
-// *leader* and combines the requests of the *followers* queued behind it
-// (bounded, to guarantee leader progress), then hands leadership to the first
-// follower it did not include.
-//
-// This class is written with real std::atomic operations and is exercised by
+// Two layers live here. CombiningQueue is the MCS-style lock-free queue in
+// which the thread at the head becomes the *leader* and combines the requests
+// of the *followers* queued behind it (bounded, to guarantee leader
+// progress), then hands leadership to the first follower it did not include.
+// It is written with real std::atomic operations and is exercised by
 // genuinely multithreaded stress tests (tests/combining_threads_test.cc).
+//
 // Inside the discrete-event simulation the same protocol is driven by
 // coroutines (a single OS thread), with its synchronization *costs* charged
-// from the CostModel; this implementation is the executable reference for
-// that protocol.
-#ifndef FLOCK_FLOCK_COMBINING_H_
-#define FLOCK_FLOCK_COMBINING_H_
+// from the CostModel: StageRpc enqueues onto a lane's intrusive combining
+// queue, and the per-lane Pump plays the transient leader — copy-completion
+// polling, message sealing, posting, and leadership handoff. The memop pump
+// is the §6 equivalent for one-sided operations.
+#ifndef FLOCK_FLOCK_COMBINE_H_
+#define FLOCK_FLOCK_COMBINE_H_
 
 #include <atomic>
 #include <cstdint>
 
 #include "src/common/logging.h"
+#include "src/flock/lane.h"
+#include "src/flock/thread.h"
+#include "src/sim/task.h"
 
 namespace flock {
 
@@ -126,6 +131,34 @@ class CombiningQueue {
   std::atomic<Node*> tail_{nullptr};
 };
 
+namespace internal {
+
+// fl_send_rpc staging: allocates the RPC handle, enqueues a PendingSend onto
+// the thread's lane (one atomic swap + payload copy, §4.2) and returns once
+// the message carrying it is on the wire. Lazily-started Co: the public
+// Connection::SendRpc forwards here without adding a coroutine frame.
+sim::Co<PendingRpc*> StageRpc(ClientConnState& conn, FlockThread& thread,
+                              uint16_t rpc_id, const uint8_t* data,
+                              uint32_t len);
+
+// Starts pumping `lane` if it is not already being pumped: first use spawns
+// the persistent pump proc, later uses wake it from its parked state.
+void WakePump(ClientConnState& conn, ClientLane& lane);
+
+// The per-lane transient leader (§4.2): admits queued requests up to the
+// combining bound, polls copy-completion flags, seals and posts the combined
+// message, then releases the followers.
+sim::Proc Pump(ClientConnState& conn, ClientLane& lane);
+
+// One-sided operation staging (§6): links the WR into the lane's memop queue
+// and awaits its completion event; the memop pump posts the chain.
+sim::Co<verbs::WcStatus> SubmitMemOp(ClientConnState& conn, FlockThread& thread,
+                                     verbs::SendWr wr);
+
+// Leader for one-sided batches: links queued WRs and rings one doorbell.
+sim::Proc MemPump(ClientConnState& conn, ClientLane& lane);
+
+}  // namespace internal
 }  // namespace flock
 
-#endif  // FLOCK_FLOCK_COMBINING_H_
+#endif  // FLOCK_FLOCK_COMBINE_H_

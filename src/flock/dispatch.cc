@@ -1,0 +1,345 @@
+#include "src/flock/dispatch.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/flock/sched/receiver.h"
+
+namespace flock {
+namespace internal {
+
+sim::Proc RequestDispatcher(NodeEnv& env, ServerState& server, int index) {
+  // Core 0 runs the QP scheduler; dispatchers use the rest.
+  sim::Core& core = env.cpu().core(1 + index);
+  const sim::CostModel& cost = env.cost();
+  const FlockConfig& config = *env.config;
+  DispatchScratch scratch;
+  // The gather phase can batch up to 2 * max_coalesce - 1 requests.
+  scratch.data.resize(size_t{2} * config.max_coalesce * (config.max_payload + 64) +
+                      wire::kHeaderBytes + wire::kCanaryBytes);
+
+  for (;;) {
+    Nanos pass_cost = 0;
+    for (size_t li = 0;
+         li < server.dispatcher_lanes[static_cast<size_t>(index)].size(); ++li) {
+      ServerLane& lane = *server.dispatcher_lanes[static_cast<size_t>(index)][li];
+      pass_cost += cost.cpu_ring_poll_empty;
+      if (lane.in_service || lane.failed) {
+        continue;  // owned by an RPC worker right now, or quarantined
+      }
+      wire::MsgHeader header;
+      const wire::ProbeResult probe = lane.req_consumer->Probe(&header);
+      if (probe == wire::ProbeResult::kMessage) {
+        if (config.server_workers > 0) {
+          // Worker-pool mode: route the lane to the pool (small routing cost)
+          // and let a worker gather + execute + respond.
+          lane.in_service = true;
+          server.work_queue.push_back(&lane);
+          server.work_ready->NotifyOne();
+          pass_cost += cost.cpu_cacheline_transfer;
+          continue;
+        }
+        // in_service also fences the control plane: a reconnect handshake
+        // must not re-base this lane's rings while the dispatcher is between
+        // its probe and the matching consume.
+        lane.in_service = true;
+        co_await core.Work(pass_cost);
+        pass_cost = 0;
+        co_await HandleRequestMessage(env, server, lane, core, header, scratch);
+        lane.in_service = false;
+      }
+    }
+    co_await core.Work(pass_cost > 0 ? pass_cost : cost.cpu_ring_poll_empty);
+  }
+}
+
+sim::Proc RpcWorker(NodeEnv& env, ServerState& server, int index) {
+  // Workers run on the cores above the dispatchers'.
+  sim::Core& core = env.cpu().core(1 + server.dispatcher_count + index);
+  const sim::CostModel& cost = env.cost();
+  const FlockConfig& config = *env.config;
+  DispatchScratch scratch;
+  scratch.data.resize(size_t{2} * config.max_coalesce * (config.max_payload + 64) +
+                      wire::kHeaderBytes + wire::kCanaryBytes);
+  for (;;) {
+    while (server.work_queue.empty()) {
+      co_await server.work_ready->Wait();
+    }
+    ServerLane& lane = *server.work_queue.front();
+    server.work_queue.pop_front();
+    wire::MsgHeader header;
+    if (!lane.failed &&
+        lane.req_consumer->Probe(&header) == wire::ProbeResult::kMessage) {
+      co_await core.Work(cost.cpu_cacheline_transfer);  // take over the lane
+      co_await HandleRequestMessage(env, server, lane, core, header, scratch);
+    }
+    lane.in_service = false;
+  }
+}
+
+sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
+                                   ServerLane& lane, sim::Core& core,
+                                   const wire::MsgHeader& first,
+                                   DispatchScratch& scratch) {
+  const sim::CostModel& cost = env.cost();
+  const FlockConfig& config = *env.config;
+
+  // Freshen the response-ring view from the client's out-of-band head slot.
+  uint32_t slot_value = 0;
+  std::memcpy(&slot_value, lane.head_slot_ptr, 4);
+  lane.resp_producer.OnHeadUpdate(slot_value);
+
+  // Gather phase: drain consecutive complete messages from this lane's ring
+  // (bounded) so responses coalesce *across* request messages too (§4.3).
+  scratch.resp.clear();
+  uint32_t total_reqs = 0;
+  uint32_t resp_bytes = 0;
+  uint32_t offset = 0;
+  Nanos work = 0;
+  wire::MsgHeader header = first;
+  while (true) {
+    lane.resp_producer.OnHeadUpdate(header.piggyback_head);
+    const uint32_t n = header.num_reqs;
+    scratch.views.resize(n);
+    FLOCK_CHECK(wire::DecodeRequests(lane.req_consumer->MessagePtr(), header,
+                                     scratch.views.data()))
+        << "malformed coalesced message";
+    work += cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
+    for (uint32_t i = 0; i < n; ++i) {
+      const wire::ReqView& req = scratch.views[i];
+      const RpcHandler* handler = server.FindHandler(req.meta.rpc_id);
+      FLOCK_CHECK(handler != nullptr) << "no handler for rpc " << req.meta.rpc_id;
+      Nanos handler_cpu = 0;
+      const uint32_t resp_len =
+          (*handler)(req.data, req.meta.data_len, scratch.data.data() + offset,
+                     config.max_payload, &handler_cpu);
+      FLOCK_CHECK_LE(resp_len, config.max_payload);
+      work += handler_cpu + cost.cpu_msg_per_req;
+      DispatchScratch::RespEntry entry;
+      entry.meta = req.meta;  // echo thread id, seq, rpc id
+      entry.meta.data_len = resp_len;
+      entry.offset = offset;
+      scratch.resp.push_back(entry);
+      offset += resp_len;
+      resp_bytes += resp_len;
+    }
+    // Retire the request message (zeroing = Free/Processed state of Fig. 5).
+    work += cost.MemcpyCost(header.total_len);
+    lane.req_consumer->Consume(header);
+    lane.messages_handled += 1;
+    lane.requests_handled += n;
+    server.stats.messages += 1;
+    server.stats.requests += n;
+    total_reqs += n;
+    if (!config.coalescing || total_reqs >= config.max_coalesce) {
+      break;  // coalescing disabled: one response message per request message
+    }
+    if (lane.req_consumer->Probe(&header) != wire::ProbeResult::kMessage) {
+      break;
+    }
+    // Stop if the next message's responses could overflow the encoding
+    // (worst case: every one of its requests yields a max_payload response).
+    if (wire::MessageBytes(total_reqs + header.num_reqs,
+                           resp_bytes + header.num_reqs * config.max_payload) >
+        config.ring_bytes / 2) {
+      break;
+    }
+  }
+  co_await core.Work(work);
+
+  // Reserve response-ring space; while stalled, re-read the head slot the
+  // client's dispatcher keeps fresh (the §4.1 fallback for a stale Head).
+  const uint32_t msg_len = wire::MessageBytes(total_reqs, resp_bytes);
+  RingProducer::Reservation resv;
+  uint64_t stalls = 0;
+  while (!lane.resp_producer.Reserve(msg_len, &resv)) {
+    if (lane.failed) {
+      // The client stopped consuming because it is gone, not slow. Drop the
+      // responses; its RPCs recover (or fail) through their own timeouts.
+      server.stats.responses_dropped += 1;
+      co_return;
+    }
+    // A stuck ring with faults armed may mean the client silently died.
+    // Periodically re-post the control slot *signaled*: a dead QP answers
+    // with an error completion, which quarantines the lane and ends this
+    // stall. (Gated on armed() so fault-free traces see no extra posts.)
+    if (env.cluster->fault().armed() && (++stalls & 63) == 0) {
+      WriteCtrlSlot(env, lane, server.stats, /*signaled=*/true);
+      if (lane.failed) {
+        server.stats.responses_dropped += 1;
+        co_return;
+      }
+    }
+    co_await sim::Delay(env.sim(), kMicrosecond);
+    std::memcpy(&slot_value, lane.head_slot_ptr, 4);
+    lane.resp_producer.OnHeadUpdate(slot_value);
+  }
+
+  // Encode the coalesced response; piggyback the request-ring head and any
+  // pending credit grant (§4.3, §5.1).
+  const uint64_t canary = SplitMix64(*env.rng_state);
+  wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
+  for (uint32_t i = 0; i < total_reqs; ++i) {
+    encoder.Add(scratch.resp[i].meta, scratch.data.data() + scratch.resp[i].offset);
+  }
+  const uint32_t total =
+      encoder.Seal(lane.req_consumer->consumed_report(), /*credit_grant=*/0);
+  FLOCK_CHECK_EQ(total, msg_len);
+  co_await core.Work(cost.cpu_msg_fixed +
+                     static_cast<Nanos>(total_reqs) * cost.cpu_msg_per_req +
+                     cost.MemcpyCost(resp_bytes));
+
+  verbs::SendWr wrs[2];
+  size_t nwrs = 0;
+  if (resv.wrapped) {
+    wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
+    verbs::SendWr marker;
+    marker.wr_id = TagWrId(WrTag::kServerWrite, &lane);
+    marker.opcode = verbs::Opcode::kWrite;
+    marker.local_addr = lane.staging_addr + resv.marker_offset;
+    marker.length = wire::kWrapMarkerBytes;
+    marker.remote_addr = lane.remote_ring_addr + resv.marker_offset;
+    marker.rkey = lane.remote_ring_rkey;
+    marker.signaled = false;
+    wrs[nwrs++] = marker;
+  }
+  verbs::SendWr msg;
+  msg.wr_id = TagWrId(WrTag::kServerWrite, &lane);
+  msg.opcode = verbs::Opcode::kWrite;
+  msg.local_addr = lane.staging_addr + resv.offset;
+  msg.length = msg_len;
+  msg.remote_addr = lane.remote_ring_addr + resv.offset;
+  msg.rkey = lane.remote_ring_rkey;
+  lane.posts += 1;
+  msg.signaled = (lane.posts % config.signal_interval) == 0;
+  wrs[nwrs++] = msg;
+
+  co_await core.Work(static_cast<Nanos>(nwrs) * cost.cpu_wqe_prep +
+                     cost.cpu_mmio_doorbell);
+  const verbs::WcStatus status = env.transport->PostBatch(*lane.qp, wrs, nwrs);
+  if (status != verbs::WcStatus::kSuccess) {
+    QuarantineServerLane(lane, server.stats);
+    server.stats.responses_dropped += 1;
+    co_return;
+  }
+  server.stats.responses_sent += 1;
+}
+
+sim::Proc ResponseDispatcher(NodeEnv& env, ClientState& client,
+                             ServerStats& server_stats, int index) {
+  // Dispatchers occupy the top cores of the node (the paper dedicates a
+  // lightweight dispatcher thread that serves many QPs).
+  sim::Core& core = env.cpu().core(env.cpu().num_cores() - 1 - index);
+  const sim::CostModel& cost = env.cost();
+  const FlockConfig& config = *env.config;
+  // Per-proc decode scratch: capacity persists across messages.
+  std::vector<wire::ReqView> views;
+
+  verbs::Completion wcs[kCqPollBatch];
+  for (;;) {
+    Nanos pass_cost = cost.cpu_cq_poll_empty;
+    // Vectorized send-CQ drain (selective signaling keeps this sparse, but
+    // error bursts — a flushed QP — arrive as whole batches).
+    for (size_t nc;
+         (nc = env.transport->PollBatch(*env.send_cq, wcs, kCqPollBatch)) > 0;) {
+      for (size_t ci = 0; ci < nc; ++ci) {
+        const verbs::Completion& wc = wcs[ci];
+        pass_cost += cost.cpu_cqe_handle;
+        if (WrIdTag(wc.wr_id) == WrTag::kMemOp) {
+          auto* op = WrIdPtr<PendingMemOp>(wc.wr_id);
+          op->status = wc.status;
+          op->done_event.Fire(env.sim());
+        } else if (wc.status != verbs::WcStatus::kSuccess) {
+          HandleSendError(wc, server_stats);
+        }
+      }
+      if (nc < kCqPollBatch) {
+        break;
+      }
+    }
+
+    for (ClientConnState* conn : client.conns) {
+      for (size_t li = index; li < conn->lanes.size();
+           li += static_cast<size_t>(config.response_dispatchers)) {
+        ClientLane& lane = *conn->lanes[li];
+        pass_cost += cost.cpu_ring_poll_empty;
+        ApplyCtrlSlot(env, lane);  // grants / activation written by the server
+        wire::MsgHeader header;
+        if (lane.resp_consumer->Probe(&header) != wire::ProbeResult::kMessage) {
+          continue;
+        }
+        // Fence the control plane: the reconnect daemon must not resync this
+        // lane's rings between the probe above and the consume below.
+        lane.in_dispatch = true;
+        co_await core.Work(pass_cost);
+        pass_cost = 0;
+
+        // Piggybacked request-ring head.
+        lane.req_producer.OnHeadUpdate(header.piggyback_head);
+        lane.send_ready.NotifyAll();
+
+        const uint32_t n = header.num_reqs;
+        views.resize(n);
+        FLOCK_CHECK(
+            wire::DecodeRequests(lane.resp_consumer->MessagePtr(), header, views.data()));
+        Nanos work = cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
+        uint32_t matched = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+          const wire::ReqView& resp = views[i];
+          PendingRpc* rpc = resp.meta.thread_id < conn->pending.size()
+                                ? conn->pending[resp.meta.thread_id].Take(
+                                      resp.meta.seq)
+                                : nullptr;
+          if (rpc == nullptr) {
+            // A retransmitted request can yield two responses (at-least-once
+            // under retry); the second finds nothing outstanding.
+            client.stats.spurious_responses += 1;
+            continue;
+          }
+          rpc->response.Assign(resp.data, resp.meta.data_len);
+          work += cost.MemcpyCost(resp.meta.data_len);
+          rpc->ok = true;
+          rpc->deadline = 0;
+          rpc->completed_at = env.sim().Now();
+          rpc->done_event.Fire(env.sim());
+          FlockThread& thread = *client.threads[resp.meta.thread_id];
+          thread.outstanding -= 1;
+          ++matched;
+        }
+        // Clamped: watchdog retries move in-flight accounting between lanes,
+        // so under failures the per-lane counter is advisory, not exact.
+        lane.inflight -= std::min<uint64_t>(lane.inflight, matched);
+        work += cost.MemcpyCost(header.total_len);  // zero the consumed region
+        lane.resp_consumer->Consume(header);
+
+        // Keep the server's view of this response ring fresh even when no
+        // request traffic carries a piggyback: RDMA-write the cumulative
+        // consumed count into the server-side head slot.
+        lane.resp_bytes_since_send += header.total_len;
+        if (lane.resp_bytes_since_send >= config.ring_bytes / 4) {
+          const uint32_t report = lane.resp_consumer->consumed_report();
+          std::memcpy(lane.head_src_ptr, &report, 4);
+          verbs::SendWr slot_wr;
+          slot_wr.wr_id = TagWrId(WrTag::kCtrl, &lane);
+          slot_wr.opcode = verbs::Opcode::kWrite;
+          slot_wr.local_addr = lane.head_src_addr;
+          slot_wr.length = 4;
+          slot_wr.remote_addr = lane.head_slot_remote_addr;
+          slot_wr.rkey = lane.head_slot_rkey;
+          slot_wr.signaled = false;
+          if (env.transport->Post(*lane.qp, slot_wr) != verbs::WcStatus::kSuccess) {
+            QuarantineLane(*conn, lane);
+          }
+          work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
+          lane.resp_bytes_since_send = 0;
+        }
+        co_await core.Work(work);
+        lane.in_dispatch = false;
+      }
+    }
+    co_await core.Work(pass_cost > 0 ? pass_cost : cost.cpu_cq_poll_empty);
+  }
+}
+
+}  // namespace internal
+}  // namespace flock

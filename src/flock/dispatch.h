@@ -1,0 +1,58 @@
+// Request and response dispatching (§4.3): the server-side dispatcher procs
+// that poll lane rings, gather coalesced requests, run handlers and post
+// coalesced responses (inline or via the RPC worker pool), and the
+// client-side response dispatcher that drains the send CQ, matches responses
+// to pending RPCs and keeps the server's ring view fresh.
+#ifndef FLOCK_FLOCK_DISPATCH_H_
+#define FLOCK_FLOCK_DISPATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/flock/lane.h"
+#include "src/flock/wire.h"
+#include "src/sim/cpu.h"
+#include "src/sim/task.h"
+
+namespace flock {
+namespace internal {
+
+// Per-dispatcher scratch reused across messages (no per-message allocation).
+struct DispatchScratch {
+  struct RespEntry {
+    wire::ReqMeta meta;
+    uint32_t offset = 0;
+  };
+  std::vector<uint8_t> data;
+  std::vector<wire::ReqView> views;
+  std::vector<RespEntry> resp;
+};
+
+// Server dispatcher `index`: round-robins over its assigned lanes, probing
+// each request ring. Inline mode handles the message itself; worker-pool
+// mode routes the lane to the RpcWorker queue.
+sim::Proc RequestDispatcher(NodeEnv& env, ServerState& server, int index);
+
+// Worker-pool executor: takes lanes off the work queue and runs the same
+// gather/execute/respond path as the inline dispatcher.
+sim::Proc RpcWorker(NodeEnv& env, ServerState& server, int index);
+
+// One coalesced request message (and, coalescing permitting, its successors
+// on the same ring): decode, run handlers, retire the request message(s),
+// and post one coalesced response message.
+sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
+                                   ServerLane& lane, sim::Core& core,
+                                   const wire::MsgHeader& first,
+                                   DispatchScratch& scratch);
+
+// Client dispatcher `index`: drains the shared send CQ (memop completions
+// and send errors — the CQ is shared with any server role on this node,
+// hence the ServerStats), then polls its share of every connection's
+// response rings, completing pending RPCs.
+sim::Proc ResponseDispatcher(NodeEnv& env, ClientState& client,
+                             ServerStats& server_stats, int index);
+
+}  // namespace internal
+}  // namespace flock
+
+#endif  // FLOCK_FLOCK_DISPATCH_H_

@@ -5,10 +5,11 @@
 #ifndef FLOCK_FLOCK_FLOCK_H_
 #define FLOCK_FLOCK_FLOCK_H_
 
-#include "src/flock/combining.h"
+#include "src/flock/combine.h"
 #include "src/flock/config.h"
 #include "src/flock/ring.h"
 #include "src/flock/runtime.h"
+#include "src/flock/transport.h"
 #include "src/flock/wire.h"
 
 #endif  // FLOCK_FLOCK_FLOCK_H_

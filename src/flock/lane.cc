@@ -1,0 +1,755 @@
+#include "src/flock/lane.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/ctrl/control_plane.h"
+
+namespace flock {
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// Quarantine and lane selection
+// ---------------------------------------------------------------------------
+
+void QuarantineLane(ClientConnState& conn, ClientLane& lane) {
+  if (lane.failed) {
+    return;
+  }
+  lane.failed = true;
+  lane.active = false;
+  lane.credits = 0;
+  lane.renew_in_flight = false;
+  conn.client->stats.lane_failures += 1;
+  // Remember which threads this lane was serving so a later reconnect can
+  // send exactly those threads back. Pulling only the evacuees home keeps
+  // every surviving lane's thread set — and with it the phase-aligned
+  // coalescing those threads have built up — intact; a wholesale re-sort
+  // would scramble the pairs and halve the coalescing degree permanently.
+  lane.evacuated_tids.clear();
+  for (size_t tid = 0; tid < conn.thread_lane.size(); ++tid) {
+    if (conn.thread_lane[tid] == lane.index ||
+        (tid < conn.desired_lane.size() && conn.desired_lane[tid] == lane.index)) {
+      lane.evacuated_tids.push_back(static_cast<uint32_t>(tid));
+    }
+  }
+  // Wake the pump so queued work migrates (or drains) off the dead lane.
+  lane.send_ready.NotifyAll();
+  // Kick the reconnect daemon (constructed only when lane_reconnect is on).
+  if (conn.reconnect_cond != nullptr) {
+    conn.reconnect_cond->NotifyAll();
+  }
+}
+
+ClientLane& LaneFor(ClientConnState& conn, FlockThread& thread) {
+  const size_t tid = thread.id();
+  if (conn.thread_lane.size() <= tid) {
+    conn.thread_lane.resize(tid + 1, UINT32_MAX);
+  }
+  uint32_t current = conn.thread_lane[tid];
+  if (conn.desired_lane.size() <= tid) {
+    conn.desired_lane.resize(tid + 1, UINT32_MAX);
+  }
+  const uint32_t desired = conn.desired_lane[tid];
+  // Apply a pending migration only once all of the thread's outstanding
+  // requests have completed (sequence-id safety, §5.2).
+  if (desired != UINT32_MAX && desired != current && thread.outstanding == 0) {
+    current = desired;
+    conn.thread_lane[tid] = current;
+  }
+  if (current == UINT32_MAX ||
+      (!conn.lanes[current]->active && thread.outstanding == 0)) {
+    // Initial (or repair) assignment: spread over the active lanes.
+    std::vector<uint32_t> active;
+    for (uint32_t i = 0; i < conn.lanes.size(); ++i) {
+      if (conn.lanes[i]->active) {
+        active.push_back(i);
+      }
+    }
+    if (active.empty()) {
+      // Server guarantees >= 1 active in healthy operation, so this is
+      // transient; prefer any surviving lane over a quarantined one.
+      for (uint32_t i = 0; i < conn.lanes.size(); ++i) {
+        if (!conn.lanes[i]->failed && !conn.lanes[i]->retired) {
+          active.push_back(i);
+          break;
+        }
+      }
+      if (active.empty()) {
+        active.push_back(0);  // every lane dead: nowhere better to stage
+      }
+    }
+    current = active[tid % active.size()];
+    conn.thread_lane[tid] = current;
+    conn.desired_lane[tid] = current;
+  }
+  return *conn.lanes[current];
+}
+
+void QuarantineServerLane(ServerLane& lane, ServerStats& stats) {
+  if (lane.failed) {
+    return;
+  }
+  lane.failed = true;
+  if (lane.active) {
+    lane.active = false;
+    stats.deactivations += 1;
+  }
+  stats.lane_failures += 1;
+}
+
+void HandleSendError(const verbs::Completion& wc, ServerStats& stats) {
+  switch (WrIdTag(wc.wr_id)) {
+    case WrTag::kRpcWrite:
+    case WrTag::kCtrl: {
+      auto* lane = WrIdPtr<ClientLane>(wc.wr_id);
+      // Ignore stale flushes from a QP that a reconnect already replaced.
+      if (wc.qpn != 0 && lane->qp != nullptr && wc.qpn != lane->qp->qpn()) {
+        break;
+      }
+      if (IsFatalWcStatus(wc.status)) {
+        QuarantineLane(*lane->conn, *lane);
+      }
+      // Transient statuses (RNR, remote access): the write was lost on the
+      // wire; per-RPC timeouts retransmit whatever it carried.
+      break;
+    }
+    case WrTag::kServerWrite:
+    case WrTag::kServerCtrl: {
+      auto* lane = WrIdPtr<ServerLane>(wc.wr_id);
+      const bool stale =
+          wc.qpn != 0 && lane->qp != nullptr && wc.qpn != lane->qp->qpn();
+      if (!stale && IsFatalWcStatus(wc.status)) {
+        QuarantineServerLane(*lane, stats);
+      }
+      if (WrIdTag(wc.wr_id) == WrTag::kServerWrite) {
+        stats.responses_dropped += 1;  // that response is gone either way
+      }
+      break;
+    }
+    default:
+      break;  // kMemOp handled by its own completion event; recvs never here
+  }
+}
+
+void ExpireLaneDeadlines(ClientConnState& conn, uint32_t lane_index) {
+  const Nanos now = conn.env->sim().Now();
+  for (auto& map : conn.pending) {
+    map.ForEach([&](uint32_t, PendingRpc* rpc) {
+      if (rpc->deadline > 0 && rpc->lane_index == lane_index) {
+        rpc->deadline = std::min(rpc->deadline, now);
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Building and wiring lane halves (fl_connect, reconnect, elastic add)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ClientLane> BuildClientLane(NodeEnv& env, ClientConnState& conn,
+                                            uint32_t index,
+                                            ctrl::wire::ClientLaneInfo* info) {
+  fabric::MemorySpace& cmem = env.mem();
+  const uint32_t ring_bytes = env.config->ring_bytes;
+
+  auto cl = std::make_unique<ClientLane>(env.sim(), ring_bytes);
+  cl->copy_done = std::make_unique<sim::Condition>(env.sim());
+  cl->sent_cond = std::make_unique<sim::Condition>(env.sim());
+  cl->index = index;
+  cl->conn = &conn;
+  cl->qp = env.device().CreateQp(verbs::QpType::kRc, env.send_cq, env.recv_cq);
+
+  // Client-local memory: staging mirror for the request ring, head-slot write
+  // source, the control slot the server RDMA-writes, and the response ring.
+  cl->staging_addr = cmem.Alloc(ring_bytes);
+  cl->staging = cmem.At(cl->staging_addr);
+  cl->head_src_addr = cmem.Alloc(8, 8);
+  cl->head_src_ptr = cmem.At(cl->head_src_addr);
+  cl->ctrl_slot_addr = cmem.Alloc(8, 8);
+  cl->ctrl_slot_ptr = cmem.At(cl->ctrl_slot_addr);
+  verbs::Mr ctrl_mr = env.device().RegisterMr(cl->ctrl_slot_addr, 8);
+  cl->resp_ring_addr = cmem.Alloc(ring_bytes);
+  verbs::Mr resp_mr = env.device().RegisterMr(cl->resp_ring_addr, ring_bytes);
+  cl->resp_consumer =
+      std::make_unique<RingConsumer>(cmem.At(cl->resp_ring_addr), ring_bytes);
+
+  info->qpn = cl->qp->qpn();
+  info->resp_ring_addr = cl->resp_ring_addr;
+  info->resp_ring_rkey = resp_mr.rkey;
+  info->ctrl_slot_addr = cl->ctrl_slot_addr;
+  info->ctrl_slot_rkey = ctrl_mr.rkey;
+  return cl;
+}
+
+void WireClientLane(NodeEnv& env, ClientLane& lane, int server_node,
+                    const ctrl::wire::ServerLaneInfo& info,
+                    uint32_t grant_cumulative) {
+  lane.qp->ConnectTo(server_node, info.qpn);
+  lane.remote_ring_addr = info.req_ring_addr;
+  lane.remote_ring_rkey = info.req_ring_rkey;
+  lane.head_slot_remote_addr = info.head_slot_addr;
+  lane.head_slot_rkey = info.head_slot_rkey;
+  // Receives for control write-with-imm messages.
+  for (int r = 0; r < 16; ++r) {
+    env.transport->PostRecv(*lane.qp,
+                            verbs::RecvWr{TagWrId(WrTag::kRecv, &lane), 0, 0});
+  }
+  lane.active = info.active != 0;
+  lane.credits = info.credits;
+  lane.grants_seen = grant_cumulative;
+  CtrlSlot bootstrap;
+  bootstrap.grant_cumulative = grant_cumulative;
+  bootstrap.active = info.active;
+  env.mem().Write(lane.ctrl_slot_addr, &bootstrap, sizeof(bootstrap));
+}
+
+std::unique_ptr<ServerLane> BuildServerLane(NodeEnv& env, uint32_t index,
+                                            int client_node, uint32_t sender_key,
+                                            uint32_t ring_bytes,
+                                            const ctrl::wire::ClientLaneInfo& in,
+                                            bool active,
+                                            ctrl::wire::ServerLaneInfo* out) {
+  fabric::MemorySpace& smem = env.mem();
+
+  auto sl = std::make_unique<ServerLane>(ring_bytes);
+  sl->index = index;
+  sl->client_node = client_node;
+  sl->sender_key = sender_key;
+  sl->qp = env.device().CreateQp(verbs::QpType::kRc, env.send_cq, env.recv_cq);
+  sl->qp->ConnectTo(client_node, in.qpn);
+
+  // Request ring lives here; the client advertised its response-side memory.
+  sl->req_ring_addr = smem.Alloc(ring_bytes);
+  verbs::Mr req_mr = env.device().RegisterMr(sl->req_ring_addr, ring_bytes);
+  sl->req_consumer =
+      std::make_unique<RingConsumer>(smem.At(sl->req_ring_addr), ring_bytes);
+  sl->req_ring_rkey = req_mr.rkey;
+  sl->head_slot_addr = smem.Alloc(8, 8);
+  sl->head_slot_ptr = smem.At(sl->head_slot_addr);
+  verbs::Mr slot_mr = env.device().RegisterMr(sl->head_slot_addr, 8);
+  sl->head_slot_rkey = slot_mr.rkey;
+  sl->ctrl_slot_remote_addr = in.ctrl_slot_addr;
+  sl->ctrl_slot_rkey = in.ctrl_slot_rkey;
+  sl->ctrl_src_addr = smem.Alloc(8, 8);
+  sl->ctrl_src_ptr = smem.At(sl->ctrl_src_addr);
+  sl->remote_ring_addr = in.resp_ring_addr;
+  sl->remote_ring_rkey = in.resp_ring_rkey;
+  sl->staging_addr = smem.Alloc(ring_bytes);
+  sl->staging = smem.At(sl->staging_addr);
+
+  for (int r = 0; r < 16; ++r) {
+    env.transport->PostRecv(
+        *sl->qp, verbs::RecvWr{TagWrId(WrTag::kServerRecv, sl.get()), 0, 0});
+  }
+
+  sl->active = active;
+  sl->credits_outstanding = active ? env.config->credits : 0;
+
+  out->qpn = sl->qp->qpn();
+  out->req_ring_addr = sl->req_ring_addr;
+  out->req_ring_rkey = sl->req_ring_rkey;
+  out->head_slot_addr = sl->head_slot_addr;
+  out->head_slot_rkey = sl->head_slot_rkey;
+  out->active = active ? 1 : 0;
+  out->credits = active ? env.config->credits : 0;
+  return sl;
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane message handlers (server side, DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+uint32_t HandleConnectRequest(NodeEnv& env, ServerState& server,
+                              const ctrl::wire::MsgHeader& header,
+                              const uint8_t* msg, uint8_t* resp,
+                              uint32_t resp_cap) {
+  namespace cw = ctrl::wire;
+  cw::ConnectRequest req;
+  if (!cw::DecodeConnectRequest(header, msg, &req)) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kUnknown);
+  }
+  if (!server.started) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kServerNotStarted);
+  }
+
+  const uint32_t sender_key = static_cast<uint32_t>(server.senders.size());
+  server.senders.push_back(SenderState{});
+  server.senders.back().client_node = req.client_node;
+
+  // Receiver-side initial allocation: a new client gets the average active-QP
+  // share per *live* sender (§5.1), refined at the next redistribution.
+  // Counting only live senders fixes the stale-quota bug: a reclaimed (dead)
+  // sender used to dilute the share every later connection bootstrapped with.
+  uint32_t live_senders = 0;
+  for (const SenderState& sender : server.senders) {
+    live_senders += sender.dead ? 0 : 1;
+  }
+  const uint32_t fair_share =
+      std::max<uint32_t>(1, env.config->max_active_qps / live_senders);
+  const uint32_t initially_active = std::min(req.num_lanes, fair_share);
+
+  cw::ConnectAccept accept;
+  accept.conn_id = sender_key;
+  accept.num_lanes = req.num_lanes;
+  for (uint32_t i = 0; i < req.num_lanes; ++i) {
+    auto sl = BuildServerLane(env, i, req.client_node, sender_key,
+                              req.ring_bytes, req.lanes[i],
+                              i < initially_active, &accept.lanes[i]);
+    server.senders.back().lanes.push_back(sl.get());
+    server
+        .dispatcher_lanes[server.lanes.size() %
+                          static_cast<size_t>(server.dispatcher_count)]
+        .push_back(sl.get());
+    server.lanes.push_back(std::move(sl));
+  }
+  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kConnectAccept,
+                           header.nonce, &accept,
+                           cw::ConnectAcceptBytes(req.num_lanes));
+}
+
+uint32_t HandleReconnectRequest(NodeEnv& env, ServerState& server,
+                                const ctrl::wire::MsgHeader& header,
+                                const uint8_t* msg, uint8_t* resp,
+                                uint32_t resp_cap) {
+  namespace cw = ctrl::wire;
+  cw::ReconnectRequest req;
+  if (!cw::DecodeReconnectRequest(header, msg, &req)) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kUnknown);
+  }
+  if (!server.started || req.conn_id >= server.senders.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadConnId);
+  }
+  SenderState& sender = server.senders[req.conn_id];
+  if (sender.client_node != req.client_node ||
+      req.lane_index >= sender.lanes.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+  ServerLane& lane = *sender.lanes[req.lane_index];
+  if (lane.retired) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+  if (lane.in_service) {
+    // Mid-dispatch: the client retries after backoff rather than having its
+    // rings re-based under the dispatcher.
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kLaneBusy);
+  }
+  // The client is authoritative about its half being dead. If this side has
+  // not noticed yet (no send completed in error), condemn it now so the
+  // revival below starts from the quarantined state either way.
+  if (!lane.failed) {
+    QuarantineServerLane(lane, server.stats);
+  }
+
+  fabric::MemorySpace& smem = env.mem();
+  const uint32_t ring_bytes = lane.resp_producer.size();
+
+  // Fresh server QP wired to the client's fresh QP. The dead QP is abandoned
+  // in place — qpns are never reused, so its late flushes are recognizably
+  // stale (Completion::qpn) and ignored by the CQ pollers.
+  verbs::Qp* fresh =
+      env.device().CreateQp(verbs::QpType::kRc, env.send_cq, env.recv_cq);
+  fresh->ConnectTo(req.client_node, req.lane.qpn);
+
+  // Ring resync: both directions restart from sequence zero. The request ring
+  // is zeroed (its canary-framed contents died with the old QP) and re-based;
+  // the response producer restarts; the head slot is cleared to match the
+  // client's fresh consumer. The client mirrors this before any sim event
+  // runs (ControlPlane::Call is synchronous), so neither side can observe the
+  // other half-resynced.
+  std::memset(smem.At(lane.req_ring_addr), 0, ring_bytes);
+  lane.req_consumer =
+      std::make_unique<RingConsumer>(smem.At(lane.req_ring_addr), ring_bytes);
+  lane.resp_producer = RingProducer(ring_bytes);
+  const uint64_t zero = 0;
+  smem.Write(lane.head_slot_addr, &zero, sizeof(zero));
+  lane.qp = fresh;
+  for (int r = 0; r < 16; ++r) {
+    env.transport->PostRecv(
+        *fresh, verbs::RecvWr{TagWrId(WrTag::kServerRecv, &lane), 0, 0});
+  }
+
+  lane.failed = false;
+  lane.active = true;
+  server.stats.activations += 1;
+  lane.credits_outstanding = env.config->credits;
+  lane.utilization = 0;
+  lane.messages_at_last_sweep = lane.messages_handled;
+  server.stats.lane_reconnects += 1;
+  sender.dead = false;
+  sender.functioning = true;
+  // Shield the revived lane from dead-sender reclamation for two sweeps; it
+  // has zero utilization by construction (the double-reclaim bug).
+  sender.revive_grace = 2;
+
+  cw::ReconnectAccept accept;
+  accept.lane_index = req.lane_index;
+  accept.credits = env.config->credits;
+  // The grant counter is cumulative and survives the reconnect; the client
+  // resyncs grants_seen to it so the delta stream stays consistent.
+  accept.grant_cumulative = lane.grant_cumulative;
+  accept.lane.qpn = fresh->qpn();
+  accept.lane.req_ring_addr = lane.req_ring_addr;
+  accept.lane.req_ring_rkey = lane.req_ring_rkey;
+  accept.lane.head_slot_addr = lane.head_slot_addr;
+  accept.lane.head_slot_rkey = lane.head_slot_rkey;
+  accept.lane.active = 1;
+  accept.lane.credits = env.config->credits;
+  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kReconnectAccept,
+                           header.nonce, &accept, sizeof(accept));
+}
+
+uint32_t HandleAddLaneRequest(NodeEnv& env, ServerState& server,
+                              const ctrl::wire::MsgHeader& header,
+                              const uint8_t* msg, uint8_t* resp,
+                              uint32_t resp_cap) {
+  namespace cw = ctrl::wire;
+  cw::AddLaneRequest req;
+  if (!cw::DecodeAddLaneRequest(header, msg, &req)) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kUnknown);
+  }
+  if (!server.started || req.conn_id >= server.senders.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadConnId);
+  }
+  SenderState& sender = server.senders[req.conn_id];
+  if (sender.client_node != req.client_node ||
+      req.lane_index != sender.lanes.size() ||
+      req.lane_index >= cw::kMaxLanesPerMsg) {
+    // Lane indexes must stay aligned across both sides; out-of-sequence adds
+    // (e.g. a replayed or reordered request) are refused.
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+
+  cw::AddLaneAccept accept;
+  accept.lane_index = req.lane_index;
+  auto sl = BuildServerLane(env, req.lane_index, req.client_node, req.conn_id,
+                            req.ring_bytes, req.lane, /*active=*/true,
+                            &accept.lane);
+  sender.lanes.push_back(sl.get());
+  server
+      .dispatcher_lanes[server.lanes.size() %
+                        static_cast<size_t>(server.dispatcher_count)]
+      .push_back(sl.get());
+  server.lanes.push_back(std::move(sl));
+  server.stats.lanes_added += 1;
+  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kAddLaneAccept,
+                           header.nonce, &accept, sizeof(accept));
+}
+
+uint32_t HandleRetireLaneRequest(NodeEnv& env, ServerState& server,
+                                 const ctrl::wire::MsgHeader& header,
+                                 const uint8_t* msg, uint8_t* resp,
+                                 uint32_t resp_cap) {
+  (void)env;
+  namespace cw = ctrl::wire;
+  cw::RetireLaneRequest req;
+  if (!cw::DecodeRetireLaneRequest(header, msg, &req)) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kUnknown);
+  }
+  if (!server.started || req.conn_id >= server.senders.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadConnId);
+  }
+  SenderState& sender = server.senders[req.conn_id];
+  if (sender.client_node != req.client_node ||
+      req.lane_index >= sender.lanes.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+  ServerLane& lane = *sender.lanes[req.lane_index];
+  if (lane.failed) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadLane);
+  }
+  cw::RetireLaneAccept accept;
+  accept.lane_index = req.lane_index;
+  if (lane.retired) {  // idempotent: a duplicate retire re-acks
+    return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kRetireLaneAccept,
+                             header.nonce, &accept, sizeof(accept));
+  }
+  uint32_t live_active = 0;
+  for (ServerLane* l : sender.lanes) {
+    live_active += (!l->failed && !l->retired && l->active) ? 1 : 0;
+  }
+  if (lane.active && live_active <= 1) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kLastActiveLane);
+  }
+  lane.retired = true;
+  if (lane.active) {
+    lane.active = false;
+    server.stats.deactivations += 1;
+  }
+  lane.credits_outstanding = 0;
+  server.stats.lanes_retired += 1;
+  // The dispatcher keeps draining the retired lane's request ring (its skip
+  // condition is in_service/failed, not retired) so in-flight RPCs complete.
+  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kRetireLaneAccept,
+                           header.nonce, &accept, sizeof(accept));
+}
+
+bool TearDownSenders(NodeEnv& env, ServerState& server, int node) {
+  if (!server.started) {
+    return false;
+  }
+  bool touched = false;
+  for (SenderState& sender : server.senders) {
+    if (sender.client_node != node || sender.dead) {
+      continue;
+    }
+    for (ServerLane* lane : sender.lanes) {
+      if (!lane->failed && !lane->retired) {
+        // Destroy the transport the way a real server tears down a departed
+        // client's QPs: error it (flushing our posts) so the peer — should
+        // the node come back before rejoining — sees kRemoteInvalidQp.
+        env.device().ErrorQp(*lane->qp);
+        QuarantineServerLane(*lane, server.stats);
+      }
+    }
+    sender.dead = true;
+    sender.functioning = false;
+    sender.revive_grace = 0;
+    server.stats.dead_senders += 1;
+    touched = true;
+  }
+  return touched;
+}
+
+// ---------------------------------------------------------------------------
+// Client control-plane daemons: lane reconnection and elastic scaling
+// ---------------------------------------------------------------------------
+
+sim::Proc ReconnectDaemon(ClientConnState& conn) {
+  const FlockConfig& config = *conn.env->config;
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(*conn.env->cluster);
+  sim::Simulator& sim = conn.env->sim();
+  const Nanos base_backoff = std::max<Nanos>(config.reconnect_backoff, 1);
+  Nanos backoff = base_backoff;
+  for (;;) {
+    ClientLane* victim = nullptr;
+    for (const auto& lane : conn.lanes) {
+      if (lane->failed && !lane->retired) {
+        victim = lane.get();
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      backoff = base_backoff;
+      co_await conn.reconnect_cond->Wait();
+      continue;
+    }
+
+    victim->reconnecting = true;
+    co_await sim::Delay(sim, backoff);
+    // The out-of-band channel is slow (RDMA-CM over TCP): one RTT of latency
+    // charged up front, so everything from the gate below through the resync
+    // runs without suspension — no pump or dispatcher can interleave.
+    co_await sim::Delay(sim, config.ctrl_rtt);
+    // Quiesce and membership gates: never resync rings under a pump or
+    // dispatcher mid-pass, and never handshake while either end is outside
+    // the membership view (a rejoining node passes once Join() lands).
+    if (!cp.IsMember(conn.env->node) || !cp.IsMember(conn.server_node) ||
+        victim->pump_running || victim->mem_pump_running ||
+        victim->in_dispatch) {
+      victim->reconnecting = false;
+      backoff = std::min<Nanos>(backoff * 2, base_backoff * 256);
+      continue;
+    }
+
+    // Fresh client QP on the shared CQs; the dead one is abandoned in place
+    // (its qpn is never reused, so stale flushes are filtered by qpn).
+    verbs::Qp* fresh = conn.env->device().CreateQp(
+        verbs::QpType::kRc, conn.env->send_cq, conn.env->recv_cq);
+    ctrl::wire::ReconnectRequest req;
+    req.client_node = conn.env->node;
+    req.conn_id = conn.conn_id;
+    req.lane_index = victim->index;
+    req.lane.qpn = fresh->qpn();
+    // Rings and rkeys are unchanged — the server kept its copies from the
+    // connect handshake; re-advertised here for the fuzzers' benefit only.
+    req.lane.resp_ring_addr = victim->resp_ring_addr;
+    req.lane.ctrl_slot_addr = victim->ctrl_slot_addr;
+
+    uint8_t msg[ctrl::wire::kMaxMessageBytes];
+    uint8_t resp[ctrl::wire::kMaxMessageBytes];
+    const uint32_t msg_len = ctrl::wire::EncodeMessage(
+        msg, sizeof(msg), ctrl::wire::MsgType::kReconnectRequest,
+        cp.NextNonce(), &req, sizeof(req));
+    const uint32_t resp_len =
+        cp.Call(conn.server_node, msg, msg_len, resp, sizeof(resp));
+
+    ctrl::wire::MsgHeader resp_header;
+    ctrl::wire::ReconnectAccept accept;
+    if (resp_len == 0 ||
+        !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
+        !ctrl::wire::DecodeReconnectAccept(resp_header, resp, &accept)) {
+      // Rejected (busy, membership, malformed): retry after backoff. The
+      // orphaned QP is abandoned; QPs are simulation-cheap and never reused.
+      victim->reconnecting = false;
+      backoff = std::min<Nanos>(backoff * 2, base_backoff * 256);
+      continue;
+    }
+
+    // Client-side resync, mirroring the server's handler before any sim
+    // event can run: fresh response ring/consumer, request sequence state
+    // from zero, credits and cumulative-grant resync from the accept.
+    fabric::MemorySpace& cmem = conn.env->mem();
+    const uint32_t ring_bytes = victim->req_producer.size();
+    std::memset(cmem.At(victim->resp_ring_addr), 0, ring_bytes);
+    victim->resp_consumer = std::make_unique<RingConsumer>(
+        cmem.At(victim->resp_ring_addr), ring_bytes);
+    victim->req_producer = RingProducer(ring_bytes);
+    victim->qp = fresh;
+    victim->failed = false;
+    victim->renew_in_flight = false;
+    victim->starved_passes = 0;
+    victim->resp_bytes_since_send = 0;
+    WireClientLane(*conn.env, *victim, conn.server_node, accept.lane,
+                   accept.grant_cumulative);
+    victim->reconnecting = false;
+    victim->reconnects += 1;
+    conn.client->stats.lane_reconnects += 1;
+    victim->send_ready.NotifyAll();
+    // Un-acked RPCs accounted to this lane retransmit at the watchdog's next
+    // tick instead of waiting out their full deadlines: this is how batches
+    // lost with the dead QP are replayed onto the revived lane.
+    ExpireLaneDeadlines(conn, victim->index);
+    // Send the evacuated threads home. Without this the scheduler's
+    // stability check keeps the migrated threads where the quarantine pushed
+    // them (loads stay within its 2x tolerance) and the revived lane idles
+    // forever, pinning steady-state throughput at the one-lane-short level.
+    // Only the evacuees move: the surviving lanes' thread sets — and the
+    // phase-aligned coalescing they carry — stay untouched.
+    for (uint32_t tid : victim->evacuated_tids) {
+      if (tid < conn.desired_lane.size()) {
+        conn.desired_lane[tid] = victim->index;
+      }
+    }
+    victim->evacuated_tids.clear();
+    backoff = base_backoff;
+  }
+}
+
+sim::Proc ElasticScaler(ClientConnState& conn) {
+  const FlockConfig& config = *conn.env->config;
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(*conn.env->cluster);
+  sim::Simulator& sim = conn.env->sim();
+  std::vector<uint32_t> degrees;
+  for (;;) {
+    co_await sim::Delay(sim, config.elastic_interval);
+    if (!cp.IsMember(conn.env->node) || !cp.IsMember(conn.server_node)) {
+      continue;
+    }
+    degrees.clear();
+    uint32_t usable = 0;
+    uint32_t active_count = 0;
+    for (const auto& lane : conn.lanes) {
+      if (lane->failed || lane->retired) {
+        continue;
+      }
+      ++usable;
+      if (lane->active) {
+        ++active_count;
+        degrees.push_back(lane->coalesce_degree.Median(0));
+      }
+    }
+    if (degrees.empty()) {
+      continue;
+    }
+    std::sort(degrees.begin(), degrees.end());
+    const uint32_t median = degrees[degrees.size() / 2];
+
+    if (median >= config.elastic_grow_degree &&
+        conn.lanes.size() < config.max_lanes_per_connection &&
+        conn.lanes.size() < ctrl::wire::kMaxLanesPerMsg) {
+      // Sustained high coalescing: threads queue more deeply than the
+      // combining bound intends — add a lane (§5.2 signal, §10 mechanism).
+      const uint32_t index = static_cast<uint32_t>(conn.lanes.size());
+      ctrl::wire::AddLaneRequest req;
+      req.client_node = conn.env->node;
+      req.conn_id = conn.conn_id;
+      req.lane_index = index;
+      req.ring_bytes = config.ring_bytes;
+      auto lane = BuildClientLane(*conn.env, conn, index, &req.lane);
+
+      uint8_t msg[ctrl::wire::kMaxMessageBytes];
+      uint8_t resp[ctrl::wire::kMaxMessageBytes];
+      const uint32_t msg_len = ctrl::wire::EncodeMessage(
+          msg, sizeof(msg), ctrl::wire::MsgType::kAddLaneRequest,
+          cp.NextNonce(), &req, sizeof(req));
+      co_await sim::Delay(sim, config.ctrl_rtt);
+      const uint32_t resp_len =
+          cp.Call(conn.server_node, msg, msg_len, resp, sizeof(resp));
+      ctrl::wire::MsgHeader resp_header;
+      ctrl::wire::AddLaneAccept accept;
+      if (resp_len == 0 ||
+          !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
+          !ctrl::wire::DecodeAddLaneAccept(resp_header, resp, &accept)) {
+        continue;  // rejected: the orphaned client half is abandoned
+      }
+      WireClientLane(*conn.env, *lane, conn.server_node, accept.lane,
+                     /*grant_cumulative=*/0);
+      conn.lanes.push_back(std::move(lane));
+      conn.client->stats.lanes_added += 1;
+    } else if (median <= config.elastic_shrink_degree && active_count > 1 &&
+               usable > config.min_lanes) {
+      // Requests rarely coalesce: the handle holds more QPs than its load
+      // needs — retire the highest-index active lane.
+      ClientLane* target = nullptr;
+      for (auto it = conn.lanes.rbegin(); it != conn.lanes.rend(); ++it) {
+        ClientLane& l = **it;
+        if (!l.failed && !l.retired && l.active) {
+          target = &l;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        continue;
+      }
+      ctrl::wire::RetireLaneRequest req;
+      req.client_node = conn.env->node;
+      req.conn_id = conn.conn_id;
+      req.lane_index = target->index;
+
+      uint8_t msg[ctrl::wire::kMaxMessageBytes];
+      uint8_t resp[ctrl::wire::kMaxMessageBytes];
+      const uint32_t msg_len = ctrl::wire::EncodeMessage(
+          msg, sizeof(msg), ctrl::wire::MsgType::kRetireLaneRequest,
+          cp.NextNonce(), &req, sizeof(req));
+      co_await sim::Delay(sim, config.ctrl_rtt);
+      const uint32_t resp_len =
+          cp.Call(conn.server_node, msg, msg_len, resp, sizeof(resp));
+      ctrl::wire::MsgHeader resp_header;
+      ctrl::wire::RetireLaneAccept accept;
+      if (resp_len == 0 ||
+          !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
+          !ctrl::wire::DecodeRetireLaneAccept(resp_header, resp, &accept)) {
+        continue;  // rejected (e.g. it is the last active lane)
+      }
+      // The server acked: the lane is retired on its side no matter what
+      // happened to ours while the RTT elapsed, so retire here too — retired
+      // wins over failed (the reconnect daemon skips retired lanes).
+      target->retired = true;
+      target->active = false;
+      target->credits = 0;
+      // Wake the pump so anything queued migrates to a surviving lane; the
+      // thread scheduler moves the threads themselves next interval.
+      target->send_ready.NotifyAll();
+      conn.client->stats.lanes_retired += 1;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace flock

@@ -1,0 +1,488 @@
+// Lane state and lifecycle: the client and server halves of one QP lane, the
+// per-connection / per-role state containers the mechanism modules operate
+// on, and the control-plane lifecycle (handshake build/wire, quarantine,
+// reconnect, elastic add/retire, membership teardown).
+//
+// Layering (DESIGN.md §11): lane sits directly above the transport seam.
+// Everything here is mechanism-module internal; the public API wrapping it
+// lives in runtime.h.
+#ifndef FLOCK_FLOCK_LANE_H_
+#define FLOCK_FLOCK_LANE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/pool.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/ctrl/wire.h"
+#include "src/flock/config.h"
+#include "src/flock/ring.h"
+#include "src/flock/thread.h"
+#include "src/flock/transport.h"
+#include "src/flock/wire.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/verbs/device.h"
+
+namespace flock {
+
+// Receiver-side (server-role) counters.
+struct ServerStats {
+  uint64_t requests = 0;
+  uint64_t messages = 0;
+  uint64_t responses_sent = 0;
+  uint64_t credit_renewals = 0;
+  uint64_t redistributions = 0;
+  uint64_t activations = 0;
+  uint64_t deactivations = 0;
+  uint64_t lane_failures = 0;  // server lanes quarantined
+  uint64_t dead_senders = 0;   // senders fully reclaimed by Redistribute
+  uint64_t responses_dropped = 0;  // responses lost to a dead lane
+  uint64_t lane_reconnects = 0;    // server lanes revived via control plane
+  uint64_t lanes_added = 0;        // elastic grow handshakes accepted
+  uint64_t lanes_retired = 0;      // elastic shrink handshakes accepted
+};
+
+// Client-side failure-handling counters.
+struct ClientStats {
+  uint64_t lane_failures = 0;       // client lanes quarantined
+  uint64_t retries = 0;             // RPC retransmissions staged
+  uint64_t failed_rpcs = 0;         // RPCs surfaced with ok=false
+  uint64_t spurious_responses = 0;  // responses with no outstanding request
+  uint64_t lane_reconnects = 0;     // client lanes revived via control plane
+  uint64_t lanes_added = 0;         // elastic grow
+  uint64_t lanes_retired = 0;       // elastic shrink
+};
+
+namespace internal {
+
+// A request staged in a lane's combining queue. Mirrors the TCQ protocol:
+// a thread first *enqueues* (one atomic swap), then copies its payload into
+// the combining buffer and raises `copied`; the leader polls these
+// copy-completion flags before sealing the message (§4.2). Pool-allocated by
+// SendRpc, released by the posting leader; `next` threads it into the lane's
+// combining queue and the leader's batch.
+struct PendingSend {
+  wire::ReqMeta meta;
+  SmallBuf<128> data;
+  sim::Core* owner_core = nullptr;  // leader work is charged here
+  bool copied = false;
+  // Set by the quarantine drop in Pump when it unlinks a request whose
+  // submitting coroutine is still mid-copy (`copied == false`). Ownership
+  // transfers back to that coroutine, which frees the handle after its copy
+  // completes; the pump must not Delete it (the coroutine still writes
+  // through the pointer).
+  bool dropped = false;
+  // Raised (and signalled through the lane's sent_cond) once the message
+  // containing this request has been posted. fl_send_rpc returns only then:
+  // a lone thread is always its own leader and posts synchronously, so its
+  // back-to-back requests never coalesce with each other (§8.5.2:
+  // "coroutines of a single thread do not coalesce").
+  bool* sent_flag = nullptr;
+  // Condition to notify alongside sent_flag. Normally the staging lane's
+  // sent_cond, but after a failed-lane migration the posting lane differs
+  // from the one the submitting coroutine is parked on, so the waker travels
+  // with the request. nullptr for watchdog retransmissions (no waiter).
+  sim::Condition* sent_cond = nullptr;
+  PendingSend* next = nullptr;
+};
+
+// Control message types carried in write-with-imm immediates (client→server;
+// server→client control flows through RDMA-written per-lane control slots,
+// which unlike datagram-style imms cannot be dropped by receive exhaustion).
+enum class CtrlType : uint32_t {
+  kRenewRequest = 0,  // client → server: {lane, median coalescing degree}
+};
+
+// Server→client per-lane control slot, RDMA-written by the QP scheduler and
+// polled by the client's response dispatcher. The grant counter is
+// cumulative, so a re-written slot never loses a grant.
+struct CtrlSlot {
+  uint32_t grant_cumulative = 0;
+  uint8_t active = 0;
+  uint8_t pad[3] = {};
+};
+static_assert(sizeof(CtrlSlot) == 8);
+
+inline uint32_t PackCtrl(CtrlType type, uint32_t lane, uint32_t value) {
+  FLOCK_CHECK_LT(lane, 1u << 13);
+  FLOCK_CHECK_LT(value, 1u << 16);
+  return (static_cast<uint32_t>(type) << 29) | (lane << 16) | value;
+}
+
+inline void UnpackCtrl(uint32_t imm, CtrlType* type, uint32_t* lane, uint32_t* value) {
+  *type = static_cast<CtrlType>(imm >> 29);
+  *lane = (imm >> 16) & 0x1fff;
+  *value = imm & 0xffff;
+}
+
+// wr_id tagging so shared CQs can route completions. Client- and server-role
+// posts carry distinct tags: a node can play both roles on the same shared
+// CQs, and error completions must resolve to the right lane type
+// (ClientLane* vs ServerLane*) to quarantine the right object.
+enum class WrTag : uint64_t {
+  kRpcWrite = 0,     // client: coalesced message / wrap marker writes
+  kMemOp = 1,        // PendingMemOp*
+  kCtrl = 2,         // client: control write-with-imm / head-slot writes
+  kRecv = 3,         // client: ClientLane* on posted receives
+  kServerWrite = 4,  // server: response message / wrap marker writes
+  kServerCtrl = 5,   // server: control-slot writes
+  kServerRecv = 6,   // server: ServerLane* on posted receives
+};
+
+// Statuses that condemn the QP (and with it the lane): flushes and vanished
+// peers never heal on their own. RNR/remote-access errors are treated as
+// transient — the payload may be lost, but per-RPC timeouts recover it.
+inline bool IsFatalWcStatus(verbs::WcStatus status) {
+  return status == verbs::WcStatus::kFlushError ||
+         status == verbs::WcStatus::kQpError ||
+         status == verbs::WcStatus::kRemoteInvalidQp;
+}
+
+inline uint64_t TagWrId(WrTag tag, const void* ptr) {
+  const uint64_t p = reinterpret_cast<uint64_t>(ptr);
+  FLOCK_CHECK_EQ(p & 0x7u, 0u);
+  return p | static_cast<uint64_t>(tag);
+}
+
+inline WrTag WrIdTag(uint64_t wr_id) { return static_cast<WrTag>(wr_id & 0x7u); }
+
+template <typename T>
+T* WrIdPtr(uint64_t wr_id) {
+  return reinterpret_cast<T*>(wr_id & ~0x7ull);
+}
+
+struct ClientConnState;
+
+// ---- client side of one QP lane ----
+struct ClientLane {
+  ClientLane(sim::Simulator& sim, uint32_t ring_bytes)
+      : req_producer(ring_bytes), send_ready(sim) {}
+
+  uint32_t index = 0;
+  ClientConnState* conn = nullptr;
+  verbs::Qp* qp = nullptr;
+
+  // Request path: local staging mirror → RDMA write → server request ring.
+  RingProducer req_producer;
+  uint8_t* staging = nullptr;
+  uint64_t staging_addr = 0;
+  uint64_t remote_ring_addr = 0;
+  uint32_t remote_ring_rkey = 0;
+
+  // Out-of-band head reporting: the dispatcher RDMA-writes the cumulative
+  // consumed count of the response ring into this server-side slot.
+  uint64_t head_slot_remote_addr = 0;
+  uint32_t head_slot_rkey = 0;
+  uint64_t head_src_addr = 0;   // client-local 8B staging for the slot write
+  uint8_t* head_src_ptr = nullptr;  // cached At(head_src_addr)
+
+  // Response path: server writes into this client-local ring.
+  std::unique_ptr<RingConsumer> resp_consumer;
+  uint64_t resp_ring_addr = 0;
+
+  // Credits and activation (receiver-side QP scheduling, §5.1).
+  uint64_t credits = 0;
+  bool active = true;
+  // Quarantined: the lane's QP errored. Queued work and threads migrate to
+  // surviving lanes, in-flight RPCs recover via retry. With
+  // FlockConfig::lane_reconnect the connection's reconnect daemon revives the
+  // lane through the control plane; otherwise it stays quarantined forever.
+  bool failed = false;
+  // The reconnect daemon is mid-handshake for this lane (introspection only;
+  // the lane still counts as failed until the handshake lands).
+  bool reconnecting = false;
+  // Retired by elastic shrink: deactivated for good, excluded from failure
+  // accounting and never reconnected or reactivated.
+  bool retired = false;
+  // A response dispatcher is between its probe of this lane's rings and the
+  // matching consume; the reconnect daemon must not resync state under it.
+  bool in_dispatch = false;
+  // Times this lane was revived through the control plane.
+  uint64_t reconnects = 0;
+  // Thread ids this lane was serving when it was quarantined; the reconnect
+  // daemon steers exactly these threads back on revival so the surviving
+  // lanes' phase-aligned coalescing groups stay intact.
+  std::vector<uint32_t> evacuated_tids;
+  bool renew_in_flight = false;
+  // Dispatcher passes spent with queued work but zero credits. Only counted
+  // while fault injection is armed: a lost renewal imm or a lost grant-slot
+  // write (both unacked RDMA) would otherwise starve the lane forever, so
+  // after enough starved passes the dispatcher re-sends the renewal.
+  uint32_t starved_passes = 0;
+  sim::Condition send_ready;  // credits or ring space became available
+  // Client-local control slot the server RDMA-writes (grants + activation).
+  uint64_t ctrl_slot_addr = 0;
+  const uint8_t* ctrl_slot_ptr = nullptr;  // cached At(ctrl_slot_addr): the
+                                           // dispatcher polls this every pass
+  uint32_t grants_seen = 0;  // cumulative grants already applied
+
+  // Flock synchronization state (§4.2). The combining queue is an intrusive
+  // FIFO threaded through the pool-allocated PendingSends.
+  PendingSend* combine_head = nullptr;
+  PendingSend* combine_tail = nullptr;
+  // The pump (transient leader) is a persistent per-lane process: spawned on
+  // the lane's first request, it parks on pump_wake when the combining queue
+  // drains instead of exiting, so enqueuing a request never rebuilds the
+  // (large) pump coroutine frame. pump_running means "actively pumping".
+  bool pump_running = false;
+  bool pump_spawned = false;
+  sim::OneShotEvent pump_wake;
+  std::unique_ptr<sim::Condition> copy_done;  // follower copy-completion flags
+  std::unique_ptr<sim::Condition> sent_cond;  // "your message was posted"
+
+  // Metrics reported to the receiver.
+  WindowedMedian<uint32_t, 64> coalesce_degree;
+  uint64_t batch_histogram[33] = {};  // distribution of combined batch sizes
+  uint64_t posts = 0;  // for selective signaling
+  uint64_t messages_sent = 0;
+  uint64_t requests_sent = 0;
+
+  // One-sided operations (§6): intrusive FIFO through the PendingMemOps.
+  PendingMemOp* memop_head = nullptr;
+  PendingMemOp* memop_tail = nullptr;
+  bool mem_pump_running = false;
+
+  // Bytes of responses consumed since we last sent anything on this lane;
+  // beyond a threshold the dispatcher pushes a head update out of band so the
+  // server's view of the response ring never goes permanently stale (§4.1's
+  // "the sender rarely reads" fallback, push- instead of pull-based).
+  uint64_t resp_bytes_since_send = 0;
+
+  // Outstanding requests per lane (migration safety, §5.2).
+  uint64_t inflight = 0;
+};
+
+// ---- server side of one QP lane ----
+struct ServerLane {
+  explicit ServerLane(uint32_t ring_bytes) : resp_producer(ring_bytes) {}
+
+  uint32_t index = 0;       // lane index within its connection
+  int client_node = -1;
+  uint32_t sender_key = 0;  // index into ServerState::senders
+  verbs::Qp* qp = nullptr;
+
+  // Request ring (server-local memory, written by the client).
+  std::unique_ptr<RingConsumer> req_consumer;
+  uint64_t req_ring_addr = 0;
+
+  // Response path: server staging mirror → RDMA write → client response ring.
+  RingProducer resp_producer;
+  uint8_t* staging = nullptr;
+  uint64_t staging_addr = 0;
+  uint64_t remote_ring_addr = 0;
+  uint32_t remote_ring_rkey = 0;
+
+  // Server-side head slot the client's dispatcher writes into.
+  uint64_t head_slot_addr = 0;
+  const uint8_t* head_slot_ptr = nullptr;  // cached At(head_slot_addr)
+  // rkeys advertised to the client at connect, kept for re-advertisement in
+  // the reconnect accept (the MRs themselves survive a QP replacement).
+  uint32_t req_ring_rkey = 0;
+  uint32_t head_slot_rkey = 0;
+
+  // Control slot on the client that this server lane writes.
+  uint64_t ctrl_slot_remote_addr = 0;
+  uint32_t ctrl_slot_rkey = 0;
+  uint64_t ctrl_src_addr = 0;     // server-local staging for the slot write
+  uint8_t* ctrl_src_ptr = nullptr;  // cached At(ctrl_src_addr)
+  uint32_t grant_cumulative = 0;  // total credits ever granted on this lane
+
+  // Receiver-side scheduling state (§5.1).
+  bool active = true;
+  // Quarantined: the QP errored (flush on our posts, or the client side
+  // vanished). Excluded from dispatch, credit grants and redistribution
+  // until a control-plane reconnect revives it.
+  bool failed = false;
+  // Retired by elastic shrink: never reactivated or granted credits again.
+  // Still dispatched until its request ring drains.
+  bool retired = false;
+  uint64_t credits_outstanding = 0;  // granted minus (estimated) consumed
+  uint64_t utilization = 0;          // U_ij: Σ reported degrees this interval
+  uint64_t posts = 0;
+  uint64_t messages_handled = 0;
+  uint64_t requests_handled = 0;
+  uint64_t messages_at_last_sweep = 0;  // stall-safety for pending grants
+  bool in_service = false;  // handed to an RPC worker (worker-pool mode)
+};
+
+// Per-client-node aggregation at the server (sender i in §5.1).
+struct SenderState {
+  int client_node = -1;
+  std::vector<ServerLane*> lanes;
+  uint64_t utilization = 0;  // U_i
+  bool functioning = true;
+  // All lanes failed (directly, or by dead-sender reclamation): the sender
+  // no longer participates in the QP-scheduling budget at all.
+  bool dead = false;
+  // Redistribute passes to skip dead-sender reclamation after a lane of this
+  // sender was revived through the control plane. A just-reconnected lane has
+  // zero utilization by construction; without the grace, the reclamation's
+  // "failed sibling + idle interval" test would re-condemn it immediately
+  // (the double-reclaim bug) and a rejoining node could never come back.
+  uint32_t revive_grace = 0;
+};
+
+// ---- per-node / per-connection state containers ----
+
+// The per-node environment every mechanism module runs against: the cluster,
+// the node identity, the shared CQs, the transport seam, and the runtime's
+// RNG stream. One NodeEnv per FlockRuntime; the pointers alias the runtime's
+// own members (notably rng_state: client canaries, thread seeds and server
+// canaries must draw from one per-node stream, in program order).
+struct NodeEnv {
+  verbs::Cluster* cluster = nullptr;
+  int node = -1;
+  const FlockConfig* config = nullptr;
+  TransportOps* transport = nullptr;
+  verbs::Cq* send_cq = nullptr;
+  verbs::Cq* recv_cq = nullptr;
+  uint64_t* rng_state = nullptr;
+
+  sim::Simulator& sim() const { return cluster->sim(); }
+  const sim::CostModel& cost() const { return cluster->cost(); }
+  fabric::MemorySpace& mem() const { return cluster->mem(node); }
+  verbs::Device& device() const { return cluster->device(node); }
+  sim::Cpu& cpu() const { return cluster->cpu(node); }
+};
+
+struct ClientConnState;
+
+// Client-role state of one node: threads, stats, hot-path pools, and the
+// registry of connection states the client procs iterate.
+struct ClientState {
+  ClientStats stats;
+  std::vector<std::unique_ptr<FlockThread>> threads;
+  // Push order == connect order; entries alias Connection-owned state and
+  // stay valid for the runtime's lifetime (handles are never destroyed).
+  std::vector<ClientConnState*> conns;
+  bool started = false;
+  // Hot-path object pools (per node; the simulation is single-threaded).
+  Pool<PendingRpc> rpc_pool;
+  Pool<PendingSend> send_pool;
+};
+
+// The per-connection state behind one Connection handle: one per
+// (client node, server node) pair, multiplexing threads over a set of lanes.
+struct ClientConnState {
+  NodeEnv* env = nullptr;
+  ClientState* client = nullptr;
+  int server_node = -1;
+  uint32_t conn_id = 0;
+  // Kicked by QuarantineLane; only constructed when lane_reconnect is on.
+  std::unique_ptr<sim::Condition> reconnect_cond;
+  std::vector<std::unique_ptr<ClientLane>> lanes;
+  // thread id → lane index; `desired` is written by the thread scheduler and
+  // applied by LaneFor once the thread has drained its outstanding requests.
+  std::vector<uint32_t> thread_lane;
+  std::vector<uint32_t> desired_lane;
+  // Outstanding RPCs, seq → rpc, one open-addressed map per thread id.
+  std::vector<SeqSlotMap<PendingRpc>> pending;
+};
+
+// Server-role state of one node. Handler lookup is a linear scan:
+// applications register a handful of RPC ids, and a short scan beats a hash
+// on the per-request path.
+struct ServerState {
+  std::vector<std::pair<uint16_t, RpcHandler>> handlers;
+  const RpcHandler* FindHandler(uint16_t rpc_id) const {
+    for (const auto& [id, handler] : handlers) {
+      if (id == rpc_id) {
+        return &handler;
+      }
+    }
+    return nullptr;
+  }
+  std::vector<std::unique_ptr<ServerLane>> lanes;
+  std::vector<SenderState> senders;
+  std::vector<std::vector<ServerLane*>> dispatcher_lanes;
+  int dispatcher_count = 0;
+  // Worker-pool mode: lanes with detected work, drained by RpcWorker procs.
+  std::deque<ServerLane*> work_queue;
+  std::unique_ptr<sim::Condition> work_ready;
+  bool started = false;
+  ServerStats stats;
+};
+
+// ---- lane lifecycle (lane.cc) ----
+
+// Marks a lane's QP as dead: deactivates it, zeroes its credits and wakes
+// the pump so queued work migrates to a surviving lane. Idempotent. With
+// lane_reconnect enabled it also kicks the reconnect daemon.
+void QuarantineLane(ClientConnState& conn, ClientLane& lane);
+
+// The lane serving `thread`, applying any pending scheduler migration and
+// repairing assignments that point at dead lanes.
+ClientLane& LaneFor(ClientConnState& conn, FlockThread& thread);
+
+// Marks a server lane's QP dead: no more dispatch, grants or reactivation.
+void QuarantineServerLane(ServerLane& lane, ServerStats& stats);
+
+// Routes an errored send completion to the owning lane (either role: the
+// node-shared CQs are drained by whichever poller gets there first).
+void HandleSendError(const verbs::Completion& wc, ServerStats& stats);
+
+// Accelerates watchdog recovery of the RPCs accounted to a just-revived
+// lane: their deadlines collapse to "now" so the next tick retransmits.
+void ExpireLaneDeadlines(ClientConnState& conn, uint32_t lane_index);
+
+// Client half of one lane: QP + client-local memory + MRs, advertised in
+// `info`. The accept completes it via WireClientLane. Shared by the connect
+// handshake and elastic add-lane.
+std::unique_ptr<ClientLane> BuildClientLane(NodeEnv& env, ClientConnState& conn,
+                                            uint32_t index,
+                                            ctrl::wire::ClientLaneInfo* info);
+
+// Applies a (connect/reconnect/add-lane) accept to the client lane: peer QP
+// wiring, remote addresses, posted receives, bootstrap control slot.
+void WireClientLane(NodeEnv& env, ClientLane& lane, int server_node,
+                    const ctrl::wire::ServerLaneInfo& info,
+                    uint32_t grant_cumulative);
+
+// Server half of one lane, wired to the advertised client QP.
+std::unique_ptr<ServerLane> BuildServerLane(NodeEnv& env, uint32_t index,
+                                            int client_node, uint32_t sender_key,
+                                            uint32_t ring_bytes,
+                                            const ctrl::wire::ClientLaneInfo& in,
+                                            bool active,
+                                            ctrl::wire::ServerLaneInfo* out);
+
+// Message handlers behind FlockRuntime::OnCtrlMessage (server side of the
+// control-plane handshakes, DESIGN.md §10).
+uint32_t HandleConnectRequest(NodeEnv& env, ServerState& server,
+                              const ctrl::wire::MsgHeader& header,
+                              const uint8_t* msg, uint8_t* resp,
+                              uint32_t resp_cap);
+uint32_t HandleReconnectRequest(NodeEnv& env, ServerState& server,
+                                const ctrl::wire::MsgHeader& header,
+                                const uint8_t* msg, uint8_t* resp,
+                                uint32_t resp_cap);
+uint32_t HandleAddLaneRequest(NodeEnv& env, ServerState& server,
+                              const ctrl::wire::MsgHeader& header,
+                              const uint8_t* msg, uint8_t* resp,
+                              uint32_t resp_cap);
+uint32_t HandleRetireLaneRequest(NodeEnv& env, ServerState& server,
+                                 const ctrl::wire::MsgHeader& header,
+                                 const uint8_t* msg, uint8_t* resp,
+                                 uint32_t resp_cap);
+
+// Membership change (server side): tears down a departed client's senders.
+// Returns true if any sender was torn down — the caller must then
+// repartition the AQP budget (sched/receiver.h Redistribute) immediately.
+bool TearDownSenders(NodeEnv& env, ServerState& server, int node);
+
+// Control-plane client daemons (spawned by Connect only when the matching
+// FlockConfig flag is set, so default traces gain no procs or events).
+sim::Proc ReconnectDaemon(ClientConnState& conn);
+sim::Proc ElasticScaler(ClientConnState& conn);
+
+}  // namespace internal
+}  // namespace flock
+
+#endif  // FLOCK_FLOCK_LANE_H_

@@ -1,26 +1,18 @@
+// Orchestration only: construction, role startup (proc spawning), the
+// connect handshake's client half, and thin Connection forwarders into the
+// mechanism modules (combine, sched, watchdog, dispatch, lane).
 #include "src/flock/runtime.h"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
+
+#include "src/flock/combine.h"
+#include "src/flock/dispatch.h"
 
 namespace flock {
 
 using internal::ClientLane;
-using internal::CtrlType;
-using internal::PendingSend;
-using internal::SenderState;
-using internal::ServerLane;
 using internal::WrTag;
-
-namespace {
-
-// Completions drained per ibv_poll_cq-style call: dispatcher and scheduler
-// passes pull CQEs in batches of this size (stack array) instead of one Poll
-// per completion. Matches the num_entries real dataplanes pass to poll_cq.
-constexpr size_t kCqPollBatch = 32;
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // FlockRuntime: construction and roles
@@ -31,6 +23,13 @@ FlockRuntime::FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig&
   send_cq_ = cluster_.device(node_).CreateCq();
   recv_cq_ = cluster_.device(node_).CreateCq();
   rng_state_ ^= 0x1234567ull * static_cast<uint64_t>(node + 1);
+  env_.cluster = &cluster_;
+  env_.node = node_;
+  env_.config = &config_;
+  env_.transport = &SimTransportInstance();
+  env_.send_cq = send_cq_;
+  env_.recv_cq = recv_cq_;
+  env_.rng_state = &rng_state_;
   // Every runtime answers on the cluster's control plane (DESIGN.md §10):
   // servers accept connect/reconnect handshakes there, and registration makes
   // the node addressable before StartServer decides its role.
@@ -46,64 +45,66 @@ FlockRuntime::~FlockRuntime() {
 }
 
 void FlockRuntime::RegisterHandler(uint16_t rpc_id, RpcHandler handler) {
-  FLOCK_CHECK(FindHandler(rpc_id) == nullptr)
+  FLOCK_CHECK(server_.FindHandler(rpc_id) == nullptr)
       << "duplicate handler for rpc " << rpc_id;
-  handlers_.emplace_back(rpc_id, std::move(handler));
+  server_.handlers.emplace_back(rpc_id, std::move(handler));
 }
 
 void FlockRuntime::StartServer(int dispatcher_cores) {
-  FLOCK_CHECK(!server_started_);
+  FLOCK_CHECK(!server_.started);
   FLOCK_CHECK_GT(dispatcher_cores, 0);
-  server_started_ = true;
-  dispatcher_count_ = dispatcher_cores;
-  dispatcher_lanes_.resize(static_cast<size_t>(dispatcher_cores));
-  work_ready_ = std::make_unique<sim::Condition>(cluster_.sim());
+  server_.started = true;
+  server_.dispatcher_count = dispatcher_cores;
+  server_.dispatcher_lanes.resize(static_cast<size_t>(dispatcher_cores));
+  server_.work_ready = std::make_unique<sim::Condition>(cluster_.sim());
   for (int i = 0; i < dispatcher_cores; ++i) {
-    cluster_.sim().Spawn(RequestDispatcher(i));
+    cluster_.sim().Spawn(internal::RequestDispatcher(env_, server_, i));
   }
   // §4.3: optionally, an application-managed pool of RPC workers executes the
   // handlers; the dispatchers then only detect and route messages.
   for (int i = 0; i < config_.server_workers; ++i) {
-    cluster_.sim().Spawn(RpcWorker(i));
+    cluster_.sim().Spawn(internal::RpcWorker(env_, server_, i));
   }
-  cluster_.sim().Spawn(QpScheduler());
+  cluster_.sim().Spawn(receiver_.Run(env_, server_));
   // Membership feed (§5.1 meets §10): a client node leaving tears its senders
   // down and repartitions the AQP budget right away instead of waiting for
   // dead-sender reclamation to notice. Registration is a plain callback —
   // no proc, no events — so fault-free traces are unchanged.
   membership_listener_id_ = ctrl::ControlPlane::For(cluster_).AddMembershipListener(
       [this](int changed_node, bool joined) {
-        if (!joined && changed_node != node_) {
-          OnMemberLeft(changed_node);
+        if (!joined && changed_node != node_ &&
+            internal::TearDownSenders(env_, server_, changed_node)) {
+          receiver_.Redistribute(env_, server_);
         }
       });
 }
 
 void FlockRuntime::StartClient() {
-  FLOCK_CHECK(!client_started_);
-  client_started_ = true;
+  FLOCK_CHECK(!client_.started);
+  client_.started = true;
   for (int i = 0; i < config_.response_dispatchers; ++i) {
-    cluster_.sim().Spawn(ResponseDispatcher(i));
+    cluster_.sim().Spawn(
+        internal::ResponseDispatcher(env_, client_, server_.stats, i));
   }
-  cluster_.sim().Spawn(ThreadScheduler());
+  cluster_.sim().Spawn(sender_sched_.Run(env_, client_));
   // The retry watchdog exists only when timeouts are enabled, so the default
   // configuration spawns no extra proc and the event trace stays untouched.
   if (config_.rpc_timeout > 0) {
-    cluster_.sim().Spawn(RetryWatchdog());
+    cluster_.sim().Spawn(watchdog_.Run(env_, client_));
   }
 }
 
 FlockThread* FlockRuntime::CreateThread(int core) {
-  const uint16_t id = static_cast<uint16_t>(threads_.size());
-  threads_.push_back(std::make_unique<FlockThread>(
+  const uint16_t id = static_cast<uint16_t>(client_.threads.size());
+  client_.threads.push_back(std::make_unique<FlockThread>(
       node_, id, &cluster_.cpu(node_).core(core), SplitMix64(rng_state_)));
-  threads_.back()->atomic_slot = cluster_.mem(node_).Alloc(8, 8);
-  return threads_.back().get();
+  client_.threads.back()->atomic_slot = cluster_.mem(node_).Alloc(8, 8);
+  return client_.threads.back().get();
 }
 
 uint32_t FlockRuntime::ActiveServerLanes() const {
   uint32_t n = 0;
-  for (const auto& lane : server_lanes_) {
+  for (const auto& lane : server_.lanes) {
     n += lane->active ? 1 : 0;
   }
   return n;
@@ -111,7 +112,7 @@ uint32_t FlockRuntime::ActiveServerLanes() const {
 
 double FlockRuntime::MeanServerCoalescing() const {
   uint64_t msgs = 0, reqs = 0;
-  for (const auto& lane : server_lanes_) {
+  for (const auto& lane : server_.lanes) {
     msgs += lane->messages_handled;
     reqs += lane->requests_handled;
   }
@@ -119,118 +120,11 @@ double FlockRuntime::MeanServerCoalescing() const {
 }
 
 // ---------------------------------------------------------------------------
-// fl_connect: building a connection handle
+// fl_connect: client half of the handshake (the server half is in lane.cc)
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<ClientLane> FlockRuntime::BuildClientLane(
-    Connection& conn, uint32_t index, ctrl::wire::ClientLaneInfo* info) {
-  fabric::MemorySpace& cmem = cluster_.mem(node_);
-  const uint32_t ring_bytes = config_.ring_bytes;
-
-  auto cl = std::make_unique<ClientLane>(cluster_.sim(), ring_bytes);
-  cl->copy_done = std::make_unique<sim::Condition>(cluster_.sim());
-  cl->sent_cond = std::make_unique<sim::Condition>(cluster_.sim());
-  cl->index = index;
-  cl->conn = &conn;
-  cl->qp = cluster_.device(node_).CreateQp(verbs::QpType::kRc, send_cq_, recv_cq_);
-
-  // Client-local memory: staging mirror for the request ring, head-slot write
-  // source, the control slot the server RDMA-writes, and the response ring.
-  cl->staging_addr = cmem.Alloc(ring_bytes);
-  cl->staging = cmem.At(cl->staging_addr);
-  cl->head_src_addr = cmem.Alloc(8, 8);
-  cl->head_src_ptr = cmem.At(cl->head_src_addr);
-  cl->ctrl_slot_addr = cmem.Alloc(8, 8);
-  cl->ctrl_slot_ptr = cmem.At(cl->ctrl_slot_addr);
-  verbs::Mr ctrl_mr = cluster_.device(node_).RegisterMr(cl->ctrl_slot_addr, 8);
-  cl->resp_ring_addr = cmem.Alloc(ring_bytes);
-  verbs::Mr resp_mr =
-      cluster_.device(node_).RegisterMr(cl->resp_ring_addr, ring_bytes);
-  cl->resp_consumer =
-      std::make_unique<RingConsumer>(cmem.At(cl->resp_ring_addr), ring_bytes);
-
-  info->qpn = cl->qp->qpn();
-  info->resp_ring_addr = cl->resp_ring_addr;
-  info->resp_ring_rkey = resp_mr.rkey;
-  info->ctrl_slot_addr = cl->ctrl_slot_addr;
-  info->ctrl_slot_rkey = ctrl_mr.rkey;
-  return cl;
-}
-
-void FlockRuntime::WireClientLane(ClientLane& lane, int server_node,
-                                  const ctrl::wire::ServerLaneInfo& info,
-                                  uint32_t grant_cumulative) {
-  lane.qp->ConnectTo(server_node, info.qpn);
-  lane.remote_ring_addr = info.req_ring_addr;
-  lane.remote_ring_rkey = info.req_ring_rkey;
-  lane.head_slot_remote_addr = info.head_slot_addr;
-  lane.head_slot_rkey = info.head_slot_rkey;
-  // Receives for control write-with-imm messages.
-  for (int r = 0; r < 16; ++r) {
-    lane.qp->PostRecv(
-        verbs::RecvWr{internal::TagWrId(WrTag::kRecv, &lane), 0, 0});
-  }
-  lane.active = info.active != 0;
-  lane.credits = info.credits;
-  lane.grants_seen = grant_cumulative;
-  internal::CtrlSlot bootstrap;
-  bootstrap.grant_cumulative = grant_cumulative;
-  bootstrap.active = info.active;
-  cluster_.mem(node_).Write(lane.ctrl_slot_addr, &bootstrap, sizeof(bootstrap));
-}
-
-std::unique_ptr<ServerLane> FlockRuntime::BuildServerLane(
-    uint32_t index, int client_node, uint32_t sender_key, uint32_t ring_bytes,
-    const ctrl::wire::ClientLaneInfo& in, bool active,
-    ctrl::wire::ServerLaneInfo* out) {
-  fabric::MemorySpace& smem = cluster_.mem(node_);
-
-  auto sl = std::make_unique<ServerLane>(ring_bytes);
-  sl->index = index;
-  sl->client_node = client_node;
-  sl->sender_key = sender_key;
-  sl->qp = cluster_.device(node_).CreateQp(verbs::QpType::kRc, send_cq_, recv_cq_);
-  sl->qp->ConnectTo(client_node, in.qpn);
-
-  // Request ring lives here; the client advertised its response-side memory.
-  sl->req_ring_addr = smem.Alloc(ring_bytes);
-  verbs::Mr req_mr = cluster_.device(node_).RegisterMr(sl->req_ring_addr, ring_bytes);
-  sl->req_consumer =
-      std::make_unique<RingConsumer>(smem.At(sl->req_ring_addr), ring_bytes);
-  sl->req_ring_rkey = req_mr.rkey;
-  sl->head_slot_addr = smem.Alloc(8, 8);
-  sl->head_slot_ptr = smem.At(sl->head_slot_addr);
-  verbs::Mr slot_mr = cluster_.device(node_).RegisterMr(sl->head_slot_addr, 8);
-  sl->head_slot_rkey = slot_mr.rkey;
-  sl->ctrl_slot_remote_addr = in.ctrl_slot_addr;
-  sl->ctrl_slot_rkey = in.ctrl_slot_rkey;
-  sl->ctrl_src_addr = smem.Alloc(8, 8);
-  sl->ctrl_src_ptr = smem.At(sl->ctrl_src_addr);
-  sl->remote_ring_addr = in.resp_ring_addr;
-  sl->remote_ring_rkey = in.resp_ring_rkey;
-  sl->staging_addr = smem.Alloc(ring_bytes);
-  sl->staging = smem.At(sl->staging_addr);
-
-  for (int r = 0; r < 16; ++r) {
-    sl->qp->PostRecv(
-        verbs::RecvWr{internal::TagWrId(WrTag::kServerRecv, sl.get()), 0, 0});
-  }
-
-  sl->active = active;
-  sl->credits_outstanding = active ? config_.credits : 0;
-
-  out->qpn = sl->qp->qpn();
-  out->req_ring_addr = sl->req_ring_addr;
-  out->req_ring_rkey = sl->req_ring_rkey;
-  out->head_slot_addr = sl->head_slot_addr;
-  out->head_slot_rkey = sl->head_slot_rkey;
-  out->active = active ? 1 : 0;
-  out->credits = active ? config_.credits : 0;
-  return sl;
-}
-
 Connection* FlockRuntime::Connect(FlockRuntime& server, uint32_t lanes) {
-  FLOCK_CHECK(server.server_started_)
+  FLOCK_CHECK(server.server_.started)
       << "call StartServer() on the remote node before fl_connect";
   return Connect(server.node_, lanes);
 }
@@ -242,8 +136,9 @@ Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
   FLOCK_CHECK_GT(lanes, 0u);
 
   auto conn = std::make_unique<Connection>();
-  conn->client_ = this;
-  conn->server_node_ = server_node;
+  conn->state_.env = &env_;
+  conn->state_.client = &client_;
+  conn->state_.server_node = server_node;
 
   ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster_);
 
@@ -256,7 +151,8 @@ Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
   req.num_lanes = lanes;
   req.ring_bytes = config_.ring_bytes;
   for (uint32_t i = 0; i < lanes; ++i) {
-    conn->lanes_.push_back(BuildClientLane(*conn, i, &req.lanes[i]));
+    conn->state_.lanes.push_back(
+        internal::BuildClientLane(env_, conn->state_, i, &req.lanes[i]));
   }
 
   uint8_t msg[ctrl::wire::kMaxMessageBytes];
@@ -273,34 +169,35 @@ Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
               accept.num_lanes == lanes)
       << "fl_connect: node " << server_node
       << " rejected the handshake (is StartServer running there?)";
-  conn->conn_id_ = accept.conn_id;
+  conn->state_.conn_id = accept.conn_id;
   for (uint32_t i = 0; i < lanes; ++i) {
-    WireClientLane(*conn->lanes_[i], server_node, accept.lanes[i],
-                   /*grant_cumulative=*/0);
+    internal::WireClientLane(env_, *conn->state_.lanes[i], server_node,
+                             accept.lanes[i], /*grant_cumulative=*/0);
   }
 
   if (config_.lane_reconnect) {
     FLOCK_CHECK(config_.rpc_timeout > 0)
         << "lane_reconnect requires rpc_timeout: in-flight RPCs on a dead QP "
            "recover only through the retry watchdog";
-    conn->reconnect_cond_ = std::make_unique<sim::Condition>(cluster_.sim());
-    cluster_.sim().Spawn(conn->ReconnectDaemon());
+    conn->state_.reconnect_cond = std::make_unique<sim::Condition>(cluster_.sim());
+    cluster_.sim().Spawn(internal::ReconnectDaemon(conn->state_));
   }
   if (config_.elastic_lanes) {
-    cluster_.sim().Spawn(conn->ElasticScaler());
+    cluster_.sim().Spawn(internal::ElasticScaler(conn->state_));
   }
 
   connections_.push_back(std::move(conn));
+  client_.conns.push_back(&connections_.back()->state_);
   return connections_.back().get();
 }
 
 // ---------------------------------------------------------------------------
-// Connection: client data path
+// Connection: thin facade over the mechanism modules
 // ---------------------------------------------------------------------------
 
 uint32_t Connection::num_active_lanes() const {
   uint32_t n = 0;
-  for (const auto& lane : lanes_) {
+  for (const auto& lane : state_.lanes) {
     n += lane->active ? 1 : 0;
   }
   return n;
@@ -308,44 +205,15 @@ uint32_t Connection::num_active_lanes() const {
 
 uint32_t Connection::num_failed_lanes() const {
   uint32_t n = 0;
-  for (const auto& lane : lanes_) {
+  for (const auto& lane : state_.lanes) {
     n += lane->failed ? 1 : 0;
   }
   return n;
 }
 
-void Connection::QuarantineLane(ClientLane& lane) {
-  if (lane.failed) {
-    return;
-  }
-  lane.failed = true;
-  lane.active = false;
-  lane.credits = 0;
-  lane.renew_in_flight = false;
-  client_->client_stats_.lane_failures += 1;
-  // Remember which threads this lane was serving so a later reconnect can
-  // send exactly those threads back. Pulling only the evacuees home keeps
-  // every surviving lane's thread set — and with it the phase-aligned
-  // coalescing those threads have built up — intact; a wholesale re-sort
-  // would scramble the pairs and halve the coalescing degree permanently.
-  lane.evacuated_tids.clear();
-  for (size_t tid = 0; tid < thread_lane_.size(); ++tid) {
-    if (thread_lane_[tid] == lane.index ||
-        (tid < desired_lane_.size() && desired_lane_[tid] == lane.index)) {
-      lane.evacuated_tids.push_back(static_cast<uint32_t>(tid));
-    }
-  }
-  // Wake the pump so queued work migrates (or drains) off the dead lane.
-  lane.send_ready.NotifyAll();
-  // Kick the reconnect daemon (constructed only when lane_reconnect is on).
-  if (reconnect_cond_ != nullptr) {
-    reconnect_cond_->NotifyAll();
-  }
-}
-
 uint64_t Connection::messages_sent() const {
   uint64_t n = 0;
-  for (const auto& lane : lanes_) {
+  for (const auto& lane : state_.lanes) {
     n += lane->messages_sent;
   }
   return n;
@@ -353,14 +221,14 @@ uint64_t Connection::messages_sent() const {
 
 uint64_t Connection::requests_sent() const {
   uint64_t n = 0;
-  for (const auto& lane : lanes_) {
+  for (const auto& lane : state_.lanes) {
     n += lane->requests_sent;
   }
   return n;
 }
 
 void Connection::BatchHistogram(uint64_t out[33]) const {
-  for (const auto& lane : lanes_) {
+  for (const auto& lane : state_.lanes) {
     for (int i = 0; i < 33; ++i) {
       out[i] += lane->batch_histogram[i];
     }
@@ -373,131 +241,47 @@ double Connection::MeanCoalescing() const {
                    : static_cast<double>(requests_sent()) / static_cast<double>(msgs);
 }
 
-internal::ClientLane& Connection::LaneFor(FlockThread& thread) {
-  const size_t tid = thread.id();
-  if (thread_lane_.size() <= tid) {
-    thread_lane_.resize(tid + 1, UINT32_MAX);
-  }
-  uint32_t current = thread_lane_[tid];
-  if (desired_lane_.size() <= tid) {
-    desired_lane_.resize(tid + 1, UINT32_MAX);
-  }
-  const uint32_t desired = desired_lane_[tid];
-  // Apply a pending migration only once all of the thread's outstanding
-  // requests have completed (sequence-id safety, §5.2).
-  if (desired != UINT32_MAX && desired != current && thread.outstanding == 0) {
-    current = desired;
-    thread_lane_[tid] = current;
-  }
-  if (current == UINT32_MAX || (!lanes_[current]->active && thread.outstanding == 0)) {
-    // Initial (or repair) assignment: spread over the active lanes.
-    std::vector<uint32_t> active;
-    for (uint32_t i = 0; i < lanes_.size(); ++i) {
-      if (lanes_[i]->active) {
-        active.push_back(i);
+Connection::LaneStates Connection::CountLaneStates() const {
+  LaneStates s;
+  for (const auto& lane : state_.lanes) {
+    if (lane->retired) {
+      s.retired += 1;
+    } else if (lane->failed) {
+      if (lane->reconnecting) {
+        s.reconnecting += 1;
+      } else {
+        s.quarantined += 1;
       }
+    } else {
+      s.healthy += 1;
     }
-    if (active.empty()) {
-      // Server guarantees >= 1 active in healthy operation, so this is
-      // transient; prefer any surviving lane over a quarantined one.
-      for (uint32_t i = 0; i < lanes_.size(); ++i) {
-        if (!lanes_[i]->failed && !lanes_[i]->retired) {
-          active.push_back(i);
-          break;
-        }
-      }
-      if (active.empty()) {
-        active.push_back(0);  // every lane dead: nowhere better to stage
-      }
-    }
-    current = active[tid % active.size()];
-    thread_lane_[tid] = current;
-    desired_lane_[tid] = current;
   }
-  return *lanes_[current];
+  return s;
+}
+
+uint64_t Connection::lane_reconnects() const {
+  uint64_t n = 0;
+  for (const auto& lane : state_.lanes) {
+    n += lane->reconnects;
+  }
+  return n;
 }
 
 sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
                                          const uint8_t* data, uint32_t len) {
-  const FlockConfig& config = client_->config();
-  const sim::CostModel& cost = client_->cost();
-  FLOCK_CHECK_LE(len, config.max_payload);
-
-  ClientLane& lane = LaneFor(thread);
-
-  PendingRpc* rpc = client_->rpc_pool_.New();
-  rpc->rpc_id = rpc_id;
-  rpc->seq = thread.NextSeq();
-  rpc->thread_id = thread.id();
-  rpc->submitted_at = client_->sim().Now();
-  rpc->lane_index = lane.index;
-  if (config.rpc_timeout > 0) {
-    // Failure handling armed: retain the payload for retransmission and set
-    // the first deadline. With timeouts off, neither field is ever read.
-    rpc->deadline = rpc->submitted_at + config.rpc_timeout;
-    rpc->request.Assign(data, len);
-  }
-  if (pending_.size() <= thread.id()) {
-    pending_.resize(size_t{thread.id()} + 1);
-  }
-  pending_[thread.id()].Insert(rpc->seq, rpc);
-
-  PendingSend* ps = client_->send_pool_.New();
-  ps->meta.data_len = len;
-  ps->meta.thread_id = thread.id();
-  ps->meta.rpc_id = rpc_id;
-  ps->meta.seq = rpc->seq;
-  ps->owner_core = &thread.core();
-  ps->data.Assign(data, len);
-
-  thread.outstanding += 1;
-  lane.inflight += 1;
-  thread.req_size_median.Record(len);
-  thread.reqs_sent.Add(1);
-  thread.bytes_sent.Add(len);
-
-  // TCQ enqueue: one atomic swap + a cacheline transfer makes the request
-  // visible to the (current or future) leader...
-  co_await thread.core().Work(cost.cpu_atomic_rmw + cost.cpu_cacheline_transfer);
-  PendingSend* handle = ps;
-  if (lane.combine_tail != nullptr) {
-    lane.combine_tail->next = ps;
-  } else {
-    lane.combine_head = ps;
-  }
-  lane.combine_tail = ps;
-  WakePump(lane);
-  // ...then the thread copies its payload into the combining buffer and
-  // raises its copy-completion flag, which the leader polls (§4.2).
-  bool sent = false;
-  handle->sent_flag = &sent;
-  handle->sent_cond = lane.sent_cond.get();
-  co_await thread.core().Work(cost.MemcpyCost(len + wire::kMetaBytes));
-  if (handle->dropped) {
-    // The lane was quarantined mid-copy and the pump unlinked this request,
-    // releasing the waiter (`sent` is already true) and handing the handle
-    // back to us. The RPC itself stays pending for the retry watchdog.
-    client_->send_pool_.Delete(handle);
-  } else {
-    handle->copied = true;
-    lane.copy_done->NotifyAll();
-  }
-  // fl_send_rpc completes when the combined message is on the wire: a leader
-  // posts it itself; a follower waits for the (transient) leader to do so.
-  while (!sent) {
-    co_await lane.sent_cond->Wait();
-  }
-  co_return rpc;
+  // Plain forwarder: Co is lazily started, so this adds no coroutine frame
+  // (and no trace-visible event) over calling StageRpc directly.
+  return internal::StageRpc(state_, thread, rpc_id, data, len);
 }
 
 sim::Co<bool> Connection::AwaitResponse(FlockThread& thread, PendingRpc* rpc) {
   co_await rpc->done_event.Wait();
   FLOCK_CHECK(rpc->done());
-  co_await thread.core().Work(client_->cost().cpu_cqe_handle);
+  co_await thread.core().Work(state_.env->cost().cpu_cqe_handle);
   co_return rpc->ok;
 }
 
-void Connection::FreeRpc(PendingRpc* rpc) { client_->rpc_pool_.Delete(rpc); }
+void Connection::FreeRpc(PendingRpc* rpc) { state_.client->rpc_pool.Delete(rpc); }
 
 sim::Co<bool> Connection::Call(FlockThread& thread, uint16_t rpc_id,
                                const uint8_t* data, uint32_t len,
@@ -511,388 +295,14 @@ sim::Co<bool> Connection::Call(FlockThread& thread, uint16_t rpc_id,
   co_return ok;
 }
 
-void Connection::MaybeRenewCredits(ClientLane& lane, verbs::SendWr* wrs,
-                                   size_t* nwrs) {
-  const FlockConfig& config = client_->config();
-  if (!lane.active || lane.renew_in_flight ||
-      lane.credits > config.credit_renew_threshold) {
-    return;
-  }
-  // write-with-imm carrying {lane, median coalescing degree since last renew}
-  // (§5.1 + §7). Zero-length write: only the immediate travels.
-  verbs::SendWr wr;
-  wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
-  wr.opcode = verbs::Opcode::kWriteImm;
-  wr.local_addr = 0;
-  wr.length = 0;
-  wr.remote_addr = lane.remote_ring_addr;
-  wr.rkey = lane.remote_ring_rkey;
-  wr.signaled = false;
-  const uint32_t degree =
-      std::min<uint32_t>(lane.coalesce_degree.Median(1), 0xffff);
-  wr.imm = internal::PackCtrl(CtrlType::kRenewRequest, lane.index,
-                              std::max<uint32_t>(degree, 1));
-  wrs[(*nwrs)++] = wr;
-  lane.renew_in_flight = true;
-}
-
-void Connection::WakePump(ClientLane& lane) {
-  if (lane.pump_running) {
-    return;  // the running pump's admit loop picks the new request up
-  }
-  lane.pump_running = true;
-  if (!lane.pump_spawned) {
-    lane.pump_spawned = true;
-    client_->sim().Spawn(Pump(lane));
-  } else {
-    lane.pump_wake.Fire(client_->sim());
-  }
-}
-
-sim::Proc Connection::Pump(ClientLane& lane) {
-  const FlockConfig& config = client_->config();
-  const sim::CostModel& cost = client_->cost();
-  sim::Simulator& sim = client_->sim();
-  (void)sim;
-
-  for (;;) {
-    if (lane.combine_head == nullptr) {
-      // Queue drained: park until the next request (or retry restage) wakes
-      // us. pump_running goes false and the wake is re-armed with no
-      // suspension in between, so pump_running == false implies parked.
-      lane.pump_running = false;
-      lane.pump_wake.Reset();
-      co_await lane.pump_wake.Wait();
-      continue;
-    }
-    // Collect the leader's batch: bounded combining (§4.2). The batch is an
-    // intrusive list spliced off the front of the lane's combining queue.
-    const size_t bound = config.coalescing ? config.max_coalesce : 1;
-    PendingSend* batch_head = nullptr;
-    PendingSend* batch_tail = nullptr;
-    size_t batch_n = 0;
-    uint32_t data_bytes = 0;
-    // Admits queued requests up to the bound; followers that enqueue while
-    // the leader waits are admitted too (the leader-progress rule). The
-    // encoder-capacity check guards pathological payload mixes.
-    auto admit = [&]() {
-      while (batch_n < bound && lane.combine_head != nullptr) {
-        PendingSend* ps = lane.combine_head;
-        const uint32_t next_len = ps->meta.data_len;
-        if (batch_n > 0 &&
-            wire::MessageBytes(static_cast<uint32_t>(batch_n) + 1,
-                               data_bytes + next_len) > config.ring_bytes / 2) {
-          break;
-        }
-        lane.combine_head = ps->next;
-        if (lane.combine_head == nullptr) {
-          lane.combine_tail = nullptr;
-        }
-        ps->next = nullptr;
-        data_bytes += next_len;
-        if (batch_tail != nullptr) {
-          batch_tail->next = ps;
-        } else {
-          batch_head = ps;
-        }
-        batch_tail = ps;
-        ++batch_n;
-      }
-    };
-    auto all_copied = [&]() {
-      for (const PendingSend* ps = batch_head; ps != nullptr; ps = ps->next) {
-        if (!ps->copied) {
-          return false;
-        }
-      }
-      return true;
-    };
-    while (true) {
-      admit();
-      if (all_copied()) {
-        break;
-      }
-      co_await lane.copy_done->Wait();
-    }
-
-    sim::Core& core = *batch_head->owner_core;
-    // Leader overhead before finalizing: buffer management and flag polls.
-    // Followers arriving during this window are still admitted below.
-    co_await core.Work(cost.cpu_msg_fixed);
-    while (true) {
-      admit();
-      if (all_copied()) {
-        break;
-      }
-      co_await lane.copy_done->Wait();
-    }
-
-    uint32_t n = static_cast<uint32_t>(batch_n);
-    uint32_t msg_len = wire::MessageBytes(n, data_bytes);
-
-    // Wait for a credit and contiguous ring space.
-    RingProducer::Reservation resv;
-    bool requeued = false;  // batch handed off (migrated or dropped)
-    while (true) {
-      if (!lane.active && lane.credits == 0) {
-        // Deactivated and drained: migrate the queued work to an active lane
-        // (sender-side thread scheduling will move the threads themselves).
-        ClientLane* target = nullptr;
-        for (const auto& other : lanes_) {
-          if (other->active) {
-            target = other.get();
-            break;
-          }
-        }
-        if (target != nullptr && target != &lane) {
-          // Put the batch back in front of the remaining queue, then splice
-          // the whole queue onto the target lane.
-          if (batch_tail != nullptr) {
-            batch_tail->next = lane.combine_head;
-            lane.combine_head = batch_head;
-            if (lane.combine_tail == nullptr) {
-              lane.combine_tail = batch_tail;
-            }
-          }
-          size_t moved = 0;
-          for (PendingSend* ps = lane.combine_head; ps != nullptr; ps = ps->next) {
-            ++moved;
-          }
-          if (target->combine_tail != nullptr) {
-            target->combine_tail->next = lane.combine_head;
-          } else {
-            target->combine_head = lane.combine_head;
-          }
-          target->combine_tail = lane.combine_tail;
-          lane.combine_head = nullptr;
-          lane.combine_tail = nullptr;
-          target->inflight += moved;
-          lane.inflight -= std::min<uint64_t>(lane.inflight, moved);
-          WakePump(*target);
-          requeued = true;  // queue is empty now: park at the loop top
-          break;
-        }
-        if (lane.failed) {
-          // Quarantined with nowhere to migrate: drop the queued sends and
-          // release their waiters. The RPCs stay pending — the retry watchdog
-          // retransmits them (or fails them) on whatever lane survives.
-          FLOCK_CHECK(config.rpc_timeout > 0)
-              << "lane quarantined with rpc_timeout == 0: no retry watchdog "
-                 "is running, so the dropped RPCs would pend forever; set "
-                 "FlockConfig::rpc_timeout when fault injection can kill QPs";
-          if (batch_tail != nullptr) {
-            batch_tail->next = lane.combine_head;
-            lane.combine_head = batch_head;
-            if (lane.combine_tail == nullptr) {
-              lane.combine_tail = batch_tail;
-            }
-          }
-          for (PendingSend* ps = lane.combine_head; ps != nullptr;) {
-            PendingSend* next = ps->next;
-            ps->next = nullptr;
-            if (ps->sent_flag != nullptr) {
-              *ps->sent_flag = true;
-            }
-            if (ps->sent_cond != nullptr && ps->sent_cond != lane.sent_cond.get()) {
-              ps->sent_cond->NotifyAll();
-            }
-            if (ps->copied) {
-              client_->send_pool_.Delete(ps);
-            } else {
-              // The submitting coroutine is still mid-copy and will write
-              // `copied` through this pointer when it resumes; freeing the
-              // slot here would be a use-after-free (a recycled slot would
-              // get another RPC's copy flag raised early). Hand ownership
-              // back: SendRpc frees a dropped handle after its copy work.
-              ps->dropped = true;
-            }
-            ps = next;
-          }
-          lane.combine_head = nullptr;
-          lane.combine_tail = nullptr;
-          lane.sent_cond->NotifyAll();
-          requeued = true;  // queue dropped: park at the loop top
-          break;
-        }
-        co_await lane.send_ready.Wait();
-        continue;
-      }
-      if (lane.credits > 0 && lane.req_producer.Reserve(msg_len, &resv)) {
-        break;
-      }
-      co_await lane.send_ready.Wait();
-      // Backpressure grows the batch: requests that queued while this lane
-      // was out of credits or ring space are combined into this message.
-      admit();
-      while (!all_copied()) {
-        co_await lane.copy_done->Wait();
-      }
-      n = static_cast<uint32_t>(batch_n);
-      msg_len = wire::MessageBytes(n, data_bytes);
-    }
-    if (requeued) {
-      continue;
-    }
-    lane.credits -= 1;
-
-    // Leader work: per-request combining (buffer grants + flag polls),
-    // header build, canary generation (§4.2).
-    co_await core.Work(static_cast<Nanos>(n) * cost.cpu_msg_per_req);
-
-    const uint64_t canary = SplitMix64(client_->rng_state_);
-    wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
-    for (const PendingSend* ps = batch_head; ps != nullptr; ps = ps->next) {
-      encoder.Add(ps->meta, ps->data.data());
-    }
-    const uint32_t total =
-        encoder.Seal(lane.resp_consumer->consumed_report(), /*credit_grant=*/0);
-    FLOCK_CHECK_EQ(total, msg_len);
-    lane.resp_bytes_since_send = 0;  // this message carries a fresh head
-
-    // Post the coalesced message (plus wrap marker / credit renewal if due)
-    // with a single doorbell.
-    verbs::SendWr wrs[3];
-    size_t nwrs = 0;
-    if (resv.wrapped) {
-      wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
-      verbs::SendWr marker;
-      marker.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
-      marker.opcode = verbs::Opcode::kWrite;
-      marker.local_addr = lane.staging_addr + resv.marker_offset;
-      marker.length = wire::kWrapMarkerBytes;
-      marker.remote_addr = lane.remote_ring_addr + resv.marker_offset;
-      marker.rkey = lane.remote_ring_rkey;
-      marker.signaled = false;
-      wrs[nwrs++] = marker;
-    }
-    verbs::SendWr msg;
-    msg.wr_id = internal::TagWrId(WrTag::kRpcWrite, &lane);
-    msg.opcode = verbs::Opcode::kWrite;
-    msg.local_addr = lane.staging_addr + resv.offset;
-    msg.length = msg_len;
-    msg.remote_addr = lane.remote_ring_addr + resv.offset;
-    msg.rkey = lane.remote_ring_rkey;
-    lane.posts += 1;
-    msg.signaled = (lane.posts % config.signal_interval) == 0;  // §7
-    wrs[nwrs++] = msg;
-    MaybeRenewCredits(lane, wrs, &nwrs);
-
-    co_await core.Work(static_cast<Nanos>(nwrs) * cost.cpu_wqe_prep +
-                       cost.cpu_mmio_doorbell);
-    const verbs::WcStatus status = lane.qp->PostSendBatch(wrs, nwrs);
-    if (status != verbs::WcStatus::kSuccess) {
-      // The QP is dead (it rejects posts only in the error state). Quarantine
-      // the lane and push the batch back in front of the queue: the migration
-      // branch above re-routes everything to a surviving lane next iteration.
-      QuarantineLane(lane);
-      batch_tail->next = lane.combine_head;
-      lane.combine_head = batch_head;
-      if (lane.combine_tail == nullptr) {
-        lane.combine_tail = batch_tail;
-      }
-      continue;
-    }
-
-    lane.messages_sent += 1;
-    lane.requests_sent += n;
-    lane.coalesce_degree.Record(n);
-    lane.batch_histogram[n < 33 ? n : 32] += 1;
-    for (PendingSend* ps = batch_head; ps != nullptr;) {
-      PendingSend* next = ps->next;
-      if (ps->sent_flag != nullptr) {
-        *ps->sent_flag = true;
-      }
-      // Requests migrated from a quarantined lane carry that lane's waker.
-      if (ps->sent_cond != nullptr && ps->sent_cond != lane.sent_cond.get()) {
-        ps->sent_cond->NotifyAll();
-      }
-      client_->send_pool_.Delete(ps);
-      ps = next;
-    }
-    lane.sent_cond->NotifyAll();
-  }
-}
-
 // ---------------------------------------------------------------------------
 // Connection: one-sided memory and atomic operations (§6)
 // ---------------------------------------------------------------------------
 
 RemoteMr Connection::AttachMreg(uint64_t remote_addr, uint64_t length) {
   verbs::Mr mr =
-      client_->cluster().device(server_node_).RegisterMr(remote_addr, length);
+      state_.env->cluster->device(state_.server_node).RegisterMr(remote_addr, length);
   return RemoteMr{remote_addr, length, mr.rkey};
-}
-
-sim::Co<verbs::WcStatus> Connection::SubmitMemOp(FlockThread& thread,
-                                                 verbs::SendWr wr) {
-  const sim::CostModel& cost = client_->cost();
-  ClientLane& lane = LaneFor(thread);
-
-  PendingMemOp op;
-  op.wr = wr;
-  op.wr.wr_id = internal::TagWrId(WrTag::kMemOp, &op);
-  op.wr.signaled = true;  // each thread waits on its own completion event
-  op.owner_core = &thread.core();
-
-  thread.outstanding += 1;
-  // Each thread prepares its own work request; posting is delegated to the
-  // leader, which links the batch (§6).
-  co_await thread.core().Work(cost.cpu_atomic_rmw + cost.cpu_cacheline_transfer +
-                              cost.cpu_wqe_prep);
-  if (lane.memop_tail != nullptr) {
-    lane.memop_tail->next = &op;
-  } else {
-    lane.memop_head = &op;
-  }
-  lane.memop_tail = &op;
-  if (!lane.mem_pump_running) {
-    lane.mem_pump_running = true;
-    client_->sim().Spawn(MemPump(lane));
-  }
-  co_await op.done_event.Wait();
-  thread.outstanding -= 1;
-  co_return op.status;
-}
-
-sim::Proc Connection::MemPump(ClientLane& lane) {
-  const FlockConfig& config = client_->config();
-  const sim::CostModel& cost = client_->cost();
-  while (lane.memop_head != nullptr) {
-    // Splice up to `bound` ops off the queue into an intrusive batch.
-    const size_t bound = config.coalescing ? config.max_coalesce : 1;
-    PendingMemOp* batch_head = nullptr;
-    PendingMemOp* batch_tail = nullptr;
-    size_t batch_n = 0;
-    while (batch_n < bound && lane.memop_head != nullptr) {
-      PendingMemOp* op = lane.memop_head;
-      lane.memop_head = op->next;
-      if (lane.memop_head == nullptr) {
-        lane.memop_tail = nullptr;
-      }
-      op->next = nullptr;
-      if (batch_tail != nullptr) {
-        batch_tail->next = op;
-      } else {
-        batch_head = op;
-      }
-      batch_tail = op;
-      ++batch_n;
-    }
-    sim::Core& core = *batch_head->owner_core;
-    // The leader links the WRs and rings one doorbell for the whole chain.
-    co_await core.Work(cost.cpu_mmio_doorbell +
-                       static_cast<Nanos>(batch_n) * (cost.cpu_atomic_rmw / 2));
-    for (PendingMemOp* op = batch_head; op != nullptr; op = op->next) {
-      const verbs::WcStatus status = lane.qp->PostSend(op->wr);
-      if (status != verbs::WcStatus::kSuccess) {
-        op->status = status;
-        op->done_event.Fire(client_->sim());
-      }
-    }
-    // QP contention indicator for receiver-side scheduling (§6).
-    lane.coalesce_degree.Record(static_cast<uint32_t>(batch_n));
-  }
-  lane.mem_pump_running = false;
 }
 
 sim::Co<verbs::WcStatus> Connection::Read(FlockThread& thread, uint64_t local_addr,
@@ -904,7 +314,7 @@ sim::Co<verbs::WcStatus> Connection::Read(FlockThread& thread, uint64_t local_ad
   wr.length = length;
   wr.remote_addr = remote_addr;
   wr.rkey = mr.rkey;
-  co_return co_await SubmitMemOp(thread, wr);
+  return internal::SubmitMemOp(state_, thread, wr);
 }
 
 sim::Co<verbs::WcStatus> Connection::Write(FlockThread& thread, uint64_t local_addr,
@@ -916,7 +326,7 @@ sim::Co<verbs::WcStatus> Connection::Write(FlockThread& thread, uint64_t local_a
   wr.length = length;
   wr.remote_addr = remote_addr;
   wr.rkey = mr.rkey;
-  co_return co_await SubmitMemOp(thread, wr);
+  return internal::SubmitMemOp(state_, thread, wr);
 }
 
 sim::Co<verbs::WcStatus> Connection::FetchAndAdd(FlockThread& thread,
@@ -930,9 +340,9 @@ sim::Co<verbs::WcStatus> Connection::FetchAndAdd(FlockThread& thread,
   wr.remote_addr = remote_addr;
   wr.rkey = mr.rkey;
   wr.swap_or_add = add;
-  const verbs::WcStatus status = co_await SubmitMemOp(thread, wr);
+  const verbs::WcStatus status = co_await internal::SubmitMemOp(state_, thread, wr);
   if (status == verbs::WcStatus::kSuccess && old_value != nullptr) {
-    client_->cluster().mem(client_->node()).Read(thread.atomic_slot, old_value, 8);
+    state_.env->mem().Read(thread.atomic_slot, old_value, 8);
   }
   co_return status;
 }
@@ -951,953 +361,16 @@ sim::Co<verbs::WcStatus> Connection::CompareAndSwap(FlockThread& thread,
   wr.rkey = mr.rkey;
   wr.compare = expected;
   wr.swap_or_add = desired;
-  const verbs::WcStatus status = co_await SubmitMemOp(thread, wr);
+  const verbs::WcStatus status = co_await internal::SubmitMemOp(state_, thread, wr);
   if (status == verbs::WcStatus::kSuccess && old_value != nullptr) {
-    client_->cluster().mem(client_->node()).Read(thread.atomic_slot, old_value, 8);
+    state_.env->mem().Read(thread.atomic_slot, old_value, 8);
   }
   co_return status;
 }
 
 // ---------------------------------------------------------------------------
-// Server: request dispatching (§4.3)
+// Control plane entry point (handlers live in lane.cc)
 // ---------------------------------------------------------------------------
-
-sim::Proc FlockRuntime::RequestDispatcher(int index) {
-  // Core 0 runs the QP scheduler; dispatchers use the rest.
-  sim::Core& core = cluster_.cpu(node_).core(1 + index);
-  const sim::CostModel& cost = cluster_.cost();
-  internal::DispatchScratch scratch;
-  // The gather phase can batch up to 2 * max_coalesce - 1 requests.
-  scratch.data.resize(size_t{2} * config_.max_coalesce * (config_.max_payload + 64) +
-                      wire::kHeaderBytes + wire::kCanaryBytes);
-
-  for (;;) {
-    Nanos pass_cost = 0;
-    for (size_t li = 0; li < dispatcher_lanes_[static_cast<size_t>(index)].size();
-         ++li) {
-      ServerLane& lane = *dispatcher_lanes_[static_cast<size_t>(index)][li];
-      pass_cost += cost.cpu_ring_poll_empty;
-      if (lane.in_service || lane.failed) {
-        continue;  // owned by an RPC worker right now, or quarantined
-      }
-      wire::MsgHeader header;
-      const wire::ProbeResult probe = lane.req_consumer->Probe(&header);
-      if (probe == wire::ProbeResult::kMessage) {
-        if (config_.server_workers > 0) {
-          // Worker-pool mode: route the lane to the pool (small routing cost)
-          // and let a worker gather + execute + respond.
-          lane.in_service = true;
-          work_queue_.push_back(&lane);
-          work_ready_->NotifyOne();
-          pass_cost += cost.cpu_cacheline_transfer;
-          continue;
-        }
-        // in_service also fences the control plane: a reconnect handshake
-        // must not re-base this lane's rings while the dispatcher is between
-        // its probe and the matching consume.
-        lane.in_service = true;
-        co_await core.Work(pass_cost);
-        pass_cost = 0;
-        co_await HandleRequestMessage(lane, core, header, scratch);
-        lane.in_service = false;
-      }
-    }
-    co_await core.Work(pass_cost > 0 ? pass_cost : cost.cpu_ring_poll_empty);
-  }
-}
-
-sim::Proc FlockRuntime::RpcWorker(int index) {
-  // Workers run on the cores above the dispatchers'.
-  sim::Core& core = cluster_.cpu(node_).core(1 + dispatcher_count_ + index);
-  const sim::CostModel& cost = cluster_.cost();
-  internal::DispatchScratch scratch;
-  scratch.data.resize(size_t{2} * config_.max_coalesce * (config_.max_payload + 64) +
-                      wire::kHeaderBytes + wire::kCanaryBytes);
-  for (;;) {
-    while (work_queue_.empty()) {
-      co_await work_ready_->Wait();
-    }
-    ServerLane& lane = *work_queue_.front();
-    work_queue_.pop_front();
-    wire::MsgHeader header;
-    if (!lane.failed &&
-        lane.req_consumer->Probe(&header) == wire::ProbeResult::kMessage) {
-      co_await core.Work(cost.cpu_cacheline_transfer);  // take over the lane
-      co_await HandleRequestMessage(lane, core, header, scratch);
-    }
-    lane.in_service = false;
-  }
-}
-
-sim::Co<void> FlockRuntime::HandleRequestMessage(ServerLane& lane, sim::Core& core,
-                                                 const wire::MsgHeader& first,
-                                                 internal::DispatchScratch& scratch) {
-  const sim::CostModel& cost = cluster_.cost();
-
-  // Freshen the response-ring view from the client's out-of-band head slot.
-  uint32_t slot_value = 0;
-  std::memcpy(&slot_value, lane.head_slot_ptr, 4);
-  lane.resp_producer.OnHeadUpdate(slot_value);
-
-  // Gather phase: drain consecutive complete messages from this lane's ring
-  // (bounded) so responses coalesce *across* request messages too (§4.3).
-  scratch.resp.clear();
-  uint32_t total_reqs = 0;
-  uint32_t resp_bytes = 0;
-  uint32_t offset = 0;
-  Nanos work = 0;
-  wire::MsgHeader header = first;
-  while (true) {
-    lane.resp_producer.OnHeadUpdate(header.piggyback_head);
-    const uint32_t n = header.num_reqs;
-    scratch.views.resize(n);
-    FLOCK_CHECK(wire::DecodeRequests(lane.req_consumer->MessagePtr(), header,
-                                     scratch.views.data()))
-        << "malformed coalesced message";
-    work += cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
-    for (uint32_t i = 0; i < n; ++i) {
-      const wire::ReqView& req = scratch.views[i];
-      const RpcHandler* handler = FindHandler(req.meta.rpc_id);
-      FLOCK_CHECK(handler != nullptr) << "no handler for rpc " << req.meta.rpc_id;
-      Nanos handler_cpu = 0;
-      const uint32_t resp_len =
-          (*handler)(req.data, req.meta.data_len, scratch.data.data() + offset,
-                     config_.max_payload, &handler_cpu);
-      FLOCK_CHECK_LE(resp_len, config_.max_payload);
-      work += handler_cpu + cost.cpu_msg_per_req;
-      internal::DispatchScratch::RespEntry entry;
-      entry.meta = req.meta;  // echo thread id, seq, rpc id
-      entry.meta.data_len = resp_len;
-      entry.offset = offset;
-      scratch.resp.push_back(entry);
-      offset += resp_len;
-      resp_bytes += resp_len;
-    }
-    // Retire the request message (zeroing = Free/Processed state of Fig. 5).
-    work += cost.MemcpyCost(header.total_len);
-    lane.req_consumer->Consume(header);
-    lane.messages_handled += 1;
-    lane.requests_handled += n;
-    server_stats_.messages += 1;
-    server_stats_.requests += n;
-    total_reqs += n;
-    if (!config_.coalescing || total_reqs >= config_.max_coalesce) {
-      break;  // coalescing disabled: one response message per request message
-    }
-    if (lane.req_consumer->Probe(&header) != wire::ProbeResult::kMessage) {
-      break;
-    }
-    // Stop if the next message's responses could overflow the encoding
-    // (worst case: every one of its requests yields a max_payload response).
-    if (wire::MessageBytes(total_reqs + header.num_reqs,
-                           resp_bytes + header.num_reqs * config_.max_payload) >
-        config_.ring_bytes / 2) {
-      break;
-    }
-  }
-  co_await core.Work(work);
-
-  // Reserve response-ring space; while stalled, re-read the head slot the
-  // client's dispatcher keeps fresh (the §4.1 fallback for a stale Head).
-  const uint32_t msg_len = wire::MessageBytes(total_reqs, resp_bytes);
-  RingProducer::Reservation resv;
-  uint64_t stalls = 0;
-  while (!lane.resp_producer.Reserve(msg_len, &resv)) {
-    if (lane.failed) {
-      // The client stopped consuming because it is gone, not slow. Drop the
-      // responses; its RPCs recover (or fail) through their own timeouts.
-      server_stats_.responses_dropped += 1;
-      co_return;
-    }
-    // A stuck ring with faults armed may mean the client silently died.
-    // Periodically re-post the control slot *signaled*: a dead QP answers
-    // with an error completion, which quarantines the lane and ends this
-    // stall. (Gated on armed() so fault-free traces see no extra posts.)
-    if (cluster_.fault().armed() && (++stalls & 63) == 0) {
-      WriteCtrlSlot(lane, /*signaled=*/true);
-      if (lane.failed) {
-        server_stats_.responses_dropped += 1;
-        co_return;
-      }
-    }
-    co_await sim::Delay(cluster_.sim(), kMicrosecond);
-    std::memcpy(&slot_value, lane.head_slot_ptr, 4);
-    lane.resp_producer.OnHeadUpdate(slot_value);
-  }
-
-  // Encode the coalesced response; piggyback the request-ring head and any
-  // pending credit grant (§4.3, §5.1).
-  const uint64_t canary = SplitMix64(rng_state_);
-  wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
-  for (uint32_t i = 0; i < total_reqs; ++i) {
-    encoder.Add(scratch.resp[i].meta, scratch.data.data() + scratch.resp[i].offset);
-  }
-  const uint32_t total =
-      encoder.Seal(lane.req_consumer->consumed_report(), /*credit_grant=*/0);
-  FLOCK_CHECK_EQ(total, msg_len);
-  co_await core.Work(cost.cpu_msg_fixed +
-                     static_cast<Nanos>(total_reqs) * cost.cpu_msg_per_req +
-                     cost.MemcpyCost(resp_bytes));
-
-  verbs::SendWr wrs[2];
-  size_t nwrs = 0;
-  if (resv.wrapped) {
-    wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
-    verbs::SendWr marker;
-    marker.wr_id = internal::TagWrId(WrTag::kServerWrite, &lane);
-    marker.opcode = verbs::Opcode::kWrite;
-    marker.local_addr = lane.staging_addr + resv.marker_offset;
-    marker.length = wire::kWrapMarkerBytes;
-    marker.remote_addr = lane.remote_ring_addr + resv.marker_offset;
-    marker.rkey = lane.remote_ring_rkey;
-    marker.signaled = false;
-    wrs[nwrs++] = marker;
-  }
-  verbs::SendWr msg;
-  msg.wr_id = internal::TagWrId(WrTag::kServerWrite, &lane);
-  msg.opcode = verbs::Opcode::kWrite;
-  msg.local_addr = lane.staging_addr + resv.offset;
-  msg.length = msg_len;
-  msg.remote_addr = lane.remote_ring_addr + resv.offset;
-  msg.rkey = lane.remote_ring_rkey;
-  lane.posts += 1;
-  msg.signaled = (lane.posts % config_.signal_interval) == 0;
-  wrs[nwrs++] = msg;
-
-  co_await core.Work(static_cast<Nanos>(nwrs) * cost.cpu_wqe_prep +
-                     cost.cpu_mmio_doorbell);
-  const verbs::WcStatus status = lane.qp->PostSendBatch(wrs, nwrs);
-  if (status != verbs::WcStatus::kSuccess) {
-    QuarantineServerLane(lane);
-    server_stats_.responses_dropped += 1;
-    co_return;
-  }
-  server_stats_.responses_sent += 1;
-}
-
-// ---------------------------------------------------------------------------
-// Server: receiver-side QP scheduling (§5.1)
-// ---------------------------------------------------------------------------
-
-sim::Proc FlockRuntime::QpScheduler() {
-  sim::Core& core = cluster_.cpu(node_).core(0);
-  const sim::CostModel& cost = cluster_.cost();
-  Nanos next_redistribution = cluster_.sim().Now() + config_.qp_sched_interval;
-
-  verbs::Completion wcs[kCqPollBatch];
-  for (;;) {
-    Nanos work = 2 * cost.cpu_cq_poll_empty;
-    // Credit-renew requests arrive as write-with-imm completions on the RCQ
-    // (§7: polling the RCQ avoids synchronizing with the request dispatchers).
-    // Vectorized drain: one poll call pulls a whole batch of CQEs.
-    for (size_t nc; (nc = recv_cq_->PollBatch(wcs, kCqPollBatch)) > 0;) {
-      for (size_t ci = 0; ci < nc; ++ci) {
-        const verbs::Completion& wc = wcs[ci];
-        work += cost.cpu_cqe_handle + cost.cpu_post_recv;
-        if (internal::WrIdTag(wc.wr_id) != WrTag::kServerRecv) {
-          // A dual-role node's client-side receives land here too; only a QP
-          // flush ever completes them (the server never sends imms clientward).
-          continue;
-        }
-        auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
-        if (wc.status != verbs::WcStatus::kSuccess) {
-          // Flushed. A flush of the lane's *current* QP condemns it; a stale
-          // flush from a QP that a reconnect already replaced does not.
-          if (wc.qpn == 0 || lane->qp == nullptr || wc.qpn == lane->qp->qpn()) {
-            QuarantineServerLane(*lane);
-          }
-          continue;
-        }
-        CtrlType type;
-        uint32_t lane_index, value;
-        internal::UnpackCtrl(wc.imm, &type, &lane_index, &value);
-        FLOCK_CHECK(type == CtrlType::kRenewRequest);
-        lane->qp->PostRecv(verbs::RecvWr{wc.wr_id, 0, 0});
-        server_stats_.credit_renewals += 1;
-        lane->utilization += value;  // U_ij += reported median degree
-        if (lane->active) {
-          // Grant C more credits through the lane's control slot (§5.1).
-          lane->grant_cumulative += config_.credits;
-          WriteCtrlSlot(*lane);
-          lane->credits_outstanding += config_.credits;
-          work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
-        }
-        // Inactive lanes get no credits from the next interval on (§5.1).
-      }
-      if (nc < kCqPollBatch) {
-        break;
-      }
-    }
-    // Our own posted writes (signaled responses, control messages).
-    for (size_t nc; (nc = send_cq_->PollBatch(wcs, kCqPollBatch)) > 0;) {
-      for (size_t ci = 0; ci < nc; ++ci) {
-        const verbs::Completion& wc = wcs[ci];
-        work += cost.cpu_cqe_handle;
-        if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
-          auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
-          op->status = wc.status;
-          op->done_event.Fire(cluster_.sim());
-        } else if (wc.status != verbs::WcStatus::kSuccess) {
-          HandleSendError(wc);
-        }
-      }
-      if (nc < kCqPollBatch) {
-        break;
-      }
-    }
-
-    if (cluster_.sim().Now() >= next_redistribution) {
-      Redistribute();
-      next_redistribution = cluster_.sim().Now() + config_.qp_sched_interval;
-      work += static_cast<Nanos>(server_lanes_.size()) * 20;
-    }
-    co_await core.Work(work);
-  }
-}
-
-void FlockRuntime::WriteCtrlSlot(ServerLane& lane, bool signaled) {
-  internal::CtrlSlot slot;
-  slot.grant_cumulative = lane.grant_cumulative;
-  slot.active = lane.active ? 1 : 0;
-  std::memcpy(lane.ctrl_src_ptr, &slot, sizeof(slot));
-  verbs::SendWr wr;
-  wr.wr_id = internal::TagWrId(WrTag::kServerCtrl, &lane);
-  wr.opcode = verbs::Opcode::kWrite;
-  wr.local_addr = lane.ctrl_src_addr;
-  wr.length = sizeof(slot);
-  wr.remote_addr = lane.ctrl_slot_remote_addr;
-  wr.rkey = lane.ctrl_slot_rkey;
-  wr.signaled = signaled;
-  if (lane.qp->PostSend(wr) != verbs::WcStatus::kSuccess) {
-    QuarantineServerLane(lane);
-  }
-}
-
-void FlockRuntime::QuarantineServerLane(ServerLane& lane) {
-  if (lane.failed) {
-    return;
-  }
-  lane.failed = true;
-  if (lane.active) {
-    lane.active = false;
-    server_stats_.deactivations += 1;
-  }
-  server_stats_.lane_failures += 1;
-}
-
-void FlockRuntime::HandleSendError(const verbs::Completion& wc) {
-  switch (internal::WrIdTag(wc.wr_id)) {
-    case WrTag::kRpcWrite:
-    case WrTag::kCtrl: {
-      auto* lane = internal::WrIdPtr<ClientLane>(wc.wr_id);
-      // Ignore stale flushes from a QP that a reconnect already replaced.
-      if (wc.qpn != 0 && lane->qp != nullptr && wc.qpn != lane->qp->qpn()) {
-        break;
-      }
-      if (internal::IsFatalWcStatus(wc.status)) {
-        lane->conn->QuarantineLane(*lane);
-      }
-      // Transient statuses (RNR, remote access): the write was lost on the
-      // wire; per-RPC timeouts retransmit whatever it carried.
-      break;
-    }
-    case WrTag::kServerWrite:
-    case WrTag::kServerCtrl: {
-      auto* lane = internal::WrIdPtr<ServerLane>(wc.wr_id);
-      const bool stale =
-          wc.qpn != 0 && lane->qp != nullptr && wc.qpn != lane->qp->qpn();
-      if (!stale && internal::IsFatalWcStatus(wc.status)) {
-        QuarantineServerLane(*lane);
-      }
-      if (internal::WrIdTag(wc.wr_id) == WrTag::kServerWrite) {
-        server_stats_.responses_dropped += 1;  // that response is gone either way
-      }
-      break;
-    }
-    default:
-      break;  // kMemOp handled by its own completion event; recvs never here
-  }
-}
-
-void FlockRuntime::Redistribute() {
-  server_stats_.redistributions += 1;
-  // Effective per-lane utilization: the reported coalescing degrees (the
-  // paper's U_ij contention signal) plus the messages received this interval.
-  // The message term keeps low-rate senders "functioning" even when no credit
-  // renewal happened to land inside this scheduling window — with C=32 and
-  // renewal at half, a lane renews only once per 16 messages, which can
-  // starve the pure-renewal metric at modest rates and deactivate senders
-  // that are in fact active.
-  uint64_t total_utilization = 0;
-  uint32_t dormant = 0;
-  for (SenderState& sender : senders_) {
-    sender.utilization = 0;
-    bool any_failed = false;
-    uint32_t live = 0;
-    for (ServerLane* lane : sender.lanes) {
-      if (lane->failed) {
-        any_failed = true;
-        continue;
-      }
-      if (lane->retired) {
-        continue;  // holds no slot and is no evidence either way
-      }
-      ++live;
-      lane->utilization += lane->messages_handled - lane->messages_at_last_sweep;
-      sender.utilization += lane->utilization;
-    }
-    // Dead-sender reclamation: transport evidence (>= 1 failed lane) plus a
-    // fully idle interval condemns the rest — the sender's QPs terminate at
-    // one client node, and a node that stopped driving every one of its lanes
-    // is gone, not slow. Releases the sender's share of MAX_AQP. A revive
-    // grace window (set by the reconnect handler) exempts just-revived lanes:
-    // they have zero utilization by construction and would otherwise be
-    // re-condemned on the spot (the double-reclaim bug).
-    if (sender.revive_grace > 0) {
-      --sender.revive_grace;
-    } else if (any_failed && live > 0 && sender.utilization == 0) {
-      for (ServerLane* lane : sender.lanes) {
-        if (!lane->failed && !lane->retired) {
-          QuarantineServerLane(*lane);
-        }
-      }
-      live = 0;
-    }
-    const bool was_dead = sender.dead;
-    sender.dead = live == 0 && !sender.lanes.empty();
-    if (sender.dead) {
-      sender.functioning = false;
-      if (!was_dead) {
-        server_stats_.dead_senders += 1;
-      }
-      continue;  // no budget participation at all
-    }
-    total_utilization += sender.utilization;
-    dormant += sender.utilization == 0 ? 1 : 0;
-  }
-  // Dormant senders keep one QP each; the functioning senders share what is
-  // left of MAX_AQP so the cap holds strictly.
-  const uint32_t budget =
-      config_.max_active_qps > dormant ? config_.max_active_qps - dormant : 1;
-
-  for (SenderState& sender : senders_) {
-    if (sender.dead) {
-      // Sweep bookkeeping only: no activation, no grants, nothing to decide.
-      for (ServerLane* lane : sender.lanes) {
-        lane->messages_at_last_sweep = lane->messages_handled;
-        lane->utilization = 0;
-      }
-      sender.utilization = 0;
-      continue;
-    }
-    uint32_t lane_count = 0;  // live (non-quarantined, non-retired) lanes only
-    for (ServerLane* lane : sender.lanes) {
-      lane_count += (lane->failed || lane->retired) ? 0 : 1;
-    }
-    if (lane_count == 0) {
-      continue;
-    }
-    uint32_t target;
-    if (sender.utilization == 0 || total_utilization == 0) {
-      sender.functioning = false;  // dormant: keep one QP for the future
-      target = 1;
-    } else {
-      sender.functioning = true;
-      target = static_cast<uint32_t>(
-          (static_cast<uint64_t>(budget) * sender.utilization) / total_utilization);
-      target = std::max<uint32_t>(target, 1);
-    }
-    target = std::min(target, lane_count);
-
-    // One-sided hysteresis: a -1 target wobble (utilization noise between
-    // otherwise equal senders) is not worth churning the active set — every
-    // flip forces the sender's threads to re-shuffle across lanes, breaking
-    // the combining lockstep among them. Growth is always allowed (an
-    // under-provisioned sender benefits immediately).
-    uint32_t currently_active = 0;
-    for (ServerLane* lane : sender.lanes) {
-      currently_active += lane->active ? 1 : 0;
-    }
-    if (sender.functioning && currently_active >= 1 &&
-        target + 1 == currently_active) {
-      target = currently_active;
-    }
-
-    // Keep the most utilized lanes active; prefer the currently-active ones
-    // on near-ties so the set membership is stable interval to interval.
-    std::vector<ServerLane*>& order = redistribute_order_;
-    order.assign(sender.lanes.begin(), sender.lanes.end());
-    // Plain sort with an index tie-break (sender.lanes is in index order), so
-    // the result matches a stable sort without stable_sort's temp-buffer
-    // allocation on every scheduling interval.
-    std::sort(order.begin(), order.end(),
-              [](const ServerLane* a, const ServerLane* b) {
-                if (a->active != b->active) {
-                  return a->active > b->active;
-                }
-                if (a->utilization != b->utilization) {
-                  return a->utilization > b->utilization;
-                }
-                return a->index < b->index;
-              });
-    uint32_t rank = 0;  // rank among live lanes: failed/retired hold no slot
-    for (uint32_t i = 0; i < order.size(); ++i) {
-      ServerLane& lane = *order[i];
-      if (lane.failed || lane.retired) {
-        lane.messages_at_last_sweep = lane.messages_handled;
-        lane.utilization = 0;
-        continue;
-      }
-      const bool want_active = rank < target;
-      ++rank;
-      if (want_active && !lane.active) {
-        lane.active = true;
-        server_stats_.activations += 1;
-        lane.grant_cumulative += config_.credits;  // re-arm with C credits
-        lane.credits_outstanding += config_.credits;
-        WriteCtrlSlot(lane);
-      } else if (!want_active && lane.active) {
-        lane.active = false;
-        server_stats_.deactivations += 1;
-        WriteCtrlSlot(lane);
-      } else if (cluster_.fault().armed() && lane.active &&
-                 lane.utilization == 0) {
-        // Liveness probe (armed runs only — plain bool, zero events in
-        // fault-free traces): an active lane that moved nothing all interval
-        // may terminate at a dead client QP that the server would otherwise
-        // never touch again. The signaled slot rewrite is idempotent against
-        // a healthy peer and completes in error against a dead one, which
-        // quarantines the lane via the scheduler's send-CQ poll.
-        WriteCtrlSlot(lane, /*signaled=*/true);
-      }
-      lane.messages_at_last_sweep = lane.messages_handled;
-      lane.utilization = 0;
-    }
-    sender.utilization = 0;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Client: response dispatching (§4.3) and sender-side scheduling (§5.2)
-// ---------------------------------------------------------------------------
-
-void FlockRuntime::ApplyCtrlSlot(ClientLane& lane) {
-  if (lane.failed || lane.retired) {
-    return;  // quarantined/retired: stale grants must not resurrect it
-  }
-  // Polled every dispatcher pass: read through the cached pointer rather than
-  // the bounds-checked chunked MemorySpace path.
-  internal::CtrlSlot slot;
-  std::memcpy(&slot, lane.ctrl_slot_ptr, sizeof(slot));
-  bool changed = false;
-  const uint32_t delta = slot.grant_cumulative - lane.grants_seen;
-  if (delta != 0 && delta < (1u << 24)) {  // ignore torn/stale nonsense
-    lane.credits += delta;
-    lane.grants_seen = slot.grant_cumulative;
-    lane.renew_in_flight = false;
-    changed = true;
-  }
-  const bool active = slot.active != 0;
-  if (active != lane.active) {
-    lane.active = active;
-    lane.renew_in_flight = false;
-    changed = true;
-  }
-  if (changed) {
-    lane.send_ready.NotifyAll();  // wake the pump (or let it migrate work)
-  }
-  // Lost-control-message recovery (armed runs only — plain bool check, no
-  // events otherwise): renewal imms and grant-slot writes are unacked, so an
-  // injected drop of either starves the lane with renew_in_flight latched.
-  // A lane stuck with queued work and no credits for many passes re-requests
-  // renewal; cumulative grants make duplicates harmless.
-  if (cluster_.fault().armed()) {
-    if (lane.active && lane.credits == 0 && lane.combine_head != nullptr) {
-      if (++lane.starved_passes >= 256) {
-        lane.starved_passes = 0;
-        verbs::SendWr wr;
-        wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
-        wr.opcode = verbs::Opcode::kWriteImm;
-        wr.local_addr = 0;
-        wr.length = 0;
-        wr.remote_addr = lane.remote_ring_addr;
-        wr.rkey = lane.remote_ring_rkey;
-        wr.signaled = false;
-        wr.imm = internal::PackCtrl(CtrlType::kRenewRequest, lane.index, 1);
-        lane.renew_in_flight = true;
-        if (lane.qp->PostSend(wr) != verbs::WcStatus::kSuccess) {
-          lane.conn->QuarantineLane(lane);
-        }
-      }
-    } else {
-      lane.starved_passes = 0;
-    }
-  }
-}
-
-sim::Proc FlockRuntime::ResponseDispatcher(int index) {
-  // Dispatchers occupy the top cores of the node (the paper dedicates a
-  // lightweight dispatcher thread that serves many QPs).
-  sim::Core& core =
-      cluster_.cpu(node_).core(cluster_.cpu(node_).num_cores() - 1 - index);
-  const sim::CostModel& cost = cluster_.cost();
-  // Per-proc decode scratch: capacity persists across messages.
-  std::vector<wire::ReqView> views;
-
-  verbs::Completion wcs[kCqPollBatch];
-  for (;;) {
-    Nanos pass_cost = cost.cpu_cq_poll_empty;
-    // Vectorized send-CQ drain (selective signaling keeps this sparse, but
-    // error bursts — a flushed QP — arrive as whole batches).
-    for (size_t nc; (nc = send_cq_->PollBatch(wcs, kCqPollBatch)) > 0;) {
-      for (size_t ci = 0; ci < nc; ++ci) {
-        const verbs::Completion& wc = wcs[ci];
-        pass_cost += cost.cpu_cqe_handle;
-        if (internal::WrIdTag(wc.wr_id) == WrTag::kMemOp) {
-          auto* op = internal::WrIdPtr<PendingMemOp>(wc.wr_id);
-          op->status = wc.status;
-          op->done_event.Fire(cluster_.sim());
-        } else if (wc.status != verbs::WcStatus::kSuccess) {
-          HandleSendError(wc);
-        }
-      }
-      if (nc < kCqPollBatch) {
-        break;
-      }
-    }
-
-    for (auto& conn : connections_) {
-      for (size_t li = index; li < conn->lanes_.size();
-           li += static_cast<size_t>(config_.response_dispatchers)) {
-        ClientLane& lane = *conn->lanes_[li];
-        pass_cost += cost.cpu_ring_poll_empty;
-        ApplyCtrlSlot(lane);  // grants / activation written by the server
-        wire::MsgHeader header;
-        if (lane.resp_consumer->Probe(&header) != wire::ProbeResult::kMessage) {
-          continue;
-        }
-        // Fence the control plane: the reconnect daemon must not resync this
-        // lane's rings between the probe above and the consume below.
-        lane.in_dispatch = true;
-        co_await core.Work(pass_cost);
-        pass_cost = 0;
-
-        // Piggybacked request-ring head.
-        lane.req_producer.OnHeadUpdate(header.piggyback_head);
-        lane.send_ready.NotifyAll();
-
-        const uint32_t n = header.num_reqs;
-        views.resize(n);
-        FLOCK_CHECK(
-            wire::DecodeRequests(lane.resp_consumer->MessagePtr(), header, views.data()));
-        Nanos work = cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
-        uint32_t matched = 0;
-        for (uint32_t i = 0; i < n; ++i) {
-          const wire::ReqView& resp = views[i];
-          PendingRpc* rpc = resp.meta.thread_id < conn->pending_.size()
-                                ? conn->pending_[resp.meta.thread_id].Take(
-                                      resp.meta.seq)
-                                : nullptr;
-          if (rpc == nullptr) {
-            // A retransmitted request can yield two responses (at-least-once
-            // under retry); the second finds nothing outstanding.
-            client_stats_.spurious_responses += 1;
-            continue;
-          }
-          rpc->response.Assign(resp.data, resp.meta.data_len);
-          work += cost.MemcpyCost(resp.meta.data_len);
-          rpc->ok = true;
-          rpc->deadline = 0;
-          rpc->completed_at = cluster_.sim().Now();
-          rpc->done_event.Fire(cluster_.sim());
-          FlockThread& thread = *threads_[resp.meta.thread_id];
-          thread.outstanding -= 1;
-          ++matched;
-        }
-        // Clamped: watchdog retries move in-flight accounting between lanes,
-        // so under failures the per-lane counter is advisory, not exact.
-        lane.inflight -= std::min<uint64_t>(lane.inflight, matched);
-        work += cost.MemcpyCost(header.total_len);  // zero the consumed region
-        lane.resp_consumer->Consume(header);
-
-        // Keep the server's view of this response ring fresh even when no
-        // request traffic carries a piggyback: RDMA-write the cumulative
-        // consumed count into the server-side head slot.
-        lane.resp_bytes_since_send += header.total_len;
-        if (lane.resp_bytes_since_send >= config_.ring_bytes / 4) {
-          const uint32_t report = lane.resp_consumer->consumed_report();
-          std::memcpy(lane.head_src_ptr, &report, 4);
-          verbs::SendWr slot_wr;
-          slot_wr.wr_id = internal::TagWrId(WrTag::kCtrl, &lane);
-          slot_wr.opcode = verbs::Opcode::kWrite;
-          slot_wr.local_addr = lane.head_src_addr;
-          slot_wr.length = 4;
-          slot_wr.remote_addr = lane.head_slot_remote_addr;
-          slot_wr.rkey = lane.head_slot_rkey;
-          slot_wr.signaled = false;
-          if (lane.qp->PostSend(slot_wr) != verbs::WcStatus::kSuccess) {
-            conn->QuarantineLane(lane);
-          }
-          work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
-          lane.resp_bytes_since_send = 0;
-        }
-        co_await core.Work(work);
-        lane.in_dispatch = false;
-      }
-    }
-    co_await core.Work(pass_cost > 0 ? pass_cost : cost.cpu_cq_poll_empty);
-  }
-}
-
-sim::Proc FlockRuntime::ThreadScheduler() {
-  for (;;) {
-    co_await sim::Delay(cluster_.sim(), config_.thread_sched_interval);
-    for (auto& conn : connections_) {
-      RescheduleThreads(*conn);
-    }
-  }
-}
-
-void FlockRuntime::RescheduleThreads(Connection& conn) {
-  // Active lane set.
-  std::vector<uint32_t>& active = sched_active_scratch_;
-  active.clear();
-  for (uint32_t i = 0; i < conn.lanes_.size(); ++i) {
-    if (conn.lanes_[i]->active) {
-      active.push_back(i);
-    }
-  }
-  if (active.empty() || threads_.empty()) {
-    return;
-  }
-  conn.desired_lane_.resize(threads_.size(), UINT32_MAX);
-
-  if (!config_.sender_thread_scheduling) {
-    // Ablation baseline: spread threads round-robin over active lanes.
-    for (size_t t = 0; t < threads_.size(); ++t) {
-      conn.desired_lane_[t] = active[t % active.size()];
-    }
-    return;
-  }
-
-  // Algorithm 1: sort threads by median request size then by request count;
-  // pack onto lanes by byte quota to mitigate head-of-line blocking.
-  using ThreadStat = ThreadSchedStat;
-  std::vector<ThreadStat>& stats = sched_stats_scratch_;
-  stats.clear();
-  uint64_t total_bytes = 0;
-  for (size_t t = 0; t < threads_.size(); ++t) {
-    FlockThread& thread = *threads_[t];
-    ThreadStat s;
-    s.tid = t;
-    s.median_size = thread.req_size_median.Median(0);
-    s.reqs = thread.reqs_sent.Delta();
-    s.bytes = thread.bytes_sent.Delta();
-    total_bytes += s.bytes;
-    stats.push_back(s);
-  }
-
-  // Stability check: if the current assignment already satisfies the
-  // scheduling goals — every thread on an active lane, per-lane byte loads
-  // within 2x of the mean, and no lane mixing small- and large-payload
-  // threads — keep it. Gratuitous migration would break the request/response
-  // lockstep among the threads sharing a QP, and with it the coalescing the
-  // whole design is after.
-  if (conn.desired_lane_.size() >= threads_.size() && !active.empty()) {
-    bool healthy = true;
-    // Lane indices are small and dense, so the per-lane aggregates live in
-    // flat scratch vectors (min == UINT32_MAX marks "no sized thread here").
-    std::vector<uint64_t>& lane_bytes = sched_lane_bytes_;
-    std::vector<uint32_t>& lane_min_size = sched_lane_min_;
-    std::vector<uint32_t>& lane_max_size = sched_lane_max_;
-    lane_bytes.assign(conn.lanes_.size(), 0);
-    lane_min_size.assign(conn.lanes_.size(), UINT32_MAX);
-    lane_max_size.assign(conn.lanes_.size(), 0);
-    for (const ThreadStat& s : stats) {
-      const uint32_t lane = conn.desired_lane_[s.tid];
-      if (lane == UINT32_MAX || !conn.lanes_[lane]->active) {
-        healthy = false;
-        break;
-      }
-      lane_bytes[lane] += s.bytes;
-      if (s.bytes > 0) {
-        lane_min_size[lane] = std::min(lane_min_size[lane], s.median_size);
-        lane_max_size[lane] = std::max(lane_max_size[lane], s.median_size);
-      }
-    }
-    if (healthy && total_bytes > 0) {
-      const uint64_t mean = total_bytes / active.size();
-      for (size_t lane = 0; lane < conn.lanes_.size(); ++lane) {
-        if (lane_bytes[lane] > 2 * mean + 1) {
-          healthy = false;  // load imbalance
-        }
-        // Head-of-line risk: a lane serving both small and large payloads.
-        if (lane_min_size[lane] != UINT32_MAX &&
-            lane_max_size[lane] > 4 * std::max(lane_min_size[lane], 64u)) {
-          healthy = false;
-        }
-      }
-    }
-    if (healthy) {
-      return;
-    }
-  }
-  // Sort per Algorithm 1 (median request size, then request count) — with the
-  // count quantized so run-to-run noise cannot flip the order. A stable
-  // ordering keeps thread→QP assignments (and therefore the sets of threads
-  // that coalesce together) intact across scheduling intervals; reshuffling
-  // them would break the request/response lockstep that drives coalescing.
-  // The tid tie-break makes the order strict, so plain sort is equivalent to
-  // a stable sort here and skips the temp-buffer allocation.
-  std::sort(stats.begin(), stats.end(),
-            [](const ThreadStat& a, const ThreadStat& b) {
-              if (a.median_size != b.median_size) {
-                return a.median_size < b.median_size;
-              }
-              if ((a.reqs >> 6) != (b.reqs >> 6)) {
-                return (a.reqs >> 6) < (b.reqs >> 6);
-              }
-              return a.tid < b.tid;
-            });
-
-  const uint64_t quota =
-      std::max<uint64_t>(1, total_bytes / active.size());  // Algorithm 1 line 1
-  size_t qp_index = 0;
-  uint64_t qp_load = 0;
-  for (const ThreadStat& s : stats) {
-    conn.desired_lane_[s.tid] = active[std::min(qp_index, active.size() - 1)];
-    qp_load += s.bytes;
-    if (qp_load >= quota) {
-      qp_index += 1;
-      qp_load = 0;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Client: per-RPC timeouts, retransmission and failure (spawned only when
-// FlockConfig::rpc_timeout > 0)
-// ---------------------------------------------------------------------------
-
-sim::Proc FlockRuntime::RetryWatchdog() {
-  // Scan granularity bounds how late a deadline can fire; a quarter of the
-  // timeout keeps the added latency small relative to the timeout itself.
-  const Nanos tick = std::max<Nanos>(config_.rpc_timeout / 4, kMicrosecond);
-  for (;;) {
-    co_await sim::Delay(cluster_.sim(), tick);
-    const Nanos now = cluster_.sim().Now();
-    for (auto& conn : connections_) {
-      // Collect first: Retry/Fail mutate the maps ForEach walks.
-      watchdog_scratch_.clear();
-      for (auto& map : conn->pending_) {
-        map.ForEach([&](uint32_t, PendingRpc* rpc) {
-          if (rpc->deadline > 0 && now >= rpc->deadline) {
-            watchdog_scratch_.push_back(rpc);
-          }
-        });
-      }
-      for (PendingRpc* rpc : watchdog_scratch_) {
-        if (rpc->retries >= config_.max_retries) {
-          FailPendingRpc(*conn, rpc);
-        } else {
-          RetryPendingRpc(*conn, rpc);
-        }
-      }
-    }
-  }
-}
-
-void FlockRuntime::RetryPendingRpc(Connection& conn, PendingRpc* rpc) {
-  rpc->retries += 1;
-  // Exponential backoff: each attempt waits twice as long as the last. The
-  // shift saturates — a large max_retries (or timeout) must not overflow the
-  // signed Nanos into UB and a garbage deadline.
-  const uint32_t shift = std::min<uint32_t>(rpc->retries, 20);
-  const Nanos backoff =
-      config_.rpc_timeout <= (std::numeric_limits<Nanos>::max() >> (shift + 1))
-          ? config_.rpc_timeout << shift
-          : std::numeric_limits<Nanos>::max() / 2;
-  rpc->deadline = cluster_.sim().Now() + backoff;
-  client_stats_.retries += 1;
-
-  FlockThread& thread = *threads_[rpc->thread_id];
-  // Restage on the thread's current lane (LaneFor routes around quarantined
-  // lanes once the thread drains). The server matches responses globally by
-  // (thread, seq), so a retry on a different lane still completes this RPC.
-  ClientLane& old_lane = *conn.lanes_[rpc->lane_index];
-  ClientLane& lane = conn.LaneFor(thread);
-  if (&lane != &old_lane) {
-    old_lane.inflight -= std::min<uint64_t>(old_lane.inflight, 1);
-    lane.inflight += 1;
-    rpc->lane_index = lane.index;
-  }
-  // A timeout hints that an unacked control message may have been lost; let
-  // the next pump pass re-request credit renewal (duplicates are harmless).
-  lane.renew_in_flight = false;
-
-  PendingSend* ps = send_pool_.New();
-  ps->meta.data_len = rpc->request.size();
-  ps->meta.thread_id = rpc->thread_id;
-  ps->meta.rpc_id = rpc->rpc_id;
-  ps->meta.seq = rpc->seq;
-  ps->owner_core = &thread.core();
-  ps->data.Assign(rpc->request.data(), rpc->request.size());
-  ps->copied = true;  // payload staged right here; no follower copy phase
-  if (lane.combine_tail != nullptr) {
-    lane.combine_tail->next = ps;
-  } else {
-    lane.combine_head = ps;
-  }
-  lane.combine_tail = ps;
-  conn.WakePump(lane);
-}
-
-void FlockRuntime::FailPendingRpc(Connection& conn, PendingRpc* rpc) {
-  PendingRpc* taken = conn.pending_[rpc->thread_id].Take(rpc->seq);
-  FLOCK_CHECK(taken == rpc);
-  client_stats_.failed_rpcs += 1;
-  ClientLane& lane = *conn.lanes_[rpc->lane_index];
-  lane.inflight -= std::min<uint64_t>(lane.inflight, 1);
-  FlockThread& thread = *threads_[rpc->thread_id];
-  if (thread.outstanding > 0) {
-    thread.outstanding -= 1;
-  }
-  rpc->ok = false;
-  rpc->deadline = 0;
-  rpc->completed_at = cluster_.sim().Now();
-  rpc->done_event.Fire(cluster_.sim());
-}
-
-// ---------------------------------------------------------------------------
-// Connection control plane (DESIGN.md §10): handshake dispatch, lane
-// reconnection, membership teardown and elastic lane scaling
-// ---------------------------------------------------------------------------
-
-Connection::LaneStates Connection::CountLaneStates() const {
-  LaneStates s;
-  for (const auto& lane : lanes_) {
-    if (lane->retired) {
-      s.retired += 1;
-    } else if (lane->failed) {
-      if (lane->reconnecting) {
-        s.reconnecting += 1;
-      } else {
-        s.quarantined += 1;
-      }
-    } else {
-      s.healthy += 1;
-    }
-  }
-  return s;
-}
-
-uint64_t Connection::lane_reconnects() const {
-  uint64_t n = 0;
-  for (const auto& lane : lanes_) {
-    n += lane->reconnects;
-  }
-  return n;
-}
 
 uint32_t FlockRuntime::OnCtrlMessage(const uint8_t* msg, uint32_t len,
                                      uint8_t* resp, uint32_t resp_cap) {
@@ -1907,510 +380,20 @@ uint32_t FlockRuntime::OnCtrlMessage(const uint8_t* msg, uint32_t len,
   }
   switch (static_cast<ctrl::wire::MsgType>(header.type)) {
     case ctrl::wire::MsgType::kConnectRequest:
-      return HandleConnectRequest(header, msg, resp, resp_cap);
+      return internal::HandleConnectRequest(env_, server_, header, msg, resp,
+                                            resp_cap);
     case ctrl::wire::MsgType::kReconnectRequest:
-      return HandleReconnectRequest(header, msg, resp, resp_cap);
+      return internal::HandleReconnectRequest(env_, server_, header, msg, resp,
+                                              resp_cap);
     case ctrl::wire::MsgType::kAddLaneRequest:
-      return HandleAddLaneRequest(header, msg, resp, resp_cap);
+      return internal::HandleAddLaneRequest(env_, server_, header, msg, resp,
+                                            resp_cap);
     case ctrl::wire::MsgType::kRetireLaneRequest:
-      return HandleRetireLaneRequest(header, msg, resp, resp_cap);
+      return internal::HandleRetireLaneRequest(env_, server_, header, msg, resp,
+                                               resp_cap);
     default:
       return ctrl::wire::EncodeReject(resp, resp_cap, header.nonce,
                                       ctrl::wire::RejectReason::kUnknown);
-  }
-}
-
-uint32_t FlockRuntime::HandleConnectRequest(const ctrl::wire::MsgHeader& header,
-                                            const uint8_t* msg, uint8_t* resp,
-                                            uint32_t resp_cap) {
-  namespace cw = ctrl::wire;
-  cw::ConnectRequest req;
-  if (!cw::DecodeConnectRequest(header, msg, &req)) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kUnknown);
-  }
-  if (!server_started_) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kServerNotStarted);
-  }
-
-  const uint32_t sender_key = static_cast<uint32_t>(senders_.size());
-  senders_.push_back(SenderState{});
-  senders_.back().client_node = req.client_node;
-
-  // Receiver-side initial allocation: a new client gets the average active-QP
-  // share per *live* sender (§5.1), refined at the next redistribution.
-  // Counting only live senders fixes the stale-quota bug: a reclaimed (dead)
-  // sender used to dilute the share every later connection bootstrapped with.
-  uint32_t live_senders = 0;
-  for (const SenderState& sender : senders_) {
-    live_senders += sender.dead ? 0 : 1;
-  }
-  const uint32_t fair_share =
-      std::max<uint32_t>(1, config_.max_active_qps / live_senders);
-  const uint32_t initially_active = std::min(req.num_lanes, fair_share);
-
-  cw::ConnectAccept accept;
-  accept.conn_id = sender_key;
-  accept.num_lanes = req.num_lanes;
-  for (uint32_t i = 0; i < req.num_lanes; ++i) {
-    auto sl = BuildServerLane(i, req.client_node, sender_key, req.ring_bytes,
-                              req.lanes[i], i < initially_active,
-                              &accept.lanes[i]);
-    senders_.back().lanes.push_back(sl.get());
-    dispatcher_lanes_[server_lanes_.size() %
-                      static_cast<size_t>(dispatcher_count_)]
-        .push_back(sl.get());
-    server_lanes_.push_back(std::move(sl));
-  }
-  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kConnectAccept,
-                           header.nonce, &accept,
-                           cw::ConnectAcceptBytes(req.num_lanes));
-}
-
-uint32_t FlockRuntime::HandleReconnectRequest(const ctrl::wire::MsgHeader& header,
-                                              const uint8_t* msg, uint8_t* resp,
-                                              uint32_t resp_cap) {
-  namespace cw = ctrl::wire;
-  cw::ReconnectRequest req;
-  if (!cw::DecodeReconnectRequest(header, msg, &req)) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kUnknown);
-  }
-  if (!server_started_ || req.conn_id >= senders_.size()) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kBadConnId);
-  }
-  SenderState& sender = senders_[req.conn_id];
-  if (sender.client_node != req.client_node ||
-      req.lane_index >= sender.lanes.size()) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kBadLane);
-  }
-  ServerLane& lane = *sender.lanes[req.lane_index];
-  if (lane.retired) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kBadLane);
-  }
-  if (lane.in_service) {
-    // Mid-dispatch: the client retries after backoff rather than having its
-    // rings re-based under the dispatcher.
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kLaneBusy);
-  }
-  // The client is authoritative about its half being dead. If this side has
-  // not noticed yet (no send completed in error), condemn it now so the
-  // revival below starts from the quarantined state either way.
-  if (!lane.failed) {
-    QuarantineServerLane(lane);
-  }
-
-  fabric::MemorySpace& smem = cluster_.mem(node_);
-  const uint32_t ring_bytes = lane.resp_producer.size();
-
-  // Fresh server QP wired to the client's fresh QP. The dead QP is abandoned
-  // in place — qpns are never reused, so its late flushes are recognizably
-  // stale (Completion::qpn) and ignored by the CQ pollers.
-  verbs::Qp* fresh =
-      cluster_.device(node_).CreateQp(verbs::QpType::kRc, send_cq_, recv_cq_);
-  fresh->ConnectTo(req.client_node, req.lane.qpn);
-
-  // Ring resync: both directions restart from sequence zero. The request ring
-  // is zeroed (its canary-framed contents died with the old QP) and re-based;
-  // the response producer restarts; the head slot is cleared to match the
-  // client's fresh consumer. The client mirrors this before any sim event
-  // runs (ControlPlane::Call is synchronous), so neither side can observe the
-  // other half-resynced.
-  std::memset(smem.At(lane.req_ring_addr), 0, ring_bytes);
-  lane.req_consumer =
-      std::make_unique<RingConsumer>(smem.At(lane.req_ring_addr), ring_bytes);
-  lane.resp_producer = RingProducer(ring_bytes);
-  const uint64_t zero = 0;
-  smem.Write(lane.head_slot_addr, &zero, sizeof(zero));
-  lane.qp = fresh;
-  for (int r = 0; r < 16; ++r) {
-    fresh->PostRecv(
-        verbs::RecvWr{internal::TagWrId(WrTag::kServerRecv, &lane), 0, 0});
-  }
-
-  lane.failed = false;
-  lane.active = true;
-  server_stats_.activations += 1;
-  lane.credits_outstanding = config_.credits;
-  lane.utilization = 0;
-  lane.messages_at_last_sweep = lane.messages_handled;
-  server_stats_.lane_reconnects += 1;
-  sender.dead = false;
-  sender.functioning = true;
-  // Shield the revived lane from dead-sender reclamation for two sweeps; it
-  // has zero utilization by construction (the double-reclaim bug).
-  sender.revive_grace = 2;
-
-  cw::ReconnectAccept accept;
-  accept.lane_index = req.lane_index;
-  accept.credits = config_.credits;
-  // The grant counter is cumulative and survives the reconnect; the client
-  // resyncs grants_seen to it so the delta stream stays consistent.
-  accept.grant_cumulative = lane.grant_cumulative;
-  accept.lane.qpn = fresh->qpn();
-  accept.lane.req_ring_addr = lane.req_ring_addr;
-  accept.lane.req_ring_rkey = lane.req_ring_rkey;
-  accept.lane.head_slot_addr = lane.head_slot_addr;
-  accept.lane.head_slot_rkey = lane.head_slot_rkey;
-  accept.lane.active = 1;
-  accept.lane.credits = config_.credits;
-  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kReconnectAccept,
-                           header.nonce, &accept, sizeof(accept));
-}
-
-uint32_t FlockRuntime::HandleAddLaneRequest(const ctrl::wire::MsgHeader& header,
-                                            const uint8_t* msg, uint8_t* resp,
-                                            uint32_t resp_cap) {
-  namespace cw = ctrl::wire;
-  cw::AddLaneRequest req;
-  if (!cw::DecodeAddLaneRequest(header, msg, &req)) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kUnknown);
-  }
-  if (!server_started_ || req.conn_id >= senders_.size()) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kBadConnId);
-  }
-  SenderState& sender = senders_[req.conn_id];
-  if (sender.client_node != req.client_node ||
-      req.lane_index != sender.lanes.size() ||
-      req.lane_index >= cw::kMaxLanesPerMsg) {
-    // Lane indexes must stay aligned across both sides; out-of-sequence adds
-    // (e.g. a replayed or reordered request) are refused.
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kBadLane);
-  }
-
-  cw::AddLaneAccept accept;
-  accept.lane_index = req.lane_index;
-  auto sl = BuildServerLane(req.lane_index, req.client_node, req.conn_id,
-                            req.ring_bytes, req.lane, /*active=*/true,
-                            &accept.lane);
-  sender.lanes.push_back(sl.get());
-  dispatcher_lanes_[server_lanes_.size() % static_cast<size_t>(dispatcher_count_)]
-      .push_back(sl.get());
-  server_lanes_.push_back(std::move(sl));
-  server_stats_.lanes_added += 1;
-  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kAddLaneAccept,
-                           header.nonce, &accept, sizeof(accept));
-}
-
-uint32_t FlockRuntime::HandleRetireLaneRequest(const ctrl::wire::MsgHeader& header,
-                                               const uint8_t* msg, uint8_t* resp,
-                                               uint32_t resp_cap) {
-  namespace cw = ctrl::wire;
-  cw::RetireLaneRequest req;
-  if (!cw::DecodeRetireLaneRequest(header, msg, &req)) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kUnknown);
-  }
-  if (!server_started_ || req.conn_id >= senders_.size()) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kBadConnId);
-  }
-  SenderState& sender = senders_[req.conn_id];
-  if (sender.client_node != req.client_node ||
-      req.lane_index >= sender.lanes.size()) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kBadLane);
-  }
-  ServerLane& lane = *sender.lanes[req.lane_index];
-  if (lane.failed) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kBadLane);
-  }
-  cw::RetireLaneAccept accept;
-  accept.lane_index = req.lane_index;
-  if (lane.retired) {  // idempotent: a duplicate retire re-acks
-    return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kRetireLaneAccept,
-                             header.nonce, &accept, sizeof(accept));
-  }
-  uint32_t live_active = 0;
-  for (ServerLane* l : sender.lanes) {
-    live_active += (!l->failed && !l->retired && l->active) ? 1 : 0;
-  }
-  if (lane.active && live_active <= 1) {
-    return cw::EncodeReject(resp, resp_cap, header.nonce,
-                            cw::RejectReason::kLastActiveLane);
-  }
-  lane.retired = true;
-  if (lane.active) {
-    lane.active = false;
-    server_stats_.deactivations += 1;
-  }
-  lane.credits_outstanding = 0;
-  server_stats_.lanes_retired += 1;
-  // The dispatcher keeps draining the retired lane's request ring (its skip
-  // condition is in_service/failed, not retired) so in-flight RPCs complete.
-  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kRetireLaneAccept,
-                           header.nonce, &accept, sizeof(accept));
-}
-
-void FlockRuntime::OnMemberLeft(int node) {
-  if (!server_started_) {
-    return;
-  }
-  bool touched = false;
-  for (SenderState& sender : senders_) {
-    if (sender.client_node != node || sender.dead) {
-      continue;
-    }
-    for (ServerLane* lane : sender.lanes) {
-      if (!lane->failed && !lane->retired) {
-        // Destroy the transport the way a real server tears down a departed
-        // client's QPs: error it (flushing our posts) so the peer — should
-        // the node come back before rejoining — sees kRemoteInvalidQp.
-        cluster_.device(node_).ErrorQp(*lane->qp);
-        QuarantineServerLane(*lane);
-      }
-    }
-    sender.dead = true;
-    sender.functioning = false;
-    sender.revive_grace = 0;
-    server_stats_.dead_senders += 1;
-    touched = true;
-  }
-  if (touched) {
-    // Repartition MAX_AQP across the surviving senders immediately instead of
-    // waiting for the next scheduled sweep to notice.
-    Redistribute();
-  }
-}
-
-void FlockRuntime::ExpireLaneDeadlines(Connection& conn, uint32_t lane_index) {
-  const Nanos now = cluster_.sim().Now();
-  for (auto& map : conn.pending_) {
-    map.ForEach([&](uint32_t, PendingRpc* rpc) {
-      if (rpc->deadline > 0 && rpc->lane_index == lane_index) {
-        rpc->deadline = std::min(rpc->deadline, now);
-      }
-    });
-  }
-}
-
-sim::Proc Connection::ReconnectDaemon() {
-  const FlockConfig& config = client_->config();
-  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(client_->cluster());
-  sim::Simulator& sim = client_->sim();
-  const Nanos base_backoff = std::max<Nanos>(config.reconnect_backoff, 1);
-  Nanos backoff = base_backoff;
-  for (;;) {
-    ClientLane* victim = nullptr;
-    for (const auto& lane : lanes_) {
-      if (lane->failed && !lane->retired) {
-        victim = lane.get();
-        break;
-      }
-    }
-    if (victim == nullptr) {
-      backoff = base_backoff;
-      co_await reconnect_cond_->Wait();
-      continue;
-    }
-
-    victim->reconnecting = true;
-    co_await sim::Delay(sim, backoff);
-    // The out-of-band channel is slow (RDMA-CM over TCP): one RTT of latency
-    // charged up front, so everything from the gate below through the resync
-    // runs without suspension — no pump or dispatcher can interleave.
-    co_await sim::Delay(sim, config.ctrl_rtt);
-    // Quiesce and membership gates: never resync rings under a pump or
-    // dispatcher mid-pass, and never handshake while either end is outside
-    // the membership view (a rejoining node passes once Join() lands).
-    if (!cp.IsMember(client_->node()) || !cp.IsMember(server_node_) ||
-        victim->pump_running || victim->mem_pump_running ||
-        victim->in_dispatch) {
-      victim->reconnecting = false;
-      backoff = std::min<Nanos>(backoff * 2, base_backoff * 256);
-      continue;
-    }
-
-    // Fresh client QP on the shared CQs; the dead one is abandoned in place
-    // (its qpn is never reused, so stale flushes are filtered by qpn).
-    verbs::Qp* fresh = client_->cluster().device(client_->node()).CreateQp(
-        verbs::QpType::kRc, client_->send_cq_, client_->recv_cq_);
-    ctrl::wire::ReconnectRequest req;
-    req.client_node = client_->node();
-    req.conn_id = conn_id_;
-    req.lane_index = victim->index;
-    req.lane.qpn = fresh->qpn();
-    // Rings and rkeys are unchanged — the server kept its copies from the
-    // connect handshake; re-advertised here for the fuzzers' benefit only.
-    req.lane.resp_ring_addr = victim->resp_ring_addr;
-    req.lane.ctrl_slot_addr = victim->ctrl_slot_addr;
-
-    uint8_t msg[ctrl::wire::kMaxMessageBytes];
-    uint8_t resp[ctrl::wire::kMaxMessageBytes];
-    const uint32_t msg_len = ctrl::wire::EncodeMessage(
-        msg, sizeof(msg), ctrl::wire::MsgType::kReconnectRequest,
-        cp.NextNonce(), &req, sizeof(req));
-    const uint32_t resp_len =
-        cp.Call(server_node_, msg, msg_len, resp, sizeof(resp));
-
-    ctrl::wire::MsgHeader resp_header;
-    ctrl::wire::ReconnectAccept accept;
-    if (resp_len == 0 ||
-        !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
-        !ctrl::wire::DecodeReconnectAccept(resp_header, resp, &accept)) {
-      // Rejected (busy, membership, malformed): retry after backoff. The
-      // orphaned QP is abandoned; QPs are simulation-cheap and never reused.
-      victim->reconnecting = false;
-      backoff = std::min<Nanos>(backoff * 2, base_backoff * 256);
-      continue;
-    }
-
-    // Client-side resync, mirroring the server's handler before any sim
-    // event can run: fresh response ring/consumer, request sequence state
-    // from zero, credits and cumulative-grant resync from the accept.
-    fabric::MemorySpace& cmem = client_->cluster().mem(client_->node());
-    const uint32_t ring_bytes = victim->req_producer.size();
-    std::memset(cmem.At(victim->resp_ring_addr), 0, ring_bytes);
-    victim->resp_consumer = std::make_unique<RingConsumer>(
-        cmem.At(victim->resp_ring_addr), ring_bytes);
-    victim->req_producer = RingProducer(ring_bytes);
-    victim->qp = fresh;
-    victim->failed = false;
-    victim->renew_in_flight = false;
-    victim->starved_passes = 0;
-    victim->resp_bytes_since_send = 0;
-    client_->WireClientLane(*victim, server_node_, accept.lane,
-                            accept.grant_cumulative);
-    victim->reconnecting = false;
-    victim->reconnects += 1;
-    client_->client_stats_.lane_reconnects += 1;
-    victim->send_ready.NotifyAll();
-    // Un-acked RPCs accounted to this lane retransmit at the watchdog's next
-    // tick instead of waiting out their full deadlines: this is how batches
-    // lost with the dead QP are replayed onto the revived lane.
-    client_->ExpireLaneDeadlines(*this, victim->index);
-    // Send the evacuated threads home. Without this the scheduler's
-    // stability check keeps the migrated threads where the quarantine pushed
-    // them (loads stay within its 2x tolerance) and the revived lane idles
-    // forever, pinning steady-state throughput at the one-lane-short level.
-    // Only the evacuees move: the surviving lanes' thread sets — and the
-    // phase-aligned coalescing they carry — stay untouched.
-    for (uint32_t tid : victim->evacuated_tids) {
-      if (tid < desired_lane_.size()) {
-        desired_lane_[tid] = victim->index;
-      }
-    }
-    victim->evacuated_tids.clear();
-    backoff = base_backoff;
-  }
-}
-
-sim::Proc Connection::ElasticScaler() {
-  const FlockConfig& config = client_->config();
-  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(client_->cluster());
-  sim::Simulator& sim = client_->sim();
-  std::vector<uint32_t> degrees;
-  for (;;) {
-    co_await sim::Delay(sim, config.elastic_interval);
-    if (!cp.IsMember(client_->node()) || !cp.IsMember(server_node_)) {
-      continue;
-    }
-    degrees.clear();
-    uint32_t usable = 0;
-    uint32_t active_count = 0;
-    for (const auto& lane : lanes_) {
-      if (lane->failed || lane->retired) {
-        continue;
-      }
-      ++usable;
-      if (lane->active) {
-        ++active_count;
-        degrees.push_back(lane->coalesce_degree.Median(0));
-      }
-    }
-    if (degrees.empty()) {
-      continue;
-    }
-    std::sort(degrees.begin(), degrees.end());
-    const uint32_t median = degrees[degrees.size() / 2];
-
-    if (median >= config.elastic_grow_degree &&
-        lanes_.size() < config.max_lanes_per_connection &&
-        lanes_.size() < ctrl::wire::kMaxLanesPerMsg) {
-      // Sustained high coalescing: threads queue more deeply than the
-      // combining bound intends — add a lane (§5.2 signal, §10 mechanism).
-      const uint32_t index = static_cast<uint32_t>(lanes_.size());
-      ctrl::wire::AddLaneRequest req;
-      req.client_node = client_->node();
-      req.conn_id = conn_id_;
-      req.lane_index = index;
-      req.ring_bytes = config.ring_bytes;
-      auto lane = client_->BuildClientLane(*this, index, &req.lane);
-
-      uint8_t msg[ctrl::wire::kMaxMessageBytes];
-      uint8_t resp[ctrl::wire::kMaxMessageBytes];
-      const uint32_t msg_len = ctrl::wire::EncodeMessage(
-          msg, sizeof(msg), ctrl::wire::MsgType::kAddLaneRequest,
-          cp.NextNonce(), &req, sizeof(req));
-      co_await sim::Delay(sim, config.ctrl_rtt);
-      const uint32_t resp_len =
-          cp.Call(server_node_, msg, msg_len, resp, sizeof(resp));
-      ctrl::wire::MsgHeader resp_header;
-      ctrl::wire::AddLaneAccept accept;
-      if (resp_len == 0 ||
-          !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
-          !ctrl::wire::DecodeAddLaneAccept(resp_header, resp, &accept)) {
-        continue;  // rejected: the orphaned client half is abandoned
-      }
-      client_->WireClientLane(*lane, server_node_, accept.lane,
-                              /*grant_cumulative=*/0);
-      lanes_.push_back(std::move(lane));
-      client_->client_stats_.lanes_added += 1;
-    } else if (median <= config.elastic_shrink_degree && active_count > 1 &&
-               usable > config.min_lanes) {
-      // Requests rarely coalesce: the handle holds more QPs than its load
-      // needs — retire the highest-index active lane.
-      ClientLane* target = nullptr;
-      for (auto it = lanes_.rbegin(); it != lanes_.rend(); ++it) {
-        ClientLane& l = **it;
-        if (!l.failed && !l.retired && l.active) {
-          target = &l;
-          break;
-        }
-      }
-      if (target == nullptr) {
-        continue;
-      }
-      ctrl::wire::RetireLaneRequest req;
-      req.client_node = client_->node();
-      req.conn_id = conn_id_;
-      req.lane_index = target->index;
-
-      uint8_t msg[ctrl::wire::kMaxMessageBytes];
-      uint8_t resp[ctrl::wire::kMaxMessageBytes];
-      const uint32_t msg_len = ctrl::wire::EncodeMessage(
-          msg, sizeof(msg), ctrl::wire::MsgType::kRetireLaneRequest,
-          cp.NextNonce(), &req, sizeof(req));
-      co_await sim::Delay(sim, config.ctrl_rtt);
-      const uint32_t resp_len =
-          cp.Call(server_node_, msg, msg_len, resp, sizeof(resp));
-      ctrl::wire::MsgHeader resp_header;
-      ctrl::wire::RetireLaneAccept accept;
-      if (resp_len == 0 ||
-          !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
-          !ctrl::wire::DecodeRetireLaneAccept(resp_header, resp, &accept)) {
-        continue;  // rejected (e.g. it is the last active lane)
-      }
-      // The server acked: the lane is retired on its side no matter what
-      // happened to ours while the RTT elapsed, so retire here too — retired
-      // wins over failed (the reconnect daemon skips retired lanes).
-      target->retired = true;
-      target->active = false;
-      target->credits = 0;
-      // Wake the pump so anything queued migrates to a surviving lane; the
-      // thread scheduler moves the threads themselves next interval.
-      target->send_ready.NotifyAll();
-      client_->client_stats_.lanes_retired += 1;
-    }
   }
 }
 

@@ -5,6 +5,12 @@
 // (Connect + SendRpc/Read/Write/atomics), the server role (RegisterHandler +
 // StartServer), or both.
 //
+// This header is the public API and orchestration layer only. The mechanisms
+// live in per-module headers beneath it (DESIGN.md §11): lane lifecycle in
+// lane.h, thread combining in combine.h, credit/thread scheduling in sched/,
+// retransmission in watchdog.h, request/response dispatch in dispatch.h, all
+// over the transport seam in transport.h.
+//
 // Table 2 mapping:
 //   fl_connect        → FlockRuntime::Connect
 //   fl_attach_mreg    → Connection::AttachMreg
@@ -21,391 +27,29 @@
 #define FLOCK_FLOCK_RUNTIME_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "src/common/pool.h"
-#include "src/common/rand.h"
-#include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/ctrl/control_plane.h"
 #include "src/flock/config.h"
-#include "src/flock/ring.h"
-#include "src/flock/wire.h"
-#include "src/sim/cpu.h"
-#include "src/sim/simulator.h"
-#include "src/sim/sync.h"
+#include "src/flock/lane.h"
+#include "src/flock/sched/receiver.h"
+#include "src/flock/sched/sender.h"
+#include "src/flock/thread.h"
+#include "src/flock/transport.h"
+#include "src/flock/watchdog.h"
 #include "src/verbs/device.h"
 
 namespace flock {
 
 class FlockRuntime;
-class Connection;
-
-// An RPC handler runs on a server dispatcher core: consume `req`, produce a
-// response in `resp` (capacity `resp_cap`), return its length, and report the
-// application CPU it consumed via `cpu_cost` (simulated time).
-using RpcHandler = std::function<uint32_t(const uint8_t* req, uint32_t req_len,
-                                          uint8_t* resp, uint32_t resp_cap,
-                                          Nanos* cpu_cost)>;
-
-// A registered application thread. Threads are pinned to a simulated core and
-// carry the per-thread state the paper's schedulers consume.
-class FlockThread {
- public:
-  FlockThread(int node, uint16_t id, sim::Core* core, uint64_t seed)
-      : node_(node), id_(id), core_(core), rng_(seed) {}
-
-  int node() const { return node_; }
-  uint16_t id() const { return id_; }
-  sim::Core& core() { return *core_; }
-  Rng& rng() { return rng_; }
-
-  uint32_t NextSeq() { return next_seq_++; }
-
-  // Statistics for sender-side thread scheduling (§5.2, Algorithm 1).
-  WindowedMedian<uint32_t, 32> req_size_median;
-  IntervalCounter reqs_sent;
-  IntervalCounter bytes_sent;
-  int outstanding = 0;
-  // 8-byte landing slot for atomic results (allocated by CreateThread).
-  uint64_t atomic_slot = 0;
-
- private:
-  int node_;
-  uint16_t id_;
-  sim::Core* core_;
-  Rng rng_;
-  uint32_t next_seq_ = 1;
-};
-
-// An outstanding RPC awaiting its response. Allocated from the client
-// runtime's object pool (release with Connection::FreeRpc); the response
-// payload stays inline for payloads up to SmallBuf's capacity, so a
-// steady-state small RPC touches no general-purpose allocator.
-struct PendingRpc {
-  sim::OneShotEvent done_event;
-  bool ok = true;
-  uint16_t rpc_id = 0;
-  uint32_t seq = 0;
-  uint16_t thread_id = 0;
-  Nanos submitted_at = 0;
-  Nanos completed_at = 0;
-  SmallBuf<128> response;
-
-  // Failure handling (populated only when FlockConfig::rpc_timeout > 0):
-  // the retained request payload for retransmission, the retry deadline,
-  // the lane currently accounting this RPC's in-flight slot, and the number
-  // of retries attempted so far.
-  SmallBuf<128> request;
-  Nanos deadline = 0;  // 0 = no timeout armed
-  uint32_t lane_index = 0;
-  uint16_t retries = 0;
-
-  bool done() const { return done_event.done(); }
-};
-
-// An outstanding one-sided memory/atomic operation. Lives in the submitting
-// coroutine's frame; `next` links it into the lane's combining queue.
-struct PendingMemOp {
-  sim::OneShotEvent done_event;
-  verbs::WcStatus status = verbs::WcStatus::kSuccess;
-  verbs::SendWr wr;  // staged work request (leader links and posts, §6)
-  sim::Core* owner_core = nullptr;
-  PendingMemOp* next = nullptr;
-};
-
-// Remote memory region attached for one-sided operations (fl_attach_mreg).
-struct RemoteMr {
-  uint64_t addr = 0;
-  uint64_t length = 0;
-  uint32_t rkey = 0;
-};
-
-namespace internal {
-
-// A request staged in a lane's combining queue. Mirrors the TCQ protocol:
-// a thread first *enqueues* (one atomic swap), then copies its payload into
-// the combining buffer and raises `copied`; the leader polls these
-// copy-completion flags before sealing the message (§4.2). Pool-allocated by
-// SendRpc, released by the posting leader; `next` threads it into the lane's
-// combining queue and the leader's batch.
-struct PendingSend {
-  wire::ReqMeta meta;
-  SmallBuf<128> data;
-  sim::Core* owner_core = nullptr;  // leader work is charged here
-  bool copied = false;
-  // Set by the quarantine drop in Pump when it unlinks a request whose
-  // submitting coroutine is still mid-copy (`copied == false`). Ownership
-  // transfers back to that coroutine, which frees the handle after its copy
-  // completes; the pump must not Delete it (the coroutine still writes
-  // through the pointer).
-  bool dropped = false;
-  // Raised (and signalled through the lane's sent_cond) once the message
-  // containing this request has been posted. fl_send_rpc returns only then:
-  // a lone thread is always its own leader and posts synchronously, so its
-  // back-to-back requests never coalesce with each other (§8.5.2:
-  // "coroutines of a single thread do not coalesce").
-  bool* sent_flag = nullptr;
-  // Condition to notify alongside sent_flag. Normally the staging lane's
-  // sent_cond, but after a failed-lane migration the posting lane differs
-  // from the one the submitting coroutine is parked on, so the waker travels
-  // with the request. nullptr for watchdog retransmissions (no waiter).
-  sim::Condition* sent_cond = nullptr;
-  PendingSend* next = nullptr;
-};
-
-// Control message types carried in write-with-imm immediates (client→server;
-// server→client control flows through RDMA-written per-lane control slots,
-// which unlike datagram-style imms cannot be dropped by receive exhaustion).
-enum class CtrlType : uint32_t {
-  kRenewRequest = 0,  // client → server: {lane, median coalescing degree}
-};
-
-// Server→client per-lane control slot, RDMA-written by the QP scheduler and
-// polled by the client's response dispatcher. The grant counter is
-// cumulative, so a re-written slot never loses a grant.
-struct CtrlSlot {
-  uint32_t grant_cumulative = 0;
-  uint8_t active = 0;
-  uint8_t pad[3] = {};
-};
-static_assert(sizeof(CtrlSlot) == 8);
-
-inline uint32_t PackCtrl(CtrlType type, uint32_t lane, uint32_t value) {
-  FLOCK_CHECK_LT(lane, 1u << 13);
-  FLOCK_CHECK_LT(value, 1u << 16);
-  return (static_cast<uint32_t>(type) << 29) | (lane << 16) | value;
-}
-
-inline void UnpackCtrl(uint32_t imm, CtrlType* type, uint32_t* lane, uint32_t* value) {
-  *type = static_cast<CtrlType>(imm >> 29);
-  *lane = (imm >> 16) & 0x1fff;
-  *value = imm & 0xffff;
-}
-
-// wr_id tagging so shared CQs can route completions. Client- and server-role
-// posts carry distinct tags: a node can play both roles on the same shared
-// CQs, and error completions must resolve to the right lane type
-// (ClientLane* vs ServerLane*) to quarantine the right object.
-enum class WrTag : uint64_t {
-  kRpcWrite = 0,     // client: coalesced message / wrap marker writes
-  kMemOp = 1,        // PendingMemOp*
-  kCtrl = 2,         // client: control write-with-imm / head-slot writes
-  kRecv = 3,         // client: ClientLane* on posted receives
-  kServerWrite = 4,  // server: response message / wrap marker writes
-  kServerCtrl = 5,   // server: control-slot writes
-  kServerRecv = 6,   // server: ServerLane* on posted receives
-};
-
-// Statuses that condemn the QP (and with it the lane): flushes and vanished
-// peers never heal on their own. RNR/remote-access errors are treated as
-// transient — the payload may be lost, but per-RPC timeouts recover it.
-inline bool IsFatalWcStatus(verbs::WcStatus status) {
-  return status == verbs::WcStatus::kFlushError ||
-         status == verbs::WcStatus::kQpError ||
-         status == verbs::WcStatus::kRemoteInvalidQp;
-}
-
-inline uint64_t TagWrId(WrTag tag, const void* ptr) {
-  const uint64_t p = reinterpret_cast<uint64_t>(ptr);
-  FLOCK_CHECK_EQ(p & 0x7u, 0u);
-  return p | static_cast<uint64_t>(tag);
-}
-
-inline WrTag WrIdTag(uint64_t wr_id) { return static_cast<WrTag>(wr_id & 0x7u); }
-
-template <typename T>
-T* WrIdPtr(uint64_t wr_id) {
-  return reinterpret_cast<T*>(wr_id & ~0x7ull);
-}
-
-// ---- client side of one QP lane ----
-struct ClientLane {
-  ClientLane(sim::Simulator& sim, uint32_t ring_bytes)
-      : req_producer(ring_bytes), send_ready(sim) {}
-
-  uint32_t index = 0;
-  Connection* conn = nullptr;
-  verbs::Qp* qp = nullptr;
-
-  // Request path: local staging mirror → RDMA write → server request ring.
-  RingProducer req_producer;
-  uint8_t* staging = nullptr;
-  uint64_t staging_addr = 0;
-  uint64_t remote_ring_addr = 0;
-  uint32_t remote_ring_rkey = 0;
-
-  // Out-of-band head reporting: the dispatcher RDMA-writes the cumulative
-  // consumed count of the response ring into this server-side slot.
-  uint64_t head_slot_remote_addr = 0;
-  uint32_t head_slot_rkey = 0;
-  uint64_t head_src_addr = 0;   // client-local 8B staging for the slot write
-  uint8_t* head_src_ptr = nullptr;  // cached At(head_src_addr)
-
-  // Response path: server writes into this client-local ring.
-  std::unique_ptr<RingConsumer> resp_consumer;
-  uint64_t resp_ring_addr = 0;
-
-  // Credits and activation (receiver-side QP scheduling, §5.1).
-  uint64_t credits = 0;
-  bool active = true;
-  // Quarantined: the lane's QP errored. Queued work and threads migrate to
-  // surviving lanes, in-flight RPCs recover via retry. With
-  // FlockConfig::lane_reconnect the connection's reconnect daemon revives the
-  // lane through the control plane; otherwise it stays quarantined forever.
-  bool failed = false;
-  // The reconnect daemon is mid-handshake for this lane (introspection only;
-  // the lane still counts as failed until the handshake lands).
-  bool reconnecting = false;
-  // Retired by elastic shrink: deactivated for good, excluded from failure
-  // accounting and never reconnected or reactivated.
-  bool retired = false;
-  // A response dispatcher is between its probe of this lane's rings and the
-  // matching consume; the reconnect daemon must not resync state under it.
-  bool in_dispatch = false;
-  // Times this lane was revived through the control plane.
-  uint64_t reconnects = 0;
-  // Thread ids this lane was serving when it was quarantined; the reconnect
-  // daemon steers exactly these threads back on revival so the surviving
-  // lanes' phase-aligned coalescing groups stay intact.
-  std::vector<uint32_t> evacuated_tids;
-  bool renew_in_flight = false;
-  // Dispatcher passes spent with queued work but zero credits. Only counted
-  // while fault injection is armed: a lost renewal imm or a lost grant-slot
-  // write (both unacked RDMA) would otherwise starve the lane forever, so
-  // after enough starved passes the dispatcher re-sends the renewal.
-  uint32_t starved_passes = 0;
-  sim::Condition send_ready;  // credits or ring space became available
-  // Client-local control slot the server RDMA-writes (grants + activation).
-  uint64_t ctrl_slot_addr = 0;
-  const uint8_t* ctrl_slot_ptr = nullptr;  // cached At(ctrl_slot_addr): the
-                                           // dispatcher polls this every pass
-  uint32_t grants_seen = 0;  // cumulative grants already applied
-
-  // Flock synchronization state (§4.2). The combining queue is an intrusive
-  // FIFO threaded through the pool-allocated PendingSends.
-  PendingSend* combine_head = nullptr;
-  PendingSend* combine_tail = nullptr;
-  // The pump (transient leader) is a persistent per-lane process: spawned on
-  // the lane's first request, it parks on pump_wake when the combining queue
-  // drains instead of exiting, so enqueuing a request never rebuilds the
-  // (large) pump coroutine frame. pump_running means "actively pumping".
-  bool pump_running = false;
-  bool pump_spawned = false;
-  sim::OneShotEvent pump_wake;
-  std::unique_ptr<sim::Condition> copy_done;  // follower copy-completion flags
-  std::unique_ptr<sim::Condition> sent_cond;  // "your message was posted"
-
-  // Metrics reported to the receiver.
-  WindowedMedian<uint32_t, 64> coalesce_degree;
-  uint64_t batch_histogram[33] = {};  // distribution of combined batch sizes
-  uint64_t posts = 0;  // for selective signaling
-  uint64_t messages_sent = 0;
-  uint64_t requests_sent = 0;
-
-  // One-sided operations (§6): intrusive FIFO through the PendingMemOps.
-  PendingMemOp* memop_head = nullptr;
-  PendingMemOp* memop_tail = nullptr;
-  bool mem_pump_running = false;
-
-  // Bytes of responses consumed since we last sent anything on this lane;
-  // beyond a threshold the dispatcher pushes a head update out of band so the
-  // server's view of the response ring never goes permanently stale (§4.1's
-  // "the sender rarely reads" fallback, push- instead of pull-based).
-  uint64_t resp_bytes_since_send = 0;
-
-  // Outstanding requests per lane (migration safety, §5.2).
-  uint64_t inflight = 0;
-};
-
-// ---- server side of one QP lane ----
-struct ServerLane {
-  explicit ServerLane(uint32_t ring_bytes) : resp_producer(ring_bytes) {}
-
-  uint32_t index = 0;       // lane index within its connection
-  int client_node = -1;
-  uint32_t sender_key = 0;  // index into FlockRuntime::senders_
-  verbs::Qp* qp = nullptr;
-
-  // Request ring (server-local memory, written by the client).
-  std::unique_ptr<RingConsumer> req_consumer;
-  uint64_t req_ring_addr = 0;
-
-  // Response path: server staging mirror → RDMA write → client response ring.
-  RingProducer resp_producer;
-  uint8_t* staging = nullptr;
-  uint64_t staging_addr = 0;
-  uint64_t remote_ring_addr = 0;
-  uint32_t remote_ring_rkey = 0;
-
-  // Server-side head slot the client's dispatcher writes into.
-  uint64_t head_slot_addr = 0;
-  const uint8_t* head_slot_ptr = nullptr;  // cached At(head_slot_addr)
-  // rkeys advertised to the client at connect, kept for re-advertisement in
-  // the reconnect accept (the MRs themselves survive a QP replacement).
-  uint32_t req_ring_rkey = 0;
-  uint32_t head_slot_rkey = 0;
-
-  // Control slot on the client that this server lane writes.
-  uint64_t ctrl_slot_remote_addr = 0;
-  uint32_t ctrl_slot_rkey = 0;
-  uint64_t ctrl_src_addr = 0;     // server-local staging for the slot write
-  uint8_t* ctrl_src_ptr = nullptr;  // cached At(ctrl_src_addr)
-  uint32_t grant_cumulative = 0;  // total credits ever granted on this lane
-
-  // Receiver-side scheduling state (§5.1).
-  bool active = true;
-  // Quarantined: the QP errored (flush on our posts, or the client side
-  // vanished). Excluded from dispatch, credit grants and redistribution
-  // until a control-plane reconnect revives it.
-  bool failed = false;
-  // Retired by elastic shrink: never reactivated or granted credits again.
-  // Still dispatched until its request ring drains.
-  bool retired = false;
-  uint64_t credits_outstanding = 0;  // granted minus (estimated) consumed
-  uint64_t utilization = 0;          // U_ij: Σ reported degrees this interval
-  uint64_t posts = 0;
-  uint64_t messages_handled = 0;
-  uint64_t requests_handled = 0;
-  uint64_t messages_at_last_sweep = 0;  // stall-safety for pending grants
-  bool in_service = false;  // handed to an RPC worker (worker-pool mode)
-};
-
-// Per-dispatcher scratch reused across messages (no per-message allocation).
-struct DispatchScratch {
-  struct RespEntry {
-    wire::ReqMeta meta;
-    uint32_t offset = 0;
-  };
-  std::vector<uint8_t> data;
-  std::vector<wire::ReqView> views;
-  std::vector<RespEntry> resp;
-};
-
-// Per-client-node aggregation at the server (sender i in §5.1).
-struct SenderState {
-  int client_node = -1;
-  std::vector<ServerLane*> lanes;
-  uint64_t utilization = 0;  // U_i
-  bool functioning = true;
-  // All lanes failed (directly, or by dead-sender reclamation): the sender
-  // no longer participates in the QP-scheduling budget at all.
-  bool dead = false;
-  // Redistribute passes to skip dead-sender reclamation after a lane of this
-  // sender was revived through the control plane. A just-reconnected lane has
-  // zero utilization by construction; without the grace, the reclamation's
-  // "failed sibling + idle interval" test would re-condemn it immediately
-  // (the double-reclaim bug) and a rejoining node could never come back.
-  uint32_t revive_grace = 0;
-};
-
-}  // namespace internal
 
 // A connection handle: one per (client node, server node) pair, multiplexing
-// this node's threads over an internally managed set of RC QPs.
+// this node's threads over an internally managed set of RC QPs. The handle is
+// a thin facade over internal::ClientConnState; the mechanism modules
+// (combine, sched, watchdog, dispatch, lane) do the actual work.
 class Connection {
  public:
   // fl_send_rpc: stages the request into the assigned lane's combining queue
@@ -444,13 +88,13 @@ class Connection {
                                           uint64_t expected, uint64_t desired,
                                           uint64_t* old_value, const RemoteMr& mr);
 
-  int server_node() const { return server_node_; }
-  uint32_t num_lanes() const { return static_cast<uint32_t>(lanes_.size()); }
+  int server_node() const { return state_.server_node; }
+  uint32_t num_lanes() const { return static_cast<uint32_t>(state_.lanes.size()); }
   uint32_t num_active_lanes() const;
   uint32_t num_failed_lanes() const;
-  const internal::ClientLane& lane(uint32_t i) const { return *lanes_[i]; }
+  const internal::ClientLane& lane(uint32_t i) const { return *state_.lanes[i]; }
   // The sender key the server filed this handle under (control-plane id).
-  uint32_t conn_id() const { return conn_id_; }
+  uint32_t conn_id() const { return state_.conn_id; }
 
   // Per-lane state rollup for introspection/bench output. A lane is healthy
   // when neither failed nor retired; `reconnecting` counts the failed lanes
@@ -475,67 +119,18 @@ class Connection {
  private:
   friend class FlockRuntime;
 
-  internal::ClientLane& LaneFor(FlockThread& thread);
-  // Marks a lane's QP as dead: deactivates it, zeroes its credits and wakes
-  // the pump so queued work migrates to a surviving lane. Idempotent. With
-  // lane_reconnect enabled it also kicks the reconnect daemon.
-  void QuarantineLane(internal::ClientLane& lane);
-  // Control-plane client daemons (spawned by Connect only when the matching
-  // FlockConfig flag is set, so default traces gain no procs or events).
-  sim::Proc ReconnectDaemon();
-  sim::Proc ElasticScaler();
-  sim::Proc Pump(internal::ClientLane& lane);
-  // Starts pumping `lane` if it is not already being pumped: first use spawns
-  // the persistent pump proc, later uses wake it from its parked state.
-  void WakePump(internal::ClientLane& lane);
-  sim::Proc MemPump(internal::ClientLane& lane);
-  sim::Co<verbs::WcStatus> SubmitMemOp(FlockThread& thread, verbs::SendWr wr);
-  // Appends a credit-renew WR to wrs[*nwrs] (and bumps *nwrs) when due.
-  void MaybeRenewCredits(internal::ClientLane& lane, verbs::SendWr* wrs,
-                         size_t* nwrs);
-
-  FlockRuntime* client_ = nullptr;
-  int server_node_ = -1;
-  uint32_t conn_id_ = 0;
-  // Kicked by QuarantineLane; only constructed when lane_reconnect is on.
-  std::unique_ptr<sim::Condition> reconnect_cond_;
-  std::vector<std::unique_ptr<internal::ClientLane>> lanes_;
-  // thread id → lane index; `desired_` is written by the thread scheduler and
-  // applied by LaneFor once the thread has drained its outstanding requests.
-  std::vector<uint32_t> thread_lane_;
-  std::vector<uint32_t> desired_lane_;
-  // Outstanding RPCs, seq → rpc, one open-addressed map per thread id.
-  std::vector<SeqSlotMap<PendingRpc>> pending_;
+  // The mechanism-facing state. The handle is heap-allocated and never
+  // destroyed before the runtime, so &state_ (and the lane back-pointers into
+  // it) stay stable for the simulation's lifetime.
+  internal::ClientConnState state_;
 };
 
 class FlockRuntime : public ctrl::Endpoint {
  public:
-  struct ServerStats {
-    uint64_t requests = 0;
-    uint64_t messages = 0;
-    uint64_t responses_sent = 0;
-    uint64_t credit_renewals = 0;
-    uint64_t redistributions = 0;
-    uint64_t activations = 0;
-    uint64_t deactivations = 0;
-    uint64_t lane_failures = 0;  // server lanes quarantined
-    uint64_t dead_senders = 0;   // senders fully reclaimed by Redistribute
-    uint64_t responses_dropped = 0;  // responses lost to a dead lane
-    uint64_t lane_reconnects = 0;    // server lanes revived via control plane
-    uint64_t lanes_added = 0;        // elastic grow handshakes accepted
-    uint64_t lanes_retired = 0;      // elastic shrink handshakes accepted
-  };
-
-  // Client-side failure-handling counters.
-  struct ClientStats {
-    uint64_t lane_failures = 0;       // client lanes quarantined
-    uint64_t retries = 0;             // RPC retransmissions staged
-    uint64_t failed_rpcs = 0;         // RPCs surfaced with ok=false
-    uint64_t spurious_responses = 0;  // responses with no outstanding request
-    uint64_t lane_reconnects = 0;     // client lanes revived via control plane
-    uint64_t lanes_added = 0;         // elastic grow
-    uint64_t lanes_retired = 0;       // elastic shrink
-  };
+  // Compatibility aliases: the stats structs moved to lane.h with the state
+  // containers; existing call sites name them through the runtime.
+  using ServerStats = flock::ServerStats;
+  using ClientStats = flock::ClientStats;
 
   FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig& config);
   ~FlockRuntime();
@@ -567,91 +162,24 @@ class FlockRuntime : public ctrl::Endpoint {
   verbs::Cluster& cluster() { return cluster_; }
   int node() const { return node_; }
   const FlockConfig& config() const { return config_; }
-  const ServerStats& server_stats() const { return server_stats_; }
-  const ClientStats& client_stats() const { return client_stats_; }
+  const ServerStats& server_stats() const { return server_.stats; }
+  const ClientStats& client_stats() const { return client_.stats; }
   sim::Simulator& sim() { return cluster_.sim(); }
   const sim::CostModel& cost() const { return cluster_.cost(); }
   uint32_t ActiveServerLanes() const;
   double MeanServerCoalescing() const;
   // Hot-path object pools (observability for allocation-free-path tests).
-  const Pool<PendingRpc>& rpc_pool() const { return rpc_pool_; }
-  const Pool<internal::PendingSend>& send_pool() const { return send_pool_; }
+  const Pool<PendingRpc>& rpc_pool() const { return client_.rpc_pool; }
+  const Pool<internal::PendingSend>& send_pool() const { return client_.send_pool; }
 
   // ---- control plane (DESIGN.md §10) ----
-  // Dispatches a validated control-plane message to the matching handler.
-  // Called synchronously by ControlPlane::Call on the destination node.
+  // Dispatches a validated control-plane message to the matching handler
+  // (lane.h). Called synchronously by ControlPlane::Call on the destination.
   uint32_t OnCtrlMessage(const uint8_t* msg, uint32_t len, uint8_t* resp,
                          uint32_t resp_cap) override;
 
  private:
   friend class Connection;
-
-  // Server procs.
-  sim::Proc RequestDispatcher(int index);
-  sim::Proc RpcWorker(int index);
-  sim::Proc QpScheduler();
-  sim::Co<void> HandleRequestMessage(internal::ServerLane& lane, sim::Core& core,
-                                     const wire::MsgHeader& header,
-                                     internal::DispatchScratch& scratch);
-  void Redistribute();
-  // Updates the lane's client-side control slot (grants + activation flag).
-  // Signaled writes double as liveness probes: their error completions are
-  // how the QP scheduler learns a client died (see HandleRequestMessage).
-  void WriteCtrlSlot(internal::ServerLane& lane, bool signaled = false);
-  // Marks a server lane's QP dead: no more dispatch, grants or reactivation.
-  void QuarantineServerLane(internal::ServerLane& lane);
-  // Routes an errored send completion to the owning lane (either role: the
-  // node-shared CQs are drained by whichever poller gets there first).
-  void HandleSendError(const verbs::Completion& wc);
-
-  // Client procs.
-  sim::Proc ResponseDispatcher(int index);
-  sim::Proc ThreadScheduler();
-  // Periodic scan of outstanding RPCs (spawned only when rpc_timeout > 0):
-  // expired RPCs are retransmitted with exponential backoff; after
-  // max_retries they complete with ok=false.
-  sim::Proc RetryWatchdog();
-  void RetryPendingRpc(Connection& conn, PendingRpc* rpc);
-  void FailPendingRpc(Connection& conn, PendingRpc* rpc);
-  // Reads a lane's control slot and applies new grants / activation changes.
-  void ApplyCtrlSlot(internal::ClientLane& lane);
-  void RescheduleThreads(Connection& conn);
-
-  // ---- control-plane handshake internals ----
-  // Client half of one lane: QP + client-local memory + MRs, advertised in
-  // `info`. The accept completes it via WireClientLane. Shared by the
-  // connect handshake and elastic add-lane.
-  std::unique_ptr<internal::ClientLane> BuildClientLane(
-      Connection& conn, uint32_t index, ctrl::wire::ClientLaneInfo* info);
-  // Applies a (connect/reconnect/add-lane) accept to the client lane: peer
-  // QP wiring, remote addresses, posted receives, bootstrap control slot.
-  void WireClientLane(internal::ClientLane& lane, int server_node,
-                      const ctrl::wire::ServerLaneInfo& info,
-                      uint32_t grant_cumulative);
-  // Server half of one lane, wired to the advertised client QP.
-  std::unique_ptr<internal::ServerLane> BuildServerLane(
-      uint32_t index, int client_node, uint32_t sender_key, uint32_t ring_bytes,
-      const ctrl::wire::ClientLaneInfo& in, bool active,
-      ctrl::wire::ServerLaneInfo* out);
-  // Message handlers behind OnCtrlMessage (server side of the handshakes).
-  uint32_t HandleConnectRequest(const ctrl::wire::MsgHeader& header,
-                                const uint8_t* msg, uint8_t* resp,
-                                uint32_t resp_cap);
-  uint32_t HandleReconnectRequest(const ctrl::wire::MsgHeader& header,
-                                  const uint8_t* msg, uint8_t* resp,
-                                  uint32_t resp_cap);
-  uint32_t HandleAddLaneRequest(const ctrl::wire::MsgHeader& header,
-                                const uint8_t* msg, uint8_t* resp,
-                                uint32_t resp_cap);
-  uint32_t HandleRetireLaneRequest(const ctrl::wire::MsgHeader& header,
-                                   const uint8_t* msg, uint8_t* resp,
-                                   uint32_t resp_cap);
-  // Membership change (server side): a departed client's senders are torn
-  // down and the AQP budget repartitioned immediately.
-  void OnMemberLeft(int node);
-  // Accelerates watchdog recovery of the RPCs accounted to a just-revived
-  // lane: their deadlines collapse to "now" so the next tick retransmits.
-  void ExpireLaneDeadlines(Connection& conn, uint32_t lane_index);
 
   verbs::Cluster& cluster_;
   const int node_;
@@ -661,58 +189,25 @@ class FlockRuntime : public ctrl::Endpoint {
   verbs::Cq* send_cq_ = nullptr;
   verbs::Cq* recv_cq_ = nullptr;
 
-  // Server state. Handler lookup is a linear scan: applications register a
-  // handful of RPC ids, and a short scan beats a hash on the per-request path.
-  std::vector<std::pair<uint16_t, RpcHandler>> handlers_;
-  const RpcHandler* FindHandler(uint16_t rpc_id) const {
-    for (const auto& [id, handler] : handlers_) {
-      if (id == rpc_id) {
-        return &handler;
-      }
-    }
-    return nullptr;
-  }
-  std::vector<std::unique_ptr<internal::ServerLane>> server_lanes_;
-  std::vector<internal::SenderState> senders_;
-  std::vector<std::vector<internal::ServerLane*>> dispatcher_lanes_;
-  int dispatcher_count_ = 0;
-  // Worker-pool mode: lanes with detected work, drained by RpcWorker procs.
-  std::deque<internal::ServerLane*> work_queue_;
-  std::unique_ptr<sim::Condition> work_ready_;
-  bool server_started_ = false;
-  ServerStats server_stats_;
-  std::vector<uint8_t> handler_scratch_;
+  // Per-node RNG stream (canaries, thread seeds); env_.rng_state aliases it.
+  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+
+  // The environment and role states the mechanism modules operate on.
+  internal::NodeEnv env_;
+  internal::ServerState server_;
+  internal::ClientState client_;
+
+  // Scheduler/watchdog engines (scratch-carrying; procs spawned by Start*).
+  internal::ReceiverSched receiver_;
+  internal::SenderSched sender_sched_;
+  internal::Watchdog watchdog_;
+
   // Membership listener handle (registered by StartServer, removed by the
   // destructor — the control plane outlives this runtime).
   uint64_t membership_listener_id_ = 0;
 
-  // Client state.
+  // Client connection handles, in connect order (client_.conns aliases them).
   std::vector<std::unique_ptr<Connection>> connections_;
-  std::vector<std::unique_ptr<FlockThread>> threads_;
-  bool client_started_ = false;
-  ClientStats client_stats_;
-  // Watchdog scratch: expired RPCs collected per scan (SeqSlotMap::ForEach
-  // must not observe concurrent mutation).
-  std::vector<PendingRpc*> watchdog_scratch_;
-  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
-  // Hot-path object pools (per node; the simulation is single-threaded).
-  Pool<PendingRpc> rpc_pool_;
-  Pool<internal::PendingSend> send_pool_;
-
-  // Interval-scheduler scratch, reused across ticks so the steady state stays
-  // allocation-free (see tests/alloc_test.cc).
-  struct ThreadSchedStat {
-    size_t tid;
-    uint32_t median_size;
-    uint64_t reqs;
-    uint64_t bytes;
-  };
-  std::vector<uint32_t> sched_active_scratch_;
-  std::vector<ThreadSchedStat> sched_stats_scratch_;
-  std::vector<uint64_t> sched_lane_bytes_;
-  std::vector<uint32_t> sched_lane_min_;
-  std::vector<uint32_t> sched_lane_max_;
-  std::vector<internal::ServerLane*> redistribute_order_;
 };
 
 }  // namespace flock

@@ -1,0 +1,345 @@
+#include "src/flock/sched/receiver.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace flock {
+namespace internal {
+
+void WriteCtrlSlot(NodeEnv& env, ServerLane& lane, ServerStats& stats,
+                   bool signaled) {
+  CtrlSlot slot;
+  slot.grant_cumulative = lane.grant_cumulative;
+  slot.active = lane.active ? 1 : 0;
+  std::memcpy(lane.ctrl_src_ptr, &slot, sizeof(slot));
+  verbs::SendWr wr;
+  wr.wr_id = TagWrId(WrTag::kServerCtrl, &lane);
+  wr.opcode = verbs::Opcode::kWrite;
+  wr.local_addr = lane.ctrl_src_addr;
+  wr.length = sizeof(slot);
+  wr.remote_addr = lane.ctrl_slot_remote_addr;
+  wr.rkey = lane.ctrl_slot_rkey;
+  wr.signaled = signaled;
+  if (env.transport->Post(*lane.qp, wr) != verbs::WcStatus::kSuccess) {
+    QuarantineServerLane(lane, stats);
+  }
+}
+
+void MaybeRenewCredits(const FlockConfig& config, ClientLane& lane,
+                       verbs::SendWr* wrs, size_t* nwrs) {
+  if (!lane.active || lane.renew_in_flight ||
+      lane.credits > config.credit_renew_threshold) {
+    return;
+  }
+  // write-with-imm carrying {lane, median coalescing degree since last renew}
+  // (§5.1 + §7). Zero-length write: only the immediate travels.
+  verbs::SendWr wr;
+  wr.wr_id = TagWrId(WrTag::kCtrl, &lane);
+  wr.opcode = verbs::Opcode::kWriteImm;
+  wr.local_addr = 0;
+  wr.length = 0;
+  wr.remote_addr = lane.remote_ring_addr;
+  wr.rkey = lane.remote_ring_rkey;
+  wr.signaled = false;
+  const uint32_t degree =
+      std::min<uint32_t>(lane.coalesce_degree.Median(1), 0xffff);
+  wr.imm = PackCtrl(CtrlType::kRenewRequest, lane.index,
+                    std::max<uint32_t>(degree, 1));
+  wrs[(*nwrs)++] = wr;
+  lane.renew_in_flight = true;
+}
+
+void ApplyCtrlSlot(NodeEnv& env, ClientLane& lane) {
+  if (lane.failed || lane.retired) {
+    return;  // quarantined/retired: stale grants must not resurrect it
+  }
+  // Polled every dispatcher pass: read through the cached pointer rather than
+  // the bounds-checked chunked MemorySpace path.
+  CtrlSlot slot;
+  std::memcpy(&slot, lane.ctrl_slot_ptr, sizeof(slot));
+  bool changed = false;
+  const uint32_t delta = slot.grant_cumulative - lane.grants_seen;
+  if (delta != 0 && delta < (1u << 24)) {  // ignore torn/stale nonsense
+    lane.credits += delta;
+    lane.grants_seen = slot.grant_cumulative;
+    lane.renew_in_flight = false;
+    changed = true;
+  }
+  const bool active = slot.active != 0;
+  if (active != lane.active) {
+    lane.active = active;
+    lane.renew_in_flight = false;
+    changed = true;
+  }
+  if (changed) {
+    lane.send_ready.NotifyAll();  // wake the pump (or let it migrate work)
+  }
+  // Lost-control-message recovery (armed runs only — plain bool check, no
+  // events otherwise): renewal imms and grant-slot writes are unacked, so an
+  // injected drop of either starves the lane with renew_in_flight latched.
+  // A lane stuck with queued work and no credits for many passes re-requests
+  // renewal; cumulative grants make duplicates harmless.
+  if (env.cluster->fault().armed()) {
+    if (lane.active && lane.credits == 0 && lane.combine_head != nullptr) {
+      if (++lane.starved_passes >= 256) {
+        lane.starved_passes = 0;
+        verbs::SendWr wr;
+        wr.wr_id = TagWrId(WrTag::kCtrl, &lane);
+        wr.opcode = verbs::Opcode::kWriteImm;
+        wr.local_addr = 0;
+        wr.length = 0;
+        wr.remote_addr = lane.remote_ring_addr;
+        wr.rkey = lane.remote_ring_rkey;
+        wr.signaled = false;
+        wr.imm = PackCtrl(CtrlType::kRenewRequest, lane.index, 1);
+        lane.renew_in_flight = true;
+        if (env.transport->Post(*lane.qp, wr) != verbs::WcStatus::kSuccess) {
+          QuarantineLane(*lane.conn, lane);
+        }
+      }
+    } else {
+      lane.starved_passes = 0;
+    }
+  }
+}
+
+sim::Proc ReceiverSched::Run(NodeEnv& env, ServerState& server) {
+  sim::Core& core = env.cpu().core(0);
+  const sim::CostModel& cost = env.cost();
+  const FlockConfig& config = *env.config;
+  Nanos next_redistribution = env.sim().Now() + config.qp_sched_interval;
+
+  verbs::Completion wcs[kCqPollBatch];
+  for (;;) {
+    Nanos work = 2 * cost.cpu_cq_poll_empty;
+    // Credit-renew requests arrive as write-with-imm completions on the RCQ
+    // (§7: polling the RCQ avoids synchronizing with the request dispatchers).
+    // Vectorized drain: one poll call pulls a whole batch of CQEs.
+    for (size_t nc;
+         (nc = env.transport->PollBatch(*env.recv_cq, wcs, kCqPollBatch)) > 0;) {
+      for (size_t ci = 0; ci < nc; ++ci) {
+        const verbs::Completion& wc = wcs[ci];
+        work += cost.cpu_cqe_handle + cost.cpu_post_recv;
+        if (WrIdTag(wc.wr_id) != WrTag::kServerRecv) {
+          // A dual-role node's client-side receives land here too; only a QP
+          // flush ever completes them (the server never sends imms clientward).
+          continue;
+        }
+        auto* lane = WrIdPtr<ServerLane>(wc.wr_id);
+        if (wc.status != verbs::WcStatus::kSuccess) {
+          // Flushed. A flush of the lane's *current* QP condemns it; a stale
+          // flush from a QP that a reconnect already replaced does not.
+          if (wc.qpn == 0 || lane->qp == nullptr || wc.qpn == lane->qp->qpn()) {
+            QuarantineServerLane(*lane, server.stats);
+          }
+          continue;
+        }
+        CtrlType type;
+        uint32_t lane_index, value;
+        UnpackCtrl(wc.imm, &type, &lane_index, &value);
+        FLOCK_CHECK(type == CtrlType::kRenewRequest);
+        env.transport->PostRecv(*lane->qp, verbs::RecvWr{wc.wr_id, 0, 0});
+        server.stats.credit_renewals += 1;
+        lane->utilization += value;  // U_ij += reported median degree
+        if (lane->active) {
+          // Grant C more credits through the lane's control slot (§5.1).
+          lane->grant_cumulative += config.credits;
+          WriteCtrlSlot(env, *lane, server.stats);
+          lane->credits_outstanding += config.credits;
+          work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
+        }
+        // Inactive lanes get no credits from the next interval on (§5.1).
+      }
+      if (nc < kCqPollBatch) {
+        break;
+      }
+    }
+    // Our own posted writes (signaled responses, control messages).
+    for (size_t nc;
+         (nc = env.transport->PollBatch(*env.send_cq, wcs, kCqPollBatch)) > 0;) {
+      for (size_t ci = 0; ci < nc; ++ci) {
+        const verbs::Completion& wc = wcs[ci];
+        work += cost.cpu_cqe_handle;
+        if (WrIdTag(wc.wr_id) == WrTag::kMemOp) {
+          auto* op = WrIdPtr<PendingMemOp>(wc.wr_id);
+          op->status = wc.status;
+          op->done_event.Fire(env.sim());
+        } else if (wc.status != verbs::WcStatus::kSuccess) {
+          HandleSendError(wc, server.stats);
+        }
+      }
+      if (nc < kCqPollBatch) {
+        break;
+      }
+    }
+
+    if (env.sim().Now() >= next_redistribution) {
+      Redistribute(env, server);
+      next_redistribution = env.sim().Now() + config.qp_sched_interval;
+      work += static_cast<Nanos>(server.lanes.size()) * 20;
+    }
+    co_await core.Work(work);
+  }
+}
+
+void ReceiverSched::Redistribute(NodeEnv& env, ServerState& server) {
+  const FlockConfig& config = *env.config;
+  server.stats.redistributions += 1;
+  // Effective per-lane utilization: the reported coalescing degrees (the
+  // paper's U_ij contention signal) plus the messages received this interval.
+  // The message term keeps low-rate senders "functioning" even when no credit
+  // renewal happened to land inside this scheduling window — with C=32 and
+  // renewal at half, a lane renews only once per 16 messages, which can
+  // starve the pure-renewal metric at modest rates and deactivate senders
+  // that are in fact active.
+  uint64_t total_utilization = 0;
+  uint32_t dormant = 0;
+  for (SenderState& sender : server.senders) {
+    sender.utilization = 0;
+    bool any_failed = false;
+    uint32_t live = 0;
+    for (ServerLane* lane : sender.lanes) {
+      if (lane->failed) {
+        any_failed = true;
+        continue;
+      }
+      if (lane->retired) {
+        continue;  // holds no slot and is no evidence either way
+      }
+      ++live;
+      lane->utilization += lane->messages_handled - lane->messages_at_last_sweep;
+      sender.utilization += lane->utilization;
+    }
+    // Dead-sender reclamation: transport evidence (>= 1 failed lane) plus a
+    // fully idle interval condemns the rest — the sender's QPs terminate at
+    // one client node, and a node that stopped driving every one of its lanes
+    // is gone, not slow. Releases the sender's share of MAX_AQP. A revive
+    // grace window (set by the reconnect handler) exempts just-revived lanes:
+    // they have zero utilization by construction and would otherwise be
+    // re-condemned on the spot (the double-reclaim bug).
+    if (sender.revive_grace > 0) {
+      --sender.revive_grace;
+    } else if (any_failed && live > 0 && sender.utilization == 0) {
+      for (ServerLane* lane : sender.lanes) {
+        if (!lane->failed && !lane->retired) {
+          QuarantineServerLane(*lane, server.stats);
+        }
+      }
+      live = 0;
+    }
+    const bool was_dead = sender.dead;
+    sender.dead = live == 0 && !sender.lanes.empty();
+    if (sender.dead) {
+      sender.functioning = false;
+      if (!was_dead) {
+        server.stats.dead_senders += 1;
+      }
+      continue;  // no budget participation at all
+    }
+    total_utilization += sender.utilization;
+    dormant += sender.utilization == 0 ? 1 : 0;
+  }
+  // Dormant senders keep one QP each; the functioning senders share what is
+  // left of MAX_AQP so the cap holds strictly.
+  const uint32_t budget =
+      config.max_active_qps > dormant ? config.max_active_qps - dormant : 1;
+
+  for (SenderState& sender : server.senders) {
+    if (sender.dead) {
+      // Sweep bookkeeping only: no activation, no grants, nothing to decide.
+      for (ServerLane* lane : sender.lanes) {
+        lane->messages_at_last_sweep = lane->messages_handled;
+        lane->utilization = 0;
+      }
+      sender.utilization = 0;
+      continue;
+    }
+    uint32_t lane_count = 0;  // live (non-quarantined, non-retired) lanes only
+    for (ServerLane* lane : sender.lanes) {
+      lane_count += (lane->failed || lane->retired) ? 0 : 1;
+    }
+    if (lane_count == 0) {
+      continue;
+    }
+    uint32_t target;
+    if (sender.utilization == 0 || total_utilization == 0) {
+      sender.functioning = false;  // dormant: keep one QP for the future
+      target = 1;
+    } else {
+      sender.functioning = true;
+      target = static_cast<uint32_t>(
+          (static_cast<uint64_t>(budget) * sender.utilization) / total_utilization);
+      target = std::max<uint32_t>(target, 1);
+    }
+    target = std::min(target, lane_count);
+
+    // One-sided hysteresis: a -1 target wobble (utilization noise between
+    // otherwise equal senders) is not worth churning the active set — every
+    // flip forces the sender's threads to re-shuffle across lanes, breaking
+    // the combining lockstep among them. Growth is always allowed (an
+    // under-provisioned sender benefits immediately).
+    uint32_t currently_active = 0;
+    for (ServerLane* lane : sender.lanes) {
+      currently_active += lane->active ? 1 : 0;
+    }
+    if (sender.functioning && currently_active >= 1 &&
+        target + 1 == currently_active) {
+      target = currently_active;
+    }
+
+    // Keep the most utilized lanes active; prefer the currently-active ones
+    // on near-ties so the set membership is stable interval to interval.
+    std::vector<ServerLane*>& order = order_scratch;
+    order.assign(sender.lanes.begin(), sender.lanes.end());
+    // Plain sort with an index tie-break (sender.lanes is in index order), so
+    // the result matches a stable sort without stable_sort's temp-buffer
+    // allocation on every scheduling interval.
+    std::sort(order.begin(), order.end(),
+              [](const ServerLane* a, const ServerLane* b) {
+                if (a->active != b->active) {
+                  return a->active > b->active;
+                }
+                if (a->utilization != b->utilization) {
+                  return a->utilization > b->utilization;
+                }
+                return a->index < b->index;
+              });
+    uint32_t rank = 0;  // rank among live lanes: failed/retired hold no slot
+    for (uint32_t i = 0; i < order.size(); ++i) {
+      ServerLane& lane = *order[i];
+      if (lane.failed || lane.retired) {
+        lane.messages_at_last_sweep = lane.messages_handled;
+        lane.utilization = 0;
+        continue;
+      }
+      const bool want_active = rank < target;
+      ++rank;
+      if (want_active && !lane.active) {
+        lane.active = true;
+        server.stats.activations += 1;
+        lane.grant_cumulative += config.credits;  // re-arm with C credits
+        lane.credits_outstanding += config.credits;
+        WriteCtrlSlot(env, lane, server.stats);
+      } else if (!want_active && lane.active) {
+        lane.active = false;
+        server.stats.deactivations += 1;
+        WriteCtrlSlot(env, lane, server.stats);
+      } else if (env.cluster->fault().armed() && lane.active &&
+                 lane.utilization == 0) {
+        // Liveness probe (armed runs only — plain bool, zero events in
+        // fault-free traces): an active lane that moved nothing all interval
+        // may terminate at a dead client QP that the server would otherwise
+        // never touch again. The signaled slot rewrite is idempotent against
+        // a healthy peer and completes in error against a dead one, which
+        // quarantines the lane via the scheduler's send-CQ poll.
+        WriteCtrlSlot(env, lane, server.stats, /*signaled=*/true);
+      }
+      lane.messages_at_last_sweep = lane.messages_handled;
+      lane.utilization = 0;
+    }
+    sender.utilization = 0;
+  }
+}
+
+}  // namespace internal
+}  // namespace flock

@@ -1,0 +1,55 @@
+// Receiver-side QP scheduling (§5.1): credit grants through per-lane control
+// slots, renewal handling, and the periodic MAX_AQP redistribution that keeps
+// the active-QP budget proportional to each sender's utilization. The
+// client-side halves of the credit protocol (renewal requests, applying a
+// written control slot) live here too so the whole grant loop reads in one
+// place.
+#ifndef FLOCK_FLOCK_SCHED_RECEIVER_H_
+#define FLOCK_FLOCK_SCHED_RECEIVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/flock/config.h"
+#include "src/flock/lane.h"
+#include "src/sim/task.h"
+#include "src/verbs/types.h"
+
+namespace flock {
+namespace internal {
+
+// RDMA-writes the lane's control slot (cumulative grant + activation bit) to
+// the client. `signaled` is the liveness-probe variant: a dead peer QP
+// answers with an error completion, which quarantines the lane.
+void WriteCtrlSlot(NodeEnv& env, ServerLane& lane, ServerStats& stats,
+                   bool signaled = false);
+
+// Appends a credit-renewal write-with-imm to `wrs` when the lane is below
+// the renewal threshold (§5.1 + §7); piggybacked on the pump's doorbell.
+void MaybeRenewCredits(const FlockConfig& config, ClientLane& lane,
+                       verbs::SendWr* wrs, size_t* nwrs);
+
+// Applies the server-written control slot to the client lane: new grants,
+// activation flips, and (armed runs only) starved-lane renewal recovery.
+void ApplyCtrlSlot(NodeEnv& env, ClientLane& lane);
+
+// The receiver scheduler proc and its periodic redistribution sweep. The
+// scratch vector persists across sweeps to keep the hot path allocation-free.
+struct ReceiverSched {
+  std::vector<ServerLane*> order_scratch;
+
+  // Core-0 scheduler loop: drains renewal imms from the RCQ, grants credits,
+  // polls the send CQ for this node's own completions, and redistributes the
+  // AQP budget every qp_sched_interval.
+  sim::Proc Run(NodeEnv& env, ServerState& server);
+
+  // One §5.1 sweep: recompute per-sender utilization, reclaim dead senders,
+  // and re-partition MAX_AQP proportionally (called by Run on its interval
+  // and by the membership listener on a departure).
+  void Redistribute(NodeEnv& env, ServerState& server);
+};
+
+}  // namespace internal
+}  // namespace flock
+
+#endif  // FLOCK_FLOCK_SCHED_RECEIVER_H_

@@ -1,0 +1,10 @@
+#include "src/flock/transport.h"
+
+namespace flock {
+
+TransportOps& SimTransportInstance() {
+  static SimTransport instance;
+  return instance;
+}
+
+}  // namespace flock

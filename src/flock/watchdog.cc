@@ -1,0 +1,103 @@
+#include "src/flock/watchdog.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/flock/combine.h"
+
+namespace flock {
+namespace internal {
+
+Nanos WatchdogTick(Nanos rpc_timeout) {
+  return std::max<Nanos>(rpc_timeout / 4, kMicrosecond);
+}
+
+Nanos RetryBackoff(Nanos rpc_timeout, uint32_t retries) {
+  const uint32_t shift = std::min<uint32_t>(retries, 20);
+  return rpc_timeout <= (std::numeric_limits<Nanos>::max() >> (shift + 1))
+             ? rpc_timeout << shift
+             : std::numeric_limits<Nanos>::max() / 2;
+}
+
+sim::Proc Watchdog::Run(NodeEnv& env, ClientState& client) {
+  const Nanos tick = WatchdogTick(env.config->rpc_timeout);
+  for (;;) {
+    co_await sim::Delay(env.sim(), tick);
+    const Nanos now = env.sim().Now();
+    for (ClientConnState* conn : client.conns) {
+      // Collect first: Retry/Fail mutate the maps ForEach walks.
+      scratch.clear();
+      for (auto& map : conn->pending) {
+        map.ForEach([&](uint32_t, PendingRpc* rpc) {
+          if (rpc->deadline > 0 && now >= rpc->deadline) {
+            scratch.push_back(rpc);
+          }
+        });
+      }
+      for (PendingRpc* rpc : scratch) {
+        if (rpc->retries >= env.config->max_retries) {
+          FailPendingRpc(*conn, rpc);
+        } else {
+          RetryPendingRpc(*conn, rpc);
+        }
+      }
+    }
+  }
+}
+
+void RetryPendingRpc(ClientConnState& conn, PendingRpc* rpc) {
+  rpc->retries += 1;
+  const Nanos backoff = RetryBackoff(conn.env->config->rpc_timeout, rpc->retries);
+  rpc->deadline = conn.env->sim().Now() + backoff;
+  conn.client->stats.retries += 1;
+
+  FlockThread& thread = *conn.client->threads[rpc->thread_id];
+  // Restage on the thread's current lane (LaneFor routes around quarantined
+  // lanes once the thread drains). The server matches responses globally by
+  // (thread, seq), so a retry on a different lane still completes this RPC.
+  ClientLane& old_lane = *conn.lanes[rpc->lane_index];
+  ClientLane& lane = LaneFor(conn, thread);
+  if (&lane != &old_lane) {
+    old_lane.inflight -= std::min<uint64_t>(old_lane.inflight, 1);
+    lane.inflight += 1;
+    rpc->lane_index = lane.index;
+  }
+  // A timeout hints that an unacked control message may have been lost; let
+  // the next pump pass re-request credit renewal (duplicates are harmless).
+  lane.renew_in_flight = false;
+
+  PendingSend* ps = conn.client->send_pool.New();
+  ps->meta.data_len = rpc->request.size();
+  ps->meta.thread_id = rpc->thread_id;
+  ps->meta.rpc_id = rpc->rpc_id;
+  ps->meta.seq = rpc->seq;
+  ps->owner_core = &thread.core();
+  ps->data.Assign(rpc->request.data(), rpc->request.size());
+  ps->copied = true;  // payload staged right here; no follower copy phase
+  if (lane.combine_tail != nullptr) {
+    lane.combine_tail->next = ps;
+  } else {
+    lane.combine_head = ps;
+  }
+  lane.combine_tail = ps;
+  WakePump(conn, lane);
+}
+
+void FailPendingRpc(ClientConnState& conn, PendingRpc* rpc) {
+  PendingRpc* taken = conn.pending[rpc->thread_id].Take(rpc->seq);
+  FLOCK_CHECK(taken == rpc);
+  conn.client->stats.failed_rpcs += 1;
+  ClientLane& lane = *conn.lanes[rpc->lane_index];
+  lane.inflight -= std::min<uint64_t>(lane.inflight, 1);
+  FlockThread& thread = *conn.client->threads[rpc->thread_id];
+  if (thread.outstanding > 0) {
+    thread.outstanding -= 1;
+  }
+  rpc->ok = false;
+  rpc->deadline = 0;
+  rpc->completed_at = conn.env->sim().Now();
+  rpc->done_event.Fire(conn.env->sim());
+}
+
+}  // namespace internal
+}  // namespace flock

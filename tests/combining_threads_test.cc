@@ -10,7 +10,7 @@
 #include <thread>
 #include <vector>
 
-#include "src/flock/combining.h"
+#include "src/flock/combine.h"
 
 namespace flock {
 namespace {

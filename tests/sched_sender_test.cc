@@ -1,0 +1,277 @@
+// Unit tests for the sender-side thread scheduler's pure primitives
+// (src/flock/sched/sender.h, Algorithm 1): sort order, byte-quota packing,
+// and the stability (AssignmentHealthy) predicate. Everything here runs on
+// synthetic ThreadSchedStat vectors — no simulator, no cluster.
+#include "src/flock/sched/sender.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace flock::internal {
+namespace {
+
+ThreadSchedStat Stat(size_t tid, uint32_t median_size, uint64_t reqs,
+                     uint64_t bytes) {
+  ThreadSchedStat s;
+  s.tid = tid;
+  s.median_size = median_size;
+  s.reqs = reqs;
+  s.bytes = bytes;
+  return s;
+}
+
+std::vector<size_t> Tids(const std::vector<ThreadSchedStat>& stats) {
+  std::vector<size_t> tids;
+  for (const ThreadSchedStat& s : stats) {
+    tids.push_back(s.tid);
+  }
+  return tids;
+}
+
+// ---- SortByAlgorithm1 ----
+
+TEST(SortByAlgorithm1, OrdersByMedianSizeFirst) {
+  std::vector<ThreadSchedStat> stats = {
+      Stat(0, 4096, 10, 40960),
+      Stat(1, 64, 10, 640),
+      Stat(2, 512, 10, 5120),
+  };
+  SortByAlgorithm1(stats);
+  EXPECT_EQ(Tids(stats), (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(SortByAlgorithm1, BreaksMedianTiesByRequestCount) {
+  std::vector<ThreadSchedStat> stats = {
+      Stat(0, 64, 1000, 64000),
+      Stat(1, 64, 100, 6400),
+  };
+  SortByAlgorithm1(stats);
+  EXPECT_EQ(Tids(stats), (std::vector<size_t>{1, 0}));
+}
+
+TEST(SortByAlgorithm1, QuantizesRequestCountAgainstNoise) {
+  // 64-request buckets: counts differing by less than a bucket must not
+  // reorder threads (run-to-run noise would otherwise reshuffle assignments
+  // every interval and break coalescing lockstep). Within a bucket the tid
+  // tie-break keeps the order strict and deterministic.
+  std::vector<ThreadSchedStat> stats = {
+      Stat(3, 64, 70, 4480),  // 70 >> 6 == 1
+      Stat(1, 64, 100, 6400),  // 100 >> 6 == 1
+      Stat(2, 64, 65, 4160),  // 65 >> 6 == 1
+  };
+  SortByAlgorithm1(stats);
+  EXPECT_EQ(Tids(stats), (std::vector<size_t>{1, 2, 3}));
+
+  // A full bucket of difference does reorder.
+  stats = {Stat(0, 64, 130, 8320), Stat(1, 64, 60, 3840)};
+  SortByAlgorithm1(stats);
+  EXPECT_EQ(Tids(stats), (std::vector<size_t>{1, 0}));
+}
+
+TEST(SortByAlgorithm1, IsDeterministicOnFullTies) {
+  std::vector<ThreadSchedStat> stats = {
+      Stat(2, 64, 10, 640), Stat(0, 64, 10, 640), Stat(1, 64, 10, 640)};
+  SortByAlgorithm1(stats);
+  EXPECT_EQ(Tids(stats), (std::vector<size_t>{0, 1, 2}));
+}
+
+// ---- PackByByteQuota ----
+
+TEST(PackByByteQuota, SplitsEvenLoadAcrossLanes) {
+  // Four equal threads, two lanes, quota = total/2: the first two threads
+  // fill lane a, the rest go to lane b.
+  std::vector<ThreadSchedStat> sorted = {
+      Stat(0, 64, 10, 100), Stat(1, 64, 10, 100), Stat(2, 64, 10, 100),
+      Stat(3, 64, 10, 100)};
+  std::vector<uint32_t> active = {5, 9};  // lane ids need not be dense
+  std::vector<uint32_t> desired(4, UINT32_MAX);
+  PackByByteQuota(sorted, active, 400, &desired);
+  EXPECT_EQ(desired, (std::vector<uint32_t>{5, 5, 9, 9}));
+}
+
+TEST(PackByByteQuota, HeavyThreadFillsItsLaneAlone) {
+  // One thread with half the bytes exhausts its lane's quota by itself; the
+  // small threads share the next lane instead of queueing behind it.
+  std::vector<ThreadSchedStat> sorted = {
+      Stat(0, 64, 10, 50), Stat(1, 64, 10, 50), Stat(2, 4096, 10, 100)};
+  std::vector<uint32_t> active = {0, 1};
+  std::vector<uint32_t> desired(3, UINT32_MAX);
+  PackByByteQuota(sorted, active, 200, &desired);
+  EXPECT_EQ(desired[0], 0u);
+  EXPECT_EQ(desired[1], 0u);
+  EXPECT_EQ(desired[2], 1u);
+}
+
+TEST(PackByByteQuota, OverflowClampsToLastLane) {
+  // More quota-exceeding threads than lanes: the tail all lands on the last
+  // active lane rather than indexing past the end.
+  std::vector<ThreadSchedStat> sorted = {
+      Stat(0, 64, 10, 100), Stat(1, 64, 10, 100), Stat(2, 64, 10, 100),
+      Stat(3, 64, 10, 100)};
+  std::vector<uint32_t> active = {7};
+  std::vector<uint32_t> desired(4, UINT32_MAX);
+  PackByByteQuota(sorted, active, 400, &desired);
+  EXPECT_EQ(desired, (std::vector<uint32_t>{7, 7, 7, 7}));
+}
+
+TEST(PackByByteQuota, ZeroTotalBytesStillAssignsEveryThread) {
+  // Idle interval: the quota clamps to 1 (no division by zero) and every
+  // thread still gets a lane — idle threads consolidate on the first active
+  // lane until they have traffic to balance by.
+  std::vector<ThreadSchedStat> sorted = {Stat(0, 0, 0, 0), Stat(1, 0, 0, 0)};
+  std::vector<uint32_t> active = {2, 3};
+  std::vector<uint32_t> desired(2, UINT32_MAX);
+  PackByByteQuota(sorted, active, 0, &desired);
+  EXPECT_EQ(desired[0], 2u);
+  EXPECT_EQ(desired[1], 2u);
+}
+
+// ---- AssignmentHealthy ----
+
+struct HealthyFixture {
+  std::vector<ThreadSchedStat> stats;
+  std::vector<uint32_t> desired;
+  std::vector<uint8_t> lane_active;
+  LaneLoadScratch scratch;
+
+  bool Check(size_t num_active, uint64_t total_bytes) {
+    return AssignmentHealthy(stats, desired, lane_active, num_active,
+                             total_bytes, &scratch);
+  }
+};
+
+TEST(AssignmentHealthy, BalancedSameSizeAssignmentIsKept) {
+  HealthyFixture f;
+  f.stats = {Stat(0, 64, 10, 100), Stat(1, 64, 10, 100), Stat(2, 64, 10, 100),
+             Stat(3, 64, 10, 100)};
+  f.desired = {0, 0, 1, 1};
+  f.lane_active = {1, 1};
+  EXPECT_TRUE(f.Check(2, 400));
+}
+
+TEST(AssignmentHealthy, UnassignedThreadForcesResort) {
+  HealthyFixture f;
+  f.stats = {Stat(0, 64, 10, 100), Stat(1, 64, 10, 100)};
+  f.desired = {0, UINT32_MAX};
+  f.lane_active = {1};
+  EXPECT_FALSE(f.Check(1, 200));
+}
+
+TEST(AssignmentHealthy, ThreadOnInactiveLaneForcesResort) {
+  // Lane 1 failed since the last tick; its threads must be re-packed.
+  HealthyFixture f;
+  f.stats = {Stat(0, 64, 10, 100), Stat(1, 64, 10, 100)};
+  f.desired = {0, 1};
+  f.lane_active = {1, 0};
+  EXPECT_FALSE(f.Check(1, 200));
+}
+
+TEST(AssignmentHealthy, LoadImbalanceBeyondTwiceMeanForcesResort) {
+  // All bytes on one of three lanes: lane 0 carries total > 2*(total/3) + 1.
+  // (With only two lanes the 2x slack can never trip — one lane holding
+  // everything is exactly 2x the mean.)
+  HealthyFixture f;
+  f.stats = {Stat(0, 64, 10, 500), Stat(1, 64, 10, 500),
+             Stat(2, 64, 10, 500)};
+  f.desired = {0, 0, 0};
+  f.lane_active = {1, 1, 1};
+  EXPECT_FALSE(f.Check(3, 1500));
+
+  // The same load spread across the lanes is healthy.
+  f.desired = {0, 1, 2};
+  EXPECT_TRUE(f.Check(3, 1500));
+}
+
+TEST(AssignmentHealthy, MixedSmallAndLargePayloadsOnOneLaneForcesResort) {
+  // Head-of-line risk: a 64B thread sharing a lane with a 4KB thread. Byte
+  // loads are balanced, so only the size-mixing rule can catch it.
+  HealthyFixture f;
+  f.stats = {Stat(0, 64, 10, 500), Stat(1, 4096, 10, 500),
+             Stat(2, 64, 10, 500), Stat(3, 4096, 10, 500)};
+  f.desired = {0, 0, 1, 1};
+  f.lane_active = {1, 1};
+  EXPECT_FALSE(f.Check(2, 2000));
+
+  // Segregating sizes (small lane / large lane) is healthy even though the
+  // large lane now carries more bytes — 500+500 vs mean 1000 is within 2x.
+  f.desired = {0, 1, 0, 1};
+  EXPECT_TRUE(f.Check(2, 2000));
+}
+
+TEST(AssignmentHealthy, SmallSizeSpreadIsNotHeadOfLine) {
+  // The mixing rule keys off 4 * max(min_size, 64): sub-64B payloads never
+  // trip it against 64..256B neighbors, so tiny-message workloads are not
+  // perpetually reshuffled. With a single lane the load rule cannot trigger
+  // either, so mixing is the only possible verdict here.
+  HealthyFixture f;
+  f.stats = {Stat(0, 8, 10, 500), Stat(1, 256, 10, 500)};
+  f.desired = {0, 0};
+  f.lane_active = {1};
+  EXPECT_TRUE(f.Check(1, 1000));
+
+  // 257B against 8B does trip it (4 * max(8, 64) = 256).
+  f.stats[1].median_size = 257;
+  EXPECT_FALSE(f.Check(1, 1000));
+}
+
+TEST(AssignmentHealthy, IdleIntervalIsAlwaysHealthy) {
+  // total_bytes == 0 skips the load rules entirely: an idle client must not
+  // reshuffle threads.
+  HealthyFixture f;
+  f.stats = {Stat(0, 64, 0, 0), Stat(1, 4096, 0, 0)};
+  f.desired = {0, 0};
+  f.lane_active = {1, 1};
+  EXPECT_TRUE(f.Check(2, 0));
+}
+
+// ---- end-to-end over the pure primitives ----
+
+TEST(SenderSchedPrimitives, SortThenPackSegregatesSizes) {
+  // Mixed workload with byte loads balanced across sizes: after sort + pack,
+  // the small-payload threads fill the first lane and the large-payload
+  // threads the second — no lane serves both sizes.
+  std::vector<ThreadSchedStat> stats = {
+      Stat(0, 4096, 100, 409600), Stat(1, 64, 6400, 409600),
+      Stat(2, 4096, 100, 409600), Stat(3, 64, 6400, 409600)};
+  uint64_t total = 0;
+  for (const ThreadSchedStat& s : stats) {
+    total += s.bytes;
+  }
+  SortByAlgorithm1(stats);
+  std::vector<uint32_t> active = {0, 1};
+  std::vector<uint32_t> desired(4, UINT32_MAX);
+  PackByByteQuota(stats, active, total, &desired);
+
+  // Small threads (1, 3) must not share a lane with the large ones (0, 2).
+  EXPECT_EQ(desired[1], desired[3]);
+  EXPECT_EQ(desired[0], desired[2]);
+  EXPECT_NE(desired[1], desired[0]);
+
+  // No lane may hold both sizes.
+  for (uint32_t lane = 0; lane < 2; ++lane) {
+    uint32_t min_size = UINT32_MAX;
+    uint32_t max_size = 0;
+    for (const ThreadSchedStat& s : stats) {
+      if (desired[s.tid] == lane) {
+        min_size = std::min(min_size, s.median_size);
+        max_size = std::max(max_size, s.median_size);
+      }
+    }
+    if (min_size != UINT32_MAX) {
+      EXPECT_LE(max_size, 4 * std::max(min_size, 64u));
+    }
+  }
+
+  // The produced assignment is the scheduler's own fixed point: a later tick
+  // with the same stats must keep it.
+  std::vector<uint8_t> lane_active = {1, 1};
+  LaneLoadScratch scratch;
+  EXPECT_TRUE(
+      AssignmentHealthy(stats, desired, lane_active, 2, total, &scratch));
+}
+
+}  // namespace
+}  // namespace flock::internal
