@@ -210,6 +210,27 @@ struct KernelCounters {
   }
 };
 
+// Order-sensitive FNV-1a accumulator over 64-bit words. Benches and the
+// determinism tests fold per-node observable state (device counters, per-node
+// completion counts, final simulated time) into one fingerprint; two runs
+// whose fingerprints match executed the same observable trace. Fold nodes in
+// node-id order so the hash is a function of the trace, not of shard layout.
+class TraceHash {
+ public:
+  TraceHash& Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV-1a 64-bit offset basis
+};
+
 // Host wall-clock stopwatch for the throughput benches.
 class WallTimer {
  public:

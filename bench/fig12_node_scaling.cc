@@ -9,7 +9,13 @@
 // Paper result: 2thr/1QP beats 2thr/2QPs by 10–30% in throughput with
 // similar p99 reductions — fewer QPs, better performance.
 //
-// Usage: fig12_node_scaling [--measure_ms=3] [--warmup_ms=2]
+// Usage: fig12_node_scaling [--measure_ms=3] [--warmup_ms=2] [--shards=1]
+//        [--workers=0]
+//
+// --shards runs the simulation kernel sharded (wall-clock only: the trace,
+// and therefore every reported number, is bit-identical at any shard count);
+// at the paper's full 24-node scale this is what makes the figure complete
+// in minutes on a multi-core host.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -21,6 +27,8 @@ int main(int argc, char** argv) {
   JsonDump json(flags, "fig12_node_scaling");
   const flock::Nanos warmup = flags.Int("warmup_ms", 2) * flock::kMillisecond;
   const flock::Nanos measure = flags.Int("measure_ms", 3) * flock::kMillisecond;
+  const int shards = static_cast<int>(flags.Int("shards", 1));
+  const int workers = static_cast<int>(flags.Int("workers", 0));
 
   PrintBanner("Figure 12: node scalability, 64B RPC, 8 outstanding");
   std::printf("%9s | %17s | %17s | %17s\n", "#clients", "1thr/1QP  p50/p99",
@@ -35,6 +43,8 @@ int main(int argc, char** argv) {
     config.resp_bytes = 64;
     config.warmup = warmup;
     config.measure = measure;
+    config.num_shards = shards;
+    config.num_workers = workers;
 
     config.threads_per_client = 1;
     config.lanes_per_connection = 1;

@@ -15,12 +15,39 @@ namespace {
 
 constexpr uint16_t kEchoRpc = 1;
 
+// Per-client-node accounting. Under kernel sharding every worker of a node
+// runs on that node's shard, so one Shared per client node is single-writer
+// by construction; totals merge on the main thread after the run, in node
+// order, so the report is deterministic. (`measuring` is flipped by the main
+// thread only between Run* calls, never mid-window.)
 struct Shared {
   bool measuring = false;
   uint64_t completed = 0;
   uint64_t timeouts = 0;
   Histogram latency;
 };
+
+struct SharedTotals {
+  uint64_t completed = 0;
+  uint64_t timeouts = 0;
+  Histogram latency;
+};
+
+void SetMeasuring(std::vector<Shared>* shared, bool on) {
+  for (Shared& s : *shared) {
+    s.measuring = on;
+  }
+}
+
+SharedTotals MergeShared(const std::vector<Shared>& shared) {
+  SharedTotals t;
+  for (const Shared& s : shared) {
+    t.completed += s.completed;
+    t.timeouts += s.timeouts;
+    t.latency.Merge(s.latency);
+  }
+  return t;
+}
 
 RpcHandler MakeEchoHandler(uint32_t resp_bytes, Nanos handler_cpu) {
   return [resp_bytes, handler_cpu](const uint8_t* req, uint32_t len, uint8_t* resp,
@@ -80,13 +107,14 @@ RpcBenchResult RunFlockRpc(const RpcBenchConfig& config) {
   const int cores = std::max(config.server_cores, config.client_cores);
   verbs::Cluster cluster(verbs::Cluster::Config{
       .num_nodes = 1 + config.num_clients, .cores_per_node = cores,
-      .cost = config.cost});
+      .cost = config.cost, .num_shards = config.num_shards,
+      .num_workers = config.num_workers});
 
   FlockRuntime server(cluster, 0, config.flock);
   server.RegisterHandler(kEchoRpc, MakeEchoHandler(config.resp_bytes, config.handler_cpu));
   server.StartServer(config.server_cores - 1);  // core 0 runs the QP scheduler
 
-  Shared shared;
+  std::vector<Shared> shared(static_cast<size_t>(config.num_clients));
   FlockConfig client_config = config.flock;
   client_config.response_dispatchers = config.threads_per_client >= 32 ? 2 : 1;
 
@@ -107,12 +135,12 @@ RpcBenchResult RunFlockRpc(const RpcBenchConfig& config) {
       for (int t = 0; t < config.threads_per_client; ++t) {
         FlockThread* thread = runtime.CreateThread(
             (p * config.threads_per_client + t) % worker_cores);
-        cluster.sim().Spawn(FlockWorker(cluster, conn, thread,
-                                        ThreadReqBytes(config, t),
-                                        config.outstanding, &shared,
-                                        (static_cast<Nanos>(connections.size()) * 7919 +
-                                         t * 977) %
-                                            (200 * kMicrosecond)));
+        cluster.sim().Spawn(
+            FlockWorker(cluster, conn, thread, ThreadReqBytes(config, t),
+                        config.outstanding, &shared[static_cast<size_t>(c)],
+                        (static_cast<Nanos>(connections.size()) * 7919 + t * 977) %
+                            (200 * kMicrosecond)),
+            /*node=*/1 + c);
       }
     }
   }
@@ -124,16 +152,17 @@ RpcBenchResult RunFlockRpc(const RpcBenchConfig& config) {
     messages0 += conn->messages_sent();
     requests0 += conn->requests_sent();
   }
-  shared.measuring = true;
+  SetMeasuring(&shared, true);
   cluster.sim().RunFor(config.measure);
-  shared.measuring = false;
+  SetMeasuring(&shared, false);
 
+  const SharedTotals totals = MergeShared(shared);
   RpcBenchResult result;
-  result.completed = shared.completed;
-  result.mops = static_cast<double>(shared.completed) /
+  result.completed = totals.completed;
+  result.mops = static_cast<double>(totals.completed) /
                 (static_cast<double>(config.measure) / 1e9) / 1e6;
-  result.p50_ns = shared.latency.Median();
-  result.p99_ns = shared.latency.P99();
+  result.p50_ns = totals.latency.Median();
+  result.p99_ns = totals.latency.P99();
   uint64_t messages = 0, requests = 0;
   for (Connection* conn : connections) {
     messages += conn->messages_sent();
@@ -189,7 +218,8 @@ RpcBenchResult RunUdRpc(const RpcBenchConfig& config) {
   const int cores = std::max(config.server_cores, config.client_cores);
   verbs::Cluster cluster(verbs::Cluster::Config{
       .num_nodes = 1 + config.num_clients, .cores_per_node = cores,
-      .cost = config.cost});
+      .cost = config.cost, .num_shards = config.num_shards,
+      .num_workers = config.num_workers});
 
   baselines::UdRpcServer server(
       cluster, 0,
@@ -198,7 +228,7 @@ RpcBenchResult RunUdRpc(const RpcBenchConfig& config) {
   server.RegisterHandler(kEchoRpc, MakeEchoHandler(config.resp_bytes, config.handler_cpu));
   server.Start();
 
-  Shared shared;
+  std::vector<Shared> shared(static_cast<size_t>(config.num_clients));
   std::vector<std::unique_ptr<baselines::UdRpcClient>> clients;
   int global_thread = 0;
   for (int c = 0; c < config.num_clients; ++c) {
@@ -209,27 +239,29 @@ RpcBenchResult RunUdRpc(const RpcBenchConfig& config) {
           /*recv_pool=*/static_cast<uint32_t>(config.outstanding) + 8);
       const baselines::UdEndpoint endpoint =
           server.endpoint(global_thread++ % server.num_workers());
-      cluster.sim().Spawn(UdWorker(cluster, thread, endpoint,
-                                   ThreadReqBytes(config, t), config.outstanding,
-                                   &shared,
-                                   (static_cast<Nanos>(global_thread) * 977) %
-                                       (200 * kMicrosecond)));
+      cluster.sim().Spawn(
+          UdWorker(cluster, thread, endpoint, ThreadReqBytes(config, t),
+                   config.outstanding, &shared[static_cast<size_t>(c)],
+                   (static_cast<Nanos>(global_thread) * 977) %
+                       (200 * kMicrosecond)),
+          /*node=*/1 + c);
     }
   }
 
   cluster.sim().RunFor(config.warmup);
   const Nanos busy0 = cluster.cpu(0).TotalBusyTime();
-  shared.measuring = true;
+  SetMeasuring(&shared, true);
   cluster.sim().RunFor(config.measure);
-  shared.measuring = false;
+  SetMeasuring(&shared, false);
 
+  const SharedTotals totals = MergeShared(shared);
   RpcBenchResult result;
-  result.completed = shared.completed;
-  result.timeouts = shared.timeouts;
-  result.mops = static_cast<double>(shared.completed) /
+  result.completed = totals.completed;
+  result.timeouts = totals.timeouts;
+  result.mops = static_cast<double>(totals.completed) /
                 (static_cast<double>(config.measure) / 1e9) / 1e6;
-  result.p50_ns = shared.latency.Median();
-  result.p99_ns = shared.latency.P99();
+  result.p50_ns = totals.latency.Median();
+  result.p99_ns = totals.latency.P99();
   result.server_cpu = static_cast<double>(cluster.cpu(0).TotalBusyTime() - busy0) /
                       (static_cast<double>(config.measure) * config.server_cores);
   result.drops = cluster.device(0).stats().ud_drops;
@@ -268,13 +300,14 @@ RpcBenchResult RunRcRpc(const RpcBenchConfig& config) {
   const int cores = std::max(config.server_cores, config.client_cores);
   verbs::Cluster cluster(verbs::Cluster::Config{
       .num_nodes = 1 + config.num_clients, .cores_per_node = cores,
-      .cost = config.cost});
+      .cost = config.cost, .num_shards = config.num_shards,
+      .num_workers = config.num_workers});
 
   baselines::RcRpcServer server(cluster, 0, config.server_cores);
   server.RegisterHandler(kEchoRpc, MakeEchoHandler(config.resp_bytes, config.handler_cpu));
   server.Start();
 
-  Shared shared;
+  std::vector<Shared> shared(static_cast<size_t>(config.num_clients));
   std::vector<std::unique_ptr<baselines::RcRpcClient>> clients;
   const int share = std::max(1, config.threads_per_qp);
   const int worker_cores = std::max(2, config.client_cores - 1);
@@ -292,26 +325,29 @@ RpcBenchResult RunRcRpc(const RpcBenchConfig& config) {
       baselines::RcRpcClient::Lane* lane = lanes[static_cast<size_t>(t / share)];
       // `outstanding` is modeled as that many closed-loop workers per thread.
       for (int o = 0; o < config.outstanding; ++o) {
-        cluster.sim().Spawn(RcWorker(cluster, &client, lane, thread,
-                                     ThreadReqBytes(config, t), &shared,
-                                     (static_cast<Nanos>(c) * 7919 + t * 977 + o * 331) %
-                                         (200 * kMicrosecond)));
+        cluster.sim().Spawn(
+            RcWorker(cluster, &client, lane, thread, ThreadReqBytes(config, t),
+                     &shared[static_cast<size_t>(c)],
+                     (static_cast<Nanos>(c) * 7919 + t * 977 + o * 331) %
+                         (200 * kMicrosecond)),
+            /*node=*/1 + c);
       }
     }
   }
 
   cluster.sim().RunFor(config.warmup);
   const Nanos busy0 = cluster.cpu(0).TotalBusyTime();
-  shared.measuring = true;
+  SetMeasuring(&shared, true);
   cluster.sim().RunFor(config.measure);
-  shared.measuring = false;
+  SetMeasuring(&shared, false);
 
+  const SharedTotals totals = MergeShared(shared);
   RpcBenchResult result;
-  result.completed = shared.completed;
-  result.mops = static_cast<double>(shared.completed) /
+  result.completed = totals.completed;
+  result.mops = static_cast<double>(totals.completed) /
                 (static_cast<double>(config.measure) / 1e9) / 1e6;
-  result.p50_ns = shared.latency.Median();
-  result.p99_ns = shared.latency.P99();
+  result.p50_ns = totals.latency.Median();
+  result.p99_ns = totals.latency.P99();
   result.server_cpu = static_cast<double>(cluster.cpu(0).TotalBusyTime() - busy0) /
                       (static_cast<double>(config.measure) * config.server_cores);
   return result;

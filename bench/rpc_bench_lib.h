@@ -30,6 +30,11 @@ struct RpcBenchConfig {
 
   int server_cores = 32;
   int client_cores = 32;
+  // Simulation-kernel sharding (wall-clock only; traces are bit-identical at
+  // every value — see src/sim/simulator.h). 0 workers = one per shard up to
+  // the host's hardware threads.
+  int num_shards = 1;
+  int num_workers = 0;
   // Simulated-hardware constants (perturbed by the sensitivity ablation).
   sim::CostModel cost;
   Nanos warmup = 1 * kMillisecond;

@@ -123,6 +123,56 @@ KernelResult RunCalendarChurn(uint64_t iters, int procs) {
   return r;
 }
 
+// ---- cross-shard hop grid (sharded-kernel scaling sweep) ----
+
+// A ring of nodes, several procs per node, each alternating same-node delays
+// with cross-node hops of exactly the lookahead: the worst case for the
+// window loop (every window ends in a mailbox drain). Swept over shard
+// counts; the event count must not change (the trace is shard-invariant),
+// only the wall clock may.
+sim::Proc HopWorker(sim::Simulator& sim, int home, int peer, Nanos hop,
+                    uint64_t rounds, uint64_t* done) {
+  for (uint64_t r = 0; r < rounds; ++r) {
+    co_await sim::Delay(sim, static_cast<Nanos>(r % 5));
+    co_await sim::HopToNode(sim, peer, hop);
+    co_await sim::HopToNode(sim, home, hop);
+  }
+  ++(*done);
+}
+
+KernelResult RunHopGrid(int nodes, int shards, int workers, uint64_t rounds) {
+  constexpr Nanos kHop = 450;  // the fabric's min cross-node delay, in spirit
+  sim::Simulator sim;
+  std::vector<int> node_shard(static_cast<size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    node_shard[static_cast<size_t>(n)] = n % shards;
+  }
+  sim.ConfigureSharding(shards, node_shard, kHop, workers);
+  // Per-node completion counters: a HopWorker finishes on its home node, so
+  // each slot is single-writer under sharding (shared counters would race).
+  std::vector<uint64_t> done(static_cast<size_t>(nodes), 0);
+  for (int n = 0; n < nodes; ++n) {
+    for (int k = 0; k < 4; ++k) {
+      sim.Spawn(
+          HopWorker(sim, n, (n + 1 + k) % nodes, kHop, rounds,
+                    &done[static_cast<size_t>(n)]),
+          n);
+    }
+  }
+  const WallTimer timer;
+  sim.Run();
+  uint64_t total_done = 0;
+  for (const uint64_t d : done) {
+    total_done += d;
+  }
+  FLOCK_CHECK_EQ(total_done, static_cast<uint64_t>(nodes) * 4);
+  KernelResult r;
+  r.wall_s = timer.Seconds();
+  r.kernel = KernelCounters::Capture(sim);
+  r.events_per_s = static_cast<double>(r.kernel.events) / r.wall_s;
+  return r;
+}
+
 void Report(JsonDump& json, const char* name, const KernelResult& best,
             const char* rate_unit) {
   std::printf("%-18s %14.0f %s  (%lu events, %lu resumes, %lu coalesced, "
@@ -161,6 +211,31 @@ int Main(int argc, char** argv) {
          "wakes/s");
   Report(json, "calendar_churn", BestOf(repeats, [&] { return RunCalendarChurn(iters / 8, 8); }, kRate),
          "events/s");
+
+  // Shard-scaling sweep: the same hop grid on 1..--shards shards. The event
+  // count is asserted shard-invariant; the per-shard rates land in the JSON
+  // so the scaling curve rides the shared --json pipeline. --workers forces
+  // the pool size (CI's TSan job uses it to guarantee real threads).
+  const int max_shards = static_cast<int>(flags.Int("shards", 8));
+  const int workers = static_cast<int>(flags.Int("workers", 0));
+  const int grid_nodes = static_cast<int>(flags.Int("hop-nodes", 16));
+  const uint64_t hop_rounds = iters / 200;
+  uint64_t base_events = 0;
+  for (int shards = 1; shards <= max_shards; shards *= 2) {
+    const KernelResult best = BestOf(
+        repeats,
+        [&] { return RunHopGrid(grid_nodes, shards, workers, hop_rounds); },
+        kRate);
+    if (shards == 1) {
+      base_events = best.kernel.events;
+    } else {
+      FLOCK_CHECK_EQ(best.kernel.events, base_events)
+          << "hop_grid trace changed at " << shards << " shards";
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "hop_grid_s%d", shards);
+    Report(json, name, best, "events/s");
+  }
   return 0;
 }
 

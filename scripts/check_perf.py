@@ -4,11 +4,22 @@
 Usage:
     check_perf.py BASELINE.json CURRENT.json [--max-regression=0.10]
 
-Reads the first row of each JSON dump (the schema bench/bench_util.h emits),
-compares the wall-clock rate metrics, and exits non-zero if any gated metric
-regressed by more than the threshold. Improvements are reported but never
-fail the gate; the checked-in baseline should be refreshed in the PR that
-moves the numbers.
+perf_smoke emits one row per configuration (the "config" field): a "default"
+single-shard row plus a shard-scaling pair ("scale_seq" / "scale_par") that
+runs the same larger world sequentially and sharded. Three gates:
+
+ 1. Rate regression — the default row's wall-clock rates (events/s, rpcs/s)
+    must not drop more than --max-regression vs the baseline row with the
+    same config. Improvements never fail; refresh the baseline in the PR
+    that moves the numbers.
+ 2. Trace identity — scale_seq and scale_par in the *current* run must report
+    identical event counts, RPC counts and trace hashes: the sharded kernel
+    must replay the sequential trace bit for bit (DESIGN.md §12).
+ 3. Shard speedup — scale_par must beat scale_seq by a factor that depends on
+    the host parallelism actually available (the "host_cpus" field):
+    >= 4x with 8+ effective cores, >= 2x with 4+, >= 1.2x with 2+; skipped on
+    single-core hosts, where the worker pool collapses to one thread and the
+    window loop can only break even.
 """
 
 import argparse
@@ -21,15 +32,85 @@ GATED_METRICS = ("events_per_sec", "rpcs_per_sec")
 # the kernel, not a wall-clock rate; it moves only when event batching
 # changes, and such a change must update the baseline deliberately).
 INFO_METRICS = ("events_per_rpc", "sim_mops", "peak_rss_kb")
+# Fields that must be bit-identical between the sequential and sharded run.
+IDENTITY_FIELDS = ("events", "rpcs", "trace_hash")
 
 
-def load_row(path):
+def load_rows(path):
     with open(path) as f:
         dump = json.load(f)
     rows = dump.get("rows", [])
     if not rows:
         sys.exit(f"error: {path} has no rows")
-    return rows[0]
+    by_config = {}
+    for i, row in enumerate(rows):
+        # Rows predating the multi-config schema carry no "config"; the first
+        # row was always the default configuration.
+        by_config[row.get("config", "default" if i == 0 else f"row{i}")] = row
+    return by_config
+
+
+def required_speedup(effective_cores):
+    if effective_cores >= 8:
+        return 4.0
+    if effective_cores >= 4:
+        return 2.0
+    if effective_cores >= 2:
+        return 1.2
+    return None  # single-core host: the pool degenerates to one worker
+
+
+def check_rates(base, cur, max_regression):
+    failed = []
+    print(f"{'metric':<18} {'baseline':>14} {'current':>14} {'delta':>8}")
+    for metric in GATED_METRICS + INFO_METRICS:
+        b, c = base.get(metric), cur.get(metric)
+        if b is None or c is None:
+            print(f"{metric:<18} {'(missing)':>14} {'(missing)':>14}")
+            continue
+        delta = (c - b) / b if b else 0.0
+        gated = metric in GATED_METRICS
+        mark = ""
+        if gated and delta < -max_regression:
+            failed.append(metric)
+            mark = "  << REGRESSION"
+        print(f"{metric:<18} {b:>14.0f} {c:>14.0f} {delta:>+7.1%}{mark}")
+    return failed
+
+
+def check_scaling(cur_rows):
+    seq = cur_rows.get("scale_seq")
+    par = cur_rows.get("scale_par")
+    if seq is None or par is None:
+        print("\nscaling pair: not present in current run (perf_smoke "
+              "--scale=0?); identity and speedup gates skipped")
+        return []
+    failed = []
+
+    print(f"\n{'identity':<18} {'sequential':>22} {'sharded':>22}")
+    for field in IDENTITY_FIELDS:
+        s, p = seq.get(field), par.get(field)
+        mark = ""
+        if s != p:
+            failed.append(f"identity:{field}")
+            mark = "  << TRACE DIVERGED"
+        print(f"{field:<18} {str(s):>22} {str(p):>22}{mark}")
+
+    host_cpus = int(par.get("host_cpus", 0))
+    shards = int(par.get("shards", 1))
+    effective = min(shards, host_cpus)
+    speedup = seq["wall_s"] / par["wall_s"] if par.get("wall_s") else 0.0
+    need = required_speedup(effective)
+    print(f"\nshard speedup: {speedup:.2f}x on {shards} shards "
+          f"({host_cpus} host cpus, {effective} effective)")
+    if need is None:
+        print("speedup gate skipped: single-core host")
+    elif speedup < need:
+        failed.append("speedup")
+        print(f"<< SPEEDUP BELOW GATE: {speedup:.2f}x < required {need:.1f}x")
+    else:
+        print(f"speedup gate passed: {speedup:.2f}x >= required {need:.1f}x")
+    return failed
 
 
 def main():
@@ -44,34 +125,20 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load_row(args.baseline)
-    cur = load_row(args.current)
+    base_rows = load_rows(args.baseline)
+    cur_rows = load_rows(args.current)
 
-    failed = []
-    print(f"{'metric':<18} {'baseline':>14} {'current':>14} {'delta':>8}")
-    for metric in GATED_METRICS + INFO_METRICS:
-        b, c = base.get(metric), cur.get(metric)
-        if b is None or c is None:
-            print(f"{metric:<18} {'(missing)':>14} {'(missing)':>14}")
-            continue
-        delta = (c - b) / b if b else 0.0
-        gated = metric in GATED_METRICS
-        mark = ""
-        if gated and delta < -args.max_regression:
-            failed.append((metric, b, c, delta))
-            mark = "  << REGRESSION"
-        print(f"{metric:<18} {b:>14.0f} {c:>14.0f} {delta:>+7.1%}{mark}")
+    failed = check_rates(base_rows["default"], cur_rows["default"],
+                         args.max_regression)
+    failed += check_scaling(cur_rows)
 
     if failed:
-        names = ", ".join(m for m, *_ in failed)
-        print(
-            f"\nFAIL: {names} regressed more than "
-            f"{args.max_regression:.0%} vs {args.baseline}",
-            file=sys.stderr,
-        )
+        print(f"\nFAIL: {', '.join(failed)} (baseline {args.baseline})",
+              file=sys.stderr)
         return 1
-    print("\nOK: no gated metric regressed more than "
-          f"{args.max_regression:.0%}")
+    print("\nOK: rates within "
+          f"{args.max_regression:.0%}, sharded trace identical, speedup gate "
+          "satisfied")
     return 0
 
 

@@ -59,7 +59,7 @@ void RcRpcServer::RegisterHandler(uint16_t rpc_id, RpcHandler handler) {
 
 void RcRpcServer::Start() {
   for (int i = 0; i < dispatcher_cores_; ++i) {
-    cluster_.sim().Spawn(Dispatcher(i));
+    cluster_.sim().Spawn(Dispatcher(i), node_);
   }
 }
 
@@ -180,7 +180,7 @@ FlockThread* RcRpcClient::CreateThread(int core) {
 }
 
 void RcRpcClient::Start() {
-  cluster_.sim().Spawn(ResponseDispatcher());
+  cluster_.sim().Spawn(ResponseDispatcher(), node_);
 }
 
 sim::Co<bool> RcRpcClient::Call(FlockThread& thread, Lane& lane, uint16_t rpc_id,

@@ -47,7 +47,7 @@ void UdRpcServer::RegisterHandler(uint16_t rpc_id, RpcHandler handler) {
 
 void UdRpcServer::Start() {
   for (int i = 0; i < config_.worker_threads; ++i) {
-    cluster_.sim().Spawn(WorkerLoop(i));
+    cluster_.sim().Spawn(WorkerLoop(i), node_);
   }
 }
 
@@ -263,7 +263,7 @@ bool UdRpcClient::Thread::DrainCompletions(Nanos* work) {
 void UdRpcClient::Thread::StartPoller() {
   FLOCK_CHECK(!poller_running_);
   poller_running_ = true;
-  cluster_.sim().Spawn(PollerLoop());
+  cluster_.sim().Spawn(PollerLoop(), node_);
 }
 
 sim::Proc UdRpcClient::Thread::PollerLoop() {

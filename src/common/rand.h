@@ -4,6 +4,14 @@
 // once per simulated operation, so the generator must be a handful of
 // instructions. SplitMix64 seeds xoshiro-style state; Zipf uses the
 // Gray/Jim-Gray-style approximation used by YCSB.
+//
+// Sharded-kernel discipline: generators are plain mutable state, so each
+// stream must be owned by a single simulated *node* (not shared across nodes,
+// and not keyed by shard — a shard-keyed stream would change the draw
+// sequence when the shard count changes, breaking trace invariance). The
+// runtimes follow this by deriving per-node streams, e.g.
+// SplitMix64(seed ^ node_id); workload code that adds a generator must key it
+// the same way.
 #ifndef FLOCK_COMMON_RAND_H_
 #define FLOCK_COMMON_RAND_H_
 

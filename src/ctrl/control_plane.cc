@@ -21,6 +21,11 @@ ControlPlane::ControlPlane(verbs::Cluster& cluster) : cluster_(cluster) {
   member_.assign(n, 1);  // every configured node starts as a member
 }
 
+bool ControlPlane::HasEndpoint(int node) const {
+  return node >= 0 && static_cast<size_t>(node) < endpoints_.size() &&
+         endpoints_[static_cast<size_t>(node)] != nullptr;
+}
+
 void ControlPlane::RegisterEndpoint(int node, Endpoint* endpoint) {
   FLOCK_CHECK_GE(node, 0);
   FLOCK_CHECK_LT(static_cast<size_t>(node), endpoints_.size());

@@ -58,6 +58,9 @@ class ControlPlane {
   ControlPlane& operator=(const ControlPlane&) = delete;
 
   // ---- endpoints ----
+  // One endpoint per node: when several runtimes share a node (bench
+  // "processes"), the first to construct answers the node's control traffic.
+  bool HasEndpoint(int node) const;
   void RegisterEndpoint(int node, Endpoint* endpoint);
   // Deregisters only if `endpoint` is still the registered one (a runtime
   // being destroyed must not unhook its successor).

@@ -11,6 +11,7 @@
 #ifndef FLOCK_FABRIC_NETWORK_H_
 #define FLOCK_FABRIC_NETWORK_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -56,6 +57,16 @@ class Network {
   // Propagation + switching between serialization on the two links.
   Nanos TransitDelay() const {
     return 2 * cost_.link_propagation + cost_.switch_latency;
+  }
+
+  // Minimum delay of *any* cross-node interaction: forward traffic pays the
+  // switch transit, and the only other inter-node edge is the RC hardware
+  // acknowledgement. This bound is the conservative lookahead (window width)
+  // of the sharded simulation kernel — an event can only influence another
+  // node at least this far in the future, so shards running a window of this
+  // width in parallel can never miss an incoming dependency (DESIGN.md §12).
+  Nanos MinCrossNodeDelay() const {
+    return std::min(TransitDelay(), cost_.rc_ack_latency);
   }
 
   int num_nodes() const { return static_cast<int>(uplinks_.size()); }

@@ -88,7 +88,7 @@ void WakePump(ClientConnState& conn, ClientLane& lane) {
   lane.pump_running = true;
   if (!lane.pump_spawned) {
     lane.pump_spawned = true;
-    conn.env->sim().Spawn(Pump(conn, lane));
+    conn.env->sim().Spawn(Pump(conn, lane), conn.env->node);
   } else {
     lane.pump_wake.Fire(conn.env->sim());
   }
@@ -383,7 +383,7 @@ sim::Co<verbs::WcStatus> SubmitMemOp(ClientConnState& conn, FlockThread& thread,
   lane.memop_tail = &op;
   if (!lane.mem_pump_running) {
     lane.mem_pump_running = true;
-    conn.env->sim().Spawn(MemPump(conn, lane));
+    conn.env->sim().Spawn(MemPump(conn, lane), conn.env->node);
   }
   co_await op.done_event.Wait();
   thread.outstanding -= 1;

@@ -32,8 +32,13 @@ FlockRuntime::FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig&
   env_.rng_state = &rng_state_;
   // Every runtime answers on the cluster's control plane (DESIGN.md §10):
   // servers accept connect/reconnect handshakes there, and registration makes
-  // the node addressable before StartServer decides its role.
-  ctrl::ControlPlane::For(cluster_).RegisterEndpoint(node_, this);
+  // the node addressable before StartServer decides its role. Co-located
+  // runtimes (bench "processes" sharing a node) defer to the node's first
+  // runtime — one endpoint answers per node.
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster_);
+  if (!cp.HasEndpoint(node_)) {
+    cp.RegisterEndpoint(node_, this);
+  }
 }
 
 FlockRuntime::~FlockRuntime() {
@@ -58,14 +63,14 @@ void FlockRuntime::StartServer(int dispatcher_cores) {
   server_.dispatcher_lanes.resize(static_cast<size_t>(dispatcher_cores));
   server_.work_ready = std::make_unique<sim::Condition>(cluster_.sim());
   for (int i = 0; i < dispatcher_cores; ++i) {
-    cluster_.sim().Spawn(internal::RequestDispatcher(env_, server_, i));
+    cluster_.sim().Spawn(internal::RequestDispatcher(env_, server_, i), node_);
   }
   // §4.3: optionally, an application-managed pool of RPC workers executes the
   // handlers; the dispatchers then only detect and route messages.
   for (int i = 0; i < config_.server_workers; ++i) {
-    cluster_.sim().Spawn(internal::RpcWorker(env_, server_, i));
+    cluster_.sim().Spawn(internal::RpcWorker(env_, server_, i), node_);
   }
-  cluster_.sim().Spawn(receiver_.Run(env_, server_));
+  cluster_.sim().Spawn(receiver_.Run(env_, server_), node_);
   // Membership feed (§5.1 meets §10): a client node leaving tears its senders
   // down and repartitions the AQP budget right away instead of waiting for
   // dead-sender reclamation to notice. Registration is a plain callback —
@@ -84,13 +89,13 @@ void FlockRuntime::StartClient() {
   client_.started = true;
   for (int i = 0; i < config_.response_dispatchers; ++i) {
     cluster_.sim().Spawn(
-        internal::ResponseDispatcher(env_, client_, server_.stats, i));
+        internal::ResponseDispatcher(env_, client_, server_.stats, i), node_);
   }
-  cluster_.sim().Spawn(sender_sched_.Run(env_, client_));
+  cluster_.sim().Spawn(sender_sched_.Run(env_, client_), node_);
   // The retry watchdog exists only when timeouts are enabled, so the default
   // configuration spawns no extra proc and the event trace stays untouched.
   if (config_.rpc_timeout > 0) {
-    cluster_.sim().Spawn(watchdog_.Run(env_, client_));
+    cluster_.sim().Spawn(watchdog_.Run(env_, client_), node_);
   }
 }
 
@@ -180,10 +185,10 @@ Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
         << "lane_reconnect requires rpc_timeout: in-flight RPCs on a dead QP "
            "recover only through the retry watchdog";
     conn->state_.reconnect_cond = std::make_unique<sim::Condition>(cluster_.sim());
-    cluster_.sim().Spawn(internal::ReconnectDaemon(conn->state_));
+    cluster_.sim().Spawn(internal::ReconnectDaemon(conn->state_), node_);
   }
   if (config_.elastic_lanes) {
-    cluster_.sim().Spawn(internal::ElasticScaler(conn->state_));
+    cluster_.sim().Spawn(internal::ElasticScaler(conn->state_), node_);
   }
 
   connections_.push_back(std::move(conn));

@@ -9,6 +9,12 @@
 // Core busy-time is tracked so benches can report CPU utilization, e.g. the
 // ">90% of server cycles inside the userspace NIC libraries" observation that
 // motivates Fig. 2(b).
+//
+// Sharding: a node's Cpu (like its Device pipes and Network links) is only
+// ever served by events of that node, so under ConfigureSharding every Core
+// is touched by exactly one shard — no locks needed. Awaiting Work() from a
+// foreign node's event would be a cross-shard race; cross-node interaction
+// must go through the fabric (HopToNode) instead.
 #ifndef FLOCK_SIM_CPU_H_
 #define FLOCK_SIM_CPU_H_
 

@@ -1,4 +1,4 @@
-// Discrete-event simulation kernel.
+// Discrete-event simulation kernel, shardable across OS threads.
 //
 // The Simulator owns a virtual clock and an event queue ordered by
 // (time, insertion sequence); equal-time events fire in FIFO order, which
@@ -7,9 +7,31 @@
 // used by resource models (FIFO servers) that do not want a coroutine frame
 // per service completion.
 //
-// Internally the queue is a calendar queue tuned for this workload (almost
-// all delays are 0 ns or small CPU/NIC costs, with a thin tail of scheduler
-// timers), rather than a binary heap:
+// ---- Sharding (DESIGN.md §12) ----
+//
+// Every event belongs to a simulated *node*, and ConfigureSharding() groups
+// nodes into shards. Each shard owns a complete private queue (now-FIFO,
+// calendar, overflow heap), its own sequence counter, its own live-process
+// list and its own kernel counters, so a shard executes a time window without
+// touching any other shard's state. Windows are `lookahead` wide — the
+// fabric's minimum cross-node delay — and between windows the coordinator
+// drains per-(src,dst) shard mailboxes that carry cross-node hops
+// (ScheduleOnNode). A hop scheduled inside window [T, T+W) carries delay
+// >= W, so it can only land in a later window: intra-window execution is
+// embarrassingly parallel, no null messages needed. Mailbox merge order is
+// the deterministic key (arrival time, source node, per-source hop sequence),
+// which does not depend on the shard count — the same seed produces
+// bit-identical traces on 1, 2, 4 or 8 shards, and shards==1 *is* the
+// sequential kernel. Shards are distributed over a fixed pool of
+// min(shards, hardware threads) workers; the pool size affects wall-clock
+// only, never the trace.
+//
+// A Simulator without ConfigureSharding() (kernel unit tests, microbenches)
+// runs exactly one shard with no window loop and no threads.
+//
+// Internally each shard queue is a calendar queue tuned for this workload
+// (almost all delays are 0 ns or small CPU/NIC costs, with a thin tail of
+// scheduler timers), rather than a binary heap:
 //
 //   * now-FIFO   — a drain vector of events at exactly the current time.
 //     Zero-delay scheduling (condition notifies, symmetric transfers) is one
@@ -32,17 +54,21 @@
 //
 // All simulated activity lives in Proc coroutines spawned on the Simulator.
 // Live processes are tracked on an intrusive doubly-linked list threaded
-// through their promises. Shutdown() (also run by the destructor) destroys
-// every still-suspended process frame, so a bench can simply stop simulating
-// mid-workload without draining in-flight operations.
+// through their promises (one list per shard). Shutdown() (also run by the
+// destructor) destroys every still-suspended process frame, so a bench can
+// simply stop simulating mid-workload without draining in-flight operations.
 #ifndef FLOCK_SIM_SIMULATOR_H_
 #define FLOCK_SIM_SIMULATOR_H_
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <coroutine>
 #include <cstdint>
+#include <memory>
 #include <queue>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -53,79 +79,195 @@ namespace flock::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // Spawn()/ScheduleOnNode() sentinel: tag with the node of the event that is
+  // currently executing (node 0 outside event execution).
+  static constexpr int kInheritNode = -1;
+  static constexpr int kMaxShards = 64;
+
+  Simulator() { shards_.push_back(std::make_unique<Shard>(this, 0, 1)); }
   ~Simulator() { Shutdown(); }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  Nanos Now() const { return now_; }
+  // ---- sharding configuration ----
+  //
+  // Partitions nodes into `num_shards` queues (`node_shard[n]` = shard of
+  // node n) advancing in windows of `lookahead` ns — the minimum delay of any
+  // cross-node hop. Must be called before any event is scheduled. The worker
+  // pool holds min(num_shards, hardware threads) OS threads unless
+  // `num_workers` overrides it; the pool size never affects the trace.
+  void ConfigureSharding(int num_shards, const std::vector<int>& node_shard,
+                         Nanos lookahead, int num_workers = 0) {
+    FLOCK_CHECK_GT(num_shards, 0);
+    FLOCK_CHECK_LE(num_shards, kMaxShards);
+    FLOCK_CHECK_GT(lookahead, 0) << "conservative lookahead must be positive";
+    FLOCK_CHECK(events_processed() == 0 && live_proc_count() == 0 && Idle() &&
+                Now() == 0)
+        << "ConfigureSharding must run before any simulated activity";
+    for (const int s : node_shard) {
+      FLOCK_CHECK(s >= 0 && s < num_shards) << "bad shard id " << s;
+    }
+    node_shard_.assign(node_shard.begin(), node_shard.end());
+    node_hop_seq_.assign(node_shard.size(), 0);
+    lookahead_ = lookahead;
+    windowed_ = true;
+    shards_.clear();
+    for (int i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(this, i, num_shards));
+    }
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    num_workers_ = num_workers > 0 ? num_workers
+                                   : std::min(num_shards, std::max(1, hw));
+    num_workers_ = std::min(num_workers_, num_shards);
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_workers() const { return num_workers_; }
+  Nanos lookahead() const { return lookahead_; }
+
+  Nanos Now() const {
+    const Shard* s = RunningShard();
+    return s != nullptr ? s->now_ : shards_[0]->now_;
+  }
 
   // Transfers ownership of the process frame to the simulator and schedules
-  // its first resumption at the current time.
-  void Spawn(Proc&& proc) {
+  // its first resumption at the current time, homed on `node`'s shard. A
+  // process spawned while an event is executing must home on the executing
+  // shard (cross-shard injection mid-window would race; route it through a
+  // hop instead).
+  void Spawn(Proc&& proc, int node = kInheritNode) {
     Proc::Handle handle = proc.Release();
     FLOCK_CHECK(handle);
+    Shard* cur = RunningShard();
+    if (node == kInheritNode) {
+      node = cur != nullptr ? cur->current_node_ : 0;
+    }
+    Shard& home = ShardOfNode(node);
+    if (cur != nullptr) {
+      FLOCK_CHECK(&home == cur) << "cross-shard Spawn mid-run (node " << node
+                                << " lives on shard " << home.index_
+                                << ", executing node " << cur->current_node_
+                                << " on shard " << cur->index_ << " at t="
+                                << cur->now_ << ")";
+    }
     internal::ProcPromise& promise = handle.promise();
     promise.sim = this;
+    promise.home_shard = home.index_;
     promise.live_prev = nullptr;
-    promise.live_next = live_head_;
-    if (live_head_ != nullptr) {
-      live_head_->live_prev = &promise;
+    promise.live_next = home.live_head_;
+    if (home.live_head_ != nullptr) {
+      home.live_head_->live_prev = &promise;
     }
-    live_head_ = &promise;
-    ++live_count_;
-    ScheduleResume(0, handle);
+    home.live_head_ = &promise;
+    ++home.live_count_;
+    home.Push(Event{home.now_, home.next_seq_++, handle.address(), nullptr,
+                    static_cast<int32_t>(node)});
   }
 
-  // Schedules `handle` to be resumed `delay` from now.
+  // Schedules `handle` to be resumed `delay` from now, on the current node.
   void ScheduleResume(Nanos delay, std::coroutine_handle<> handle) {
     FLOCK_CHECK_GE(delay, 0);
-    Push(Event{now_ + delay, next_seq_++, handle.address(), nullptr});
+    Shard& s = CurrentShard();
+    s.Push(Event{s.now_ + delay, s.next_seq_++, handle.address(), nullptr,
+                 s.current_node_});
   }
 
-  // Schedules `fn(arg)` to run `delay` from now.
+  // Schedules `fn(arg)` to run `delay` from now, on the current node.
   void Schedule(Nanos delay, void (*fn)(void*), void* arg) {
     FLOCK_CHECK_GE(delay, 0);
     FLOCK_CHECK(fn != nullptr);
-    Push(Event{now_ + delay, next_seq_++, arg, fn});
+    Shard& s = CurrentShard();
+    s.Push(Event{s.now_ + delay, s.next_seq_++, arg, fn, s.current_node_});
   }
 
-  // Runs events until the queue drains. Returns the number of events run.
-  uint64_t Run() { return RunUntilInternal(-1); }
+  // Schedules `handle` to resume `delay` from now on `node` — the only way an
+  // event crosses nodes (and therefore shards). Under sharding the delay must
+  // be at least the configured lookahead (the fabric guarantees this: every
+  // cross-node interaction pays at least the minimum wire delay), and the
+  // handle travels through the per-(src,dst) mailbox drained at the next
+  // window barrier. Merge key (arrival, src node, per-src hop seq) makes the
+  // destination ordering independent of the shard count.
+  void ScheduleOnNode(int node, Nanos delay, std::coroutine_handle<> handle) {
+    FLOCK_CHECK_GE(delay, 0);
+    Shard* cur = RunningShard();
+    if (!windowed_) {
+      Shard& s = cur != nullptr ? *cur : *shards_[0];
+      s.Push(Event{s.now_ + delay, s.next_seq_++, handle.address(), nullptr,
+                   static_cast<int32_t>(node)});
+      return;
+    }
+    FLOCK_CHECK(cur != nullptr) << "cross-node hop outside event execution";
+    FLOCK_CHECK_LT(static_cast<size_t>(node), node_shard_.size());
+    FLOCK_CHECK_GE(delay, lookahead_)
+        << "cross-node hop below the conservative lookahead";
+    const int32_t src = cur->current_node_;
+    cur->hop_out_[static_cast<size_t>(node_shard_[static_cast<size_t>(node)])]
+        .push_back(HopEntry{cur->now_ + delay,
+                            node_hop_seq_[static_cast<size_t>(src)]++, src,
+                            static_cast<int32_t>(node), handle.address()});
+  }
+
+  // Runs events until all queues drain. Returns the number of events run.
+  uint64_t Run() { return RunLoop(-1); }
 
   // Runs events with time <= deadline; the clock lands on `deadline` even if
-  // the queue still has later events.
+  // queues still have later events.
   uint64_t RunUntil(Nanos deadline) {
-    const uint64_t n = RunUntilInternal(deadline);
-    if (now_ < deadline) {
-      now_ = deadline;
+    const uint64_t n = RunLoop(deadline);
+    for (auto& s : shards_) {
+      if (s->now_ < deadline) {
+        s->now_ = deadline;
+      }
     }
     return n;
   }
 
-  uint64_t RunFor(Nanos duration) { return RunUntil(now_ + duration); }
+  uint64_t RunFor(Nanos duration) { return RunUntil(Now() + duration); }
 
-  bool Idle() const { return size_ == 0; }
-  uint64_t events_processed() const { return events_processed_; }
-  size_t live_proc_count() const { return live_count_; }
-  size_t queue_size() const { return size_; }
+  bool Idle() const {
+    for (const auto& s : shards_) {
+      if (s->size_ != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  uint64_t events_processed() const { return Sum(&Shard::events_processed_); }
+  size_t live_proc_count() const {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      n += s->live_count_;
+    }
+    return n;
+  }
+  size_t queue_size() const {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      n += s->size_;
+    }
+    return n;
+  }
 
   // ---- kernel counters (see bench/perf_smoke and bench/sim_kernel) ----
+  // Each shard counts privately mid-window; accessors sum at read time (reads
+  // happen on the coordinator between windows, never mid-window).
   // Total coroutine resumptions, however delivered.
-  uint64_t resumes() const { return resumes_; }
+  uint64_t resumes() const { return Sum(&Shard::resumes_); }
   // Resumptions performed inline by a resource model (FifoServer completion)
   // instead of a schedule/dequeue round trip through the event queue.
-  uint64_t direct_resumes() const { return direct_resumes_; }
+  uint64_t direct_resumes() const { return Sum(&Shard::direct_resumes_); }
   // Waiters woken by a shared drain event (Condition::NotifyAll, Semaphore
   // release batches) rather than one scheduled event per waiter.
-  uint64_t coalesced_wakes() const { return coalesced_wakes_; }
+  uint64_t coalesced_wakes() const { return Sum(&Shard::coalesced_wakes_); }
 
   // Bookkeeping hook for sync primitives that resume coroutines without a
   // per-waiter event (src/sim/sync.h).
   void NoteDirectResume() {
-    ++resumes_;
-    ++direct_resumes_;
+    Shard& s = CurrentShard();
+    ++s.resumes_;
+    ++s.direct_resumes_;
   }
 
   // ---- wake coalescing ----
@@ -140,18 +282,22 @@ class Simulator {
   // never the execution order. The drain holds only coroutine handles, never
   // a pointer to the notifying primitive, so a primitive may be destroyed
   // (e.g. it lives in a resumed waiter's frame) with a drain still pending.
+  // Batches are per shard: waiters of one primitive always share the
+  // notifier's node (and therefore its shard).
   void QueueWake(std::coroutine_handle<> handle) {
-    wake_batch_.push_back(handle.address());
-    ++uncommitted_wakes_;
+    Shard& s = CurrentShard();
+    s.wake_batch_.push_back(handle.address());
+    ++s.uncommitted_wakes_;
   }
 
   void CommitWakes() {
-    if (uncommitted_wakes_ == 0) {
+    Shard& s = CurrentShard();
+    if (s.uncommitted_wakes_ == 0) {
       return;
     }
-    wake_counts_.push_back(uncommitted_wakes_);
-    uncommitted_wakes_ = 0;
-    Schedule(0, &Simulator::WakeDrainTrampoline, this);
+    s.wake_counts_.push_back(s.uncommitted_wakes_);
+    s.uncommitted_wakes_ = 0;
+    Schedule(0, &Simulator::WakeDrainTrampoline, &s);
   }
 
   // Single-waiter convenience (OneShotEvent::Fire, NotifyOne).
@@ -160,90 +306,93 @@ class Simulator {
     CommitWakes();
   }
 
-  // True while events at the current timestamp are still pending in the drain
-  // FIFO. Resource models use this to decide whether an inline resume is
-  // order-equivalent to a ScheduleResume(0) (see FifoServer::Done).
-  bool SameTimePending() const { return fifo_pos_ < fifo_.size(); }
+  // True while events at the current timestamp are still pending *for the
+  // node of the executing event*. Resource models use this to decide whether
+  // an inline resume is order-equivalent to a ScheduleResume(0) (see
+  // FifoServer::Done). The predicate is node-local, not queue-global: events
+  // of other nodes at the same timestamp are causally independent (any
+  // influence crosses the fabric, which costs at least the lookahead), so
+  // only same-node events constrain the resume position. Keeping it node-
+  // local is what makes the decision — and with it the event count —
+  // identical across shard counts.
+  bool SameTimePending() const {
+    const Shard& s = CurrentShard();
+    const auto node = static_cast<size_t>(s.current_node_);
+    return node < s.fifo_node_pending_.size() &&
+           s.fifo_node_pending_[node] > 0;
+  }
 
   // Destroys every live process frame and drops pending events. Safe to call
   // more than once. Must run while the objects referenced by process locals
-  // are still alive (see Cluster in src/fabric).
+  // are still alive (see Cluster in src/verbs).
   void Shutdown() {
+    StopWorkers();
     shutting_down_ = true;
-    // Destroying one frame can destroy child frames but never spawns procs.
-    while (live_head_ != nullptr) {
-      internal::ProcPromise* promise = live_head_;
-      live_head_ = promise->live_next;
-      if (live_head_ != nullptr) {
-        live_head_->live_prev = nullptr;
+    for (auto& sp : shards_) {
+      Shard& s = *sp;
+      // Frames parked in finish mailboxes are still on their home live list;
+      // the walk below destroys them. Hops in flight hold handles of frames
+      // the walk destroys too, so the mailboxes just empty.
+      for (auto& q : s.finish_out_) {
+        q.clear();
       }
-      std::coroutine_handle<internal::ProcPromise>::from_promise(*promise)
-          .destroy();
-    }
-    live_count_ = 0;
-    fifo_.clear();
-    fifo_pos_ = 0;
-    wake_batch_.clear();
-    wake_drain_pos_ = 0;
-    wake_counts_.clear();
-    wake_counts_pos_ = 0;
-    uncommitted_wakes_ = 0;
-    for (size_t word = 0; word < kNumWords; ++word) {
-      uint64_t bits = occupancy_[word];
-      while (bits != 0) {
-        const int bit = std::countr_zero(bits);
-        bits &= bits - 1;
-        Bucket& b = buckets_[(word << 6) + static_cast<size_t>(bit)];
-        b.head = kNilNode;
-        b.tail = kNilNode;
+      for (auto& q : s.hop_out_) {
+        q.clear();
       }
-      occupancy_[word] = 0;
+      // Destroying one frame can destroy child frames but never spawns procs.
+      while (s.live_head_ != nullptr) {
+        internal::ProcPromise* promise = s.live_head_;
+        s.live_head_ = promise->live_next;
+        if (s.live_head_ != nullptr) {
+          s.live_head_->live_prev = nullptr;
+        }
+        std::coroutine_handle<internal::ProcPromise>::from_promise(*promise)
+            .destroy();
+      }
+      s.live_count_ = 0;
+      s.fifo_.clear();
+      s.fifo_pos_ = 0;
+      std::fill(s.fifo_node_pending_.begin(), s.fifo_node_pending_.end(), 0u);
+      s.wake_batch_.clear();
+      s.wake_drain_pos_ = 0;
+      s.wake_counts_.clear();
+      s.wake_counts_pos_ = 0;
+      s.uncommitted_wakes_ = 0;
+      for (size_t word = 0; word < kNumWords; ++word) {
+        uint64_t bits = s.occupancy_[word];
+        while (bits != 0) {
+          const int bit = std::countr_zero(bits);
+          bits &= bits - 1;
+          Bucket& b = s.buckets_[(word << 6) + static_cast<size_t>(bit)];
+          b.head = kNilNode;
+          b.tail = kNilNode;
+        }
+        s.occupancy_[word] = 0;
+      }
+      s.nodes_.clear();
+      s.free_node_ = kNilNode;
+      s.calendar_count_ = 0;
+      while (!s.overflow_.empty()) {
+        s.overflow_.pop();
+      }
+      s.size_ = 0;
     }
-    nodes_.clear();
-    free_node_ = kNilNode;
-    calendar_count_ = 0;
-    while (!overflow_.empty()) {
-      overflow_.pop();
-    }
-    size_ = 0;
     shutting_down_ = false;
   }
 
  private:
   friend struct internal::ProcFinalAwaiter;
 
-  static void WakeDrainTrampoline(void* self) {
-    static_cast<Simulator*>(self)->WakeDrain();
-  }
-
-  void WakeDrain() {
-    // Each drain event consumes exactly the handles of its own commit — a
-    // waiter that notifies further waiters commits a new batch with its own
-    // drain event, which keeps their resumption at the position fresh
-    // ScheduleResume(0) events would have had.
-    const uint32_t count = wake_counts_[wake_counts_pos_++];
-    for (uint32_t i = 0; i < count; ++i) {
-      ++resumes_;
-      ++coalesced_wakes_;
-      std::coroutine_handle<>::from_address(wake_batch_[wake_drain_pos_++])
-          .resume();
-    }
-    if (wake_drain_pos_ == wake_batch_.size() && uncommitted_wakes_ == 0) {
-      // Fully drained: reset the consumed prefixes, keeping capacity.
-      wake_batch_.clear();
-      wake_drain_pos_ = 0;
-      wake_counts_.clear();
-      wake_counts_pos_ = 0;
-    }
-  }
-
-  // 32 bytes: when `fn` is null, `ctx` is a coroutine frame address to
-  // resume; otherwise the event runs fn(ctx).
+  // 40 bytes: when `fn` is null, `ctx` is a coroutine frame address to
+  // resume; otherwise the event runs fn(ctx). `node` is the simulated node
+  // the event belongs to: pushes inherit the executing event's node, so every
+  // event of a node runs on the shard that owns it.
   struct Event {
     Nanos at;
     uint64_t seq;
     void* ctx;
     void (*fn)(void*);
+    int32_t node;
   };
 
   struct EventLater {
@@ -253,6 +402,17 @@ class Simulator {
       }
       return a.seq > b.seq;
     }
+  };
+
+  // A cross-node hop parked in a mailbox until the window barrier. Ordered by
+  // (at, src_node, hop_seq); the triple is unique and independent of both the
+  // shard count and the shard→worker assignment.
+  struct HopEntry {
+    Nanos at;
+    uint64_t hop_seq;  // per-source-node counter, not per-shard
+    int32_t src_node;
+    int32_t dst_node;
+    void* ctx;  // coroutine frame address (hops are always resumes)
   };
 
   // Calendar geometry: 4096 one-nanosecond buckets cover ~4 us of lookahead,
@@ -266,214 +426,11 @@ class Simulator {
   static constexpr size_t kNumBuckets = size_t{1} << kBucketBits;
   static constexpr size_t kNumWords = kNumBuckets / 64;
   static constexpr Nanos kHorizon = static_cast<Nanos>(kNumBuckets);
+  static constexpr uint32_t kNilNode = UINT32_MAX;
 
   static size_t BucketOf(Nanos at) {
     return static_cast<size_t>(at) & (kNumBuckets - 1);
   }
-
-  void OnProcFinished(std::coroutine_handle<internal::ProcPromise> handle) {
-    if (!shutting_down_) {
-      internal::ProcPromise& promise = handle.promise();
-      if (promise.live_prev != nullptr) {
-        promise.live_prev->live_next = promise.live_next;
-      } else {
-        live_head_ = promise.live_next;
-      }
-      if (promise.live_next != nullptr) {
-        promise.live_next->live_prev = promise.live_prev;
-      }
-      --live_count_;
-    }
-    handle.destroy();
-  }
-
-  // ---- now-FIFO drain vector (single timestamp at a time) ----
-  //
-  // Consumed events stay in the processed prefix until the whole batch drains
-  // (the vector is cleared at the next refill, keeping its capacity), so push
-  // is a plain append and pop an index increment.
-
-  bool FifoEmpty() const { return fifo_pos_ == fifo_.size(); }
-
-  void FifoPush(const Event& event) { fifo_.push_back(event); }
-
-  // ---- enqueue ----
-
-  void Push(const Event& event) {
-    ++size_;
-    if (event.at == now_) {
-      // Invariant: buckets and overflow never hold events at the current
-      // time (Refill drains the full timestamp batch), and the now-FIFO holds
-      // a single timestamp, so appending preserves (time, seq) order.
-      FifoPush(event);
-      return;
-    }
-    if (event.at - now_ < kHorizon) {
-      const size_t bucket = BucketOf(event.at);
-      const uint32_t node = AllocNode(event);
-      Bucket& b = buckets_[bucket];
-      if (b.tail == kNilNode) {
-        b.head = node;
-      } else {
-        nodes_[b.tail].next = node;
-      }
-      b.tail = node;
-      occupancy_[bucket >> 6] |= uint64_t{1} << (bucket & 63);
-      ++calendar_count_;
-    } else {
-      overflow_.push(event);
-    }
-  }
-
-  uint32_t AllocNode(const Event& event) {
-    uint32_t node = free_node_;
-    if (node != kNilNode) {
-      free_node_ = nodes_[node].next;
-    } else {
-      node = static_cast<uint32_t>(nodes_.size());
-      nodes_.emplace_back();
-    }
-    nodes_[node].event = event;
-    nodes_[node].next = kNilNode;
-    return node;
-  }
-
-  // ---- refill: move the earliest timestamp batch into the now-FIFO ----
-
-  // First occupied bucket at or after `start`, in ring order (ring order is
-  // time order because live events span less than one calendar revolution).
-  size_t FirstOccupied(size_t start) const {
-    size_t word = start >> 6;
-    uint64_t bits = occupancy_[word] & (~uint64_t{0} << (start & 63));
-    for (size_t scanned = 0; scanned <= kNumWords; ++scanned) {
-      if (bits != 0) {
-        return (word << 6) + static_cast<size_t>(std::countr_zero(bits));
-      }
-      word = (word + 1) & (kNumWords - 1);
-      bits = occupancy_[word];
-    }
-    FLOCK_CHECK(false) << "occupancy bitmap and calendar_count_ disagree";
-    return 0;
-  }
-
-  void Refill() {
-    fifo_.clear();  // previous batch fully consumed; keep the capacity
-    fifo_pos_ = 0;
-    if (calendar_count_ == 0) {
-      DrainOverflowBatch();
-      return;
-    }
-    const size_t bucket = FirstOccupied(BucketOf(now_));
-    Bucket& slot = buckets_[bucket];
-    const Nanos bucket_at = nodes_[slot.head].event.at;  // one timestamp per bucket
-    if (!overflow_.empty() && overflow_.top().at < bucket_at) {
-      DrainOverflowBatch();
-      return;
-    }
-    // Append order inside the bucket is seq order, so walking head-to-tail
-    // yields the drain batch already in (time, seq) order. Nodes return to
-    // the shared free list as they are copied out.
-    uint32_t node = slot.head;
-    while (node != kNilNode) {
-      fifo_.push_back(nodes_[node].event);
-      const uint32_t next = nodes_[node].next;
-      nodes_[node].next = free_node_;
-      free_node_ = node;
-      node = next;
-      --calendar_count_;
-    }
-    slot.head = kNilNode;
-    slot.tail = kNilNode;
-    occupancy_[bucket >> 6] &= ~(uint64_t{1} << (bucket & 63));
-    if (!overflow_.empty() && overflow_.top().at == bucket_at) {
-      // Calendar and heap collide on one timestamp (rare): merge by seq.
-      while (!overflow_.empty() && overflow_.top().at == bucket_at) {
-        fifo_.push_back(overflow_.top());
-        overflow_.pop();
-      }
-      std::sort(fifo_.begin(), fifo_.end(),
-                [](const Event& a, const Event& b) { return a.seq < b.seq; });
-    }
-  }
-
-  // Moves the earliest-timestamp batch from the overflow heap to the FIFO.
-  // The heap pops equal-time events in seq order (EventLater tie-break).
-  void DrainOverflowBatch() {
-    FLOCK_CHECK(!overflow_.empty());
-    const Nanos cut = overflow_.top().at;
-    while (!overflow_.empty() && overflow_.top().at == cut) {
-      FifoPush(overflow_.top());
-      overflow_.pop();
-    }
-  }
-
-  // Returns a refilled-but-unreachable batch (deadline passed) to the
-  // calendar so later inserts keep ordering. The batch shares one timestamp
-  // strictly after now_, so Push never routes back to the FIFO.
-  void FlushFifo() {
-    while (fifo_pos_ < fifo_.size()) {
-      const Event event = fifo_[fifo_pos_++];
-      --size_;  // Push re-counts it; the event keeps its original seq
-      Push(event);
-    }
-    fifo_.clear();
-    fifo_pos_ = 0;
-  }
-
-  uint64_t RunUntilInternal(Nanos deadline) {
-    uint64_t ran = 0;
-    for (;;) {
-      if (FifoEmpty()) {
-        if (size_ == 0) {
-          break;
-        }
-        Refill();
-      }
-      const Event& front = fifo_[fifo_pos_];
-      if (deadline >= 0 && front.at > deadline) {
-        if (front.at > now_) {
-          FlushFifo();
-        }
-        break;
-      }
-      const Event event = front;
-      ++fifo_pos_;
-      --size_;
-      FLOCK_CHECK_GE(event.at, now_);
-      now_ = event.at;
-      ++ran;
-      ++events_processed_;
-      if (event.fn != nullptr) {
-        event.fn(event.ctx);
-      } else {
-        ++resumes_;
-        std::coroutine_handle<>::from_address(event.ctx).resume();
-      }
-    }
-    return ran;
-  }
-
-  Nanos now_ = 0;
-  uint64_t next_seq_ = 0;
-  uint64_t events_processed_ = 0;
-  uint64_t resumes_ = 0;
-  uint64_t direct_resumes_ = 0;
-  uint64_t coalesced_wakes_ = 0;
-  size_t size_ = 0;
-  bool shutting_down_ = false;
-
-  std::vector<Event> fifo_;  // drain vector: [fifo_pos_, size) is pending
-  size_t fifo_pos_ = 0;
-
-  // Wake batches: handles in commit order, one count per commit. Both vectors
-  // drain by position and reset when empty, so steady state never allocates.
-  std::vector<void*> wake_batch_;
-  size_t wake_drain_pos_ = 0;
-  std::vector<uint32_t> wake_counts_;
-  size_t wake_counts_pos_ = 0;
-  uint32_t uncommitted_wakes_ = 0;
-
-  static constexpr uint32_t kNilNode = UINT32_MAX;
 
   struct CalendarNode {
     Event event;
@@ -485,16 +442,552 @@ class Simulator {
     uint32_t tail = kNilNode;
   };
 
-  Bucket buckets_[kNumBuckets];
-  std::vector<CalendarNode> nodes_;  // shared node pool for all buckets
-  uint32_t free_node_ = kNilNode;
-  uint64_t occupancy_[kNumWords] = {};
-  size_t calendar_count_ = 0;
+  // One shard: a complete, self-contained event queue plus the live-process
+  // list and counters of the nodes it owns. Mid-window a shard is touched
+  // only by the worker thread running it; between windows only by the
+  // coordinator (ordering enforced by the epoch barrier's acquire/release
+  // pairs).
+  struct Shard {
+    Shard(Simulator* owner, int index, int num_shards)
+        : owner_(owner), index_(static_cast<uint32_t>(index)) {
+      hop_out_.resize(static_cast<size_t>(num_shards));
+      finish_out_.resize(static_cast<size_t>(num_shards));
+    }
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> overflow_;
+    // ---- now-FIFO drain vector (single timestamp at a time) ----
+    //
+    // Consumed events stay in the processed prefix until the whole batch
+    // drains (the vector is cleared at the next refill, keeping its
+    // capacity), so push is a plain append and pop an index increment.
+    // fifo_node_pending_ counts the *unconsumed* FIFO events per node,
+    // maintained on push/pop/flush, so SameTimePending() is one array read.
 
-  internal::ProcPromise* live_head_ = nullptr;
-  size_t live_count_ = 0;
+    bool FifoEmpty() const { return fifo_pos_ == fifo_.size(); }
+
+    void FifoPush(const Event& event) {
+      fifo_.push_back(event);
+      const auto node = static_cast<size_t>(event.node);
+      if (node >= fifo_node_pending_.size()) {
+        fifo_node_pending_.resize(node + 1, 0u);
+      }
+      ++fifo_node_pending_[node];
+    }
+
+    // ---- enqueue ----
+
+    void Push(const Event& event) {
+      ++size_;
+      if (event.at == now_) {
+        // Invariant: buckets and overflow never hold events at the current
+        // time (Refill drains the full timestamp batch), and the now-FIFO
+        // holds a single timestamp, so appending preserves (time, seq) order.
+        FifoPush(event);
+        return;
+      }
+      if (event.at - now_ < kHorizon) {
+        const size_t bucket = BucketOf(event.at);
+        const uint32_t node = AllocNode(event);
+        Bucket& b = buckets_[bucket];
+        if (b.tail == kNilNode) {
+          b.head = node;
+        } else {
+          nodes_[b.tail].next = node;
+        }
+        b.tail = node;
+        occupancy_[bucket >> 6] |= uint64_t{1} << (bucket & 63);
+        ++calendar_count_;
+      } else {
+        overflow_.push(event);
+      }
+    }
+
+    uint32_t AllocNode(const Event& event) {
+      uint32_t node = free_node_;
+      if (node != kNilNode) {
+        free_node_ = nodes_[node].next;
+      } else {
+        node = static_cast<uint32_t>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      nodes_[node].event = event;
+      nodes_[node].next = kNilNode;
+      return node;
+    }
+
+    // ---- refill: move the earliest timestamp batch into the now-FIFO ----
+
+    // First occupied bucket at or after `start`, in ring order (ring order is
+    // time order because live events span less than one calendar revolution —
+    // the window loop advances now_ to each window's end, so events never
+    // accumulate more than a horizon ahead of the scan start).
+    size_t FirstOccupied(size_t start) const {
+      size_t word = start >> 6;
+      uint64_t bits = occupancy_[word] & (~uint64_t{0} << (start & 63));
+      for (size_t scanned = 0; scanned <= kNumWords; ++scanned) {
+        if (bits != 0) {
+          return (word << 6) + static_cast<size_t>(std::countr_zero(bits));
+        }
+        word = (word + 1) & (kNumWords - 1);
+        bits = occupancy_[word];
+      }
+      FLOCK_CHECK(false) << "occupancy bitmap and calendar_count_ disagree";
+      return 0;
+    }
+
+    void Refill() {
+      fifo_.clear();  // previous batch fully consumed; keep the capacity
+      fifo_pos_ = 0;
+      if (calendar_count_ == 0) {
+        DrainOverflowBatch();
+        return;
+      }
+      const size_t bucket = FirstOccupied(BucketOf(now_));
+      Bucket& slot = buckets_[bucket];
+      const Nanos bucket_at = nodes_[slot.head].event.at;  // one ts per bucket
+      if (!overflow_.empty() && overflow_.top().at < bucket_at) {
+        DrainOverflowBatch();
+        return;
+      }
+      // Append order inside the bucket is seq order, so walking head-to-tail
+      // yields the drain batch already in (time, seq) order. Nodes return to
+      // the shared free list as they are copied out.
+      uint32_t node = slot.head;
+      while (node != kNilNode) {
+        FifoPush(nodes_[node].event);
+        const uint32_t next = nodes_[node].next;
+        nodes_[node].next = free_node_;
+        free_node_ = node;
+        node = next;
+        --calendar_count_;
+      }
+      slot.head = kNilNode;
+      slot.tail = kNilNode;
+      occupancy_[bucket >> 6] &= ~(uint64_t{1} << (bucket & 63));
+      if (!overflow_.empty() && overflow_.top().at == bucket_at) {
+        // Calendar and heap collide on one timestamp (rare): merge by seq.
+        while (!overflow_.empty() && overflow_.top().at == bucket_at) {
+          FifoPush(overflow_.top());
+          overflow_.pop();
+        }
+        std::sort(fifo_.begin(), fifo_.end(),
+                  [](const Event& a, const Event& b) { return a.seq < b.seq; });
+      }
+    }
+
+    // Moves the earliest-timestamp batch from the overflow heap to the FIFO.
+    // The heap pops equal-time events in seq order (EventLater tie-break).
+    void DrainOverflowBatch() {
+      FLOCK_CHECK(!overflow_.empty());
+      const Nanos cut = overflow_.top().at;
+      while (!overflow_.empty() && overflow_.top().at == cut) {
+        FifoPush(overflow_.top());
+        overflow_.pop();
+      }
+    }
+
+    // Returns a refilled-but-unreachable batch (deadline passed) to the
+    // calendar so later inserts keep ordering. The batch shares one timestamp
+    // strictly after now_, so Push never routes back to the FIFO.
+    void FlushFifo() {
+      while (fifo_pos_ < fifo_.size()) {
+        const Event event = fifo_[fifo_pos_++];
+        --fifo_node_pending_[static_cast<size_t>(event.node)];
+        --size_;  // Push re-counts it; the event keeps its original seq
+        Push(event);
+      }
+      fifo_.clear();
+      fifo_pos_ = 0;
+    }
+
+    // Earliest pending event time, or -1 if the shard is empty. Called by the
+    // coordinator between windows to pick the next window start.
+    Nanos NextEventAt() const {
+      if (!FifoEmpty()) {
+        return fifo_[fifo_pos_].at;  // e.g. a Spawn between runs
+      }
+      Nanos best = -1;
+      if (calendar_count_ != 0) {
+        const size_t bucket = FirstOccupied(BucketOf(now_));
+        best = nodes_[buckets_[bucket].head].event.at;
+      }
+      if (!overflow_.empty() && (best < 0 || overflow_.top().at < best)) {
+        best = overflow_.top().at;
+      }
+      return best;
+    }
+
+    // Runs events with time <= deadline (every event if deadline < 0).
+    uint64_t RunWindow(Nanos deadline) {
+      uint64_t ran = 0;
+      for (;;) {
+        if (FifoEmpty()) {
+          if (size_ == 0) {
+            break;
+          }
+          Refill();
+        }
+        const Event& front = fifo_[fifo_pos_];
+        if (deadline >= 0 && front.at > deadline) {
+          if (front.at > now_) {
+            FlushFifo();
+          }
+          break;
+        }
+        const Event event = front;
+        ++fifo_pos_;
+        --fifo_node_pending_[static_cast<size_t>(event.node)];
+        --size_;
+        FLOCK_CHECK_GE(event.at, now_);
+        now_ = event.at;
+        current_node_ = event.node;
+        ++ran;
+        ++events_processed_;
+        if (event.fn != nullptr) {
+          event.fn(event.ctx);
+        } else {
+          ++resumes_;
+          std::coroutine_handle<>::from_address(event.ctx).resume();
+        }
+      }
+      // Land the shard clock on the window end: keeps every live event within
+      // one calendar revolution of the bucket scan start, and the value is a
+      // global window boundary, so it is identical across shard counts.
+      if (deadline >= 0 && now_ < deadline) {
+        now_ = deadline;
+      }
+      return ran;
+    }
+
+    void WakeDrain() {
+      // Each drain event consumes exactly the handles of its own commit — a
+      // waiter that notifies further waiters commits a new batch with its own
+      // drain event, which keeps their resumption at the position fresh
+      // ScheduleResume(0) events would have had.
+      const uint32_t count = wake_counts_[wake_counts_pos_++];
+      for (uint32_t i = 0; i < count; ++i) {
+        ++resumes_;
+        ++coalesced_wakes_;
+        std::coroutine_handle<>::from_address(wake_batch_[wake_drain_pos_++])
+            .resume();
+      }
+      if (wake_drain_pos_ == wake_batch_.size() && uncommitted_wakes_ == 0) {
+        // Fully drained: reset the consumed prefixes, keeping capacity.
+        wake_batch_.clear();
+        wake_drain_pos_ = 0;
+        wake_counts_.clear();
+        wake_counts_pos_ = 0;
+      }
+    }
+
+    Simulator* owner_;
+    uint32_t index_;
+
+    Nanos now_ = 0;
+    uint64_t next_seq_ = 0;
+    uint64_t events_processed_ = 0;
+    uint64_t resumes_ = 0;
+    uint64_t direct_resumes_ = 0;
+    uint64_t coalesced_wakes_ = 0;
+    size_t size_ = 0;
+    int32_t current_node_ = 0;
+
+    std::vector<Event> fifo_;  // drain vector: [fifo_pos_, size) is pending
+    size_t fifo_pos_ = 0;
+    std::vector<uint32_t> fifo_node_pending_;  // unconsumed FIFO events/node
+
+    // Wake batches: handles in commit order, one count per commit. Both
+    // vectors drain by position and reset when empty, so steady state never
+    // allocates.
+    std::vector<void*> wake_batch_;
+    size_t wake_drain_pos_ = 0;
+    std::vector<uint32_t> wake_counts_;
+    size_t wake_counts_pos_ = 0;
+    uint32_t uncommitted_wakes_ = 0;
+
+    Bucket buckets_[kNumBuckets];
+    std::vector<CalendarNode> nodes_;  // shared node pool for all buckets
+    uint32_t free_node_ = kNilNode;
+    uint64_t occupancy_[kNumWords] = {};
+    size_t calendar_count_ = 0;
+
+    std::priority_queue<Event, std::vector<Event>, EventLater> overflow_;
+
+    internal::ProcPromise* live_head_ = nullptr;
+    size_t live_count_ = 0;
+
+    // Outboxes, indexed by destination shard; SPSC by construction (the shard
+    // appends mid-window, the coordinator drains at the barrier). Capacity is
+    // kept across windows, so steady state never allocates.
+    std::vector<std::vector<HopEntry>> hop_out_;
+    std::vector<std::vector<internal::ProcPromise*>> finish_out_;
+  };
+
+  static void WakeDrainTrampoline(void* shard) {
+    static_cast<Shard*>(shard)->WakeDrain();
+  }
+
+  // The shard whose window the calling thread is currently executing, or null
+  // outside event execution. thread_local so worker threads and concurrent
+  // Simulators on other threads never observe each other.
+  static Shard*& RunningShardSlot() {
+    static thread_local Shard* slot = nullptr;
+    return slot;
+  }
+
+  Shard* RunningShard() const {
+    Shard* s = RunningShardSlot();
+    return s != nullptr && s->owner_ == this ? s : nullptr;
+  }
+
+  // Routing for schedule calls: the executing shard mid-window, shard 0 from
+  // the main thread outside execution (setup code between runs).
+  Shard& CurrentShard() {
+    Shard* s = RunningShard();
+    return s != nullptr ? *s : *shards_[0];
+  }
+  const Shard& CurrentShard() const {
+    const Shard* s = RunningShard();
+    return s != nullptr ? *s : *shards_[0];
+  }
+
+  Shard& ShardOfNode(int node) {
+    if (node_shard_.empty()) {
+      return *shards_[0];
+    }
+    FLOCK_CHECK(node >= 0 && static_cast<size_t>(node) < node_shard_.size())
+        << "node " << node << " outside the sharding map";
+    return *shards_[static_cast<size_t>(node_shard_[static_cast<size_t>(node)])];
+  }
+
+  uint64_t Sum(uint64_t Shard::* field) const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += (*s).*field;
+    }
+    return total;
+  }
+
+  void OnProcFinished(std::coroutine_handle<internal::ProcPromise> handle) {
+    internal::ProcPromise& promise = handle.promise();
+    if (shutting_down_) {
+      handle.destroy();
+      return;
+    }
+    Shard* cur = RunningShard();
+    Shard& home = *shards_[promise.home_shard];
+    if (cur != nullptr && cur != &home) {
+      // Finished on a foreign shard (e.g. an unreliable delivery that ends at
+      // the receiver): park the frame; the coordinator unlinks and destroys
+      // it at the window barrier, when the home shard's list is quiescent.
+      cur->finish_out_[promise.home_shard].push_back(&promise);
+      return;
+    }
+    UnlinkAndDestroy(home, promise);
+  }
+
+  void UnlinkAndDestroy(Shard& home, internal::ProcPromise& promise) {
+    if (promise.live_prev != nullptr) {
+      promise.live_prev->live_next = promise.live_next;
+    } else {
+      home.live_head_ = promise.live_next;
+    }
+    if (promise.live_next != nullptr) {
+      promise.live_next->live_prev = promise.live_prev;
+    }
+    --home.live_count_;
+    std::coroutine_handle<internal::ProcPromise>::from_promise(promise)
+        .destroy();
+  }
+
+  // ---- window loop ----
+
+  uint64_t RunLoop(Nanos deadline) {
+    if (!windowed_) {
+      Shard& s = *shards_[0];
+      RunningShardSlot() = &s;
+      const uint64_t ran = s.RunWindow(deadline);
+      RunningShardSlot() = nullptr;
+      return ran;
+    }
+    const uint64_t before = events_processed();
+    for (;;) {
+      Nanos next = -1;
+      for (const auto& s : shards_) {
+        const Nanos t = s->NextEventAt();
+        if (t >= 0 && (next < 0 || t < next)) {
+          next = t;
+        }
+      }
+      if (next < 0 || (deadline >= 0 && next > deadline)) {
+        break;
+      }
+      // Window [next, wend]: a hop from t >= next has arrival
+      // t + lookahead > wend, so it cannot land inside this window. The
+      // boundary depends only on the global earliest event time — identical
+      // at every shard count, which keeps barrier (and therefore mailbox
+      // drain) positions aligned across configurations.
+      Nanos wend = next + lookahead_ - 1;
+      if (deadline >= 0 && wend > deadline) {
+        wend = deadline;
+      }
+      RunWindowAll(wend);
+      DrainBarrier();
+    }
+    return events_processed() - before;
+  }
+
+  void RunShardWindow(Shard& s, Nanos wend) {
+    RunningShardSlot() = &s;
+    s.RunWindow(wend);
+    RunningShardSlot() = nullptr;
+  }
+
+  void RunWindowAll(Nanos wend) {
+    if (num_workers_ > 1 && workers_.empty()) {
+      StartWorkers();
+    }
+    if (num_workers_ <= 1) {
+      for (auto& s : shards_) {
+        RunShardWindow(*s, wend);
+      }
+      return;
+    }
+    // Publish the window, run our own shards, then wait for the pool. The
+    // release/acquire pairs on window_epoch_ and worker_done_ order all shard
+    // and mailbox memory between the coordinator and the workers.
+    window_deadline_ = wend;
+    const uint64_t epoch =
+        window_epoch_.load(std::memory_order_relaxed) + 1;
+    window_epoch_.store(epoch, std::memory_order_release);
+    for (size_t i = 0; i < shards_.size();
+         i += static_cast<size_t>(num_workers_)) {
+      RunShardWindow(*shards_[i], wend);
+    }
+    for (int w = 1; w < num_workers_; ++w) {
+      SpinUntil([&] {
+        return worker_done_[static_cast<size_t>(w)].value.load(
+                   std::memory_order_acquire) == epoch;
+      });
+    }
+  }
+
+  void DrainBarrier() {
+    const size_t n = shards_.size();
+    for (size_t dst = 0; dst < n; ++dst) {
+      merge_scratch_.clear();
+      for (size_t src = 0; src < n; ++src) {
+        auto& box = shards_[src]->hop_out_[dst];
+        merge_scratch_.insert(merge_scratch_.end(), box.begin(), box.end());
+        box.clear();
+      }
+      if (merge_scratch_.empty()) {
+        continue;
+      }
+      std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+                [](const HopEntry& a, const HopEntry& b) {
+                  if (a.at != b.at) {
+                    return a.at < b.at;
+                  }
+                  if (a.src_node != b.src_node) {
+                    return a.src_node < b.src_node;
+                  }
+                  return a.hop_seq < b.hop_seq;
+                });
+      Shard& d = *shards_[dst];
+      for (const HopEntry& h : merge_scratch_) {
+        d.Push(Event{h.at, d.next_seq_++, h.ctx, nullptr, h.dst_node});
+      }
+    }
+    for (size_t src = 0; src < n; ++src) {
+      for (size_t home = 0; home < n; ++home) {
+        auto& fin = shards_[src]->finish_out_[home];
+        for (internal::ProcPromise* promise : fin) {
+          UnlinkAndDestroy(*shards_[home], *promise);
+        }
+        fin.clear();
+      }
+    }
+  }
+
+  // ---- worker pool ----
+
+  template <typename Pred>
+  static void SpinUntil(Pred pred) {
+    for (int spins = 0; !pred(); ++spins) {
+      if (spins > 256) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void StartWorkers() {
+    worker_done_ = std::make_unique<PaddedEpoch[]>(
+        static_cast<size_t>(num_workers_));
+    const uint64_t epoch = window_epoch_.load(std::memory_order_relaxed);
+    for (int w = 0; w < num_workers_; ++w) {
+      worker_done_[static_cast<size_t>(w)].value.store(
+          epoch, std::memory_order_relaxed);
+    }
+    stop_workers_.store(false, std::memory_order_relaxed);
+    for (int w = 1; w < num_workers_; ++w) {
+      // Pass the pre-window epoch: re-reading window_epoch_ from the worker
+      // would race with the coordinator's first increment (the worker could
+      // treat the first window as already seen and sleep forever).
+      workers_.emplace_back([this, w, epoch] { WorkerLoop(w, epoch); });
+    }
+  }
+
+  void WorkerLoop(int w, uint64_t seen) {
+    for (;;) {
+      uint64_t epoch = seen;
+      SpinUntil([&] {
+        epoch = window_epoch_.load(std::memory_order_acquire);
+        return epoch != seen;
+      });
+      seen = epoch;
+      if (stop_workers_.load(std::memory_order_acquire)) {
+        return;
+      }
+      for (size_t i = static_cast<size_t>(w); i < shards_.size();
+           i += static_cast<size_t>(num_workers_)) {
+        RunShardWindow(*shards_[i], window_deadline_);
+      }
+      worker_done_[static_cast<size_t>(w)].value.store(
+          epoch, std::memory_order_release);
+    }
+  }
+
+  void StopWorkers() {
+    if (workers_.empty()) {
+      return;
+    }
+    stop_workers_.store(true, std::memory_order_release);
+    window_epoch_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+    workers_.clear();
+    worker_done_.reset();
+  }
+
+  struct alignas(64) PaddedEpoch {
+    std::atomic<uint64_t> value{0};
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<int32_t> node_shard_;    // empty → every node on shard 0
+  std::vector<uint64_t> node_hop_seq_; // per-source-node hop counters
+  Nanos lookahead_ = 0;
+  bool windowed_ = false;
+  bool shutting_down_ = false;
+  int num_workers_ = 1;
+  std::vector<HopEntry> merge_scratch_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> window_epoch_{0};
+  std::atomic<bool> stop_workers_{false};
+  Nanos window_deadline_ = 0;  // written before the epoch release-store
+  std::unique_ptr<PaddedEpoch[]> worker_done_;
 };
 
 namespace internal {
@@ -506,7 +999,7 @@ inline void ProcFinalAwaiter::await_suspend(
 
 }  // namespace internal
 
-// Suspends the awaiting coroutine for `delay` of simulated time.
+// Suspends the awaiting coroutine for `delay` of simulated time (same node).
 class Delay {
  public:
   Delay(Simulator& sim, Nanos delay) : sim_(sim), delay_(delay) {}
@@ -519,6 +1012,27 @@ class Delay {
 
  private:
   Simulator& sim_;
+  Nanos delay_;
+};
+
+// Suspends the awaiting coroutine for `delay` and resumes it on `node` —
+// the migration point of every cross-node interaction (switch transit, RC
+// acknowledgements). Under sharding the delay must be at least the
+// configured lookahead; see Simulator::ScheduleOnNode.
+class HopToNode {
+ public:
+  HopToNode(Simulator& sim, int node, Nanos delay)
+      : sim_(sim), node_(node), delay_(delay) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    sim_.ScheduleOnNode(node_, delay_ < 0 ? 0 : delay_, handle);
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  int node_;
   Nanos delay_;
 };
 

@@ -210,16 +210,21 @@ class FifoServer {
       busy_ = false;
     }
     if (!sim_.SameTimePending()) {
-      // Nothing else is queued at this timestamp, so a ScheduleResume(0)
-      // would make `finished` the very next event anyway: resuming it inline
-      // skips the queue round trip without reordering anything. (The next
-      // service's completion was scheduled above, before user code runs, so
-      // a waiter that re-enqueues observes a consistent server.)
+      // Nothing else is queued at this timestamp *for this node*, so a
+      // ScheduleResume(0) would make `finished` the very next event of this
+      // node anyway: resuming it inline skips the queue round trip without
+      // reordering anything. Same-time events of other nodes are causally
+      // independent (cross-node influence costs at least the fabric's
+      // minimum delay), so the predicate is node-local — which keeps the
+      // decision, and the event count, identical across shard counts. (The
+      // next service's completion was scheduled above, before user code
+      // runs, so a waiter that re-enqueues observes a consistent server.)
       sim_.NoteDirectResume();
       finished.resume();
     } else {
-      // Same-time events are pending; an inline resume would run `finished`
-      // ahead of them. Keep the order the unbatched kernel had.
+      // Same-time events of this node are pending; an inline resume would
+      // run `finished` ahead of them. Keep the order the unbatched kernel
+      // had.
       sim_.ScheduleResume(0, finished);
     }
   }

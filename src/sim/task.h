@@ -41,8 +41,13 @@ struct ProcPromise;
 // it without touching the general-purpose allocator. Frames larger than
 // kMaxPooledBytes (rare: big local arrays) fall through to operator new.
 //
-// The pool is thread_local: a simulation is single-threaded, but tests run
-// several simulators on different threads concurrently.
+// The pool is thread_local: tests run several simulators on different
+// threads concurrently, and a sharded simulation runs shards on a worker
+// pool. A frame may be allocated on one worker and freed on another (a
+// process migrated by a cross-node hop, or destroyed by the coordinator at
+// shutdown); the block simply parks on the freeing thread's list — free
+// lists hold untyped memory, not simulator state, so crossing pools is
+// benign and, critically, never affects the simulated trace.
 class FramePool {
  public:
   static constexpr size_t kGranuleBytes = 64;
@@ -167,6 +172,11 @@ struct ProcFinalAwaiter {
 
 struct ProcPromise : FramePooled {
   Simulator* sim = nullptr;
+  // Shard the process was spawned on (the shard owning its node). A process
+  // that runs its last event on a foreign shard — possible only via a
+  // cross-node hop — is parked until the window barrier so its home shard's
+  // live list is only ever unlinked while that shard is quiescent.
+  uint32_t home_shard = 0;
   // Intrusive doubly-linked list of live (spawned, not yet finished)
   // processes, threaded through the promise so the Simulator tracks
   // membership with pointer writes instead of a hash set.

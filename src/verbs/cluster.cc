@@ -1,3 +1,6 @@
+#include <algorithm>
+#include <vector>
+
 #include "src/verbs/device.h"
 
 namespace flock::verbs {
@@ -7,6 +10,18 @@ Cluster::Cluster(const Config& config)
       network_(sim_, cost_, config.num_nodes),
       fault_(*this) {
   FLOCK_CHECK_GT(config.num_nodes, 0);
+  FLOCK_CHECK_GT(config.num_shards, 0);
+  // Always run the windowed kernel (shards=1 is the sequential special case
+  // of the same machinery): cross-node hops take the mailbox path at every
+  // shard count, which is what makes traces shard-count independent. The
+  // window width is the fabric's minimum cross-node delay.
+  std::vector<int> node_shard(static_cast<size_t>(config.num_nodes));
+  for (int n = 0; n < config.num_nodes; ++n) {
+    node_shard[static_cast<size_t>(n)] = n % config.num_shards;
+  }
+  sim_.ConfigureSharding(std::min(config.num_shards, config.num_nodes),
+                         node_shard, network_.MinCrossNodeDelay(),
+                         config.num_workers);
   nodes_.reserve(static_cast<size_t>(config.num_nodes));
   for (int i = 0; i < config.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<NodeState>(sim_, config.cores_per_node));

@@ -158,7 +158,7 @@ void Device::KickSendEngine(Qp& qp) {
   qp.engine_running_ = true;
   if (!qp.engine_spawned_) {
     qp.engine_spawned_ = true;
-    sim_.Spawn(SendEngine(qp));
+    sim_.Spawn(SendEngine(qp), node_id_);
   } else {
     qp.engine_wake_.Fire(sim_);
   }
@@ -215,7 +215,7 @@ sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {
   stats_.tx_packets += packets;
   stats_.tx_wire_bytes += outbound + uint64_t{packets} * cost_.wire_overhead_bytes;
 
-  sim_.Spawn(Deliver(qp, wr, std::move(payload)));
+  sim_.Spawn(Deliver(qp, wr, std::move(payload)), node_id_);
 
   // Unreliable transports complete at transmission; RC completes on ACK or
   // response inside Deliver.
@@ -233,7 +233,10 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
   const Nanos serialize = net_.SerializeTime(outbound);
 
   co_await net_.Uplink(node_id_).Serve(serialize);
-  co_await sim::Delay(sim_, net_.TransitDelay());
+  // Switch transit is the shard migration point: execution resumes on the
+  // destination node, so the downlink, RX pipeline and peer-side state below
+  // are all touched by events of the node that owns them.
+  co_await sim::HopToNode(sim_, dest_node, net_.TransitDelay());
   co_await net_.Downlink(dest_node).Serve(serialize);
 
   Device& peer = cluster_.device(dest_node);
@@ -257,8 +260,12 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
     co_return;  // unreliable: remote failures are silent, already completed
   }
   if (wr.opcode != Opcode::kRead && !IsAtomic(wr.opcode)) {
-    // Hardware ACK for writes/sends.
-    co_await sim::Delay(sim_, cost_.rc_ack_latency);
+    // Hardware ACK for writes/sends: migrates execution back to the sender.
+    co_await sim::HopToNode(sim_, node_id_, cost_.rc_ack_latency);
+  } else if (status != WcStatus::kSuccess) {
+    // A failed READ/atomic never ran its response leg, so execution is still
+    // at the responder; the NAK travels back like an ACK would.
+    co_await sim::HopToNode(sim_, node_id_, cost_.rc_ack_latency);
   }
   CompleteSend(qp, wr, status, wr.length);
 }
@@ -392,7 +399,8 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
       peer.stats_.tx_wire_bytes +=
           wr.length + uint64_t{resp_packets} * cost_.wire_overhead_bytes;
       co_await net_.Uplink(peer.node_id_).Serve(resp_serialize);
-      co_await sim::Delay(sim_, net_.TransitDelay());
+      // Response transit hops execution back to the requester's shard.
+      co_await sim::HopToNode(sim_, node_id_, net_.TransitDelay());
       co_await net_.Downlink(node_id_).Serve(resp_serialize);
       co_await rx_pipe_.Serve(static_cast<Nanos>(resp_packets) * cost_.nic_rx_per_packet);
       co_await sim::Delay(sim_, cost_.nic_dma_write);
@@ -424,7 +432,8 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
       const Nanos resp_serialize = net_.SerializeTime(8);
       co_await peer.tx_pipe_.Serve(cost_.nic_per_wqe + cost_.nic_tx_per_packet);
       co_await net_.Uplink(peer.node_id_).Serve(resp_serialize);
-      co_await sim::Delay(sim_, net_.TransitDelay());
+      // Atomic response transit hops execution back to the requester.
+      co_await sim::HopToNode(sim_, node_id_, net_.TransitDelay());
       co_await net_.Downlink(node_id_).Serve(resp_serialize);
       co_await rx_pipe_.Serve(cost_.nic_rx_per_packet);
       co_await sim::Delay(sim_, cost_.nic_dma_write);

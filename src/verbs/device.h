@@ -138,6 +138,15 @@ class Cluster {
     int num_nodes = 2;
     int cores_per_node = 32;
     sim::CostModel cost;
+    // Simulation-kernel shards (see src/sim/simulator.h). Nodes are assigned
+    // round-robin (node % num_shards); traces are bit-identical at every
+    // shard count, so this is purely a wall-clock knob. Scheduled fault
+    // injection is single-shard only (it mutates foreign-node state without
+    // paying the fabric delay).
+    int num_shards = 1;
+    // OS threads executing the shards; 0 = min(num_shards, hardware
+    // threads). Never affects the trace.
+    int num_workers = 0;
   };
 
   explicit Cluster(const Config& config);

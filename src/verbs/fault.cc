@@ -4,8 +4,18 @@
 
 namespace flock::verbs {
 
-void FaultInjector::KillQp(int node, uint32_t qpn) {
+void FaultInjector::Arm() {
+  // Fault injection mutates foreign-node state (QP kills, NIC pauses,
+  // sender-side error filtering at the receiver) without paying the fabric
+  // delay, which would race across shards. The fault benches and tests run
+  // the sequential (one-shard) kernel, where this is sound.
+  FLOCK_CHECK_EQ(cluster_.sim().num_shards(), 1)
+      << "fault injection requires a single-shard simulation";
   armed_ = true;
+}
+
+void FaultInjector::KillQp(int node, uint32_t qpn) {
+  Arm();
   Device& dev = cluster_.device(node);
   Qp* qp = dev.FindQp(qpn);
   if (qp != nullptr && !qp->in_error()) {
@@ -15,7 +25,7 @@ void FaultInjector::KillQp(int node, uint32_t qpn) {
 }
 
 void FaultInjector::KillNode(int node) {
-  armed_ = true;
+  Arm();
   Device& dev = cluster_.device(node);
   for (uint32_t qpn = 1;; ++qpn) {
     Qp* qp = dev.FindQp(qpn);
@@ -32,7 +42,7 @@ void FaultInjector::KillNode(int node) {
 }
 
 void FaultInjector::PauseNode(int node) {
-  armed_ = true;
+  Arm();
   cluster_.device(node).Pause();
   stats_.node_pauses += 1;
 }
@@ -45,7 +55,7 @@ void FaultInjector::InjectSendErrors(int node, uint32_t qpn, WcStatus status,
   if (count == 0) {
     return;
   }
-  armed_ = true;
+  Arm();
   pending_errors_.push_back(PendingError{node, qpn, status, count});
 }
 
@@ -74,23 +84,23 @@ Nanos FaultInjector::DelayUntil(Nanos at) const {
 }
 
 void FaultInjector::KillQpAt(Nanos at, int node, uint32_t qpn) {
-  armed_ = true;
+  Arm();
   cluster_.sim().Spawn(DelayedKillQp(at, node, qpn));
 }
 
 void FaultInjector::KillNodeAt(Nanos at, int node) {
-  armed_ = true;
+  Arm();
   cluster_.sim().Spawn(DelayedKillNode(at, node));
 }
 
 void FaultInjector::PauseNodeAt(Nanos at, int node, Nanos duration) {
-  armed_ = true;
+  Arm();
   cluster_.sim().Spawn(DelayedPauseNode(at, node, duration));
 }
 
 void FaultInjector::InjectSendErrorsAt(Nanos at, int node, uint32_t qpn,
                                        WcStatus status, uint32_t count) {
-  armed_ = true;
+  Arm();
   cluster_.sim().Spawn(DelayedInjectSendErrors(at, node, qpn, status, count));
 }
 

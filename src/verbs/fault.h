@@ -79,6 +79,10 @@ class FaultInjector {
     uint32_t remaining = 0;
   };
 
+  // Marks the injector armed; checks the simulation is single-shard (fault
+  // actions mutate foreign-node state without paying the fabric delay).
+  void Arm();
+
   Nanos DelayUntil(Nanos at) const;
   sim::Proc DelayedKillQp(Nanos at, int node, uint32_t qpn);
   sim::Proc DelayedKillNode(Nanos at, int node);

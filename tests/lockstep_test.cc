@@ -25,9 +25,12 @@ sim::Proc EchoWorker(verbs::Cluster* cluster, Connection* conn, FlockThread* thr
 }
 
 double RunLockstep(int threads, uint32_t lanes, Nanos duration, uint64_t* done_out,
-                   uint64_t* events_out = nullptr) {
-  verbs::Cluster cluster(
-      verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 34});
+                   uint64_t* events_out = nullptr, int shards = 1,
+                   int workers = 0) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2,
+                                                .cores_per_node = 34,
+                                                .num_shards = shards,
+                                                .num_workers = workers});
   FlockConfig config;
   FlockRuntime server(cluster, 0, config);
   server.RegisterHandler(1, [](const uint8_t*, uint32_t, uint8_t* resp, uint32_t,
@@ -42,7 +45,10 @@ double RunLockstep(int threads, uint32_t lanes, Nanos duration, uint64_t* done_o
   Connection* conn = client.Connect(server, lanes);
   uint64_t done = 0;
   for (int t = 0; t < threads; ++t) {
-    cluster.sim().Spawn(EchoWorker(&cluster, conn, client.CreateThread(t), &done));
+    // Workers home on the client node: they run client-side code, and under
+    // sharding every proc must execute on the shard of the node it touches.
+    cluster.sim().Spawn(EchoWorker(&cluster, conn, client.CreateThread(t), &done),
+                        /*node=*/1);
   }
   cluster.sim().RunFor(duration);
   *done_out = done;
@@ -89,6 +95,31 @@ TEST(LockstepTest, IdenticalRunsAreBitForBitDeterministic) {
   EXPECT_EQ(coal_a, coal_b);
   EXPECT_GT(events_a, 0u);
   EXPECT_GT(done_a, 0u);
+}
+
+// The sharded kernel run in lockstep with the sequential one: the same
+// workload on one shard (the sequential kernel) and on two shards (client
+// and server on different OS-visible queues) must execute the exact same
+// trace — event count, completions and coalescing degree all bit-identical.
+// The two-worker run additionally exercises the threaded window barrier.
+TEST(LockstepTest, ShardedKernelMatchesSequentialKernel) {
+  uint64_t done_seq = 0, events_seq = 0;
+  const double coal_seq =
+      RunLockstep(8, 4, 2 * kMillisecond, &done_seq, &events_seq);
+  uint64_t done_par = 0, events_par = 0;
+  const double coal_par = RunLockstep(8, 4, 2 * kMillisecond, &done_par,
+                                      &events_par, /*shards=*/2);
+  EXPECT_EQ(events_seq, events_par);
+  EXPECT_EQ(done_seq, done_par);
+  EXPECT_EQ(coal_seq, coal_par);
+  uint64_t done_thr = 0, events_thr = 0;
+  const double coal_thr = RunLockstep(8, 4, 2 * kMillisecond, &done_thr,
+                                      &events_thr, /*shards=*/2, /*workers=*/2);
+  EXPECT_EQ(events_seq, events_thr);
+  EXPECT_EQ(done_seq, done_thr);
+  EXPECT_EQ(coal_seq, coal_thr);
+  EXPECT_GT(events_seq, 0u);
+  EXPECT_GT(done_seq, 0u);
 }
 
 }  // namespace
