@@ -20,6 +20,14 @@ runs the same larger world sequentially and sharded. Three gates:
     >= 4x with 8+ effective cores, >= 2x with 4+, >= 1.2x with 2+; skipped on
     single-core hosts, where the worker pool collapses to one thread and the
     window loop can only break even.
+
+Passing --conn-storm=PATH additionally gates the connection-storm bench
+(DESIGN.md §13) from its JSON dump: the optimized configuration's p99
+time-to-first-RPC must beat the eager baseline by >= --min-ttfr-improvement
+and stay under --max-ttfr-p99-us absolute at the offered join rate, with
+zero control-plane rejects in either configuration. These are simulated-time
+gates — deterministic, host-speed independent — so they are exact, not
+thresholded against a checked-in baseline.
 """
 
 import argparse
@@ -113,6 +121,41 @@ def check_scaling(cur_rows):
     return failed
 
 
+def check_conn_storm(path, min_improvement, max_p99_us):
+    rows = load_rows(path)
+    eager = rows.get("eager")
+    optimized = rows.get("optimized")
+    if eager is None or optimized is None:
+        return [f"conn_storm:missing-rows ({path})"]
+    failed = []
+
+    e_p99 = eager.get("ttfr_p99_ns", 0) / 1e3
+    o_p99 = optimized.get("ttfr_p99_ns", 0) / 1e3
+    improvement = e_p99 / o_p99 if o_p99 else 0.0
+    print(f"\nconn_storm p99 TTFR: eager {e_p99:.1f} us, optimized "
+          f"{o_p99:.1f} us -> {improvement:.2f}x")
+    if improvement < min_improvement:
+        failed.append("conn_storm:improvement")
+        print(f"<< TTFR IMPROVEMENT BELOW GATE: {improvement:.2f}x < "
+              f"required {min_improvement:.1f}x")
+    if o_p99 <= 0 or o_p99 > max_p99_us:
+        failed.append("conn_storm:p99")
+        print(f"<< OPTIMIZED P99 TTFR ABOVE GATE: {o_p99:.1f} us > "
+              f"{max_p99_us:.1f} us")
+    for name, row in (("eager", eager), ("optimized", optimized)):
+        rejects = sum(row.get(k, 0) for k in (
+            "rejected_malformed", "rejected_replay", "rejected_no_endpoint",
+            "rejected_not_member"))
+        if rejects:
+            failed.append(f"conn_storm:rejects:{name}")
+            print(f"<< {name} SAW {rejects:.0f} CONTROL-PLANE REJECTS")
+    if not failed:
+        print(f"conn_storm gate passed: {improvement:.2f}x >= "
+              f"{min_improvement:.1f}x, p99 {o_p99:.1f} us <= "
+              f"{max_p99_us:.1f} us, zero rejects")
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -123,6 +166,23 @@ def main():
         default=0.10,
         help="fail if a gated metric drops by more than this fraction",
     )
+    parser.add_argument(
+        "--conn-storm",
+        default=None,
+        help="conn_storm JSON dump to gate (improvement, absolute p99, rejects)",
+    )
+    parser.add_argument(
+        "--min-ttfr-improvement",
+        type=float,
+        default=2.0,
+        help="required eager/optimized p99 TTFR ratio in the conn_storm dump",
+    )
+    parser.add_argument(
+        "--max-ttfr-p99-us",
+        type=float,
+        default=50.0,
+        help="absolute ceiling on the optimized conn_storm p99 TTFR",
+    )
     args = parser.parse_args()
 
     base_rows = load_rows(args.baseline)
@@ -131,6 +191,9 @@ def main():
     failed = check_rates(base_rows["default"], cur_rows["default"],
                          args.max_regression)
     failed += check_scaling(cur_rows)
+    if args.conn_storm:
+        failed += check_conn_storm(args.conn_storm, args.min_ttfr_improvement,
+                                   args.max_ttfr_p99_us)
 
     if failed:
         print(f"\nFAIL: {', '.join(failed)} (baseline {args.baseline})",

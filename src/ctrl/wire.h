@@ -86,6 +86,10 @@ struct ConnectRequest {
 struct ConnectAccept {
   uint32_t conn_id = 0;  // the sender key the server filed this handle under
   uint32_t num_lanes = 0;
+  // QP provenance on the server side, so the client can charge the right
+  // setup cost (CostModel::qp_create vs qp_reset) on the async connect path.
+  uint32_t fresh_qps = 0;
+  uint32_t recycled_qps = 0;
   ServerLaneInfo lanes[kMaxLanesPerMsg];
 };
 
@@ -115,7 +119,7 @@ struct AddLaneRequest {
 
 struct AddLaneAccept {
   uint32_t lane_index = 0;
-  uint32_t pad = 0;
+  uint32_t recycled = 0;  // 1 = the server lane came from the recycling pool
   ServerLaneInfo lane;
 };
 

@@ -14,6 +14,13 @@ sim::Co<PendingRpc*> StageRpc(ClientConnState& conn, FlockThread& thread,
   const sim::CostModel& cost = conn.env->cost();
   FLOCK_CHECK_LE(len, config.max_payload);
 
+  // Deferred connection setup (DESIGN.md §13): the condition object exists
+  // only when lazy_lanes or connect_piggyback is on, so default builds pay
+  // one null check here and nothing else.
+  if (conn.setup_cond != nullptr) {
+    co_await EnsureLaneSetup(conn, thread);
+  }
+
   ClientLane& lane = LaneFor(conn, thread);
 
   PendingRpc* rpc = conn.client->rpc_pool.New();
@@ -362,6 +369,10 @@ sim::Proc Pump(ClientConnState& conn, ClientLane& lane) {
 sim::Co<verbs::WcStatus> SubmitMemOp(ClientConnState& conn, FlockThread& thread,
                                      verbs::SendWr wr) {
   const sim::CostModel& cost = conn.env->cost();
+  // Deferred connection setup (DESIGN.md §13); see StageRpc.
+  if (conn.setup_cond != nullptr) {
+    co_await EnsureLaneSetup(conn, thread);
+  }
   ClientLane& lane = LaneFor(conn, thread);
 
   PendingMemOp op;

@@ -74,6 +74,24 @@ struct FlockConfig {
   // RDMA-CM/TCP side channel, far slower than the data path).
   Nanos ctrl_rtt = 5 * kMicrosecond;
 
+  // ---- connection-storm control plane (DESIGN.md §13) ----
+  // All three default off: fault-free traces stay bit-identical. They only
+  // take effect on the asynchronous connect path (ConnectAsync /
+  // CloseConnection); the synchronous setup-phase Connect ignores them.
+  //
+  // Reuse lanes torn down by Leave/retire/close: the QP is ResetQp-recycled
+  // and the rings/MRs/slots are harvested into a per-node shell pool that the
+  // next Connect draws from (qp_reset instead of qp_create per lane).
+  bool qp_recycling = false;
+  // Deferred lane bring-up: ConnectAsync materializes only lane 0 eagerly;
+  // further lanes appear on first use (when a second thread maps onto the
+  // handle), via the AddLane handshake.
+  bool lazy_lanes = false;
+  // Handshake piggybacking: ConnectAsync returns without the out-of-band
+  // exchange; the ConnectRequest rides with the first RPC's credit bootstrap
+  // (no ctrl_rtt on the time-to-first-RPC path).
+  bool connect_piggyback = false;
+
   // ---- elastic lane scaling (DESIGN.md §10) ----
   // Grow/shrink the per-handle lane set from the observed median coalescing
   // degree. Off by default (zero new procs, traces untouched).

@@ -258,10 +258,18 @@ sim::Proc ResponseDispatcher(NodeEnv& env, ClientState& client,
       }
     }
 
-    for (ClientConnState* conn : client.conns) {
+    // Index-based on purpose: CloseConnection erases closed connections from
+    // client.conns between events, and the co_awaits below suspend mid-pass —
+    // an iterator would dangle. Same visitation order as iterators, so the
+    // trace of a run that never closes a connection is unchanged.
+    for (size_t ci = 0; ci < client.conns.size(); ++ci) {
+      ClientConnState* conn = client.conns[ci];
       for (size_t li = index; li < conn->lanes.size();
            li += static_cast<size_t>(config.response_dispatchers)) {
         ClientLane& lane = *conn->lanes[li];
+        if (lane.qp == nullptr) {
+          continue;  // harvested at close: nothing to poll, no QP to post on
+        }
         pass_cost += cost.cpu_ring_poll_empty;
         ApplyCtrlSlot(env, lane);  // grants / activation written by the server
         wire::MsgHeader header;

@@ -103,8 +103,12 @@ void HandleSendError(const verbs::Completion& wc, ServerStats& stats) {
     case WrTag::kRpcWrite:
     case WrTag::kCtrl: {
       auto* lane = WrIdPtr<ClientLane>(wc.wr_id);
-      // Ignore stale flushes from a QP that a reconnect already replaced.
-      if (wc.qpn != 0 && lane->qp != nullptr && wc.qpn != lane->qp->qpn()) {
+      // Ignore stale flushes from a QP that a reconnect already replaced, or
+      // from a lane whose QP was harvested into the recycling pool (qp is
+      // nullptr then — the lane is closed and must not be "re-quarantined",
+      // which would bump failure counters for a teardown that already ran).
+      if (lane->qp == nullptr ||
+          (wc.qpn != 0 && wc.qpn != lane->qp->qpn())) {
         break;
       }
       if (IsFatalWcStatus(wc.status)) {
@@ -117,8 +121,9 @@ void HandleSendError(const verbs::Completion& wc, ServerStats& stats) {
     case WrTag::kServerWrite:
     case WrTag::kServerCtrl: {
       auto* lane = WrIdPtr<ServerLane>(wc.wr_id);
+      // A graveyard lane (qp harvested into the pool) is always stale here.
       const bool stale =
-          wc.qpn != 0 && lane->qp != nullptr && wc.qpn != lane->qp->qpn();
+          lane->qp == nullptr || (wc.qpn != 0 && wc.qpn != lane->qp->qpn());
       if (!stale && IsFatalWcStatus(wc.status)) {
         QuarantineServerLane(*lane, stats);
       }
@@ -152,33 +157,76 @@ std::unique_ptr<ClientLane> BuildClientLane(NodeEnv& env, ClientConnState& conn,
                                             ctrl::wire::ClientLaneInfo* info) {
   fabric::MemorySpace& cmem = env.mem();
   const uint32_t ring_bytes = env.config->ring_bytes;
+  ClientState& client = *conn.client;
 
   auto cl = std::make_unique<ClientLane>(env.sim(), ring_bytes);
   cl->copy_done = std::make_unique<sim::Condition>(env.sim());
   cl->sent_cond = std::make_unique<sim::Condition>(env.sim());
   cl->index = index;
   cl->conn = &conn;
-  cl->qp = env.device().CreateQp(verbs::QpType::kRc, env.send_cq, env.recv_cq);
 
-  // Client-local memory: staging mirror for the request ring, head-slot write
-  // source, the control slot the server RDMA-writes, and the response ring.
-  cl->staging_addr = cmem.Alloc(ring_bytes);
-  cl->staging = cmem.At(cl->staging_addr);
-  cl->head_src_addr = cmem.Alloc(8, 8);
-  cl->head_src_ptr = cmem.At(cl->head_src_addr);
-  cl->ctrl_slot_addr = cmem.Alloc(8, 8);
-  cl->ctrl_slot_ptr = cmem.At(cl->ctrl_slot_addr);
-  verbs::Mr ctrl_mr = env.device().RegisterMr(cl->ctrl_slot_addr, 8);
-  cl->resp_ring_addr = cmem.Alloc(ring_bytes);
-  verbs::Mr resp_mr = env.device().RegisterMr(cl->resp_ring_addr, ring_bytes);
-  cl->resp_consumer =
-      std::make_unique<RingConsumer>(cmem.At(cl->resp_ring_addr), ring_bytes);
+  // Recycling (DESIGN.md §13): draw the most recently harvested shell of
+  // matching geometry — LIFO keeps the hot shell hot. The reset QP and the
+  // existing MRs come back as-is; the rings are zeroed so the fresh
+  // RingConsumer sees no ghost canaries from the previous incarnation, and
+  // the control slot is zeroed so a dispatcher polling the still-unwired lane
+  // reads grant_cumulative == grants_seen == 0 (a no-op).
+  bool recycled = false;
+  if (env.config->qp_recycling) {
+    for (size_t i = client.lane_pool.size(); i-- > 0;) {
+      if (client.lane_pool[i].ring_bytes != ring_bytes) {
+        continue;
+      }
+      const ClientLaneShell shell = client.lane_pool[i];
+      client.lane_pool.erase(client.lane_pool.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      cl->qp = shell.qp;
+      cl->staging_addr = shell.staging_addr;
+      cl->staging = cmem.At(shell.staging_addr);
+      cl->head_src_addr = shell.head_src_addr;
+      cl->head_src_ptr = cmem.At(shell.head_src_addr);
+      cl->ctrl_slot_addr = shell.ctrl_slot_addr;
+      cl->ctrl_slot_ptr = cmem.At(shell.ctrl_slot_addr);
+      cl->resp_ring_addr = shell.resp_ring_addr;
+      cl->resp_ring_rkey = shell.resp_ring_rkey;
+      cl->ctrl_slot_rkey = shell.ctrl_slot_rkey;
+      std::memset(cmem.At(cl->resp_ring_addr), 0, ring_bytes);
+      std::memset(cmem.At(cl->ctrl_slot_addr), 0, 8);
+      cl->resp_consumer = std::make_unique<RingConsumer>(
+          cmem.At(cl->resp_ring_addr), ring_bytes);
+      client.stats.qps_recycled += 1;
+      recycled = true;
+      break;
+    }
+  }
+  if (!recycled) {
+    cl->qp =
+        env.device().CreateQp(verbs::QpType::kRc, env.send_cq, env.recv_cq);
+
+    // Client-local memory: staging mirror for the request ring, head-slot
+    // write source, the control slot the server RDMA-writes, and the
+    // response ring.
+    cl->staging_addr = cmem.Alloc(ring_bytes);
+    cl->staging = cmem.At(cl->staging_addr);
+    cl->head_src_addr = cmem.Alloc(8, 8);
+    cl->head_src_ptr = cmem.At(cl->head_src_addr);
+    cl->ctrl_slot_addr = cmem.Alloc(8, 8);
+    cl->ctrl_slot_ptr = cmem.At(cl->ctrl_slot_addr);
+    verbs::Mr ctrl_mr = env.device().RegisterMr(cl->ctrl_slot_addr, 8);
+    cl->resp_ring_addr = cmem.Alloc(ring_bytes);
+    verbs::Mr resp_mr = env.device().RegisterMr(cl->resp_ring_addr, ring_bytes);
+    cl->resp_consumer = std::make_unique<RingConsumer>(
+        cmem.At(cl->resp_ring_addr), ring_bytes);
+    cl->resp_ring_rkey = resp_mr.rkey;
+    cl->ctrl_slot_rkey = ctrl_mr.rkey;
+    client.stats.qps_created += 1;
+  }
 
   info->qpn = cl->qp->qpn();
   info->resp_ring_addr = cl->resp_ring_addr;
-  info->resp_ring_rkey = resp_mr.rkey;
+  info->resp_ring_rkey = cl->resp_ring_rkey;
   info->ctrl_slot_addr = cl->ctrl_slot_addr;
-  info->ctrl_slot_rkey = ctrl_mr.rkey;
+  info->ctrl_slot_rkey = cl->ctrl_slot_rkey;
   return cl;
 }
 
@@ -204,7 +252,8 @@ void WireClientLane(NodeEnv& env, ClientLane& lane, int server_node,
   env.mem().Write(lane.ctrl_slot_addr, &bootstrap, sizeof(bootstrap));
 }
 
-std::unique_ptr<ServerLane> BuildServerLane(NodeEnv& env, uint32_t index,
+std::unique_ptr<ServerLane> BuildServerLane(NodeEnv& env, ServerState& server,
+                                            uint32_t index,
                                             int client_node, uint32_t sender_key,
                                             uint32_t ring_bytes,
                                             const ctrl::wire::ClientLaneInfo& in,
@@ -216,27 +265,66 @@ std::unique_ptr<ServerLane> BuildServerLane(NodeEnv& env, uint32_t index,
   sl->index = index;
   sl->client_node = client_node;
   sl->sender_key = sender_key;
-  sl->qp = env.device().CreateQp(verbs::QpType::kRc, env.send_cq, env.recv_cq);
-  sl->qp->ConnectTo(client_node, in.qpn);
 
-  // Request ring lives here; the client advertised its response-side memory.
-  sl->req_ring_addr = smem.Alloc(ring_bytes);
-  verbs::Mr req_mr = env.device().RegisterMr(sl->req_ring_addr, ring_bytes);
-  sl->req_consumer =
-      std::make_unique<RingConsumer>(smem.At(sl->req_ring_addr), ring_bytes);
-  sl->req_ring_rkey = req_mr.rkey;
-  sl->head_slot_addr = smem.Alloc(8, 8);
-  sl->head_slot_ptr = smem.At(sl->head_slot_addr);
-  verbs::Mr slot_mr = env.device().RegisterMr(sl->head_slot_addr, 8);
-  sl->head_slot_rkey = slot_mr.rkey;
+  // Recycling (DESIGN.md §13): reuse the most recently harvested shell of
+  // matching geometry. The request ring is zeroed (no ghost canaries for the
+  // fresh RingConsumer) and the head slot cleared to match the new client's
+  // zero-based response consumer; the QP was reset at harvest, so anything
+  // still in flight from its previous incarnation epoch-drops in the fabric.
+  bool recycled = false;
+  if (env.config->qp_recycling) {
+    for (size_t i = server.lane_pool.size(); i-- > 0;) {
+      if (server.lane_pool[i].ring_bytes != ring_bytes) {
+        continue;
+      }
+      const ServerLaneShell shell = server.lane_pool[i];
+      server.lane_pool.erase(server.lane_pool.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      sl->qp = shell.qp;
+      sl->req_ring_addr = shell.req_ring_addr;
+      sl->req_ring_rkey = shell.req_ring_rkey;
+      sl->head_slot_addr = shell.head_slot_addr;
+      sl->head_slot_ptr = smem.At(shell.head_slot_addr);
+      sl->head_slot_rkey = shell.head_slot_rkey;
+      sl->ctrl_src_addr = shell.ctrl_src_addr;
+      sl->ctrl_src_ptr = smem.At(shell.ctrl_src_addr);
+      sl->staging_addr = shell.staging_addr;
+      sl->staging = smem.At(shell.staging_addr);
+      std::memset(smem.At(sl->req_ring_addr), 0, ring_bytes);
+      std::memset(smem.At(sl->head_slot_addr), 0, 8);
+      sl->req_consumer = std::make_unique<RingConsumer>(
+          smem.At(sl->req_ring_addr), ring_bytes);
+      server.stats.qps_recycled += 1;
+      recycled = true;
+      break;
+    }
+  }
+  if (!recycled) {
+    sl->qp =
+        env.device().CreateQp(verbs::QpType::kRc, env.send_cq, env.recv_cq);
+
+    // Request ring lives here; the client advertised its response-side
+    // memory.
+    sl->req_ring_addr = smem.Alloc(ring_bytes);
+    verbs::Mr req_mr = env.device().RegisterMr(sl->req_ring_addr, ring_bytes);
+    sl->req_consumer =
+        std::make_unique<RingConsumer>(smem.At(sl->req_ring_addr), ring_bytes);
+    sl->req_ring_rkey = req_mr.rkey;
+    sl->head_slot_addr = smem.Alloc(8, 8);
+    sl->head_slot_ptr = smem.At(sl->head_slot_addr);
+    verbs::Mr slot_mr = env.device().RegisterMr(sl->head_slot_addr, 8);
+    sl->head_slot_rkey = slot_mr.rkey;
+    sl->ctrl_src_addr = smem.Alloc(8, 8);
+    sl->ctrl_src_ptr = smem.At(sl->ctrl_src_addr);
+    sl->staging_addr = smem.Alloc(ring_bytes);
+    sl->staging = smem.At(sl->staging_addr);
+    server.stats.qps_created += 1;
+  }
+  sl->qp->ConnectTo(client_node, in.qpn);
   sl->ctrl_slot_remote_addr = in.ctrl_slot_addr;
   sl->ctrl_slot_rkey = in.ctrl_slot_rkey;
-  sl->ctrl_src_addr = smem.Alloc(8, 8);
-  sl->ctrl_src_ptr = smem.At(sl->ctrl_src_addr);
   sl->remote_ring_addr = in.resp_ring_addr;
   sl->remote_ring_rkey = in.resp_ring_rkey;
-  sl->staging_addr = smem.Alloc(ring_bytes);
-  sl->staging = smem.At(sl->staging_addr);
 
   for (int r = 0; r < 16; ++r) {
     env.transport->PostRecv(
@@ -275,36 +363,61 @@ uint32_t HandleConnectRequest(NodeEnv& env, ServerState& server,
                             cw::RejectReason::kServerNotStarted);
   }
 
-  const uint32_t sender_key = static_cast<uint32_t>(server.senders.size());
-  server.senders.push_back(SenderState{});
-  server.senders.back().client_node = req.client_node;
+  // Prefer a dead, fully-harvested sender slot over growing the array: under
+  // churn every Leave strands one, and conn_ids (== slot indexes) would
+  // otherwise grow without bound. A slot still holding lanes (quarantined
+  // mid-service at teardown) is not reusable — its lane indexes are taken.
+  // Without qp_recycling lanes are never harvested, so this scan finds
+  // nothing and the behavior is byte-identical to the append-only scheme.
+  uint32_t sender_key = static_cast<uint32_t>(server.senders.size());
+  for (uint32_t i = 0; i < server.senders.size(); ++i) {
+    if (server.senders[i].dead && server.senders[i].lanes.empty()) {
+      sender_key = i;
+      break;
+    }
+  }
+  if (sender_key == server.senders.size()) {
+    server.senders.push_back(SenderState{});
+  } else {
+    server.senders[sender_key] = SenderState{};
+  }
+  SenderState& sender = server.senders[sender_key];
+  sender.client_node = req.client_node;
 
   // Receiver-side initial allocation: a new client gets the average active-QP
   // share per *live* sender (§5.1), refined at the next redistribution.
   // Counting only live senders fixes the stale-quota bug: a reclaimed (dead)
   // sender used to dilute the share every later connection bootstrapped with.
   uint32_t live_senders = 0;
-  for (const SenderState& sender : server.senders) {
-    live_senders += sender.dead ? 0 : 1;
+  for (const SenderState& s : server.senders) {
+    live_senders += s.dead ? 0 : 1;
   }
   const uint32_t fair_share =
       std::max<uint32_t>(1, env.config->max_active_qps / live_senders);
   const uint32_t initially_active = std::min(req.num_lanes, fair_share);
 
+  const uint64_t created_before = server.stats.qps_created;
+  const uint64_t recycled_before = server.stats.qps_recycled;
   cw::ConnectAccept accept;
   accept.conn_id = sender_key;
   accept.num_lanes = req.num_lanes;
   for (uint32_t i = 0; i < req.num_lanes; ++i) {
-    auto sl = BuildServerLane(env, i, req.client_node, sender_key,
+    auto sl = BuildServerLane(env, server, i, req.client_node, sender_key,
                               req.ring_bytes, req.lanes[i],
                               i < initially_active, &accept.lanes[i]);
-    server.senders.back().lanes.push_back(sl.get());
+    sender.lanes.push_back(sl.get());
     server
         .dispatcher_lanes[server.lanes.size() %
                           static_cast<size_t>(server.dispatcher_count)]
         .push_back(sl.get());
     server.lanes.push_back(std::move(sl));
   }
+  // Provenance so the async client charges the right setup cost (qp_create
+  // vs qp_reset) for the server-side bring-up it just caused.
+  accept.fresh_qps =
+      static_cast<uint32_t>(server.stats.qps_created - created_before);
+  accept.recycled_qps =
+      static_cast<uint32_t>(server.stats.qps_recycled - recycled_before);
   return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kConnectAccept,
                            header.nonce, &accept,
                            cw::ConnectAcceptBytes(req.num_lanes));
@@ -432,9 +545,11 @@ uint32_t HandleAddLaneRequest(NodeEnv& env, ServerState& server,
 
   cw::AddLaneAccept accept;
   accept.lane_index = req.lane_index;
-  auto sl = BuildServerLane(env, req.lane_index, req.client_node, req.conn_id,
-                            req.ring_bytes, req.lane, /*active=*/true,
-                            &accept.lane);
+  const uint64_t recycled_before = server.stats.qps_recycled;
+  auto sl = BuildServerLane(env, server, req.lane_index, req.client_node,
+                            req.conn_id, req.ring_bytes, req.lane,
+                            /*active=*/true, &accept.lane);
+  accept.recycled = server.stats.qps_recycled != recycled_before ? 1 : 0;
   sender.lanes.push_back(sl.get());
   server
       .dispatcher_lanes[server.lanes.size() %
@@ -521,6 +636,53 @@ bool TearDownSenders(NodeEnv& env, ServerState& server, int node) {
     sender.functioning = false;
     sender.revive_grace = 0;
     server.stats.dead_senders += 1;
+
+    // Harvest (DESIGN.md §13): strip each lane that is not mid-dispatch down
+    // to its shell — reset QP, ring/slot addresses, rkeys — for the next
+    // connect to reuse, and park the lane object in the graveyard. Graveyard
+    // objects are never destroyed or reused: the CQEs just flushed (sends
+    // plus ~16 posted receives per lane) still carry wr_id pointers to them,
+    // and their qp == nullptr is what marks those completions stale. A lane
+    // handed to an RPC worker (in_service) stays quarantined in place; its
+    // slot-blocking is why the dead-sender scan above requires lanes.empty().
+    if (env.config->qp_recycling) {
+      std::vector<ServerLane*> kept;
+      for (ServerLane* lane : sender.lanes) {
+        if (lane->in_service) {
+          kept.push_back(lane);
+          continue;
+        }
+        env.device().ResetQp(*lane->qp);
+        ServerLaneShell shell;
+        shell.qp = lane->qp;
+        shell.ring_bytes = lane->resp_producer.size();
+        shell.req_ring_addr = lane->req_ring_addr;
+        shell.head_slot_addr = lane->head_slot_addr;
+        shell.ctrl_src_addr = lane->ctrl_src_addr;
+        shell.staging_addr = lane->staging_addr;
+        shell.req_ring_rkey = lane->req_ring_rkey;
+        shell.head_slot_rkey = lane->head_slot_rkey;
+        server.lane_pool.push_back(shell);
+        lane->qp = nullptr;
+        for (auto& dlanes : server.dispatcher_lanes) {
+          for (size_t i = 0; i < dlanes.size(); ++i) {
+            if (dlanes[i] == lane) {
+              dlanes.erase(dlanes.begin() + static_cast<std::ptrdiff_t>(i));
+              break;
+            }
+          }
+        }
+        for (size_t i = 0; i < server.lanes.size(); ++i) {
+          if (server.lanes[i].get() == lane) {
+            server.graveyard.push_back(std::move(server.lanes[i]));
+            server.lanes.erase(server.lanes.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      }
+      sender.lanes = std::move(kept);
+    }
     touched = true;
   }
   return touched;
@@ -537,6 +699,9 @@ sim::Proc ReconnectDaemon(ClientConnState& conn) {
   const Nanos base_backoff = std::max<Nanos>(config.reconnect_backoff, 1);
   Nanos backoff = base_backoff;
   for (;;) {
+    if (conn.closed) {
+      co_return;  // CloseConnection: the handle never comes back
+    }
     ClientLane* victim = nullptr;
     for (const auto& lane : conn.lanes) {
       if (lane->failed && !lane->retired) {
@@ -648,6 +813,9 @@ sim::Proc ElasticScaler(ClientConnState& conn) {
   std::vector<uint32_t> degrees;
   for (;;) {
     co_await sim::Delay(sim, config.elastic_interval);
+    if (conn.closed) {
+      co_return;  // CloseConnection: stop ticking for a dead handle
+    }
     if (!cp.IsMember(conn.env->node) || !cp.IsMember(conn.server_node)) {
       continue;
     }
@@ -748,6 +916,224 @@ sim::Proc ElasticScaler(ClientConnState& conn) {
       target->send_ready.NotifyAll();
       conn.client->stats.lanes_retired += 1;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connection-storm path: deferred handshake, lazy lanes, close (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+bool ConnectHandshake(ClientConnState& conn, uint32_t* server_fresh,
+                      uint32_t* server_recycled) {
+  NodeEnv& env = *conn.env;
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(*env.cluster);
+  const uint32_t num_lanes = static_cast<uint32_t>(conn.lanes.size());
+
+  ctrl::wire::ConnectRequest req;
+  req.client_node = env.node;
+  req.num_lanes = num_lanes;
+  req.ring_bytes = env.config->ring_bytes;
+  for (uint32_t i = 0; i < num_lanes; ++i) {
+    const ClientLane& lane = *conn.lanes[i];
+    req.lanes[i].qpn = lane.qp->qpn();
+    req.lanes[i].resp_ring_addr = lane.resp_ring_addr;
+    req.lanes[i].resp_ring_rkey = lane.resp_ring_rkey;
+    req.lanes[i].ctrl_slot_addr = lane.ctrl_slot_addr;
+    req.lanes[i].ctrl_slot_rkey = lane.ctrl_slot_rkey;
+  }
+
+  uint8_t msg[ctrl::wire::kMaxMessageBytes];
+  uint8_t resp[ctrl::wire::kMaxMessageBytes];
+  const uint32_t msg_len = ctrl::wire::EncodeMessage(
+      msg, sizeof(msg), ctrl::wire::MsgType::kConnectRequest, cp.NextNonce(),
+      &req, ctrl::wire::ConnectRequestBytes(num_lanes));
+  const uint32_t resp_len =
+      cp.Call(conn.server_node, msg, msg_len, resp, sizeof(resp));
+
+  ctrl::wire::MsgHeader resp_header;
+  ctrl::wire::ConnectAccept accept;
+  if (resp_len == 0 ||
+      !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
+      !ctrl::wire::DecodeConnectAccept(resp_header, resp, &accept) ||
+      accept.num_lanes != num_lanes) {
+    return false;
+  }
+  conn.conn_id = accept.conn_id;
+  for (uint32_t i = 0; i < num_lanes; ++i) {
+    WireClientLane(env, *conn.lanes[i], conn.server_node, accept.lanes[i],
+                   /*grant_cumulative=*/0);
+  }
+  if (server_fresh != nullptr) {
+    *server_fresh = accept.fresh_qps;
+  }
+  if (server_recycled != nullptr) {
+    *server_recycled = accept.recycled_qps;
+  }
+  return true;
+}
+
+sim::Co<void> EnsureLaneSetup(ClientConnState& conn, FlockThread& thread) {
+  NodeEnv& env = *conn.env;
+  const FlockConfig& config = *env.config;
+  const sim::CostModel& cost = env.cost();
+  sim::Simulator& sim = env.sim();
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(*env.cluster);
+
+  // Count distinct threads touching this handle: the lazy-growth target is
+  // min(target_lanes, threads seen so far) — one lane per thread until the
+  // handle reaches the lane count an eager connect would have built.
+  const size_t tid = thread.id();
+  if (conn.thread_seen.size() <= tid) {
+    conn.thread_seen.resize(tid + 1, 0);
+  }
+  if (conn.thread_seen[tid] == 0) {
+    conn.thread_seen[tid] = 1;
+    conn.threads_seen += 1;
+  }
+
+  // One setup exchange at a time per connection; later arrivals park here and
+  // re-check (the active setup may already have covered their thread).
+  while (conn.setup_in_progress) {
+    co_await conn.setup_cond->Wait();
+  }
+  if (conn.closed) {
+    co_return;
+  }
+  const uint32_t want =
+      std::min(conn.target_lanes, std::max<uint32_t>(1, conn.threads_seen));
+  if (!conn.handshake_pending && conn.lanes.size() >= want) {
+    co_return;
+  }
+  conn.setup_in_progress = true;
+
+  if (conn.handshake_pending) {
+    // The piggybacked ConnectRequest rides now, ahead of the first staged
+    // RPC: one out-of-band RTT plus the server-side QP bring-up, charged by
+    // provenance (a recycled lane costs qp_reset, not qp_create).
+    co_await sim::Delay(sim, config.ctrl_rtt);
+    uint32_t fresh = 0;
+    uint32_t recycled = 0;
+    const bool ok = ConnectHandshake(conn, &fresh, &recycled);
+    FLOCK_CHECK(ok) << "piggybacked connect: node " << conn.server_node
+                    << " rejected the deferred handshake (is StartServer "
+                       "running there?)";
+    co_await sim::Delay(
+        sim, fresh * cost.qp_create + recycled * cost.qp_reset);
+    conn.handshake_pending = false;
+  }
+
+  // Lazy growth: materialize one deferred lane per additional distinct
+  // thread via the AddLane handshake, up to the connect-time target.
+  while (!conn.closed) {
+    const uint32_t goal =
+        std::min(conn.target_lanes, std::max<uint32_t>(1, conn.threads_seen));
+    if (conn.lanes.size() >= goal) {
+      break;
+    }
+    const uint32_t index = static_cast<uint32_t>(conn.lanes.size());
+    ctrl::wire::AddLaneRequest req;
+    req.client_node = env.node;
+    req.conn_id = conn.conn_id;
+    req.lane_index = index;
+    req.ring_bytes = config.ring_bytes;
+    const uint64_t created_before = conn.client->stats.qps_created;
+    auto lane = BuildClientLane(env, conn, index, &req.lane);
+    co_await sim::Delay(sim, conn.client->stats.qps_created != created_before
+                                 ? cost.qp_create
+                                 : cost.qp_reset);
+
+    uint8_t msg[ctrl::wire::kMaxMessageBytes];
+    uint8_t resp[ctrl::wire::kMaxMessageBytes];
+    const uint32_t msg_len = ctrl::wire::EncodeMessage(
+        msg, sizeof(msg), ctrl::wire::MsgType::kAddLaneRequest, cp.NextNonce(),
+        &req, sizeof(req));
+    co_await sim::Delay(sim, config.ctrl_rtt);
+    const uint32_t resp_len =
+        cp.Call(conn.server_node, msg, msg_len, resp, sizeof(resp));
+    ctrl::wire::MsgHeader resp_header;
+    ctrl::wire::AddLaneAccept accept;
+    if (resp_len == 0 ||
+        !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
+        !ctrl::wire::DecodeAddLaneAccept(resp_header, resp, &accept)) {
+      break;  // rejected: the orphaned client half is abandoned; stop growing
+    }
+    co_await sim::Delay(sim,
+                        accept.recycled != 0 ? cost.qp_reset : cost.qp_create);
+    if (conn.closed) {
+      break;  // closed under the handshake: the wired lane is abandoned
+    }
+    WireClientLane(env, *lane, conn.server_node, accept.lane,
+                   /*grant_cumulative=*/0);
+    conn.lanes.push_back(std::move(lane));
+    conn.client->stats.lanes_added += 1;
+  }
+
+  conn.setup_in_progress = false;
+  conn.setup_cond->NotifyAll();
+}
+
+void CloseClientConn(ClientConnState& conn) {
+  NodeEnv& env = *conn.env;
+  const bool recycle = env.config->qp_recycling;
+  conn.closed = true;
+
+  for (auto& lane_ptr : conn.lanes) {
+    ClientLane& lane = *lane_ptr;
+    lane.retired = true;
+    lane.active = false;
+    lane.credits = 0;
+    // Harvestable only when nothing still references the transport half: no
+    // pump mid-batch, no dispatcher mid-probe, nothing combined or in flight.
+    // (Callers quiesce their threads before closing; a non-quiescent lane is
+    // abandoned in place exactly like a quarantined one.)
+    const bool quiescent = !lane.pump_running && !lane.mem_pump_running &&
+                           !lane.in_dispatch && lane.inflight == 0 &&
+                           lane.combine_head == nullptr &&
+                           lane.memop_head == nullptr && !lane.failed &&
+                           lane.qp != nullptr;
+    if (recycle && quiescent) {
+      env.device().ResetQp(*lane.qp);
+      ClientLaneShell shell;
+      shell.qp = lane.qp;
+      shell.ring_bytes = lane.req_producer.size();
+      shell.staging_addr = lane.staging_addr;
+      shell.head_src_addr = lane.head_src_addr;
+      shell.ctrl_slot_addr = lane.ctrl_slot_addr;
+      shell.resp_ring_addr = lane.resp_ring_addr;
+      shell.resp_ring_rkey = lane.resp_ring_rkey;
+      shell.ctrl_slot_rkey = lane.ctrl_slot_rkey;
+      conn.client->lane_pool.push_back(shell);
+      lane.qp = nullptr;
+    } else if (lane.qp != nullptr && !lane.failed) {
+      // Not recyclable: error the QP so the server side sees the departure
+      // (kRemoteInvalidQp on its next write) instead of a silent ghost.
+      env.device().ErrorQp(*lane.qp);
+    }
+    lane.send_ready.NotifyAll();
+  }
+
+  // The client role never polls the recv CQ (client receives only ever
+  // complete as teardown flushes), so each close would otherwise leak its
+  // ~16 flushed receives per lane into the CQ ring forever. Drop this node's
+  // client-recv flushes; anything else (a dual-role node's server-side
+  // completions) is re-pushed in its original order.
+  verbs::Cq& rcq = *env.recv_cq;
+  const size_t depth = rcq.depth();
+  verbs::Completion wc;
+  for (size_t i = 0; i < depth; ++i) {
+    if (!rcq.Poll(&wc)) {
+      break;
+    }
+    if (WrIdTag(wc.wr_id) != WrTag::kRecv) {
+      rcq.Push(wc);
+    }
+  }
+
+  if (conn.setup_cond != nullptr) {
+    conn.setup_cond->NotifyAll();
+  }
+  if (conn.reconnect_cond != nullptr) {
+    conn.reconnect_cond->NotifyAll();
   }
 }
 

@@ -34,6 +34,8 @@ namespace flock {
 
 // Receiver-side (server-role) counters.
 struct ServerStats {
+  uint64_t qps_created = 0;   // server-half lanes built on a fresh QP
+  uint64_t qps_recycled = 0;  // server-half lanes drawn from the shell pool
   uint64_t requests = 0;
   uint64_t messages = 0;
   uint64_t responses_sent = 0;
@@ -51,6 +53,8 @@ struct ServerStats {
 
 // Client-side failure-handling counters.
 struct ClientStats {
+  uint64_t qps_created = 0;   // client-half lanes built on a fresh QP
+  uint64_t qps_recycled = 0;  // client-half lanes drawn from the shell pool
   uint64_t lane_failures = 0;       // client lanes quarantined
   uint64_t retries = 0;             // RPC retransmissions staged
   uint64_t failed_rpcs = 0;         // RPCs surfaced with ok=false
@@ -186,6 +190,11 @@ struct ClientLane {
   // Response path: server writes into this client-local ring.
   std::unique_ptr<RingConsumer> resp_consumer;
   uint64_t resp_ring_addr = 0;
+  // Client-side copies of the rkeys it advertised at build time: a deferred
+  // (piggybacked) connect handshake and the shell-harvest path both need to
+  // re-advertise them after the ClientLaneInfo from BuildClientLane is gone.
+  uint32_t resp_ring_rkey = 0;
+  uint32_t ctrl_slot_rkey = 0;
 
   // Credits and activation (receiver-side QP scheduling, §5.1).
   uint64_t credits = 0;
@@ -329,6 +338,38 @@ struct SenderState {
   uint32_t revive_grace = 0;
 };
 
+// ---- lane recycling shells (DESIGN.md §13) ----
+//
+// The transport resources of a torn-down lane: its QP (reset via
+// Device::ResetQp, so anything in flight from the old incarnation is
+// epoch-dropped) plus the ring/slot memory and the MR rkeys covering it.
+// MemorySpace never frees, so under churn these must be reused or the
+// footprint grows without bound. Pools are per-node LIFO stacks, matched by
+// ring_bytes; a shell whose geometry differs from the next connect's request
+// is skipped (it stays pooled for a later matching connect).
+
+struct ClientLaneShell {
+  verbs::Qp* qp = nullptr;
+  uint32_t ring_bytes = 0;
+  uint64_t staging_addr = 0;
+  uint64_t head_src_addr = 0;
+  uint64_t ctrl_slot_addr = 0;
+  uint64_t resp_ring_addr = 0;
+  uint32_t resp_ring_rkey = 0;
+  uint32_t ctrl_slot_rkey = 0;
+};
+
+struct ServerLaneShell {
+  verbs::Qp* qp = nullptr;
+  uint32_t ring_bytes = 0;
+  uint64_t req_ring_addr = 0;
+  uint64_t head_slot_addr = 0;
+  uint64_t ctrl_src_addr = 0;
+  uint64_t staging_addr = 0;
+  uint32_t req_ring_rkey = 0;
+  uint32_t head_slot_rkey = 0;
+};
+
 // ---- per-node / per-connection state containers ----
 
 // The per-node environment every mechanism module runs against: the cluster,
@@ -366,6 +407,9 @@ struct ClientState {
   // Hot-path object pools (per node; the simulation is single-threaded).
   Pool<PendingRpc> rpc_pool;
   Pool<PendingSend> send_pool;
+  // Recycling pool (FlockConfig::qp_recycling): shells harvested by
+  // CloseClientConn, drawn by BuildClientLane.
+  std::vector<ClientLaneShell> lane_pool;
 };
 
 // The per-connection state behind one Connection handle: one per
@@ -378,6 +422,24 @@ struct ClientConnState {
   // Kicked by QuarantineLane; only constructed when lane_reconnect is on.
   std::unique_ptr<sim::Condition> reconnect_cond;
   std::vector<std::unique_ptr<ClientLane>> lanes;
+  // ---- connection-storm fields (DESIGN.md §13) ----
+  // Lane count the handle ultimately wants; with lazy_lanes only lane 0 is
+  // built at connect and EnsureLaneSetup grows toward this on first use.
+  uint32_t target_lanes = 0;
+  // The ConnectRequest has not been sent yet (connect_piggyback): the first
+  // RPC's EnsureLaneSetup flushes it before staging anything.
+  bool handshake_pending = false;
+  // An EnsureLaneSetup handshake is in flight; later callers park on
+  // setup_cond instead of racing a second handshake.
+  bool setup_in_progress = false;
+  // Allocated only when lazy_lanes or connect_piggyback is on — its nullness
+  // is the hot-path gate, so default builds never touch any of this.
+  std::unique_ptr<sim::Condition> setup_cond;
+  // Closed by CloseConnection: lanes harvested, detached from client procs.
+  bool closed = false;
+  // Distinct thread ids that have sent on this handle (lazy growth signal).
+  std::vector<uint8_t> thread_seen;
+  uint32_t threads_seen = 0;
   // thread id → lane index; `desired` is written by the thread scheduler and
   // applied by LaneFor once the thread has drained its outstanding requests.
   std::vector<uint32_t> thread_lane;
@@ -408,6 +470,18 @@ struct ServerState {
   std::unique_ptr<sim::Condition> work_ready;
   bool started = false;
   ServerStats stats;
+  // ---- recycling (DESIGN.md §13) ----
+  // Shells harvested from departed clients' lanes (TearDownSenders under
+  // qp_recycling), drawn by BuildServerLane.
+  std::vector<ServerLaneShell> lane_pool;
+  // Harvested ServerLane objects. Never destroyed and never reused: CQEs
+  // flushed at teardown (ErrorQp always delivers error completions, and each
+  // lane holds ~16 posted receives) still route through wr_id pointers into
+  // these objects, and a reused object wired to its recycled QP would match
+  // the stale CQE's qpn and be falsely re-quarantined. The object shell is a
+  // few hundred bytes; the expensive parts (QP, rings, MRs) live on in
+  // lane_pool.
+  std::vector<std::unique_ptr<ServerLane>> graveyard;
 };
 
 // ---- lane lifecycle (lane.cc) ----
@@ -445,8 +519,12 @@ void WireClientLane(NodeEnv& env, ClientLane& lane, int server_node,
                     const ctrl::wire::ServerLaneInfo& info,
                     uint32_t grant_cumulative);
 
-// Server half of one lane, wired to the advertised client QP.
-std::unique_ptr<ServerLane> BuildServerLane(NodeEnv& env, uint32_t index,
+// Server half of one lane, wired to the advertised client QP. Under
+// qp_recycling a pooled shell of matching geometry is reused (ResetQp'd QP,
+// zeroed rings) instead of creating fresh resources; `server` carries the
+// pool and the created/recycled counters either way.
+std::unique_ptr<ServerLane> BuildServerLane(NodeEnv& env, ServerState& server,
+                                            uint32_t index,
                                             int client_node, uint32_t sender_key,
                                             uint32_t ring_bytes,
                                             const ctrl::wire::ClientLaneInfo& in,
@@ -476,6 +554,34 @@ uint32_t HandleRetireLaneRequest(NodeEnv& env, ServerState& server,
 // Returns true if any sender was torn down — the caller must then
 // repartition the AQP budget (sched/receiver.h Redistribute) immediately.
 bool TearDownSenders(NodeEnv& env, ServerState& server, int node);
+
+// ---- connection-storm path (DESIGN.md §13) ----
+
+// Client half of the connect handshake: encodes a ConnectRequest from the
+// already-built lanes in conn.lanes, Calls the server, decodes the accept and
+// wires every lane. Shared by the synchronous Connect, the asynchronous
+// ConnectAsync and the piggybacked flush in EnsureLaneSetup. Returns false on
+// rejection; *server_fresh / *server_recycled report the server-side QP
+// provenance from the accept so the async callers can charge qp_create vs
+// qp_reset setup time.
+bool ConnectHandshake(ClientConnState& conn, uint32_t* server_fresh,
+                      uint32_t* server_recycled);
+
+// First-use hook on the staging path (StageRpc / SubmitMemOp), invoked only
+// when conn.setup_cond is non-null (lazy_lanes or connect_piggyback): flushes
+// a pending piggybacked ConnectRequest, then materializes deferred lanes via
+// the AddLane handshake while more distinct threads use the handle than lanes
+// exist (up to conn.target_lanes). Serialized per connection through
+// setup_in_progress / setup_cond.
+sim::Co<void> EnsureLaneSetup(ClientConnState& conn, FlockThread& thread);
+
+// Client half of connection close: retires every lane, and under qp_recycling
+// harvests the quiescent ones (no pump running, nothing in flight, not
+// mid-dispatch) into the client shell pool — ResetQp'd QP, rings, rkeys.
+// Non-quiescent lanes are merely retired (their resources are abandoned, as a
+// quarantine would). Marks the connection closed; the caller detaches it from
+// the client procs.
+void CloseClientConn(ClientConnState& conn);
 
 // Control-plane client daemons (spawned by Connect only when the matching
 // FlockConfig flag is set, so default traces gain no procs or events).

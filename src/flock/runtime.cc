@@ -33,12 +33,13 @@ FlockRuntime::FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig&
   // Every runtime answers on the cluster's control plane (DESIGN.md §10):
   // servers accept connect/reconnect handshakes there, and registration makes
   // the node addressable before StartServer decides its role. Co-located
-  // runtimes (bench "processes" sharing a node) defer to the node's first
-  // runtime — one endpoint answers per node.
+  // runtimes (bench "processes" sharing a node) all register: the first
+  // answers the node's control traffic, and when it is destroyed the control
+  // plane promotes the next survivor. The old "register only if vacant"
+  // scheme left the node dark after its first runtime died even though
+  // others were still serving on it (the endpoint hand-off bug).
   ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster_);
-  if (!cp.HasEndpoint(node_)) {
-    cp.RegisterEndpoint(node_, this);
-  }
+  cp.RegisterEndpoint(node_, this);
 }
 
 FlockRuntime::~FlockRuntime() {
@@ -46,6 +47,9 @@ FlockRuntime::~FlockRuntime() {
   cp.DeregisterEndpoint(node_, this);
   if (membership_listener_id_ != 0) {
     cp.RemoveMembershipListener(membership_listener_id_);
+  }
+  if (batch_end_listener_id_ != 0) {
+    cp.RemoveBatchEndListener(batch_end_listener_id_);
   }
 }
 
@@ -75,13 +79,26 @@ void FlockRuntime::StartServer(int dispatcher_cores) {
   // down and repartitions the AQP budget right away instead of waiting for
   // dead-sender reclamation to notice. Registration is a plain callback —
   // no proc, no events — so fault-free traces are unchanged.
-  membership_listener_id_ = ctrl::ControlPlane::For(cluster_).AddMembershipListener(
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster_);
+  membership_listener_id_ = cp.AddMembershipListener(
       [this](int changed_node, bool joined) {
         if (!joined && changed_node != node_ &&
             internal::TearDownSenders(env_, server_, changed_node)) {
-          receiver_.Redistribute(env_, server_);
+          // Inside a batched epoch window (DESIGN.md §13) the repartition is
+          // deferred: N coalesced leaves cost one Redistribute, not N.
+          if (ctrl::ControlPlane::For(cluster_).InEpochBatch()) {
+            redistribute_pending_ = true;
+          } else {
+            receiver_.Redistribute(env_, server_);
+          }
         }
       });
+  batch_end_listener_id_ = cp.AddBatchEndListener([this]() {
+    if (redistribute_pending_) {
+      redistribute_pending_ = false;
+      receiver_.Redistribute(env_, server_);
+    }
+  });
 }
 
 void FlockRuntime::StartClient() {
@@ -144,42 +161,101 @@ Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
   conn->state_.env = &env_;
   conn->state_.client = &client_;
   conn->state_.server_node = server_node;
-
-  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster_);
+  conn->state_.target_lanes = lanes;
 
   // Client halves first: QPs, rings, MRs — their coordinates travel in the
   // connect request. ControlPlane::Call is the out-of-band side channel
   // (RDMA-CM style): synchronous and event-free, so the data-path trace of a
   // fault-free run is byte-identical to the old statically-wired setup.
-  ctrl::wire::ConnectRequest req;
-  req.client_node = node_;
-  req.num_lanes = lanes;
-  req.ring_bytes = config_.ring_bytes;
+  ctrl::wire::ClientLaneInfo scratch;
   for (uint32_t i = 0; i < lanes; ++i) {
     conn->state_.lanes.push_back(
-        internal::BuildClientLane(env_, conn->state_, i, &req.lanes[i]));
+        internal::BuildClientLane(env_, conn->state_, i, &scratch));
   }
-
-  uint8_t msg[ctrl::wire::kMaxMessageBytes];
-  uint8_t resp[ctrl::wire::kMaxMessageBytes];
-  const uint32_t msg_len = ctrl::wire::EncodeMessage(
-      msg, sizeof(msg), ctrl::wire::MsgType::kConnectRequest, cp.NextNonce(),
-      &req, ctrl::wire::ConnectRequestBytes(lanes));
-  const uint32_t resp_len = cp.Call(server_node, msg, msg_len, resp, sizeof(resp));
-
-  ctrl::wire::MsgHeader resp_header;
-  ctrl::wire::ConnectAccept accept;
-  FLOCK_CHECK(resp_len > 0 && ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) &&
-              ctrl::wire::DecodeConnectAccept(resp_header, resp, &accept) &&
-              accept.num_lanes == lanes)
+  FLOCK_CHECK(internal::ConnectHandshake(conn->state_, nullptr, nullptr))
       << "fl_connect: node " << server_node
       << " rejected the handshake (is StartServer running there?)";
-  conn->state_.conn_id = accept.conn_id;
-  for (uint32_t i = 0; i < lanes; ++i) {
-    internal::WireClientLane(env_, *conn->state_.lanes[i], server_node,
-                             accept.lanes[i], /*grant_cumulative=*/0);
+
+  FinishConnect(conn.get());
+  connections_.push_back(std::move(conn));
+  client_.conns.push_back(&connections_.back()->state_);
+  return connections_.back().get();
+}
+
+sim::Co<Connection*> FlockRuntime::ConnectAsync(int server_node,
+                                                uint32_t lanes) {
+  lanes = std::min(lanes, config_.max_lanes_per_connection);
+  lanes = std::min(lanes, ctrl::wire::kMaxLanesPerMsg);
+  FLOCK_CHECK_GT(lanes, 0u);
+  const sim::CostModel& cost = cluster_.cost();
+
+  auto conn = std::make_unique<Connection>();
+  internal::ClientConnState& st = conn->state_;
+  st.env = &env_;
+  st.client = &client_;
+  st.server_node = server_node;
+  st.target_lanes = lanes;
+  if (config_.lazy_lanes || config_.connect_piggyback) {
+    st.setup_cond = std::make_unique<sim::Condition>(cluster_.sim());
   }
 
+  // Eager lane set: the full request (classic) or just lane 0 (lazy_lanes) —
+  // the rest materialize on first use via EnsureLaneSetup. Unlike the
+  // setup-phase Connect, the bring-up costs simulated time, charged by
+  // provenance: a pooled shell is a cheap ResetQp transition, a fresh QP is
+  // the full create.
+  const uint32_t eager = config_.lazy_lanes ? 1 : lanes;
+  ctrl::wire::ClientLaneInfo scratch;
+  const uint64_t created_before = client_.stats.qps_created;
+  const uint64_t recycled_before = client_.stats.qps_recycled;
+  for (uint32_t i = 0; i < eager; ++i) {
+    st.lanes.push_back(internal::BuildClientLane(env_, st, i, &scratch));
+  }
+  co_await sim::Delay(
+      cluster_.sim(),
+      (client_.stats.qps_created - created_before) * cost.qp_create +
+          (client_.stats.qps_recycled - recycled_before) * cost.qp_reset);
+
+  if (config_.connect_piggyback) {
+    // No out-of-band exchange now: the ConnectRequest rides with the first
+    // RPC (EnsureLaneSetup flushes it), so connect returns immediately.
+    st.handshake_pending = true;
+  } else {
+    co_await sim::Delay(cluster_.sim(), config_.ctrl_rtt);
+    uint32_t fresh = 0;
+    uint32_t recycled = 0;
+    FLOCK_CHECK(internal::ConnectHandshake(st, &fresh, &recycled))
+        << "fl_connect_async: node " << server_node
+        << " rejected the handshake (is StartServer running there?)";
+    co_await sim::Delay(cluster_.sim(),
+                        fresh * cost.qp_create + recycled * cost.qp_reset);
+  }
+
+  FinishConnect(conn.get());
+  connections_.push_back(std::move(conn));
+  client_.conns.push_back(&connections_.back()->state_);
+  co_return connections_.back().get();
+}
+
+void FlockRuntime::CloseConnection(Connection* conn) {
+  internal::ClientConnState& st = conn->state_;
+  if (st.closed) {
+    return;
+  }
+  internal::CloseClientConn(st);
+  // Detach from the client procs' iteration set. The handle itself stays in
+  // connections_: stale CQEs and parked coroutines may still hold pointers
+  // into its lanes, which are never destroyed (only their shells recycle).
+  for (size_t i = 0; i < client_.conns.size(); ++i) {
+    if (client_.conns[i] == &st) {
+      client_.conns.erase(client_.conns.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+void FlockRuntime::FinishConnect(Connection* conn) {
   if (config_.lane_reconnect) {
     FLOCK_CHECK(config_.rpc_timeout > 0)
         << "lane_reconnect requires rpc_timeout: in-flight RPCs on a dead QP "
@@ -190,10 +266,6 @@ Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
   if (config_.elastic_lanes) {
     cluster_.sim().Spawn(internal::ElasticScaler(conn->state_), node_);
   }
-
-  connections_.push_back(std::move(conn));
-  client_.conns.push_back(&connections_.back()->state_);
-  return connections_.back().get();
 }
 
 // ---------------------------------------------------------------------------

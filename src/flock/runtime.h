@@ -89,6 +89,8 @@ class Connection {
                                           uint64_t* old_value, const RemoteMr& mr);
 
   int server_node() const { return state_.server_node; }
+  // True once CloseConnection ran; a closed handle must not be used again.
+  bool closed() const { return state_.closed; }
   uint32_t num_lanes() const { return static_cast<uint32_t>(state_.lanes.size()); }
   uint32_t num_active_lanes() const;
   uint32_t num_failed_lanes() const;
@@ -153,6 +155,19 @@ class FlockRuntime : public ctrl::Endpoint {
   // that only know the server's node.
   Connection* Connect(FlockRuntime& server, uint32_t lanes);
   Connection* Connect(int server_node, uint32_t lanes);
+  // Runtime-phase connect (DESIGN.md §13): unlike the setup-phase Connect,
+  // this charges simulated time for the QP bring-up (CostModel::qp_create /
+  // qp_reset by provenance) and one ctrl_rtt for the handshake, and it honors
+  // the connection-storm flags — qp_recycling (reuse pooled lane shells),
+  // lazy_lanes (build only lane 0 now, the rest on first use) and
+  // connect_piggyback (defer the handshake to the first RPC, saving the RTT
+  // on the time-to-first-RPC path).
+  sim::Co<Connection*> ConnectAsync(int server_node, uint32_t lanes);
+  // Closes a handle: retires every lane, harvests the quiescent ones into
+  // the recycling pool (under qp_recycling), and detaches the connection
+  // from the client procs. The handle object itself stays alive (stale CQEs
+  // may still reference its lanes) but must not be used again.
+  void CloseConnection(Connection* conn);
   // Registers an application thread pinned to `core`.
   FlockThread* CreateThread(int core);
   // Starts the response dispatcher(s) and the sender-side thread scheduler.
@@ -171,6 +186,14 @@ class FlockRuntime : public ctrl::Endpoint {
   // Hot-path object pools (observability for allocation-free-path tests).
   const Pool<PendingRpc>& rpc_pool() const { return client_.rpc_pool; }
   const Pool<internal::PendingSend>& send_pool() const { return client_.send_pool; }
+  // Connection-storm census (DESIGN.md §13): live server lanes, harvested
+  // lane objects parked in the graveyard, pooled shells on each side, and
+  // sender slots — the churn tests assert all of these stay bounded.
+  size_t ServerLiveLanes() const { return server_.lanes.size(); }
+  size_t ServerGraveyardLanes() const { return server_.graveyard.size(); }
+  size_t ServerLanePool() const { return server_.lane_pool.size(); }
+  size_t ClientLanePool() const { return client_.lane_pool.size(); }
+  size_t ServerSenderSlots() const { return server_.senders.size(); }
 
   // ---- control plane (DESIGN.md §10) ----
   // Dispatches a validated control-plane message to the matching handler
@@ -180,6 +203,10 @@ class FlockRuntime : public ctrl::Endpoint {
 
  private:
   friend class Connection;
+
+  // Spawns the per-connection daemons (reconnect, elastic) and registers the
+  // handle; shared tail of Connect and ConnectAsync.
+  void FinishConnect(Connection* conn);
 
   verbs::Cluster& cluster_;
   const int node_;
@@ -205,6 +232,11 @@ class FlockRuntime : public ctrl::Endpoint {
   // Membership listener handle (registered by StartServer, removed by the
   // destructor — the control plane outlives this runtime).
   uint64_t membership_listener_id_ = 0;
+  // Batched membership epochs (DESIGN.md §13): teardowns inside a batch set
+  // the pending flag instead of repartitioning per event; the batch-end
+  // listener runs the one deferred Redistribute.
+  uint64_t batch_end_listener_id_ = 0;
+  bool redistribute_pending_ = false;
 
   // Client connection handles, in connect order (client_.conns aliases them).
   std::vector<std::unique_ptr<Connection>> connections_;

@@ -128,8 +128,14 @@ sim::Proc ReceiverSched::Run(NodeEnv& env, ServerState& server) {
         auto* lane = WrIdPtr<ServerLane>(wc.wr_id);
         if (wc.status != verbs::WcStatus::kSuccess) {
           // Flushed. A flush of the lane's *current* QP condemns it; a stale
-          // flush from a QP that a reconnect already replaced does not.
-          if (wc.qpn == 0 || lane->qp == nullptr || wc.qpn == lane->qp->qpn()) {
+          // flush from a QP that a reconnect already replaced does not. A
+          // graveyard lane (qp harvested into the recycling pool) is past
+          // caring either way — quarantining it would book a spurious lane
+          // failure for a teardown that already completed.
+          if (lane->qp == nullptr) {
+            continue;
+          }
+          if (wc.qpn == 0 || wc.qpn == lane->qp->qpn()) {
             QuarantineServerLane(*lane, server.stats);
           }
           continue;
@@ -195,6 +201,13 @@ void ReceiverSched::Redistribute(NodeEnv& env, ServerState& server) {
   uint64_t total_utilization = 0;
   uint32_t dormant = 0;
   for (SenderState& sender : server.senders) {
+    if (sender.lanes.empty()) {
+      // Fully harvested by TearDownSenders (qp_recycling): the slot is only
+      // a conn_id placeholder awaiting reuse. Without the skip, the
+      // dead-recomputation below ("live == 0 && !lanes.empty()") would flip
+      // it back to not-dead and re-admit it to the budget.
+      continue;
+    }
     sender.utilization = 0;
     bool any_failed = false;
     uint32_t live = 0;

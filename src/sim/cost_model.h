@@ -69,6 +69,18 @@ struct CostModel {
   // Executing a remote atomic in the NIC (PCIe read-modify-write).
   Nanos nic_atomic_execute = 350;
 
+  // ---- control path: connection setup (DESIGN.md §13) ----
+  // Charged only by the asynchronous connect path (FlockRuntime::ConnectAsync
+  // and lazy lane materialization); the synchronous setup-phase Connect stays
+  // cost-free so existing traces are untouched.
+  // Full QP bring-up: ibv_create_qp + reset→init→RTR→RTS transitions + the
+  // driver bookkeeping around them (µs-scale on real HCAs; Swift measures
+  // the same order).
+  Nanos qp_create = 12'000;
+  // Recycled bring-up: state transitions only, on a QP whose host and NIC
+  // resources already exist (Device::ResetQp).
+  Nanos qp_reset = 1'200;
+
   // ---- Wire ----
   double link_gbps = 100.0;
   // RoCE per-packet overhead: Eth+IP+UDP+BTH+ICRC+FCS+IPG.

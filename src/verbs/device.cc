@@ -83,7 +83,9 @@ WcStatus Qp::PostSend(const SendWr& wr) {
   if (status != WcStatus::kSuccess) {
     return status;
   }
-  send_queue_.push_back(wr);
+  SendWr stamped = wr;
+  stamped.src_epoch = reset_epoch_;
+  send_queue_.push_back(stamped);
   device_.KickSendEngine(*this);
   return WcStatus::kSuccess;
 }
@@ -106,7 +108,9 @@ WcStatus Qp::PostSendBatch(const SendWr* wrs, size_t count,
     }
   }
   for (size_t i = 0; i < count; ++i) {
-    send_queue_.push_back(wrs[i]);
+    SendWr stamped = wrs[i];
+    stamped.src_epoch = reset_epoch_;
+    send_queue_.push_back(stamped);
   }
   if (count > 0) {
     device_.KickSendEngine(*this);  // one doorbell for the linked WR list
@@ -190,6 +194,13 @@ sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {
     CompleteSend(qp, wr, WcStatus::kFlushError, 0);
     co_return;
   }
+  if (wr.src_epoch != qp.reset_epoch_) {
+    // The QP was recycled (ResetQp) while this WR waited: its session is
+    // gone. Drop without a CQE — the old session has no waiters, and the new
+    // incarnation must never see completions it did not post.
+    stats_.tx_stale_drops++;
+    co_return;
+  }
   const uint64_t outbound = OutboundBytes(wr);
   const uint32_t packets = net_.PacketCount(outbound);
 
@@ -225,6 +236,13 @@ sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {
 }
 
 sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
+  if (wr.src_epoch != qp.reset_epoch_) {
+    // Recycled before transmission got scheduled: drop on the floor (see
+    // ProcessWr). ConnectTo may already have re-pointed peer_node at the new
+    // session's peer, so nothing below is safe to run for a stale WR.
+    stats_.tx_stale_drops++;
+    co_return;
+  }
   const int dest_node = qp.type() == QpType::kUd ? wr.dest_node : qp.peer_node();
   FLOCK_CHECK_GE(dest_node, 0);
   FLOCK_CHECK_LT(dest_node, net_.num_nodes());
@@ -301,6 +319,16 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
   if (dst == nullptr || dst->type() != src_qp.type() || dst->in_error_) {
     // An errored destination QP behaves like a vanished one: the sender's RC
     // transport retries exhaust and the WR completes with an error (§7).
+    peer.stats_.remote_errors++;
+    status = WcStatus::kRemoteInvalidQp;
+    co_return;
+  }
+  if (src_qp.type() != QpType::kUd &&
+      (dst->peer_node() != node_id_ || dst->peer_qpn() != src_qp.qpn())) {
+    // The destination QP exists but is paired with someone else: it was
+    // recycled into a different connection after this WR left the sender.
+    // Real RC rejects the mismatched QPN/PSN; the sender sees retry
+    // exhaustion, never the new session.
     peer.stats_.remote_errors++;
     status = WcStatus::kRemoteInvalidQp;
     co_return;
@@ -458,6 +486,13 @@ sim::Co<void> Device::TouchQpState(uint32_t qpn, sim::FifoServer& pipe) {
 }
 
 void Device::CompleteSend(Qp& qp, const SendWr& wr, WcStatus status, uint32_t byte_len) {
+  if (wr.src_epoch != qp.reset_epoch_) {
+    // Completion for a previous incarnation of a recycled QP: suppress it.
+    // wc.qpn would match the new incarnation, so the consumer could not
+    // filter this itself.
+    stats_.tx_stale_drops++;
+    return;
+  }
   if (qp.in_error_ && status == WcStatus::kSuccess) {
     status = WcStatus::kFlushError;  // errored while the WR was in flight
   }
@@ -504,6 +539,23 @@ void Device::ErrorQp(Qp& qp) {
     stats_.cqes_dma_ed++;
     qp.recv_cq()->Push(wc);
   }
+}
+
+void Device::ResetQp(Qp& qp) {
+  // The recycling pool's reset→init→RTS shortcut. Flush anything still
+  // queued (exactly as ErrorQp would — a healthy QP being recycled still owes
+  // flush CQEs for its queued WRs), then clear the error state and open a new
+  // reset epoch: WRs of the previous incarnation still inside the TX pipeline
+  // or the fabric are dropped at their next epoch check instead of being
+  // delivered into the next session. Peer wiring is cleared so an in-flight
+  // write *from* the old peer (its Deliver frame resolves this QP as its
+  // destination) fails the receiver's mutual-connection check instead of
+  // landing in memory that may already belong to a pooled shell.
+  ErrorQp(qp);
+  qp.in_error_ = false;
+  qp.reset_epoch_ += 1;
+  qp.peer_node_ = -1;
+  qp.peer_qpn_ = 0;
 }
 
 void Device::KillQp(uint32_t qpn) {

@@ -63,6 +63,7 @@ class Device {
     uint64_t ud_drops = 0;         // UD arrivals with no posted receive
     uint64_t remote_errors = 0;    // failed rkey/bounds/transport checks
     uint64_t cqes_dma_ed = 0;      // completions written over PCIe
+    uint64_t tx_stale_drops = 0;   // WRs/CQEs dropped: QP recycled mid-flight
   };
 
   Device(Cluster& cluster, int node_id);
@@ -91,6 +92,14 @@ class Device {
   // for unsignaled WRs), and later posts fail with kQpError.
   void ErrorQp(Qp& qp);
   void KillQp(uint32_t qpn);
+  // ---- recycling support (DESIGN.md §13) ----
+  // Resets `qp` for reuse by a new connection: flushes queued work like
+  // ErrorQp, then clears the error state and bumps the reset epoch so
+  // anything still in flight from the old incarnation is dropped, not
+  // delivered. Models ibv_modify_qp reset→init→RTR→RTS on an existing QP,
+  // which is why it is far cheaper than CreateQp (CostModel::qp_reset vs
+  // qp_create — charged by the control-plane callers, not here).
+  void ResetQp(Qp& qp);
   // NIC pause: TX and RX processing stall until Resume().
   void Pause();
   void Resume();

@@ -44,8 +44,14 @@ class Qp {
 
   // A QP in the error state accepts no new work; its queued WRs have been
   // flushed with kFlushError completions (see Device::ErrorQp). Mirrors
-  // IBV_QPS_ERR — there is no recovery short of recreating the QP.
+  // IBV_QPS_ERR — recovery means Device::ResetQp (the recycling pool's
+  // reset→init→RTS shortcut) or recreating the QP.
   bool in_error() const { return in_error_; }
+
+  // Incremented by Device::ResetQp. WRs are stamped with the epoch at post
+  // time; the device drops any WR whose stamp no longer matches, so work
+  // posted to a previous incarnation can never leak into the next session.
+  uint32_t reset_epoch() const { return reset_epoch_; }
 
   // Validates the WR against the transport's capabilities and enqueues it for
   // the device's send engine. Returns kSuccess if accepted. The *CPU* cost of
@@ -92,6 +98,7 @@ class Qp {
   bool engine_spawned_ = false;
   sim::OneShotEvent engine_wake_;
   bool in_error_ = false;
+  uint32_t reset_epoch_ = 0;
 };
 
 }  // namespace flock::verbs

@@ -96,6 +96,12 @@ struct SendWr {
   // UD address handle.
   int dest_node = -1;
   uint32_t dest_qpn = 0;
+
+  // Internal (stamped at post time, not set by callers): the QP's reset
+  // epoch when this WR was enqueued. A WR that survives into a recycled
+  // incarnation of its QP (Device::ResetQp bumped the epoch) is stale and is
+  // dropped instead of delivered into the new session.
+  uint32_t src_epoch = 0;
 };
 
 struct RecvWr {

@@ -3,6 +3,7 @@
 // repartitioning, elastic lane grow/shrink, and same-seed determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -309,6 +310,348 @@ TEST(CtrlTest, ReconnectScenarioIsDeterministic) {
   EXPECT_EQ(a.states.quarantined, b.states.quarantined);
   EXPECT_EQ(a.states.retired, b.states.retired);
   EXPECT_GE(a.lane_reconnects, 1u) << "the scenario must actually reconnect";
+}
+
+// ---------------------------------------------------------------------------
+// Nonce replay window: bounded forever, replays always rejected
+// ---------------------------------------------------------------------------
+
+// A bare endpoint answering every framing-valid call with its id, so the
+// control plane's validation layer can be exercised without a runtime.
+struct CountingEndpoint : ctrl::Endpoint {
+  explicit CountingEndpoint(uint32_t id) : id(id) {}
+  uint32_t OnCtrlMessage(const uint8_t*, uint32_t, uint8_t* resp,
+                         uint32_t cap) override {
+    FLOCK_CHECK_GE(cap, 4u);
+    std::memcpy(resp, &id, 4);
+    handled += 1;
+    return 4;
+  }
+  uint32_t id;
+  uint64_t handled = 0;
+};
+
+uint32_t CallWithNonce(ctrl::ControlPlane& cp, int node, uint64_t nonce,
+                       uint8_t* resp) {
+  ctrl::wire::RetireLaneRequest body;
+  uint8_t msg[ctrl::wire::kMaxMessageBytes];
+  const uint32_t len = ctrl::wire::EncodeMessage(
+      msg, sizeof(msg), ctrl::wire::MsgType::kRetireLaneRequest, nonce, &body,
+      sizeof(body));
+  return cp.Call(node, msg, len, resp, ctrl::wire::kMaxMessageBytes);
+}
+
+TEST(CtrlTest, ReplayWindowStaysBoundedOver100kCalls) {
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 2});
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster);
+  CountingEndpoint ep(7);
+  cp.RegisterEndpoint(1, &ep);
+  uint8_t resp[ctrl::wire::kMaxMessageBytes];
+
+  // 100k in-order calls: the window must never hold more than kNonceWindow
+  // entries no matter how many nonces have been consumed (the regression was
+  // an ever-growing seen-nonce set).
+  size_t max_window = 0;
+  uint64_t last_nonce = 0;
+  for (int i = 0; i < 100000; ++i) {
+    last_nonce = cp.NextNonce();
+    ASSERT_NE(CallWithNonce(cp, 1, last_nonce, resp), 0u);
+    max_window = std::max(max_window, cp.replay_window_entries());
+  }
+  EXPECT_EQ(ep.handled, 100000u);
+  EXPECT_LE(max_window, ctrl::ControlPlane::kNonceWindow);
+
+  // Out-of-order delivery (nonce pairs swapped) stays accepted and bounded.
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = cp.NextNonce();
+    const uint64_t b = cp.NextNonce();
+    ASSERT_NE(CallWithNonce(cp, 1, b, resp), 0u);
+    ASSERT_NE(CallWithNonce(cp, 1, a, resp), 0u);
+    max_window = std::max(max_window, cp.replay_window_entries());
+  }
+  EXPECT_LE(max_window, ctrl::ControlPlane::kNonceWindow);
+
+  // Burned nonces (issued, never delivered — every rejected handshake does
+  // this) leave permanent gaps; the watermark jump must still cap the window.
+  for (int i = 0; i < 300; ++i) {
+    cp.NextNonce();
+  }
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(CallWithNonce(cp, 1, cp.NextNonce(), resp), 0u);
+    max_window = std::max(max_window, cp.replay_window_entries());
+  }
+  EXPECT_LE(max_window, ctrl::ControlPlane::kNonceWindow);
+
+  // Replays reject: a just-used nonce and an ancient below-watermark one.
+  const uint64_t replay_before = cp.stats().rejected_replay;
+  EXPECT_EQ(CallWithNonce(cp, 1, last_nonce, resp), 0u);
+  EXPECT_EQ(CallWithNonce(cp, 1, 1, resp), 0u);
+  EXPECT_EQ(cp.stats().rejected_replay, replay_before + 2);
+  cp.DeregisterEndpoint(1, &ep);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint hand-off: the survivor answers when a co-located runtime dies
+// ---------------------------------------------------------------------------
+
+TEST(CtrlTest, EndpointHandOffPromotesSurvivor) {
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 2});
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster);
+  CountingEndpoint first(1), second(2);
+  cp.RegisterEndpoint(1, &first);
+  cp.RegisterEndpoint(1, &second);
+  uint8_t resp[ctrl::wire::kMaxMessageBytes];
+
+  // Registration order decides who answers; the second registrant must not
+  // have displaced (or been dropped on the floor by) the first.
+  ASSERT_EQ(CallWithNonce(cp, 1, cp.NextNonce(), resp), 4u);
+  uint32_t answered = 0;
+  std::memcpy(&answered, resp, 4);
+  EXPECT_EQ(answered, 1u);
+
+  // The hand-off bug: deregistering the active endpoint left the node dark
+  // even though another runtime still lived there. The survivor must answer.
+  cp.DeregisterEndpoint(1, &first);
+  EXPECT_TRUE(cp.HasEndpoint(1));
+  ASSERT_EQ(CallWithNonce(cp, 1, cp.NextNonce(), resp), 4u);
+  std::memcpy(&answered, resp, 4);
+  EXPECT_EQ(answered, 2u);
+  EXPECT_EQ(second.handled, 1u);
+
+  const uint64_t no_ep_before = cp.stats().rejected_no_endpoint;
+  cp.DeregisterEndpoint(1, &second);
+  EXPECT_FALSE(cp.HasEndpoint(1));
+  EXPECT_EQ(CallWithNonce(cp, 1, cp.NextNonce(), resp), 0u);
+  EXPECT_EQ(cp.stats().rejected_no_endpoint, no_ep_before + 1);
+}
+
+TEST(CtrlTest, CoLocatedRuntimesHandOffOnDestruction) {
+  // Integration shape of the same bug: two runtimes sharing a node (bench
+  // "processes") both register, and destroying the first — the one answering
+  // the node's control traffic — must promote the second, not dead-end it.
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 8});
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster);
+  auto first = std::make_unique<FlockRuntime>(cluster, 1, FlockConfig{});
+  auto second = std::make_unique<FlockRuntime>(cluster, 1, FlockConfig{});
+  EXPECT_TRUE(cp.HasEndpoint(1));
+  first.reset();
+  EXPECT_TRUE(cp.HasEndpoint(1)) << "survivor runtime must keep answering";
+  second.reset();
+  EXPECT_FALSE(cp.HasEndpoint(1));
+}
+
+// ---------------------------------------------------------------------------
+// Membership-listener reentrancy
+// ---------------------------------------------------------------------------
+
+TEST(CtrlTest, ListenerMayRemoveItselfMidNotification) {
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 3, .cores_per_node = 2});
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster);
+  int self_calls = 0, other_calls = 0;
+  uint64_t self_id = 0;
+  self_id = cp.AddMembershipListener([&](int, bool) {
+    self_calls += 1;
+    cp.RemoveMembershipListener(self_id);  // destroys the running closure
+  });
+  cp.AddMembershipListener([&](int, bool) { other_calls += 1; });
+  cp.Leave(1);
+  cp.Join(1);
+  EXPECT_EQ(self_calls, 1) << "removed itself after the first event";
+  EXPECT_EQ(other_calls, 2) << "the other listener must see both events";
+}
+
+TEST(CtrlTest, ListenerMayAddListenersMidNotification) {
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 3, .cores_per_node = 2});
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster);
+  int added_calls = 0;
+  cp.AddMembershipListener([&](int, bool) {
+    cp.AddMembershipListener([&](int, bool) { added_calls += 1; });
+  });
+  cp.Leave(1);  // adds one listener; must not invalidate the iteration
+  EXPECT_EQ(added_calls, 0) << "snapshot: not fired for the current event";
+  cp.Join(1);  // the listener added above fires now (and adds another)
+  EXPECT_EQ(added_calls, 1);
+}
+
+TEST(CtrlTest, ListenerMayRejoinNodeFromCallback) {
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 2});
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster);
+  const uint64_t e0 = cp.epoch();
+  bool rearmed = false;
+  cp.AddMembershipListener([&](int node, bool joined) {
+    if (!joined && !rearmed) {
+      rearmed = true;
+      cp.Join(node);  // nested notification from inside a notification
+    }
+  });
+  cp.Leave(1);
+  EXPECT_TRUE(cp.IsMember(1)) << "the callback's Join must have landed";
+  EXPECT_EQ(cp.epoch(), e0 + 2) << "leave and nested join each bump";
+}
+
+// ---------------------------------------------------------------------------
+// Batched membership epochs
+// ---------------------------------------------------------------------------
+
+TEST(CtrlTest, EpochBatchCoalescesAndSkipsNetNoops) {
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 3, .cores_per_node = 2});
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster);
+  int notifications = 0, batch_ends = 0;
+  cp.AddMembershipListener([&](int, bool) { notifications += 1; });
+  cp.AddBatchEndListener([&] { batch_ends += 1; });
+
+  const uint64_t e0 = cp.epoch();
+  cp.BeginEpochBatch();
+  cp.Leave(1);
+  cp.Leave(2);
+  cp.Join(1);  // node 1 nets out; node 2 is the window's only real change
+  EXPECT_TRUE(cp.IsMember(1)) << "membership flips immediately inside a batch";
+  EXPECT_FALSE(cp.IsMember(2));
+  EXPECT_EQ(cp.epoch(), e0) << "epoch bump deferred to EndEpochBatch";
+  EXPECT_EQ(notifications, 0);
+  cp.EndEpochBatch();
+  EXPECT_EQ(cp.epoch(), e0 + 1) << "one bump for the whole window";
+  EXPECT_EQ(notifications, 1) << "only net-changed nodes notify";
+  EXPECT_EQ(batch_ends, 1);
+  EXPECT_EQ(cp.stats().epoch_batches, 1u);
+
+  // A window whose changes fully cancel is invisible: no bump, no listeners.
+  cp.BeginEpochBatch();
+  cp.Leave(1);
+  cp.Join(1);
+  cp.EndEpochBatch();
+  EXPECT_EQ(cp.epoch(), e0 + 1);
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(batch_ends, 1);
+  EXPECT_EQ(cp.stats().epoch_batches, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Churn: 1k+ Leave→Join→Connect cycles with QP recycling
+// ---------------------------------------------------------------------------
+
+struct ChurnResult {
+  int ok = 0;
+  int fail = 0;
+  bool done = false;
+  bool epochs_monotonic = true;
+  uint64_t events = 0;
+  uint64_t epoch = 0;
+  uint64_t cp_calls = 0;
+  uint64_t rejects = 0;
+  uint64_t qps_created = 0;   // client + server
+  uint64_t qps_recycled = 0;  // client + server
+  size_t live_lanes = 0;
+  size_t sender_slots = 0;
+  size_t server_pool = 0;
+  size_t client_pool = 0;
+  size_t replay_window = 0;
+};
+
+sim::Proc ChurnDriver(verbs::Cluster& cluster, FlockRuntime& client,
+                      FlockThread* thread, int cycles, ChurnResult* r) {
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster);
+  std::vector<uint8_t> resp;
+  for (int c = 0; c < cycles; ++c) {
+    const uint64_t epoch_before = cp.epoch();
+    cp.Join(client.node());
+    Connection* conn = co_await client.ConnectAsync(/*server_node=*/0, 2);
+    uint64_t payload = static_cast<uint64_t>(c);
+    const bool ok = co_await conn->Call(
+        *thread, kEchoRpc, reinterpret_cast<const uint8_t*>(&payload), 8, &resp);
+    (ok ? r->ok : r->fail) += 1;
+    // Step off the dispatcher's resume stack so CloseConnection sees the
+    // lane quiescent and harvests it into the recycling pool.
+    co_await sim::Delay(cluster.sim(), 1 * kMicrosecond);
+    client.CloseConnection(conn);
+    cp.Leave(client.node());
+    if (cp.epoch() != epoch_before + 2) {  // join + leave, exactly one each
+      r->epochs_monotonic = false;
+    }
+  }
+  r->done = true;
+}
+
+ChurnResult RunChurn(int cycles) {
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 8});
+  ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster);
+  FlockConfig server_cfg;
+  server_cfg.qp_recycling = true;
+  FlockRuntime server(cluster, 0, server_cfg);
+  server.RegisterHandler(kEchoRpc, EchoHandler);
+  server.StartServer(2);
+  FlockConfig client_cfg;
+  client_cfg.qp_recycling = true;
+  client_cfg.lazy_lanes = true;
+  client_cfg.connect_piggyback = true;
+  FlockRuntime client(cluster, 1, client_cfg);
+  client.StartClient();
+  FlockThread* thread = client.CreateThread(2);
+
+  cp.Leave(1);  // the churning node starts outside the cluster
+  ChurnResult r;
+  cluster.sim().Spawn(ChurnDriver(cluster, client, thread, cycles, &r));
+  while (!r.done && cluster.sim().Now() < 2000 * kMillisecond) {
+    cluster.sim().RunFor(1 * kMillisecond);
+  }
+  r.events = cluster.sim().events_processed();
+  r.epoch = cp.epoch();
+  r.cp_calls = cp.stats().calls;
+  r.rejects = cp.stats().rejected_malformed + cp.stats().rejected_replay +
+              cp.stats().rejected_no_endpoint + cp.stats().rejected_not_member;
+  r.qps_created =
+      server.server_stats().qps_created + client.client_stats().qps_created;
+  r.qps_recycled =
+      server.server_stats().qps_recycled + client.client_stats().qps_recycled;
+  r.live_lanes = server.ServerLiveLanes();
+  r.sender_slots = server.ServerSenderSlots();
+  r.server_pool = server.ServerLanePool();
+  r.client_pool = client.ClientLanePool();
+  r.replay_window = cp.replay_window_entries();
+  return r;
+}
+
+TEST(CtrlTest, ThousandChurnCyclesLeakNothing) {
+  ChurnResult r = RunChurn(1000);
+  ASSERT_TRUE(r.done) << "churn wedged before finishing";
+  EXPECT_EQ(r.ok, 1000);
+  EXPECT_EQ(r.fail, 0);
+  EXPECT_TRUE(r.epochs_monotonic)
+      << "every Join/Leave must bump the epoch exactly once, in order";
+  EXPECT_EQ(r.rejects, 0u) << "well-formed churn must never be rejected";
+  // Zero stale-lane leaks: after the last Leave no server lane is live, the
+  // sender slots were reused rather than grown per cycle, and the shell
+  // pools hold only the storm's concurrent footprint.
+  EXPECT_EQ(r.live_lanes, 0u);
+  EXPECT_LE(r.sender_slots, 4u);
+  EXPECT_LE(r.server_pool, 4u);
+  EXPECT_LE(r.client_pool, 4u);
+  // Recycling must carry the storm: a handful of fresh QPs bootstrap the
+  // pools, everything after re-arms a recycled shell.
+  EXPECT_LE(r.qps_created, 8u);
+  EXPECT_GE(r.qps_recycled, 1990u);
+  EXPECT_LE(r.replay_window, ctrl::ControlPlane::kNonceWindow);
+}
+
+TEST(CtrlTest, ChurnIsDeterministic) {
+  ChurnResult a = RunChurn(300);
+  ChurnResult b = RunChurn(300);
+  ASSERT_TRUE(a.done);
+  ASSERT_TRUE(b.done);
+  EXPECT_EQ(a.events, b.events) << "same seed must replay the same trace";
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.cp_calls, b.cp_calls);
+  EXPECT_EQ(a.qps_created, b.qps_created);
+  EXPECT_EQ(a.qps_recycled, b.qps_recycled);
 }
 
 }  // namespace
