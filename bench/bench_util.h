@@ -16,6 +16,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/histogram.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
 namespace flock::bench {
 
 // --key=value flags; unknown flags abort so typos are loud.
@@ -77,6 +81,27 @@ class Flags {
 inline void PrintBanner(const char* title) {
   std::printf("\n==== %s ====\n", title);
 }
+
+// Per-op latency off the simulator clock, for data-plane paths that have no
+// PendingRpc carrying submitted_at/completed_at (one-sided reads, atomics,
+// multi-step composites). Usage inside a worker coroutine:
+//
+//   LatencyRecorder lat(cluster->sim(), &shared->get_latency);
+//   const Nanos start = lat.Start();
+//   ... co_await the op(s) ...
+//   if (shared->measuring) lat.Record(start);
+class LatencyRecorder {
+ public:
+  LatencyRecorder(const sim::Simulator& sim, Histogram* hist)
+      : sim_(&sim), hist_(hist) {}
+
+  Nanos Start() const { return sim_->Now(); }
+  void Record(Nanos started_at) { hist_->Record(sim_->Now() - started_at); }
+
+ private:
+  const sim::Simulator* sim_;
+  Histogram* hist_;
+};
 
 // One cell of a JSON row: number, string, or bool. Implicit constructors keep
 // Row() call sites terse.

@@ -42,6 +42,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[fig14] threads=%d flocktx...\n", threads);
     config.system = TxnSystem::kFlockTx;
     const TxnBenchResult fl = RunTxnBench(config);
+    std::fprintf(stderr, "[fig14] threads=%d flocktx-lock...\n", threads);
+    config.mode = flock::txn::TxMode::kLockOneSided;
+    const TxnBenchResult lk = RunTxnBench(config);
+    config.mode = flock::txn::TxMode::kOcc;
     std::fprintf(stderr, "[fig14] threads=%d fasst...\n", threads);
     config.system = TxnSystem::kFasst;
     const TxnBenchResult ud = RunTxnBench(config);
@@ -58,11 +62,16 @@ int main(int argc, char** argv) {
     std::printf("CSV,fig14,%d,flocktx,%.3f,%ld,%ld,%lu\n", threads, fl.mtps,
                 static_cast<long>(fl.p50_ns), static_cast<long>(fl.p99_ns),
                 static_cast<unsigned long>(fl.aborts));
+    std::printf("CSV,fig14,%d,flocktx_lock,%.3f,%ld,%ld,%lu\n", threads, lk.mtps,
+                static_cast<long>(lk.p50_ns), static_cast<long>(lk.p99_ns),
+                static_cast<unsigned long>(lk.aborts));
     std::printf("CSV,fig14,%d,fasst,%.3f,%ld,%ld,%lu\n", threads, ud.mtps,
                 static_cast<long>(ud.p50_ns), static_cast<long>(ud.p99_ns),
                 static_cast<unsigned long>(ud.failed));
     json.Row({{"threads", threads}, {"system", "flocktx"}, {"mtps", fl.mtps},
               {"p50_ns", fl.p50_ns}, {"p99_ns", fl.p99_ns}, {"aborts", fl.aborts}});
+    json.Row({{"threads", threads}, {"system", "flocktx_lock"}, {"mtps", lk.mtps},
+              {"p50_ns", lk.p50_ns}, {"p99_ns", lk.p99_ns}, {"aborts", lk.aborts}});
     json.Row({{"threads", threads}, {"system", "fasst"}, {"mtps", ud.mtps},
               {"p50_ns", ud.p50_ns}, {"p99_ns", ud.p99_ns}, {"failed", ud.failed}});
     std::fflush(stdout);

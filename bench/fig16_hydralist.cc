@@ -21,6 +21,7 @@
 #include "src/common/histogram.h"
 #include "src/flock/flock.h"
 #include "src/index/hydralist.h"
+#include "src/index/remote_mirror.h"
 
 namespace flock::bench {
 namespace {
@@ -200,6 +201,104 @@ IndexResult RunFlockIndex(const index::HydraList* list, uint64_t keys, int threa
   return result;
 }
 
+// One-sided gets against the published mirror (scans stay RPC — they need
+// the server-side index walk). Gets that come back stale/absent fall back to
+// the authoritative RPC; the recorded latency covers the whole composite.
+sim::Proc OneSidedIndexWorker(verbs::Cluster* cluster, Connection* conn,
+                              FlockThread* thread, index::MirrorReader* reader,
+                              uint64_t keys, uint64_t seed, IndexShared* shared) {
+  Rng rng(seed);
+  uint8_t buf[16];
+  LatencyRecorder get_lat(cluster->sim(), &shared->get_latency);
+  for (;;) {
+    uint16_t rpc = 0;
+    uint32_t len = 0;
+    const bool is_get = NextOp(rng, keys, &rpc, buf, &len);
+    if (is_get) {
+      GetReq get;
+      std::memcpy(&get, buf, sizeof(get));
+      const Nanos start = get_lat.Start();
+      uint64_t value = 0;
+      const index::MirrorReader::Outcome out =
+          co_await reader->Get(*thread, get.key, &value);
+      if (out != index::MirrorReader::Outcome::kOk) {
+        PendingRpc* pending = co_await conn->SendRpc(*thread, kGetRpc, buf, len);
+        co_await conn->AwaitResponse(*thread, pending);
+        conn->FreeRpc(pending);
+      }
+      if (shared->measuring) {
+        shared->gets += 1;
+        get_lat.Record(start);
+      }
+    } else {
+      PendingRpc* pending = co_await conn->SendRpc(*thread, rpc, buf, len);
+      co_await conn->AwaitResponse(*thread, pending);
+      if (shared->measuring) {
+        shared->scans += 1;
+        shared->scan_latency.Record(pending->completed_at - pending->submitted_at);
+      }
+      conn->FreeRpc(pending);
+    }
+  }
+}
+
+IndexResult RunFlockIndexOneSided(const index::HydraList* list, uint64_t keys,
+                                  int threads, Nanos warmup, Nanos measure) {
+  constexpr int kClients = 22;
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 1 + kClients, .cores_per_node = 32});
+  FlockConfig config;
+  FlockRuntime server(cluster, 0, config);
+  server.RegisterHandler(kGetRpc, MakeGetHandler(list));
+  server.RegisterHandler(kScanRpc, MakeScanHandler(list));
+  server.StartServer(31);
+
+  // Publish the read-only index into registered memory once; the directory
+  // is handed to every reader at setup (standing in for one RefreshDirectory
+  // per client, outside the measured window either way).
+  index::HydraMirror mirror(cluster.mem(0), list->data_nodes() + 8);
+  mirror.Publish(*list);
+  const auto directory = mirror.DirectorySnapshot();
+
+  IndexShared shared;
+  FlockConfig client_config;
+  client_config.response_dispatchers = threads >= 32 ? 2 : 1;
+  std::vector<std::unique_ptr<FlockRuntime>> clients;
+  std::vector<std::unique_ptr<index::MirrorReader>> readers;
+  uint64_t seed = 0x2545f4914f6cdd1dULL;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<FlockRuntime>(cluster, 1 + c, client_config));
+    clients.back()->StartClient();
+    Connection* conn =
+        clients.back()->Connect(server, static_cast<uint32_t>(threads));
+    const RemoteMr dir_mr = conn->AttachMreg(mirror.dir_addr(), mirror.dir_bytes());
+    const RemoteMr blocks_mr =
+        conn->AttachMreg(mirror.blocks_addr(), mirror.blocks_bytes());
+    for (int t = 0; t < threads; ++t) {
+      readers.push_back(std::make_unique<index::MirrorReader>(
+          *conn, cluster.mem(1 + c), mirror.dir_addr(), dir_mr, blocks_mr,
+          mirror.max_blocks()));
+      readers.back()->AdoptDirectory(directory);
+      cluster.sim().Spawn(OneSidedIndexWorker(
+          &cluster, conn, clients.back()->CreateThread(t % 30), readers.back().get(),
+          keys, SplitMix64(seed), &shared));
+    }
+  }
+  cluster.sim().RunFor(warmup);
+  shared.measuring = true;
+  cluster.sim().RunFor(measure);
+  shared.measuring = false;
+
+  IndexResult result;
+  result.mops = static_cast<double>(shared.gets + shared.scans) /
+                (static_cast<double>(measure) / 1e9) / 1e6;
+  result.get_p50 = shared.get_latency.Median();
+  result.get_p99 = shared.get_latency.P99();
+  result.scan_p50 = shared.scan_latency.Median();
+  result.scan_p99 = shared.scan_latency.P99();
+  return result;
+}
+
 IndexResult RunUdIndex(const index::HydraList* list, uint64_t keys, int threads,
                        int outstanding, Nanos warmup, Nanos measure) {
   constexpr int kClients = 22;
@@ -300,6 +399,25 @@ int main(int argc, char** argv) {
                 {"system", "erpc"}, {"mops", ud.mops}, {"get_p50_ns", ud.get_p50},
                 {"get_p99_ns", ud.get_p99}, {"scan_p50_ns", ud.scan_p50},
                 {"scan_p99_ns", ud.scan_p99}});
+      // One-sided mirror gets (fl_read, no server CPU); scans stay RPC. The
+      // mirror path issues ops synchronously, so it only gets outstanding=1
+      // rows.
+      if (outstanding == 1) {
+        const IndexResult os =
+            RunFlockIndexOneSided(list.get(), keys, threads, warmup, measure);
+        std::printf(
+            "%8d | %10.1f %8.1f %8.1f %9.1f %9.1f | (one-sided mirror gets)\n",
+            threads, os.mops, os.get_p50 / 1e3, os.get_p99 / 1e3,
+            os.scan_p50 / 1e3, os.scan_p99 / 1e3);
+        std::printf("CSV,fig161718,%d,%d,flock_onesided,%.2f,%ld,%ld,%ld,%ld\n",
+                    outstanding, threads, os.mops, static_cast<long>(os.get_p50),
+                    static_cast<long>(os.get_p99), static_cast<long>(os.scan_p50),
+                    static_cast<long>(os.scan_p99));
+        json.Row({{"outstanding", outstanding}, {"threads", threads},
+                  {"system", "flock_onesided"}, {"mops", os.mops},
+                  {"get_p50_ns", os.get_p50}, {"get_p99_ns", os.get_p99},
+                  {"scan_p50_ns", os.scan_p50}, {"scan_p99_ns", os.scan_p99}});
+      }
       std::fflush(stdout);
     }
   }

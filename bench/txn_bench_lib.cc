@@ -115,7 +115,7 @@ TxnBenchResult RunTxnBench(const TxnBenchConfig& config) {
           transports.push_back(std::make_unique<txn::FlockTxTransport>(
               runtime, *thread, conns, mrs));
           coordinators.push_back(std::make_unique<txn::TxCoordinator>(
-              *transports.back(), kServers, kReplication));
+              *transports.back(), kServers, kReplication, config.mode));
           cluster.sim().Spawn(TxnWorker(&cluster, coordinators.back().get(), &config,
                                         SplitMix64(seed), &shared));
         }

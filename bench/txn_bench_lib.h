@@ -19,6 +19,10 @@ enum class TxnSystem { kFlockTx, kFasst };
 
 struct TxnBenchConfig {
   TxnSystem system = TxnSystem::kFlockTx;
+  // Concurrency-control variant for the FlockTX system (ignored by the UD
+  // baseline, whose transport has no one-sided path): kOcc (default),
+  // kOccOneSidedRead, or kLockOneSided (ALock-style reader/writer locks).
+  txn::TxMode mode = txn::TxMode::kOcc;
   int num_clients = 20;
   int threads_per_client = 4;
   int coroutines_per_thread = 19;

@@ -9,7 +9,7 @@ The mechanism modules under src/flock/ form a strict stack:
     rank 3  combine
     rank 4  watchdog, dispatch
     rank 5  runtime                (orchestration + public facade)
-    rank 6  flock                  (umbrella header)
+    rank 6  flock, alock           (umbrella header; locks over the facade)
 
 A module may include only strictly lower-ranked flock modules (plus its own
 header and the rank-free foundation headers config/ring/wire). In particular
@@ -37,6 +37,10 @@ RANK = {
     "dispatch": 4,
     "runtime": 5,
     "flock": 6,
+    # ALock builds on the public Connection memop API, so it sits above
+    # runtime like the umbrella header does (flock.h does not include it:
+    # one-sided locking is opt-in).
+    "alock": 6,
 }
 
 # Rank-free: includable from any flock module (pure data/format headers with

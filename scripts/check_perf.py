@@ -28,6 +28,12 @@ and stay under --max-ttfr-p99-us absolute at the offered join rate, with
 zero control-plane rejects in either configuration. These are simulated-time
 gates — deterministic, host-speed independent — so they are exact, not
 thresholded against a checked-in baseline.
+
+Passing --crossover=PATH gates the one-sided data plane (DESIGN.md §14) from
+the onesided_crossover JSON dump: every swept cell must carry both an "rpc"
+and a "onesided" row, and one-sided point reads must beat the RPC path by
+>= --min-onesided-speedup at the 64B / 100%-read cell. Simulated-time gate,
+same as the storm gates: exact.
 """
 
 import argparse
@@ -121,6 +127,42 @@ def check_scaling(cur_rows):
     return failed
 
 
+def check_crossover(path, min_speedup):
+    """Gate the one-sided data plane (DESIGN.md §14) from the
+    onesided_crossover JSON dump: both paths must have produced rows at every
+    swept cell, and one-sided point reads must beat the RPC path by
+    >= min_speedup at the 64B / 100%-read cell. Simulated-time gate: exact."""
+    with open(path) as f:
+        rows = json.load(f).get("rows", [])
+    failed = []
+    cells = {}
+    gate = None
+    for row in rows:
+        p = row.get("path")
+        if p == "gate":
+            gate = row
+        elif p in ("rpc", "onesided"):
+            cells.setdefault((row.get("payload"), row.get("read_pct")), set()).add(p)
+    lopsided = [c for c, paths in cells.items() if paths != {"rpc", "onesided"}]
+    print(f"\ncrossover sweep: {len(cells)} cells with both paths required")
+    if not cells or lopsided:
+        failed.append("crossover:missing-paths")
+        print(f"<< CELLS MISSING A PATH: {sorted(lopsided) or 'no cells at all'}")
+    if gate is None:
+        failed.append("crossover:missing-gate")
+        print("<< NO GATE ROW IN DUMP")
+    else:
+        speedup = gate.get("speedup_64b_100r", 0.0)
+        print(f"one-sided speedup at 64B/100% reads: {speedup:.2f}x")
+        if speedup < min_speedup:
+            failed.append("crossover:speedup")
+            print(f"<< ONE-SIDED SPEEDUP BELOW GATE: {speedup:.2f}x < "
+                  f"required {min_speedup:.1f}x")
+        else:
+            print(f"crossover gate passed: {speedup:.2f}x >= {min_speedup:.1f}x")
+    return failed
+
+
 def check_conn_storm(path, min_improvement, max_p99_us):
     rows = load_rows(path)
     eager = rows.get("eager")
@@ -183,6 +225,17 @@ def main():
         default=50.0,
         help="absolute ceiling on the optimized conn_storm p99 TTFR",
     )
+    parser.add_argument(
+        "--crossover",
+        default=None,
+        help="onesided_crossover JSON dump to gate (64B/100%%-read speedup)",
+    )
+    parser.add_argument(
+        "--min-onesided-speedup",
+        type=float,
+        default=1.5,
+        help="required one-sided/RPC throughput ratio at 64B, 100%% reads",
+    )
     args = parser.parse_args()
 
     base_rows = load_rows(args.baseline)
@@ -194,6 +247,8 @@ def main():
     if args.conn_storm:
         failed += check_conn_storm(args.conn_storm, args.min_ttfr_improvement,
                                    args.max_ttfr_p99_us)
+    if args.crossover:
+        failed += check_crossover(args.crossover, args.min_onesided_speedup)
 
     if failed:
         print(f"\nFAIL: {', '.join(failed)} (baseline {args.baseline})",

@@ -1,0 +1,169 @@
+// ALock-style reader/writer locking built purely on one-sided atomics
+// (fl_fetch_and_add / fl_cmp_and_swap, Table 2). Clients acquire and release
+// a lock word in the server's memory without ever involving the server CPU —
+// the other half of the design space next to RPC-mediated locking (PAPERS.md:
+// ALock; "RDMA vs. RPC for Implementing Distributed Data Structures").
+//
+// Lock word layout (64 bits, must live at an 8-byte-aligned address):
+//
+//     [ 15 spare | writer bit (1 << 48) | 48-bit reader count ]
+//
+// Readers FetchAndAdd(+1); if the returned snapshot has the writer bit set
+// they undo with FetchAndAdd(-1) and retry. A writer CompareAndSwaps
+// 0 -> kWriterBit, i.e. it acquires only when there is no writer *and* no
+// reader. Releases are unconditional FetchAndAdds of the negated stake, so a
+// release never needs a retry loop and never loses concurrent arrivals.
+//
+// The KV store's version words (src/kv/kvstore.h: bit 0 = lock bit, commits
+// bump by 2) are themselves single-writer locks; VersionTryLock/VersionUnlock
+// below are the ALock writer path specialized to that encoding, used by the
+// lock-based FlockTX variant (txn/coordinator.h TxMode::kLockOneSided).
+#ifndef FLOCK_FLOCK_ALOCK_H_
+#define FLOCK_FLOCK_ALOCK_H_
+
+#include <cstdint>
+
+#include "src/flock/runtime.h"
+
+namespace flock {
+
+class RemoteRwLock {
+ public:
+  static constexpr uint64_t kWriterBit = uint64_t{1} << 48;
+  static constexpr uint64_t kReaderMask = kWriterBit - 1;
+
+  // `word_addr` must be 8-byte aligned inside the region covered by `mr`
+  // (the verbs layer rejects misaligned atomics at post time with kQpError).
+  RemoteRwLock(Connection& conn, uint64_t word_addr, const RemoteMr& mr)
+      : conn_(&conn), addr_(word_addr), mr_(mr) {}
+
+  // Shared acquisition: one FetchAndAdd round trip in the uncontended case.
+  // Returns true once the read stake is planted with no writer present;
+  // false after `max_attempts` collisions with a writer, or on a transport
+  // error (the caller should fall back to the RPC path either way).
+  sim::Co<bool> ReaderAcquire(FlockThread& thread, int max_attempts = 64) {
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      uint64_t snapshot = 0;
+      if (co_await conn_->FetchAndAdd(thread, addr_, 1, &snapshot, mr_) !=
+          verbs::WcStatus::kSuccess) {
+        co_return false;
+      }
+      if ((snapshot & kWriterBit) == 0) {
+        co_return true;
+      }
+      // A writer holds the lock: withdraw the optimistic stake and retry.
+      // Our own +1 is still in the count, so the decrement cannot borrow
+      // into the writer bit.
+      if (co_await conn_->FetchAndAdd(thread, addr_, Negate(1), nullptr,
+                                      mr_) != verbs::WcStatus::kSuccess) {
+        co_return false;
+      }
+      co_await Backoff(thread, attempt);
+    }
+    co_return false;
+  }
+
+  sim::Co<bool> ReaderRelease(FlockThread& thread) {
+    co_return co_await conn_->FetchAndAdd(thread, addr_, Negate(1), nullptr,
+                                          mr_) == verbs::WcStatus::kSuccess;
+  }
+
+  // Exclusive acquisition: CompareAndSwap(0 -> writer bit) succeeds only
+  // against a word with no readers and no writer.
+  sim::Co<bool> WriterAcquire(FlockThread& thread, int max_attempts = 64) {
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      uint64_t observed = 0;
+      if (co_await conn_->CompareAndSwap(thread, addr_, 0, kWriterBit,
+                                         &observed, mr_) !=
+          verbs::WcStatus::kSuccess) {
+        co_return false;
+      }
+      if (observed == 0) {
+        co_return true;
+      }
+      co_await Backoff(thread, attempt);
+    }
+    co_return false;
+  }
+
+  sim::Co<bool> WriterRelease(FlockThread& thread) {
+    co_return co_await conn_->FetchAndAdd(thread, addr_, Negate(kWriterBit),
+                                          nullptr, mr_) ==
+        verbs::WcStatus::kSuccess;
+  }
+
+  uint64_t word_addr() const { return addr_; }
+
+ private:
+  // FetchAndAdd takes an unsigned addend; subtraction is addition of the
+  // two's complement (exactly what the hardware does).
+  static constexpr uint64_t Negate(uint64_t stake) { return ~stake + 1; }
+
+  // Capped exponential backoff between collisions (ALock's remote spin is
+  // paced the same way): hammering the word with back-to-back atomics only
+  // serializes the NIC and starves the holder's release.
+  sim::Co<void> Backoff(FlockThread& thread, int attempt) {
+    const int shift = attempt < 6 ? attempt : 6;
+    co_await thread.core().Work(Nanos{200} << shift);
+  }
+
+  Connection* conn_;
+  uint64_t addr_;
+  RemoteMr mr_;
+};
+
+// ---------------------------------------------------------------------------
+// Version-word write locks (the ALock writer path specialized to KV records)
+// ---------------------------------------------------------------------------
+
+// Bit 0 of a KV record's version word; matches src/kv/kvstore.h's encoding
+// (kv sits above flock, so the constant is mirrored here, not included).
+inline constexpr uint64_t kVersionLockBit = 1;
+
+inline constexpr bool VersionLocked(uint64_t version) {
+  return (version & kVersionLockBit) != 0;
+}
+
+// Try-locks the record whose version word is at `version_addr` by CAS'ing
+// `expected_version` (which the caller read unlocked, i.e. even) to its
+// locked form. Success proves the record has not been committed since the
+// caller read `expected_version`: every commit bumps the version by 2, and a
+// concurrent holder keeps the lock bit set, so any intervening writer makes
+// the CAS miss. Returns false on contention or version change; `status`
+// (optional) distinguishes transport failure from a clean miss.
+// `result_addr` (optional) is a caller-owned 8-byte landing slot for the CAS
+// result; required whenever several coroutines share one FlockThread, since
+// the thread's built-in slot would be overwritten by a racing atomic.
+inline sim::Co<bool> VersionTryLock(Connection& conn, FlockThread& thread,
+                                    uint64_t version_addr,
+                                    uint64_t expected_version,
+                                    const RemoteMr& mr,
+                                    verbs::WcStatus* status = nullptr,
+                                    uint64_t result_addr = 0) {
+  uint64_t observed = 0;
+  const verbs::WcStatus wc = co_await conn.CompareAndSwap(
+      thread, version_addr, expected_version,
+      expected_version | kVersionLockBit, &observed, mr, result_addr);
+  if (status != nullptr) {
+    *status = wc;
+  }
+  co_return wc == verbs::WcStatus::kSuccess && observed == expected_version;
+}
+
+// Releases a version lock by writing `new_version` (even: the pre-lock value
+// to abort, pre-lock + 2 to publish a commit). The 8-byte source lives at
+// `scratch_addr` in this node's memory — callers reuse a per-thread slot.
+inline sim::Co<verbs::WcStatus> VersionUnlock(Connection& conn,
+                                              FlockThread& thread,
+                                              fabric::MemorySpace& local_mem,
+                                              uint64_t scratch_addr,
+                                              uint64_t version_addr,
+                                              uint64_t new_version,
+                                              const RemoteMr& mr) {
+  local_mem.Write(scratch_addr, &new_version, 8);
+  co_return co_await conn.Write(thread, scratch_addr, version_addr, 8, mr);
+}
+
+}  // namespace flock
+
+#endif  // FLOCK_FLOCK_ALOCK_H_

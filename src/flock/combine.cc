@@ -1,6 +1,7 @@
 #include "src/flock/combine.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/flock/sched/receiver.h"
 
@@ -398,6 +399,14 @@ sim::Co<verbs::WcStatus> SubmitMemOp(ClientConnState& conn, FlockThread& thread,
   }
   co_await op.done_event.Wait();
   thread.outstanding -= 1;
+  // A fatal completion status means the lane's QP is dead (flushed, errored,
+  // or pointing at a vanished peer): quarantine it so later work — RPC or
+  // memop — repairs onto a fresh lane, exactly as HandleSendError does for
+  // the send path. QuarantineLane is idempotent, so racing with the RPC
+  // path's own error handling is fine.
+  if (IsFatalWcStatus(op.status)) {
+    QuarantineLane(conn, lane);
+  }
   co_return op.status;
 }
 
@@ -429,11 +438,24 @@ sim::Proc MemPump(ClientConnState& conn, ClientLane& lane) {
     // The leader links the WRs and rings one doorbell for the whole chain.
     co_await core.Work(cost.cpu_mmio_doorbell +
                        static_cast<Nanos>(batch_n) * (cost.cpu_atomic_rmw / 2));
+    // Hand the chain to the device as one linked batch: the doorbell charged
+    // above covers every WR (PostSendBatch is all-or-nothing, so a rejected
+    // batch falls back to per-op posts — each op then learns its own status
+    // instead of inheriting whichever WR poisoned the chain).
+    std::vector<verbs::SendWr> wrs;
+    wrs.reserve(batch_n);
     for (PendingMemOp* op = batch_head; op != nullptr; op = op->next) {
-      const verbs::WcStatus status = conn.env->transport->Post(*lane.qp, op->wr);
-      if (status != verbs::WcStatus::kSuccess) {
-        op->status = status;
-        op->done_event.Fire(conn.env->sim());
+      wrs.push_back(op->wr);
+    }
+    if (conn.env->transport->PostBatch(*lane.qp, wrs.data(), wrs.size()) !=
+        verbs::WcStatus::kSuccess) {
+      for (PendingMemOp* op = batch_head; op != nullptr; op = op->next) {
+        const verbs::WcStatus status =
+            conn.env->transport->Post(*lane.qp, op->wr);
+        if (status != verbs::WcStatus::kSuccess) {
+          op->status = status;
+          op->done_event.Fire(conn.env->sim());
+        }
       }
     }
     // QP contention indicator for receiver-side scheduling (§6).

@@ -409,17 +409,19 @@ sim::Co<verbs::WcStatus> Connection::Write(FlockThread& thread, uint64_t local_a
 sim::Co<verbs::WcStatus> Connection::FetchAndAdd(FlockThread& thread,
                                                  uint64_t remote_addr, uint64_t add,
                                                  uint64_t* old_value,
-                                                 const RemoteMr& mr) {
+                                                 const RemoteMr& mr,
+                                                 uint64_t result_addr) {
+  const uint64_t slot = result_addr != 0 ? result_addr : thread.atomic_slot;
   verbs::SendWr wr;
   wr.opcode = verbs::Opcode::kFetchAdd;
-  wr.local_addr = thread.atomic_slot;
+  wr.local_addr = slot;
   wr.length = 8;
   wr.remote_addr = remote_addr;
   wr.rkey = mr.rkey;
   wr.swap_or_add = add;
   const verbs::WcStatus status = co_await internal::SubmitMemOp(state_, thread, wr);
   if (status == verbs::WcStatus::kSuccess && old_value != nullptr) {
-    state_.env->mem().Read(thread.atomic_slot, old_value, 8);
+    state_.env->mem().Read(slot, old_value, 8);
   }
   co_return status;
 }
@@ -429,10 +431,12 @@ sim::Co<verbs::WcStatus> Connection::CompareAndSwap(FlockThread& thread,
                                                     uint64_t expected,
                                                     uint64_t desired,
                                                     uint64_t* old_value,
-                                                    const RemoteMr& mr) {
+                                                    const RemoteMr& mr,
+                                                    uint64_t result_addr) {
+  const uint64_t slot = result_addr != 0 ? result_addr : thread.atomic_slot;
   verbs::SendWr wr;
   wr.opcode = verbs::Opcode::kCmpSwap;
-  wr.local_addr = thread.atomic_slot;
+  wr.local_addr = slot;
   wr.length = 8;
   wr.remote_addr = remote_addr;
   wr.rkey = mr.rkey;
@@ -440,7 +444,7 @@ sim::Co<verbs::WcStatus> Connection::CompareAndSwap(FlockThread& thread,
   wr.swap_or_add = desired;
   const verbs::WcStatus status = co_await internal::SubmitMemOp(state_, thread, wr);
   if (status == verbs::WcStatus::kSuccess && old_value != nullptr) {
-    state_.env->mem().Read(thread.atomic_slot, old_value, 8);
+    state_.env->mem().Read(slot, old_value, 8);
   }
   co_return status;
 }

@@ -81,12 +81,19 @@ class Connection {
   sim::Co<verbs::WcStatus> Write(FlockThread& thread, uint64_t local_addr,
                                  uint64_t remote_addr, uint32_t length,
                                  const RemoteMr& mr);
+  // For the atomics, `result_addr` is the local landing slot for the old
+  // value; 0 means the thread's built-in atomic_slot. A coroutine that can
+  // have an atomic in flight while OTHER coroutines on the same FlockThread
+  // issue atomics must bring its own slot, or a racing completion overwrites
+  // the shared slot before the old value is read back.
   sim::Co<verbs::WcStatus> FetchAndAdd(FlockThread& thread, uint64_t remote_addr,
                                        uint64_t add, uint64_t* old_value,
-                                       const RemoteMr& mr);
+                                       const RemoteMr& mr,
+                                       uint64_t result_addr = 0);
   sim::Co<verbs::WcStatus> CompareAndSwap(FlockThread& thread, uint64_t remote_addr,
                                           uint64_t expected, uint64_t desired,
-                                          uint64_t* old_value, const RemoteMr& mr);
+                                          uint64_t* old_value, const RemoteMr& mr,
+                                          uint64_t result_addr = 0);
 
   int server_node() const { return state_.server_node; }
   // True once CloseConnection ran; a closed handle must not be used again.

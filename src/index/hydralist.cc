@@ -155,6 +155,14 @@ uint32_t HydraList::Scan(uint64_t start, uint32_t count, uint64_t* digest,
   return found;
 }
 
+void HydraList::VisitNodes(
+    const std::function<void(uint64_t anchor, const uint64_t* keys,
+                             const uint64_t* values, size_t count)>& fn) const {
+  for (const DataNode* node = data_head_; node != nullptr; node = node->next) {
+    fn(node->anchor, node->keys.data(), node->values.data(), node->keys.size());
+  }
+}
+
 size_t HydraList::DrainSearchUpdates(size_t max) {
   size_t applied = 0;
   while (applied < max && !pending_anchors_.empty()) {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -49,6 +50,13 @@ class HydraList {
   // found and XOR-folds their values into *digest (the benches reply with the
   // count, as the paper's scan does).
   uint32_t Scan(uint64_t start, uint32_t count, uint64_t* digest, Nanos* cpu) const;
+
+  // Const iteration over the data list in anchor order — the publication
+  // walk for the one-sided mirror (remote_mirror.h). The callback sees each
+  // node's anchor and its parallel key/value arrays.
+  void VisitNodes(const std::function<void(uint64_t anchor, const uint64_t* keys,
+                                           const uint64_t* values, size_t count)>&
+                      fn) const;
 
   // Asynchronous search-layer maintenance: splits queue anchor insertions;
   // a background task applies up to `max` of them. Returns applied count.

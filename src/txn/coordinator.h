@@ -41,10 +41,36 @@ struct TxnStats {
   }
 };
 
+// How the coordinator reaches remote records:
+//   kOcc            — the RPC protocol above, unchanged (default).
+//   kOccOneSidedRead— same protocol, but read-set items whose record address
+//                     is already cached are fetched with one fl_read pair
+//                     (seqlock) instead of a kTxGet RPC; unknown or contended
+//                     records fall back to the RPC, whose response teaches
+//                     the address for next time.
+//   kLockOneSided   — the write path goes one-sided too: write locks are
+//                     CAS'd directly onto the version word (ALock-style
+//                     try-lock; success doubles as validation, since the CAS
+//                     only lands if the version is still what we read), new
+//                     values are installed with fl_write, and the version
+//                     bump+unlock is a second fl_write. Replication stays an
+//                     RPC — replicas apply log records with their CPU.
+// Both one-sided modes require transport_.SupportsOneSided(); otherwise they
+// degrade to plain OCC.
+enum class TxMode {
+  kOcc,
+  kOccOneSidedRead,
+  kLockOneSided,
+};
+
 class TxCoordinator {
  public:
-  TxCoordinator(TxTransport& transport, int num_servers, int replication)
-      : transport_(transport), num_servers_(num_servers), replication_(replication) {}
+  TxCoordinator(TxTransport& transport, int num_servers, int replication,
+                TxMode mode = TxMode::kOcc)
+      : transport_(transport),
+        num_servers_(num_servers),
+        replication_(replication),
+        mode_(mode) {}
 
   TxnStats& stats() { return stats_; }
 
@@ -58,37 +84,88 @@ class TxCoordinator {
 
   // One attempt: true on commit.
   sim::Co<bool> ExecuteOnce(const TxRequest& request) {
+    if (mode_ == TxMode::kLockOneSided && transport_.SupportsOneSided()) {
+      co_return co_await ExecuteLockOnce(request);
+    }
     transport_failure_ = false;
     // ---- Phase 1: execution ----
     const size_t nr = request.reads.size();
     const size_t nw = request.writes.size();
-    std::vector<TxCall> calls(nr + nw);
-    for (size_t i = 0; i < nr; ++i) {
-      calls[i].server = PartitionOf(request.reads[i], num_servers_);
-      calls[i].rpc = kTxGet;
-      calls[i].SetReq(TxKeyReq{request.reads[i]});
+    std::vector<TxValueResp> read_values(nr);
+    std::vector<bool> read_done(nr, false);
+
+    // One-sided pre-pass: read-set records with a cached address are fetched
+    // by fl_read; anything unknown or contended drops to the RPC below.
+    const bool onesided_reads =
+        mode_ == TxMode::kOccOneSidedRead && transport_.SupportsOneSided();
+    if (onesided_reads) {
+      for (size_t i = 0; i < nr; ++i) {
+        const uint64_t key = request.reads[i];
+        const int server = PartitionOf(key, num_servers_);
+        if (!transport_.KnowsAddr(server, key)) {
+          continue;
+        }
+        uint64_t version = 0;
+        uint64_t version_addr = 0;
+        const TxTransport::OsRead r = co_await transport_.ReadRecord(
+            server, key, &version, &version_addr, read_values[i].value);
+        if (r == TxTransport::OsRead::kError) {
+          transport_failure_ = true;
+          stats_.aborted_other += 1;
+          co_return false;
+        }
+        if (r == TxTransport::OsRead::kOk) {
+          read_values[i].ok = true;
+          read_values[i].version = version;
+          read_values[i].version_addr = version_addr;
+          read_done[i] = true;
+        }
+      }
     }
+
+    std::vector<TxCall> calls;
+    std::vector<size_t> read_call_idx;  // read index served by calls[c]
+    calls.reserve(nr + nw);
+    for (size_t i = 0; i < nr; ++i) {
+      if (read_done[i]) {
+        continue;
+      }
+      TxCall call;
+      call.server = PartitionOf(request.reads[i], num_servers_);
+      call.rpc = kTxGet;
+      call.SetReq(TxKeyReq{request.reads[i]});
+      calls.push_back(call);
+      read_call_idx.push_back(i);
+    }
+    const size_t n_read_calls = calls.size();
     for (size_t i = 0; i < nw; ++i) {
-      calls[nr + i].server = PartitionOf(request.writes[i], num_servers_);
-      calls[nr + i].rpc = kTxLockRead;
-      calls[nr + i].SetReq(TxKeyReq{request.writes[i]});
+      TxCall call;
+      call.server = PartitionOf(request.writes[i], num_servers_);
+      call.rpc = kTxLockRead;
+      call.SetReq(TxKeyReq{request.writes[i]});
+      calls.push_back(call);
     }
     co_await transport_.CallAll(calls.data(), calls.size());
 
-    std::vector<TxValueResp> read_values(nr);
     std::vector<TxValueResp> write_values(nw);
     std::vector<size_t> locked;
     bool failed = false;
-    for (size_t i = 0; i < nr + nw; ++i) {
+    for (size_t i = 0; i < calls.size(); ++i) {
       transport_failure_ |= !calls[i].ok;  // RPC itself timed out
     }
-    for (size_t i = 0; i < nr; ++i) {
-      if (!calls[i].GetResp(&read_values[i]) || !read_values[i].ok) {
+    for (size_t c = 0; c < n_read_calls; ++c) {
+      const size_t i = read_call_idx[c];
+      if (!calls[c].GetResp(&read_values[i]) || !read_values[i].ok) {
         failed = true;
+      } else if (onesided_reads) {
+        // The RPC response carries the record address: teach the cache.
+        transport_.LearnAddr(PartitionOf(request.reads[i], num_servers_),
+                             request.reads[i], read_values[i].version_addr);
       }
     }
     for (size_t i = 0; i < nw; ++i) {
-      if (calls[nr + i].GetResp(&write_values[i]) && write_values[i].ok) {
+      if (calls[n_read_calls + i].GetResp(&write_values[i]) &&
+          write_values[i].ok) {
         locked.push_back(i);
       } else {
         failed = true;
@@ -200,6 +277,198 @@ class TxCoordinator {
   }
 
  private:
+  // ---- TxMode::kLockOneSided: locks, installs and unlocks by one-sided ops.
+  //
+  // Phase 1a fetches every item (one-sided fast path with RPC fallback);
+  // phase 1b CAS-locks each write's version word at its *fetched* version, so
+  // acquisition doubles as write-set validation; phase 2 validates the read
+  // set as usual; phase 3 logs to replicas over RPC; phase 4 installs the new
+  // value with fl_write and releases the lock by fl_writing version+2. The
+  // same-lane FIFO guarantees the value lands before the version word flips.
+  sim::Co<bool> ExecuteLockOnce(const TxRequest& request) {
+    transport_failure_ = false;
+    const size_t nr = request.reads.size();
+    const size_t nw = request.writes.size();
+
+    // ---- Phase 1a: fetch ----
+    std::vector<TxValueResp> read_values(nr);
+    std::vector<TxValueResp> write_values(nw);
+    for (size_t i = 0; i < nr; ++i) {
+      if (!co_await FetchItem(request.reads[i], &read_values[i])) {
+        stats_.aborted_other += 1;
+        co_return false;
+      }
+    }
+    for (size_t i = 0; i < nw; ++i) {
+      if (!co_await FetchItem(request.writes[i], &write_values[i])) {
+        stats_.aborted_other += 1;
+        co_return false;
+      }
+    }
+
+    // ---- Phase 1b: CAS-lock the write set ----
+    std::vector<size_t> held;
+    for (size_t i = 0; i < nw; ++i) {
+      const int server = PartitionOf(request.writes[i], num_servers_);
+      if (write_values[i].version & kv::kLockBit) {
+        // The RPC fallback can return a record mid-write by someone else.
+        // CASing expected|lock -> expected|lock would "succeed" without
+        // owning anything, so treat a locked snapshot as a lock conflict.
+        co_await ReleaseLocks(request, write_values, held);
+        stats_.aborted_locks += 1;
+        co_return false;
+      }
+      const TxTransport::OsLock r = co_await transport_.LockRecord(
+          server, write_values[i].version_addr, write_values[i].version);
+      if (r == TxTransport::OsLock::kAcquired) {
+        held.push_back(i);
+        continue;
+      }
+      if (r == TxTransport::OsLock::kError) {
+        transport_failure_ = true;
+        stats_.aborted_other += 1;  // lock state unknown: abandon
+      } else {
+        co_await ReleaseLocks(request, write_values, held);
+        stats_.aborted_locks += 1;
+      }
+      co_return false;
+    }
+
+    // ---- Phase 2: validation (same skip rule as the RPC protocol) ----
+    if (nr > 0 && (nw > 0 || nr > 1)) {
+      bool all_valid = true;
+      for (size_t i = 0; i < nr && all_valid; ++i) {
+        bool valid = false;
+        const bool ok = co_await transport_.Validate(
+            PartitionOf(request.reads[i], num_servers_), request.reads[i],
+            read_values[i].version_addr, read_values[i].version, &valid);
+        transport_failure_ |= !ok;
+        all_valid = ok && valid;
+      }
+      if (!all_valid) {
+        if (!transport_failure_) {
+          co_await ReleaseLocks(request, write_values, held);
+          stats_.aborted_validation += 1;
+        } else {
+          stats_.aborted_other += 1;
+        }
+        co_return false;
+      }
+    }
+
+    if (nw == 0) {
+      stats_.committed += 1;
+      co_return true;  // read-only
+    }
+
+    // The application's deterministic update: increment the leading counter.
+    std::vector<TxValueResp> new_values = write_values;
+    for (size_t i = 0; i < nw; ++i) {
+      uint64_t counter = 0;
+      std::memcpy(&counter, new_values[i].value, 8);
+      counter += 1;
+      std::memcpy(new_values[i].value, &counter, 8);
+    }
+
+    // ---- Phase 3: logging to replicas (RPC: replicas use their CPU) ----
+    if (replication_ > 1) {
+      std::vector<TxCall> log_calls;
+      for (size_t i = 0; i < nw; ++i) {
+        const int partition = PartitionOf(request.writes[i], num_servers_);
+        for (int r = 1; r < replication_; ++r) {
+          TxCall call;
+          call.server = (partition + r) % num_servers_;
+          call.rpc = kTxReplicate;
+          TxReplicateReq req;
+          req.key = request.writes[i];
+          req.version = write_values[i].version + 2;
+          std::memcpy(req.value, new_values[i].value, kTxMaxValue);
+          call.SetReq(req);
+          log_calls.push_back(call);
+        }
+      }
+      co_await transport_.CallAll(log_calls.data(), log_calls.size());
+      for (const TxCall& call : log_calls) {
+        TxAckResp ack;
+        if (!call.GetResp(&ack) || !ack.ok) {
+          transport_failure_ |= !call.ok;
+          if (!transport_failure_) {
+            co_await ReleaseLocks(request, write_values, held);
+          }
+          stats_.aborted_other += 1;
+          co_return false;
+        }
+      }
+    }
+
+    // ---- Phase 4: one-sided install + unlock ----
+    for (size_t i = 0; i < nw; ++i) {
+      const int server = PartitionOf(request.writes[i], num_servers_);
+      if (!co_await transport_.WriteRecordValue(
+              server, write_values[i].version_addr, new_values[i].value,
+              kTxMaxValue) ||
+          !co_await transport_.WriteRecordVersion(
+              server, write_values[i].version_addr,
+              write_values[i].version + 2)) {
+        // The install may or may not have landed: abandon, as with an RPC
+        // timeout mid-commit.
+        transport_failure_ = true;
+        stats_.aborted_other += 1;
+        co_return false;
+      }
+    }
+    stats_.committed += 1;
+    co_return true;
+  }
+
+  // One item of the lock-mode read phase: fl_read when the address is known,
+  // else a kTxGet RPC whose response teaches the address for next time.
+  sim::Co<bool> FetchItem(uint64_t key, TxValueResp* out) {
+    const int server = PartitionOf(key, num_servers_);
+    if (transport_.KnowsAddr(server, key)) {
+      uint64_t version = 0;
+      uint64_t version_addr = 0;
+      const TxTransport::OsRead r = co_await transport_.ReadRecord(
+          server, key, &version, &version_addr, out->value);
+      if (r == TxTransport::OsRead::kOk) {
+        out->ok = true;
+        out->version = version;
+        out->version_addr = version_addr;
+        co_return true;
+      }
+      if (r == TxTransport::OsRead::kError) {
+        transport_failure_ = true;
+        co_return false;
+      }
+      // kNoAddr / kContended: the RPC path serializes against writers.
+    }
+    TxCall call;
+    call.server = server;
+    call.rpc = kTxGet;
+    call.SetReq(TxKeyReq{key});
+    co_await transport_.CallAll(&call, 1);
+    transport_failure_ |= !call.ok;
+    if (!call.GetResp(out) || !out->ok) {
+      co_return false;
+    }
+    transport_.LearnAddr(server, key, out->version_addr);
+    co_return true;
+  }
+
+  // Undo for lock-mode aborts: fl_write the *original* (even) version back
+  // onto each held lock word, clearing the lock bit without bumping.
+  sim::Co<void> ReleaseLocks(const TxRequest& request,
+                             const std::vector<TxValueResp>& write_values,
+                             const std::vector<size_t>& held) {
+    for (const size_t i : held) {
+      const int server = PartitionOf(request.writes[i], num_servers_);
+      if (!co_await transport_.WriteRecordVersion(
+              server, write_values[i].version_addr, write_values[i].version)) {
+        transport_failure_ = true;  // lock may be stuck: abandon retries
+      }
+    }
+  }
+
   sim::Co<void> Unlock(const TxRequest& request, const std::vector<size_t>& locked) {
     if (locked.empty()) {
       co_return;
@@ -217,6 +486,7 @@ class TxCoordinator {
   TxTransport& transport_;
   const int num_servers_;
   const int replication_;
+  const TxMode mode_;
   TxnStats stats_;
   bool transport_failure_ = false;
 };

@@ -15,9 +15,11 @@
 #define FLOCK_TXN_TRANSPORT_H_
 
 #include <cstring>
+#include <unordered_map>
 #include <vector>
 
 #include "src/baselines/udrpc.h"
+#include "src/flock/alock.h"
 #include "src/flock/runtime.h"
 #include "src/txn/protocol.h"
 
@@ -60,6 +62,48 @@ class TxTransport {
   // RPC-based ones.
   virtual sim::Co<bool> Validate(int server, uint64_t key, uint64_t version_addr,
                                  uint64_t expected, bool* valid) = 0;
+
+  // ---- one-sided data plane (TxMode::kOccOneSidedRead / kLockOneSided) ----
+  // RPC-only transports (UD has no one-sided verbs — Table 1) keep the
+  // defaults: not supported, every hook degenerates to "use the RPC path".
+
+  // Outcome of a one-sided record read (seqlock over [version | value]).
+  enum class OsRead {
+    kOk,         // stable, unlocked snapshot delivered
+    kNoAddr,     // record address not cached: issue the RPC (and LearnAddr)
+    kContended,  // a writer kept colliding: issue the RPC
+    kError,      // transport failure (dead lane/QP)
+  };
+  // Outcome of a one-sided version-word write lock (CAS v -> v|lock).
+  enum class OsLock { kAcquired, kMiss, kError };
+
+  virtual bool SupportsOneSided() const { return false; }
+  // Files the record address carried by a kTxGet/kTxLockRead response.
+  virtual void LearnAddr(int server, uint64_t key, uint64_t version_addr) {}
+  virtual bool KnowsAddr(int server, uint64_t key) const { return false; }
+  // fl_read of the whole record; validated by re-reading the version word.
+  virtual sim::Co<OsRead> ReadRecord(int server, uint64_t key,
+                                     uint64_t* version, uint64_t* version_addr,
+                                     uint8_t value[kTxMaxValue]) {
+    co_return OsRead::kNoAddr;
+  }
+  // ALock writer path on the version word: CAS expected -> expected|lock.
+  // kMiss covers both a concurrent holder and a moved version.
+  virtual sim::Co<OsLock> LockRecord(int server, uint64_t version_addr,
+                                     uint64_t expected_version) {
+    co_return OsLock::kError;
+  }
+  // Install/release under a held lock: fl_write the value bytes, then the
+  // version word (same lane, so the value lands before the lock releases).
+  // False means transport failure.
+  virtual sim::Co<bool> WriteRecordValue(int server, uint64_t version_addr,
+                                         const uint8_t* value, uint32_t len) {
+    co_return false;
+  }
+  virtual sim::Co<bool> WriteRecordVersion(int server, uint64_t version_addr,
+                                           uint64_t version) {
+    co_return false;
+  }
 };
 
 // ---- FlockTX ----
@@ -72,7 +116,12 @@ class FlockTxTransport : public TxTransport {
         thread_(thread),
         connections_(std::move(connections)),
         server_mrs_(std::move(server_mrs)) {
-    read_slot_ = runtime_.cluster().mem(runtime_.node()).Alloc(8, 8);
+    fabric::MemorySpace& mem = runtime_.cluster().mem(runtime_.node());
+    read_slot_ = mem.Alloc(8, 8);
+    record_slot_ = mem.Alloc(8 + kTxMaxValue, 8);
+    value_slot_ = mem.Alloc(kTxMaxValue, 8);
+    version_slot_ = mem.Alloc(8, 8);
+    cas_slot_ = mem.Alloc(8, 8);
   }
 
   sim::Co<void> CallAll(TxCall* calls, size_t count) override {
@@ -107,10 +156,127 @@ class FlockTxTransport : public TxTransport {
     co_return true;
   }
 
+  // ---- one-sided data plane ----
+  struct OsStats {
+    uint64_t reads = 0;          // one-sided record reads accepted
+    uint64_t read_retries = 0;   // locked/changed snapshots rejected
+    uint64_t read_fallbacks = 0; // kNoAddr/kContended handed to the RPC path
+    uint64_t locks = 0;          // version-word CAS locks acquired
+    uint64_t lock_misses = 0;
+    uint64_t installs = 0;       // value+version installs under a held lock
+  };
+  const OsStats& os_stats() const { return os_stats_; }
+
+  bool SupportsOneSided() const override { return true; }
+
+  void LearnAddr(int server, uint64_t key, uint64_t version_addr) override {
+    addr_cache_[key] = version_addr;
+  }
+  bool KnowsAddr(int server, uint64_t key) const override {
+    return addr_cache_.count(key) != 0;
+  }
+
+  sim::Co<OsRead> ReadRecord(int server, uint64_t key, uint64_t* version,
+                             uint64_t* version_addr,
+                             uint8_t value[kTxMaxValue]) override {
+    const auto it = addr_cache_.find(key);
+    if (it == addr_cache_.end()) {
+      os_stats_.read_fallbacks += 1;
+      co_return OsRead::kNoAddr;
+    }
+    const uint64_t addr = it->second;
+    const RemoteMr* mr = FindMr(server, addr, 8 + kTxMaxValue);
+    if (mr == nullptr) {
+      os_stats_.read_fallbacks += 1;
+      co_return OsRead::kNoAddr;
+    }
+    Connection* conn = connections_[static_cast<size_t>(server)];
+    fabric::MemorySpace& mem = runtime_.cluster().mem(runtime_.node());
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (co_await conn->Read(thread_, record_slot_, addr, 8 + kTxMaxValue,
+                              *mr) != verbs::WcStatus::kSuccess) {
+        co_return OsRead::kError;
+      }
+      uint64_t v1 = 0;
+      mem.Read(record_slot_, &v1, 8);
+      if (v1 & kv::kLockBit) {
+        os_stats_.read_retries += 1;
+        continue;
+      }
+      mem.Read(record_slot_ + 8, value, kTxMaxValue);
+      // Seqlock validation: the version word must not have moved.
+      if (co_await conn->Read(thread_, record_slot_, addr, 8, *mr) !=
+          verbs::WcStatus::kSuccess) {
+        co_return OsRead::kError;
+      }
+      uint64_t v2 = 0;
+      mem.Read(record_slot_, &v2, 8);
+      if (v2 != v1) {
+        os_stats_.read_retries += 1;
+        continue;
+      }
+      *version = v1;
+      *version_addr = addr;
+      os_stats_.reads += 1;
+      co_return OsRead::kOk;
+    }
+    os_stats_.read_fallbacks += 1;
+    co_return OsRead::kContended;
+  }
+
+  sim::Co<OsLock> LockRecord(int server, uint64_t version_addr,
+                             uint64_t expected_version) override {
+    const RemoteMr* mr = FindMr(server, version_addr, 8);
+    if (mr == nullptr) {
+      co_return OsLock::kError;
+    }
+    verbs::WcStatus status = verbs::WcStatus::kSuccess;
+    // cas_slot_: transports share a FlockThread across worker coroutines, so
+    // the CAS result must land in a slot this transport owns.
+    const bool acquired = co_await VersionTryLock(
+        *connections_[static_cast<size_t>(server)], thread_, version_addr,
+        expected_version, *mr, &status, cas_slot_);
+    if (status != verbs::WcStatus::kSuccess) {
+      co_return OsLock::kError;
+    }
+    if (!acquired) {
+      os_stats_.lock_misses += 1;
+      co_return OsLock::kMiss;
+    }
+    os_stats_.locks += 1;
+    co_return OsLock::kAcquired;
+  }
+
+  sim::Co<bool> WriteRecordValue(int server, uint64_t version_addr,
+                                 const uint8_t* value, uint32_t len) override {
+    const RemoteMr* mr = FindMr(server, version_addr, 8 + len);
+    if (mr == nullptr) {
+      co_return false;
+    }
+    fabric::MemorySpace& mem = runtime_.cluster().mem(runtime_.node());
+    mem.Write(value_slot_, value, len);
+    co_return co_await connections_[static_cast<size_t>(server)]->Write(
+        thread_, value_slot_, version_addr + 8, len, *mr) ==
+        verbs::WcStatus::kSuccess;
+  }
+
+  sim::Co<bool> WriteRecordVersion(int server, uint64_t version_addr,
+                                   uint64_t version) override {
+    const RemoteMr* mr = FindMr(server, version_addr, 8);
+    if (mr == nullptr) {
+      co_return false;
+    }
+    os_stats_.installs += 1;
+    co_return co_await VersionUnlock(
+        *connections_[static_cast<size_t>(server)], thread_,
+        runtime_.cluster().mem(runtime_.node()), version_slot_, version_addr,
+        version, *mr) == verbs::WcStatus::kSuccess;
+  }
+
  private:
-  const RemoteMr* FindMr(int server, uint64_t addr) const {
+  const RemoteMr* FindMr(int server, uint64_t addr, uint64_t len = 8) const {
     for (const RemoteMr& mr : server_mrs_[static_cast<size_t>(server)]) {
-      if (addr >= mr.addr && addr + 8 <= mr.addr + mr.length) {
+      if (addr >= mr.addr && addr + len <= mr.addr + mr.length) {
         return &mr;
       }
     }
@@ -122,6 +288,14 @@ class FlockTxTransport : public TxTransport {
   std::vector<Connection*> connections_;
   std::vector<std::vector<RemoteMr>> server_mrs_;
   uint64_t read_slot_ = 0;
+  // One-sided scratch (per transport instance == per coroutine, so the
+  // landing buffers are never re-entrant).
+  uint64_t record_slot_ = 0;
+  uint64_t value_slot_ = 0;
+  uint64_t version_slot_ = 0;
+  uint64_t cas_slot_ = 0;
+  std::unordered_map<uint64_t, uint64_t> addr_cache_;  // key -> record addr
+  OsStats os_stats_;
 };
 
 // ---- FaSST-like ----

@@ -60,6 +60,13 @@ WcStatus Qp::Validate(const SendWr& wr) const {
       }
       break;
   }
+  if (IsAtomic(wr.opcode) && (wr.remote_addr % 8 != 0)) {
+    // Real RNICs reject atomics on targets that are not 8-byte aligned; fail
+    // the post synchronously so a misaligned WR never reaches the responder
+    // (the device-side alignment assert below then only guards internal
+    // callers that bypass the post path).
+    return WcStatus::kQpError;
+  }
   if (type_ == QpType::kUd) {
     // UD datagrams carry a 40 B GRH inside the MTU; larger payloads must be
     // fragmented by software (the limitation Table 1 calls out).
@@ -222,6 +229,11 @@ sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {
   }
 
   stats_.tx_msgs++;
+  if (wr.opcode == Opcode::kRead) {
+    stats_.tx_reads++;
+  } else if (IsAtomic(wr.opcode)) {
+    stats_.tx_atomics++;
+  }
   stats_.tx_bytes += outbound;
   stats_.tx_packets += packets;
   stats_.tx_wire_bytes += outbound + uint64_t{packets} * cost_.wire_overhead_bytes;

@@ -58,6 +58,8 @@ class Device {
     uint64_t tx_bytes = 0;         // payload bytes transmitted
     uint64_t tx_wire_bytes = 0;    // payload + per-packet framing
     uint64_t tx_packets = 0;
+    uint64_t tx_reads = 0;         // one-sided READ requests issued
+    uint64_t tx_atomics = 0;       // FetchAdd/CmpSwap requests issued
     uint64_t rx_msgs = 0;
     uint64_t rx_packets = 0;
     uint64_t ud_drops = 0;         // UD arrivals with no posted receive

@@ -1,0 +1,178 @@
+// ALock-style reader/writer lock over one-sided atomics (src/flock/alock.h):
+// mutual exclusion, reader sharing, undo-on-collision, and the version-word
+// try-lock helpers the lock-based FlockTX variant builds on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/flock/alock.h"
+#include "src/flock/flock.h"
+
+namespace flock {
+namespace {
+
+struct LockWorld {
+  explicit LockWorld(int nodes = 2)
+      : cluster(verbs::Cluster::Config{.num_nodes = nodes, .cores_per_node = 8}) {
+    FlockConfig server_cfg;
+    server = std::make_unique<FlockRuntime>(cluster, 0, server_cfg);
+    server->StartServer(2);
+    for (int n = 1; n < nodes; ++n) {
+      FlockConfig client_cfg;
+      clients.push_back(std::make_unique<FlockRuntime>(cluster, n, client_cfg));
+      clients.back()->StartClient();
+    }
+  }
+
+  uint64_t ReadWord(uint64_t addr) {
+    uint64_t value = 0;
+    cluster.mem(0).Read(addr, &value, 8);
+    return value;
+  }
+
+  verbs::Cluster cluster;
+  std::unique_ptr<FlockRuntime> server;
+  std::vector<std::unique_ptr<FlockRuntime>> clients;
+};
+
+TEST(ALockTest, WriterExcludesReadersAndWriters) {
+  LockWorld world;
+  Connection* conn = world.clients[0]->Connect(*world.server, 2);
+  FlockThread* t1 = world.clients[0]->CreateThread(0);
+  FlockThread* t2 = world.clients[0]->CreateThread(1);
+  const uint64_t word = world.cluster.mem(0).Alloc(8, 8);
+  RemoteMr mr = conn->AttachMreg(word, 8);
+  RemoteRwLock lock(*conn, word, mr);
+
+  bool finished = false;
+  auto app = [&]() -> sim::Co<void> {
+    EXPECT_TRUE(co_await lock.WriterAcquire(*t1));
+    EXPECT_EQ(world.ReadWord(word), RemoteRwLock::kWriterBit);
+    // While the writer holds the word, neither role can get in.
+    EXPECT_FALSE(co_await lock.ReaderAcquire(*t2, /*max_attempts=*/3));
+    EXPECT_FALSE(co_await lock.WriterAcquire(*t2, /*max_attempts=*/3));
+    // The failed reader withdrew its optimistic stakes: count is back to 0.
+    EXPECT_EQ(world.ReadWord(word), RemoteRwLock::kWriterBit);
+    EXPECT_TRUE(co_await lock.WriterRelease(*t1));
+    EXPECT_EQ(world.ReadWord(word), 0u);
+
+    // Readers share; a writer cannot enter while any reader remains.
+    EXPECT_TRUE(co_await lock.ReaderAcquire(*t1));
+    EXPECT_TRUE(co_await lock.ReaderAcquire(*t2));
+    EXPECT_EQ(world.ReadWord(word), 2u);
+    EXPECT_FALSE(co_await lock.WriterAcquire(*t1, /*max_attempts=*/3));
+    EXPECT_TRUE(co_await lock.ReaderRelease(*t1));
+    EXPECT_FALSE(co_await lock.WriterAcquire(*t1, /*max_attempts=*/3));
+    EXPECT_TRUE(co_await lock.ReaderRelease(*t2));
+    EXPECT_TRUE(co_await lock.WriterAcquire(*t1));
+    EXPECT_TRUE(co_await lock.WriterRelease(*t1));
+    EXPECT_EQ(world.ReadWord(word), 0u);
+    finished = true;
+  };
+  world.cluster.sim().Spawn(sim::RunClosure(app));
+  world.cluster.sim().RunFor(50 * kMillisecond);
+  EXPECT_TRUE(finished);
+}
+
+// Contention stress: many threads mixing shared and exclusive acquisitions
+// must never observe a writer alongside any other holder, and the lock word
+// must drain back to zero. The critical sections burn simulated CPU so
+// holders genuinely overlap in time.
+TEST(ALockTest, MixedContentionPreservesInvariants) {
+  LockWorld world(3);
+  const uint64_t word = world.cluster.mem(0).Alloc(8, 8);
+  int readers_in = 0;
+  int writers_in = 0;
+  int completed = 0;
+  const int kThreads = 6;
+  const int kOpsPerThread = 12;
+
+  for (int t = 0; t < kThreads; ++t) {
+    FlockRuntime& rt = *world.clients[t % world.clients.size()];
+    Connection* conn = rt.Connect(*world.server, 2);
+    FlockThread* thread = rt.CreateThread(t % 4);
+    RemoteMr mr = conn->AttachMreg(word, 8);
+    auto app = [&world, conn, thread, word, mr, t, &readers_in, &writers_in,
+                &completed]() -> sim::Co<void> {
+      RemoteRwLock lock(*conn, word, mr);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const bool write = (i + t) % 3 == 0;
+        if (write) {
+          if (!co_await lock.WriterAcquire(*thread, /*max_attempts=*/1024)) {
+            continue;
+          }
+          writers_in += 1;
+          EXPECT_EQ(writers_in, 1);
+          EXPECT_EQ(readers_in, 0);
+          co_await thread->core().Work(400);
+          writers_in -= 1;
+          EXPECT_TRUE(co_await lock.WriterRelease(*thread));
+        } else {
+          if (!co_await lock.ReaderAcquire(*thread, /*max_attempts=*/1024)) {
+            continue;
+          }
+          readers_in += 1;
+          EXPECT_EQ(writers_in, 0);
+          co_await thread->core().Work(400);
+          readers_in -= 1;
+          EXPECT_TRUE(co_await lock.ReaderRelease(*thread));
+        }
+        completed += 1;
+      }
+    };
+    world.cluster.sim().Spawn(sim::RunClosure(app));
+  }
+  world.cluster.sim().RunFor(100 * kMillisecond);
+  EXPECT_GT(completed, kThreads * kOpsPerThread / 2);
+  EXPECT_EQ(readers_in, 0);
+  EXPECT_EQ(writers_in, 0);
+  uint64_t final_word = ~uint64_t{0};
+  world.cluster.mem(0).Read(word, &final_word, 8);
+  EXPECT_EQ(final_word, 0u);
+}
+
+// Version-word try-lock helpers: the CAS must only succeed against the exact
+// unlocked version it read, and unlock publishes the new version via fl_write.
+TEST(ALockTest, VersionTryLockMatchesKvEncoding) {
+  LockWorld world;
+  Connection* conn = world.clients[0]->Connect(*world.server, 2);
+  FlockThread* thread = world.clients[0]->CreateThread(0);
+  const uint64_t word = world.cluster.mem(0).Alloc(8, 8);
+  const uint64_t scratch = world.cluster.mem(1).Alloc(8, 8);
+  const uint64_t v0 = 4;  // even: unlocked
+  world.cluster.mem(0).Write(word, &v0, 8);
+  RemoteMr mr = conn->AttachMreg(word, 8);
+  fabric::MemorySpace& local = world.cluster.mem(1);
+
+  bool finished = false;
+  auto app = [&]() -> sim::Co<void> {
+    EXPECT_TRUE(co_await VersionTryLock(*conn, *thread, word, v0, mr));
+    EXPECT_EQ(world.ReadWord(word), v0 | kVersionLockBit);
+    // Locked: a second try-lock (even with the right base version) misses.
+    verbs::WcStatus status = verbs::WcStatus::kQpError;
+    EXPECT_FALSE(co_await VersionTryLock(*conn, *thread, word, v0, mr, &status));
+    EXPECT_EQ(status, verbs::WcStatus::kSuccess);  // clean miss, not transport
+    // Commit: publish v0 + 2.
+    EXPECT_EQ(co_await VersionUnlock(*conn, *thread, local, scratch, word,
+                                     v0 + 2, mr),
+              verbs::WcStatus::kSuccess);
+    EXPECT_EQ(world.ReadWord(word), v0 + 2);
+    // A CAS against the stale pre-commit version must now miss too.
+    EXPECT_FALSE(co_await VersionTryLock(*conn, *thread, word, v0, mr));
+    EXPECT_EQ(world.ReadWord(word), v0 + 2);
+    // Abort path: lock then restore the original version unchanged.
+    EXPECT_TRUE(co_await VersionTryLock(*conn, *thread, word, v0 + 2, mr));
+    EXPECT_EQ(co_await VersionUnlock(*conn, *thread, local, scratch, word,
+                                     v0 + 2, mr),
+              verbs::WcStatus::kSuccess);
+    EXPECT_EQ(world.ReadWord(word), v0 + 2);
+    finished = true;
+  };
+  world.cluster.sim().Spawn(sim::RunClosure(app));
+  world.cluster.sim().RunFor(50 * kMillisecond);
+  EXPECT_TRUE(finished);
+}
+
+}  // namespace
+}  // namespace flock

@@ -129,6 +129,125 @@ TEST(VerbsFaultTest, InjectedErrorReportsErrorButDeliversPayload) {
   EXPECT_EQ(out, value);
 }
 
+// One-sided ops under faults: READs and atomics flush on a killed QP and
+// surface injected error CQEs, exactly like the send path — this is what the
+// flock-level memop quarantine (and the one-sided data plane above it)
+// relies on.
+TEST(VerbsFaultTest, KilledQpFlushesReadsAndAtomics) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2});
+  verbs::Cq* scq0 = cluster.device(0).CreateCq();
+  verbs::Cq* rcq0 = cluster.device(0).CreateCq();
+  verbs::Cq* scq1 = cluster.device(1).CreateCq();
+  verbs::Cq* rcq1 = cluster.device(1).CreateCq();
+  auto [qp0, qp1] = cluster.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+  (void)qp1;
+
+  const uint64_t local = cluster.mem(0).Alloc(16);
+  const uint64_t remote = cluster.mem(1).Alloc(16);
+  verbs::Mr mr = cluster.device(1).RegisterMr(remote, 16);
+  const uint64_t zero = 0;
+  cluster.mem(1).Write(remote, &zero, 8);
+
+  verbs::SendWr read;
+  read.wr_id = 1;
+  read.opcode = verbs::Opcode::kRead;
+  read.local_addr = local;
+  read.length = 8;
+  read.remote_addr = remote;
+  read.rkey = mr.rkey;
+  ASSERT_EQ(qp0->PostSend(read), verbs::WcStatus::kSuccess);
+
+  verbs::SendWr cas;
+  cas.wr_id = 2;
+  cas.opcode = verbs::Opcode::kCmpSwap;
+  cas.local_addr = local + 8;
+  cas.length = 8;
+  cas.remote_addr = remote;
+  cas.rkey = mr.rkey;
+  cas.compare = 0;
+  cas.swap_or_add = 1;
+  ASSERT_EQ(qp0->PostSend(cas), verbs::WcStatus::kSuccess);
+
+  cluster.fault().KillQp(0, qp0->qpn());
+  cluster.sim().Run();
+
+  // Both queued one-sided WRs flush with an error CQE; the remote word is
+  // untouched (the CAS never executed).
+  verbs::Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 1u);
+  EXPECT_EQ(wc.status, verbs::WcStatus::kFlushError);
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 2u);
+  EXPECT_EQ(wc.status, verbs::WcStatus::kFlushError);
+  uint64_t word = ~0ULL;
+  cluster.mem(1).Read(remote, &word, 8);
+  EXPECT_EQ(word, 0u);
+
+  // Fresh posts against the dead QP are rejected synchronously.
+  read.wr_id = 3;
+  EXPECT_EQ(qp0->PostSend(read), verbs::WcStatus::kQpError);
+  cas.wr_id = 4;
+  EXPECT_EQ(qp0->PostSend(cas), verbs::WcStatus::kQpError);
+}
+
+TEST(VerbsFaultTest, InjectedErrorsSurfaceOnReadAndCmpSwap) {
+  verbs::Cluster cluster(verbs::Cluster::Config{.num_nodes = 2});
+  verbs::Cq* scq0 = cluster.device(0).CreateCq();
+  verbs::Cq* rcq0 = cluster.device(0).CreateCq();
+  verbs::Cq* scq1 = cluster.device(1).CreateCq();
+  verbs::Cq* rcq1 = cluster.device(1).CreateCq();
+  auto [qp0, qp1] = cluster.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+  (void)qp1;
+
+  const uint64_t local = cluster.mem(0).Alloc(8);
+  const uint64_t remote = cluster.mem(1).Alloc(8);
+  verbs::Mr mr = cluster.device(1).RegisterMr(remote, 8);
+
+  cluster.fault().InjectSendErrors(0, qp0->qpn(), verbs::WcStatus::kRnrError, 2);
+
+  verbs::SendWr read;
+  read.wr_id = 11;
+  read.opcode = verbs::Opcode::kRead;
+  read.local_addr = local;
+  read.length = 8;
+  read.remote_addr = remote;
+  read.rkey = mr.rkey;
+  ASSERT_EQ(qp0->PostSend(read), verbs::WcStatus::kSuccess);
+  cluster.sim().Run();
+
+  verbs::Completion wc;
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 11u);
+  EXPECT_EQ(wc.status, verbs::WcStatus::kRnrError);
+
+  verbs::SendWr cas;
+  cas.wr_id = 12;
+  cas.opcode = verbs::Opcode::kCmpSwap;
+  cas.local_addr = local;
+  cas.length = 8;
+  cas.remote_addr = remote;
+  cas.rkey = mr.rkey;
+  cas.compare = 0;
+  cas.swap_or_add = 7;
+  ASSERT_EQ(qp0->PostSend(cas), verbs::WcStatus::kSuccess);
+  cluster.sim().Run();
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 12u);
+  EXPECT_EQ(wc.status, verbs::WcStatus::kRnrError);
+  EXPECT_EQ(cluster.fault().stats().injected_errors, 2u);
+
+  // The burst is consumed and the QP stays healthy: the next read completes
+  // cleanly (one-sided callers treat the errored status as "retry elsewhere",
+  // so clean recovery on the same QP matters).
+  read.wr_id = 13;
+  ASSERT_EQ(qp0->PostSend(read), verbs::WcStatus::kSuccess);
+  cluster.sim().Run();
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 13u);
+  EXPECT_EQ(wc.status, verbs::WcStatus::kSuccess);
+}
+
 // ---------------------------------------------------------------------------
 // Flock runtime
 // ---------------------------------------------------------------------------
@@ -257,6 +376,85 @@ TEST(FlockFaultTest, AllLanesDeadFailsRpcsAndReclaimsSender) {
   // The server reclaims the dead sender wholesale.
   EXPECT_GE(world.server->server_stats().dead_senders, 1u);
   EXPECT_GE(world.server->server_stats().lane_failures, 2u);
+}
+
+// One-sided memops on a killed lane: the submitting coroutine gets an error
+// status (never a hang), the lane is quarantined, and RPC traffic on the
+// same connection heals onto the surviving lane — the contract the one-sided
+// KV/index/txn paths rely on for their fall-back-to-RPC behavior. The RPCs
+// resume immediately after the kill: a sender that goes silent with a failed
+// lane is reclaimed wholesale by the dead-sender sweep (see
+// AllLanesDeadFailsRpcsAndReclaimsSender), so the supported recovery path is
+// live traffic, not idle-then-resume.
+TEST(FlockFaultTest, MemOpOnKilledLaneErrorsQuarantinesAndRpcsSurvive) {
+  FaultWorld world;
+  Connection* conn = world.clients[0]->Connect(*world.server, 2);
+  FlockThread* thread = world.clients[0]->CreateThread(0);
+
+  const uint64_t remote = world.cluster.mem(0).Alloc(8, 8);
+  const uint64_t value = 0x5ca1ab1eULL;
+  world.cluster.mem(0).Write(remote, &value, 8);
+  const uint64_t local = world.cluster.mem(1).Alloc(8, 8);
+  const RemoteMr mr = conn->AttachMreg(remote, 8);
+
+  enum class Step { kStart, kWarm, kKilled, kDone };
+  Step step = Step::kStart;
+  int ok = 0, fail = 0;
+  auto memops = [&]() -> sim::Co<void> {
+    // Warm read: proves the one-sided path works before the fault.
+    EXPECT_EQ(co_await conn->Read(*thread, local, remote, 8, mr),
+              verbs::WcStatus::kSuccess);
+    uint64_t got = 0;
+    world.cluster.mem(1).Read(local, &got, 8);
+    EXPECT_EQ(got, value);
+    step = Step::kWarm;
+
+    // Wait for the host side to kill this thread's lane, then read again:
+    // the op must complete with a fatal (non-success) status, not hang.
+    while (step != Step::kKilled) {
+      co_await sim::Delay(world.cluster.sim(), 10 * kMicrosecond);
+    }
+    EXPECT_NE(co_await conn->Read(*thread, local, remote, 8, mr),
+              verbs::WcStatus::kSuccess);
+
+    // The quarantine repaired the connection: a retried memop (now routed to
+    // the surviving lane) succeeds.
+    uint64_t scratch = 0;
+    world.cluster.mem(1).Write(local, &scratch, 8);
+    EXPECT_EQ(co_await conn->Read(*thread, local, remote, 8, mr),
+              verbs::WcStatus::kSuccess);
+    world.cluster.mem(1).Read(local, &got, 8);
+    EXPECT_EQ(got, value);
+
+    // RPCs on the same thread migrate to the surviving lane.
+    for (int i = 0; i < 100; ++i) {
+      uint64_t payload = value + static_cast<uint64_t>(i);
+      std::vector<uint8_t> resp;
+      const bool rpc_ok = co_await conn->Call(
+          *thread, kEchoRpc, reinterpret_cast<const uint8_t*>(&payload), 8,
+          &resp);
+      if (rpc_ok && resp.size() == 8 &&
+          std::memcmp(resp.data(), &payload, 8) == 0) {
+        ++ok;
+      } else {
+        ++fail;
+      }
+    }
+    step = Step::kDone;
+  };
+  world.cluster.sim().Spawn(sim::RunClosure(memops));
+
+  world.cluster.sim().RunFor(1 * kMillisecond);
+  ASSERT_EQ(step, Step::kWarm);
+  world.cluster.fault().KillQp(/*node=*/1, conn->lane(0).qp->qpn());
+  step = Step::kKilled;
+  world.cluster.sim().RunFor(100 * kMillisecond);
+
+  EXPECT_EQ(step, Step::kDone);
+  EXPECT_EQ(conn->num_failed_lanes(), 1u);
+  EXPECT_GE(world.clients[0]->client_stats().lane_failures, 1u);
+  EXPECT_EQ(ok, 100);
+  EXPECT_EQ(fail, 0);
 }
 
 }  // namespace

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/common/rand.h"
+#include "src/flock/flock.h"
 #include "src/index/hydralist.h"
+#include "src/index/remote_mirror.h"
 
 namespace flock::index {
 namespace {
@@ -171,6 +174,159 @@ TEST(HydraListTest, CostGrowsSublinearlyWithSize) {
   const Nanos small = lookup_cost(5000);
   const Nanos large = lookup_cost(100000);
   EXPECT_LT(large, small * 5);
+}
+
+// ---------------------------------------------------------------------------
+// One-sided mirror (remote_mirror.h)
+// ---------------------------------------------------------------------------
+
+TEST(HydraListTest, VisitNodesCoversEverythingInAnchorOrder) {
+  HydraList list;
+  Nanos cpu = 0;
+  for (uint64_t k = 1; k <= 500; ++k) {
+    list.Insert(k * 3, k, &cpu);
+  }
+  size_t total = 0;
+  uint64_t last_anchor = 0;
+  size_t nodes = 0;
+  list.VisitNodes([&](uint64_t anchor, const uint64_t* keys,
+                      const uint64_t* values, size_t count) {
+    if (nodes > 0) {
+      EXPECT_GT(anchor, last_anchor);
+    }
+    last_anchor = anchor;
+    for (size_t i = 0; i + 1 < count; ++i) {
+      EXPECT_LT(keys[i], keys[i + 1]);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(values[i] * 3, keys[i]);
+    }
+    total += count;
+    ++nodes;
+  });
+  EXPECT_EQ(total, list.size());
+  EXPECT_EQ(nodes, list.data_nodes());
+}
+
+// 2-node world: node 0 hosts the index + mirror, node 1 reads one-sided.
+struct MirrorWorld {
+  MirrorWorld() : cluster(verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 8}) {
+    FlockConfig cfg;
+    server = std::make_unique<FlockRuntime>(cluster, 0, cfg);
+    server->StartServer(2);
+    client = std::make_unique<FlockRuntime>(cluster, 1, cfg);
+    client->StartClient();
+    conn = client->Connect(*server, 2);
+    thread = client->CreateThread(0);
+  }
+
+  std::unique_ptr<MirrorReader> MakeReader(const HydraMirror& mirror) {
+    const RemoteMr dir_mr = conn->AttachMreg(mirror.dir_addr(), mirror.dir_bytes());
+    const RemoteMr blocks_mr =
+        conn->AttachMreg(mirror.blocks_addr(), mirror.blocks_bytes());
+    return std::make_unique<MirrorReader>(*conn, cluster.mem(1),
+                                          mirror.dir_addr(), dir_mr, blocks_mr,
+                                          mirror.max_blocks());
+  }
+
+  verbs::Cluster cluster;
+  std::unique_ptr<FlockRuntime> server;
+  std::unique_ptr<FlockRuntime> client;
+  Connection* conn = nullptr;
+  FlockThread* thread = nullptr;
+};
+
+TEST(MirrorTest, OneSidedLookupsResolveAgainstSnapshot) {
+  MirrorWorld world;
+  HydraList list;
+  Nanos cpu = 0;
+  for (uint64_t k = 1; k <= 300; ++k) {
+    list.Insert(k * 5, k * 100, &cpu);
+  }
+  HydraMirror mirror(world.cluster.mem(0), 64);
+  EXPECT_EQ(mirror.Publish(list), list.data_nodes());
+  auto reader = world.MakeReader(mirror);
+
+  int hits = 0;
+  int absents = 0;
+  auto app = [&]() -> sim::Co<void> {
+    EXPECT_TRUE(co_await reader->RefreshDirectory(*world.thread));
+    for (uint64_t k = 1; k <= 300; ++k) {
+      uint64_t value = 0;
+      const MirrorReader::Outcome out =
+          co_await reader->Get(*world.thread, k * 5, &value);
+      if (out == MirrorReader::Outcome::kOk && value == k * 100) {
+        ++hits;
+      }
+    }
+    // Keys between the present ones are absent, not garbage.
+    for (uint64_t k = 1; k <= 50; ++k) {
+      const MirrorReader::Outcome out =
+          co_await reader->Get(*world.thread, k * 5 + 1, nullptr);
+      if (out == MirrorReader::Outcome::kAbsent) {
+        ++absents;
+      }
+    }
+  };
+  world.cluster.sim().Spawn(sim::RunClosure(app));
+  world.cluster.sim().RunFor(100 * kMillisecond);
+  EXPECT_EQ(hits, 300);
+  EXPECT_EQ(absents, 50);
+  EXPECT_EQ(reader->stats().ok, 300u);
+  // Lookups really were one-sided: no server RPC ran, only fl_reads.
+  EXPECT_GT(world.cluster.device(1).stats().tx_reads, 0u);
+}
+
+TEST(MirrorTest, RepublishNeverTearsReaders) {
+  // A writer keeps inserting and republishing while a one-sided reader spins
+  // on a fixed key set. Every kOk must deliver a value some publish made
+  // visible (value == key * 1000 + round), never a torn mix.
+  MirrorWorld world;
+  HydraList list;
+  Nanos cpu = 0;
+  constexpr uint64_t kKeys = 200;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    list.Insert(k, k * 1000, &cpu);
+  }
+  HydraMirror mirror(world.cluster.mem(0), 64);
+  mirror.Publish(list);
+  auto reader = world.MakeReader(mirror);
+
+  uint64_t round = 0;
+  bool stop = false;
+  auto writer = [&]() -> sim::Co<void> {
+    while (!stop) {
+      co_await sim::Delay(world.cluster.sim(), 5 * kMicrosecond);
+      ++round;
+      Nanos wcpu = 0;
+      for (uint64_t k = 1; k <= kKeys; ++k) {
+        list.Insert(k, k * 1000 + round, &wcpu);  // upsert
+      }
+      mirror.Publish(list);
+    }
+  };
+
+  int accepted = 0;
+  auto app = [&]() -> sim::Co<void> {
+    EXPECT_TRUE(co_await reader->RefreshDirectory(*world.thread));
+    for (int i = 0; i < 400; ++i) {
+      const uint64_t key = 1 + static_cast<uint64_t>(i) % kKeys;
+      uint64_t value = 0;
+      const MirrorReader::Outcome out =
+          co_await reader->Get(*world.thread, key, &value, 2);
+      if (out == MirrorReader::Outcome::kOk) {
+        EXPECT_EQ(value / 1000, key);
+        EXPECT_LE(value % 1000, round);
+        ++accepted;
+      }
+    }
+    stop = true;
+  };
+  world.cluster.sim().Spawn(sim::RunClosure(writer));
+  world.cluster.sim().Spawn(sim::RunClosure(app));
+  world.cluster.sim().RunFor(100 * kMillisecond);
+  EXPECT_TRUE(stop);
+  EXPECT_GT(accepted, 200);
 }
 
 }  // namespace

@@ -10,9 +10,11 @@
 #include "src/common/rand.h"
 #include "src/ctrl/control_plane.h"
 #include "src/ctrl/wire.h"
+#include "src/flock/flock.h"
 #include "src/flock/ring.h"
 #include "src/flock/wire.h"
 #include "src/kv/kvstore.h"
+#include "src/kv/remote_kv.h"
 #include "src/rnic/qp_cache.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
@@ -310,6 +312,112 @@ TEST_P(KvProperty, VersionMonotonicityAndLockHygiene) {
 INSTANTIATE_TEST_SUITE_P(Stores, KvProperty,
                          ::testing::Combine(::testing::Values(size_t{16}, size_t{1024}),
                                             ::testing::Values(8u, 40u, 128u)));
+
+// ---------------------------------------------------------------------------
+// One-sided seqlock protocol under randomized interleavings: a server-side
+// writer locks, scribbles a detectable mid-install pattern, dwells a random
+// time, then commits or aborts; concurrent one-sided readers with random
+// retry budgets must never accept a torn value, a locked version, or a
+// version that moves backwards — for any seed.
+// ---------------------------------------------------------------------------
+
+class RemoteKvFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RemoteKvFuzzProperty, RandomInterleavingsNeverLeakTornValues) {
+  constexpr int kKeys = 8;
+  constexpr uint32_t kValueSize = 16;
+  Rng rng(GetParam());
+  verbs::Cluster cluster(
+      verbs::Cluster::Config{.num_nodes = 2, .cores_per_node = 8});
+  kv::KvStore store(cluster.mem(0), 64, kValueSize);
+  FlockConfig cfg;
+  FlockRuntime server(cluster, 0, cfg);
+  server.StartServer(2);
+  FlockRuntime client(cluster, 1, cfg);
+  client.StartClient();
+  Connection* conn = client.Connect(server, 2);
+  FlockThread* thread = client.CreateThread(0);
+
+  std::vector<uint64_t> records(kKeys, 0);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    char value[kValueSize];
+    std::memset(value, static_cast<int>(k + 1), sizeof(value));
+    ASSERT_TRUE(store.Insert(k, value));
+    ASSERT_TRUE(store.Get(k, nullptr, nullptr, &records[k]));
+  }
+  kv::OneSidedReader reader(*conn, cluster.mem(1), kValueSize);
+  for (const auto& span : store.spans()) {
+    RemoteMr mr = conn->AttachMreg(span.addr, span.length);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      if (records[k] >= mr.addr &&
+          records[k] + 8 + kValueSize <= mr.addr + mr.length) {
+        reader.LearnAddr(k, records[k], mr);
+      }
+    }
+  }
+
+  // Writer: random key, random dwell under the lock (with 0xEE garbage in
+  // the value bytes), then commit a fresh pattern or abort (restoring the
+  // pre-lock bytes, as a real aborting writer that never installed would).
+  auto writer = [&]() -> sim::Proc {
+    for (int round = 0; round < 150; ++round) {
+      co_await sim::Delay(cluster.sim(),
+                          static_cast<Nanos>(rng.NextBelow(8000)));
+      const uint64_t k = rng.NextBelow(kKeys);
+      char before[kValueSize];
+      if (!store.TryLock(k, before, nullptr)) {
+        continue;
+      }
+      char garbage[kValueSize];
+      std::memset(garbage, 0xEE, sizeof(garbage));
+      cluster.mem(0).Write(records[k] + 8, garbage, kValueSize);
+      co_await sim::Delay(cluster.sim(),
+                          static_cast<Nanos>(rng.NextBelow(4000)));
+      if (rng.NextBelow(3) == 0) {
+        cluster.mem(0).Write(records[k] + 8, before, kValueSize);
+        FLOCK_CHECK(store.Unlock(k));
+      } else {
+        char next[kValueSize];
+        std::memset(next, 1 + static_cast<int>(rng.NextBelow(0x7F)),
+                    sizeof(next));
+        FLOCK_CHECK(store.UpdateAndUnlock(k, next));
+      }
+    }
+  };
+
+  int accepted = 0;
+  std::vector<uint64_t> last_version(kKeys, 0);
+  auto reads = [&]() -> sim::Co<void> {
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t k = rng.NextBelow(kKeys);
+      const int budget = static_cast<int>(rng.NextBelow(4));
+      char out[kValueSize] = {};
+      uint64_t version = 0;
+      const auto outcome = co_await reader.Get(*thread, k, out, &version, budget);
+      if (outcome != kv::OneSidedReader::Outcome::kOk) {
+        continue;
+      }
+      EXPECT_EQ(version & kv::kLockBit, 0u);
+      EXPECT_GE(version, last_version[k]) << "version went backwards";
+      last_version[k] = version;
+      for (uint32_t b = 1; b < kValueSize; ++b) {
+        EXPECT_EQ(out[b], out[0]) << "torn value escaped seqlock validation";
+      }
+      EXPECT_NE(static_cast<uint8_t>(out[0]), 0xEE)
+          << "mid-install garbage escaped seqlock validation";
+      ++accepted;
+    }
+  };
+  cluster.sim().Spawn(writer());
+  cluster.sim().Spawn(sim::RunClosure(reads));
+  cluster.sim().RunFor(100 * kMillisecond);
+  EXPECT_GT(accepted, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RemoteKvFuzzProperty,
+                         ::testing::Values(uint64_t{1}, uint64_t{7},
+                                           uint64_t{42}, uint64_t{1337},
+                                           uint64_t{0xDEADBEEF}));
 
 // ---------------------------------------------------------------------------
 // Control-plane handshake codec under hostile input: starting from a valid

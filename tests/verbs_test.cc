@@ -221,6 +221,51 @@ TEST_F(VerbsTest, UdSendReachesNamedDestination) {
   EXPECT_EQ(got, magic);
 }
 
+// Real RNICs reject atomics on targets that are not 8-byte aligned; the post
+// path must fail synchronously (kQpError) instead of crashing the responder.
+TEST_F(VerbsTest, MisalignedAtomicTargetRejectedAtPost) {
+  Cq* scq0 = cluster_.device(0).CreateCq();
+  Cq* rcq0 = cluster_.device(0).CreateCq();
+  Cq* scq1 = cluster_.device(1).CreateCq();
+  Cq* rcq1 = cluster_.device(1).CreateCq();
+  auto [qp0, qp1] = cluster_.ConnectRc(0, scq0, rcq0, 1, scq1, rcq1);
+  (void)qp1;
+
+  const uint64_t result = cluster_.mem(0).Alloc(8, 8);
+  const uint64_t word = cluster_.mem(1).Alloc(16, 8);
+  Mr mr = cluster_.device(1).RegisterMr(word, 16);
+
+  SendWr wr;
+  wr.opcode = Opcode::kFetchAdd;
+  wr.local_addr = result;
+  wr.remote_addr = word + 4;  // misaligned
+  wr.rkey = mr.rkey;
+  wr.swap_or_add = 1;
+  EXPECT_EQ(qp0->PostSend(wr), WcStatus::kQpError);
+  wr.opcode = Opcode::kCmpSwap;
+  wr.compare = 0;
+  EXPECT_EQ(qp0->PostSend(wr), WcStatus::kQpError);
+
+  // A batch containing a misaligned atomic is rejected whole (all-or-nothing)
+  // and reports the offending index; the aligned WR ahead of it must not be
+  // silently posted.
+  SendWr batch[2];
+  batch[0] = wr;
+  batch[0].remote_addr = word;  // aligned, valid
+  batch[1] = wr;
+  batch[1].remote_addr = word + 4;
+  size_t failed_index = 99;
+  EXPECT_EQ(qp0->PostSendBatch(batch, 2, &failed_index), WcStatus::kQpError);
+  EXPECT_EQ(failed_index, 1u);
+  EXPECT_EQ(qp0->send_queue_depth(), 0u);
+
+  // The aligned equivalents still flow, and the device accounts them.
+  batch[1].remote_addr = word + 8;
+  ASSERT_EQ(qp0->PostSendBatch(batch, 2, &failed_index), WcStatus::kSuccess);
+  cluster_.sim().Run();
+  EXPECT_EQ(cluster_.device(0).stats().tx_atomics, 2u);
+}
+
 // Table 1: transport capability matrix.
 TEST_F(VerbsTest, TransportCapabilityMatrix) {
   Cq* scq = cluster_.device(0).CreateCq();
