@@ -364,6 +364,36 @@ class JsonDump {
   bool written_ = false;
 };
 
+// End-of-run per-tenant census (DESIGN.md §15): one JSON row per registered
+// tenant with a canonical key set, so every tenancy-enabled bench reports the
+// same schema. Templated on the registry type (flock::tenant::TenantRegistry)
+// to keep this header free of flock includes, mirroring LaneCensus.
+template <typename RegistryT>
+inline void AppendTenantRows(const RegistryT& registry, double sim_seconds,
+                             JsonDump* dump) {
+  registry.ForEachTenant([&](auto id, const auto& policy, const auto& c,
+                             uint32_t live_connections, uint32_t live_lanes) {
+    JsonRow row;
+    row.Add("row", "tenant")
+        .Add("tenant", static_cast<uint64_t>(id))
+        .Add("weight", policy.weight)
+        .Add("rpcs", c.rpcs)
+        .Add("rpcs_per_sec", sim_seconds > 0 ? c.rpcs / sim_seconds : 0.0)
+        .Add("bytes", c.bytes)
+        .Add("credit_stalls", c.credit_stalls)
+        .Add("quota_stalls", c.quota_stalls)
+        .Add("throttle_events", c.throttle_events)
+        .Add("throttle_recoveries", c.throttle_recoveries)
+        .Add("over_quota_windows", c.over_quota_windows)
+        .Add("admission_rejects", c.admission_rejects)
+        .Add("admission_degrades", c.admission_degrades)
+        .Add("stamp_mismatches", c.stamp_mismatches)
+        .Add("live_connections", live_connections)
+        .Add("live_lanes", live_lanes);
+    dump->Row(row);
+  });
+}
+
 }  // namespace flock::bench
 
 #endif  // FLOCK_BENCH_BENCH_UTIL_H_

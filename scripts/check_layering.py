@@ -15,7 +15,7 @@ A module may include only strictly lower-ranked flock modules (plus its own
 header and the rank-free foundation headers config/ring/wire). In particular
 no mechanism module may include runtime.h — only runtime.cc and the umbrella
 flock.h may. Foundation libraries (src/common, src/sim, src/fabric,
-src/verbs, src/rnic, src/ctrl) must not include src/flock at all.
+src/verbs, src/rnic, src/tenant, src/ctrl) must not include src/flock at all.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -54,6 +54,7 @@ LOWER_LAYER_DIRS = [
     "src/fabric",
     "src/verbs",
     "src/rnic",
+    "src/tenant",
     "src/ctrl",
 ]
 

@@ -34,6 +34,13 @@ the onesided_crossover JSON dump: every swept cell must carry both an "rpc"
 and a "onesided" row, and one-sided point reads must beat the RPC path by
 >= --min-onesided-speedup at the 64B / 100%-read cell. Simulated-time gate,
 same as the storm gates: exact.
+
+Passing --tenant-isolation=PATH gates the multi-tenant service layer
+(DESIGN.md §15) from the tenant_isolation JSON dump: under every attack
+profile the victim tenant's p99 must stay within --max-victim-p99-ratio of
+its solo run and its throughput above --min-victim-tput-frac of solo, with
+zero victim failures, zero unknown-tenant rejects and zero leaked
+admission accounting. Simulated-time gate: exact.
 """
 
 import argparse
@@ -198,6 +205,54 @@ def check_conn_storm(path, min_improvement, max_p99_us):
     return failed
 
 
+def check_tenant_isolation(path, max_p99_ratio, min_tput_frac):
+    """Gate the multi-tenant service layer (DESIGN.md §15) from the
+    tenant_isolation JSON dump: victim p99/throughput bounded relative to its
+    solo baseline under every attack profile, no victim failures, no
+    unknown-tenant rejects, no leaked accounting. Simulated-time gate: exact."""
+    rows = load_rows(path)
+    solo = rows.get("solo")
+    if solo is None:
+        return [f"tenant_isolation:missing-solo ({path})"]
+    failed = []
+    solo_p99 = solo.get("victim_p99_ns", 0)
+    solo_rps = solo.get("victim_rps", 0)
+    print(f"\ntenant_isolation: solo victim p99 {solo_p99 / 1e3:.1f} us, "
+          f"{solo_rps:.0f} rps")
+    for name in ("hotloop", "oversized", "churn"):
+        row = rows.get(name)
+        if row is None:
+            failed.append(f"tenant_isolation:missing-{name}")
+            print(f"<< NO {name} ROW IN DUMP")
+            continue
+        p99 = row.get("victim_p99_ns", 0)
+        rps = row.get("victim_rps", 0)
+        ratio = p99 / solo_p99 if solo_p99 else 0.0
+        frac = rps / solo_rps if solo_rps else 0.0
+        print(f"  {name:<10} victim p99 {p99 / 1e3:.1f} us ({ratio:.2f}x "
+              f"solo), {rps:.0f} rps ({frac:.2f}x solo), attacker ok "
+              f"{row.get('attacker_ok', 0):.0f}")
+        if ratio > max_p99_ratio:
+            failed.append(f"tenant_isolation:p99:{name}")
+            print(f"<< VICTIM P99 ABOVE GATE: {ratio:.2f}x > "
+                  f"{max_p99_ratio:.2f}x solo")
+        if frac < min_tput_frac:
+            failed.append(f"tenant_isolation:tput:{name}")
+            print(f"<< VICTIM THROUGHPUT BELOW GATE: {frac:.2f}x < "
+                  f"{min_tput_frac:.2f}x solo")
+        if row.get("victim_fail", 0):
+            failed.append(f"tenant_isolation:victim-fail:{name}")
+            print(f"<< {row['victim_fail']:.0f} VICTIM RPCs FAILED")
+        if row.get("unknown_rejects", 0):
+            failed.append(f"tenant_isolation:unknown-rejects:{name}")
+            print(f"<< {row['unknown_rejects']:.0f} UNKNOWN-TENANT REJECTS")
+    if not failed:
+        print(f"tenant_isolation gate passed: victim p99 within "
+              f"{max_p99_ratio:.2f}x and throughput above "
+              f"{min_tput_frac:.2f}x solo under every attack")
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -236,6 +291,23 @@ def main():
         default=1.5,
         help="required one-sided/RPC throughput ratio at 64B, 100%% reads",
     )
+    parser.add_argument(
+        "--tenant-isolation",
+        default=None,
+        help="tenant_isolation JSON dump to gate (victim p99/tput vs solo)",
+    )
+    parser.add_argument(
+        "--max-victim-p99-ratio",
+        type=float,
+        default=2.0,
+        help="ceiling on victim p99 relative to its solo run, per attack",
+    )
+    parser.add_argument(
+        "--min-victim-tput-frac",
+        type=float,
+        default=0.8,
+        help="floor on victim throughput relative to its solo run, per attack",
+    )
     args = parser.parse_args()
 
     base_rows = load_rows(args.baseline)
@@ -249,6 +321,10 @@ def main():
                                    args.max_ttfr_p99_us)
     if args.crossover:
         failed += check_crossover(args.crossover, args.min_onesided_speedup)
+    if args.tenant_isolation:
+        failed += check_tenant_isolation(args.tenant_isolation,
+                                         args.max_victim_p99_ratio,
+                                         args.min_victim_tput_frac)
 
     if failed:
         print(f"\nFAIL: {', '.join(failed)} (baseline {args.baseline})",

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/ctrl/wire.h"
+#include "src/tenant/tenant.h"
 #include "src/verbs/device.h"
 
 namespace flock::ctrl {
@@ -131,6 +132,18 @@ class ControlPlane {
 
   const Stats& stats() const { return stats_; }
 
+  // ---- tenancy (DESIGN.md §15) ----
+  // The cluster-wide tenant registry: policies, admission accounting,
+  // weighted-fair credit budgets and the misbehaving-tenant throttle. Owned
+  // here because admission happens at handshake time, on control-plane
+  // traffic; the flock schedulers reach the same registry through the
+  // cluster. Single-tenant runs never touch it.
+  void RegisterTenant(tenant::TenantId id, const tenant::TenantPolicy& policy) {
+    tenants_.Register(id, policy);
+  }
+  tenant::TenantRegistry& tenants() { return tenants_; }
+  const tenant::TenantRegistry& tenants() const { return tenants_; }
+
  private:
   struct ListenerEntry {
     uint64_t id;
@@ -164,6 +177,7 @@ class ControlPlane {
   bool in_batch_ = false;
   std::vector<uint8_t> batch_start_member_;
   Stats stats_;
+  tenant::TenantRegistry tenants_;
 };
 
 }  // namespace flock::ctrl

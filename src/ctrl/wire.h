@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/tenant/tenant.h"
 
 namespace flock::ctrl::wire {
 
@@ -32,6 +33,8 @@ enum class MsgType : uint16_t {
   kRetireLaneRequest = 7,  // client → server: elastic shrink by one lane
   kRetireLaneAccept = 8,
   kReject = 9,             // any request the receiver cannot honor right now
+  kDisconnectRequest = 10, // client → server: orderly close of a whole handle
+  kDisconnectAccept = 11,
 };
 
 struct MsgHeader {
@@ -79,7 +82,10 @@ struct ConnectRequest {
   int32_t client_node = -1;
   uint32_t num_lanes = 0;
   uint32_t ring_bytes = 0;
-  uint32_t pad = 0;
+  // Tenant identity registered by the handshake (DESIGN.md §15). Occupies
+  // the former pad word, so the default (tenant 0) encodes byte-identically
+  // to pre-tenancy requests.
+  uint32_t tenant_id = 0;
   ClientLaneInfo lanes[kMaxLanesPerMsg];
 };
 
@@ -135,6 +141,20 @@ struct RetireLaneAccept {
   uint32_t pad = 0;
 };
 
+// Orderly whole-handle close (DESIGN.md §15): the client tells the server it
+// is done, so sender-slot and tenant admission accounting are reclaimed
+// immediately instead of waiting for dead-sender detection to notice the
+// departed QPs. Sent by CloseConnection when tenancy is on.
+struct DisconnectRequest {
+  int32_t client_node = -1;
+  uint32_t conn_id = 0;
+};
+
+struct DisconnectAccept {
+  uint32_t lanes_torn = 0;
+  uint32_t pad = 0;
+};
+
 enum class RejectReason : uint32_t {
   kUnknown = 0,
   kServerNotStarted = 1,
@@ -143,6 +163,10 @@ enum class RejectReason : uint32_t {
   kLaneBusy = 4,      // the lane is mid-dispatch; retry after backoff
   kLaneHealthy = 5,   // reconnect asked for a lane that is not quarantined
   kLastActiveLane = 6,  // retire would leave the handle with no lanes
+  // Tenancy admission control (DESIGN.md §15):
+  kUnknownTenant = 7,         // tenant id never registered (or forged)
+  kTenantOverConnections = 8, // tenant at its max_connections ceiling
+  kTenantOverLanes = 9,       // tenant at its max_lanes ceiling
 };
 
 struct Reject {
@@ -228,6 +252,9 @@ inline bool DecodeConnectRequest(const MsgHeader& h, const uint8_t* buf,
   if (out->ring_bytes == 0) {
     return false;
   }
+  if (out->tenant_id > tenant::kMaxTenantId) {
+    return false;  // forged: ids must fit the data-plane stamp
+  }
   std::memcpy(out->lanes, buf + kHeaderBytes + offsetof(ConnectRequest, lanes),
               size_t{out->num_lanes} * sizeof(ClientLaneInfo));
   return true;
@@ -292,6 +319,16 @@ inline bool DecodeRetireLaneRequest(const MsgHeader& h, const uint8_t* buf,
 inline bool DecodeRetireLaneAccept(const MsgHeader& h, const uint8_t* buf,
                                    RetireLaneAccept* out) {
   return DecodeFixed(h, buf, MsgType::kRetireLaneAccept, out);
+}
+
+inline bool DecodeDisconnectRequest(const MsgHeader& h, const uint8_t* buf,
+                                    DisconnectRequest* out) {
+  return DecodeFixed(h, buf, MsgType::kDisconnectRequest, out);
+}
+
+inline bool DecodeDisconnectAccept(const MsgHeader& h, const uint8_t* buf,
+                                   DisconnectAccept* out) {
+  return DecodeFixed(h, buf, MsgType::kDisconnectAccept, out);
 }
 
 inline bool DecodeReject(const MsgHeader& h, const uint8_t* buf, Reject* out) {

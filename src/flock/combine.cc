@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/ctrl/control_plane.h"
 #include "src/flock/sched/receiver.h"
 
 namespace flock {
@@ -20,6 +21,21 @@ sim::Co<PendingRpc*> StageRpc(ClientConnState& conn, FlockThread& thread,
   // one null check here and nothing else.
   if (conn.setup_cond != nullptr) {
     co_await EnsureLaneSetup(conn, thread);
+    if (conn.closed) {
+      // The deferred handshake was refused (tenancy admission control) or the
+      // handle was closed while we waited: fail the RPC immediately instead
+      // of parking it on a lane that will never be granted credits.
+      PendingRpc* failed = conn.client->rpc_pool.New();
+      failed->rpc_id = rpc_id;
+      failed->seq = thread.NextSeq();
+      failed->thread_id = thread.id();
+      failed->submitted_at = conn.env->sim().Now();
+      failed->completed_at = failed->submitted_at;
+      failed->ok = false;
+      conn.client->stats.failed_rpcs += 1;
+      failed->done_event.Fire(conn.env->sim());
+      co_return failed;
+    }
   }
 
   ClientLane& lane = LaneFor(conn, thread);
@@ -106,7 +122,13 @@ sim::Proc Pump(ClientConnState& conn, ClientLane& lane) {
   const FlockConfig& config = *conn.env->config;
   const sim::CostModel& cost = conn.env->cost();
   sim::Simulator& sim = conn.env->sim();
-  (void)sim;
+  // Tenancy byte quota (DESIGN.md §15): resolved once — nullptr for the
+  // default tenant or with tenancy off, so those pumps never touch the
+  // registry and their traces stay bit-identical.
+  tenant::TenantRegistry* tenants = nullptr;
+  if (config.tenancy && conn.tenant_id != tenant::kDefaultTenant) {
+    tenants = &ctrl::ControlPlane::For(*conn.env->cluster).tenants();
+  }
 
   for (;;) {
     if (lane.combine_head == nullptr) {
@@ -270,6 +292,16 @@ sim::Proc Pump(ClientConnState& conn, ClientLane& lane) {
         co_await lane.send_ready.Wait();
         continue;
       }
+      if (tenants != nullptr && !tenants->SendAllowed(conn.tenant_id)) {
+        // Over the window byte quota: poll-wait for the next scheduler window
+        // (no credit event marks a quota refresh, so send_ready cannot wake
+        // us). Checked before Reserve so no ring reservation is held while
+        // stalled; the batch that eventually goes out may exceed the quota by
+        // one message (soft bound).
+        tenants->NoteQuotaStall(conn.tenant_id);
+        co_await sim::Delay(sim, kMicrosecond);
+        continue;
+      }
       if (lane.credits > 0 && lane.req_producer.Reserve(msg_len, &resv)) {
         break;
       }
@@ -297,8 +329,11 @@ sim::Proc Pump(ClientConnState& conn, ClientLane& lane) {
     for (const PendingSend* ps = batch_head; ps != nullptr; ps = ps->next) {
       encoder.Add(ps->meta, ps->data.data());
     }
+    // The tenant stamp rides in the header flags; tenant 0 stamps zero bits,
+    // so single-tenant messages stay byte-identical to pre-tenancy ones.
     const uint32_t total =
-        encoder.Seal(lane.resp_consumer->consumed_report(), /*credit_grant=*/0);
+        encoder.Seal(lane.resp_consumer->consumed_report(), /*credit_grant=*/0,
+                     wire::PackTenantFlags(conn.tenant_id));
     FLOCK_CHECK_EQ(total, msg_len);
     lane.resp_bytes_since_send = 0;  // this message carries a fresh head
 
@@ -349,6 +384,9 @@ sim::Proc Pump(ClientConnState& conn, ClientLane& lane) {
 
     lane.messages_sent += 1;
     lane.requests_sent += n;
+    if (tenants != nullptr) {
+      tenants->ChargeSent(conn.tenant_id, msg_len);
+    }
     lane.coalesce_degree.Record(n);
     lane.batch_histogram[n < 33 ? n : 32] += 1;
     for (PendingSend* ps = batch_head; ps != nullptr;) {
@@ -373,6 +411,10 @@ sim::Co<verbs::WcStatus> SubmitMemOp(ClientConnState& conn, FlockThread& thread,
   // Deferred connection setup (DESIGN.md §13); see StageRpc.
   if (conn.setup_cond != nullptr) {
     co_await EnsureLaneSetup(conn, thread);
+    if (conn.closed) {
+      // Handshake refused (tenancy admission) or handle closed: fail fast.
+      co_return verbs::WcStatus::kQpError;
+    }
   }
   ClientLane& lane = LaneFor(conn, thread);
 

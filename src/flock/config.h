@@ -105,6 +105,16 @@ struct FlockConfig {
   uint32_t elastic_shrink_degree = 2;
   // Never shrink below this many non-retired lanes.
   uint32_t min_lanes = 1;
+
+  // ---- multi-tenant service layer (DESIGN.md §15) ----
+  // Master switch for tenancy enforcement: admission control at handshake,
+  // the weighted-fair credit layer in the receiver scheduler, byte quotas at
+  // batch-packing time, and the misbehaving-tenant throttle. Off by default:
+  // no registry lookups, no new events, traces bit-identical. Tenant
+  // policies are registered on the cluster's ControlPlane (RegisterTenant);
+  // the identity a client presents is per-connection (fl_connect's tenant
+  // argument), not per-config.
+  bool tenancy = false;
 };
 
 }  // namespace flock

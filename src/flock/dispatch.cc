@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/ctrl/control_plane.h"
 #include "src/flock/sched/receiver.h"
 
 namespace flock {
@@ -83,6 +84,12 @@ sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
                                    DispatchScratch& scratch) {
   const sim::CostModel& cost = env.cost();
   const FlockConfig& config = *env.config;
+  // Tenancy attribution (DESIGN.md §15): resolved once per gather; nullptr
+  // with tenancy off, so default runs never touch the registry.
+  tenant::TenantRegistry* tenants =
+      config.tenancy ? &ctrl::ControlPlane::For(*env.cluster).tenants()
+                     : nullptr;
+  uint64_t tenant_bytes = 0;
 
   // Freshen the response-ring view from the client's out-of-band head slot.
   uint32_t slot_value = 0;
@@ -131,6 +138,17 @@ sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
     server.stats.messages += 1;
     server.stats.requests += n;
     total_reqs += n;
+    if (tenants != nullptr) {
+      tenant_bytes += header.total_len;
+      // Cross-check the data-plane stamp against the identity the handshake
+      // registered for this lane. The handshake is authoritative — a
+      // mismatch is counted (forged or corrupted stamp) but the message is
+      // still served under the lane's registered tenant.
+      if (wire::TenantFromFlags(header.flags) !=
+          (lane.tenant_id & wire::kMaxTenantStamp)) {
+        tenants->NoteStampMismatch(lane.tenant_id);
+      }
+    }
     if (!config.coalescing || total_reqs >= config.max_coalesce) {
       break;  // coalescing disabled: one response message per request message
     }
@@ -144,6 +162,9 @@ sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
         config.ring_bytes / 2) {
       break;
     }
+  }
+  if (tenants != nullptr) {
+    tenants->OnRequests(lane.tenant_id, total_reqs, tenant_bytes);
   }
   co_await core.Work(work);
 

@@ -271,6 +271,10 @@ std::unique_ptr<ServerLane> BuildServerLane(NodeEnv& env, ServerState& server,
   // fresh RingConsumer) and the head slot cleared to match the new client's
   // zero-based response consumer; the QP was reset at harvest, so anything
   // still in flight from its previous incarnation epoch-drops in the fabric.
+  // Tenancy (§15): the ServerLane object itself is always freshly
+  // constructed — shells carry no tenant state, so tenant_id and
+  // deferred_grant start zeroed and no quota debt crosses a recycle (see
+  // tests/tenant_test.cc RecyclingNoDebt).
   bool recycled = false;
   if (env.config->qp_recycling) {
     for (size_t i = server.lane_pool.size(); i-- > 0;) {
@@ -363,6 +367,33 @@ uint32_t HandleConnectRequest(NodeEnv& env, ServerState& server,
                             cw::RejectReason::kServerNotStarted);
   }
 
+  // Tenancy admission (DESIGN.md §15), before any server state is touched:
+  // an unknown identity or a tenant at its connection ceiling rejects
+  // outright; a tenant near its lane ceiling gets a degraded accept with
+  // fewer lanes than requested. The registry lives on the control plane.
+  uint32_t granted_lanes = req.num_lanes;
+  if (env.config->tenancy) {
+    tenant::TenantRegistry& reg =
+        ctrl::ControlPlane::For(*env.cluster).tenants();
+    if (req.tenant_id != tenant::kDefaultTenant &&
+        !reg.Registered(req.tenant_id)) {
+      reg.NoteUnknownTenant();
+      return cw::EncodeReject(resp, resp_cap, header.nonce,
+                              cw::RejectReason::kUnknownTenant);
+    }
+    const tenant::Admission verdict =
+        reg.AdmitConnect(req.tenant_id, req.num_lanes);
+    if (verdict.verdict == tenant::Admission::Verdict::kOverConnections) {
+      return cw::EncodeReject(resp, resp_cap, header.nonce,
+                              cw::RejectReason::kTenantOverConnections);
+    }
+    if (verdict.verdict == tenant::Admission::Verdict::kOverLanes) {
+      return cw::EncodeReject(resp, resp_cap, header.nonce,
+                              cw::RejectReason::kTenantOverLanes);
+    }
+    granted_lanes = verdict.lanes;
+  }
+
   // Prefer a dead, fully-harvested sender slot over growing the array: under
   // churn every Leave strands one, and conn_ids (== slot indexes) would
   // otherwise grow without bound. A slot still holding lanes (quarantined
@@ -383,6 +414,13 @@ uint32_t HandleConnectRequest(NodeEnv& env, ServerState& server,
   }
   SenderState& sender = server.senders[sender_key];
   sender.client_node = req.client_node;
+  sender.tenant_id = req.tenant_id;
+  if (env.config->tenancy) {
+    // AdmitConnect charged one connection and `granted_lanes` lanes above;
+    // record exactly what teardown (or dead-sender reclamation) must release.
+    sender.tenant_lanes_charged = granted_lanes;
+    sender.tenant_charged = true;
+  }
 
   // Receiver-side initial allocation: a new client gets the average active-QP
   // share per *live* sender (§5.1), refined at the next redistribution.
@@ -394,17 +432,18 @@ uint32_t HandleConnectRequest(NodeEnv& env, ServerState& server,
   }
   const uint32_t fair_share =
       std::max<uint32_t>(1, env.config->max_active_qps / live_senders);
-  const uint32_t initially_active = std::min(req.num_lanes, fair_share);
+  const uint32_t initially_active = std::min(granted_lanes, fair_share);
 
   const uint64_t created_before = server.stats.qps_created;
   const uint64_t recycled_before = server.stats.qps_recycled;
   cw::ConnectAccept accept;
   accept.conn_id = sender_key;
-  accept.num_lanes = req.num_lanes;
-  for (uint32_t i = 0; i < req.num_lanes; ++i) {
+  accept.num_lanes = granted_lanes;
+  for (uint32_t i = 0; i < granted_lanes; ++i) {
     auto sl = BuildServerLane(env, server, i, req.client_node, sender_key,
                               req.ring_bytes, req.lanes[i],
                               i < initially_active, &accept.lanes[i]);
+    sl->tenant_id = req.tenant_id;
     sender.lanes.push_back(sl.get());
     server
         .dispatcher_lanes[server.lanes.size() %
@@ -420,7 +459,7 @@ uint32_t HandleConnectRequest(NodeEnv& env, ServerState& server,
       static_cast<uint32_t>(server.stats.qps_recycled - recycled_before);
   return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kConnectAccept,
                            header.nonce, &accept,
-                           cw::ConnectAcceptBytes(req.num_lanes));
+                           cw::ConnectAcceptBytes(granted_lanes));
 }
 
 uint32_t HandleReconnectRequest(NodeEnv& env, ServerState& server,
@@ -543,12 +582,25 @@ uint32_t HandleAddLaneRequest(NodeEnv& env, ServerState& server,
                             cw::RejectReason::kBadLane);
   }
 
+  // Tenancy: lane growth is charged against the same ceiling as the connect
+  // handshake, so a tenant cannot route around admission via AddLane.
+  if (env.config->tenancy) {
+    tenant::TenantRegistry& reg =
+        ctrl::ControlPlane::For(*env.cluster).tenants();
+    if (!reg.AdmitLane(sender.tenant_id)) {
+      return cw::EncodeReject(resp, resp_cap, header.nonce,
+                              cw::RejectReason::kTenantOverLanes);
+    }
+    sender.tenant_lanes_charged += 1;
+  }
+
   cw::AddLaneAccept accept;
   accept.lane_index = req.lane_index;
   const uint64_t recycled_before = server.stats.qps_recycled;
   auto sl = BuildServerLane(env, server, req.lane_index, req.client_node,
                             req.conn_id, req.ring_bytes, req.lane,
                             /*active=*/true, &accept.lane);
+  sl->tenant_id = sender.tenant_id;
   accept.recycled = server.stats.qps_recycled != recycled_before ? 1 : 0;
   sender.lanes.push_back(sl.get());
   server
@@ -565,7 +617,6 @@ uint32_t HandleRetireLaneRequest(NodeEnv& env, ServerState& server,
                                  const ctrl::wire::MsgHeader& header,
                                  const uint8_t* msg, uint8_t* resp,
                                  uint32_t resp_cap) {
-  (void)env;
   namespace cw = ctrl::wire;
   cw::RetireLaneRequest req;
   if (!cw::DecodeRetireLaneRequest(header, msg, &req)) {
@@ -608,10 +659,92 @@ uint32_t HandleRetireLaneRequest(NodeEnv& env, ServerState& server,
   }
   lane.credits_outstanding = 0;
   server.stats.lanes_retired += 1;
+  // Tenancy: a retired lane frees its slice of the tenant's lane ceiling.
+  if (env.config->tenancy && sender.tenant_charged &&
+      sender.tenant_lanes_charged > 0) {
+    ctrl::ControlPlane::For(*env.cluster)
+        .tenants()
+        .ReleaseLanes(sender.tenant_id, 1);
+    sender.tenant_lanes_charged -= 1;
+  }
   // The dispatcher keeps draining the retired lane's request ring (its skip
   // condition is in_service/failed, not retired) so in-flight RPCs complete.
   return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kRetireLaneAccept,
                            header.nonce, &accept, sizeof(accept));
+}
+
+void TearDownOneSender(NodeEnv& env, ServerState& server,
+                       SenderState& sender) {
+  for (ServerLane* lane : sender.lanes) {
+    if (!lane->failed && !lane->retired) {
+      // Destroy the transport the way a real server tears down a departed
+      // client's QPs: error it (flushing our posts) so the peer — should
+      // the node come back before rejoining — sees kRemoteInvalidQp.
+      env.device().ErrorQp(*lane->qp);
+      QuarantineServerLane(*lane, server.stats);
+    }
+  }
+  sender.dead = true;
+  sender.functioning = false;
+  sender.revive_grace = 0;
+  server.stats.dead_senders += 1;
+  // Tenancy: the departed client's admission accounting is released here
+  // exactly once — tenant_charged also guards the Redistribute dead-sender
+  // reclamation path, so a sender reclaimed both ways releases once.
+  if (env.config->tenancy && sender.tenant_charged) {
+    ctrl::ControlPlane::For(*env.cluster)
+        .tenants()
+        .ReleaseConnection(sender.tenant_id, sender.tenant_lanes_charged);
+    sender.tenant_charged = false;
+    sender.tenant_lanes_charged = 0;
+  }
+
+  // Harvest (DESIGN.md §13): strip each lane that is not mid-dispatch down
+  // to its shell — reset QP, ring/slot addresses, rkeys — for the next
+  // connect to reuse, and park the lane object in the graveyard. Graveyard
+  // objects are never destroyed or reused: the CQEs just flushed (sends
+  // plus ~16 posted receives per lane) still carry wr_id pointers to them,
+  // and their qp == nullptr is what marks those completions stale. A lane
+  // handed to an RPC worker (in_service) stays quarantined in place; its
+  // slot-blocking is why the dead-sender scan above requires lanes.empty().
+  if (env.config->qp_recycling) {
+    std::vector<ServerLane*> kept;
+    for (ServerLane* lane : sender.lanes) {
+      if (lane->in_service) {
+        kept.push_back(lane);
+        continue;
+      }
+      env.device().ResetQp(*lane->qp);
+      ServerLaneShell shell;
+      shell.qp = lane->qp;
+      shell.ring_bytes = lane->resp_producer.size();
+      shell.req_ring_addr = lane->req_ring_addr;
+      shell.head_slot_addr = lane->head_slot_addr;
+      shell.ctrl_src_addr = lane->ctrl_src_addr;
+      shell.staging_addr = lane->staging_addr;
+      shell.req_ring_rkey = lane->req_ring_rkey;
+      shell.head_slot_rkey = lane->head_slot_rkey;
+      server.lane_pool.push_back(shell);
+      lane->qp = nullptr;
+      for (auto& dlanes : server.dispatcher_lanes) {
+        for (size_t i = 0; i < dlanes.size(); ++i) {
+          if (dlanes[i] == lane) {
+            dlanes.erase(dlanes.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      }
+      for (size_t i = 0; i < server.lanes.size(); ++i) {
+        if (server.lanes[i].get() == lane) {
+          server.graveyard.push_back(std::move(server.lanes[i]));
+          server.lanes.erase(server.lanes.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    sender.lanes = std::move(kept);
+  }
 }
 
 bool TearDownSenders(NodeEnv& env, ServerState& server, int node) {
@@ -623,69 +756,38 @@ bool TearDownSenders(NodeEnv& env, ServerState& server, int node) {
     if (sender.client_node != node || sender.dead) {
       continue;
     }
-    for (ServerLane* lane : sender.lanes) {
-      if (!lane->failed && !lane->retired) {
-        // Destroy the transport the way a real server tears down a departed
-        // client's QPs: error it (flushing our posts) so the peer — should
-        // the node come back before rejoining — sees kRemoteInvalidQp.
-        env.device().ErrorQp(*lane->qp);
-        QuarantineServerLane(*lane, server.stats);
-      }
-    }
-    sender.dead = true;
-    sender.functioning = false;
-    sender.revive_grace = 0;
-    server.stats.dead_senders += 1;
-
-    // Harvest (DESIGN.md §13): strip each lane that is not mid-dispatch down
-    // to its shell — reset QP, ring/slot addresses, rkeys — for the next
-    // connect to reuse, and park the lane object in the graveyard. Graveyard
-    // objects are never destroyed or reused: the CQEs just flushed (sends
-    // plus ~16 posted receives per lane) still carry wr_id pointers to them,
-    // and their qp == nullptr is what marks those completions stale. A lane
-    // handed to an RPC worker (in_service) stays quarantined in place; its
-    // slot-blocking is why the dead-sender scan above requires lanes.empty().
-    if (env.config->qp_recycling) {
-      std::vector<ServerLane*> kept;
-      for (ServerLane* lane : sender.lanes) {
-        if (lane->in_service) {
-          kept.push_back(lane);
-          continue;
-        }
-        env.device().ResetQp(*lane->qp);
-        ServerLaneShell shell;
-        shell.qp = lane->qp;
-        shell.ring_bytes = lane->resp_producer.size();
-        shell.req_ring_addr = lane->req_ring_addr;
-        shell.head_slot_addr = lane->head_slot_addr;
-        shell.ctrl_src_addr = lane->ctrl_src_addr;
-        shell.staging_addr = lane->staging_addr;
-        shell.req_ring_rkey = lane->req_ring_rkey;
-        shell.head_slot_rkey = lane->head_slot_rkey;
-        server.lane_pool.push_back(shell);
-        lane->qp = nullptr;
-        for (auto& dlanes : server.dispatcher_lanes) {
-          for (size_t i = 0; i < dlanes.size(); ++i) {
-            if (dlanes[i] == lane) {
-              dlanes.erase(dlanes.begin() + static_cast<std::ptrdiff_t>(i));
-              break;
-            }
-          }
-        }
-        for (size_t i = 0; i < server.lanes.size(); ++i) {
-          if (server.lanes[i].get() == lane) {
-            server.graveyard.push_back(std::move(server.lanes[i]));
-            server.lanes.erase(server.lanes.begin() +
-                               static_cast<std::ptrdiff_t>(i));
-            break;
-          }
-        }
-      }
-      sender.lanes = std::move(kept);
-    }
+    TearDownOneSender(env, server, sender);
     touched = true;
   }
   return touched;
+}
+
+uint32_t HandleDisconnectRequest(NodeEnv& env, ServerState& server,
+                                 const ctrl::wire::MsgHeader& header,
+                                 const uint8_t* msg, uint8_t* resp,
+                                 uint32_t resp_cap) {
+  namespace cw = ctrl::wire;
+  cw::DisconnectRequest req;
+  if (!cw::DecodeDisconnectRequest(header, msg, &req)) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kUnknown);
+  }
+  if (!server.started || req.conn_id >= server.senders.size()) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadConnId);
+  }
+  SenderState& sender = server.senders[req.conn_id];
+  if (sender.client_node != req.client_node) {
+    return cw::EncodeReject(resp, resp_cap, header.nonce,
+                            cw::RejectReason::kBadConnId);
+  }
+  cw::DisconnectAccept accept;
+  accept.lanes_torn = static_cast<uint32_t>(sender.lanes.size());
+  if (!sender.dead) {  // idempotent: a duplicate disconnect just re-acks
+    TearDownOneSender(env, server, sender);
+  }
+  return cw::EncodeMessage(resp, resp_cap, cw::MsgType::kDisconnectAccept,
+                           header.nonce, &accept, sizeof(accept));
 }
 
 // ---------------------------------------------------------------------------
@@ -924,7 +1026,8 @@ sim::Proc ElasticScaler(ClientConnState& conn) {
 // ---------------------------------------------------------------------------
 
 bool ConnectHandshake(ClientConnState& conn, uint32_t* server_fresh,
-                      uint32_t* server_recycled) {
+                      uint32_t* server_recycled,
+                      ctrl::wire::RejectReason* reject_reason) {
   NodeEnv& env = *conn.env;
   ctrl::ControlPlane& cp = ctrl::ControlPlane::For(*env.cluster);
   const uint32_t num_lanes = static_cast<uint32_t>(conn.lanes.size());
@@ -933,6 +1036,7 @@ bool ConnectHandshake(ClientConnState& conn, uint32_t* server_fresh,
   req.client_node = env.node;
   req.num_lanes = num_lanes;
   req.ring_bytes = env.config->ring_bytes;
+  req.tenant_id = conn.tenant_id;
   for (uint32_t i = 0; i < num_lanes; ++i) {
     const ClientLane& lane = *conn.lanes[i];
     req.lanes[i].qpn = lane.qp->qpn();
@@ -955,11 +1059,47 @@ bool ConnectHandshake(ClientConnState& conn, uint32_t* server_fresh,
   if (resp_len == 0 ||
       !ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) ||
       !ctrl::wire::DecodeConnectAccept(resp_header, resp, &accept) ||
-      accept.num_lanes != num_lanes) {
+      accept.num_lanes == 0 || accept.num_lanes > num_lanes) {
+    // Surface the server's reject reason (if the response decodes as one) so
+    // callers can tell a tenancy admission reject from a hard failure.
+    if (reject_reason != nullptr) {
+      *reject_reason = ctrl::wire::RejectReason::kUnknown;
+      ctrl::wire::Reject rej;
+      if (resp_len != 0 &&
+          ctrl::wire::DecodeHeader(resp, resp_len, &resp_header) &&
+          ctrl::wire::DecodeReject(resp_header, resp, &rej)) {
+        *reject_reason = static_cast<ctrl::wire::RejectReason>(rej.reason);
+      }
+    }
     return false;
   }
   conn.conn_id = accept.conn_id;
-  for (uint32_t i = 0; i < num_lanes; ++i) {
+  if (accept.num_lanes < num_lanes) {
+    // Degraded accept (tenant near its lane ceiling): drop the surplus client
+    // halves. They were never wired — no peer, no posted receives, nothing in
+    // flight — so under qp_recycling their shells go straight back to the
+    // pool; otherwise the fresh QPs are abandoned in place.
+    for (uint32_t i = accept.num_lanes; i < num_lanes; ++i) {
+      ClientLane& extra = *conn.lanes[i];
+      if (env.config->qp_recycling) {
+        env.device().ResetQp(*extra.qp);
+        ClientLaneShell shell;
+        shell.qp = extra.qp;
+        shell.ring_bytes = extra.req_producer.size();
+        shell.staging_addr = extra.staging_addr;
+        shell.head_src_addr = extra.head_src_addr;
+        shell.ctrl_slot_addr = extra.ctrl_slot_addr;
+        shell.resp_ring_addr = extra.resp_ring_addr;
+        shell.resp_ring_rkey = extra.resp_ring_rkey;
+        shell.ctrl_slot_rkey = extra.ctrl_slot_rkey;
+        conn.client->lane_pool.push_back(shell);
+        extra.qp = nullptr;
+      }
+    }
+    conn.lanes.resize(accept.num_lanes);
+    conn.target_lanes = accept.num_lanes;
+  }
+  for (uint32_t i = 0; i < accept.num_lanes; ++i) {
     WireClientLane(env, *conn.lanes[i], conn.server_node, accept.lanes[i],
                    /*grant_cumulative=*/0);
   }
@@ -1013,10 +1153,23 @@ sim::Co<void> EnsureLaneSetup(ClientConnState& conn, FlockThread& thread) {
     co_await sim::Delay(sim, config.ctrl_rtt);
     uint32_t fresh = 0;
     uint32_t recycled = 0;
-    const bool ok = ConnectHandshake(conn, &fresh, &recycled);
-    FLOCK_CHECK(ok) << "piggybacked connect: node " << conn.server_node
-                    << " rejected the deferred handshake (is StartServer "
-                       "running there?)";
+    ctrl::wire::RejectReason reason = ctrl::wire::RejectReason::kUnknown;
+    const bool ok = ConnectHandshake(conn, &fresh, &recycled, &reason);
+    if (!ok) {
+      // With tenancy on, admission control may legitimately refuse the
+      // deferred handshake; fail the handle gracefully — close it so StageRpc
+      // fails queued RPCs instead of parking them on lanes that will never be
+      // granted credits. Any other rejection is still a caller bug.
+      FLOCK_CHECK(config.tenancy)
+          << "piggybacked connect: node " << conn.server_node
+          << " rejected the deferred handshake (is StartServer running "
+             "there?)";
+      conn.handshake_pending = false;
+      conn.admission_rejected = true;
+      conn.setup_in_progress = false;
+      CloseClientConn(conn);
+      co_return;
+    }
     co_await sim::Delay(
         sim, fresh * cost.qp_create + recycled * cost.qp_reset);
     conn.handshake_pending = false;

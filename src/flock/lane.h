@@ -28,6 +28,7 @@
 #include "src/sim/cpu.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
+#include "src/tenant/tenant.h"
 #include "src/verbs/device.h"
 
 namespace flock {
@@ -319,6 +320,16 @@ struct ServerLane {
   uint64_t requests_handled = 0;
   uint64_t messages_at_last_sweep = 0;  // stall-safety for pending grants
   bool in_service = false;  // handed to an RPC worker (worker-pool mode)
+
+  // ---- tenancy (DESIGN.md §15) ----
+  // Identity registered at handshake time; authoritative over the data-plane
+  // stamp. Always set fresh by the connect/reconnect/add-lane paths — lane
+  // shells drawn from the recycling pool carry no tenant state.
+  tenant::TenantId tenant_id = tenant::kDefaultTenant;
+  // Credits the weighted-fair layer withheld from renewals on this lane
+  // (tenant over its window budget); paid out of fresh budget at the next
+  // scheduler windows, oldest lanes first.
+  uint32_t deferred_grant = 0;
 };
 
 // Per-client-node aggregation at the server (sender i in §5.1).
@@ -336,6 +347,14 @@ struct SenderState {
   // "failed sibling + idle interval" test would re-condemn it immediately
   // (the double-reclaim bug) and a rejoining node could never come back.
   uint32_t revive_grace = 0;
+  // ---- tenancy (DESIGN.md §15) ----
+  // Identity this sender's connect handshake presented, and the admission
+  // accounting charged for it (released exactly once at teardown or
+  // dead-sender reclamation, whichever runs first — tenant_charged guards
+  // the double-release).
+  tenant::TenantId tenant_id = tenant::kDefaultTenant;
+  uint32_t tenant_lanes_charged = 0;
+  bool tenant_charged = false;
 };
 
 // ---- lane recycling shells (DESIGN.md §13) ----
@@ -446,6 +465,14 @@ struct ClientConnState {
   std::vector<uint32_t> desired_lane;
   // Outstanding RPCs, seq → rpc, one open-addressed map per thread id.
   std::vector<SeqSlotMap<PendingRpc>> pending;
+  // ---- tenancy (DESIGN.md §15) ----
+  // Identity this handle presents at handshake and stamps into every
+  // client→server message header. Fixed at fl_connect time.
+  tenant::TenantId tenant_id = tenant::kDefaultTenant;
+  // The handshake was rejected by tenancy admission control: the handle is
+  // closed before it ever carried traffic, and StageRpc fails RPCs on it
+  // instead of parking them on a lane that will never get credits.
+  bool admission_rejected = false;
 };
 
 // Server-role state of one node. Handler lookup is a linear scan:
@@ -549,6 +576,20 @@ uint32_t HandleRetireLaneRequest(NodeEnv& env, ServerState& server,
                                  const ctrl::wire::MsgHeader& header,
                                  const uint8_t* msg, uint8_t* resp,
                                  uint32_t resp_cap);
+// Orderly whole-handle close (DESIGN.md §15): tears down the named sender
+// exactly like a membership leave would, so sender-slot and tenant admission
+// accounting are reclaimed immediately. Sent by CloseConnection under
+// tenancy.
+uint32_t HandleDisconnectRequest(NodeEnv& env, ServerState& server,
+                                 const ctrl::wire::MsgHeader& header,
+                                 const uint8_t* msg, uint8_t* resp,
+                                 uint32_t resp_cap);
+
+// Tears down one live sender: quarantines its lanes, marks it dead, releases
+// tenant admission accounting, and (under qp_recycling) harvests lane shells
+// into the pool. Shared by the membership-leave sweep and the Disconnect
+// handler.
+void TearDownOneSender(NodeEnv& env, ServerState& server, SenderState& sender);
 
 // Membership change (server side): tears down a departed client's senders.
 // Returns true if any sender was torn down — the caller must then
@@ -563,9 +604,14 @@ bool TearDownSenders(NodeEnv& env, ServerState& server, int node);
 // ConnectAsync and the piggybacked flush in EnsureLaneSetup. Returns false on
 // rejection; *server_fresh / *server_recycled report the server-side QP
 // provenance from the accept so the async callers can charge qp_create vs
-// qp_reset setup time.
+// qp_reset setup time. A degraded accept (tenancy admission granted fewer
+// lanes than requested) succeeds with the surplus client halves dropped and
+// conn.target_lanes clamped. On rejection, *reject_reason (when non-null)
+// carries the server's RejectReason so callers can tell a tenancy admission
+// reject from a hard failure.
 bool ConnectHandshake(ClientConnState& conn, uint32_t* server_fresh,
-                      uint32_t* server_recycled);
+                      uint32_t* server_recycled,
+                      ctrl::wire::RejectReason* reject_reason = nullptr);
 
 // First-use hook on the staging path (StageRpc / SubmitMemOp), invoked only
 // when conn.setup_cond is non-null (lazy_lanes or connect_piggyback): flushes

@@ -145,13 +145,15 @@ double FlockRuntime::MeanServerCoalescing() const {
 // fl_connect: client half of the handshake (the server half is in lane.cc)
 // ---------------------------------------------------------------------------
 
-Connection* FlockRuntime::Connect(FlockRuntime& server, uint32_t lanes) {
+Connection* FlockRuntime::Connect(FlockRuntime& server, uint32_t lanes,
+                                  tenant::TenantId tenant) {
   FLOCK_CHECK(server.server_.started)
       << "call StartServer() on the remote node before fl_connect";
-  return Connect(server.node_, lanes);
+  return Connect(server.node_, lanes, tenant);
 }
 
-Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
+Connection* FlockRuntime::Connect(int server_node, uint32_t lanes,
+                                  tenant::TenantId tenant) {
   lanes = std::min(lanes, config_.max_lanes_per_connection);
   // The handshake advertises every lane in one message.
   lanes = std::min(lanes, ctrl::wire::kMaxLanesPerMsg);
@@ -162,6 +164,7 @@ Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
   conn->state_.client = &client_;
   conn->state_.server_node = server_node;
   conn->state_.target_lanes = lanes;
+  conn->state_.tenant_id = tenant;
 
   // Client halves first: QPs, rings, MRs — their coordinates travel in the
   // connect request. ControlPlane::Call is the out-of-band side channel
@@ -172,9 +175,18 @@ Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
     conn->state_.lanes.push_back(
         internal::BuildClientLane(env_, conn->state_, i, &scratch));
   }
-  FLOCK_CHECK(internal::ConnectHandshake(conn->state_, nullptr, nullptr))
-      << "fl_connect: node " << server_node
-      << " rejected the handshake (is StartServer running there?)";
+  if (!internal::ConnectHandshake(conn->state_, nullptr, nullptr)) {
+    // With tenancy on, admission control refusing a handle is a legitimate
+    // outcome surfaced as nullptr; otherwise a reject stays the legacy hard
+    // failure. The unwired lanes have posted nothing, so closing (which
+    // harvests their shells under qp_recycling) and destroying them is safe.
+    FLOCK_CHECK(config_.tenancy)
+        << "fl_connect: node " << server_node
+        << " rejected the handshake (is StartServer running there?)";
+    conn->state_.admission_rejected = true;
+    internal::CloseClientConn(conn->state_);
+    return nullptr;
+  }
 
   FinishConnect(conn.get());
   connections_.push_back(std::move(conn));
@@ -183,7 +195,8 @@ Connection* FlockRuntime::Connect(int server_node, uint32_t lanes) {
 }
 
 sim::Co<Connection*> FlockRuntime::ConnectAsync(int server_node,
-                                                uint32_t lanes) {
+                                                uint32_t lanes,
+                                                tenant::TenantId tenant) {
   lanes = std::min(lanes, config_.max_lanes_per_connection);
   lanes = std::min(lanes, ctrl::wire::kMaxLanesPerMsg);
   FLOCK_CHECK_GT(lanes, 0u);
@@ -195,6 +208,7 @@ sim::Co<Connection*> FlockRuntime::ConnectAsync(int server_node,
   st.client = &client_;
   st.server_node = server_node;
   st.target_lanes = lanes;
+  st.tenant_id = tenant;
   if (config_.lazy_lanes || config_.connect_piggyback) {
     st.setup_cond = std::make_unique<sim::Condition>(cluster_.sim());
   }
@@ -224,9 +238,14 @@ sim::Co<Connection*> FlockRuntime::ConnectAsync(int server_node,
     co_await sim::Delay(cluster_.sim(), config_.ctrl_rtt);
     uint32_t fresh = 0;
     uint32_t recycled = 0;
-    FLOCK_CHECK(internal::ConnectHandshake(st, &fresh, &recycled))
-        << "fl_connect_async: node " << server_node
-        << " rejected the handshake (is StartServer running there?)";
+    if (!internal::ConnectHandshake(st, &fresh, &recycled)) {
+      FLOCK_CHECK(config_.tenancy)
+          << "fl_connect_async: node " << server_node
+          << " rejected the handshake (is StartServer running there?)";
+      st.admission_rejected = true;
+      internal::CloseClientConn(st);
+      co_return nullptr;
+    }
     co_await sim::Delay(cluster_.sim(),
                         fresh * cost.qp_create + recycled * cost.qp_reset);
   }
@@ -241,6 +260,25 @@ void FlockRuntime::CloseConnection(Connection* conn) {
   internal::ClientConnState& st = conn->state_;
   if (st.closed) {
     return;
+  }
+  // Orderly disconnect (DESIGN.md §15): with tenancy on, tell the server so
+  // its sender slot and the tenant's admission accounting are reclaimed now,
+  // not whenever dead-sender detection happens to notice the departed QPs.
+  // Never-handshaken handles (pending piggyback, admission rejects) hold no
+  // server-side state to release.
+  if (config_.tenancy && !st.handshake_pending && !st.admission_rejected) {
+    ctrl::ControlPlane& cp = ctrl::ControlPlane::For(cluster_);
+    ctrl::wire::DisconnectRequest req;
+    req.client_node = node_;
+    req.conn_id = st.conn_id;
+    uint8_t msg[ctrl::wire::kMaxMessageBytes];
+    uint8_t resp[ctrl::wire::kMaxMessageBytes];
+    const uint32_t msg_len = ctrl::wire::EncodeMessage(
+        msg, sizeof(msg), ctrl::wire::MsgType::kDisconnectRequest,
+        cp.NextNonce(), &req, sizeof(req));
+    // Best effort: a reject (server gone, already dead) leaves reclamation
+    // to the dead-sender path, which TearDownOneSender guards for.
+    cp.Call(st.server_node, msg, msg_len, resp, sizeof(resp));
   }
   internal::CloseClientConn(st);
   // Detach from the client procs' iteration set. The handle itself stays in
@@ -472,6 +510,9 @@ uint32_t FlockRuntime::OnCtrlMessage(const uint8_t* msg, uint32_t len,
     case ctrl::wire::MsgType::kRetireLaneRequest:
       return internal::HandleRetireLaneRequest(env_, server_, header, msg, resp,
                                                resp_cap);
+    case ctrl::wire::MsgType::kDisconnectRequest:
+      return internal::HandleDisconnectRequest(env_, server_, header, msg,
+                                               resp, resp_cap);
     default:
       return ctrl::wire::EncodeReject(resp, resp_cap, header.nonce,
                                       ctrl::wire::RejectReason::kUnknown);

@@ -96,6 +96,11 @@ class Connection {
                                           uint64_t result_addr = 0);
 
   int server_node() const { return state_.server_node; }
+  // Tenant identity this handle presented at fl_connect (DESIGN.md §15).
+  tenant::TenantId tenant_id() const { return state_.tenant_id; }
+  // The deferred (piggybacked) handshake was refused by tenancy admission
+  // control: the handle is closed and every RPC on it fails fast.
+  bool admission_rejected() const { return state_.admission_rejected; }
   // True once CloseConnection ran; a closed handle must not be used again.
   bool closed() const { return state_.closed; }
   uint32_t num_lanes() const { return static_cast<uint32_t>(state_.lanes.size()); }
@@ -159,17 +164,28 @@ class FlockRuntime : public ctrl::Endpoint {
   // connect/accept handshake (QPs, rings, MR rkey exchange, credit
   // bootstrap). The overload taking a runtime is the common case; the
   // node-id form is what the handshake actually needs and exists for callers
-  // that only know the server's node.
-  Connection* Connect(FlockRuntime& server, uint32_t lanes);
-  Connection* Connect(int server_node, uint32_t lanes);
+  // that only know the server's node. `tenant` is the identity the handle
+  // presents (DESIGN.md §15): the default tenant is always admitted; with
+  // FlockConfig::tenancy on, admission control may refuse the handshake, in
+  // which case Connect returns nullptr (with tenancy off a reject stays the
+  // legacy hard failure).
+  Connection* Connect(FlockRuntime& server, uint32_t lanes,
+                      tenant::TenantId tenant = tenant::kDefaultTenant);
+  Connection* Connect(int server_node, uint32_t lanes,
+                      tenant::TenantId tenant = tenant::kDefaultTenant);
   // Runtime-phase connect (DESIGN.md §13): unlike the setup-phase Connect,
   // this charges simulated time for the QP bring-up (CostModel::qp_create /
   // qp_reset by provenance) and one ctrl_rtt for the handshake, and it honors
   // the connection-storm flags — qp_recycling (reuse pooled lane shells),
   // lazy_lanes (build only lane 0 now, the rest on first use) and
   // connect_piggyback (defer the handshake to the first RPC, saving the RTT
-  // on the time-to-first-RPC path).
-  sim::Co<Connection*> ConnectAsync(int server_node, uint32_t lanes);
+  // on the time-to-first-RPC path). With tenancy on, an admission reject
+  // co_returns nullptr — except under connect_piggyback, where the handle is
+  // returned immediately and a later reject closes it (admission_rejected),
+  // failing its RPCs instead.
+  sim::Co<Connection*> ConnectAsync(
+      int server_node, uint32_t lanes,
+      tenant::TenantId tenant = tenant::kDefaultTenant);
   // Closes a handle: retires every lane, harvests the quiescent ones into
   // the recycling pool (under qp_recycling), and detaches the connection
   // from the client procs. The handle object itself stays alive (stale CQEs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/ctrl/control_plane.h"
+
 namespace flock {
 namespace internal {
 
@@ -107,6 +109,11 @@ sim::Proc ReceiverSched::Run(NodeEnv& env, ServerState& server) {
   sim::Core& core = env.cpu().core(0);
   const sim::CostModel& cost = env.cost();
   const FlockConfig& config = *env.config;
+  // Tenancy (DESIGN.md §15): resolved once; nullptr with tenancy off, so the
+  // default scheduler never touches the registry.
+  tenant::TenantRegistry* tenants =
+      config.tenancy ? &ctrl::ControlPlane::For(*env.cluster).tenants()
+                     : nullptr;
   Nanos next_redistribution = env.sim().Now() + config.qp_sched_interval;
 
   verbs::Completion wcs[kCqPollBatch];
@@ -149,10 +156,22 @@ sim::Proc ReceiverSched::Run(NodeEnv& env, ServerState& server) {
         lane->utilization += value;  // U_ij += reported median degree
         if (lane->active) {
           // Grant C more credits through the lane's control slot (§5.1).
-          lane->grant_cumulative += config.credits;
-          WriteCtrlSlot(env, *lane, server.stats);
-          lane->credits_outstanding += config.credits;
-          work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
+          // Under tenancy the grant is clipped against the tenant's window
+          // budget; the shortfall is remembered on the lane and paid out of
+          // the next window by Redistribute, so cumulative grants never leak.
+          uint32_t grant = config.credits;
+          if (tenants != nullptr) {
+            grant = tenants->ClipGrant(lane->tenant_id, grant);
+            if (grant < config.credits) {
+              lane->deferred_grant += config.credits - grant;
+            }
+          }
+          if (grant > 0) {
+            lane->grant_cumulative += grant;
+            WriteCtrlSlot(env, *lane, server.stats);
+            lane->credits_outstanding += grant;
+            work += cost.cpu_wqe_prep + cost.cpu_mmio_doorbell;
+          }
         }
         // Inactive lanes get no credits from the next interval on (§5.1).
       }
@@ -191,6 +210,43 @@ sim::Proc ReceiverSched::Run(NodeEnv& env, ServerState& server) {
 void ReceiverSched::Redistribute(NodeEnv& env, ServerState& server) {
   const FlockConfig& config = *env.config;
   server.stats.redistributions += 1;
+  tenant::TenantRegistry* tenants =
+      config.tenancy ? &ctrl::ControlPlane::For(*env.cluster).tenants()
+                     : nullptr;
+  if (tenants != nullptr) {
+    // Roll the scheduling window: refill per-tenant credit budgets (scaled by
+    // the throttle level) and step the throttle state machine. Idempotent per
+    // instant, so several server runtimes ticking together roll it once.
+    tenants->EndWindow(env.sim().Now());
+    // Pay deferred grants out of the fresh window, walking senders and lanes
+    // in index order so the payout is deterministic at any shard count.
+    for (SenderState& sender : server.senders) {
+      for (ServerLane* lane : sender.lanes) {
+        if (lane->deferred_grant == 0 || lane->failed || lane->retired ||
+            !lane->active) {
+          continue;
+        }
+        const uint32_t pay =
+            tenants->ClipGrant(lane->tenant_id, lane->deferred_grant);
+        if (pay > 0) {
+          lane->deferred_grant -= pay;
+          lane->grant_cumulative += pay;
+          lane->credits_outstanding += pay;
+          WriteCtrlSlot(env, *lane, server.stats);
+        }
+      }
+    }
+  }
+  // Weighted-fair AQP partition: a tenant's policy weight scales its senders'
+  // utilization, so a weight-2 tenant gets twice the active-QP share of an
+  // equally-busy weight-1 tenant. Weight 1 everywhere with tenancy off.
+  auto sender_weight = [tenants](const SenderState& s) -> uint64_t {
+    if (tenants == nullptr) {
+      return 1;
+    }
+    const tenant::TenantPolicy* p = tenants->PolicyFor(s.tenant_id);
+    return p != nullptr ? std::max<uint32_t>(p->weight, 1) : 1;
+  };
   // Effective per-lane utilization: the reported coalescing degrees (the
   // paper's U_ij contention signal) plus the messages received this interval.
   // The message term keeps low-rate senders "functioning" even when no credit
@@ -246,10 +302,19 @@ void ReceiverSched::Redistribute(NodeEnv& env, ServerState& server) {
       sender.functioning = false;
       if (!was_dead) {
         server.stats.dead_senders += 1;
+        // Release the tenant's admission accounting exactly once; the
+        // tenant_charged latch also guards the TearDownSenders path, so a
+        // later explicit teardown of this conn_id cannot double-release.
+        if (tenants != nullptr && sender.tenant_charged) {
+          tenants->ReleaseConnection(sender.tenant_id,
+                                     sender.tenant_lanes_charged);
+          sender.tenant_charged = false;
+          sender.tenant_lanes_charged = 0;
+        }
       }
       continue;  // no budget participation at all
     }
-    total_utilization += sender.utilization;
+    total_utilization += sender.utilization * sender_weight(sender);
     dormant += sender.utilization == 0 ? 1 : 0;
   }
   // Dormant senders keep one QP each; the functioning senders share what is
@@ -281,7 +346,9 @@ void ReceiverSched::Redistribute(NodeEnv& env, ServerState& server) {
     } else {
       sender.functioning = true;
       target = static_cast<uint32_t>(
-          (static_cast<uint64_t>(budget) * sender.utilization) / total_utilization);
+          (static_cast<uint64_t>(budget) * sender.utilization *
+           sender_weight(sender)) /
+          total_utilization);
       target = std::max<uint32_t>(target, 1);
     }
     target = std::min(target, lane_count);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/ctrl/control_plane.h"
+
 namespace flock {
 namespace internal {
 
@@ -79,7 +81,8 @@ bool AssignmentHealthy(const std::vector<ThreadSchedStat>& stats,
 
 void SenderSched::Reschedule(ClientConnState& conn,
                              std::vector<std::unique_ptr<FlockThread>>& threads,
-                             const FlockConfig& config) {
+                             const FlockConfig& config,
+                             uint64_t tenant_bytes_cap) {
   // Active lane set.
   std::vector<uint32_t>& active = active_scratch;
   active.clear();
@@ -116,6 +119,9 @@ void SenderSched::Reschedule(ClientConnState& conn,
     total_bytes += s.bytes;
     stats.push_back(s);
   }
+  // Quota-bound tenants pack by their remaining window allowance, so the
+  // per-lane byte quota mirrors admissible load, not offered load.
+  total_bytes = std::min(total_bytes, tenant_bytes_cap);
 
   lane_active_scratch.assign(conn.lanes.size(), 0);
   for (uint32_t i : active) {
@@ -132,10 +138,18 @@ void SenderSched::Reschedule(ClientConnState& conn,
 }
 
 sim::Proc SenderSched::Run(NodeEnv& env, ClientState& client) {
+  // Tenancy (DESIGN.md §15): resolved once; nullptr with tenancy off.
+  tenant::TenantRegistry* tenants =
+      env.config->tenancy ? &ctrl::ControlPlane::For(*env.cluster).tenants()
+                          : nullptr;
   for (;;) {
     co_await sim::Delay(env.sim(), env.config->thread_sched_interval);
     for (ClientConnState* conn : client.conns) {
-      Reschedule(*conn, client.threads, *env.config);
+      uint64_t cap = UINT64_MAX;
+      if (tenants != nullptr && conn->tenant_id != tenant::kDefaultTenant) {
+        cap = tenants->SendBudgetRemaining(conn->tenant_id);
+      }
+      Reschedule(*conn, client.threads, *env.config, cap);
     }
   }
 }

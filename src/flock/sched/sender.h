@@ -78,10 +78,13 @@ struct SenderSched {
 
   // One tick for one connection: collect stats (this consumes the interval
   // deltas — call exactly once per tick), keep a healthy assignment, or
-  // re-sort and re-pack per Algorithm 1.
+  // re-sort and re-pack per Algorithm 1. `tenant_bytes_cap` clamps the byte
+  // total the pack divides (DESIGN.md §15): a quota-bound tenant is packed by
+  // what it may still move this window, not by its offered load.
   void Reschedule(ClientConnState& conn,
                   std::vector<std::unique_ptr<FlockThread>>& threads,
-                  const FlockConfig& config);
+                  const FlockConfig& config,
+                  uint64_t tenant_bytes_cap = UINT64_MAX);
 
   // The client's interval loop: every thread_sched_interval, Reschedule each
   // connection in connect order.

@@ -35,6 +35,22 @@ enum HeaderFlags : uint16_t {
   kFlagWrap = 1 << 0,  // wrap marker: consumer resets to ring offset 0
 };
 
+// Tenant identity stamp (DESIGN.md §15): the upper 12 bits of the header
+// flags carry the sender's tenant id, so the receiver can cross-check the
+// data plane against the identity registered at handshake time. Tenant 0
+// (the default) stamps as zero bits — byte-identical to pre-tenancy headers.
+inline constexpr int kFlagTenantShift = 4;
+inline constexpr uint16_t kMaxTenantStamp = 0x0FFF;
+
+inline uint16_t PackTenantFlags(uint32_t tenant_id) {
+  return static_cast<uint16_t>((tenant_id & kMaxTenantStamp)
+                               << kFlagTenantShift);
+}
+
+inline uint32_t TenantFromFlags(uint16_t flags) {
+  return static_cast<uint32_t>(flags >> kFlagTenantShift) & kMaxTenantStamp;
+}
+
 struct MsgHeader {
   uint32_t total_len = 0;  // header..trailing canary inclusive, 32B-aligned
   uint16_t num_reqs = 0;
@@ -97,13 +113,15 @@ class MessageEncoder {
   }
 
   // Writes header and trailing canary; returns the total message length.
-  uint32_t Seal(uint32_t piggyback_head, uint32_t credit_grant) {
+  // `flags` carries the tenant stamp on client→server messages (0 otherwise).
+  uint32_t Seal(uint32_t piggyback_head, uint32_t credit_grant,
+                uint16_t flags = 0) {
     FLOCK_CHECK_GT(num_reqs_, 0u);
     const uint32_t total = AlignUp(offset_ + kCanaryBytes);
     MsgHeader header;
     header.total_len = total;
     header.num_reqs = num_reqs_;
-    header.flags = 0;
+    header.flags = flags;
     header.canary = canary_;
     header.piggyback_head = piggyback_head;
     header.credit_grant = credit_grant;

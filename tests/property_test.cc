@@ -18,6 +18,7 @@
 #include "src/rnic/qp_cache.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
+#include "src/tenant/tenant.h"
 
 namespace flock {
 namespace {
@@ -568,6 +569,211 @@ TEST_P(CtrlFuzzProperty, MalformedHandshakesAreRejectedNotCrashed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CtrlFuzzProperty,
+                         ::testing::Values(uint64_t{1}, uint64_t{7},
+                                           uint64_t{42}, uint64_t{1337},
+                                           uint64_t{0xDEADBEEF}));
+
+// ---------------------------------------------------------------------------
+// Tenant identity under hostile input (DESIGN.md §15). Three surfaces:
+//   1. the 12-bit data-plane stamp packs into header flags without touching
+//      the low flag bits and roundtrips exactly;
+//   2. a forged ConnectRequest tenant_id (> kMaxTenantId) must be rejected by
+//      the typed decoder — corruption on top of that must never yield a
+//      decoded id out of range. DisconnectRequest is a fixed-size decoder and
+//      must reject any size mismatch;
+//   3. the registry itself, hammered with random admissions/releases/grants
+//      from registered, unregistered and forged ids, never crashes, never
+//      lets an unknown id accrue state, and its live accounting matches a
+//      shadow model exactly (quota charges can neither leak nor underflow).
+// ---------------------------------------------------------------------------
+
+class TenantFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TenantFuzzProperty, ForgedIdsRejectedAndAccountingNeverLeaks) {
+  namespace cw = ctrl::wire;
+  Rng rng(GetParam());
+  uint8_t buf[cw::kMaxMessageBytes];
+
+  // Shadow model for arm 3: per-tenant outstanding connection charges
+  // (each element = lanes charged for that connection).
+  tenant::TenantRegistry reg;
+  std::vector<std::vector<uint32_t>> shadow(5);
+  for (tenant::TenantId id = 1; id <= 4; ++id) {
+    tenant::TenantPolicy p;
+    p.weight = 1 + static_cast<uint32_t>(rng.NextBelow(4));
+    p.max_connections = static_cast<uint32_t>(rng.NextBelow(4));  // 0=unlimited
+    p.max_lanes = static_cast<uint32_t>(rng.NextBelow(12));
+    p.credit_budget = static_cast<uint32_t>(rng.NextBelow(64));
+    p.byte_quota = rng.NextBelow(2) ? 0 : 4096;
+    reg.Register(id, p);
+  }
+  uint64_t now = 0;
+
+  for (int round = 0; round < 4000; ++round) {
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        // Stamp roundtrip: low flag bits untouched, 12 bits recovered.
+        const uint32_t id = static_cast<uint32_t>(rng.Next());
+        const uint16_t flags = wire::PackTenantFlags(id);
+        ASSERT_EQ(flags & 0xF, 0) << "stamp clobbered low flag bits";
+        ASSERT_EQ(wire::TenantFromFlags(flags), id & wire::kMaxTenantStamp);
+        const uint16_t noise = static_cast<uint16_t>(rng.Next());
+        ASSERT_LE(wire::TenantFromFlags(noise), wire::kMaxTenantStamp);
+        break;
+      }
+      case 1: {
+        // ConnectRequest carrying a (sometimes forged) tenant id.
+        cw::ConnectRequest req;
+        req.client_node = static_cast<int32_t>(rng.NextBelow(16));
+        req.num_lanes = 1 + static_cast<uint32_t>(rng.NextBelow(cw::kMaxLanesPerMsg));
+        req.ring_bytes = 1u << rng.NextInRange(6, 18);
+        const bool forged = rng.NextBelow(2) == 0;
+        req.tenant_id = forged
+                            ? tenant::kMaxTenantId + 1 +
+                                  static_cast<uint32_t>(rng.NextBelow(1u << 20))
+                            : static_cast<uint32_t>(
+                                  rng.NextBelow(tenant::kMaxTenantId + 1));
+        for (uint32_t i = 0; i < req.num_lanes; ++i) {
+          req.lanes[i].qpn = static_cast<uint32_t>(rng.Next());
+          req.lanes[i].resp_ring_addr = rng.Next();
+        }
+        const uint32_t len =
+            cw::EncodeMessage(buf, sizeof(buf), cw::MsgType::kConnectRequest,
+                              rng.Next(), &req, cw::ConnectRequestBytes(req.num_lanes));
+        ASSERT_LE(len, sizeof(buf));
+        uint32_t fuzz_len = len;
+        const bool corrupted = rng.NextBelow(2) == 0;
+        if (corrupted) {
+          if (rng.NextBelow(3) == 0) {
+            fuzz_len = static_cast<uint32_t>(rng.NextBelow(len + 1));
+          }
+          if (fuzz_len > 0) {
+            const uint32_t flips = 1 + static_cast<uint32_t>(rng.NextBelow(8));
+            for (uint32_t f = 0; f < flips; ++f) {
+              buf[rng.NextBelow(fuzz_len)] ^=
+                  static_cast<uint8_t>(1 + rng.NextBelow(255));
+            }
+          }
+        }
+        cw::MsgHeader h;
+        if (!cw::DecodeHeader(buf, fuzz_len, &h)) break;
+        cw::ConnectRequest out;
+        const bool ok = cw::DecodeConnectRequest(h, buf, &out);
+        if (ok) {
+          // Whatever survives decode is a usable identity.
+          ASSERT_LE(out.tenant_id, tenant::kMaxTenantId);
+          ASSERT_LE(out.num_lanes, cw::kMaxLanesPerMsg);
+        }
+        if (!corrupted) {
+          // Pristine frame: decode verdict is exactly the forgery check.
+          ASSERT_EQ(ok, !forged)
+              << "forged tenant_id " << req.tenant_id << " not rejected";
+        }
+        break;
+      }
+      case 2: {
+        // DisconnectRequest: fixed-size decoder must reject size mismatches.
+        cw::DisconnectRequest req;
+        req.client_node = static_cast<int32_t>(rng.NextBelow(16));
+        req.conn_id = static_cast<uint32_t>(rng.Next());
+        const uint32_t len =
+            cw::EncodeMessage(buf, sizeof(buf), cw::MsgType::kDisconnectRequest,
+                              rng.Next(), &req, sizeof(req));
+        uint32_t fuzz_len = len;
+        if (rng.NextBelow(3) == 0) {
+          fuzz_len = static_cast<uint32_t>(rng.NextBelow(len + 1));
+        }
+        if (rng.NextBelow(3) != 0 && fuzz_len > 0) {
+          const uint32_t flips = 1 + static_cast<uint32_t>(rng.NextBelow(8));
+          for (uint32_t f = 0; f < flips; ++f) {
+            buf[rng.NextBelow(fuzz_len)] ^=
+                static_cast<uint8_t>(1 + rng.NextBelow(255));
+          }
+        }
+        cw::MsgHeader h;
+        if (!cw::DecodeHeader(buf, fuzz_len, &h)) break;
+        cw::DisconnectRequest out;
+        if (cw::DecodeDisconnectRequest(h, buf, &out)) {
+          ASSERT_EQ(h.body_len, sizeof(cw::DisconnectRequest));
+        }
+        break;
+      }
+      default: {
+        // Registry hammer. Ids 1..4 registered; 5..8 unknown; one forged.
+        const tenant::TenantId id = 1 + static_cast<tenant::TenantId>(
+                                            rng.NextBelow(9));
+        const bool known = id <= 4;
+        switch (rng.NextBelow(6)) {
+          case 0: {
+            const uint32_t want = static_cast<uint32_t>(rng.NextBelow(8));
+            const tenant::Admission v = reg.AdmitConnect(id, want);
+            if (known && v.verdict == tenant::Admission::Verdict::kAdmit) {
+              ASSERT_LE(v.lanes, want);
+              shadow[id].push_back(v.lanes);
+            }
+            break;
+          }
+          case 1: {
+            if (known && !shadow[id].empty()) {
+              const size_t k = rng.NextBelow(shadow[id].size());
+              reg.ReleaseConnection(id, shadow[id][k]);
+              shadow[id].erase(shadow[id].begin() + static_cast<long>(k));
+            } else {
+              reg.ReleaseConnection(id, static_cast<uint32_t>(rng.NextBelow(4)));
+            }
+            break;
+          }
+          case 2: {
+            // AddLane only ever rides an existing connection in the runtime,
+            // so the hammer respects that precondition for known ids.
+            if (known) {
+              if (!shadow[id].empty() && reg.AdmitLane(id)) {
+                shadow[id].back() += 1;
+              }
+            } else {
+              ASSERT_TRUE(reg.AdmitLane(id)) << "unknown ids are unlimited";
+            }
+            break;
+          }
+          case 3: {
+            const uint32_t want = static_cast<uint32_t>(rng.NextBelow(64));
+            ASSERT_LE(reg.ClipGrant(id, want), want);
+            break;
+          }
+          case 4: {
+            reg.OnRequests(id, 1, rng.NextBelow(2048));
+            reg.ChargeSent(id, rng.NextBelow(2048));
+            if (!known) {
+              ASSERT_EQ(reg.SendBudgetRemaining(id), UINT64_MAX);
+            }
+            break;
+          }
+          default: {
+            now += 1 + rng.NextBelow(1000);
+            reg.EndWindow(now);
+            break;
+          }
+        }
+        // Unknown ids never accrue state; known ids match the shadow exactly.
+        ASSERT_EQ(reg.NumRegistered(), 4u);
+        if (!known) {
+          ASSERT_FALSE(reg.Registered(id));
+          ASSERT_EQ(reg.LiveConnections(id), 0u);
+          ASSERT_EQ(reg.LiveLanes(id), 0u);
+        } else {
+          uint32_t lanes = 0;
+          for (uint32_t c : shadow[id]) lanes += c;
+          ASSERT_EQ(reg.LiveConnections(id), shadow[id].size());
+          ASSERT_EQ(reg.LiveLanes(id), lanes);
+          ASSERT_LE(reg.ThrottleLevel(id), reg.throttle.max_level);
+        }
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TenantFuzzProperty,
                          ::testing::Values(uint64_t{1}, uint64_t{7},
                                            uint64_t{42}, uint64_t{1337},
                                            uint64_t{0xDEADBEEF}));
