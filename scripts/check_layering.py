@@ -44,8 +44,9 @@ RANK = {
 }
 
 # Rank-free: includable from any flock module (pure data/format headers with
-# no mechanism dependencies of their own).
-FOUNDATION = {"config", "ring", "wire"}
+# no mechanism dependencies of their own). segment.h qualifies: chunking
+# arithmetic and the reassembly slab over config + wire only.
+FOUNDATION = {"config", "ring", "wire", "segment"}
 
 # Layers below flock: must not include src/flock at all.
 LOWER_LAYER_DIRS = [

@@ -35,6 +35,13 @@ and a "onesided" row, and one-sided point reads must beat the RPC path by
 >= --min-onesided-speedup at the 64B / 100%-read cell. Simulated-time gate,
 same as the storm gates: exact.
 
+Passing --extent-store=PATH gates the scatter-gather / segmentation data
+path (DESIGN.md §16) from the extent_store JSON dump: the bimodal
+configuration must move >= --min-extent-kb extents at >=
+--min-extent-gbps sustained, keep the metadata p99 within
+--max-meta-p99-ratio of the metadata-only solo run, and complete with zero
+failures in either configuration. Simulated-time gate: exact.
+
 Passing --tenant-isolation=PATH gates the multi-tenant service layer
 (DESIGN.md §15) from the tenant_isolation JSON dump: under every attack
 profile the victim tenant's p99 must stay within --max-victim-p99-ratio of
@@ -205,6 +212,47 @@ def check_conn_storm(path, min_improvement, max_p99_us):
     return failed
 
 
+def check_extent_store(path, min_extent_kb, min_extent_gbps, max_p99_ratio):
+    """Gate the scatter-gather / segmentation path (DESIGN.md §16) from the
+    extent_store JSON dump: bimodal extents at least min_extent_kb large and
+    min_extent_gbps sustained, metadata p99 within max_p99_ratio of the
+    metadata-only solo run, zero failures. Simulated-time gate: exact."""
+    rows = load_rows(path)
+    solo = rows.get("solo")
+    bimodal = rows.get("bimodal")
+    if solo is None or bimodal is None:
+        return [f"extent_store:missing-rows ({path})"]
+    failed = []
+    solo_p99 = solo.get("meta_p99_ns", 0)
+    extent_kb = bimodal.get("extent_kb", 0)
+    gbps = bimodal.get("extent_gbps", 0.0)
+    ratio = bimodal.get("meta_p99_ns", 0) / solo_p99 if solo_p99 else 0.0
+    print(f"\nextent_store: solo meta p99 {solo_p99 / 1e3:.1f} us; bimodal "
+          f"{extent_kb:.0f} KB extents at {gbps:.2f} GB/s, meta p99 "
+          f"{bimodal.get('meta_p99_ns', 0) / 1e3:.1f} us ({ratio:.2f}x solo)")
+    if extent_kb < min_extent_kb:
+        failed.append("extent_store:extent-size")
+        print(f"<< EXTENTS BELOW GATE: {extent_kb:.0f} KB < "
+              f"required {min_extent_kb:.0f} KB")
+    if gbps < min_extent_gbps:
+        failed.append("extent_store:bandwidth")
+        print(f"<< EXTENT BANDWIDTH BELOW GATE: {gbps:.2f} GB/s < "
+              f"required {min_extent_gbps:.1f} GB/s")
+    if ratio <= 0 or ratio > max_p99_ratio:
+        failed.append("extent_store:meta-p99")
+        print(f"<< METADATA P99 ABOVE GATE: {ratio:.2f}x > "
+              f"{max_p99_ratio:.2f}x solo")
+    for name, row in (("solo", solo), ("bimodal", bimodal)):
+        if row.get("failures", 0):
+            failed.append(f"extent_store:failures:{name}")
+            print(f"<< {name} SAW {row['failures']:.0f} FAILED RPCs")
+    if not failed:
+        print(f"extent_store gate passed: {extent_kb:.0f} KB extents at "
+              f"{gbps:.2f} GB/s with meta p99 {ratio:.2f}x <= "
+              f"{max_p99_ratio:.2f}x solo, zero failures")
+    return failed
+
+
 def check_tenant_isolation(path, max_p99_ratio, min_tput_frac):
     """Gate the multi-tenant service layer (DESIGN.md §15) from the
     tenant_isolation JSON dump: victim p99/throughput bounded relative to its
@@ -292,6 +340,29 @@ def main():
         help="required one-sided/RPC throughput ratio at 64B, 100%% reads",
     )
     parser.add_argument(
+        "--extent-store",
+        default=None,
+        help="extent_store JSON dump to gate (size, bandwidth, meta p99 ratio)",
+    )
+    parser.add_argument(
+        "--min-extent-kb",
+        type=float,
+        default=1024.0,
+        help="floor on the bimodal extent size in the extent_store dump",
+    )
+    parser.add_argument(
+        "--min-extent-gbps",
+        type=float,
+        default=4.0,
+        help="floor on sustained bimodal extent bandwidth (payload GB/s)",
+    )
+    parser.add_argument(
+        "--max-meta-p99-ratio",
+        type=float,
+        default=2.0,
+        help="ceiling on bimodal metadata p99 relative to the solo run",
+    )
+    parser.add_argument(
         "--tenant-isolation",
         default=None,
         help="tenant_isolation JSON dump to gate (victim p99/tput vs solo)",
@@ -321,6 +392,10 @@ def main():
                                    args.max_ttfr_p99_us)
     if args.crossover:
         failed += check_crossover(args.crossover, args.min_onesided_speedup)
+    if args.extent_store:
+        failed += check_extent_store(args.extent_store, args.min_extent_kb,
+                                     args.min_extent_gbps,
+                                     args.max_meta_p99_ratio)
     if args.tenant_isolation:
         failed += check_tenant_isolation(args.tenant_isolation,
                                          args.max_victim_p99_ratio,

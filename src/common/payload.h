@@ -1,0 +1,93 @@
+// Scatter-gather payload view (DESIGN.md §16).
+//
+// A PayloadRef is a tiny iovec: up to kMaxSlices {pointer, length} pairs over
+// caller-owned memory. It carries no ownership — the caller's buffers must
+// stay valid until the payload has been gathered into the staging ring (the
+// submit path blocks the caller until exactly that point, so stack buffers
+// are safe). Threading PayloadRef from Runtime::Call down to
+// wire::MessageEncoder collapses the old copy chain (caller → PendingSend →
+// staging) to a single gather into the staging ring.
+//
+// Trivially copyable on purpose: PendingSend objects live in a Pool<> and a
+// PayloadRef is copied into them by value.
+#ifndef FLOCK_COMMON_PAYLOAD_H_
+#define FLOCK_COMMON_PAYLOAD_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace flock {
+
+class PayloadRef {
+ public:
+  // Two slices cover the common composite case (header + body, e.g. an
+  // extent write); four leaves headroom without bloating PendingSend.
+  static constexpr uint32_t kMaxSlices = 4;
+
+  struct Slice {
+    const uint8_t* data = nullptr;
+    uint32_t len = 0;
+  };
+
+  PayloadRef() = default;
+  PayloadRef(const uint8_t* data, uint32_t len) { Add(data, len); }
+
+  // Appends a slice. Zero-length slices are dropped so num_slices() == 0
+  // iff size() == 0.
+  void Add(const uint8_t* data, uint32_t len) {
+    if (len == 0) {
+      return;
+    }
+    FLOCK_CHECK_LT(num_slices_, kMaxSlices);
+    slices_[num_slices_].data = data;
+    slices_[num_slices_].len = len;
+    ++num_slices_;
+    total_ += len;
+  }
+
+  uint32_t size() const { return total_; }
+  uint32_t num_slices() const { return num_slices_; }
+  const Slice& slice(uint32_t i) const {
+    FLOCK_CHECK_LT(i, num_slices_);
+    return slices_[i];
+  }
+
+  // Gathers the whole payload into `dst`, which must hold size() bytes.
+  void CopyTo(uint8_t* dst) const {
+    for (uint32_t i = 0; i < num_slices_; ++i) {
+      std::memcpy(dst, slices_[i].data, slices_[i].len);
+      dst += slices_[i].len;
+    }
+  }
+
+  // View of the byte range [offset, offset + len): cuts an oversized payload
+  // into wire chunks without touching the bytes. The result references the
+  // same caller memory.
+  PayloadRef Sub(uint32_t offset, uint32_t len) const {
+    FLOCK_CHECK_LE(uint64_t{offset} + len, uint64_t{total_});
+    PayloadRef out;
+    for (uint32_t i = 0; i < num_slices_ && len > 0; ++i) {
+      const Slice& s = slices_[i];
+      if (offset >= s.len) {
+        offset -= s.len;
+        continue;
+      }
+      const uint32_t take = s.len - offset < len ? s.len - offset : len;
+      out.Add(s.data + offset, take);
+      offset = 0;
+      len -= take;
+    }
+    return out;
+  }
+
+ private:
+  Slice slices_[kMaxSlices] = {};
+  uint32_t num_slices_ = 0;
+  uint32_t total_ = 0;
+};
+
+}  // namespace flock
+
+#endif  // FLOCK_COMMON_PAYLOAD_H_

@@ -165,6 +165,31 @@ class SmallBuf {
     std::memcpy(Resize(n), src, n);
   }
 
+  // Appends `n` bytes, preserving existing contents across a heap growth
+  // (Resize alone discards them when it reallocates). Used by segmented
+  // response reassembly to accumulate chunks in arrival order.
+  void Append(const uint8_t* src, uint32_t n) {
+    const uint32_t old_size = size_;
+    const uint64_t new_size = uint64_t{old_size} + n;
+    FLOCK_CHECK_LE(new_size, uint64_t{UINT32_MAX});
+    if (new_size > kInline && new_size > heap_capacity_) {
+      const uint32_t new_cap =
+          std::max(static_cast<uint32_t>(new_size), heap_capacity_ * 2);
+      uint8_t* grown = new uint8_t[new_cap];
+      std::memcpy(grown, data(), old_size);
+      delete[] heap_;
+      heap_ = grown;
+      heap_capacity_ = new_cap;
+    }
+    const bool was_inline = old_size <= kInline;
+    size_ = static_cast<uint32_t>(new_size);
+    if (was_inline && size_ > kInline) {
+      // The buffer just crossed into heap storage: carry the inline prefix.
+      std::memcpy(heap_, inline_, old_size);
+    }
+    std::memcpy(data() + old_size, src, n);
+  }
+
   void CopyTo(std::vector<uint8_t>* out) const {
     out->resize(size_);
     std::memcpy(out->data(), data(), size_);
@@ -173,6 +198,12 @@ class SmallBuf {
   uint8_t* data() { return size_ <= kInline ? inline_ : heap_; }
   const uint8_t* data() const { return size_ <= kInline ? inline_ : heap_; }
   uint32_t size() const { return size_; }
+  // Whether Resize(n) would reuse existing storage (inline or retained heap
+  // block) rather than allocate. Lets buffer recyclers pick a fitting block.
+  bool FitsWithoutAlloc(uint32_t n) const {
+    return n <= kInline || n <= heap_capacity_;
+  }
+  uint32_t heap_capacity() const { return heap_capacity_; }
   bool empty() const { return size_ == 0; }
   void clear() { size_ = 0; }
   bool inlined() const { return size_ <= kInline; }
@@ -276,6 +307,23 @@ class SeqSlotMap {
         ShiftOut(i);
         --size_;
         return value;
+      }
+      i = (i + 1) & Mask();
+    }
+    return nullptr;
+  }
+
+  // Returns the entry for `seq` without removing it; nullptr if absent.
+  // Segmented responses look the RPC up per chunk and only Take() it when
+  // the final chunk lands.
+  V* Find(uint32_t seq) const {
+    if (slots_.empty()) {
+      return nullptr;
+    }
+    size_t i = seq & Mask();
+    while (slots_[i].value != nullptr) {
+      if (slots_[i].seq == seq) {
+        return slots_[i].value;
       }
       i = (i + 1) & Mask();
     }

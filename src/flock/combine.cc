@@ -8,12 +8,76 @@
 
 namespace flock {
 namespace internal {
+namespace {
 
-sim::Co<PendingRpc*> StageRpc(ClientConnState& conn, FlockThread& thread,
-                              uint16_t rpc_id, const uint8_t* data,
-                              uint32_t len) {
+// Stages one oversized payload as a SegMark chunk train (DESIGN.md §16).
+// Every chunk is an ordinary PendingSend through the TCQ: other threads'
+// small requests coalesce between chunks (Alg. 1 packs by the chunk-sized
+// medians), and the per-message credit, byte-quota and tenant accounting
+// charge each chunk like any message. The caller blocks until the final
+// chunk is on the wire — the lane is FIFO, so the earlier chunks are out by
+// then too, and the payload slices (caller memory) stay valid throughout.
+sim::Co<void> StageSegmented(ClientConnState& conn, FlockThread& thread,
+                             ClientLane& lane, PendingRpc* rpc,
+                             PayloadRef payload) {
   const FlockConfig& config = *conn.env->config;
   const sim::CostModel& cost = conn.env->cost();
+  const uint32_t chunk = SegmentChunkBytes(config);
+  const uint32_t len = payload.size();
+  bool sent = false;
+  uint32_t offset = 0;
+  while (offset < len) {
+    const uint32_t clen = std::min(chunk, len - offset);
+    const bool last = offset + clen == len;
+    PendingSend* ps = conn.client->send_pool.New();
+    ps->meta.data_len = wire::PackSegLen(
+        offset == 0 ? wire::SegMark::kFirst
+                    : (last ? wire::SegMark::kLast : wire::SegMark::kMiddle),
+        clen);
+    ps->meta.thread_id = thread.id();
+    ps->meta.rpc_id = rpc->rpc_id;
+    ps->meta.seq = rpc->seq;
+    ps->owner_core = &thread.core();
+    ps->payload = payload.Sub(offset, clen);
+    // Chunks are the on-wire unit the sender scheduler sees.
+    thread.req_size_median.Record(clen);
+    co_await thread.core().Work(cost.cpu_atomic_rmw +
+                                cost.cpu_cacheline_transfer);
+    if (lane.combine_tail != nullptr) {
+      lane.combine_tail->next = ps;
+    } else {
+      lane.combine_head = ps;
+    }
+    lane.combine_tail = ps;
+    WakePump(conn, lane);
+    if (last) {
+      ps->sent_flag = &sent;
+      ps->sent_cond = lane.sent_cond.get();
+    }
+    co_await thread.core().Work(cost.MemcpyCost(clen + wire::kMetaBytes));
+    if (ps->dropped) {
+      // Lane quarantined mid-copy (see StageRpc); the watchdog retransmits
+      // the whole extent from rpc->request.
+      conn.client->send_pool.Delete(ps);
+    } else {
+      ps->copied = true;
+      lane.copy_done->NotifyAll();
+    }
+    offset += clen;
+  }
+  while (!sent) {
+    co_await lane.sent_cond->Wait();
+  }
+}
+
+}  // namespace
+
+sim::Co<PendingRpc*> StageRpc(ClientConnState& conn, FlockThread& thread,
+                              uint16_t rpc_id, PayloadRef payload,
+                              uint8_t* response_dst, uint32_t response_cap) {
+  const FlockConfig& config = *conn.env->config;
+  const sim::CostModel& cost = conn.env->cost();
+  const uint32_t len = payload.size();
   FLOCK_CHECK_LE(len, config.max_payload);
 
   // Deferred connection setup (DESIGN.md §13): the condition object exists
@@ -46,16 +110,34 @@ sim::Co<PendingRpc*> StageRpc(ClientConnState& conn, FlockThread& thread,
   rpc->thread_id = thread.id();
   rpc->submitted_at = conn.env->sim().Now();
   rpc->lane_index = lane.index;
+  rpc->response_dst = response_dst;
+  rpc->response_cap = response_cap;
+  rpc->response_len = 0;
+  rpc->resp_assembled = 0;
+  rpc->resp_src = nullptr;
   if (config.rpc_timeout > 0) {
     // Failure handling armed: retain the payload for retransmission and set
     // the first deadline. With timeouts off, neither field is ever read.
     rpc->deadline = rpc->submitted_at + config.rpc_timeout;
-    rpc->request.Assign(data, len);
+    payload.CopyTo(rpc->request.Resize(len));
   }
   if (conn.pending.size() <= thread.id()) {
     conn.pending.resize(size_t{thread.id()} + 1);
   }
   conn.pending[thread.id()].Insert(rpc->seq, rpc);
+
+  thread.outstanding += 1;
+  lane.inflight += 1;
+  thread.reqs_sent.Add(1);
+  thread.bytes_sent.Add(len);
+
+  // Oversized payloads travel as a SegMark chunk train (DESIGN.md §16);
+  // everything below the threshold stays on the unchanged inline path.
+  if (config.segment_threshold > 0 && len > config.segment_threshold) {
+    co_await StageSegmented(conn, thread, lane, rpc, payload);
+    co_return rpc;
+  }
+  thread.req_size_median.Record(len);
 
   PendingSend* ps = conn.client->send_pool.New();
   ps->meta.data_len = len;
@@ -63,13 +145,9 @@ sim::Co<PendingRpc*> StageRpc(ClientConnState& conn, FlockThread& thread,
   ps->meta.rpc_id = rpc_id;
   ps->meta.seq = rpc->seq;
   ps->owner_core = &thread.core();
-  ps->data.Assign(data, len);
-
-  thread.outstanding += 1;
-  lane.inflight += 1;
-  thread.req_size_median.Record(len);
-  thread.reqs_sent.Add(1);
-  thread.bytes_sent.Add(len);
+  // Zero-copy: the slices point at caller memory, which outlives the gather
+  // because this coroutine blocks on sent_flag below.
+  ps->payload = payload;
 
   // TCQ enqueue: one atomic swap + a cacheline transfer makes the request
   // visible to the (current or future) leader...
@@ -153,7 +231,9 @@ sim::Proc Pump(ClientConnState& conn, ClientLane& lane) {
     auto admit = [&]() {
       while (batch_n < bound && lane.combine_head != nullptr) {
         PendingSend* ps = lane.combine_head;
-        const uint32_t next_len = ps->meta.data_len;
+        // Masked: segment marks in the top bits carry no bytes (a no-op for
+        // unsegmented requests).
+        const uint32_t next_len = wire::SegLen(ps->meta.data_len);
         if (batch_n > 0 &&
             wire::MessageBytes(static_cast<uint32_t>(batch_n) + 1,
                                data_bytes + next_len) > config.ring_bytes / 2) {
@@ -326,16 +406,32 @@ sim::Proc Pump(ClientConnState& conn, ClientLane& lane) {
 
     const uint64_t canary = SplitMix64(*conn.env->rng_state);
     wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
-    for (const PendingSend* ps = batch_head; ps != nullptr; ps = ps->next) {
-      encoder.Add(ps->meta, ps->data.data());
-    }
     // The tenant stamp rides in the header flags; tenant 0 stamps zero bits,
     // so single-tenant messages stay byte-identical to pre-tenancy ones.
+    // A batch containing any segment chunk additionally raises kFlagSegment.
+    uint16_t flags = wire::PackTenantFlags(conn.tenant_id);
+    for (const PendingSend* ps = batch_head; ps != nullptr; ps = ps->next) {
+      if (wire::SegOf(ps->meta.data_len) != wire::SegMark::kNone) {
+        flags |= wire::kFlagSegment;
+      }
+      // Single copy of the payload path (DESIGN.md §16): gather from the
+      // caller's slices straight into the staging ring.
+      encoder.AddGather(ps->meta, ps->payload);
+    }
     const uint32_t total =
         encoder.Seal(lane.resp_consumer->consumed_report(), /*credit_grant=*/0,
-                     wire::PackTenantFlags(conn.tenant_id));
+                     flags);
     FLOCK_CHECK_EQ(total, msg_len);
-    lane.resp_bytes_since_send = 0;  // this message carries a fresh head
+    if (config.segment_threshold == 0) {
+      // This message carries a fresh head, so the dispatcher's out-of-band
+      // slot write can be suppressed. Only safe without segmentation: a
+      // server blocked mid-chunk-train reads nothing but the head slot, and
+      // a report sealed into a request message it cannot gather (it holds
+      // the lane in_service for the whole train) would be trapped there —
+      // client pump wedged on the full request ring, server wedged on a
+      // "full" response ring, dispatcher silent. Three-way deadlock.
+      lane.resp_bytes_since_send = 0;
+    }
 
     // Post the coalesced message (plus wrap marker / credit renewal if due)
     // with a single doorbell.

@@ -134,12 +134,19 @@ class CombiningQueue {
 namespace internal {
 
 // fl_send_rpc staging: allocates the RPC handle, enqueues a PendingSend onto
-// the thread's lane (one atomic swap + payload copy, §4.2) and returns once
-// the message carrying it is on the wire. Lazily-started Co: the public
-// Connection::SendRpc forwards here without adding a coroutine frame.
+// the thread's lane (one atomic swap, §4.2) and returns once the message
+// carrying it is on the wire — the leader gathers the payload straight from
+// the caller's slices into the staging ring (DESIGN.md §16). Payloads above
+// FlockConfig::segment_threshold are staged as a SegMark chunk train
+// instead. `response_dst`/`response_cap`, when non-null, give the dispatcher
+// a caller-owned buffer to land the response in (mandatory for responses too
+// large for reassembly into the inline SmallBuf to stay allocation-free).
+// Lazily-started Co: the public Connection::SendRpc forwards here without
+// adding a coroutine frame.
 sim::Co<PendingRpc*> StageRpc(ClientConnState& conn, FlockThread& thread,
-                              uint16_t rpc_id, const uint8_t* data,
-                              uint32_t len);
+                              uint16_t rpc_id, PayloadRef payload,
+                              uint8_t* response_dst = nullptr,
+                              uint32_t response_cap = 0);
 
 // Starts pumping `lane` if it is not already being pumped: first use spawns
 // the persistent pump proc, later uses wake it from its parked state.

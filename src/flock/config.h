@@ -115,6 +115,27 @@ struct FlockConfig {
   // the identity a client presents is per-connection (fl_connect's tenant
   // argument), not per-config.
   bool tenancy = false;
+
+  // ---- scatter-gather payload path & segmentation (DESIGN.md §16) ----
+  // Master switch: payloads above this many bytes travel as a train of
+  // segment chunks (wire::SegMark) instead of one inline request, letting
+  // max_payload exceed the ring's single-message bound (ring_bytes / 2).
+  // 0 = segmentation off — no chunking, no reassembly state, no ctrl-slot
+  // head reports; traces stay bit-identical to the pre-segmentation build.
+  // When non-zero it must be set identically on both ends of a connection.
+  uint32_t segment_threshold = 0;
+  // On-wire bytes per chunk. Small RPCs from other threads coalesce between
+  // chunks (Alg. 1 packs by size), so this bounds head-of-line blocking the
+  // same way the MTU does for a NIC.
+  uint32_t segment_chunk_bytes = 8 * 1024;
+  // Bounded server-side reassembly pool: concurrent partially-received
+  // extents per server beyond this are dropped (the sender's watchdog
+  // retransmits). Buffers are lazily grown to max_payload and then reused.
+  uint32_t reassembly_entries = 16;
+  // Orphaned partials (their lane died mid-extent) are reclaimed after this
+  // long without progress; 0 derives 2 * rpc_timeout, or 1 ms without a
+  // watchdog.
+  Nanos reassembly_timeout = 0;
 };
 
 }  // namespace flock

@@ -16,8 +16,7 @@ sim::Proc RequestDispatcher(NodeEnv& env, ServerState& server, int index) {
   const FlockConfig& config = *env.config;
   DispatchScratch scratch;
   // The gather phase can batch up to 2 * max_coalesce - 1 requests.
-  scratch.data.resize(size_t{2} * config.max_coalesce * (config.max_payload + 64) +
-                      wire::kHeaderBytes + wire::kCanaryBytes);
+  scratch.data.resize(DispatchScratchBytes(config));
 
   for (;;) {
     Nanos pass_cost = 0;
@@ -60,8 +59,7 @@ sim::Proc RpcWorker(NodeEnv& env, ServerState& server, int index) {
   const sim::CostModel& cost = env.cost();
   const FlockConfig& config = *env.config;
   DispatchScratch scratch;
-  scratch.data.resize(size_t{2} * config.max_coalesce * (config.max_payload + 64) +
-                      wire::kHeaderBytes + wire::kCanaryBytes);
+  scratch.data.resize(DispatchScratchBytes(config));
   for (;;) {
     while (server.work_queue.empty()) {
       co_await server.work_ready->Wait();
@@ -77,6 +75,100 @@ sim::Proc RpcWorker(NodeEnv& env, ServerState& server, int index) {
     lane.in_service = false;
   }
 }
+
+namespace {
+
+// Streams one above-threshold handler response as a SegMark chunk train on
+// `lane`'s response ring (DESIGN.md §16). Large responses never enter the
+// accumulation buffer: each chunk is posted as its own single-request
+// message, so the coalesced metadata responses gathered alongside are not
+// held hostage to ring space for the whole extent. Returns false when the
+// lane died mid-stream (the caller abandons the rest of the gather).
+sim::Co<bool> StreamSegmentedResponse(NodeEnv& env, ServerState& server,
+                                      ServerLane& lane, sim::Core& core,
+                                      wire::ReqMeta meta, const uint8_t* data,
+                                      uint32_t len) {
+  const sim::CostModel& cost = env.cost();
+  const FlockConfig& config = *env.config;
+  const uint32_t chunk = SegmentChunkBytes(config);
+  uint32_t offset = 0;
+  while (offset < len) {
+    const uint32_t clen = std::min(chunk, len - offset);
+    const bool last = offset + clen == len;
+    wire::ReqMeta cmeta = meta;
+    cmeta.data_len = wire::PackSegLen(
+        offset == 0 ? wire::SegMark::kFirst
+                    : (last ? wire::SegMark::kLast : wire::SegMark::kMiddle),
+        clen);
+    const uint32_t msg_len = wire::MessageBytes(1, clen);
+    RingProducer::Reservation resv;
+    uint64_t stalls = 0;
+    while (!lane.resp_producer.Reserve(msg_len, &resv)) {
+      if (lane.failed) {
+        server.stats.responses_dropped += 1;
+        co_return false;
+      }
+      if (env.cluster->fault().armed() && (++stalls & 63) == 0) {
+        WriteCtrlSlot(env, lane, server.stats, /*signaled=*/true);
+        if (lane.failed) {
+          server.stats.responses_dropped += 1;
+          co_return false;
+        }
+      }
+      co_await sim::Delay(env.sim(), kMicrosecond);
+      uint32_t slot_value = 0;
+      std::memcpy(&slot_value, lane.head_slot_ptr, 4);
+      lane.resp_producer.OnHeadUpdate(slot_value);
+    }
+    const uint64_t canary = SplitMix64(*env.rng_state);
+    wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
+    encoder.Add(cmeta, data + offset);
+    const uint32_t total = encoder.Seal(lane.req_consumer->consumed_report(),
+                                        /*credit_grant=*/0, wire::kFlagSegment);
+    FLOCK_CHECK_EQ(total, msg_len);
+    lane.seg_bytes_since_report = 0;  // the chunk header carried the report
+    co_await core.Work(cost.cpu_msg_fixed + cost.cpu_msg_per_req +
+                       cost.MemcpyCost(clen));
+
+    verbs::SendWr wrs[2];
+    size_t nwrs = 0;
+    if (resv.wrapped) {
+      wire::EncodeWrapMarker(lane.staging + resv.marker_offset, canary);
+      verbs::SendWr marker;
+      marker.wr_id = TagWrId(WrTag::kServerWrite, &lane);
+      marker.opcode = verbs::Opcode::kWrite;
+      marker.local_addr = lane.staging_addr + resv.marker_offset;
+      marker.length = wire::kWrapMarkerBytes;
+      marker.remote_addr = lane.remote_ring_addr + resv.marker_offset;
+      marker.rkey = lane.remote_ring_rkey;
+      marker.signaled = false;
+      wrs[nwrs++] = marker;
+    }
+    verbs::SendWr msg;
+    msg.wr_id = TagWrId(WrTag::kServerWrite, &lane);
+    msg.opcode = verbs::Opcode::kWrite;
+    msg.local_addr = lane.staging_addr + resv.offset;
+    msg.length = msg_len;
+    msg.remote_addr = lane.remote_ring_addr + resv.offset;
+    msg.rkey = lane.remote_ring_rkey;
+    lane.posts += 1;
+    msg.signaled = (lane.posts % config.signal_interval) == 0;
+    wrs[nwrs++] = msg;
+    co_await core.Work(static_cast<Nanos>(nwrs) * cost.cpu_wqe_prep +
+                       cost.cpu_mmio_doorbell);
+    if (env.transport->PostBatch(*lane.qp, wrs, nwrs) !=
+        verbs::WcStatus::kSuccess) {
+      QuarantineServerLane(lane, server.stats);
+      server.stats.responses_dropped += 1;
+      co_return false;
+    }
+    offset += clen;
+  }
+  server.stats.responses_sent += 1;
+  co_return true;
+}
+
+}  // namespace
 
 sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
                                    ServerLane& lane, sim::Core& core,
@@ -98,6 +190,11 @@ sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
 
   // Gather phase: drain consecutive complete messages from this lane's ring
   // (bounded) so responses coalesce *across* request messages too (§4.3).
+  const bool seg_on = config.segment_threshold > 0;
+  // What a not-yet-seen request may add to the coalesced response: with
+  // segmentation on, anything bigger streams out as its own chunk train.
+  const uint32_t resp_cap_est =
+      seg_on ? config.segment_threshold : config.max_payload;
   scratch.resp.clear();
   uint32_t total_reqs = 0;
   uint32_t resp_bytes = 0;
@@ -114,14 +211,42 @@ sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
     work += cost.cpu_msg_fixed + static_cast<Nanos>(n) * cost.cpu_msg_per_req;
     for (uint32_t i = 0; i < n; ++i) {
       const wire::ReqView& req = scratch.views[i];
+      const uint8_t* req_data = req.data;
+      uint32_t req_len = wire::SegLen(req.meta.data_len);
+      const wire::SegMark mark = wire::SegOf(req.meta.data_len);
+      if (mark != wire::SegMark::kNone) {
+        // Segment chunk: accumulate; only a completed train runs a handler.
+        uint32_t complete_len = 0;
+        const ReassemblyKey key{&lane, req.meta.thread_id, req.meta.seq};
+        const uint8_t* complete = server.reassembly.Feed(
+            key, mark, req_data, req_len, env.sim().Now(), &complete_len);
+        work += cost.MemcpyCost(req_len);  // copy into the reassembly buffer
+        if (complete == nullptr) {
+          continue;  // partial (or dropped: the watchdog retransmits)
+        }
+        req_data = complete;
+        req_len = complete_len;
+      }
       const RpcHandler* handler = server.FindHandler(req.meta.rpc_id);
       FLOCK_CHECK(handler != nullptr) << "no handler for rpc " << req.meta.rpc_id;
       Nanos handler_cpu = 0;
       const uint32_t resp_len =
-          (*handler)(req.data, req.meta.data_len, scratch.data.data() + offset,
+          (*handler)(req_data, req_len, scratch.data.data() + offset,
                      config.max_payload, &handler_cpu);
       FLOCK_CHECK_LE(resp_len, config.max_payload);
       work += handler_cpu + cost.cpu_msg_per_req;
+      if (seg_on && resp_len > config.segment_threshold) {
+        // Stream it now; `offset` stays put, so the buffer slot is reused.
+        co_await core.Work(work);
+        work = 0;
+        if (!co_await StreamSegmentedResponse(env, server, lane, core,
+                                              req.meta,
+                                              scratch.data.data() + offset,
+                                              resp_len)) {
+          co_return;  // lane died mid-stream
+        }
+        continue;
+      }
       DispatchScratch::RespEntry entry;
       entry.meta = req.meta;  // echo thread id, seq, rpc id
       entry.meta.data_len = resp_len;
@@ -133,6 +258,9 @@ sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
     // Retire the request message (zeroing = Free/Processed state of Fig. 5).
     work += cost.MemcpyCost(header.total_len);
     lane.req_consumer->Consume(header);
+    if (seg_on) {
+      lane.seg_bytes_since_report += header.total_len;
+    }
     lane.messages_handled += 1;
     lane.requests_handled += n;
     server.stats.messages += 1;
@@ -156,9 +284,12 @@ sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
       break;
     }
     // Stop if the next message's responses could overflow the encoding
-    // (worst case: every one of its requests yields a max_payload response).
-    if (wire::MessageBytes(total_reqs + header.num_reqs,
-                           resp_bytes + header.num_reqs * config.max_payload) >
+    // (worst case: every one of its requests yields a full-size accumulated
+    // response). 64-bit: the worst-case product is not ring-bounded.
+    if (wire::MessageBytes64(
+            scratch.resp.size() + header.num_reqs,
+            uint64_t{resp_bytes} +
+                uint64_t{header.num_reqs} * resp_cap_est) >
         config.ring_bytes / 2) {
       break;
     }
@@ -168,9 +299,32 @@ sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
   }
   co_await core.Work(work);
 
+  const uint32_t num_resps = static_cast<uint32_t>(scratch.resp.size());
+  if (num_resps == 0) {
+    // Pure chunk feed: no response message to piggyback the request-ring
+    // head on, so once enough ring bytes were consumed push the report
+    // through the control slot — otherwise an extent upload deadlocks the
+    // client's producer on a "full" ring that is actually empty. The report
+    // also goes out whenever this gather drained the ring: no further
+    // consumption means no further report, and bytes left unreported below
+    // the threshold would pin the client's producer forever — a wrapped
+    // reservation of a ring_bytes/2 batch needs the ring near-empty, so
+    // even a small stale remainder is a deadlock, not just slack.
+    if (seg_on && lane.seg_bytes_since_report > 0) {
+      wire::MsgHeader peek;
+      const bool drained =
+          lane.req_consumer->Probe(&peek) != wire::ProbeResult::kMessage;
+      if (drained || lane.seg_bytes_since_report >= config.ring_bytes / 4) {
+        WriteCtrlSlot(env, lane, server.stats);
+        co_await core.Work(cost.cpu_wqe_prep + cost.cpu_mmio_doorbell);
+      }
+    }
+    co_return;
+  }
+
   // Reserve response-ring space; while stalled, re-read the head slot the
   // client's dispatcher keeps fresh (the §4.1 fallback for a stale Head).
-  const uint32_t msg_len = wire::MessageBytes(total_reqs, resp_bytes);
+  const uint32_t msg_len = wire::MessageBytes(num_resps, resp_bytes);
   RingProducer::Reservation resv;
   uint64_t stalls = 0;
   while (!lane.resp_producer.Reserve(msg_len, &resv)) {
@@ -200,14 +354,17 @@ sim::Co<void> HandleRequestMessage(NodeEnv& env, ServerState& server,
   // pending credit grant (§4.3, §5.1).
   const uint64_t canary = SplitMix64(*env.rng_state);
   wire::MessageEncoder encoder(lane.staging + resv.offset, msg_len, canary);
-  for (uint32_t i = 0; i < total_reqs; ++i) {
+  for (uint32_t i = 0; i < num_resps; ++i) {
     encoder.Add(scratch.resp[i].meta, scratch.data.data() + scratch.resp[i].offset);
   }
   const uint32_t total =
       encoder.Seal(lane.req_consumer->consumed_report(), /*credit_grant=*/0);
   FLOCK_CHECK_EQ(total, msg_len);
+  if (seg_on) {
+    lane.seg_bytes_since_report = 0;  // the piggyback head carried the report
+  }
   co_await core.Work(cost.cpu_msg_fixed +
-                     static_cast<Nanos>(total_reqs) * cost.cpu_msg_per_req +
+                     static_cast<Nanos>(num_resps) * cost.cpu_msg_per_req +
                      cost.MemcpyCost(resp_bytes));
 
   verbs::SendWr wrs[2];
@@ -285,17 +442,41 @@ sim::Proc ResponseDispatcher(NodeEnv& env, ClientState& client,
     // trace of a run that never closes a connection is unchanged.
     for (size_t ci = 0; ci < client.conns.size(); ++ci) {
       ClientConnState* conn = client.conns[ci];
+      // With segmentation on, each pass visits the lanes twice: sweep 0
+      // serves plain responses, sweep 1 the chunk trains. A per-chunk
+      // reassembly memcpy is an order of magnitude more dispatcher work than
+      // a small completion, and Algorithm 1 segregates the classes onto
+      // different lanes, so draining the plain lanes first keeps bulk
+      // reassembly out of the metadata tail (the header flag word makes the
+      // classification a header peek, not a decode). Flags-off runs keep the
+      // single sweep — and their exact event trace.
+      const int sweeps = config.segment_threshold > 0 ? 2 : 1;
+      for (int sweep = 0; sweep < sweeps; ++sweep) {
       for (size_t li = index; li < conn->lanes.size();
            li += static_cast<size_t>(config.response_dispatchers)) {
         ClientLane& lane = *conn->lanes[li];
         if (lane.qp == nullptr) {
           continue;  // harvested at close: nothing to poll, no QP to post on
         }
-        pass_cost += cost.cpu_ring_poll_empty;
-        ApplyCtrlSlot(env, lane);  // grants / activation written by the server
         wire::MsgHeader header;
-        if (lane.resp_consumer->Probe(&header) != wire::ProbeResult::kMessage) {
-          continue;
+        if (sweep == 0) {
+          pass_cost += cost.cpu_ring_poll_empty;
+          ApplyCtrlSlot(env, lane);  // grants / activation from the server
+          if (lane.resp_consumer->Probe(&header) != wire::ProbeResult::kMessage) {
+            continue;
+          }
+          if (sweeps == 2 && (header.flags & wire::kFlagSegment) != 0) {
+            continue;  // defer chunk reassembly to sweep 1
+          }
+        } else {
+          // Revisit of a lane deferred above. The header peek was paid for in
+          // sweep 0 (only this dispatcher consumes the ring, so it is still
+          // the head message) — no second poll charge. Lanes served or empty
+          // in sweep 0 fall through the flag test untouched.
+          if (lane.resp_consumer->Probe(&header) != wire::ProbeResult::kMessage ||
+              (header.flags & wire::kFlagSegment) == 0) {
+            continue;
+          }
         }
         // Fence the control plane: the reconnect daemon must not resync this
         // lane's rings between the probe above and the consume below.
@@ -305,6 +486,15 @@ sim::Proc ResponseDispatcher(NodeEnv& env, ClientState& client,
 
         // Piggybacked request-ring head.
         lane.req_producer.OnHeadUpdate(header.piggyback_head);
+        if (config.segment_threshold > 0) {
+          // Track the full 32-bit cumulative so ApplyCtrlSlot can expand the
+          // 24-bit control-slot reports against a recent base. Same staleness
+          // rule as OnHeadUpdate: an implausibly large jump is an old report.
+          const uint32_t adv = header.piggyback_head - lane.seg_req_consumed;
+          if (adv != 0 && adv <= config.ring_bytes) {
+            lane.seg_req_consumed = header.piggyback_head;
+          }
+        }
         lane.send_ready.NotifyAll();
 
         const uint32_t n = header.num_reqs;
@@ -315,6 +505,58 @@ sim::Proc ResponseDispatcher(NodeEnv& env, ClientState& client,
         uint32_t matched = 0;
         for (uint32_t i = 0; i < n; ++i) {
           const wire::ReqView& resp = views[i];
+          const wire::SegMark mark = wire::SegOf(resp.meta.data_len);
+          const uint32_t len = wire::SegLen(resp.meta.data_len);
+          if (mark != wire::SegMark::kNone) {
+            // Segmented response chunk: accumulate on the pending RPC; it
+            // stays in the map until the final chunk lands.
+            PendingRpc* rpc = resp.meta.thread_id < conn->pending.size()
+                                  ? conn->pending[resp.meta.thread_id].Find(
+                                        resp.meta.seq)
+                                  : nullptr;
+            if (rpc == nullptr) {
+              client.stats.spurious_responses += 1;
+              continue;
+            }
+            if (mark == wire::SegMark::kFirst) {
+              rpc->resp_assembled = 0;
+              rpc->resp_src = &lane;  // this train's arrival lane
+              rpc->response.clear();
+            } else if (rpc->resp_src != &lane) {
+              // Mid-train chunk from another lane: a duplicate train from a
+              // pre-retry incarnation. Per-lane delivery is FIFO, so only
+              // the adopted lane's train accumulates.
+              client.stats.spurious_responses += 1;
+              continue;
+            }
+            if (rpc->response_dst != nullptr) {
+              const uint32_t room =
+                  rpc->response_cap > rpc->resp_assembled
+                      ? rpc->response_cap - rpc->resp_assembled
+                      : 0;
+              std::memcpy(rpc->response_dst + rpc->resp_assembled, resp.data,
+                          std::min(len, room));
+            } else {
+              rpc->response.Append(resp.data, len);
+            }
+            rpc->resp_assembled += len;
+            work += cost.MemcpyCost(len);
+            if (mark != wire::SegMark::kLast) {
+              continue;
+            }
+            conn->pending[resp.meta.thread_id].Take(resp.meta.seq);
+            rpc->response_len =
+                rpc->response_dst != nullptr
+                    ? std::min(rpc->resp_assembled, rpc->response_cap)
+                    : rpc->resp_assembled;
+            rpc->ok = true;
+            rpc->deadline = 0;
+            rpc->completed_at = env.sim().Now();
+            rpc->done_event.Fire(env.sim());
+            client.threads[resp.meta.thread_id]->outstanding -= 1;
+            ++matched;
+            continue;
+          }
           PendingRpc* rpc = resp.meta.thread_id < conn->pending.size()
                                 ? conn->pending[resp.meta.thread_id].Take(
                                       resp.meta.seq)
@@ -325,7 +567,13 @@ sim::Proc ResponseDispatcher(NodeEnv& env, ClientState& client,
             client.stats.spurious_responses += 1;
             continue;
           }
-          rpc->response.Assign(resp.data, resp.meta.data_len);
+          if (rpc->response_dst != nullptr) {
+            rpc->response_len = std::min(len, rpc->response_cap);
+            std::memcpy(rpc->response_dst, resp.data, rpc->response_len);
+          } else {
+            rpc->response.Assign(resp.data, resp.meta.data_len);
+            rpc->response_len = resp.meta.data_len;
+          }
           work += cost.MemcpyCost(resp.meta.data_len);
           rpc->ok = true;
           rpc->deadline = 0;
@@ -364,6 +612,7 @@ sim::Proc ResponseDispatcher(NodeEnv& env, ClientState& client,
         }
         co_await core.Work(work);
         lane.in_dispatch = false;
+      }
       }
     }
     co_await core.Work(pass_cost > 0 ? pass_cost : cost.cpu_cq_poll_empty);

@@ -28,6 +28,21 @@ struct DispatchScratch {
   std::vector<RespEntry> resp;
 };
 
+// Gather-phase response buffer size, shared by the inline dispatcher and the
+// worker pool. Without segmentation the gather can accumulate up to
+// 2 * max_coalesce - 1 responses of max_payload each. With segmentation,
+// responses above segment_threshold stream out as chunk trains the moment
+// the handler returns, so the buffer holds at most the accumulated
+// sub-threshold responses plus one large response in flight.
+inline size_t DispatchScratchBytes(const FlockConfig& config) {
+  if (config.segment_threshold == 0) {
+    return size_t{2} * config.max_coalesce * (config.max_payload + 64) +
+           wire::kHeaderBytes + wire::kCanaryBytes;
+  }
+  return size_t{2} * config.max_coalesce * (config.segment_threshold + 64) +
+         config.max_payload + wire::kHeaderBytes + wire::kCanaryBytes;
+}
+
 // Server dispatcher `index`: round-robins over its assigned lanes, probing
 // each request ring. Inline mode handles the message itself; worker-pool
 // mode routes the lane to the RpcWorker queue.

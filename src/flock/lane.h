@@ -22,6 +22,7 @@
 #include "src/ctrl/wire.h"
 #include "src/flock/config.h"
 #include "src/flock/ring.h"
+#include "src/flock/segment.h"
 #include "src/flock/thread.h"
 #include "src/flock/transport.h"
 #include "src/flock/wire.h"
@@ -75,7 +76,14 @@ namespace internal {
 // combining queue and the leader's batch.
 struct PendingSend {
   wire::ReqMeta meta;
-  SmallBuf<128> data;
+  // Scatter-gather view of the payload (DESIGN.md §16). On the submit path
+  // it references caller-owned memory — the submitting coroutine blocks on
+  // sent_flag until the leader has gathered the bytes into the staging ring,
+  // so the single copy of the payload is that gather. Watchdog
+  // retransmissions have no blocked caller to keep the source alive, so
+  // they copy into `retained` and point the slices there.
+  PayloadRef payload;
+  SmallBuf<128> retained;
   sim::Core* owner_core = nullptr;  // leader work is charged here
   bool copied = false;
   // Set by the quarantine drop in Pump when it unlinks a request whose
@@ -114,6 +122,26 @@ struct CtrlSlot {
   uint8_t pad[3] = {};
 };
 static_assert(sizeof(CtrlSlot) == 8);
+
+// With segmentation on (DESIGN.md §16), the three pad bytes carry the low
+// 24 bits of the server's request-ring consumed counter. A pure-chunk upload
+// generates no response messages, so without an out-of-band head report the
+// client's request producer would never learn about freed ring space and the
+// stream would deadlock once the ring filled. 24 bits disambiguate any delta
+// up to 16 MB of ring consumption between two observations (enforced by
+// requiring ring_bytes < 2^24 when segmentation is enabled); the slot stays
+// 8 bytes, so flags-off control-slot writes are byte-identical.
+inline void PackCtrlSlotHead(CtrlSlot* slot, uint32_t consumed_report) {
+  slot->pad[0] = static_cast<uint8_t>(consumed_report);
+  slot->pad[1] = static_cast<uint8_t>(consumed_report >> 8);
+  slot->pad[2] = static_cast<uint8_t>(consumed_report >> 16);
+}
+
+inline uint32_t CtrlSlotHead24(const CtrlSlot& slot) {
+  return static_cast<uint32_t>(slot.pad[0]) |
+         (static_cast<uint32_t>(slot.pad[1]) << 8) |
+         (static_cast<uint32_t>(slot.pad[2]) << 16);
+}
 
 inline uint32_t PackCtrl(CtrlType type, uint32_t lane, uint32_t value) {
   FLOCK_CHECK_LT(lane, 1u << 13);
@@ -265,6 +293,11 @@ struct ClientLane {
   // "the sender rarely reads" fallback, push- instead of pull-based).
   uint64_t resp_bytes_since_send = 0;
 
+  // Segmentation only (DESIGN.md §16): full 32-bit cumulative request-ring
+  // consumed counter, reconstructed from piggyback heads and the 24-bit
+  // control-slot reports (see PackCtrlSlotHead). Unused with flags off.
+  uint32_t seg_req_consumed = 0;
+
   // Outstanding requests per lane (migration safety, §5.2).
   uint64_t inflight = 0;
 };
@@ -320,6 +353,13 @@ struct ServerLane {
   uint64_t requests_handled = 0;
   uint64_t messages_at_last_sweep = 0;  // stall-safety for pending grants
   bool in_service = false;  // handed to an RPC worker (worker-pool mode)
+
+  // Segmentation only (DESIGN.md §16): request-ring bytes consumed since the
+  // head was last reported to the client (piggybacked on a response or
+  // packed into a control-slot write). Once it exceeds ring_bytes / 4 the
+  // dispatcher pushes a control-slot write so a pure-chunk upload (which
+  // produces no response messages) cannot deadlock the client's producer.
+  uint64_t seg_bytes_since_report = 0;
 
   // ---- tenancy (DESIGN.md §15) ----
   // Identity registered at handshake time; authoritative over the data-plane
@@ -497,6 +537,9 @@ struct ServerState {
   std::unique_ptr<sim::Condition> work_ready;
   bool started = false;
   ServerStats stats;
+  // Segmented-payload reassembly (DESIGN.md §16): initialized by StartServer
+  // when segment_threshold > 0, untouched otherwise.
+  ReassemblyPool reassembly;
   // ---- recycling (DESIGN.md §13) ----
   // Shells harvested from departed clients' lanes (TearDownSenders under
   // qp_recycling), drawn by BuildServerLane.

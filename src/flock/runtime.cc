@@ -8,6 +8,7 @@
 
 #include "src/flock/combine.h"
 #include "src/flock/dispatch.h"
+#include "src/flock/segment.h"
 
 namespace flock {
 
@@ -20,6 +21,28 @@ using internal::WrTag;
 
 FlockRuntime::FlockRuntime(verbs::Cluster& cluster, int node, const FlockConfig& config)
     : cluster_(cluster), node_(node), config_(config) {
+  if (config_.segment_threshold > 0) {
+    // Segmentation constraints (DESIGN.md §16): the 24-bit ctrl-slot head
+    // report must disambiguate ring positions, and one full chunk message
+    // must satisfy the ring's len <= size/2 reservation bound.
+    FLOCK_CHECK_LT(config_.ring_bytes, 1u << 24)
+        << "segment_threshold requires ring_bytes < 2^24 (ctrl-slot head "
+           "reports are 24-bit truncated cumulatives)";
+    FLOCK_CHECK_LE(
+        wire::MessageBytes64(1, internal::SegmentChunkBytes(config_)),
+        uint64_t{config_.ring_bytes} / 2)
+        << "segment_chunk_bytes too large for ring_bytes";
+    // Payloads at or below the threshold still travel inline as one message.
+    FLOCK_CHECK_LE(wire::MessageBytes64(1, config_.segment_threshold),
+                   uint64_t{config_.ring_bytes} / 2)
+        << "segment_threshold too large for ring_bytes";
+  } else {
+    // Without chunking, every payload must fit a single ring reservation.
+    FLOCK_CHECK_LE(wire::MessageBytes64(1, config_.max_payload),
+                   uint64_t{config_.ring_bytes} / 2)
+        << "max_payload needs segmentation (set segment_threshold) or a "
+           "bigger ring";
+  }
   send_cq_ = cluster_.device(node_).CreateCq();
   recv_cq_ = cluster_.device(node_).CreateCq();
   rng_state_ ^= 0x1234567ull * static_cast<uint64_t>(node + 1);
@@ -63,6 +86,9 @@ void FlockRuntime::StartServer(int dispatcher_cores) {
   FLOCK_CHECK(!server_.started);
   FLOCK_CHECK_GT(dispatcher_cores, 0);
   server_.started = true;
+  if (config_.segment_threshold > 0) {
+    server_.reassembly.Init(config_.reassembly_entries, config_.max_payload);
+  }
   server_.dispatcher_count = dispatcher_cores;
   server_.dispatcher_lanes.resize(static_cast<size_t>(dispatcher_cores));
   server_.work_ready = std::make_unique<sim::Condition>(cluster_.sim());
@@ -386,7 +412,15 @@ sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
                                          const uint8_t* data, uint32_t len) {
   // Plain forwarder: Co is lazily started, so this adds no coroutine frame
   // (and no trace-visible event) over calling StageRpc directly.
-  return internal::StageRpc(state_, thread, rpc_id, data, len);
+  return internal::StageRpc(state_, thread, rpc_id, PayloadRef(data, len));
+}
+
+sim::Co<PendingRpc*> Connection::SendRpc(FlockThread& thread, uint16_t rpc_id,
+                                         const PayloadRef& payload,
+                                         uint8_t* response_dst,
+                                         uint32_t response_cap) {
+  return internal::StageRpc(state_, thread, rpc_id, payload, response_dst,
+                            response_cap);
 }
 
 sim::Co<bool> Connection::AwaitResponse(FlockThread& thread, PendingRpc* rpc) {
@@ -405,6 +439,19 @@ sim::Co<bool> Connection::Call(FlockThread& thread, uint16_t rpc_id,
   const bool ok = co_await AwaitResponse(thread, rpc);
   if (ok && response != nullptr) {
     rpc->response.CopyTo(response);
+  }
+  FreeRpc(rpc);
+  co_return ok;
+}
+
+sim::Co<bool> Connection::Call(FlockThread& thread, uint16_t rpc_id,
+                               const PayloadRef& request, uint8_t* response_dst,
+                               uint32_t response_cap, uint32_t* response_len) {
+  PendingRpc* rpc =
+      co_await SendRpc(thread, rpc_id, request, response_dst, response_cap);
+  const bool ok = co_await AwaitResponse(thread, rpc);
+  if (response_len != nullptr) {
+    *response_len = ok ? rpc->response_len : 0;
   }
   FreeRpc(rpc);
   co_return ok;

@@ -53,14 +53,27 @@ class FlockRuntime;
 class Connection {
  public:
   // fl_send_rpc: stages the request into the assigned lane's combining queue
-  // (copy + one atomic swap on the calling thread's core) and returns an
-  // awaitable handle. Does not wait for the network.
+  // (one atomic swap on the calling thread's core; the payload is gathered
+  // zero-copy from the caller's memory when the message is sealed) and
+  // returns an awaitable handle. Does not wait for the network.
   sim::Co<PendingRpc*> SendRpc(FlockThread& thread, uint16_t rpc_id,
                                const uint8_t* data, uint32_t len);
 
+  // Scatter-gather form (DESIGN.md §16): the request is a PayloadRef over
+  // caller-owned slices (valid until SendRpc's Co completes). When
+  // `response_dst` is non-null the response lands directly in it (up to
+  // `response_cap` bytes; final length in rpc->response_len) instead of the
+  // handle's inline buffer — required for MB-range responses to stay
+  // allocation-free.
+  sim::Co<PendingRpc*> SendRpc(FlockThread& thread, uint16_t rpc_id,
+                               const PayloadRef& payload,
+                               uint8_t* response_dst = nullptr,
+                               uint32_t response_cap = 0);
+
   // fl_recv_res: awaits and consumes the response for `rpc`. Returns false if
-  // the RPC failed. The response payload is in rpc->response; the caller must
-  // release `rpc` with FreeRpc (the Call convenience below does both steps).
+  // the RPC failed. The response payload is in rpc->response (or the
+  // response_dst passed to SendRpc); the caller must release `rpc` with
+  // FreeRpc (the Call conveniences below do both steps).
   sim::Co<bool> AwaitResponse(FlockThread& thread, PendingRpc* rpc);
 
   // Returns an RPC handle obtained from SendRpc to the runtime's pool.
@@ -69,6 +82,13 @@ class Connection {
   // fl_send_rpc + fl_recv_res in one step.
   sim::Co<bool> Call(FlockThread& thread, uint16_t rpc_id, const uint8_t* data,
                      uint32_t len, std::vector<uint8_t>* response);
+
+  // Scatter-gather Call (DESIGN.md §16): request slices from caller memory,
+  // response into a caller buffer. `*response_len` (if non-null) receives
+  // the response size; bytes beyond `response_cap` would fail the transfer.
+  sim::Co<bool> Call(FlockThread& thread, uint16_t rpc_id,
+                     const PayloadRef& request, uint8_t* response_dst,
+                     uint32_t response_cap, uint32_t* response_len);
 
   // fl_attach_mreg: registers [addr, addr+len) of the *server's* memory for
   // one-sided access through this connection.
@@ -208,6 +228,10 @@ class FlockRuntime : public ctrl::Endpoint {
   double MeanServerCoalescing() const;
   // Hot-path object pools (observability for allocation-free-path tests).
   const Pool<PendingRpc>& rpc_pool() const { return client_.rpc_pool; }
+  // Server-side segment reassembly counters (observability for tests).
+  const internal::ReassemblyPool& reassembly_pool() const {
+    return server_.reassembly;
+  }
   const Pool<internal::PendingSend>& send_pool() const { return client_.send_pool; }
   // Connection-storm census (DESIGN.md §13): live server lanes, harvested
   // lane objects parked in the graveyard, pooled shells on each side, and

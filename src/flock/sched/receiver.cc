@@ -13,6 +13,13 @@ void WriteCtrlSlot(NodeEnv& env, ServerLane& lane, ServerStats& stats,
   CtrlSlot slot;
   slot.grant_cumulative = lane.grant_cumulative;
   slot.active = lane.active ? 1 : 0;
+  if (env.config->segment_threshold > 0 && lane.req_consumer != nullptr) {
+    // Segmentation (DESIGN.md §16): ride the request-ring head report in the
+    // pad bytes so a pure-chunk upload (no response messages to piggyback
+    // on) still frees the client's producer.
+    PackCtrlSlotHead(&slot, lane.req_consumer->consumed_report());
+    lane.seg_bytes_since_report = 0;
+  }
   std::memcpy(lane.ctrl_src_ptr, &slot, sizeof(slot));
   verbs::SendWr wr;
   wr.wr_id = TagWrId(WrTag::kServerCtrl, &lane);
@@ -72,6 +79,20 @@ void ApplyCtrlSlot(NodeEnv& env, ClientLane& lane) {
     lane.active = active;
     lane.renew_in_flight = false;
     changed = true;
+  }
+  if (env.config->segment_threshold > 0) {
+    // Expand the 24-bit request-ring head report (PackCtrlSlotHead) against
+    // the last full cumulative this lane saw. ring_bytes < 2^24 is enforced
+    // at construction, so a plausible forward delta is unambiguous; anything
+    // larger is a stale or torn report and is ignored.
+    const uint32_t head24 = CtrlSlotHead24(slot);
+    const uint32_t delta =
+        (head24 - (lane.seg_req_consumed & 0xFFFFFFu)) & 0xFFFFFFu;
+    if (delta != 0 && delta <= env.config->ring_bytes) {
+      lane.seg_req_consumed += delta;
+      lane.req_producer.OnHeadUpdate(lane.seg_req_consumed);
+      changed = true;
+    }
   }
   if (changed) {
     lane.send_ready.NotifyAll();  // wake the pump (or let it migrate work)
@@ -200,6 +221,12 @@ sim::Proc ReceiverSched::Run(NodeEnv& env, ServerState& server) {
 
     if (env.sim().Now() >= next_redistribution) {
       Redistribute(env, server);
+      if (config.segment_threshold > 0) {
+        // Reclaim orphaned partial extents (their lane died, or the train
+        // migrated) so the bounded reassembly pool cannot fill with stuck
+        // entries. Host-side bookkeeping only: no events, no posts.
+        server.reassembly.Reclaim(env.sim().Now(), ReassemblyTimeout(config));
+      }
       next_redistribution = env.sim().Now() + config.qp_sched_interval;
       work += static_cast<Nanos>(server.lanes.size()) * 20;
     }

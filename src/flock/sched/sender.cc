@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/ctrl/control_plane.h"
+#include "src/flock/segment.h"
 
 namespace flock {
 namespace internal {
@@ -22,18 +23,63 @@ void SortByAlgorithm1(std::vector<ThreadSchedStat>& stats) {
 
 void PackByByteQuota(const std::vector<ThreadSchedStat>& sorted,
                      const std::vector<uint32_t>& active, uint64_t total_bytes,
-                     std::vector<uint32_t>* desired_lane) {
+                     std::vector<uint32_t>* desired_lane, bool segregate) {
   const uint64_t quota =
       std::max<uint64_t>(1, total_bytes / active.size());  // Algorithm 1 line 1
   size_t qp_index = 0;
   uint64_t qp_load = 0;
   for (const ThreadSchedStat& s : sorted) {
+    if (segregate && qp_load > 0 && qp_load + s.bytes > quota &&
+        qp_index + 1 < active.size()) {
+      qp_index += 1;
+      qp_load = 0;
+    }
     (*desired_lane)[s.tid] = active[std::min(qp_index, active.size() - 1)];
     qp_load += s.bytes;
     if (qp_load >= quota) {
       qp_index += 1;
       qp_load = 0;
     }
+  }
+  if (!segregate || sorted.empty() || active.size() < 2) {
+    return;
+  }
+  // Bimodal loads strand lanes: each segmented thread overflows the byte
+  // quota and takes a lane of its own, while the entire small class fits
+  // inside one quota and collapses onto a single lane. A lane is the unit of
+  // client pumping and server dispatch, so the stranded lanes are exactly
+  // the parallelism the latency-sensitive class just lost. Hand them back:
+  // split the most populous contiguous run in half onto each unused lane
+  // (halving in sorted order keeps size classes together). Alloc-free —
+  // this can run on every scheduler tick.
+  size_t used = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if ((*desired_lane)[sorted[i].tid] != (*desired_lane)[sorted[i - 1].tid]) {
+      used += 1;
+    }
+  }
+  while (used < active.size()) {
+    size_t best_begin = 0;
+    size_t best_len = 0;
+    size_t begin = 0;
+    for (size_t i = 1; i <= sorted.size(); ++i) {
+      if (i == sorted.size() || (*desired_lane)[sorted[i].tid] !=
+                                    (*desired_lane)[sorted[begin].tid]) {
+        if (i - begin > best_len) {
+          best_len = i - begin;
+          best_begin = begin;
+        }
+        begin = i;
+      }
+    }
+    if (best_len < 2) {
+      break;  // every run is a single thread; nothing left to spread
+    }
+    const uint32_t spare = active[used];
+    for (size_t i = best_begin + best_len / 2; i < best_begin + best_len; ++i) {
+      (*desired_lane)[sorted[i].tid] = spare;
+    }
+    used += 1;
   }
 }
 
@@ -114,6 +160,12 @@ void SenderSched::Reschedule(ClientConnState& conn,
     ThreadSchedStat s;
     s.tid = t;
     s.median_size = thread.req_size_median.Median(0);
+    if (config.segment_threshold > 0) {
+      // Segmented extents hit the wire as chunk-sized messages, so Algorithm
+      // 1's size classes (and the head-of-line heuristic) compare the unit
+      // that actually occupies a lane, not the logical payload.
+      s.median_size = std::min(s.median_size, SegmentChunkBytes(config));
+    }
     s.reqs = thread.reqs_sent.Delta();
     s.bytes = thread.bytes_sent.Delta();
     total_bytes += s.bytes;
@@ -134,7 +186,8 @@ void SenderSched::Reschedule(ClientConnState& conn,
   }
 
   SortByAlgorithm1(stats);
-  PackByByteQuota(stats, active, total_bytes, &conn.desired_lane);
+  PackByByteQuota(stats, active, total_bytes, &conn.desired_lane,
+                  /*segregate=*/config.segment_threshold > 0);
 }
 
 sim::Proc SenderSched::Run(NodeEnv& env, ClientState& client) {

@@ -43,9 +43,20 @@ void SortByAlgorithm1(std::vector<ThreadSchedStat>& stats);
 // takes threads until it holds total_bytes / |active| bytes, then the next
 // lane fills (Algorithm 1 lines 1–5). Writes lane indices into
 // (*desired_lane)[tid]; the vector must already span every tid in `stats`.
+//
+// With `segregate` set (the segmentation regime, DESIGN.md §16) a thread
+// whose bytes would blow the quota of a non-empty lane opens the next lane
+// instead of joining this one. The sort puts small threads first, so without
+// this the one extent thread that crosses the quota boundary lands on the
+// lane holding every metadata thread — and each of its chunk trains holds
+// that lane's ring for a full train time, multiplying metadata tail latency
+// by orders of magnitude. Off by default: the boundary thread placement
+// (and thus the default-config trace) is unchanged when no workload mixes
+// size classes that far apart.
 void PackByByteQuota(const std::vector<ThreadSchedStat>& sorted,
                      const std::vector<uint32_t>& active, uint64_t total_bytes,
-                     std::vector<uint32_t>* desired_lane);
+                     std::vector<uint32_t>* desired_lane,
+                     bool segregate = false);
 
 // Per-lane load aggregates reused across ticks (steady state stays
 // allocation-free; see tests/alloc_test.cc).

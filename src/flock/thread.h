@@ -69,6 +69,19 @@ struct PendingRpc {
   Nanos completed_at = 0;
   SmallBuf<128> response;
 
+  // Scatter-gather path (DESIGN.md §16): optional caller-owned response
+  // destination. When set, the dispatcher writes response bytes straight
+  // into it (no SmallBuf heap block for MB responses) and records the final
+  // length in response_len. Segmented responses additionally track the
+  // accumulation cursor and the lane the current chunk train arrives on, so
+  // a duplicate train from a pre-retry incarnation on another lane is
+  // ignored rather than interleaved.
+  uint8_t* response_dst = nullptr;
+  uint32_t response_cap = 0;
+  uint32_t response_len = 0;
+  uint32_t resp_assembled = 0;
+  const void* resp_src = nullptr;
+
   // Failure handling (populated only when FlockConfig::rpc_timeout > 0):
   // the retained request payload for retransmission, the retry deadline,
   // the lane currently accounting this RPC's in-flight slot, and the number

@@ -26,13 +26,15 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/common/payload.h"
 
 namespace flock::wire {
 
 inline constexpr uint32_t kAlign = 32;
 
 enum HeaderFlags : uint16_t {
-  kFlagWrap = 1 << 0,  // wrap marker: consumer resets to ring offset 0
+  kFlagWrap = 1 << 0,     // wrap marker: consumer resets to ring offset 0
+  kFlagSegment = 1 << 1,  // message carries >= 1 segment chunk (DESIGN.md §16)
 };
 
 // Tenant identity stamp (DESIGN.md §15): the upper 12 bits of the header
@@ -75,11 +77,68 @@ inline constexpr uint32_t kCanaryBytes = 8;
 // A wrap marker is a padded header + canary slot: one aligned unit.
 inline constexpr uint32_t kWrapMarkerBytes = kAlign;
 
-inline uint32_t AlignUp(uint32_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+inline constexpr uint64_t AlignUp64(uint64_t n) {
+  return (n + kAlign - 1) & ~uint64_t{kAlign - 1};
+}
 
-// Size of a message carrying payloads totalling `data_bytes` over `n` requests.
+// Rounds up in 64 bits and rejects results that no longer fit a uint32_t:
+// the old 32-bit form wrapped to 0 for n > 0xFFFFFFE0, turning an oversized
+// message into a tiny "valid" one.
+inline uint32_t AlignUp(uint32_t n) {
+  const uint64_t aligned = AlignUp64(n);
+  FLOCK_CHECK_LE(aligned, uint64_t{UINT32_MAX});
+  return static_cast<uint32_t>(aligned);
+}
+
+// Size of a message carrying payloads totalling `data_bytes` over `n`
+// requests, computed in 64 bits — with MB-range payloads the 32-bit sum
+// `n * kMetaBytes + data_bytes` can wrap.
+inline constexpr uint64_t MessageBytes64(uint64_t n, uint64_t data_bytes) {
+  return AlignUp64(kHeaderBytes + n * kMetaBytes + data_bytes + kCanaryBytes);
+}
+
+// 32-bit convenience form for callers whose sizes are ring-bounded; rejects
+// (rather than wraps on) totals that overflow uint32_t.
 inline uint32_t MessageBytes(uint32_t n, uint32_t data_bytes) {
-  return AlignUp(kHeaderBytes + n * kMetaBytes + data_bytes + kCanaryBytes);
+  const uint64_t total = MessageBytes64(n, data_bytes);
+  FLOCK_CHECK_LE(total, uint64_t{UINT32_MAX});
+  return static_cast<uint32_t>(total);
+}
+
+// ---------------------------------------------------------------------------
+// Large-payload segmentation (DESIGN.md §16).
+//
+// Payloads above FlockConfig::segment_threshold travel as a train of chunks,
+// each an ordinary coalesced request whose ReqMeta carries a 2-bit segment
+// mark in the top bits of data_len (payloads are capped far below 1 GiB, so
+// the bits are free; unsegmented metas keep mark 00 and the encoding stays
+// byte-identical to the pre-segmentation wire format). All chunks of one RPC
+// share {thread_id, seq}; a message containing any chunk sets kFlagSegment
+// in its header, and DecodeRequests rejects mark bits when the flag is
+// absent, so non-segmented consumers can trust data_len as a plain length.
+// ---------------------------------------------------------------------------
+
+enum class SegMark : uint32_t {
+  kNone = 0,   // unsegmented request: the whole payload is inline
+  kFirst = 1,  // first chunk — resets any stale partial for this key
+  kMiddle = 2,
+  kLast = 3,  // final chunk — completes the payload
+};
+
+inline constexpr uint32_t kSegShift = 30;
+inline constexpr uint32_t kSegLenMask = (1u << kSegShift) - 1;
+
+inline uint32_t PackSegLen(SegMark mark, uint32_t len) {
+  FLOCK_CHECK_LE(len, kSegLenMask);
+  return (static_cast<uint32_t>(mark) << kSegShift) | len;
+}
+
+inline constexpr SegMark SegOf(uint32_t data_len) {
+  return static_cast<SegMark>(data_len >> kSegShift);
+}
+
+inline constexpr uint32_t SegLen(uint32_t data_len) {
+  return data_len & kSegLenMask;
 }
 
 // Incremental encoder. Usage:
@@ -102,12 +161,30 @@ class MessageEncoder {
   }
 
   void Add(const ReqMeta& meta, const uint8_t* data) {
-    FLOCK_CHECK(Fits(meta.data_len));
+    // Segment marks in the top bits of data_len carry no bytes.
+    const uint32_t len = SegLen(meta.data_len);
+    FLOCK_CHECK(Fits(len));
     std::memcpy(buf_ + offset_, &meta, kMetaBytes);
     offset_ += kMetaBytes;
-    if (meta.data_len > 0) {
-      std::memcpy(buf_ + offset_, data, meta.data_len);
-      offset_ += meta.data_len;
+    if (len > 0) {
+      std::memcpy(buf_ + offset_, data, len);
+      offset_ += len;
+    }
+    ++num_reqs_;
+  }
+
+  // Gathers the payload directly from caller-owned slices into the staging
+  // buffer — the single copy of the scatter-gather path (DESIGN.md §16).
+  void AddGather(const ReqMeta& meta, const PayloadRef& payload) {
+    const uint32_t len = SegLen(meta.data_len);
+    FLOCK_CHECK_EQ(len, payload.size());
+    FLOCK_CHECK(Fits(len));
+    std::memcpy(buf_ + offset_, &meta, kMetaBytes);
+    offset_ += kMetaBytes;
+    for (uint32_t i = 0; i < payload.num_slices(); ++i) {
+      const PayloadRef::Slice& s = payload.slice(i);
+      std::memcpy(buf_ + offset_, s.data, s.len);
+      offset_ += s.len;
     }
     ++num_reqs_;
   }
@@ -201,6 +278,7 @@ inline bool DecodeRequests(const uint8_t* buf, const MsgHeader& header, ReqView*
   // invariant), so a corrupt data_len near UINT32_MAX cannot wrap an
   // `offset + len` sum back inside the message and escape the check.
   const uint32_t data_end = header.total_len - kCanaryBytes;
+  const bool segmented = (header.flags & kFlagSegment) != 0;
   uint32_t offset = kHeaderBytes;
   for (uint16_t i = 0; i < header.num_reqs; ++i) {
     if (kMetaBytes > data_end - offset) {
@@ -208,11 +286,18 @@ inline bool DecodeRequests(const uint8_t* buf, const MsgHeader& header, ReqView*
     }
     std::memcpy(&out[i].meta, buf + offset, kMetaBytes);
     offset += kMetaBytes;
-    if (out[i].meta.data_len > data_end - offset) {
+    // On-wire bytes per request are the masked length; mark bits without the
+    // header flag are corruption, so non-segmented consumers can keep
+    // trusting data_len as a plain length.
+    const uint32_t len = SegLen(out[i].meta.data_len);
+    if (!segmented && len != out[i].meta.data_len) {
+      return false;
+    }
+    if (len > data_end - offset) {
       return false;
     }
     out[i].data = buf + offset;
-    offset += out[i].meta.data_len;
+    offset += len;
   }
   return true;
 }

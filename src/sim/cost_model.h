@@ -86,6 +86,14 @@ struct CostModel {
   // RoCE per-packet overhead: Eth+IP+UDP+BTH+ICRC+FCS+IPG.
   uint32_t wire_overhead_bytes = 80;
   uint32_t mtu_bytes = 4096;
+  // Wire arbitration granularity. 0 = a message serializes as one
+  // uninterruptible unit (legacy whole-message FIFO). > 0 = the link
+  // round-robins contending flows every this many payload bytes, the way RC
+  // RNICs actually schedule QPs per packet on the wire: a multi-packet
+  // message re-queues behind waiting peers after each quantum, so jumbo
+  // segment trains cannot head-of-line block small messages for their whole
+  // serialization time. Typically set to mtu_bytes.
+  uint32_t link_arb_quantum_bytes = 0;
   Nanos link_propagation = 200;  // per hop
   Nanos switch_latency = 250;
   // One-way latency charged for RC ACK return (no payload modeled).

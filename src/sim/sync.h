@@ -129,6 +129,14 @@ class Condition {
 
 // Single FIFO server: `co_await server.Serve(d)` waits for all earlier
 // requests to finish, occupies the server for `d`, then resumes the caller.
+//
+// Serve(d, /*expedited=*/true) joins a second band drained ahead of the
+// normal queue (still FIFO within the band, and never preempting the serve
+// in progress). The wire model uses it for single-quantum messages under
+// per-packet QP arbitration (CostModel::link_arb_quantum_bytes): on a real
+// RNIC a one-packet message transmits after at most the packet in flight,
+// not after every queued packet of every bulk train. Callers that never
+// expedite get byte-for-byte the old single-queue behavior.
 class FifoServer {
  public:
   explicit FifoServer(Simulator& sim) : sim_(sim) {}
@@ -138,23 +146,29 @@ class FifoServer {
 
   class Awaiter {
    public:
-    Awaiter(FifoServer& server, Nanos duration)
-        : server_(server), duration_(duration) {}
+    Awaiter(FifoServer& server, Nanos duration, bool expedited)
+        : server_(server), duration_(duration), expedited_(expedited) {}
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> handle) {
-      server_.Enqueue(handle, duration_);
+      server_.Enqueue(handle, duration_, expedited_);
     }
     void await_resume() const noexcept {}
 
    private:
     FifoServer& server_;
     Nanos duration_;
+    bool expedited_;
   };
 
-  Awaiter Serve(Nanos duration) { return Awaiter(*this, duration); }
+  Awaiter Serve(Nanos duration, bool expedited = false) {
+    return Awaiter(*this, duration, expedited);
+  }
 
   bool busy() const { return busy_; }
-  size_t queue_depth() const { return static_cast<size_t>(tail_ - head_); }
+  size_t queue_depth() const {
+    return static_cast<size_t>(tail_ - head_) +
+           static_cast<size_t>(exp_tail_ - exp_head_);
+  }
   Nanos busy_time() const { return busy_time_; }
   uint64_t served() const { return served_; }
 
@@ -167,32 +181,40 @@ class FifoServer {
   // The queue is a power-of-two ring: FifoServer sits under every simulated
   // CPU/NIC occupancy, so enqueue/dequeue must not touch the allocator once
   // the ring has grown to the steady-state depth.
-  void Enqueue(std::coroutine_handle<> handle, Nanos duration) {
-    if (tail_ - head_ == ring_.size()) {
-      GrowRing();
+  void Enqueue(std::coroutine_handle<> handle, Nanos duration, bool expedited) {
+    std::vector<Item>& ring = expedited ? exp_ring_ : ring_;
+    uint64_t& head = expedited ? exp_head_ : head_;
+    uint64_t& tail = expedited ? exp_tail_ : tail_;
+    if (tail - head == ring.size()) {
+      GrowRing(ring, head, tail);
     }
-    ring_[tail_ & (ring_.size() - 1)] = Item{handle, duration < 0 ? 0 : duration};
-    ++tail_;
+    ring[tail & (ring.size() - 1)] = Item{handle, duration < 0 ? 0 : duration};
+    ++tail;
     if (!busy_) {
       StartNext();
     }
   }
 
-  void GrowRing() {
-    const size_t old_cap = ring_.size();
+  static void GrowRing(std::vector<Item>& ring, uint64_t head, uint64_t tail) {
+    const size_t old_cap = ring.size();
     const size_t new_cap = old_cap == 0 ? 16 : old_cap * 2;
     std::vector<Item> grown(new_cap);
-    for (uint64_t i = head_; i != tail_; ++i) {
-      grown[i & (new_cap - 1)] = ring_[i & (old_cap - 1)];
+    for (uint64_t i = head; i != tail; ++i) {
+      grown[i & (new_cap - 1)] = ring[i & (old_cap - 1)];
     }
-    ring_ = std::move(grown);
+    ring = std::move(grown);
   }
 
   void StartNext() {
-    FLOCK_CHECK(head_ != tail_);
     busy_ = true;
-    current_ = ring_[head_ & (ring_.size() - 1)];
-    ++head_;
+    if (exp_head_ != exp_tail_) {
+      current_ = exp_ring_[exp_head_ & (exp_ring_.size() - 1)];
+      ++exp_head_;
+    } else {
+      FLOCK_CHECK(head_ != tail_);
+      current_ = ring_[head_ & (ring_.size() - 1)];
+      ++head_;
+    }
     busy_time_ += current_.duration;
     sim_.Schedule(current_.duration, &FifoServer::DoneTrampoline, this);
   }
@@ -204,7 +226,7 @@ class FifoServer {
   void Done() {
     ++served_;
     const std::coroutine_handle<> finished = current_.handle;
-    if (head_ != tail_) {
+    if (head_ != tail_ || exp_head_ != exp_tail_) {
       StartNext();
     } else {
       busy_ = false;
@@ -235,6 +257,9 @@ class FifoServer {
   std::vector<Item> ring_;
   uint64_t head_ = 0;
   uint64_t tail_ = 0;
+  std::vector<Item> exp_ring_;  // expedited band; empty unless callers opt in
+  uint64_t exp_head_ = 0;
+  uint64_t exp_tail_ = 0;
   Nanos busy_time_ = 0;
   uint64_t served_ = 0;
 };

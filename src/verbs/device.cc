@@ -40,6 +40,32 @@ uint64_t OutboundBytes(const SendWr& wr) {
   return wr.length;
 }
 
+// Serializes `bytes` of payload onto `link`. With link_arb_quantum_bytes set
+// the message holds the link one quantum at a time, re-queueing behind any
+// waiting peers between quanta (per-packet QP arbitration — see
+// CostModel::link_arb_quantum_bytes); with it unset the whole message is one
+// uninterruptible serve, the legacy behavior every existing trace encodes.
+sim::Co<void> ServeSerialized(sim::FifoServer& link, const fabric::Network& net,
+                              const sim::CostModel& cost, uint64_t bytes) {
+  if (cost.link_arb_quantum_bytes == 0) {
+    co_await link.Serve(net.SerializeTime(bytes));
+    co_return;
+  }
+  if (bytes <= cost.link_arb_quantum_bytes) {
+    // A single-quantum message goes out after at most the packet in flight:
+    // the arbiter's round-robin reaches it before re-serving any queued bulk
+    // train, which the expedited band models without per-flow bookkeeping.
+    co_await link.Serve(net.SerializeTime(bytes), /*expedited=*/true);
+    co_return;
+  }
+  for (uint64_t rest = bytes; rest > 0;) {
+    const uint64_t quantum =
+        rest < cost.link_arb_quantum_bytes ? rest : cost.link_arb_quantum_bytes;
+    co_await link.Serve(net.SerializeTime(quantum));
+    rest -= quantum;
+  }
+}
+
 }  // namespace
 
 int Qp::node() const { return device_.node_id(); }
@@ -212,13 +238,17 @@ sim::Co<void> Device::ProcessWr(Qp& qp, SendWr wr) {
   const uint32_t packets = net_.PacketCount(outbound);
 
   // TX pipeline occupancy: descriptor fetch plus per-packet processing.
-  co_await tx_pipe_.Serve(cost_.nic_per_wqe +
-                          static_cast<Nanos>(packets) * cost_.nic_tx_per_packet);
+  // Under per-packet arbitration single-packet WQEs take the expedited band
+  // here too — the NIC's WQE fetcher round-robins send queues, so a small
+  // message does not sit behind every queued WQE of a multi-packet train.
+  co_await tx_pipe_.Serve(
+      cost_.nic_per_wqe + static_cast<Nanos>(packets) * cost_.nic_tx_per_packet,
+      cost_.link_arb_quantum_bytes > 0 && packets == 1);
   // Sender-side connection state.
   co_await TouchQpState(qp.qpn(), tx_pipe_);
 
   // Snapshot the payload from host memory (DMA read unless inlined).
-  PayloadBuf payload;
+  PayloadBuf payload = AcquirePayloadBuf(wr.length);
   if (wr.opcode != Opcode::kRead && !IsAtomic(wr.opcode) && wr.length > 0) {
     FLOCK_CHECK(cluster_.mem(node_id_).Contains(wr.local_addr, wr.length))
         << "bad local segment on node " << node_id_;
@@ -253,6 +283,7 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
     // ProcessWr). ConnectTo may already have re-pointed peer_node at the new
     // session's peer, so nothing below is safe to run for a stale WR.
     stats_.tx_stale_drops++;
+    RecyclePayloadBuf(std::move(payload));  // still on the sender's shard
     co_return;
   }
   const int dest_node = qp.type() == QpType::kUd ? wr.dest_node : qp.peer_node();
@@ -260,14 +291,13 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
   FLOCK_CHECK_LT(dest_node, net_.num_nodes());
 
   const uint64_t outbound = OutboundBytes(wr);
-  const Nanos serialize = net_.SerializeTime(outbound);
 
-  co_await net_.Uplink(node_id_).Serve(serialize);
+  co_await ServeSerialized(net_.Uplink(node_id_), net_, cost_, outbound);
   // Switch transit is the shard migration point: execution resumes on the
   // destination node, so the downlink, RX pipeline and peer-side state below
   // are all touched by events of the node that owns them.
   co_await sim::HopToNode(sim_, dest_node, net_.TransitDelay());
-  co_await net_.Downlink(dest_node).Serve(serialize);
+  co_await ServeSerialized(net_.Downlink(dest_node), net_, cost_, outbound);
 
   Device& peer = cluster_.device(dest_node);
   WcStatus status = WcStatus::kSuccess;
@@ -287,7 +317,10 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
   }
 
   if (qp.type() != QpType::kRc) {
-    co_return;  // unreliable: remote failures are silent, already completed
+    // Unreliable: remote failures are silent, already completed. Execution
+    // sits on the destination's shard, so the buffer goes to that device.
+    peer.RecyclePayloadBuf(std::move(payload));
+    co_return;
   }
   if (wr.opcode != Opcode::kRead && !IsAtomic(wr.opcode)) {
     // Hardware ACK for writes/sends: migrates execution back to the sender.
@@ -298,6 +331,8 @@ sim::Proc Device::Deliver(Qp& qp, SendWr wr, PayloadBuf payload) {
     co_await sim::HopToNode(sim_, node_id_, cost_.rc_ack_latency);
   }
   CompleteSend(qp, wr, status, wr.length);
+  // Every RC path above ends back on the sender's shard.
+  RecyclePayloadBuf(std::move(payload));
 }
 
 sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
@@ -321,7 +356,9 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
     co_await peer.resume_cond_.Wait();
   }
   const uint32_t packets = net_.PacketCount(OutboundBytes(wr));
-  co_await peer.rx_pipe_.Serve(static_cast<Nanos>(packets) * cost_.nic_rx_per_packet);
+  co_await peer.rx_pipe_.Serve(
+      static_cast<Nanos>(packets) * cost_.nic_rx_per_packet,
+      cost_.link_arb_quantum_bytes > 0 && packets == 1);
   peer.stats_.rx_msgs++;
   peer.stats_.rx_packets += packets;
 
@@ -426,11 +463,10 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
       }
       // NIC fetches the data from the responder's host memory...
       co_await sim::Delay(sim_, cost_.nic_dma_read);
-      PayloadBuf data;
+      PayloadBuf data = peer.AcquirePayloadBuf(wr.length);
       peer_mem.Read(wr.remote_addr, data.Resize(wr.length), wr.length);
       // ...and streams it back.
       const uint32_t resp_packets = net_.PacketCount(wr.length);
-      const Nanos resp_serialize = net_.SerializeTime(wr.length);
       co_await peer.tx_pipe_.Serve(
           cost_.nic_per_wqe + static_cast<Nanos>(resp_packets) * cost_.nic_tx_per_packet);
       peer.stats_.tx_msgs++;
@@ -438,14 +474,17 @@ sim::Co<void> Device::ReceiveAtPeer(Device& peer, Qp& src_qp, const SendWr& wr,
       peer.stats_.tx_packets += resp_packets;
       peer.stats_.tx_wire_bytes +=
           wr.length + uint64_t{resp_packets} * cost_.wire_overhead_bytes;
-      co_await net_.Uplink(peer.node_id_).Serve(resp_serialize);
+      co_await ServeSerialized(net_.Uplink(peer.node_id_), net_, cost_, wr.length);
       // Response transit hops execution back to the requester's shard.
       co_await sim::HopToNode(sim_, node_id_, net_.TransitDelay());
-      co_await net_.Downlink(node_id_).Serve(resp_serialize);
+      co_await ServeSerialized(net_.Downlink(node_id_), net_, cost_, wr.length);
       co_await rx_pipe_.Serve(static_cast<Nanos>(resp_packets) * cost_.nic_rx_per_packet);
       co_await sim::Delay(sim_, cost_.nic_dma_write);
       FLOCK_CHECK(cluster_.mem(node_id_).Contains(wr.local_addr, wr.length));
       cluster_.mem(node_id_).Write(wr.local_addr, data.data(), data.size());
+      // The response hop above moved execution to the requester's shard:
+      // the buffer (acquired on the responder) retires into this device.
+      RecyclePayloadBuf(std::move(data));
       co_return;
     }
     case Opcode::kFetchAdd:

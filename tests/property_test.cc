@@ -2,6 +2,7 @@
 // with TEST_P / INSTANTIATE_TEST_SUITE_P.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <tuple>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "src/ctrl/wire.h"
 #include "src/flock/flock.h"
 #include "src/flock/ring.h"
+#include "src/flock/segment.h"
 #include "src/flock/wire.h"
 #include "src/kv/kvstore.h"
 #include "src/kv/remote_kv.h"
@@ -117,11 +119,19 @@ TEST_P(WireFuzzProperty, CorruptedMessagesNeverEscapeBounds) {
     const uint32_t per_req = static_cast<uint32_t>(rng.NextBelow(256));
     const uint32_t msg_len = wire::MessageBytes(n, n * per_req);
     ASSERT_LE(msg_len, kCap);
+    // Half the rounds start from a segmented message (chunk-train metas and
+    // the kFlagSegment header flag), so corruption also hits mark bits and
+    // the continuation flag.
+    const bool segmented = rng.NextBelow(2) == 0;
     wire::MessageEncoder enc(buf.data(), kCap, canary++);
     for (uint32_t i = 0; i < n; ++i) {
-      enc.Add(wire::ReqMeta{per_req, 0, 0, i}, payload.data());
+      const auto mark = segmented ? static_cast<wire::SegMark>(rng.NextBelow(4))
+                                  : wire::SegMark::kNone;
+      enc.Add(wire::ReqMeta{wire::PackSegLen(mark, per_req), 0, 0, i},
+              payload.data());
     }
-    ASSERT_EQ(enc.Seal(0, 0), msg_len);
+    ASSERT_EQ(enc.Seal(0, 0, segmented ? wire::kFlagSegment : uint16_t{0}),
+              msg_len);
 
     const uint32_t flips = 1 + static_cast<uint32_t>(rng.NextBelow(8));
     for (uint32_t f = 0; f < flips; ++f) {
@@ -137,8 +147,9 @@ TEST_P(WireFuzzProperty, CorruptedMessagesNeverEscapeBounds) {
       std::vector<wire::ReqView> views(header.num_reqs);
       if (wire::DecodeRequests(buf.data(), header, views.data())) {
         for (uint32_t i = 0; i < header.num_reqs; ++i) {
+          // On-wire bytes are the masked length: mark bits carry no data.
           ASSERT_GE(views[i].data, buf.data());
-          ASSERT_LE(views[i].data + views[i].meta.data_len,
+          ASSERT_LE(views[i].data + wire::SegLen(views[i].meta.data_len),
                     buf.data() + kCap);
         }
       }
@@ -151,6 +162,120 @@ INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzProperty,
                          ::testing::Values(uint64_t{1}, uint64_t{7},
                                            uint64_t{42}, uint64_t{1337},
                                            uint64_t{0xDEADBEEF}));
+
+// ---------------------------------------------------------------------------
+// Reassembly under chunk-train interleaving and garbage (DESIGN.md §16):
+// whatever arrives — torn trains, duplicates, reordered continuations,
+// orphans — the pool never crashes, never grows past its bound, and a final
+// reclaim always drains every partial.
+// ---------------------------------------------------------------------------
+
+class SegmentFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Well-formed trains on distinct keys, chunks randomly interleaved across
+// keys but in-order within each (the per-lane FIFO guarantee): every train
+// reassembles to exactly its payload.
+TEST_P(SegmentFuzzProperty, InterleavedTrainsReassembleCorrectly) {
+  Rng rng(GetParam());
+  internal::ReassemblyPool pool;
+  constexpr uint32_t kMaxBytes = 64 * 1024;
+  pool.Init(8, kMaxBytes);
+
+  struct Train {
+    internal::ReassemblyKey key;
+    std::vector<uint8_t> bytes;
+    uint32_t offset = 0;  // next byte to send
+    bool done = false;
+  };
+  int lanes[2];  // distinct stable addresses standing in for lane identities
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Train> trains(1 + rng.NextBelow(6));
+    for (size_t t = 0; t < trains.size(); ++t) {
+      trains[t].key = {&lanes[t % 2], static_cast<uint16_t>(t), 100 + round};
+      trains[t].bytes.resize(2 + rng.NextBelow(8000));
+      for (size_t i = 0; i < trains[t].bytes.size(); ++i) {
+        trains[t].bytes[i] = static_cast<uint8_t>(rng.NextBelow(256));
+      }
+    }
+    size_t live = trains.size();
+    Nanos now = 0;
+    while (live > 0) {
+      Train& train = trains[rng.NextBelow(trains.size())];
+      if (train.done) {
+        continue;
+      }
+      const uint32_t total = static_cast<uint32_t>(train.bytes.size());
+      const uint32_t remain = total - train.offset;
+      uint32_t len =
+          std::min(remain, 1 + static_cast<uint32_t>(rng.NextBelow(2048)));
+      if (train.offset == 0 && len == total) {
+        len = total - 1;  // a segmented train always spans >= 2 chunks
+      }
+      const auto mark = train.offset == 0   ? wire::SegMark::kFirst
+                        : len == remain ? wire::SegMark::kLast
+                                        : wire::SegMark::kMiddle;
+      uint32_t complete_len = 0;
+      const uint8_t* out =
+          pool.Feed(train.key, mark, train.bytes.data() + train.offset, len,
+                    ++now, &complete_len);
+      train.offset += len;
+      if (train.offset == total) {
+        ASSERT_NE(out, nullptr);
+        ASSERT_EQ(complete_len, total);
+        ASSERT_EQ(std::memcmp(out, train.bytes.data(), total), 0);
+        train.done = true;
+        --live;
+      }
+    }
+    ASSERT_EQ(pool.in_use(), 0u);
+  }
+}
+
+// Chunk soup: random marks, keys, lengths and reclaim points. Invariants:
+// the pool never exceeds its entry bound, completed payloads never exceed
+// max_bytes, the counters account for every chunk fed, and a final timeout-0
+// reclaim leaves nothing live.
+TEST_P(SegmentFuzzProperty, TornChunkSoupNeverCrashesOrLeaks) {
+  Rng rng(GetParam() * 31 + 5);
+  internal::ReassemblyPool pool;
+  constexpr uint32_t kEntries = 4;
+  constexpr uint32_t kMaxBytes = 4096;
+  pool.Init(kEntries, kMaxBytes);
+  std::vector<uint8_t> junk(2048, 0x5A);
+  int lanes[2];
+  Nanos now = 0;
+
+  for (int round = 0; round < 20000; ++round) {
+    now += rng.NextBelow(100);
+    if (rng.NextBelow(64) == 0) {
+      pool.Reclaim(now, rng.NextBelow(2000));
+    }
+    const internal::ReassemblyKey key{&lanes[rng.NextBelow(2)],
+                                      static_cast<uint16_t>(rng.NextBelow(3)),
+                                      static_cast<uint32_t>(rng.NextBelow(8))};
+    // Marks skewed toward continuations so trains tear often; kNone (a
+    // corrupt continuation flag at decode time) is fed too.
+    const auto mark = static_cast<wire::SegMark>(rng.NextBelow(5) % 4);
+    const uint32_t len = static_cast<uint32_t>(rng.NextBelow(junk.size() + 1));
+    uint32_t complete_len = 0;
+    const uint8_t* out = pool.Feed(key, mark, junk.data(), len, now, &complete_len);
+    if (out != nullptr) {
+      ASSERT_LE(complete_len, kMaxBytes);
+    }
+    ASSERT_LE(pool.in_use(), kEntries);
+  }
+  ASSERT_EQ(pool.chunks(), 20000u);
+  // Every chunk was either absorbed into a train or rejected with a reason.
+  ASSERT_GT(pool.completed() + pool.orphans() + pool.dropped_no_entry() +
+                pool.dropped_oversize(),
+            0u);
+  pool.Reclaim(now + 1, 0);
+  ASSERT_EQ(pool.in_use(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentFuzzProperty,
+                         ::testing::Values(uint64_t{3}, uint64_t{17},
+                                           uint64_t{99}, uint64_t{4242}));
 
 // ---------------------------------------------------------------------------
 // FIFO server: total busy time equals the sum of service demands, and

@@ -129,6 +129,62 @@ TEST(PackByByteQuota, ZeroTotalBytesStillAssignsEveryThread) {
   EXPECT_EQ(desired[1], 2u);
 }
 
+// ---- PackByByteQuota, segregate mode (segmentation on) ----
+
+TEST(PackByByteQuota, SegregateOpensFreshLaneForQuotaBlowingThread) {
+  // Segregate mode: a thread whose bytes would blow the quota of a non-empty
+  // lane opens a fresh lane instead of riding behind the threads already
+  // there. Without segregation thread 2 lands on lane 0 with the smalls.
+  std::vector<ThreadSchedStat> sorted = {
+      Stat(0, 64, 10, 10), Stat(1, 64, 10, 10), Stat(2, 1 << 20, 1, 380)};
+  std::vector<uint32_t> active = {0, 1};
+  std::vector<uint32_t> desired(3, UINT32_MAX);
+  PackByByteQuota(sorted, active, 400, &desired, /*segregate=*/false);
+  EXPECT_EQ(desired, (std::vector<uint32_t>{0, 0, 0}));
+  desired.assign(3, UINT32_MAX);
+  PackByByteQuota(sorted, active, 400, &desired, /*segregate=*/true);
+  EXPECT_EQ(desired, (std::vector<uint32_t>{0, 0, 1}));
+}
+
+TEST(PackByByteQuota, SegregateHandsStrandedLanesBackToTheSmallClass) {
+  // The extent-store shape: four metadata threads with negligible bytes plus
+  // two jumbo threads carrying everything, over four lanes. Quota packing
+  // collapses all four smalls onto lane 0 (their bytes never fill a quota)
+  // and gives each jumbo its own lane — stranding lane 3. The handback pass
+  // must split the small flock across the stranded lane so the latency
+  // class keeps its parallelism.
+  std::vector<ThreadSchedStat> sorted = {
+      Stat(0, 128, 1000, 100), Stat(1, 128, 1000, 100),
+      Stat(2, 128, 1000, 100), Stat(3, 128, 1000, 100),
+      Stat(4, 1 << 20, 10, 500'000), Stat(5, 1 << 20, 10, 500'000)};
+  std::vector<uint32_t> active = {0, 1, 2, 3};
+  std::vector<uint32_t> desired(6, UINT32_MAX);
+  PackByByteQuota(sorted, active, 1'000'400, &desired, /*segregate=*/true);
+  // Jumbos keep dedicated lanes, distinct from every small thread's lane.
+  EXPECT_NE(desired[4], desired[5]);
+  for (size_t small = 0; small < 4; ++small) {
+    EXPECT_NE(desired[small], desired[4]);
+    EXPECT_NE(desired[small], desired[5]);
+  }
+  // The smalls occupy two lanes, two threads each — no lane stranded.
+  EXPECT_EQ(desired[0], desired[1]);
+  EXPECT_EQ(desired[2], desired[3]);
+  EXPECT_NE(desired[0], desired[2]);
+}
+
+TEST(PackByByteQuota, SegregateHandbackStopsAtSingletonRuns) {
+  // More lanes than threads: once every run is a single thread there is
+  // nothing left to spread and the pass must terminate with lanes unused.
+  std::vector<ThreadSchedStat> sorted = {Stat(0, 64, 10, 50),
+                                         Stat(1, 1 << 20, 1, 950)};
+  std::vector<uint32_t> active = {0, 1, 2, 3};
+  std::vector<uint32_t> desired(2, UINT32_MAX);
+  PackByByteQuota(sorted, active, 1000, &desired, /*segregate=*/true);
+  EXPECT_NE(desired[0], desired[1]);
+  EXPECT_LT(desired[0], 4u);
+  EXPECT_LT(desired[1], 4u);
+}
+
 // ---- AssignmentHealthy ----
 
 struct HealthyFixture {

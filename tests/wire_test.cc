@@ -2,10 +2,12 @@
 // buffer protocol (§4.1).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/common/payload.h"
 #include "src/common/rand.h"
 #include "src/flock/ring.h"
 #include "src/flock/wire.h"
@@ -169,6 +171,130 @@ TEST(WireTest, FitsRejectsHugeDataLen) {
   wire::MessageEncoder enc(buf.data(), 128, 1);
   EXPECT_FALSE(enc.Fits(0xFFFFFFF0u));
   EXPECT_FALSE(enc.Fits(UINT32_MAX));
+}
+
+// Regression: the 32-bit AlignUp/MessageBytes used to wrap for sizes near
+// UINT32_MAX, turning an oversized message into a tiny "valid" one. The
+// 64-bit forms must compute the true size without wrapping.
+TEST(WireTest, MessageBytes64DoesNotWrap) {
+  EXPECT_EQ(wire::AlignUp64(0xFFFFFFF1ull), 0x100000000ull);
+  EXPECT_GT(wire::MessageBytes64(1, 0xFFFFFFF0ull), uint64_t{UINT32_MAX});
+  // 5 MB extents land well inside u64 but far outside the old u16*u32 math.
+  const uint64_t five_mb = 5ull * 1024 * 1024;
+  EXPECT_EQ(wire::MessageBytes64(1, five_mb),
+            wire::AlignUp64(wire::kHeaderBytes + wire::kMetaBytes + five_mb +
+                            wire::kCanaryBytes));
+}
+
+TEST(WireTest, SegmentMarkPackRoundTrip) {
+  for (wire::SegMark mark : {wire::SegMark::kNone, wire::SegMark::kFirst,
+                             wire::SegMark::kMiddle, wire::SegMark::kLast}) {
+    for (uint32_t len : {0u, 1u, 8192u, wire::kSegLenMask}) {
+      const uint32_t packed = wire::PackSegLen(mark, len);
+      EXPECT_EQ(wire::SegOf(packed), mark);
+      EXPECT_EQ(wire::SegLen(packed), len);
+    }
+  }
+  // kNone packing is the identity: unsegmented metas stay byte-identical.
+  EXPECT_EQ(wire::PackSegLen(wire::SegMark::kNone, 1234u), 1234u);
+}
+
+TEST(WireTest, SegmentedChunksRoundTrip) {
+  std::vector<uint8_t> buf(4096, 0);
+  wire::MessageEncoder enc(buf.data(), 4096, 0x5e6);
+  auto first = Payload(512, 1);
+  auto mid = Payload(512, 2);
+  auto last = Payload(100, 3);
+  enc.Add(wire::ReqMeta{wire::PackSegLen(wire::SegMark::kFirst, 512), 7, 9, 42},
+          first.data());
+  enc.Add(wire::ReqMeta{wire::PackSegLen(wire::SegMark::kMiddle, 512), 7, 9, 42},
+          mid.data());
+  enc.Add(wire::ReqMeta{wire::PackSegLen(wire::SegMark::kLast, 100), 7, 9, 42},
+          last.data());
+  enc.Seal(0, 0, wire::kFlagSegment);
+
+  wire::MsgHeader header;
+  ASSERT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header),
+            wire::ProbeResult::kMessage);
+  EXPECT_NE(header.flags & wire::kFlagSegment, 0);
+  ASSERT_EQ(header.num_reqs, 3);
+  std::vector<wire::ReqView> views(3);
+  ASSERT_TRUE(wire::DecodeRequests(buf.data(), header, views.data()));
+  EXPECT_EQ(wire::SegOf(views[0].meta.data_len), wire::SegMark::kFirst);
+  EXPECT_EQ(wire::SegOf(views[1].meta.data_len), wire::SegMark::kMiddle);
+  EXPECT_EQ(wire::SegOf(views[2].meta.data_len), wire::SegMark::kLast);
+  EXPECT_EQ(wire::SegLen(views[2].meta.data_len), 100u);
+  EXPECT_EQ(std::memcmp(views[0].data, first.data(), 512), 0);
+  EXPECT_EQ(std::memcmp(views[1].data, mid.data(), 512), 0);
+  EXPECT_EQ(std::memcmp(views[2].data, last.data(), 100), 0);
+}
+
+// Mark bits without kFlagSegment in the header are corruption: a
+// non-segmented consumer must not misread a marked data_len as a length.
+TEST(WireTest, DecodeRejectsMarkBitsWithoutSegmentFlag) {
+  std::vector<uint8_t> buf(1024, 0);
+  auto payload = Payload(64, 5);
+  wire::MessageEncoder enc(buf.data(), 1024, 0x3333);
+  enc.Add(wire::ReqMeta{wire::PackSegLen(wire::SegMark::kFirst, 64), 1, 2, 3},
+          payload.data());
+  enc.Seal(0, 0);  // flags deliberately omit kFlagSegment
+  wire::MsgHeader header;
+  ASSERT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header),
+            wire::ProbeResult::kMessage);
+  wire::ReqView view;
+  EXPECT_FALSE(wire::DecodeRequests(buf.data(), header, &view));
+}
+
+TEST(WireTest, AddGatherMultiSliceRoundTrip) {
+  std::vector<uint8_t> buf(1024, 0);
+  auto a = Payload(40, 1);
+  auto b = Payload(60, 2);
+  auto c = Payload(28, 3);
+  PayloadRef payload;
+  payload.Add(a.data(), 40);
+  payload.Add(b.data(), 60);
+  payload.Add(c.data(), 28);
+  ASSERT_EQ(payload.size(), 128u);
+
+  wire::MessageEncoder enc(buf.data(), 1024, 0x4444);
+  enc.AddGather(wire::ReqMeta{128, 2, 4, 6}, payload);
+  enc.Seal(0, 0);
+
+  wire::MsgHeader header;
+  ASSERT_EQ(wire::ProbeMessage(buf.data(), static_cast<uint32_t>(buf.size()), &header),
+            wire::ProbeResult::kMessage);
+  wire::ReqView view;
+  ASSERT_TRUE(wire::DecodeRequests(buf.data(), header, &view));
+  ASSERT_EQ(view.meta.data_len, 128u);
+  std::vector<uint8_t> flat;
+  flat.insert(flat.end(), a.begin(), a.end());
+  flat.insert(flat.end(), b.begin(), b.end());
+  flat.insert(flat.end(), c.begin(), c.end());
+  EXPECT_EQ(std::memcmp(view.data, flat.data(), 128), 0);
+}
+
+TEST(WireTest, PayloadRefSubCutsAcrossSlices) {
+  auto a = Payload(100, 1);
+  auto b = Payload(100, 2);
+  PayloadRef payload;
+  payload.Add(a.data(), 100);
+  payload.Add(b.data(), 100);
+  // A cut straddling the slice boundary references both source buffers.
+  PayloadRef mid = payload.Sub(80, 40);
+  ASSERT_EQ(mid.size(), 40u);
+  ASSERT_EQ(mid.num_slices(), 2u);
+  std::vector<uint8_t> out(40);
+  mid.CopyTo(out.data());
+  EXPECT_EQ(std::memcmp(out.data(), a.data() + 80, 20), 0);
+  EXPECT_EQ(std::memcmp(out.data() + 20, b.data(), 20), 0);
+  // Chunking the whole payload and reassembling restores the bytes.
+  std::vector<uint8_t> joined(200);
+  for (uint32_t off = 0; off < 200; off += 48) {
+    const uint32_t take = std::min(48u, 200u - off);
+    payload.Sub(off, take).CopyTo(joined.data() + off);
+  }
+  EXPECT_EQ(std::memcmp(joined.data(), a.data(), 100), 0);
+  EXPECT_EQ(std::memcmp(joined.data() + 100, b.data(), 100), 0);
 }
 
 // ---------------------------------------------------------------------------
